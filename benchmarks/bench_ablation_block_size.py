@@ -1,0 +1,64 @@
+"""Ablation A: the auto-tuner's block-size (Numr x Numc) search.
+
+Section IV-B's auto-tuner picks the BSP block grid giving "an optimal
+combination of accuracy and performance".  This bench sweeps grids at a
+fixed 103x target on a mid-scale GRU, reporting the latency/accuracy-proxy
+frontier and the tuner's choice.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler.autotune import find_best_block_size, tune_execution_config
+from repro.eval.report import format_table
+from repro.hw.profiles import ADRENO_640
+from repro.utils.rng import new_rng
+
+
+@pytest.fixture(scope="module")
+def midscale_weights():
+    rng = new_rng(0)
+    h = 256
+    return {
+        "g0.hh": rng.standard_normal((3 * h, h)),
+        "g1.ih": rng.standard_normal((3 * h, h)),
+        "g1.hh": rng.standard_normal((3 * h, h)),
+    }
+
+
+def test_ablation_block_size(benchmark, midscale_weights):
+    result = benchmark.pedantic(
+        lambda: find_best_block_size(
+            midscale_weights, ADRENO_640, col_rate=16.0, row_rate=8.0,
+            strip_choices=(1, 2, 4, 8), block_choices=(2, 4, 8, 16),
+        ),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(
+        format_table(
+            ["Numr", "Numc", "latency us", "retained energy"],
+            [
+                (c.num_row_strips, c.num_col_blocks, f"{c.latency_us:.1f}",
+                 f"{c.accuracy_proxy:.4f}")
+                for c in result.trace
+            ],
+            title="Ablation: BSP block grid at 103x target (hidden 256)",
+        )
+    )
+    print(f"tuner choice: Numr={result.best.num_row_strips} "
+          f"Numc={result.best.num_col_blocks}")
+    assert result.num_evaluated == 16
+    # Finer grids retain more energy (accuracy proxy is monotone-ish in
+    # grid resolution): the finest grid beats the coarsest.
+    by_grid = {(c.num_row_strips, c.num_col_blocks): c for c in result.trace}
+    assert by_grid[(8, 16)].accuracy_proxy > by_grid[(1, 2)].accuracy_proxy
+
+
+def test_bench_tile_autotune(benchmark, midscale_weights):
+    """Wall-clock of the execution-config (tile/unroll) search."""
+    result = benchmark.pedantic(
+        lambda: tune_execution_config(midscale_weights, ADRENO_640),
+        rounds=1, iterations=1,
+    )
+    assert result.best.latency_us <= min(c.latency_us for c in result.trace)

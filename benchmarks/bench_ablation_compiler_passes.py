@@ -1,0 +1,79 @@
+"""Ablation B: contribution of each compiler optimization.
+
+The paper's Section IV-B motivates three optimizations (matrix reorder,
+redundant load elimination, BSPC format).  This bench compiles the same
+103x BSP-pruned paper-scale model with passes toggled and simulates each
+variant, quantifying every pass's latency contribution.
+"""
+
+import pytest
+
+from repro.compiler.codegen import CompileOptions
+from repro.compiler.ir import TileConfig
+from repro.compiler.pipeline import compile_model
+from repro.eval.report import format_table
+from repro.hw.profiles import ADRENO_640, KRYO_485
+
+
+VARIANTS = [
+    ("full (reorder+elim+BSPC)", dict(enable_reorder=True,
+                                      enable_load_elimination=True,
+                                      format_name="bspc")),
+    ("no reorder", dict(enable_reorder=False, enable_load_elimination=True,
+                        format_name="bspc")),
+    ("no load elimination", dict(enable_reorder=True,
+                                 enable_load_elimination=False,
+                                 format_name="bspc")),
+    ("CSR instead of BSPC", dict(enable_reorder=True,
+                                 enable_load_elimination=True,
+                                 format_name="csr")),
+    ("none (CSR, no passes)", dict(enable_reorder=False,
+                                   enable_load_elimination=False,
+                                   format_name="csr")),
+]
+
+
+def simulate_variants(weights):
+    rows = []
+    for name, options in VARIANTS:
+        compiled = compile_model(
+            weights,
+            CompileOptions(tile=TileConfig(use_fp16=True),
+                           num_row_strips=8, num_col_blocks=8, **options),
+        )
+        gpu = compiled.simulate(ADRENO_640).latency_us
+        cpu_compiled = compile_model(
+            weights,
+            CompileOptions(tile=TileConfig(use_fp16=False),
+                           num_row_strips=8, num_col_blocks=8, **options),
+        )
+        cpu = cpu_compiled.simulate(KRYO_485).latency_us
+        rows.append((name, gpu, cpu))
+    return rows
+
+
+def test_ablation_compiler_passes(benchmark, paper_scale_pruned_weights):
+    rows = benchmark.pedantic(
+        lambda: simulate_variants(paper_scale_pruned_weights),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(
+        format_table(
+            ["variant", "GPU us", "CPU us"],
+            [(n, f"{g:.1f}", f"{c:.1f}") for n, g, c in rows],
+            title="Ablation: compiler passes at 103x BSP (paper scale)",
+        )
+    )
+    by_name = {n: (g, c) for n, g, c in rows}
+    full_gpu, full_cpu = by_name["full (reorder+elim+BSPC)"]
+    none_gpu, none_cpu = by_name["none (CSR, no passes)"]
+    # The full pipeline is never slower than the stripped one, and the
+    # stripped CSR path pays a clear penalty on both devices.
+    assert full_gpu < none_gpu
+    assert full_cpu < none_cpu
+    # Each single ablation costs something (or at worst is neutral).
+    for variant in ("no load elimination", "CSR instead of BSPC"):
+        gpu, cpu = by_name[variant]
+        assert gpu >= full_gpu - 1e-9
+        assert cpu >= full_cpu - 1e-9

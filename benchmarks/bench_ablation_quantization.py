@@ -1,0 +1,63 @@
+"""Ablation D: numeric precision of the deployed weights.
+
+Table II's GPU column assumes fp16 weights are accuracy-free (it reports
+the same PERs as the fp32 training runs).  This bench validates that
+assumption end-to-end: a trained, BSP-pruned model is quantized to fp16
+and int8 and re-scored; fp16 must be indistinguishable, int8 close.
+"""
+
+import pytest
+
+from repro.nn.quantize import quantize_model
+from repro.pruning.bsp import BSPConfig, BSPPruner
+from repro.speech.model import AcousticModelConfig, GRUAcousticModel
+from repro.speech.synth import SynthConfig, make_corpus
+from repro.speech.trainer import Trainer, TrainerConfig
+
+
+def train_and_prune():
+    train, test = make_corpus(48, 16, SynthConfig(noise_level=0.55), seed=0)
+    model = GRUAcousticModel(AcousticModelConfig(hidden_size=64), rng=0)
+    trainer = Trainer(model, train, test,
+                      TrainerConfig(learning_rate=3e-3, batch_size=4, seed=0))
+    trainer.train_dense(8)
+    pruner = BSPPruner(
+        model.prunable_parameters(),
+        BSPConfig(col_rate=8, row_rate=1, num_row_strips=4, num_col_blocks=4,
+                  step1_admm_epochs=4, step1_retrain_epochs=2,
+                  step2_admm_epochs=0, step2_retrain_epochs=0),
+    )
+    trainer.run_pruning(pruner)
+    return model, trainer
+
+
+@pytest.fixture(scope="module")
+def pruned():
+    return train_and_prune()
+
+
+def test_ablation_quantization(benchmark, pruned):
+    model, trainer = pruned
+    float_per = trainer.evaluate().per
+    state = model.state_dict()
+    results = {"float64": float_per}
+
+    def score(scheme):
+        model.load_state_dict(state)
+        quantize_model(model, scheme)
+        return trainer.evaluate().per
+
+    results["fp16"] = benchmark.pedantic(
+        lambda: score("fp16"), rounds=1, iterations=1
+    )
+    results["int8"] = score("int8")
+    model.load_state_dict(state)  # restore for other tests
+
+    print()
+    print("Ablation: weight precision of the pruned model")
+    for scheme, per in results.items():
+        print(f"  {scheme:8s} PER {per:.2f}%")
+    # fp16 is accuracy-free (Table II's assumption).
+    assert results["fp16"] == pytest.approx(float_per, abs=0.5)
+    # int8 stays in the same regime (within a few points).
+    assert results["int8"] <= float_per + 5.0

@@ -1,0 +1,31 @@
+"""Figure 4: inference speedup over dense baselines vs. compression rate.
+
+Derives both speedup curves (GPU and CPU) from the Table II sweep and
+checks the paper's two qualitative observations: speedup grows with
+compression, and saturates once compression passes ~250x.
+"""
+
+from repro.eval.figure4 import figure4_from_table2, render_figure4
+
+
+def test_figure4_report(benchmark, table2_result):
+    figure = figure4_from_table2(table2_result)
+    print()
+    print(benchmark(render_figure4, figure))
+    gpu = figure.gpu_series()
+    cpu = figure.cpu_series()
+    # Speedup grows: every mid-sweep point beats dense, high rates beat 10x.
+    assert all(s >= 1.0 for s in gpu)
+    assert gpu[5] > gpu[1] > gpu[0]
+    assert cpu[5] > cpu[1] > cpu[0]
+    # Plateau: the last point is within 25% of the mid-sweep maximum, not
+    # a continued climb (paper: "speedup becomes stable ... ~250x").
+    assert 0.75 <= figure.plateau_ratio() <= 1.35
+    # Beyond-real-time headline: >25x GPU speedup at high compression.
+    assert max(gpu) > 25
+
+
+def test_bench_figure4_derivation(benchmark, table2_result):
+    """Wall-clock of deriving the Figure 4 series from a finished sweep."""
+    figure = benchmark(figure4_from_table2, table2_result)
+    assert len(figure.points) == len(table2_result.entries)

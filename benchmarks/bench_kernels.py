@@ -1,0 +1,102 @@
+"""Micro-benchmarks of the library's hot kernels.
+
+Not a paper table — these time the reproduction's own building blocks
+(format conversion, spmv, projection, compilation) so regressions in the
+substrate are visible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler.codegen import CompileOptions, lower_matrix
+from repro.pruning.bsp import BSPConfig, bsp_project_masks
+from repro.pruning.projections import project_block_columns, project_unstructured
+from repro.sparse.blocks import grid_for
+from repro.sparse.bspc import BSPCMatrix
+from repro.sparse.csr import CSRMatrix
+from repro.utils.rng import new_rng
+
+
+@pytest.fixture(scope="module")
+def pruned_1k():
+    rng = new_rng(0)
+    w = rng.standard_normal((1024, 1024))
+    masks = bsp_project_masks(
+        {"w": w},
+        BSPConfig(col_rate=8, row_rate=2, num_row_strips=8, num_col_blocks=8),
+    )
+    return masks["w"].apply_to_array(w)
+
+
+def test_bench_bspc_encode(benchmark, pruned_1k):
+    grid = grid_for(pruned_1k, 8, 8)
+    bspc = benchmark(BSPCMatrix.from_dense, pruned_1k, grid)
+    assert bspc.fill() == 1.0
+
+
+def test_bench_csr_encode(benchmark, pruned_1k):
+    csr = benchmark(CSRMatrix.from_dense, pruned_1k)
+    assert csr.nnz == np.count_nonzero(pruned_1k)
+
+
+def test_bench_bspc_spmv(benchmark, pruned_1k):
+    grid = grid_for(pruned_1k, 8, 8)
+    bspc = BSPCMatrix.from_dense(pruned_1k, grid)
+    x = new_rng(1).standard_normal(1024)
+    out = benchmark(bspc.spmv, x)
+    np.testing.assert_allclose(out, pruned_1k @ x)
+
+
+def test_bench_block_projection(benchmark):
+    rng = new_rng(0)
+    w = rng.standard_normal((1024, 1024))
+    grid = grid_for(w, 8, 8)
+    mask = benchmark(project_block_columns, w, grid, 8.0)
+    assert mask.compression_rate() == pytest.approx(8.0, rel=0.05)
+
+
+def test_bench_unstructured_projection(benchmark):
+    rng = new_rng(0)
+    w = rng.standard_normal((1024, 1024))
+    mask = benchmark(project_unstructured, w, 8.0)
+    assert mask.compression_rate() == pytest.approx(8.0, rel=0.01)
+
+
+def test_bench_lower_matrix(benchmark, pruned_1k):
+    plan = benchmark(lower_matrix, "w", pruned_1k, CompileOptions(
+        num_row_strips=8, num_col_blocks=8))
+    assert plan.format_name == "bspc"
+
+
+def test_bench_gru_forward(benchmark):
+    from repro.nn.rnn import GRU
+    from repro.nn.tensor import Tensor
+
+    rng = new_rng(0)
+    gru = GRU(40, 128, num_layers=2, rng=0)
+    x = Tensor(rng.standard_normal((30, 8, 40)))
+
+    def forward():
+        out, _ = gru(x)
+        return out
+
+    out = benchmark(forward)
+    assert out.shape == (30, 8, 128)
+
+
+def test_bench_gru_backward(benchmark):
+    from repro.nn.rnn import GRU
+    from repro.nn.tensor import Tensor
+
+    rng = new_rng(0)
+    gru = GRU(40, 96, num_layers=2, rng=0)
+    x = Tensor(rng.standard_normal((20, 4, 40)))
+
+    def step():
+        gru.zero_grad()
+        out, _ = gru(x)
+        out.sum().backward()
+        return gru.cells[0].weight_hh.grad
+
+    grad = benchmark(step)
+    assert grad is not None

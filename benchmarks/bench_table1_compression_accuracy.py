@@ -1,0 +1,57 @@
+"""Table I: compression rate vs. phone error rate.
+
+Trains the GRU acoustic model on the synthetic corpus and runs the BSP
+schedule at the sweep's end points, verifying the paper's central accuracy
+claims in miniature:
+
+* ~10x BSP compression costs essentially no accuracy,
+* degradation grows gracefully at extreme rates.
+
+The default here is the minutes-scale ``Table1Config.fast()`` (three sweep
+points, no baselines); the full ten-point sweep with all four baseline
+methods takes ~5 minutes — run it via ``examples/compression_sweep.py`` or
+by instantiating ``Table1Config()`` directly.
+"""
+
+import pytest
+
+from repro.eval.table1 import Table1Config, render_table1, run_table1
+
+
+@pytest.fixture(scope="module")
+def table1_result():
+    return run_table1(Table1Config.fast())
+
+
+def test_table1_report(benchmark, table1_result):
+    print()
+    print(benchmark(render_table1, table1_result))
+    bsp = table1_result.bsp_entries()
+    assert len(bsp) == 3
+    dense, low, high = bsp
+    # The 1x row is exactly the dense model.
+    assert dense.per_pruned == pytest.approx(table1_result.dense_per)
+    # ~10x compression: no meaningful accuracy loss (paper: 0.00 degrad).
+    assert low.degradation <= 5.0
+    # The extreme point compresses far more and may degrade more.
+    assert high.measured_rate > low.measured_rate
+
+
+def test_bench_table1_fast_sweep(benchmark):
+    """Wall-clock of the fast Table I sweep (train + prune, 3 points)."""
+    result = benchmark.pedantic(
+        lambda: run_table1(Table1Config.fast()), rounds=1, iterations=1
+    )
+    assert len(result.entries) == 3
+
+
+def test_bench_table1_dense_epoch(benchmark):
+    """Wall-clock of one dense training epoch at sweep scale."""
+    from repro.eval.table1 import run_table1_dense
+
+    config = Table1Config(
+        hidden_size=64, num_train=24, num_test=8, dense_epochs=0,
+        include_baselines=False, bsp_sweep=(),
+    )
+    trainer = run_table1_dense(config)
+    benchmark.pedantic(trainer.train_epoch, rounds=1, iterations=1)

@@ -1,0 +1,55 @@
+"""Table II: mobile GPU/CPU latency, GOP/s, and energy efficiency.
+
+Regenerates every row of the paper's Table II at paper scale (2-layer
+GRU, hidden 1024, ~10M weights) through the full pipeline: BSP projection
+→ compile (reorder + load elimination + BSPC) → calibrated Adreno 640 /
+Kryo 485 simulation → ESE-normalized energy.
+"""
+
+import pytest
+
+from repro.eval.paper_data import TABLE2
+from repro.eval.table2 import Table2Config, render_table2, run_table2, sweep_point
+from repro.eval.table2 import paper_scale_weights
+
+
+def test_table2_report(benchmark, table2_result):
+    """Print the measured-vs-paper table and assert the headline shapes."""
+    print()
+    print(benchmark(render_table2, table2_result))
+    entries = table2_result.entries
+    # Latency falls monotonically with the sweep's nominal rate order on CPU
+    # (GPU plateaus at the overhead floor at extreme rates).
+    cpu = [e.cpu_time_us for e in entries]
+    assert cpu[0] > cpu[1] > cpu[2]
+    # Energy efficiency crosses ESE (1.0) and grows by >25x dense→best.
+    best_eff = max(e.gpu_efficiency for e in entries)
+    assert best_eff > 25 * entries[0].gpu_efficiency
+    # Dense row calibrated to the paper within 5%.
+    assert entries[0].gpu_time_us == pytest.approx(TABLE2[0].gpu_time_us, rel=0.05)
+    assert entries[0].cpu_time_us == pytest.approx(TABLE2[0].cpu_time_us, rel=0.05)
+
+
+def bench_full_sweep():
+    return run_table2(Table2Config())
+
+
+def test_bench_table2_full_sweep(benchmark):
+    """Wall-clock of the complete Table II sweep (all ten rows)."""
+    result = benchmark.pedantic(bench_full_sweep, rounds=1, iterations=1)
+    assert len(result.entries) == len(TABLE2)
+
+
+def test_bench_table2_single_point(benchmark):
+    """Wall-clock of one sweep point (project + compile + simulate)."""
+    config = Table2Config()
+    weights = paper_scale_weights(config)
+
+    def point():
+        return sweep_point(weights, 16.0, 16.0, config)
+
+    measured_rate, gop, gpu_us, *_ = benchmark.pedantic(
+        point, rounds=1, iterations=1
+    )
+    assert measured_rate > 100
+    assert gpu_us > 0

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Waveform-in, phones-out: the full speech front-end exercised end to end.
+
+Unlike the fast mel-domain path the sweeps use, this example renders
+synthetic utterances to 16 kHz *waveforms* (formant synthesis), extracts
+log-mel features with the classic front-end (pre-emphasis → Hamming window
+→ FFT → mel filterbank → log), trains the GRU acoustic model on them,
+prunes it with BSP, and decodes a held-out utterance, printing the
+recognized phone string against the reference.
+
+Run:  python examples/speech_pipeline.py
+"""
+
+import numpy as np
+
+from repro.nn.data import Dataset
+from repro.nn.tensor import Tensor
+from repro.pruning import BSPConfig, BSPPruner
+from repro.speech import (
+    AcousticModelConfig,
+    FeatureConfig,
+    GRUAcousticModel,
+    SynthConfig,
+    Trainer,
+    TrainerConfig,
+    decode_utterance,
+    id_to_phone,
+)
+from repro.speech.metrics import collapse_frames
+from repro.speech.synth import waveform_example
+
+
+def build_waveform_corpus(count: int, seed: int) -> Dataset:
+    """Render ``count`` utterances through the waveform + front-end path."""
+    examples = []
+    for i in range(count):
+        _, example = waveform_example(
+            SynthConfig(min_phones=3, max_phones=7),
+            FeatureConfig(),
+            seed=seed * 10_000 + i,
+        )
+        examples.append(example)
+    return Dataset(examples)
+
+
+def phone_string(ids) -> str:
+    return " ".join(id_to_phone(i) for i in ids)
+
+
+def main() -> None:
+    print("rendering waveforms and extracting log-mel features...")
+    train_set = build_waveform_corpus(40, seed=1)
+    test_set = build_waveform_corpus(10, seed=2)
+
+    model = GRUAcousticModel(AcousticModelConfig(hidden_size=64), rng=0)
+    trainer = Trainer(
+        model, train_set, test_set,
+        TrainerConfig(learning_rate=3e-3, batch_size=4, seed=0),
+    )
+    print("training on front-end features...")
+    trainer.train_dense(epochs=10)
+    dense = trainer.evaluate()
+    print(f"  dense PER: {dense.per:.2f}%")
+
+    print("pruning with BSP at ~8x...")
+    pruner = BSPPruner(
+        model.prunable_parameters(),
+        BSPConfig(col_rate=8, row_rate=1, num_row_strips=4, num_col_blocks=4,
+                  step1_admm_epochs=4, step1_retrain_epochs=3,
+                  step2_admm_epochs=0, step2_retrain_epochs=0),
+    )
+    trainer.run_pruning(pruner)
+    pruned = trainer.evaluate()
+    print(f"  pruned PER: {pruned.per:.2f}% at "
+          f"{pruner.masks.compression_rate():.1f}x compression")
+
+    # Decode one held-out utterance with the pruned model.
+    example = test_set[0]
+    logits = model(Tensor(example.features[:, None, :])).data[:, 0, :]
+    hypothesis = decode_utterance(logits, min_duration=2)
+    reference = collapse_frames(example.labels)
+    print("\nheld-out utterance decode (pruned model):")
+    print(f"  reference:  {phone_string(reference)}")
+    print(f"  hypothesis: {phone_string(hypothesis)}")
+
+
+if __name__ == "__main__":
+    main()

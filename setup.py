@@ -1,0 +1,4 @@
+"""Setup shim for environments whose pip lacks PEP 660 editable support."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,63 @@
+"""RTMobile reproduction — block-based structured pruning and
+compiler-assisted mobile RNN acceleration (Dong et al., DAC 2020).
+
+Layered public API:
+
+* :mod:`repro.nn` — numpy autograd + GRU training substrate,
+* :mod:`repro.pruning` — BSP (ADMM block pruning) and every baseline,
+* :mod:`repro.sparse` — CSR/CSC/BSPC storage formats,
+* :mod:`repro.compiler` — reorder / load-elimination / BSPC lowering /
+  auto-tuning,
+* :mod:`repro.hw` — calibrated Adreno 640 / Kryo 485 simulator + energy,
+* :mod:`repro.speech` — synthetic TIMIT-like corpus, GRU acoustic model,
+  PER evaluation,
+* :mod:`repro.eval` — harnesses for Table I, Table II, and Figure 4.
+
+Quickstart::
+
+    from repro.speech import make_corpus, GRUAcousticModel, Trainer
+    from repro.pruning import BSPConfig, BSPPruner
+    from repro.compiler import compile_model
+    from repro.hw import ADRENO_640
+
+    train, test = make_corpus(48, 16)
+    model = GRUAcousticModel()
+    trainer = Trainer(model, train, test)
+    trainer.train_dense(10)
+    pruner = BSPPruner(model.prunable_parameters(), BSPConfig(10, 1.25))
+    trainer.run_pruning(pruner)
+    compiled = compile_model(model.prunable_weights())
+    print(compiled.simulate(ADRENO_640).latency_us)
+"""
+
+__version__ = "1.0.0"
+
+from repro import compiler, eval, hw, nn, pruning, sparse, speech, utils
+from repro.errors import (
+    CompilationError,
+    ConfigError,
+    GradientError,
+    ReproError,
+    ShapeError,
+    SimulationError,
+    SparsityError,
+)
+
+__all__ = [
+    "__version__",
+    "nn",
+    "sparse",
+    "pruning",
+    "compiler",
+    "hw",
+    "speech",
+    "eval",
+    "utils",
+    "ReproError",
+    "ShapeError",
+    "ConfigError",
+    "GradientError",
+    "SparsityError",
+    "CompilationError",
+    "SimulationError",
+]

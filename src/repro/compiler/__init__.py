@@ -1,0 +1,40 @@
+"""Compiler-assisted acceleration: reorder, load elimination, BSPC, tuning."""
+
+from repro.compiler.autotune import (
+    TuningCandidate,
+    TuningResult,
+    default_tile_space,
+    find_best_block_size,
+    tune_execution_config,
+)
+from repro.compiler.codegen import CompileOptions, lower_matrix
+from repro.compiler.ir import KernelPlan, LayerPlan, RowGroup, TileConfig
+from repro.compiler.load_elim import elimination_ratio, naive_loads, tiled_loads
+from repro.compiler.pipeline import CompiledModel, compile_model, compile_weights
+from repro.compiler.reorder import identity_groups, reorder_rows, row_signature
+from repro.compiler.visualize import describe_plan, render_pattern
+
+__all__ = [
+    "TileConfig",
+    "RowGroup",
+    "LayerPlan",
+    "KernelPlan",
+    "CompileOptions",
+    "lower_matrix",
+    "compile_weights",
+    "compile_model",
+    "CompiledModel",
+    "reorder_rows",
+    "identity_groups",
+    "row_signature",
+    "naive_loads",
+    "tiled_loads",
+    "elimination_ratio",
+    "tune_execution_config",
+    "find_best_block_size",
+    "default_tile_space",
+    "TuningCandidate",
+    "TuningResult",
+    "render_pattern",
+    "describe_plan",
+]

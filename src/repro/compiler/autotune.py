@@ -1,0 +1,175 @@
+"""Offline auto-tuning (last paragraph of Section IV-B).
+
+The tuner searches execution configurations — tile rows per thread, unroll
+factor — and, optionally, the BSP block grid (``Numr × Numc``), scoring
+each candidate with the analytic simulator.  ``find_best_block_size`` also
+folds in an accuracy proxy so the chosen block size is "an optimal
+combination of accuracy and performance", as the paper puts it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.compiler.codegen import CompileOptions
+from repro.compiler.ir import TileConfig
+from repro.compiler.pipeline import compile_model
+from repro.errors import CompilationError
+from repro.hw.device import DeviceSpec
+from repro.pruning.bsp import BSPConfig, bsp_project_masks
+
+
+@dataclass(frozen=True)
+class TuningCandidate:
+    """One evaluated configuration and its simulated latency."""
+
+    tile: TileConfig
+    num_row_strips: int
+    num_col_blocks: int
+    latency_us: float
+    accuracy_proxy: float = 0.0
+
+    def score(self, latency_weight: float = 1.0, accuracy_weight: float = 0.0) -> float:
+        """Lower is better: weighted latency minus weighted accuracy proxy."""
+        return latency_weight * self.latency_us - accuracy_weight * self.accuracy_proxy
+
+
+@dataclass
+class TuningResult:
+    """Best configuration found plus the full exploration trace."""
+
+    best: TuningCandidate
+    trace: List[TuningCandidate] = field(default_factory=list)
+
+    @property
+    def num_evaluated(self) -> int:
+        return len(self.trace)
+
+
+def default_tile_space(max_rows_per_thread: int = 16) -> List[TileConfig]:
+    """The tile/unroll grid the tuner explores by default."""
+    space = []
+    rows = 1
+    while rows <= max_rows_per_thread:
+        for unroll in (1, 2, 4):
+            space.append(TileConfig(rows_per_thread=rows, unroll=unroll))
+        rows *= 2
+    return space
+
+
+def tune_execution_config(
+    named_weights: Dict[str, np.ndarray],
+    device: DeviceSpec,
+    base_options: Optional[CompileOptions] = None,
+    tile_space: Optional[Sequence[TileConfig]] = None,
+) -> TuningResult:
+    """Search tile configurations for the lowest simulated latency."""
+    base = base_options or CompileOptions()
+    tile_space = list(default_tile_space() if tile_space is None else tile_space)
+    if not tile_space:
+        raise CompilationError("tile_space must not be empty")
+    trace: List[TuningCandidate] = []
+    for tile in tile_space:
+        options = CompileOptions(
+            format_name=base.format_name,
+            enable_reorder=base.enable_reorder,
+            enable_load_elimination=base.enable_load_elimination,
+            num_row_strips=base.num_row_strips,
+            num_col_blocks=base.num_col_blocks,
+            tile=tile,
+        )
+        compiled = compile_model(named_weights, options)
+        latency = compiled.simulate(device).latency_us
+        trace.append(
+            TuningCandidate(
+                tile=tile,
+                num_row_strips=base.num_row_strips,
+                num_col_blocks=base.num_col_blocks,
+                latency_us=latency,
+            )
+        )
+    best = min(trace, key=lambda c: c.latency_us)
+    return TuningResult(best=best, trace=trace)
+
+
+def _retained_energy(weight: np.ndarray, mask_keep: np.ndarray) -> float:
+    """Accuracy proxy: fraction of the weight tensor's squared norm kept.
+
+    A cheap, training-free stand-in for post-pruning accuracy — block grids
+    that let BSP keep the strongest weights retain more of the layer's
+    energy and, empirically, more of its accuracy.
+    """
+    total = float(np.sum(weight**2))
+    if total == 0.0:
+        return 1.0
+    kept = float(np.sum((weight * mask_keep) ** 2))
+    return kept / total
+
+
+def find_best_block_size(
+    named_weights: Dict[str, np.ndarray],
+    device: DeviceSpec,
+    col_rate: float,
+    row_rate: float,
+    strip_choices: Iterable[int] = (1, 2, 4, 8),
+    block_choices: Iterable[int] = (2, 4, 8, 16),
+    accuracy_weight: float = 100.0,
+    tile: Optional[TileConfig] = None,
+) -> TuningResult:
+    """Search the BSP block grid (``Numr × Numc``) for the best
+    accuracy/latency combination at a fixed compression target.
+
+    For each grid, the weights are BSP-projected, compiled, and simulated;
+    the score combines simulated latency with the retained-energy accuracy
+    proxy (scaled by ``accuracy_weight`` µs per unit of retained energy).
+    """
+    tile = tile or TileConfig()
+    shapes = [np.asarray(w).shape for w in named_weights.values()]
+    min_rows = min(s[0] for s in shapes)
+    min_cols = min(s[1] for s in shapes)
+    trace: List[TuningCandidate] = []
+    for strips in strip_choices:
+        if strips > min_rows:
+            continue
+        for blocks in block_choices:
+            if blocks > min_cols:
+                continue
+            config = BSPConfig(
+                col_rate=col_rate,
+                row_rate=row_rate,
+                num_row_strips=strips,
+                num_col_blocks=blocks,
+            )
+            masks = bsp_project_masks(named_weights, config)
+            pruned = {
+                name: masks[name].apply_to_array(np.asarray(w))
+                for name, w in named_weights.items()
+            }
+            proxy = float(
+                np.mean(
+                    [
+                        _retained_energy(np.asarray(w), masks[name].keep)
+                        for name, w in named_weights.items()
+                    ]
+                )
+            )
+            options = CompileOptions(
+                num_row_strips=strips, num_col_blocks=blocks, tile=tile
+            )
+            latency = compile_model(pruned, options).simulate(device).latency_us
+            trace.append(
+                TuningCandidate(
+                    tile=tile,
+                    num_row_strips=strips,
+                    num_col_blocks=blocks,
+                    latency_us=latency,
+                    accuracy_proxy=proxy,
+                )
+            )
+    if not trace:
+        raise CompilationError("no feasible block grid for the given weights")
+    best = min(trace, key=lambda c: c.score(accuracy_weight=accuracy_weight))
+    return TuningResult(best=best, trace=trace)

@@ -1,0 +1,130 @@
+"""Lowering: pruned weight matrices → executable :class:`LayerPlan` kernels.
+
+``lower_matrix`` runs the per-layer pipeline the paper's Figure 3 draws:
+
+1. choose the storage format (BSPC for block-structured weights, CSR for
+   irregular ones, dense when unpruned),
+2. matrix reorder (optional, on by default),
+3. redundant-load-elimination analysis (optional, on by default),
+4. emit the layer statistics the mobile cost model consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.compiler.ir import LayerPlan, TileConfig
+from repro.compiler.load_elim import naive_loads, tiled_loads
+from repro.compiler.reorder import identity_groups, reorder_rows
+from repro.errors import CompilationError
+from repro.sparse.blocks import BlockGrid, grid_for
+from repro.sparse.bspc import BSPCMatrix
+from repro.sparse.csr import CSRMatrix
+from repro.utils.validation import check_2d
+
+
+@dataclass(frozen=True)
+class CompileOptions:
+    """Per-compilation switches (the ablation knobs of the framework)."""
+
+    format_name: str = "bspc"  # "bspc", "csr", or "dense"
+    enable_reorder: bool = True
+    enable_load_elimination: bool = True
+    num_row_strips: int = 4
+    num_col_blocks: int = 8
+    tile: TileConfig = TileConfig()
+
+    def __post_init__(self) -> None:
+        if self.format_name not in ("bspc", "csr", "dense"):
+            raise CompilationError(f"unknown format {self.format_name!r}")
+
+
+def lower_matrix(
+    name: str,
+    weight: np.ndarray,
+    options: Optional[CompileOptions] = None,
+    grid: Optional[BlockGrid] = None,
+) -> LayerPlan:
+    """Compile one pruned weight matrix into a :class:`LayerPlan`.
+
+    ``weight`` carries its sparsity as exact zeros (the convention used by
+    every pruner in :mod:`repro.pruning`).
+    """
+    options = options or CompileOptions()
+    weight = check_2d(np.asarray(weight), "weight")
+    if grid is None:
+        grid = grid_for(weight, options.num_row_strips, options.num_col_blocks)
+    else:
+        grid.validate_matrix(weight)
+    mask = weight != 0.0
+    nnz = int(mask.sum())
+    rows, cols = weight.shape
+    value_bytes = options.tile.value_bytes
+    index_bytes = 2
+
+    # Pass 1: matrix reorder.
+    if options.enable_reorder:
+        permutation, groups = reorder_rows(mask, grid)
+    else:
+        permutation, groups = identity_groups(mask)
+
+    # Format selection and storage accounting.
+    if options.format_name == "dense" or nnz == rows * cols:
+        format_name = "dense"
+        stored_values = rows * cols
+        weight_bytes = stored_values * value_bytes
+        metadata_bytes = 0
+        kept_rows = rows
+        unique_cols = cols
+    elif options.format_name == "csr":
+        format_name = "csr"
+        csr = CSRMatrix.from_dense(weight)
+        stored_values = csr.nnz
+        weight_bytes = stored_values * value_bytes
+        metadata_bytes = csr.nbytes(value_bytes, index_bytes) - weight_bytes
+        kept_rows = int(np.any(mask, axis=1).sum())
+        unique_cols = int(np.any(mask, axis=0).sum())
+    else:
+        format_name = "bspc"
+        bspc = BSPCMatrix.from_dense(
+            weight,
+            grid,
+            row_permutation=permutation if options.enable_reorder else None,
+        )
+        stored_values = bspc.stored_values
+        weight_bytes = stored_values * value_bytes
+        metadata_bytes = bspc.nbytes(value_bytes, index_bytes) - weight_bytes
+        kept_rows = len(bspc.kept_row_indices())
+        unique_cols = len(bspc.unique_col_indices())
+
+    # Pass 2: redundant load elimination.
+    loads_naive = cols if format_name == "dense" else naive_loads(mask)
+    if format_name == "dense":
+        loads_after = cols  # dense GEMV reads each input element once
+    elif options.enable_load_elimination:
+        loads_after = tiled_loads(mask, groups, options.tile)
+    else:
+        loads_after = loads_naive
+
+    return LayerPlan(
+        name=name,
+        shape=(rows, cols),
+        format_name=format_name,
+        nnz=nnz,
+        stored_values=stored_values,
+        kept_rows=kept_rows,
+        unique_cols=unique_cols,
+        flops_per_step=2 * nnz,
+        weight_bytes=weight_bytes,
+        metadata_bytes=metadata_bytes,
+        act_loads_naive=loads_naive,
+        act_loads_per_step=loads_after,
+        output_writes_per_step=kept_rows,
+        groups=groups,
+        tile=options.tile,
+        reordered=options.enable_reorder,
+        row_permutation=permutation,
+    )

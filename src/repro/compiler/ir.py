@@ -1,0 +1,161 @@
+"""Intermediate representation shared by compiler passes and the simulator.
+
+A compiled RNN inference is a :class:`KernelPlan`: one :class:`LayerPlan`
+per weight matrix (GEMV kernel), each carrying the statistics the mobile
+cost model needs — nonzeros, surviving rows/columns, memory traffic, thread
+row-groups from the reorder pass, and the tuned :class:`TileConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import CompilationError
+
+
+@dataclass(frozen=True)
+class TileConfig:
+    """Execution configuration searched by the auto-tuner.
+
+    ``rows_per_thread`` — contiguous (post-reorder) rows a thread owns per
+    tile; larger tiles expose more redundant-load sharing but coarsen load
+    balance.  ``unroll`` — inner-loop unroll factor (models instruction
+    overhead amortization).  ``use_fp16`` — 16-bit values (the paper's GPU
+    kernels) halve memory traffic.
+    """
+
+    rows_per_thread: int = 4
+    unroll: int = 4
+    use_fp16: bool = True
+
+    def __post_init__(self) -> None:
+        if self.rows_per_thread < 1:
+            raise CompilationError(
+                f"rows_per_thread must be >= 1, got {self.rows_per_thread}"
+            )
+        if self.unroll < 1:
+            raise CompilationError(f"unroll must be >= 1, got {self.unroll}")
+
+    @property
+    def value_bytes(self) -> int:
+        return 2 if self.use_fp16 else 4
+
+
+@dataclass
+class RowGroup:
+    """Rows sharing a (similar) nonzero pattern, assigned together.
+
+    Produced by the matrix-reorder pass; the executor distributes the rows
+    of each group across threads in ``rows_per_thread`` tiles.
+    """
+
+    rows: np.ndarray  # original row indices, in execution order
+    nnz_per_row: np.ndarray  # aligned with ``rows``
+    pattern_key: Tuple[int, ...]  # block-column signature of the pattern
+    unique_cols: int  # distinct input columns the whole group touches
+
+    def __post_init__(self) -> None:
+        self.rows = np.asarray(self.rows, dtype=np.int64)
+        self.nnz_per_row = np.asarray(self.nnz_per_row, dtype=np.int64)
+        if self.rows.shape != self.nnz_per_row.shape:
+            raise CompilationError(
+                "rows and nnz_per_row must align: "
+                f"{self.rows.shape} vs {self.nnz_per_row.shape}"
+            )
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.rows)
+
+    @property
+    def total_nnz(self) -> int:
+        return int(self.nnz_per_row.sum())
+
+
+@dataclass
+class LayerPlan:
+    """One compiled GEMV kernel and everything the cost model needs."""
+
+    name: str
+    shape: Tuple[int, int]
+    format_name: str  # "bspc", "csr", or "dense"
+    nnz: int
+    stored_values: int  # >= nnz for padded formats
+    kept_rows: int
+    unique_cols: int
+    flops_per_step: int  # 2 * nnz (multiply + add)
+    weight_bytes: int  # streamed once per inference
+    metadata_bytes: int  # format indices / pointers
+    act_loads_naive: int  # input loads per timestep without elimination
+    act_loads_per_step: int  # input loads per timestep after elimination
+    output_writes_per_step: int
+    groups: List[RowGroup] = field(default_factory=list)
+    tile: TileConfig = field(default_factory=TileConfig)
+    reordered: bool = False
+    row_permutation: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        if self.format_name not in ("bspc", "csr", "dense"):
+            raise CompilationError(f"unknown format {self.format_name!r}")
+        if self.nnz < 0 or self.stored_values < self.nnz:
+            raise CompilationError(
+                f"invalid value counts: nnz={self.nnz}, stored={self.stored_values}"
+            )
+        if self.act_loads_per_step > self.act_loads_naive:
+            raise CompilationError(
+                "load elimination cannot increase loads: "
+                f"{self.act_loads_per_step} > {self.act_loads_naive}"
+            )
+
+    @property
+    def load_elimination_ratio(self) -> float:
+        """Fraction of naive input loads removed (0 = none, →1 = most)."""
+        if self.act_loads_naive == 0:
+            return 0.0
+        return 1.0 - self.act_loads_per_step / self.act_loads_naive
+
+    def total_group_rows(self) -> int:
+        return sum(g.num_rows for g in self.groups)
+
+
+@dataclass
+class KernelPlan:
+    """A full compiled model: ordered layer kernels + inference geometry."""
+
+    layers: List[LayerPlan]
+    timesteps: int  # timesteps executed per reported inference frame
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise CompilationError("a KernelPlan needs at least one layer")
+        if self.timesteps < 1:
+            raise CompilationError(f"timesteps must be >= 1, got {self.timesteps}")
+
+    @property
+    def total_nnz(self) -> int:
+        return sum(layer.nnz for layer in self.layers)
+
+    @property
+    def total_params(self) -> int:
+        return sum(layer.shape[0] * layer.shape[1] for layer in self.layers)
+
+    @property
+    def compression_rate(self) -> float:
+        nnz = self.total_nnz
+        return self.total_params / nnz if nnz else float("inf")
+
+    @property
+    def flops_per_inference(self) -> int:
+        return sum(layer.flops_per_step for layer in self.layers) * self.timesteps
+
+    @property
+    def gop_per_inference(self) -> float:
+        """Giga-operations per frame — Table II's GOP column."""
+        return self.flops_per_inference / 1e9
+
+    @property
+    def weight_bytes(self) -> int:
+        return sum(layer.weight_bytes + layer.metadata_bytes for layer in self.layers)

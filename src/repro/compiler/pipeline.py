@@ -1,0 +1,77 @@
+"""End-to-end compilation: pruned model → :class:`KernelPlan` → simulation.
+
+This is the user-facing entry of the compiler-assisted framework
+(Figure 3): hand it the (pruned) weight matrices of an RNN and a device,
+get latency / GOP/s / energy out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.compiler.codegen import CompileOptions, lower_matrix
+from repro.compiler.ir import KernelPlan
+from repro.errors import CompilationError
+from repro.hw.device import DeviceSpec
+from repro.hw.energy import EnergyReport, energy_report
+from repro.hw.executor import SimulationResult, simulate
+from repro.pruning.metrics import FRAMES_PER_INFERENCE
+
+
+def compile_weights(
+    named_weights: Dict[str, np.ndarray],
+    options: Optional[CompileOptions] = None,
+    timesteps: int = FRAMES_PER_INFERENCE,
+) -> KernelPlan:
+    """Lower every weight matrix and assemble the full inference plan.
+
+    ``named_weights`` maps layer names to 2-D arrays whose zeros encode the
+    pruning pattern (the output of any :mod:`repro.pruning` method applied
+    to a trained model).
+    """
+    if not named_weights:
+        raise CompilationError("compile_weights() needs at least one matrix")
+    options = options or CompileOptions()
+    layers = [
+        lower_matrix(name, weight, options) for name, weight in named_weights.items()
+    ]
+    return KernelPlan(layers=layers, timesteps=timesteps)
+
+
+@dataclass
+class CompiledModel:
+    """A compiled model bound to its plan, ready to simulate on devices."""
+
+    plan: KernelPlan
+    options: CompileOptions
+
+    @property
+    def compression_rate(self) -> float:
+        return self.plan.compression_rate
+
+    @property
+    def gop_per_frame(self) -> float:
+        return self.plan.gop_per_inference
+
+    def simulate(self, device: DeviceSpec) -> SimulationResult:
+        """Predict one inference frame's cost on ``device``."""
+        return simulate(self.plan, device)
+
+    def energy(self, device: DeviceSpec) -> EnergyReport:
+        """Latency + energy report on ``device`` (ESE-normalized)."""
+        return energy_report(self.simulate(device), device)
+
+
+def compile_model(
+    named_weights: Dict[str, np.ndarray],
+    options: Optional[CompileOptions] = None,
+    timesteps: int = FRAMES_PER_INFERENCE,
+) -> CompiledModel:
+    """Convenience wrapper returning a :class:`CompiledModel`."""
+    options = options or CompileOptions()
+    return CompiledModel(
+        plan=compile_weights(named_weights, options, timesteps), options=options
+    )

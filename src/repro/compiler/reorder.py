@@ -1,0 +1,109 @@
+"""Matrix reorder pass (Section IV-B(a) of the paper).
+
+Rows with the same (or similar) nonzero pattern are grouped together so
+that concurrent threads execute balanced, divergence-free work.  For
+BSP-pruned matrices the natural pattern signature of a row is the set of
+block-columns in which it keeps weights: rows of one strip that survived
+Step 2 share their per-block column sets, so grouping by signature puts
+identical-computation rows adjacent — which also unlocks the redundant-load
+elimination pass.
+
+The pass is semantics-preserving: it returns a permutation, and
+``reordered_matrix[i] == matrix[permutation[i]]`` — the executor carries
+the permutation in the BSPC payload so outputs land in original positions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.compiler.ir import RowGroup
+from repro.sparse.blocks import BlockGrid
+from repro.utils.validation import check_2d
+
+
+def row_signature(mask_row: np.ndarray, grid: BlockGrid) -> Tuple[int, ...]:
+    """Block-column signature of one row: which blocks it touches.
+
+    Two rows with equal signatures read the same block-column panels and
+    perform the same amount of work per block, so they can run in lockstep.
+    """
+    signature = []
+    for block, (c0, c1) in enumerate(grid.col_bounds()):
+        if np.any(mask_row[c0:c1]):
+            signature.append(block)
+    return tuple(signature)
+
+
+def reorder_rows(
+    mask: np.ndarray, grid: BlockGrid
+) -> Tuple[np.ndarray, List[RowGroup]]:
+    """Group rows by pattern and return ``(permutation, groups)``.
+
+    ``permutation[i]`` is the original index of the row executed in slot
+    ``i``.  Pruned (all-zero) rows are dropped from the groups entirely —
+    they cost nothing on device — but still appear at the permutation's
+    tail so it remains a full permutation of the matrix rows.
+
+    Groups are ordered by decreasing total work so the executor's greedy
+    scheduler packs heavy groups first.
+    """
+    mask = check_2d(np.asarray(mask) != 0, "mask")
+    grid.validate_matrix(mask)
+    nnz_per_row = mask.sum(axis=1)
+    alive = np.flatnonzero(nnz_per_row > 0)
+    dead = np.flatnonzero(nnz_per_row == 0)
+
+    by_signature: dict = {}
+    for row in alive:
+        key = row_signature(mask[row], grid)
+        by_signature.setdefault(key, []).append(int(row))
+
+    groups: List[RowGroup] = []
+    for key, rows in by_signature.items():
+        rows_arr = np.asarray(rows, dtype=np.int64)
+        # Within a group, order by nnz so tiles hold near-equal work.
+        order = np.argsort(nnz_per_row[rows_arr], kind="stable")[::-1]
+        rows_arr = rows_arr[order]
+        unique_cols = int(np.any(mask[rows_arr], axis=0).sum())
+        groups.append(
+            RowGroup(
+                rows=rows_arr,
+                nnz_per_row=nnz_per_row[rows_arr],
+                pattern_key=key,
+                unique_cols=unique_cols,
+            )
+        )
+    groups.sort(key=lambda g: (-g.total_nnz, g.pattern_key))
+
+    ordered = [r for g in groups for r in g.rows.tolist()] + dead.tolist()
+    permutation = np.asarray(ordered, dtype=np.int64)
+    return permutation, groups
+
+
+def identity_groups(mask: np.ndarray) -> Tuple[np.ndarray, List[RowGroup]]:
+    """No-reorder fallback: original row order, one group per row run.
+
+    Used to model execution *without* the reorder optimization (ablation):
+    alive rows keep their original interleaving with arbitrary patterns, so
+    the executor sees divergent work within each thread's chunk.
+    """
+    mask = check_2d(np.asarray(mask) != 0, "mask")
+    nnz_per_row = mask.sum(axis=1)
+    alive = np.flatnonzero(nnz_per_row > 0)
+    dead = np.flatnonzero(nnz_per_row == 0)
+    groups: List[RowGroup] = []
+    if alive.size:
+        unique_cols = int(np.any(mask[alive], axis=0).sum())
+        groups.append(
+            RowGroup(
+                rows=alive,
+                nnz_per_row=nnz_per_row[alive],
+                pattern_key=(-1,),
+                unique_cols=unique_cols,
+            )
+        )
+    permutation = np.concatenate([alive, dead]).astype(np.int64)
+    return permutation, groups

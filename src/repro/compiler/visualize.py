@@ -1,0 +1,89 @@
+"""ASCII visualization of sparsity patterns and compiled plans.
+
+Debugging aids for the compiler: render a pruned matrix's block structure
+at terminal resolution, and summarize a :class:`KernelPlan` layer by
+layer.  Pure-text so they work everywhere the library does.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.compiler.ir import KernelPlan
+from repro.sparse.blocks import BlockGrid
+from repro.utils.validation import check_2d
+
+#: Density ramp used by :func:`render_pattern` (space = empty, # = dense).
+_SHADES = " .:-=+*#"
+
+
+def render_pattern(
+    weight: np.ndarray,
+    max_rows: int = 32,
+    max_cols: int = 64,
+    grid: Optional[BlockGrid] = None,
+) -> str:
+    """Render the nonzero density of ``weight`` as an ASCII bitmap.
+
+    The matrix is pooled down to at most ``max_rows × max_cols`` character
+    cells; each cell's character encodes its local nonzero density.  When
+    ``grid`` is given, block boundaries are drawn with ``|`` and ``-``.
+    """
+    weight = check_2d(np.asarray(weight), "weight")
+    rows, cols = weight.shape
+    row_edges = np.linspace(0, rows, min(max_rows, rows) + 1).astype(int)
+    col_edges = np.linspace(0, cols, min(max_cols, cols) + 1).astype(int)
+    mask = weight != 0.0
+
+    col_breaks = set()
+    row_breaks = set()
+    if grid is not None:
+        grid.validate_matrix(weight)
+        boundary_cols = {c0 for c0, _ in grid.col_bounds()[1:]}
+        boundary_rows = {r0 for r0, _ in grid.row_bounds()[1:]}
+        for i in range(len(col_edges) - 1):
+            if any(col_edges[i] <= b < col_edges[i + 1] for b in boundary_cols):
+                col_breaks.add(i)
+        for i in range(len(row_edges) - 1):
+            if any(row_edges[i] <= b < row_edges[i + 1] for b in boundary_rows):
+                row_breaks.add(i)
+
+    lines: List[str] = []
+    for i in range(len(row_edges) - 1):
+        if i in row_breaks:
+            lines.append("-" * (len(col_edges) - 1 + len(col_breaks)))
+        cells = []
+        for j in range(len(col_edges) - 1):
+            if j in col_breaks:
+                cells.append("|")
+            block = mask[row_edges[i]:row_edges[i + 1],
+                         col_edges[j]:col_edges[j + 1]]
+            density = block.mean() if block.size else 0.0
+            shade = _SHADES[min(len(_SHADES) - 1, int(density * (len(_SHADES) - 1) + 0.999))]
+            if density == 0.0:
+                shade = " "
+            cells.append(shade)
+        lines.append("".join(cells))
+    return "\n".join(lines)
+
+
+def describe_plan(plan: KernelPlan) -> str:
+    """One-line-per-layer summary of a compiled plan."""
+    lines = [
+        f"KernelPlan: {len(plan.layers)} layers, {plan.timesteps} timesteps, "
+        f"{plan.compression_rate:.1f}x compression, "
+        f"{plan.gop_per_inference:.4f} GOP/frame"
+    ]
+    for layer in plan.layers:
+        lines.append(
+            f"  {layer.name}: {layer.shape[0]}x{layer.shape[1]} "
+            f"[{layer.format_name}] nnz={layer.nnz} "
+            f"rows={layer.kept_rows} cols={layer.unique_cols} "
+            f"groups={len(layer.groups)} "
+            f"loads {layer.act_loads_naive}->{layer.act_loads_per_step} "
+            f"({layer.load_elimination_ratio:.0%} eliminated), "
+            f"{layer.weight_bytes + layer.metadata_bytes} B stored"
+        )
+    return "\n".join(lines)

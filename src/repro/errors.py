@@ -1,0 +1,36 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still distinguishing configuration mistakes from numerical problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ShapeError(ReproError, ValueError):
+    """An array has an incompatible or unexpected shape."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A configuration value is invalid or inconsistent."""
+
+
+class GradientError(ReproError, RuntimeError):
+    """Autograd misuse: e.g. backward through a non-scalar without seed."""
+
+
+class SparsityError(ReproError, ValueError):
+    """A sparse format or pruning mask is malformed or inconsistent."""
+
+
+class CompilationError(ReproError, RuntimeError):
+    """The compiler could not lower a model to an executable plan."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The hardware simulator was asked to execute an invalid plan."""

@@ -1,0 +1,71 @@
+"""Experiment harnesses regenerating the paper's tables and figures."""
+
+from repro.eval.export import load_json, result_rows, to_csv, to_json
+from repro.eval.figure4 import (
+    Figure4Point,
+    Figure4Result,
+    figure4_from_table2,
+    render_figure4,
+    run_figure4,
+)
+from repro.eval.paper_data import (
+    BSP_SWEEP,
+    ESE_LATENCY_US,
+    TABLE1,
+    TABLE2,
+    Table1Row,
+    Table2Row,
+    figure4_paper_speedups,
+)
+from repro.eval.report import fmt, format_table
+from repro.eval.table1 import (
+    Table1Config,
+    Table1Entry,
+    Table1Result,
+    render_table1,
+    run_table1,
+    run_table1_dense,
+)
+from repro.eval.table2 import (
+    Table2Config,
+    Table2Entry,
+    Table2Result,
+    paper_scale_weights,
+    render_table2,
+    run_table2,
+    sweep_point,
+)
+
+__all__ = [
+    "TABLE1",
+    "TABLE2",
+    "BSP_SWEEP",
+    "ESE_LATENCY_US",
+    "Table1Row",
+    "Table2Row",
+    "figure4_paper_speedups",
+    "Table1Config",
+    "Table1Entry",
+    "Table1Result",
+    "run_table1",
+    "run_table1_dense",
+    "render_table1",
+    "Table2Config",
+    "Table2Entry",
+    "Table2Result",
+    "run_table2",
+    "render_table2",
+    "sweep_point",
+    "paper_scale_weights",
+    "Figure4Point",
+    "Figure4Result",
+    "run_figure4",
+    "figure4_from_table2",
+    "render_figure4",
+    "format_table",
+    "fmt",
+    "to_json",
+    "to_csv",
+    "result_rows",
+    "load_json",
+]

@@ -1,0 +1,84 @@
+"""Exporting experiment results to JSON and CSV.
+
+Every harness result (:class:`Table1Result`, :class:`Table2Result`,
+:class:`Figure4Result`) converts to plain rows for archival and plotting
+in external tools.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from repro.eval.figure4 import Figure4Result
+from repro.eval.table1 import Table1Result
+from repro.eval.table2 import Table2Result
+
+AnyResult = Union[Table1Result, Table2Result, Figure4Result]
+
+
+def result_rows(result: AnyResult) -> List[Dict[str, Any]]:
+    """Flatten a harness result into a list of plain dict rows."""
+    if isinstance(result, Table1Result):
+        return [
+            {
+                "method": e.method,
+                "label_rate": e.label_rate,
+                "measured_rate": e.measured_rate,
+                "per_baseline": e.per_baseline,
+                "per_pruned": e.per_pruned,
+                "degradation": e.degradation,
+                "params_kept": e.params_kept,
+            }
+            for e in result.entries
+        ]
+    if isinstance(result, Table2Result):
+        return [
+            {
+                "label_rate": e.label_rate,
+                "measured_rate": e.measured_rate,
+                "gop": e.gop,
+                "gpu_time_us": e.gpu_time_us,
+                "gpu_gops": e.gpu_gops,
+                "gpu_efficiency": e.gpu_efficiency,
+                "cpu_time_us": e.cpu_time_us,
+                "cpu_gops": e.cpu_gops,
+                "cpu_efficiency": e.cpu_efficiency,
+            }
+            for e in result.entries
+        ]
+    if isinstance(result, Figure4Result):
+        return [
+            {
+                "label_rate": p.label_rate,
+                "measured_rate": p.measured_rate,
+                "gpu_speedup": p.gpu_speedup,
+                "cpu_speedup": p.cpu_speedup,
+            }
+            for p in result.points
+        ]
+    raise TypeError(f"unsupported result type {type(result).__name__}")
+
+
+def to_json(result: AnyResult, path) -> None:
+    """Write a harness result to ``path`` as a JSON row list."""
+    Path(path).write_text(json.dumps(result_rows(result), indent=2))
+
+
+def to_csv(result: AnyResult, path) -> None:
+    """Write a harness result to ``path`` as CSV."""
+    rows = result_rows(result)
+    if not rows:
+        Path(path).write_text("")
+        return
+    with open(Path(path), "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(rows[0]))
+        writer.writeheader()
+        writer.writerows(rows)
+
+
+def load_json(path) -> List[Dict[str, Any]]:
+    """Read back a JSON row list written by :func:`to_json`."""
+    return json.loads(Path(path).read_text())

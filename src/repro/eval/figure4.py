@@ -1,0 +1,97 @@
+"""Figure 4 reproduction: speedup over dense baselines vs. compression rate.
+
+The paper's Figure 4 plots GPU and CPU inference speedup (relative to the
+*dense* model on the same device) as compression grows, showing rising
+curves that plateau once overhead dominates (around ~250×).  The series is
+derived from the Table II sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.eval.paper_data import figure4_paper_speedups
+from repro.eval.report import fmt, format_table
+from repro.eval.table2 import Table2Config, Table2Result, run_table2
+
+
+@dataclass
+class Figure4Point:
+    """One point of the speedup curves."""
+
+    label_rate: float
+    measured_rate: float
+    gpu_speedup: float
+    cpu_speedup: float
+
+
+@dataclass
+class Figure4Result:
+    """The two speedup series."""
+
+    points: List[Figure4Point] = field(default_factory=list)
+
+    def gpu_series(self) -> List[float]:
+        return [p.gpu_speedup for p in self.points]
+
+    def cpu_series(self) -> List[float]:
+        return [p.cpu_speedup for p in self.points]
+
+    def plateau_ratio(self) -> float:
+        """Last-point GPU speedup over the mid-sweep speedup.
+
+        A value near 1 confirms the paper's observation that speedup
+        saturates once compression passes ~250×.
+        """
+        gpu = self.gpu_series()
+        if len(gpu) < 3:
+            return 1.0
+        mid = gpu[len(gpu) // 2]
+        return gpu[-1] / mid if mid else 1.0
+
+
+def figure4_from_table2(result: Table2Result) -> Figure4Result:
+    """Convert a Table II sweep into Figure 4 speedup series."""
+    dense = result.dense
+    figure = Figure4Result()
+    for entry in result.entries:
+        figure.points.append(
+            Figure4Point(
+                label_rate=entry.label_rate,
+                measured_rate=entry.measured_rate,
+                gpu_speedup=dense.gpu_time_us / entry.gpu_time_us,
+                cpu_speedup=dense.cpu_time_us / entry.cpu_time_us,
+            )
+        )
+    return figure
+
+
+def run_figure4(config: Table2Config = Table2Config()) -> Figure4Result:
+    """Run the sweep and derive the speedup curves."""
+    return figure4_from_table2(run_table2(config))
+
+
+def render_figure4(figure: Figure4Result) -> str:
+    """Render measured vs. paper speedups, plus an ASCII curve."""
+    paper = {rate: (g, c) for rate, g, c in figure4_paper_speedups()}
+    rows = []
+    max_speedup = max(p.gpu_speedup for p in figure.points) or 1.0
+    for point in figure.points:
+        paper_gpu, paper_cpu = paper.get(point.label_rate, (None, None))
+        bar = "#" * max(1, int(round(30 * point.gpu_speedup / max_speedup)))
+        rows.append(
+            [
+                fmt(point.label_rate, 0) + "x",
+                fmt(point.gpu_speedup, 1),
+                fmt(paper_gpu, 1),
+                fmt(point.cpu_speedup, 1),
+                fmt(paper_cpu, 1),
+                bar,
+            ]
+        )
+    return format_table(
+        ["rate", "GPU speedup", "paper", "CPU speedup", "paper", "GPU curve"],
+        rows,
+        title="Figure 4 reproduction: speedup vs. compression rate",
+    )

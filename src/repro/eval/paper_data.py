@@ -1,0 +1,101 @@
+"""The paper's published numbers (Tables I, II; Figure 4 is derived).
+
+Stored verbatim so every benchmark can print paper-vs-measured rows and
+EXPERIMENTS.md can be regenerated mechanically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of Table I (compression vs. accuracy on TIMIT GRU)."""
+
+    method: str
+    per_baseline: Optional[float]  # % PER of the dense model
+    per_pruned: Optional[float]  # % PER after compression
+    per_degradation: float  # per_pruned - per_baseline
+    col_rate: Optional[float]  # BSP column target ('–' for other methods)
+    row_rate: Optional[float]  # BSP row target
+    params_millions: float  # surviving parameters
+    overall_rate: float  # reported overall compression
+
+
+#: Table I of the paper, in row order.
+TABLE1: List[Table1Row] = [
+    Table1Row("ESE", 20.40, 20.70, 0.30, None, None, 0.37, 8.0),
+    Table1Row("C-LSTM", 24.15, 24.57, 0.42, None, None, 0.41, 8.0),
+    Table1Row("C-LSTM", 24.15, 25.48, 1.33, None, None, 0.20, 16.0),
+    Table1Row("BBS", 23.50, 23.75, 0.25, None, None, 0.41, 8.0),
+    Table1Row("Wang", None, 0.91, 0.91, None, None, 0.81, 4.0),
+    Table1Row("E-RNN", 20.02, 20.20, 0.18, None, None, 1.20, 8.0),
+    Table1Row("BSP", 18.80, 18.80, 0.00, 1.0, 1.0, 9.60, 1.0),
+    Table1Row("BSP", 18.80, 18.80, 0.00, 10.0, 1.0, 0.96, 10.0),
+    Table1Row("BSP", 18.80, 19.40, 0.60, 16.0, 1.25, 0.48, 19.0),
+    Table1Row("BSP", 18.80, 19.60, 0.80, 16.0, 2.0, 0.33, 29.0),
+    Table1Row("BSP", 18.80, 20.60, 1.80, 16.0, 5.0, 0.22, 43.0),
+    Table1Row("BSP", 18.80, 21.50, 2.70, 20.0, 8.0, 0.12, 80.0),
+    Table1Row("BSP", 18.80, 23.20, 4.40, 16.0, 16.0, 0.09, 103.0),
+    Table1Row("BSP", 18.80, 24.20, 5.40, 20.0, 10.0, 0.06, 153.0),
+    Table1Row("BSP", 18.80, 24.20, 5.40, 20.0, 16.0, 0.04, 245.0),
+    Table1Row("BSP", 18.80, 25.50, 6.70, 20.0, 20.0, 0.03, 301.0),
+]
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One row of Table II (latency / throughput / energy on mobile)."""
+
+    compression: float
+    gop: float
+    gpu_time_us: float
+    gpu_gops: float
+    gpu_efficiency: float  # normalized vs ESE
+    cpu_time_us: float
+    cpu_gops: float
+    cpu_efficiency: float
+
+
+#: Table II of the paper, in row order.
+TABLE2: List[Table2Row] = [
+    Table2Row(1.0, 0.5800, 3590.12, 161.55, 0.88, 7130.00, 81.35, 0.25),
+    Table2Row(10.0, 0.0580, 495.26, 117.11, 6.35, 1210.20, 47.93, 1.48),
+    Table2Row(19.0, 0.0330, 304.11, 108.51, 10.35, 709.33, 46.52, 2.52),
+    Table2Row(29.0, 0.0207, 233.89, 88.29, 13.45, 464.73, 44.43, 3.85),
+    Table2Row(43.0, 0.0143, 186.05, 76.86, 16.91, 344.77, 41.48, 5.19),
+    Table2Row(80.0, 0.0080, 130.00, 61.54, 24.20, 218.01, 36.70, 8.20),
+    Table2Row(103.0, 0.0060, 109.76, 54.66, 28.67, 202.72, 29.59, 8.82),
+    Table2Row(153.0, 0.0039, 97.11, 40.16, 32.40, 170.74, 22.84, 10.47),
+    Table2Row(245.0, 0.0028, 81.64, 34.30, 38.54, 151.28, 18.51, 11.82),
+    Table2Row(301.0, 0.0020, 79.13, 25.27, 39.76, 145.93, 13.71, 12.25),
+]
+
+#: The BSP (column, row) compression targets of Tables I/II, with the
+#: overall rate label the paper assigns to each configuration.
+BSP_SWEEP: List[Tuple[float, float, float]] = [
+    (1.0, 1.0, 1.0),
+    (10.0, 1.0, 10.0),
+    (16.0, 1.25, 19.0),
+    (16.0, 2.0, 29.0),
+    (16.0, 5.0, 43.0),
+    (20.0, 8.0, 80.0),
+    (16.0, 16.0, 103.0),
+    (20.0, 10.0, 153.0),
+    (20.0, 16.0, 245.0),
+    (20.0, 20.0, 301.0),
+]
+
+#: ESE reference latency the paper quotes when claiming latency parity.
+ESE_LATENCY_US: float = 82.7
+
+
+def figure4_paper_speedups() -> List[Tuple[float, float, float]]:
+    """Figure 4's series derived from Table II: (rate, gpu_speedup, cpu_speedup)."""
+    dense = TABLE2[0]
+    return [
+        (row.compression, dense.gpu_time_us / row.gpu_time_us, dense.cpu_time_us / row.cpu_time_us)
+        for row in TABLE2
+    ]

@@ -1,0 +1,43 @@
+"""Plain-text table rendering for the experiment harnesses."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned monospace table.
+
+    Cells are stringified; floats the caller wants formatted should be
+    pre-formatted strings.
+    """
+    cells: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        cells.append([str(c) for c in row])
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(cells[0], widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in cells[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def fmt(value: object, precision: int = 2) -> str:
+    """Format a number for a table cell ('–' for None)."""
+    if value is None:
+        return "–"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)

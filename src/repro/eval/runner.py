@@ -1,0 +1,116 @@
+"""Command-line experiment runner.
+
+Regenerates the paper's tables/figures from the shell and archives the
+results::
+
+    python -m repro table1 --fast --json out/table1.json
+    python -m repro table2 --csv out/table2.csv
+    python -m repro figure4
+    python -m repro all --out results/
+
+Each subcommand prints the rendered measured-vs-paper table and optionally
+writes JSON/CSV via :mod:`repro.eval.export`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from repro.eval.export import to_csv, to_json
+from repro.eval.figure4 import figure4_from_table2, render_figure4
+from repro.eval.table1 import Table1Config, render_table1, run_table1
+from repro.eval.table2 import Table2Config, render_table2, run_table2
+
+
+def _add_output_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--json", type=Path, help="write rows as JSON")
+    parser.add_argument("--csv", type=Path, help="write rows as CSV")
+
+
+def _export(result, args) -> None:
+    if getattr(args, "json", None):
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        to_json(result, args.json)
+        print(f"wrote {args.json}")
+    if getattr(args, "csv", None):
+        args.csv.parent.mkdir(parents=True, exist_ok=True)
+        to_csv(result, args.csv)
+        print(f"wrote {args.csv}")
+
+
+def _run_table1(args) -> None:
+    config = Table1Config.fast() if args.fast else Table1Config()
+    result = run_table1(config)
+    print(render_table1(result))
+    _export(result, args)
+
+
+def _run_table2(args) -> None:
+    result = run_table2(Table2Config())
+    print(render_table2(result))
+    _export(result, args)
+
+
+def _run_figure4(args) -> None:
+    figure = figure4_from_table2(run_table2(Table2Config()))
+    print(render_figure4(figure))
+    _export(figure, args)
+
+
+def _run_all(args) -> None:
+    out: Path = args.out
+    out.mkdir(parents=True, exist_ok=True)
+    start = time.time()
+    table2 = run_table2(Table2Config())
+    print(render_table2(table2))
+    to_json(table2, out / "table2.json")
+    figure4 = figure4_from_table2(table2)
+    print(render_figure4(figure4))
+    to_json(figure4, out / "figure4.json")
+    config = Table1Config.fast() if args.fast else Table1Config()
+    table1 = run_table1(config)
+    print(render_table1(table1))
+    to_json(table1, out / "table1.json")
+    print(f"\nall artifacts in {out}/ ({time.time() - start:.0f}s)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the RTMobile paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p1 = sub.add_parser("table1", help="compression vs. PER (trains models)")
+    p1.add_argument("--fast", action="store_true",
+                    help="endpoint sweep only (~1 min instead of ~5)")
+    _add_output_args(p1)
+    p1.set_defaults(func=_run_table1)
+
+    p2 = sub.add_parser("table2", help="mobile latency / GOP/s / energy")
+    _add_output_args(p2)
+    p2.set_defaults(func=_run_table2)
+
+    p4 = sub.add_parser("figure4", help="speedup vs. compression curves")
+    _add_output_args(p4)
+    p4.set_defaults(func=_run_figure4)
+
+    pa = sub.add_parser("all", help="everything, archived to a directory")
+    pa.add_argument("--out", type=Path, default=Path("results"))
+    pa.add_argument("--fast", action="store_true")
+    pa.set_defaults(func=_run_all)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

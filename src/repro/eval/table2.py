@@ -1,0 +1,231 @@
+"""Table II reproduction: latency, GOP/s, and energy on mobile GPU/CPU.
+
+For each BSP configuration of the paper's sweep, paper-scale GRU weight
+matrices are BSP-projected, compiled through the full pass pipeline
+(reorder + load elimination + BSPC), and simulated on the calibrated
+Adreno 640 and Kryo 485 profiles; energy efficiency is normalized against
+the ESE FPGA reference exactly as the paper does.
+
+Latency depends only on the sparsity *pattern*, not the trained values, so
+the sweep projects random-initialized paper-scale weights instead of
+retraining 9.6M-weight models — the masks have the same structure BSP
+training would produce (see ``bsp_project_masks``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.compiler.codegen import CompileOptions
+from repro.compiler.ir import TileConfig
+from repro.compiler.pipeline import compile_model
+from repro.eval.paper_data import BSP_SWEEP, TABLE2, Table2Row
+from repro.eval.report import fmt, format_table
+from repro.hw.device import DeviceSpec
+from repro.hw.profiles import ADRENO_640, KRYO_485
+from repro.pruning.bsp import BSPConfig, bsp_project_masks
+from repro.pruning.metrics import FRAMES_PER_INFERENCE
+from repro.utils.rng import new_rng
+
+
+@dataclass(frozen=True)
+class Table2Config:
+    """Model geometry and sweep settings.
+
+    Defaults are the paper-scale GRU: 2 layers × hidden 1024, ~10M GRU
+    weights (the paper reports 9.6M overall).
+    """
+
+    hidden_size: int = 1024
+    input_dim: int = 240
+    num_layers: int = 2
+    num_row_strips: int = 8
+    num_col_blocks: int = 8
+    timesteps: int = FRAMES_PER_INFERENCE
+    seed: int = 0
+    sweep: Sequence[Tuple[float, float, float]] = tuple(BSP_SWEEP)
+
+
+@dataclass
+class Table2Entry:
+    """One measured row (mirrors :class:`~repro.eval.paper_data.Table2Row`)."""
+
+    label_rate: float
+    measured_rate: float
+    gop: float
+    gpu_time_us: float
+    gpu_gops: float
+    gpu_efficiency: float
+    cpu_time_us: float
+    cpu_gops: float
+    cpu_efficiency: float
+
+
+@dataclass
+class Table2Result:
+    """Full sweep outcome."""
+
+    entries: List[Table2Entry] = field(default_factory=list)
+
+    @property
+    def dense(self) -> Table2Entry:
+        return self.entries[0]
+
+
+def paper_scale_weights(config: Table2Config = Table2Config()) -> Dict[str, np.ndarray]:
+    """Random paper-scale GRU weight matrices (pattern source for the sweep)."""
+    rng = new_rng(config.seed)
+    h, d = config.hidden_size, config.input_dim
+    weights: Dict[str, np.ndarray] = {}
+    for layer in range(config.num_layers):
+        in_size = d if layer == 0 else h
+        weights[f"gru.cell{layer}.weight_ih"] = rng.standard_normal((3 * h, in_size))
+        weights[f"gru.cell{layer}.weight_hh"] = rng.standard_normal((3 * h, h))
+    return weights
+
+
+def sweep_point(
+    weights: Dict[str, np.ndarray],
+    col_rate: float,
+    row_rate: float,
+    config: Table2Config,
+    gpu: DeviceSpec = ADRENO_640,
+    cpu: DeviceSpec = KRYO_485,
+) -> Tuple[float, float, float, float, float, float, float, float]:
+    """Project, compile, and simulate one compression configuration.
+
+    Returns ``(measured_rate, gop, gpu_us, gpu_gops, gpu_eff, cpu_us,
+    cpu_gops, cpu_eff)``.
+    """
+    if col_rate <= 1.0 and row_rate <= 1.0:
+        pruned = weights
+    else:
+        masks = bsp_project_masks(
+            weights,
+            BSPConfig(
+                col_rate=col_rate,
+                row_rate=row_rate,
+                num_row_strips=config.num_row_strips,
+                num_col_blocks=config.num_col_blocks,
+            ),
+        )
+        pruned = {
+            name: masks[name].apply_to_array(array)
+            for name, array in weights.items()
+        }
+    base = dict(
+        enable_reorder=True,
+        enable_load_elimination=True,
+        num_row_strips=config.num_row_strips,
+        num_col_blocks=config.num_col_blocks,
+    )
+    gpu_model = compile_model(
+        pruned,
+        CompileOptions(tile=TileConfig(use_fp16=True), **base),
+        timesteps=config.timesteps,
+    )
+    cpu_model = compile_model(
+        pruned,
+        CompileOptions(tile=TileConfig(use_fp16=False), **base),
+        timesteps=config.timesteps,
+    )
+    gpu_sim = gpu_model.simulate(gpu)
+    cpu_sim = cpu_model.simulate(cpu)
+    gpu_energy = gpu_model.energy(gpu)
+    cpu_energy = cpu_model.energy(cpu)
+    return (
+        gpu_model.compression_rate,
+        gpu_model.gop_per_frame,
+        gpu_sim.latency_us,
+        gpu_sim.gops,
+        gpu_energy.normalized_efficiency,
+        cpu_sim.latency_us,
+        cpu_sim.gops,
+        cpu_energy.normalized_efficiency,
+    )
+
+
+def run_table2(config: Table2Config = Table2Config()) -> Table2Result:
+    """Execute the full Table II sweep."""
+    weights = paper_scale_weights(config)
+    result = Table2Result()
+    for col_rate, row_rate, label in config.sweep:
+        (
+            measured,
+            gop,
+            gpu_us,
+            gpu_gops,
+            gpu_eff,
+            cpu_us,
+            cpu_gops,
+            cpu_eff,
+        ) = sweep_point(weights, col_rate, row_rate, config)
+        result.entries.append(
+            Table2Entry(
+                label_rate=label,
+                measured_rate=measured,
+                gop=gop,
+                gpu_time_us=gpu_us,
+                gpu_gops=gpu_gops,
+                gpu_efficiency=gpu_eff,
+                cpu_time_us=cpu_us,
+                cpu_gops=cpu_gops,
+                cpu_efficiency=cpu_eff,
+            )
+        )
+    return result
+
+
+def paper_row_for(label_rate: float) -> Table2Row:
+    """The paper's Table II row with the given compression label."""
+    for row in TABLE2:
+        if row.compression == label_rate:
+            return row
+    raise KeyError(f"no paper row labelled {label_rate}x")
+
+
+def render_table2(result: Table2Result) -> str:
+    """Render measured vs. paper values side by side."""
+    rows = []
+    for entry in result.entries:
+        try:
+            paper = paper_row_for(entry.label_rate)
+            paper_gpu, paper_cpu = paper.gpu_time_us, paper.cpu_time_us
+            paper_eff = paper.gpu_efficiency
+        except KeyError:
+            paper_gpu = paper_cpu = paper_eff = None
+        rows.append(
+            [
+                fmt(entry.label_rate, 0) + "x",
+                fmt(entry.measured_rate, 1) + "x",
+                fmt(entry.gop, 4),
+                fmt(entry.gpu_time_us, 1),
+                fmt(paper_gpu, 1),
+                fmt(entry.gpu_gops, 1),
+                fmt(entry.gpu_efficiency, 2),
+                fmt(paper_eff, 2),
+                fmt(entry.cpu_time_us, 1),
+                fmt(paper_cpu, 1),
+                fmt(entry.cpu_efficiency, 2),
+            ]
+        )
+    return format_table(
+        [
+            "rate",
+            "measured",
+            "GOP",
+            "GPU us",
+            "paper",
+            "GPU GOP/s",
+            "GPU eff",
+            "paper",
+            "CPU us",
+            "paper",
+            "CPU eff",
+        ],
+        rows,
+        title="Table II reproduction: mobile latency / throughput / energy",
+    )

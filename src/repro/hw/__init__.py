@@ -1,0 +1,37 @@
+"""Analytic mobile-hardware simulator (Adreno 640 / Kryo 485 / ESE ref)."""
+
+from repro.hw.device import DeviceSpec, ReferenceAccelerator
+from repro.hw.energy import EnergyReport, energy_report
+from repro.hw.executor import (
+    LayerTiming,
+    SimulationResult,
+    simulate,
+    simulate_layer,
+    thread_balance,
+)
+from repro.hw.memory import LayerTraffic, layer_traffic, plan_traffic, total_bytes
+from repro.hw.profiles import ADRENO_640, ESE_FPGA, KRYO_485
+from repro.hw.roofline import LayerRoofline, RooflineReport, render_roofline, roofline
+
+__all__ = [
+    "DeviceSpec",
+    "ReferenceAccelerator",
+    "ADRENO_640",
+    "KRYO_485",
+    "ESE_FPGA",
+    "simulate",
+    "simulate_layer",
+    "thread_balance",
+    "SimulationResult",
+    "LayerTiming",
+    "LayerTraffic",
+    "layer_traffic",
+    "plan_traffic",
+    "total_bytes",
+    "EnergyReport",
+    "energy_report",
+    "roofline",
+    "render_roofline",
+    "RooflineReport",
+    "LayerRoofline",
+]

@@ -1,0 +1,45 @@
+"""Energy model and the ESE-normalized efficiency metric of Table II.
+
+The paper computes energy efficiency as
+``InferenceFrames / (Power × InferenceTime)`` — frames per joule — and
+reports it normalized by the ESE FPGA implementation's value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.device import DeviceSpec, ReferenceAccelerator
+from repro.hw.executor import SimulationResult
+from repro.hw.profiles import ESE_FPGA
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy numbers for one simulated inference."""
+
+    device_name: str
+    latency_us: float
+    power_watts: float
+    energy_uj: float  # microjoules per frame
+    frames_per_joule: float
+    normalized_efficiency: float  # relative to the ESE reference
+
+
+def energy_report(
+    result: SimulationResult,
+    device: DeviceSpec,
+    reference: ReferenceAccelerator = ESE_FPGA,
+) -> EnergyReport:
+    """Energy per frame and ESE-normalized efficiency for ``result``."""
+    energy_uj = device.power_watts * result.latency_us  # W × µs = µJ
+    frames_per_joule = 1e6 / energy_uj if energy_uj else float("inf")
+    normalized = frames_per_joule / reference.frames_per_joule()
+    return EnergyReport(
+        device_name=device.name,
+        latency_us=result.latency_us,
+        power_watts=device.power_watts,
+        energy_uj=energy_uj,
+        frames_per_joule=frames_per_joule,
+        normalized_efficiency=normalized,
+    )

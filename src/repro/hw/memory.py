@@ -1,0 +1,63 @@
+"""Memory-traffic accounting for one compiled inference.
+
+Traffic classes, per :class:`~repro.compiler.ir.LayerPlan`:
+
+* **weights + format metadata** — streamed from DRAM once per inference and
+  then held in on-chip storage across the recurrence timesteps (weight
+  reuse across timesteps is what makes RNN inference memory-bound at low
+  compression and overhead-bound at high compression),
+* **activations** — the input vector is small enough to live in on-chip
+  cache, so DRAM sees each *distinct* input element once per timestep
+  (``unique_cols``); the per-tile gather *instructions* are charged on the
+  compute side by the executor, which is where the redundant-load-
+  elimination pass pays off,
+* **output writes** — one per surviving row per timestep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.ir import KernelPlan, LayerPlan
+
+
+@dataclass(frozen=True)
+class LayerTraffic:
+    """Bytes moved by one layer over a full inference."""
+
+    name: str
+    weight_bytes: int
+    metadata_bytes: int
+    activation_bytes: int
+    output_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return (
+            self.weight_bytes
+            + self.metadata_bytes
+            + self.activation_bytes
+            + self.output_bytes
+        )
+
+
+def layer_traffic(layer: LayerPlan, timesteps: int) -> LayerTraffic:
+    """Traffic of ``layer`` across ``timesteps`` recurrence steps."""
+    value_bytes = layer.tile.value_bytes
+    return LayerTraffic(
+        name=layer.name,
+        weight_bytes=layer.weight_bytes,
+        metadata_bytes=layer.metadata_bytes,
+        activation_bytes=layer.unique_cols * value_bytes * timesteps,
+        output_bytes=layer.output_writes_per_step * value_bytes * timesteps,
+    )
+
+
+def plan_traffic(plan: KernelPlan) -> list:
+    """Per-layer traffic for a whole plan."""
+    return [layer_traffic(layer, plan.timesteps) for layer in plan.layers]
+
+
+def total_bytes(plan: KernelPlan) -> int:
+    """Total bytes moved per inference by ``plan``."""
+    return sum(t.total_bytes for t in plan_traffic(plan))

@@ -1,0 +1,97 @@
+"""Roofline-style bottleneck classification for simulated inference.
+
+For every layer of a simulated plan, report which resource bounds it —
+compute, memory bandwidth, or kernel-launch overhead — and its arithmetic
+intensity.  This is the analysis behind the paper's Table II narrative:
+dense RNN inference is compute/memory-bound, extreme compression makes it
+overhead-bound (hence the GOP/s collapse and the Figure 4 plateau).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.compiler.ir import KernelPlan
+from repro.hw.device import DeviceSpec
+from repro.hw.executor import simulate
+from repro.hw.memory import layer_traffic
+
+
+@dataclass(frozen=True)
+class LayerRoofline:
+    """Bottleneck analysis of one layer."""
+
+    name: str
+    bound: str  # "compute", "memory", or "overhead"
+    compute_us: float
+    memory_us: float
+    overhead_us: float
+    arithmetic_intensity: float  # flops per DRAM byte
+
+    @property
+    def busy_us(self) -> float:
+        return max(self.compute_us, self.memory_us) + self.overhead_us
+
+
+@dataclass
+class RooflineReport:
+    """Whole-plan bottleneck summary."""
+
+    device_name: str
+    layers: List[LayerRoofline]
+
+    def dominant_bound(self) -> str:
+        """The resource bounding the largest share of total time."""
+        totals = {"compute": 0.0, "memory": 0.0, "overhead": 0.0}
+        for layer in self.layers:
+            totals[layer.bound] += layer.busy_us
+        return max(totals, key=totals.get)
+
+    def counts(self) -> dict:
+        """Number of layers per bound class."""
+        out = {"compute": 0, "memory": 0, "overhead": 0}
+        for layer in self.layers:
+            out[layer.bound] += 1
+        return out
+
+
+def roofline(plan: KernelPlan, device: DeviceSpec) -> RooflineReport:
+    """Classify every layer of ``plan`` on ``device``."""
+    result = simulate(plan, device)
+    layers: List[LayerRoofline] = []
+    for layer, timing in zip(plan.layers, result.layers):
+        parts = {
+            "compute": timing.compute_us,
+            "memory": timing.memory_us,
+            "overhead": timing.overhead_us,
+        }
+        bound = max(parts, key=parts.get)
+        bytes_moved = layer_traffic(layer, plan.timesteps).total_bytes
+        flops = layer.flops_per_step * plan.timesteps
+        intensity = flops / bytes_moved if bytes_moved else float("inf")
+        layers.append(
+            LayerRoofline(
+                name=layer.name,
+                bound=bound,
+                compute_us=timing.compute_us,
+                memory_us=timing.memory_us,
+                overhead_us=timing.overhead_us,
+                arithmetic_intensity=intensity,
+            )
+        )
+    return RooflineReport(device_name=device.name, layers=layers)
+
+
+def render_roofline(report: RooflineReport) -> str:
+    """Plain-text rendering of a roofline report."""
+    lines = [f"Roofline on {report.device_name} "
+             f"(dominant bound: {report.dominant_bound()})"]
+    for layer in report.layers:
+        lines.append(
+            f"  {layer.name}: {layer.bound}-bound  "
+            f"compute {layer.compute_us:.1f} us, memory {layer.memory_us:.1f} us, "
+            f"overhead {layer.overhead_us:.1f} us, "
+            f"{layer.arithmetic_intensity:.2f} flop/B"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,112 @@
+"""Functional neural-network operations on :class:`~repro.nn.tensor.Tensor`.
+
+These are free functions composing the primitive autograd ops, plus a fused
+``cross_entropy`` with a hand-written backward rule for numerical stability
+(the standard softmax + log trick would lose precision for confident logits).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.tensor import Tensor, as_tensor
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Elementwise logistic sigmoid."""
+    return as_tensor(x).sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    """Elementwise hyperbolic tangent."""
+    return as_tensor(x).tanh()
+
+
+def relu(x: Tensor) -> Tensor:
+    """Elementwise rectified linear unit."""
+    return as_tensor(x).relu()
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    x = as_tensor(x)
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exps = shifted.exp()
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    x = as_tensor(x)
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def cross_entropy(
+    logits: Tensor,
+    targets: np.ndarray,
+    weight_mask: Optional[np.ndarray] = None,
+) -> Tensor:
+    """Mean cross-entropy between ``logits`` and integer class ``targets``.
+
+    Parameters
+    ----------
+    logits:
+        Tensor of shape ``(N, C)``.
+    targets:
+        Integer array of shape ``(N,)`` with values in ``[0, C)``.
+    weight_mask:
+        Optional per-sample 0/1 weights of shape ``(N,)`` — used to mask
+        padded frames in batched utterances.  The loss is averaged over the
+        *unmasked* samples.
+
+    Implemented as a fused op with an analytic backward
+    ``softmax(logits) - onehot(targets)`` for stability and speed.
+    """
+    logits = as_tensor(logits)
+    if logits.ndim != 2:
+        raise ShapeError(f"cross_entropy expects (N, C) logits, got {logits.shape}")
+    targets = np.asarray(targets)
+    if targets.ndim != 1 or targets.shape[0] != logits.shape[0]:
+        raise ShapeError(
+            f"targets shape {targets.shape} incompatible with logits {logits.shape}"
+        )
+    n, c = logits.shape
+    if targets.size and (targets.min() < 0 or targets.max() >= c):
+        raise ValueError("targets contain class indices outside [0, C)")
+
+    if weight_mask is None:
+        weights = np.ones(n)
+    else:
+        weights = np.asarray(weight_mask, dtype=np.float64)
+        if weights.shape != (n,):
+            raise ShapeError(f"weight_mask must be ({n},), got {weights.shape}")
+    denom = max(weights.sum(), 1.0)
+
+    z = logits.data
+    zmax = z.max(axis=1, keepdims=True)
+    shifted = z - zmax
+    logsumexp = np.log(np.exp(shifted).sum(axis=1, keepdims=True)) + zmax
+    log_probs = z - logsumexp
+    picked = log_probs[np.arange(n), targets]
+    loss_value = -(picked * weights).sum() / denom
+
+    def backward(grad: np.ndarray) -> None:
+        if not logits.requires_grad:
+            return
+        probs = np.exp(log_probs)
+        probs[np.arange(n), targets] -= 1.0
+        probs *= (weights / denom)[:, None]
+        logits._accumulate(float(grad) * probs)
+
+    return logits._make_child(np.asarray(loss_value), (logits,), backward)
+
+
+def mse_loss(prediction: Tensor, target: np.ndarray) -> Tensor:
+    """Mean squared error between a tensor and a constant target array."""
+    prediction = as_tensor(prediction)
+    diff = prediction - Tensor(np.asarray(target, dtype=np.float64))
+    return (diff * diff).mean()

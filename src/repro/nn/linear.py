@@ -1,0 +1,44 @@
+"""Fully-connected layer."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+from repro.utils.rng import RngLike, new_rng
+
+
+class Linear(Module):
+    """Affine map ``y = x W^T + b``.
+
+    The weight is stored as ``(out_features, in_features)`` — the same
+    row-major layout the pruning and compiler stages operate on, so a pruned
+    *row* removes an output neuron and a pruned *column* removes a
+    dependence on one input feature.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: RngLike = None,
+    ) -> None:
+        super().__init__()
+        rng = new_rng(rng)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            init.xavier_uniform((out_features, in_features), rng), name="weight"
+        )
+        self.bias: Optional[Parameter] = (
+            Parameter(init.zeros(out_features), name="bias") if bias else None
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x.matmul(self.weight.T)
+        if self.bias is not None:
+            out = out + self.bias
+        return out

@@ -1,0 +1,120 @@
+"""Gradient-descent optimizers.
+
+ADMM-based pruning (Section III-C of the paper) explicitly requires a
+modern adaptive optimizer — the paper notes C-LSTM's training pipeline could
+not support ADMM for exactly this reason — so :class:`Adam` is the default
+throughout the experiments; :class:`SGD` is kept for ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+class Optimizer:
+    """Base optimizer holding a parameter list."""
+
+    def __init__(self, params: Iterable[Parameter]) -> None:
+        self.params: List[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer got an empty parameter list")
+
+    def zero_grad(self) -> None:
+        """Clear gradients of all managed parameters."""
+        for param in self.params:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional classical momentum."""
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params)
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        """Apply one update using the gradients currently stored."""
+        for param in self.params:
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                vel = self._velocity.get(id(param))
+                vel = grad if vel is None else self.momentum * vel + grad
+                self._velocity[id(param)] = vel
+                grad = vel
+            param.data -= self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba, 2015) with bias correction."""
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas=(0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params)
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        beta1, beta2 = betas
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        self.lr = lr
+        self.beta1, self.beta2 = beta1, beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m: Dict[int, np.ndarray] = {}
+        self._v: Dict[int, np.ndarray] = {}
+        self._steps: Dict[int, int] = {}
+
+    def step(self) -> None:
+        """Apply one Adam update using the gradients currently stored.
+
+        Step counts (and thus bias correction) are per-parameter, so a
+        parameter that receives its first gradient late still takes a
+        properly bias-corrected first step.
+        """
+        for param in self.params:
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            key = id(param)
+            t = self._steps.get(key, 0) + 1
+            self._steps[key] = t
+            m = self._m.get(key, np.zeros_like(param.data))
+            v = self._v.get(key, np.zeros_like(param.data))
+            m = self.beta1 * m + (1.0 - self.beta1) * grad
+            v = self.beta2 * v + (1.0 - self.beta2) * grad * grad
+            self._m[key] = m
+            self._v[key] = v
+            m_hat = m / (1.0 - self.beta1**t)
+            v_hat = v / (1.0 - self.beta2**t)
+            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,208 @@
+"""Recurrent cells and multi-layer RNN wrappers.
+
+The GRU follows the Cho et al. (2014) formulation used in the paper
+(Figure 1):
+
+.. math::
+
+    z_t &= \\sigma(W_z x_t + U_z h_{t-1} + b_z) \\\\
+    r_t &= \\sigma(W_r x_t + U_r h_{t-1} + b_r) \\\\
+    \\tilde h_t &= \\tanh(W_h x_t + U_h (r_t \\odot h_{t-1}) + b_h) \\\\
+    h_t &= (1 - z_t) \\odot h_{t-1} + z_t \\odot \\tilde h_t
+
+Weights are stored as two stacked matrices per cell — ``weight_ih`` of shape
+``(3H, D)`` holding :math:`[W_z; W_r; W_h]` and ``weight_hh`` of shape
+``(3H, H)`` holding :math:`[U_z; U_r; U_h]` — because those 2-D matrices are
+exactly what BSP pruning and the BSPC compiler operate on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor, stack
+from repro.utils.rng import RngLike, new_rng, spawn_rngs
+
+
+class GRUCell(Module):
+    """Single gated-recurrent-unit cell (one timestep)."""
+
+    def __init__(self, input_size: int, hidden_size: int, rng: RngLike = None) -> None:
+        super().__init__()
+        rng = new_rng(rng)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        h = hidden_size
+        w_ih = np.concatenate(
+            [init.xavier_uniform((h, input_size), rng) for _ in range(3)], axis=0
+        )
+        w_hh = np.concatenate([init.orthogonal((h, h), rng) for _ in range(3)], axis=0)
+        self.weight_ih = Parameter(w_ih, name="weight_ih")
+        self.weight_hh = Parameter(w_hh, name="weight_hh")
+        self.bias_ih = Parameter(init.zeros(3 * h), name="bias_ih")
+        self.bias_hh = Parameter(init.zeros(3 * h), name="bias_hh")
+
+    def forward(self, x: Tensor, h_prev: Tensor) -> Tensor:
+        """Advance one timestep; ``x``: (B, D), ``h_prev``: (B, H) → (B, H)."""
+        if x.shape[-1] != self.input_size:
+            raise ShapeError(
+                f"GRUCell expected input size {self.input_size}, got {x.shape}"
+            )
+        h = self.hidden_size
+        gates_x = x.matmul(self.weight_ih.T) + self.bias_ih
+        gates_h = h_prev.matmul(self.weight_hh.T) + self.bias_hh
+        zx, rx, hx = gates_x[:, :h], gates_x[:, h : 2 * h], gates_x[:, 2 * h :]
+        zh, rh, hh = gates_h[:, :h], gates_h[:, h : 2 * h], gates_h[:, 2 * h :]
+        z = (zx + zh).sigmoid()
+        r = (rx + rh).sigmoid()
+        h_tilde = (hx + r * hh).tanh()
+        return (1.0 - z) * h_prev + z * h_tilde
+
+    def init_hidden(self, batch_size: int) -> Tensor:
+        """Return an all-zero initial hidden state of shape (B, H)."""
+        return Tensor(np.zeros((batch_size, self.hidden_size)))
+
+
+class LSTMCell(Module):
+    """Long short-term memory cell, used by the C-LSTM baseline experiments.
+
+    Gate order inside the stacked weights is ``[input, forget, cell, output]``.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, rng: RngLike = None) -> None:
+        super().__init__()
+        rng = new_rng(rng)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        h = hidden_size
+        w_ih = np.concatenate(
+            [init.xavier_uniform((h, input_size), rng) for _ in range(4)], axis=0
+        )
+        w_hh = np.concatenate([init.orthogonal((h, h), rng) for _ in range(4)], axis=0)
+        self.weight_ih = Parameter(w_ih, name="weight_ih")
+        self.weight_hh = Parameter(w_hh, name="weight_hh")
+        bias = init.zeros(4 * h)
+        bias[h : 2 * h] = 1.0  # forget-gate bias of 1 stabilizes early training
+        self.bias = Parameter(bias, name="bias")
+
+    def forward(
+        self, x: Tensor, state: Tuple[Tensor, Tensor]
+    ) -> Tuple[Tensor, Tensor]:
+        """Advance one timestep; returns ``(h_t, c_t)``."""
+        h_prev, c_prev = state
+        hsize = self.hidden_size
+        gates = x.matmul(self.weight_ih.T) + h_prev.matmul(self.weight_hh.T) + self.bias
+        i = gates[:, :hsize].sigmoid()
+        f = gates[:, hsize : 2 * hsize].sigmoid()
+        g = gates[:, 2 * hsize : 3 * hsize].tanh()
+        o = gates[:, 3 * hsize :].sigmoid()
+        c = f * c_prev + i * g
+        h = o * c.tanh()
+        return h, c
+
+    def init_hidden(self, batch_size: int) -> Tuple[Tensor, Tensor]:
+        """Return all-zero ``(h, c)`` initial state."""
+        zeros = np.zeros((batch_size, self.hidden_size))
+        return Tensor(zeros.copy()), Tensor(zeros.copy())
+
+
+class GRU(Module):
+    """Multi-layer unidirectional GRU over a full sequence.
+
+    Input is ``(T, B, D)`` (time-major); output is ``(T, B, H)`` hidden
+    states of the last layer.  The paper's acoustic model uses two layers.
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        num_layers: int = 1,
+        rng: RngLike = None,
+    ) -> None:
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError(f"num_layers must be >= 1, got {num_layers}")
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.num_layers = num_layers
+        rngs = spawn_rngs(new_rng(rng), num_layers)
+        for layer_index in range(num_layers):
+            in_size = input_size if layer_index == 0 else hidden_size
+            cell = GRUCell(in_size, hidden_size, rng=rngs[layer_index])
+            setattr(self, f"cell{layer_index}", cell)
+
+    @property
+    def cells(self) -> List[GRUCell]:
+        return [getattr(self, f"cell{i}") for i in range(self.num_layers)]
+
+    def forward(
+        self, x: Tensor, h0: Optional[List[Tensor]] = None
+    ) -> Tuple[Tensor, List[Tensor]]:
+        """Run the full sequence; returns ``(outputs, final_hiddens)``."""
+        if x.ndim != 3:
+            raise ShapeError(f"GRU expects (T, B, D) input, got {x.shape}")
+        seq_len, batch, _ = x.shape
+        hiddens = (
+            [cell.init_hidden(batch) for cell in self.cells] if h0 is None else list(h0)
+        )
+        if len(hiddens) != self.num_layers:
+            raise ShapeError(
+                f"h0 must have {self.num_layers} layer states, got {len(hiddens)}"
+            )
+        outputs: List[Tensor] = []
+        for t in range(seq_len):
+            layer_input = x[t]
+            for layer_index, cell in enumerate(self.cells):
+                hiddens[layer_index] = cell(layer_input, hiddens[layer_index])
+                layer_input = hiddens[layer_index]
+            outputs.append(layer_input)
+        return stack(outputs, axis=0), hiddens
+
+
+class LSTM(Module):
+    """Multi-layer unidirectional LSTM over a full sequence (time-major)."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        num_layers: int = 1,
+        rng: RngLike = None,
+    ) -> None:
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError(f"num_layers must be >= 1, got {num_layers}")
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.num_layers = num_layers
+        rngs = spawn_rngs(new_rng(rng), num_layers)
+        for layer_index in range(num_layers):
+            in_size = input_size if layer_index == 0 else hidden_size
+            cell = LSTMCell(in_size, hidden_size, rng=rngs[layer_index])
+            setattr(self, f"cell{layer_index}", cell)
+
+    @property
+    def cells(self) -> List[LSTMCell]:
+        return [getattr(self, f"cell{i}") for i in range(self.num_layers)]
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Run the full sequence; returns last-layer hidden states (T, B, H)."""
+        if x.ndim != 3:
+            raise ShapeError(f"LSTM expects (T, B, D) input, got {x.shape}")
+        seq_len, batch, _ = x.shape
+        states = [cell.init_hidden(batch) for cell in self.cells]
+        outputs: List[Tensor] = []
+        for t in range(seq_len):
+            layer_input = x[t]
+            for layer_index, cell in enumerate(self.cells):
+                h, c = cell(layer_input, states[layer_index])
+                states[layer_index] = (h, c)
+                layer_input = h
+            outputs.append(layer_input)
+        return stack(outputs, axis=0)

@@ -1,0 +1,74 @@
+"""Checkpointing: save/load models, masks, and metadata as ``.npz``.
+
+A checkpoint bundles a module's ``state_dict``, optionally the pruning
+masks that produced it (so a compressed model can be reloaded *and* kept
+compressed through further training), and a JSON metadata blob (seeds,
+configs, measured accuracy).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.pruning.mask import MaskSet, PruningMask
+
+_PARAM_PREFIX = "param::"
+_MASK_PREFIX = "mask::"
+_META_KEY = "metadata_json"
+
+
+def save_checkpoint(
+    path,
+    model: Module,
+    masks: Optional[MaskSet] = None,
+    metadata: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Write ``model`` (and optional masks/metadata) to ``path`` (.npz)."""
+    arrays: Dict[str, np.ndarray] = {}
+    for name, value in model.state_dict().items():
+        arrays[_PARAM_PREFIX + name] = value
+    if masks is not None:
+        for name, mask in masks:
+            arrays[_MASK_PREFIX + name] = mask.keep
+    arrays[_META_KEY] = np.frombuffer(
+        json.dumps(metadata or {}).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez(Path(path), **arrays)
+
+
+def load_checkpoint(
+    path, model: Optional[Module] = None
+) -> Tuple[Dict[str, np.ndarray], MaskSet, Dict[str, Any]]:
+    """Read a checkpoint; optionally load parameters into ``model``.
+
+    Returns ``(state, masks, metadata)``.  When ``model`` is given, its
+    parameters are set from the checkpoint and any stored masks are
+    re-applied so the sparsity pattern survives the round trip exactly.
+    """
+    with np.load(Path(path)) as archive:
+        state = {
+            key[len(_PARAM_PREFIX):]: archive[key]
+            for key in archive.files
+            if key.startswith(_PARAM_PREFIX)
+        }
+        masks = MaskSet(
+            {
+                key[len(_MASK_PREFIX):]: PruningMask(archive[key])
+                for key in archive.files
+                if key.startswith(_MASK_PREFIX)
+            }
+        )
+        if _META_KEY in archive.files:
+            metadata = json.loads(bytes(archive[_META_KEY].tobytes()).decode("utf-8"))
+        else:
+            metadata = {}
+    if model is not None:
+        model.load_state_dict(state)
+        if len(masks):
+            masks.apply_to_params(dict(model.named_parameters()))
+    return state, masks, metadata

@@ -1,0 +1,530 @@
+"""A small reverse-mode automatic-differentiation engine on numpy arrays.
+
+This module provides the :class:`Tensor` class used by the whole training
+stack (``repro.nn``).  It supports the operations needed to express and train
+GRU/LSTM acoustic models with ADMM-regularized losses:
+
+* elementwise arithmetic with full numpy broadcasting,
+* matrix multiplication,
+* reductions (``sum``, ``mean``),
+* the nonlinearities used by gated RNNs (``sigmoid``, ``tanh``, ``relu``,
+  ``exp``, ``log``),
+* shape manipulation (``reshape``, ``transpose``, ``__getitem__``,
+  ``concatenate``, ``stack``).
+
+Gradients are accumulated into ``Tensor.grad`` by :meth:`Tensor.backward`,
+which performs a topological sort of the recorded tape.  Broadcasting is
+handled by summing gradient contributions back over broadcast axes
+(:func:`_unbroadcast`), which keeps every op's backward rule simple.
+
+The design goal is correctness and clarity, not raw speed: the RTMobile
+experiments train small GRUs on synthetic speech, and the mobile-latency
+numbers come from the analytic hardware simulator in :mod:`repro.hw`, not
+from wall-clock timing of this engine.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import GradientError, ShapeError
+
+ArrayLike = Union[np.ndarray, float, int, "Tensor", Sequence]
+
+
+def _as_array(value: ArrayLike, dtype=np.float64) -> np.ndarray:
+    if isinstance(value, Tensor):
+        return value.data
+    return np.asarray(value, dtype=dtype)
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so it has ``shape``, undoing numpy broadcasting.
+
+    Sums over leading axes that were added by broadcasting and over axes
+    whose original extent was 1.
+    """
+    if grad.shape == shape:
+        return grad
+    # Remove extra leading dimensions.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over axes that were broadcast from size 1.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    if grad.shape != shape:
+        raise ShapeError(f"cannot unbroadcast {grad.shape} to {shape}")
+    return grad
+
+
+class Tensor:
+    """An n-dimensional array with reverse-mode autograd.
+
+    Parameters
+    ----------
+    data:
+        Anything convertible to a float64 numpy array.
+    requires_grad:
+        If True, operations on this tensor are recorded so that
+        :meth:`backward` can compute ``d(output)/d(this)``.
+    name:
+        Optional label used in error messages and debugging output.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "name", "_backward", "_parents")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        name: Optional[str] = None,
+    ) -> None:
+        self.data: np.ndarray = _as_array(data)
+        self.requires_grad: bool = bool(requires_grad)
+        self.grad: Optional[np.ndarray] = None
+        self.name = name
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._parents: Tuple["Tensor", ...] = ()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        label = f" name={self.name!r}" if self.name else ""
+        return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad}{label})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (not a copy)."""
+        return self.data
+
+    def item(self) -> float:
+        """Return the value of a single-element tensor as a Python float."""
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else _raise_item(self)
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the autograd tape."""
+        return Tensor(self.data, requires_grad=False, name=self.name)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient to ``None``."""
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Autograd core
+    # ------------------------------------------------------------------
+    def _make_child(
+        self,
+        data: np.ndarray,
+        parents: Tuple["Tensor", ...],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        child = Tensor(data)
+        if any(p.requires_grad for p in parents):
+            child.requires_grad = True
+            child._parents = parents
+            child._backward = backward
+        return child
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = np.array(grad, dtype=self.data.dtype, copy=True)
+        else:
+            self.grad = self.grad + grad
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Backpropagate from this tensor through the recorded tape.
+
+        ``grad`` defaults to 1.0 and is only optional for scalar outputs.
+        """
+        if not self.requires_grad:
+            raise GradientError("backward() called on a tensor without grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise GradientError(
+                    "backward() without an explicit gradient requires a "
+                    f"scalar output, got shape {self.shape}"
+                )
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=self.data.dtype)
+        if grad.shape != self.data.shape:
+            raise ShapeError(
+                f"seed gradient shape {grad.shape} != tensor shape {self.shape}"
+            )
+
+        order: List[Tensor] = []
+        seen = set()
+
+        def visit(node: "Tensor") -> None:
+            stack = [(node, iter(node._parents))]
+            seen.add(id(node))
+            while stack:
+                current, parents = stack[-1]
+                advanced = False
+                for parent in parents:
+                    if id(parent) not in seen and parent.requires_grad:
+                        seen.add(id(parent))
+                        stack.append((parent, iter(parent._parents)))
+                        advanced = True
+                        break
+                if not advanced:
+                    order.append(current)
+                    stack.pop()
+
+        visit(self)
+
+        self._accumulate(grad)
+        for node in reversed(order):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    # ------------------------------------------------------------------
+    # Elementwise arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other_t = as_tensor(other)
+        out_data = self.data + other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad, self.data.shape))
+            if other_t.requires_grad:
+                other_t._accumulate(_unbroadcast(grad, other_t.data.shape))
+
+        return self._make_child(out_data, (self, other_t), backward)
+
+    def __radd__(self, other: ArrayLike) -> "Tensor":
+        return self.__add__(other)
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        other_t = as_tensor(other)
+        out_data = self.data - other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad, self.data.shape))
+            if other_t.requires_grad:
+                other_t._accumulate(_unbroadcast(-grad, other_t.data.shape))
+
+        return self._make_child(out_data, (self, other_t), backward)
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return as_tensor(other).__sub__(self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other_t = as_tensor(other)
+        out_data = self.data * other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad * other_t.data, self.data.shape))
+            if other_t.requires_grad:
+                other_t._accumulate(_unbroadcast(grad * self.data, other_t.data.shape))
+
+        return self._make_child(out_data, (self, other_t), backward)
+
+    def __rmul__(self, other: ArrayLike) -> "Tensor":
+        return self.__mul__(other)
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other_t = as_tensor(other)
+        out_data = self.data / other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad / other_t.data, self.data.shape))
+            if other_t.requires_grad:
+                contrib = -grad * self.data / (other_t.data**2)
+                other_t._accumulate(_unbroadcast(contrib, other_t.data.shape))
+
+        return self._make_child(out_data, (self, other_t), backward)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return as_tensor(other).__truediv__(self)
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(-grad)
+
+        return self._make_child(-self.data, (self,), backward)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if isinstance(exponent, Tensor):
+            raise TypeError("tensor exponents are not supported; use exp/log")
+        exponent = float(exponent)
+        out_data = self.data**exponent
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * exponent * self.data ** (exponent - 1.0))
+
+        return self._make_child(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Matrix multiplication
+    # ------------------------------------------------------------------
+    def matmul(self, other: ArrayLike) -> "Tensor":
+        """Matrix product supporting 1-D/2-D operands (no batched matmul)."""
+        other_t = as_tensor(other)
+        a, b = self.data, other_t.data
+        if a.ndim > 2 or b.ndim > 2:
+            raise ShapeError(
+                f"matmul supports <=2-D operands, got {a.shape} @ {b.shape}"
+            )
+        out_data = a @ b
+
+        def backward(grad: np.ndarray) -> None:
+            ga: Optional[np.ndarray] = None
+            gb: Optional[np.ndarray] = None
+            if a.ndim == 1 and b.ndim == 1:
+                ga = grad * b
+                gb = grad * a
+            elif a.ndim == 2 and b.ndim == 2:
+                ga = grad @ b.T
+                gb = a.T @ grad
+            elif a.ndim == 1 and b.ndim == 2:
+                ga = grad @ b.T
+                gb = np.outer(a, grad)
+            else:  # a 2-D, b 1-D
+                ga = np.outer(grad, b)
+                gb = a.T @ grad
+            if self.requires_grad and ga is not None:
+                self._accumulate(ga)
+            if other_t.requires_grad and gb is not None:
+                other_t._accumulate(gb)
+
+        return self._make_child(out_data, (self, other_t), backward)
+
+    def __matmul__(self, other: ArrayLike) -> "Tensor":
+        return self.matmul(other)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            g = grad
+            if axis is not None and not keepdims:
+                axes = (axis,) if isinstance(axis, int) else tuple(axis)
+                axes = tuple(a % self.data.ndim for a in axes)
+                for a in sorted(axes):
+                    g = np.expand_dims(g, a)
+            self._accumulate(np.broadcast_to(g, self.data.shape).copy())
+
+        return self._make_child(np.asarray(out_data), (self,), backward)
+
+    def mean(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = (axis,) if isinstance(axis, int) else tuple(axis)
+            count = int(np.prod([self.data.shape[a % self.data.ndim] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            g = grad
+            expanded = np.asarray(out_data)
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis)
+                expanded = np.expand_dims(expanded, axis)
+            mask = self.data == expanded
+            counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+            self._accumulate(mask * g / counts)
+
+        return self._make_child(np.asarray(out_data), (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Nonlinearities
+    # ------------------------------------------------------------------
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * out_data * (1.0 - out_data))
+
+        return self._make_child(out_data, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * (1.0 - out_data**2))
+
+        return self._make_child(out_data, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        out_data = np.maximum(self.data, 0.0)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * (self.data > 0.0))
+
+        return self._make_child(out_data, (self,), backward)
+
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * out_data)
+
+        return self._make_child(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad / self.data)
+
+        return self._make_child(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad.reshape(self.data.shape))
+
+        return self._make_child(out_data, (self,), backward)
+
+    def transpose(self, *axes: int) -> "Tensor":
+        axes_t: Optional[Tuple[int, ...]]
+        if len(axes) == 0:
+            axes_t = None
+        elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes_t = tuple(axes[0])
+        else:
+            axes_t = tuple(axes)
+        out_data = self.data.transpose(axes_t)
+
+        def backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            if axes_t is None:
+                self._accumulate(grad.transpose())
+            else:
+                inverse = np.argsort(axes_t)
+                self._accumulate(grad.transpose(inverse))
+
+        return self._make_child(out_data, (self,), backward)
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __getitem__(self, index) -> "Tensor":
+        out_data = self.data[index]
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                full = np.zeros_like(self.data)
+                np.add.at(full, index, grad)
+                self._accumulate(full)
+
+        return self._make_child(np.asarray(out_data), (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Comparisons (no gradient; return plain arrays)
+    # ------------------------------------------------------------------
+    def __gt__(self, other: ArrayLike) -> np.ndarray:
+        return self.data > _as_array(other)
+
+    def __lt__(self, other: ArrayLike) -> np.ndarray:
+        return self.data < _as_array(other)
+
+
+def _raise_item(tensor: Tensor) -> float:
+    raise ShapeError(f"item() requires a single-element tensor, got {tensor.shape}")
+
+
+def as_tensor(value: ArrayLike) -> Tensor:
+    """Coerce ``value`` to a :class:`Tensor` (no copy if already one)."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value)
+
+
+def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient routing."""
+    tensors = [as_tensor(t) for t in tensors]
+    if not tensors:
+        raise ValueError("concatenate() needs at least one tensor")
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> None:
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if tensor.requires_grad:
+                slicer = [slice(None)] * grad.ndim
+                slicer[axis] = slice(start, stop)
+                tensor._accumulate(grad[tuple(slicer)])
+
+    anchor = tensors[0]
+    return anchor._make_child(out_data, tuple(tensors), backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis with gradient routing."""
+    tensors = [as_tensor(t) for t in tensors]
+    if not tensors:
+        raise ValueError("stack() needs at least one tensor")
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad: np.ndarray) -> None:
+        moved = np.moveaxis(grad, axis, 0)
+        for tensor, piece in zip(tensors, moved):
+            if tensor.requires_grad:
+                tensor._accumulate(piece)
+
+    anchor = tensors[0]
+    return anchor._make_child(out_data, tuple(tensors), backward)
+
+
+def zeros(shape: Iterable[int], requires_grad: bool = False) -> Tensor:
+    """Return a zero-filled tensor."""
+    return Tensor(np.zeros(tuple(shape)), requires_grad=requires_grad)
+
+
+def ones(shape: Iterable[int], requires_grad: bool = False) -> Tensor:
+    """Return a one-filled tensor."""
+    return Tensor(np.ones(tuple(shape)), requires_grad=requires_grad)

@@ -1,0 +1,103 @@
+"""Model-compression algorithms: BSP (the paper's contribution) + baselines."""
+
+from repro.pruning.admm import ADMMPruner, ADMMTarget
+from repro.pruning.bank_balanced import BBSConfig, BBSPruner, bbs_project_masks
+from repro.pruning.base import DenseBaseline, PruningMethod
+from repro.pruning.block_circulant import (
+    BlockCirculantCompressor,
+    BlockCirculantConfig,
+    circulant_compression_rate,
+    project_block_circulant,
+)
+from repro.pruning.bsp import BSPConfig, BSPPruner, bsp_project_masks
+from repro.pruning.magnitude import (
+    MagnitudeConfig,
+    MagnitudePruner,
+    magnitude_project_masks,
+)
+from repro.pruning.mask import MaskSet, PruningMask
+from repro.pruning.metrics import (
+    FRAMES_PER_INFERENCE,
+    CompressionReport,
+    MatrixReport,
+    gop_per_frame,
+    report_from_arrays,
+    report_from_masks,
+)
+from repro.pruning.ernn import ERNNCompressor, ERNNConfig
+from repro.pruning.per_layer import PerLayerBSPPruner
+from repro.pruning.schedule import (
+    CubicRamp,
+    GeometricRamp,
+    OneShot,
+    RateSchedule,
+    make_schedule,
+)
+from repro.pruning.sensitivity import (
+    LayerSensitivity,
+    SensitivityReport,
+    allocate_rates,
+    probe_sensitivity,
+    sensitivity_configs,
+)
+from repro.pruning.projections import (
+    project_bank_balanced,
+    project_block_columns,
+    project_columns,
+    project_rows,
+    project_unstructured,
+)
+from repro.pruning.structured import (
+    StructuredConfig,
+    StructuredPruner,
+    structured_project_masks,
+)
+
+__all__ = [
+    "PruningMask",
+    "MaskSet",
+    "PruningMethod",
+    "DenseBaseline",
+    "ADMMPruner",
+    "ADMMTarget",
+    "BSPConfig",
+    "BSPPruner",
+    "bsp_project_masks",
+    "MagnitudeConfig",
+    "MagnitudePruner",
+    "magnitude_project_masks",
+    "StructuredConfig",
+    "StructuredPruner",
+    "structured_project_masks",
+    "BBSConfig",
+    "BBSPruner",
+    "bbs_project_masks",
+    "BlockCirculantConfig",
+    "BlockCirculantCompressor",
+    "project_block_circulant",
+    "circulant_compression_rate",
+    "project_unstructured",
+    "project_rows",
+    "project_columns",
+    "project_block_columns",
+    "project_bank_balanced",
+    "CompressionReport",
+    "MatrixReport",
+    "report_from_masks",
+    "report_from_arrays",
+    "gop_per_frame",
+    "FRAMES_PER_INFERENCE",
+    "RateSchedule",
+    "GeometricRamp",
+    "CubicRamp",
+    "OneShot",
+    "make_schedule",
+    "probe_sensitivity",
+    "allocate_rates",
+    "sensitivity_configs",
+    "SensitivityReport",
+    "LayerSensitivity",
+    "PerLayerBSPPruner",
+    "ERNNConfig",
+    "ERNNCompressor",
+]

@@ -1,0 +1,135 @@
+"""ADMM-regularized pruning (Section III-C of the paper).
+
+The pruning problem is ``min f(W, b) + g(W)`` with ``g`` the indicator of a
+sparsity set ``S``.  Its augmented Lagrangian (Eq. 2) splits into three
+iterated updates (Eq. 3-5):
+
+* **W-update** — a few epochs of ordinary SGD/Adam on
+  ``f(W) + (rho/2) ||W - Z + U||_F^2``; here realized by adding
+  ``rho * (W - Z + U)`` to each weight gradient via :meth:`ADMMPruner.add_penalty_gradients`,
+* **Z-update** — Euclidean projection of ``W + U`` onto ``S``
+  (:mod:`repro.pruning.projections`),
+* **U-update** — dual ascent ``U += W - Z``.
+
+When the primal residual ``||W - Z||`` is small, the weights have converged
+to the constraint set and :meth:`ADMMPruner.finalize` extracts the hard
+keep-mask from Z's support.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nn.module import Parameter
+from repro.pruning.mask import MaskSet, PruningMask
+
+ProjectionFn = Callable[[np.ndarray], PruningMask]
+"""Maps a weight array to the keep-mask of its projection onto S."""
+
+
+@dataclass
+class ADMMTarget:
+    """One weight tensor governed by ADMM: the parameter and its set S."""
+
+    name: str
+    param: Parameter
+    projection: ProjectionFn
+
+
+@dataclass
+class ADMMVariables:
+    """Auxiliary (Z) and scaled dual (U) variables for one target."""
+
+    z: np.ndarray
+    u: np.ndarray
+
+
+class ADMMPruner:
+    """Runs the ADMM iteration over a set of weight tensors.
+
+    Usage inside a training loop::
+
+        pruner = ADMMPruner(targets, rho=1e-2)
+        for epoch in range(E):
+            for batch in data:
+                loss.backward()
+                pruner.add_penalty_gradients()   # W-update direction
+                optimizer.step()
+            pruner.dual_update()                 # Z- and U-updates
+        masks = pruner.finalize()                # hard masks from Z support
+    """
+
+    def __init__(self, targets: List[ADMMTarget], rho: float = 1e-2) -> None:
+        if rho <= 0:
+            raise ConfigError(f"rho must be positive, got {rho}")
+        if not targets:
+            raise ConfigError("ADMMPruner needs at least one target")
+        names = [t.name for t in targets]
+        if len(set(names)) != len(names):
+            raise ConfigError(f"duplicate target names: {names}")
+        self.targets = list(targets)
+        self.rho = rho
+        self.variables: Dict[str, ADMMVariables] = {}
+        for target in self.targets:
+            w = target.param.data
+            z = target.projection(w).apply_to_array(w)
+            self.variables[target.name] = ADMMVariables(z=z, u=np.zeros_like(w))
+
+    # -- W-update support ----------------------------------------------------
+    def add_penalty_gradients(self) -> None:
+        """Add ``rho (W - Z + U)`` to each target's gradient.
+
+        Call after ``loss.backward()`` and before ``optimizer.step()`` so the
+        optimizer minimizes the augmented Lagrangian rather than the bare loss.
+        """
+        for target in self.targets:
+            var = self.variables[target.name]
+            penalty = self.rho * (target.param.data - var.z + var.u)
+            if target.param.grad is None:
+                target.param.grad = penalty
+            else:
+                target.param.grad = target.param.grad + penalty
+
+    def penalty_value(self) -> float:
+        """Current value of ``sum_i rho/2 ||W_i - Z_i + U_i||^2`` (Eq. 2)."""
+        total = 0.0
+        for target in self.targets:
+            var = self.variables[target.name]
+            total += 0.5 * self.rho * float(
+                np.sum((target.param.data - var.z + var.u) ** 2)
+            )
+        return total
+
+    # -- Z / U updates -----------------------------------------------------
+    def dual_update(self) -> None:
+        """Perform the Z-update (Eq. 4) then the U-update (Eq. 5)."""
+        for target in self.targets:
+            var = self.variables[target.name]
+            w_plus_u = target.param.data + var.u
+            mask = target.projection(w_plus_u)
+            var.z = mask.apply_to_array(w_plus_u)
+            var.u = var.u + target.param.data - var.z
+
+    # -- convergence diagnostics ------------------------------------------
+    def primal_residual(self) -> float:
+        """``sqrt(sum_i ||W_i - Z_i||^2)`` — distance to the constraint set."""
+        total = 0.0
+        for target in self.targets:
+            var = self.variables[target.name]
+            total += float(np.sum((target.param.data - var.z) ** 2))
+        return float(np.sqrt(total))
+
+    # -- termination ----------------------------------------------------------
+    def finalize(self, apply: bool = True) -> MaskSet:
+        """Extract hard masks from the Z supports; optionally hard-prune W."""
+        masks = MaskSet()
+        for target in self.targets:
+            mask = PruningMask.from_nonzero(self.variables[target.name].z)
+            masks[target.name] = mask
+            if apply:
+                mask.apply_(target.param)
+        return masks

@@ -1,0 +1,105 @@
+"""Bank-balanced sparsity (BBS) baseline — Cao et al., FPGA 2019.
+
+Each weight-matrix row is partitioned into equal banks; every bank keeps
+the same number of largest-magnitude weights.  Load balance is perfect by
+construction, but selection is constrained to be uniform across banks,
+which costs accuracy relative to BSP at high rates (Table I row 'BBS').
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nn.module import Parameter
+from repro.pruning.base import PruningMethod
+from repro.pruning.mask import MaskSet
+from repro.pruning.projections import project_bank_balanced
+
+
+@dataclass
+class BBSConfig:
+    """Schedule for bank-balanced pruning."""
+
+    rate: float = 8.0
+    bank_size: int = 32
+    num_stages: int = 3
+    retrain_epochs: int = 2
+
+    def __post_init__(self) -> None:
+        if self.rate < 1.0:
+            raise ConfigError(f"rate must be >= 1, got {self.rate}")
+        if self.bank_size < 1:
+            raise ConfigError(f"bank_size must be >= 1, got {self.bank_size}")
+        if self.num_stages < 1:
+            raise ConfigError(f"num_stages must be >= 1, got {self.num_stages}")
+
+
+class BBSPruner(PruningMethod):
+    """Iterative bank-balanced pruning with retraining."""
+
+    def __init__(
+        self,
+        named_params: Dict[str, Parameter],
+        config: Optional[BBSConfig] = None,
+    ) -> None:
+        super().__init__(named_params)
+        self.config = config or BBSConfig()
+        self._stage = 0
+        self._retrain_done = 0
+        self._masks: Optional[MaskSet] = None
+
+    def _stage_rate(self, stage: int) -> float:
+        fraction = min(stage, self.config.num_stages) / self.config.num_stages
+        return float(self.config.rate**fraction)
+
+    def _prune_now(self) -> None:
+        self._stage += 1
+        rate = self._stage_rate(self._stage)
+        masks = MaskSet()
+        for name, param in self.named_params.items():
+            bank = min(self.config.bank_size, param.data.shape[1])
+            masks[name] = project_bank_balanced(param.data, bank, rate)
+        masks.apply_to_params(self.named_params)
+        self._masks = masks
+
+    def on_batch_backward(self) -> None:
+        if self._masks is not None:
+            for name, mask in self._masks:
+                mask.mask_grad_(self.named_params[name])
+
+    def on_batch_end(self) -> None:
+        if self._masks is not None:
+            self._masks.apply_to_params(self.named_params)
+
+    def on_epoch_end(self) -> None:
+        if self._stage < self.config.num_stages:
+            self._prune_now()
+        elif self._retrain_done < self.config.retrain_epochs:
+            self._retrain_done += 1
+
+    @property
+    def finished(self) -> bool:
+        return (
+            self._stage >= self.config.num_stages
+            and self._retrain_done >= self.config.retrain_epochs
+        )
+
+    @property
+    def masks(self) -> Optional[MaskSet]:
+        return self._masks
+
+
+def bbs_project_masks(
+    named_arrays: Dict[str, np.ndarray], rate: float, bank_size: int = 32
+) -> MaskSet:
+    """One-shot bank-balanced projection (pattern only)."""
+    masks = MaskSet()
+    for name, array in named_arrays.items():
+        array = np.asarray(array)
+        bank = min(bank_size, array.shape[1])
+        masks[name] = project_bank_balanced(array, bank, rate)
+    return masks

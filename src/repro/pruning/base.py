@@ -1,0 +1,71 @@
+"""Common hook protocol connecting pruning methods to the training loop.
+
+Every pruning/compression method in this package is driven by the same four
+callbacks, so :class:`repro.speech.trainer.Trainer` can train with any of
+them interchangeably::
+
+    for epoch in range(E):
+        for batch in loader:
+            loss = forward(batch); loss.backward()
+            method.on_batch_backward()    # e.g. add ADMM penalty gradients
+            optimizer.step()
+            method.on_batch_end()         # e.g. re-apply hard masks
+        method.on_epoch_end()             # e.g. ADMM dual update, phase moves
+    masks = method.masks                  # final MaskSet (None if not done)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.nn.module import Parameter
+from repro.pruning.mask import MaskSet
+
+
+class PruningMethod:
+    """Base class with no-op hooks; subclasses override what they need."""
+
+    def __init__(self, named_params: Dict[str, Parameter]) -> None:
+        if not named_params:
+            raise ValueError("pruning method needs at least one parameter")
+        self.named_params = dict(named_params)
+
+    # -- training-loop hooks ------------------------------------------------
+    def on_batch_backward(self) -> None:
+        """Called after ``loss.backward()``, before ``optimizer.step()``."""
+
+    def on_batch_end(self) -> None:
+        """Called after ``optimizer.step()``."""
+
+    def on_epoch_end(self) -> None:
+        """Called once per epoch after the batch loop."""
+
+    # -- results -----------------------------------------------------------
+    @property
+    def masks(self) -> Optional[MaskSet]:
+        """Final masks once available, else ``None``."""
+        return None
+
+    @property
+    def finished(self) -> bool:
+        """True when the method needs no further training epochs."""
+        return True
+
+    def compression_rate(self) -> float:
+        """Aggregate compression rate of the final masks (1.0 if none)."""
+        masks = self.masks
+        if masks is None or len(masks) == 0:
+            return 1.0
+        return masks.compression_rate()
+
+
+class DenseBaseline(PruningMethod):
+    """No-op method: keeps the model dense (the 1× baseline rows)."""
+
+    @property
+    def masks(self) -> Optional[MaskSet]:
+        from repro.pruning.mask import PruningMask
+
+        return MaskSet(
+            {name: PruningMask.ones(p.data.shape) for name, p in self.named_params.items()}
+        )

@@ -1,0 +1,138 @@
+"""Block-circulant compression — the C-LSTM baseline (Wang et al., FPGA'18).
+
+C-LSTM replaces each ``b × b`` block of a weight matrix with a circulant
+matrix, so a block stores only its defining vector (``b`` values instead of
+``b²``, compression rate ``b``).  Unlike pruning, this is a *re-parameter-
+ization*: weights are projected onto the circulant set (each generalized
+diagonal replaced by its mean — the Euclidean projection) after every
+optimizer step, i.e. projected gradient descent.
+
+The paper's criticism (Section III-B): the coarse structure degrades
+accuracy at high rates, and the original C-LSTM training pipeline could not
+use ADMM.  We reproduce the method faithfully so Table-I-style comparisons
+can rank it against BSP on equal footing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nn.module import Parameter
+from repro.pruning.base import PruningMethod
+from repro.pruning.mask import MaskSet, PruningMask
+
+
+def project_block_circulant(weight: np.ndarray, block_size: int) -> np.ndarray:
+    """Project ``weight`` onto the set of block-circulant matrices.
+
+    The matrix is tiled into ``block_size × block_size`` blocks (edge blocks
+    may be smaller and are left unconstrained, matching the padding-free
+    implementations); within each full block, every circulant diagonal
+    ``(i - j) mod b`` is replaced by its mean value — the Euclidean
+    projection onto circulant structure.
+    """
+    weight = np.asarray(weight, dtype=np.float64)
+    if weight.ndim != 2:
+        raise ConfigError(f"expected 2-D weight, got shape {weight.shape}")
+    if block_size < 1:
+        raise ConfigError(f"block_size must be >= 1, got {block_size}")
+    out = weight.copy()
+    rows, cols = weight.shape
+    b = block_size
+    i_idx, j_idx = np.indices((b, b))
+    diag = (i_idx - j_idx) % b
+    for r0 in range(0, rows - b + 1, b):
+        for c0 in range(0, cols - b + 1, b):
+            block = out[r0 : r0 + b, c0 : c0 + b]
+            means = np.zeros(b)
+            for d in range(b):
+                means[d] = block[diag == d].mean()
+            out[r0 : r0 + b, c0 : c0 + b] = means[diag]
+    return out
+
+
+def circulant_compression_rate(shape, block_size: int) -> float:
+    """Storage compression of block-circulant structure on ``shape``.
+
+    Full blocks store ``b`` values instead of ``b²``; partial edge blocks
+    remain dense.
+    """
+    rows, cols = shape
+    b = block_size
+    full_r, full_c = rows // b, cols // b
+    stored = full_r * full_c * b  # circulant blocks
+    stored += (rows - full_r * b) * cols + full_r * b * (cols - full_c * b)
+    return (rows * cols) / stored if stored else float("inf")
+
+
+@dataclass
+class BlockCirculantConfig:
+    """C-LSTM compression settings; ``block_size`` is the compression rate."""
+
+    block_size: int = 8
+    train_epochs: int = 4
+
+    def __post_init__(self) -> None:
+        if self.block_size < 1:
+            raise ConfigError(f"block_size must be >= 1, got {self.block_size}")
+        if self.train_epochs < 0:
+            raise ConfigError(f"train_epochs must be >= 0, got {self.train_epochs}")
+
+
+class BlockCirculantCompressor(PruningMethod):
+    """Projected-gradient training onto block-circulant weights."""
+
+    def __init__(
+        self,
+        named_params: Dict[str, Parameter],
+        config: Optional[BlockCirculantConfig] = None,
+    ) -> None:
+        super().__init__(named_params)
+        self.config = config or BlockCirculantConfig()
+        self._epochs_done = 0
+        self._project_all()
+
+    def _project_all(self) -> None:
+        for param in self.named_params.values():
+            param.data[...] = project_block_circulant(
+                param.data, self.config.block_size
+            )
+
+    def on_batch_end(self) -> None:
+        self._project_all()
+
+    def on_epoch_end(self) -> None:
+        self._epochs_done += 1
+
+    @property
+    def finished(self) -> bool:
+        return self._epochs_done >= self.config.train_epochs
+
+    @property
+    def masks(self) -> Optional[MaskSet]:
+        """Circulant compression keeps all positions; masks are all-ones.
+
+        The *storage* compression rate comes from
+        :func:`circulant_compression_rate`, not from zeroed weights.
+        """
+        return MaskSet(
+            {
+                name: PruningMask.ones(param.data.shape)
+                for name, param in self.named_params.items()
+            }
+        )
+
+    def compression_rate(self) -> float:
+        total = 0
+        stored = 0.0
+        for param in self.named_params.values():
+            size = param.data.size
+            total += size
+            stored += size / circulant_compression_rate(
+                param.data.shape, self.config.block_size
+            )
+        return total / stored if stored else float("inf")

@@ -1,0 +1,325 @@
+"""Block-based Structured Pruning — Algorithm 1 of the paper.
+
+BSP trains a compressed model in two sequential steps:
+
+* **Step 1 — row-based column block pruning.**  Each weight matrix is split
+  by a :class:`~repro.sparse.blocks.BlockGrid` into ``Numr`` row strips ×
+  ``Numc`` column blocks; ADMM drives the weights toward a pattern where
+  each block keeps only its strongest ``1/col_rate`` columns, then the mask
+  is hardened and the survivors are retrained.
+* **Step 2 — column-based row pruning.**  Over the whole (already
+  column-block-pruned) matrix, ADMM prunes entire rows down to
+  ``1/row_rate``, hardens, and retrains again.
+
+Algorithm 1 is *iterative* — "the training process continues iteratively
+until all the blocks are pruned" — so within each ADMM phase the target
+rate ramps geometrically from 1× to the phase target across the phase's
+epochs: after every epoch the Z/U dual update projects at the ramped rate
+and the corresponding hard mask is applied, so the network sheds structure
+gradually and the W-update epochs between mask updates re-stabilize it.
+One-shot hardening at high rates destroys accuracy that retraining cannot
+recover; the ramp is what makes "training performance stable" (Sec. IV-A).
+
+The overall compression rate is approximately ``col_rate × row_rate``
+(exactly ``size / nnz`` of the combined mask — ceil-rounding of per-block
+keep counts makes it deviate slightly, matching the paper's Table I where
+e.g. column 16 × row 1.25 is reported as the 19× configuration).
+
+:class:`BSPPruner` is a phase machine driven through the standard
+:class:`~repro.pruning.base.PruningMethod` hooks; :func:`bsp_project_masks`
+is the one-shot projection used when only the sparsity *pattern* is needed
+(e.g. latency experiments that don't care about accuracy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nn.module import Parameter
+from repro.pruning.admm import ADMMPruner, ADMMTarget
+from repro.pruning.base import PruningMethod
+from repro.pruning.mask import MaskSet, PruningMask
+from repro.pruning.projections import project_block_columns, project_rows
+from repro.pruning.schedule import make_schedule
+from repro.sparse.blocks import BlockGrid, grid_for
+
+
+@dataclass
+class BSPConfig:
+    """Hyper-parameters of BSP training.
+
+    ``col_rate`` / ``row_rate`` are the Step-1 / Step-2 compression targets
+    from Table I.  ``num_row_strips`` / ``num_col_blocks`` are the block
+    grid (``Numr`` / ``Numc``); the compiler's auto-tuner searches them.
+    """
+
+    col_rate: float = 10.0
+    row_rate: float = 1.0
+    num_row_strips: int = 4
+    num_col_blocks: int = 8
+    rho: float = 1e-2
+    step1_admm_epochs: int = 3
+    step1_retrain_epochs: int = 2
+    step2_admm_epochs: int = 3
+    step2_retrain_epochs: int = 2
+    #: Rate-ramp schedule for the iterative hardening within each ADMM
+    #: phase: "geometric" (default), "cubic" (AGP-style), or "oneshot".
+    ramp: str = "geometric"
+
+    def __post_init__(self) -> None:
+        if self.col_rate < 1.0 or self.row_rate < 1.0:
+            raise ConfigError(
+                f"compression rates must be >= 1, got col={self.col_rate}, "
+                f"row={self.row_rate}"
+            )
+        for name in (
+            "num_row_strips",
+            "num_col_blocks",
+            "step1_admm_epochs",
+            "step1_retrain_epochs",
+            "step2_admm_epochs",
+            "step2_retrain_epochs",
+        ):
+            if getattr(self, name) < (1 if name.startswith("num") else 0):
+                raise ConfigError(f"{name} must be valid, got {getattr(self, name)}")
+        if self.rho <= 0:
+            raise ConfigError(f"rho must be positive, got {self.rho}")
+        make_schedule(self.ramp)  # validates the name
+
+    @property
+    def nominal_compression(self) -> float:
+        """The headline rate the paper reports: col_rate × row_rate."""
+        return self.col_rate * self.row_rate
+
+
+# Phase order of the BSP state machine.
+_PHASES = ("step1_admm", "step1_retrain", "step2_admm", "step2_retrain", "done")
+
+
+@dataclass
+class BSPState:
+    """Progress bookkeeping for :class:`BSPPruner`."""
+
+    phase: str = "step1_admm"
+    epoch_in_phase: int = 0
+    history: List[str] = field(default_factory=list)
+
+
+class BSPPruner(PruningMethod):
+    """Drives BSP (Algorithm 1) through the standard training hooks."""
+
+    def __init__(
+        self,
+        named_params: Dict[str, Parameter],
+        config: Optional[BSPConfig] = None,
+    ) -> None:
+        super().__init__(named_params)
+        self.config = config or BSPConfig()
+        self.grids: Dict[str, BlockGrid] = {
+            name: grid_for(
+                param.data, self.config.num_row_strips, self.config.num_col_blocks
+            )
+            for name, param in self.named_params.items()
+        }
+        self.state = BSPState()
+        self.step1_masks: Optional[MaskSet] = None
+        self.step2_masks: Optional[MaskSet] = None
+        self._admm: Optional[ADMMPruner] = None
+        self._ramp_masks: Optional[MaskSet] = None
+        self._ramp_rate: float = 1.0
+        self._enter_phase("step1_admm")
+
+    # -- phase machinery -----------------------------------------------------
+    def _phase_epochs(self, phase: str) -> int:
+        return {
+            "step1_admm": self.config.step1_admm_epochs,
+            "step1_retrain": self.config.step1_retrain_epochs,
+            "step2_admm": self.config.step2_admm_epochs,
+            "step2_retrain": self.config.step2_retrain_epochs,
+            "done": 0,
+        }[phase]
+
+    def _enter_phase(self, phase: str) -> None:
+        self.state.phase = phase
+        self.state.epoch_in_phase = 0
+        self.state.history.append(phase)
+        self._ramp_masks = None
+        if phase == "step1_admm":
+            self._ramp_rate = self._ramped_rate("step1_admm")
+            self._admm = ADMMPruner(
+                [
+                    ADMMTarget(
+                        name=name,
+                        param=param,
+                        projection=self._step1_projection(name),
+                    )
+                    for name, param in self.named_params.items()
+                ],
+                rho=self.config.rho,
+            )
+        elif phase == "step2_admm":
+            self._ramp_rate = self._ramped_rate("step2_admm")
+            self._admm = ADMMPruner(
+                [
+                    ADMMTarget(
+                        name=name,
+                        param=param,
+                        projection=self._step2_projection(name),
+                    )
+                    for name, param in self.named_params.items()
+                ],
+                rho=self.config.rho,
+            )
+        else:
+            self._admm = None
+        # Zero-epoch phases complete immediately.
+        while (
+            self.state.phase != "done"
+            and self._phase_epochs(self.state.phase) == 0
+        ):
+            self._finish_phase()
+
+    def _ramped_rate(self, phase: str) -> float:
+        """Current phase target: ramps 1× → full across the phase's epochs
+        following ``config.ramp`` (geometric by default)."""
+        target = self.config.col_rate if phase == "step1_admm" else self.config.row_rate
+        total = self._phase_epochs(phase)
+        if total <= 0:
+            return target
+        schedule = make_schedule(self.config.ramp)
+        # epoch_in_phase counts *completed* epochs; the first epoch trains
+        # toward the first ramp point.
+        return schedule.rate_at(self.state.epoch_in_phase + 1, total, target)
+
+    def _step1_projection(self, name: str):
+        grid = self.grids[name]
+
+        def projection(weight: np.ndarray) -> PruningMask:
+            return project_block_columns(weight, grid, self._ramp_rate)
+
+        return projection
+
+    def _step2_projection(self, name: str):
+        def projection(weight: np.ndarray) -> PruningMask:
+            # Row scores must reflect only weights that survived Step 1.
+            step1 = self.step1_masks
+            masked = step1[name].apply_to_array(weight) if step1 else weight
+            return project_rows(masked, self._ramp_rate)
+
+        return projection
+
+    def _apply_ramp_masks(self) -> None:
+        """Harden the current ramped projection onto the live weights."""
+        masks = MaskSet()
+        for name, param in self.named_params.items():
+            if self.state.phase == "step1_admm":
+                masks[name] = self._step1_projection(name)(param.data)
+            else:
+                masks[name] = self._step2_projection(name)(param.data)
+        masks.apply_to_params(self.named_params)
+        self._ramp_masks = masks
+
+    def _finish_phase(self) -> None:
+        phase = self.state.phase
+        if phase == "step1_admm":
+            assert self._admm is not None
+            self.step1_masks = self._admm.finalize(apply=True)
+            self._enter_phase("step1_retrain")
+        elif phase == "step1_retrain":
+            self._enter_phase("step2_admm")
+        elif phase == "step2_admm":
+            assert self._admm is not None
+            self.step2_masks = self._admm.finalize(apply=True)
+            combined = self.step1_masks.combine(self.step2_masks)
+            combined.apply_to_params(self.named_params)
+            self._enter_phase("step2_retrain")
+        elif phase == "step2_retrain":
+            self._enter_phase("done")
+
+    # -- training hooks ------------------------------------------------------
+    def on_batch_backward(self) -> None:
+        if self._admm is not None:
+            self._admm.add_penalty_gradients()
+        # Keep hardened structure fixed by zeroing its gradients: finished
+        # steps' masks plus the current phase's ramped mask.
+        masks = self._current_hard_masks()
+        if masks is not None:
+            for name, mask in masks:
+                mask.mask_grad_(self.named_params[name])
+
+    def on_batch_end(self) -> None:
+        masks = self._current_hard_masks()
+        if masks is not None:
+            masks.apply_to_params(self.named_params)
+
+    def on_epoch_end(self) -> None:
+        if self.state.phase == "done":
+            return
+        if self._admm is not None:
+            self._admm.dual_update()
+            # Algorithm 1's iterative hardening: prune to the current ramp
+            # point, then let the next epoch's W-update re-stabilize.
+            self._apply_ramp_masks()
+        self.state.epoch_in_phase += 1
+        if self.state.phase in ("step1_admm", "step2_admm"):
+            self._ramp_rate = self._ramped_rate(self.state.phase)
+        if self.state.epoch_in_phase >= self._phase_epochs(self.state.phase):
+            self._finish_phase()
+
+    def _current_hard_masks(self) -> Optional[MaskSet]:
+        if self.state.phase == "step1_admm":
+            return self._ramp_masks
+        if self.state.phase == "step1_retrain":
+            return self.step1_masks
+        if self.state.phase == "step2_admm":
+            if self._ramp_masks is not None and self.step1_masks is not None:
+                return self.step1_masks.combine(self._ramp_masks)
+            return self.step1_masks
+        if self.state.phase in ("step2_retrain", "done"):
+            return self.masks
+        return None
+
+    # -- results -----------------------------------------------------------
+    @property
+    def phase(self) -> str:
+        return self.state.phase
+
+    @property
+    def finished(self) -> bool:
+        return self.state.phase == "done"
+
+    @property
+    def masks(self) -> Optional[MaskSet]:
+        if self.step1_masks is None:
+            return None
+        if self.step2_masks is None:
+            return self.step1_masks
+        return self.step1_masks.combine(self.step2_masks)
+
+    def primal_residual(self) -> float:
+        """ADMM primal residual of the active phase (0.0 outside ADMM)."""
+        return self._admm.primal_residual() if self._admm is not None else 0.0
+
+
+def bsp_project_masks(
+    named_arrays: Dict[str, np.ndarray], config: BSPConfig
+) -> MaskSet:
+    """One-shot BSP projection: Step-1 then Step-2 masks, no training.
+
+    Produces the same *sparsity structure* BSP training would converge to
+    for the given weights; used by latency/energy experiments (Table II,
+    Figure 4) where only the pattern matters.
+    """
+    masks = MaskSet()
+    for name, array in named_arrays.items():
+        array = np.asarray(array)
+        grid = grid_for(array, config.num_row_strips, config.num_col_blocks)
+        step1 = project_block_columns(array, grid, config.col_rate)
+        masked = step1.apply_to_array(array)
+        step2 = project_rows(masked, config.row_rate)
+        masks[name] = step1 & step2
+    return masks

@@ -1,0 +1,149 @@
+"""E-RNN baseline — ADMM-trained block-circulant compression (HPCA 2019).
+
+E-RNN (Li et al.) improves on C-LSTM by training the block-circulant
+structure with ADMM instead of projected gradient descent: the weights are
+pulled toward the circulant set by the augmented-Lagrangian penalty while
+the loss is still being minimized, then hardened.  Table I shows it
+achieving the smallest degradation (0.18) of the prior methods at 8×.
+
+The circulant set is an affine subspace, so — unlike the sparsity sets —
+the ADMM here is *convex* in the constraint and converges cleanly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nn.module import Parameter
+from repro.pruning.base import PruningMethod
+from repro.pruning.block_circulant import (
+    circulant_compression_rate,
+    project_block_circulant,
+)
+from repro.pruning.mask import MaskSet, PruningMask
+
+
+@dataclass
+class ERNNConfig:
+    """E-RNN training schedule."""
+
+    block_size: int = 8
+    rho: float = 1e-2
+    admm_epochs: int = 3
+    retrain_epochs: int = 2
+
+    def __post_init__(self) -> None:
+        if self.block_size < 1:
+            raise ConfigError(f"block_size must be >= 1, got {self.block_size}")
+        if self.rho <= 0:
+            raise ConfigError(f"rho must be positive, got {self.rho}")
+        if self.admm_epochs < 0 or self.retrain_epochs < 0:
+            raise ConfigError("epoch counts must be >= 0")
+
+
+class ERNNCompressor(PruningMethod):
+    """ADMM toward block-circulant structure, then hardened retraining.
+
+    During the ADMM phase, each weight matrix ``W`` carries auxiliary
+    ``Z = Pi(W + U)`` (projection onto the circulant subspace) and scaled
+    dual ``U``; the batch hook adds ``rho (W - Z + U)`` to the gradients.
+    After ``admm_epochs``, weights are hardened to their projection and
+    retraining keeps them exactly circulant (project after every step).
+    """
+
+    def __init__(
+        self,
+        named_params: Dict[str, Parameter],
+        config: Optional[ERNNConfig] = None,
+    ) -> None:
+        super().__init__(named_params)
+        self.config = config or ERNNConfig()
+        self._z: Dict[str, np.ndarray] = {}
+        self._u: Dict[str, np.ndarray] = {}
+        for name, param in named_params.items():
+            self._z[name] = project_block_circulant(
+                param.data, self.config.block_size
+            )
+            self._u[name] = np.zeros_like(param.data)
+        self._admm_done = 0
+        self._retrain_done = 0
+        self._hardened = False
+
+    # -- hooks ---------------------------------------------------------------
+    def on_batch_backward(self) -> None:
+        if self._hardened:
+            return
+        for name, param in self.named_params.items():
+            penalty = self.config.rho * (param.data - self._z[name] + self._u[name])
+            if param.grad is None:
+                param.grad = penalty
+            else:
+                param.grad = param.grad + penalty
+
+    def on_batch_end(self) -> None:
+        if self._hardened:
+            for param in self.named_params.values():
+                param.data[...] = project_block_circulant(
+                    param.data, self.config.block_size
+                )
+
+    def on_epoch_end(self) -> None:
+        if not self._hardened:
+            for name, param in self.named_params.items():
+                w_plus_u = param.data + self._u[name]
+                self._z[name] = project_block_circulant(
+                    w_plus_u, self.config.block_size
+                )
+                self._u[name] = self._u[name] + param.data - self._z[name]
+            self._admm_done += 1
+            if self._admm_done >= self.config.admm_epochs:
+                self._harden()
+        elif self._retrain_done < self.config.retrain_epochs:
+            self._retrain_done += 1
+
+    def _harden(self) -> None:
+        for param in self.named_params.values():
+            param.data[...] = project_block_circulant(
+                param.data, self.config.block_size
+            )
+        self._hardened = True
+
+    # -- diagnostics ---------------------------------------------------------
+    def primal_residual(self) -> float:
+        """Distance of the weights from their circulant projections."""
+        total = 0.0
+        for name, param in self.named_params.items():
+            projected = project_block_circulant(param.data, self.config.block_size)
+            total += float(np.sum((param.data - projected) ** 2))
+        return float(np.sqrt(total))
+
+    # -- results -----------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        return self._hardened and self._retrain_done >= self.config.retrain_epochs
+
+    @property
+    def masks(self) -> Optional[MaskSet]:
+        """All-ones masks: circulant compression stores fewer *values*,
+        not more zeros — see :meth:`compression_rate`."""
+        return MaskSet(
+            {
+                name: PruningMask.ones(param.data.shape)
+                for name, param in self.named_params.items()
+            }
+        )
+
+    def compression_rate(self) -> float:
+        total = 0
+        stored = 0.0
+        for param in self.named_params.values():
+            size = param.data.size
+            total += size
+            stored += size / circulant_compression_rate(
+                param.data.shape, self.config.block_size
+            )
+        return total / stored if stored else float("inf")

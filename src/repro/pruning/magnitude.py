@@ -1,0 +1,106 @@
+"""Iterative magnitude (non-structured) pruning — the ESE-style baseline.
+
+Han et al.'s heuristic: repeatedly remove the smallest-magnitude weights
+and retrain the survivors.  The sparsity schedule ramps geometrically from
+1× to the target rate over ``num_stages`` prune events, one per epoch,
+followed by ``retrain_epochs`` of masked fine-tuning.
+
+This gives the highest flexibility per nonzero (Section II-B(a)) but an
+irregular pattern that CSR must index per-nonzero — the inefficiency the
+BSPC format and Table II's ESE comparison quantify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nn.module import Parameter
+from repro.pruning.base import PruningMethod
+from repro.pruning.mask import MaskSet
+from repro.pruning.projections import project_unstructured
+
+
+@dataclass
+class MagnitudeConfig:
+    """Schedule for iterative magnitude pruning."""
+
+    rate: float = 8.0
+    num_stages: int = 3
+    retrain_epochs: int = 2
+
+    def __post_init__(self) -> None:
+        if self.rate < 1.0:
+            raise ConfigError(f"rate must be >= 1, got {self.rate}")
+        if self.num_stages < 1:
+            raise ConfigError(f"num_stages must be >= 1, got {self.num_stages}")
+        if self.retrain_epochs < 0:
+            raise ConfigError(f"retrain_epochs must be >= 0, got {self.retrain_epochs}")
+
+    def stage_rate(self, stage: int) -> float:
+        """Compression rate after prune event ``stage`` (1-based)."""
+        fraction = min(stage, self.num_stages) / self.num_stages
+        return float(self.rate**fraction)
+
+
+class MagnitudePruner(PruningMethod):
+    """Prune-smallest-then-retrain, via the standard training hooks."""
+
+    def __init__(
+        self,
+        named_params: Dict[str, Parameter],
+        config: Optional[MagnitudeConfig] = None,
+    ) -> None:
+        super().__init__(named_params)
+        self.config = config or MagnitudeConfig()
+        self._stage = 0
+        self._retrain_done = 0
+        self._masks: Optional[MaskSet] = None
+
+    def _prune_now(self) -> None:
+        self._stage += 1
+        rate = self.config.stage_rate(self._stage)
+        masks = MaskSet()
+        for name, param in self.named_params.items():
+            masks[name] = project_unstructured(param.data, rate)
+        masks.apply_to_params(self.named_params)
+        self._masks = masks
+
+    def on_batch_backward(self) -> None:
+        if self._masks is not None:
+            for name, mask in self._masks:
+                mask.mask_grad_(self.named_params[name])
+
+    def on_batch_end(self) -> None:
+        if self._masks is not None:
+            self._masks.apply_to_params(self.named_params)
+
+    def on_epoch_end(self) -> None:
+        if self._stage < self.config.num_stages:
+            self._prune_now()
+        elif self._retrain_done < self.config.retrain_epochs:
+            self._retrain_done += 1
+
+    @property
+    def finished(self) -> bool:
+        return (
+            self._stage >= self.config.num_stages
+            and self._retrain_done >= self.config.retrain_epochs
+        )
+
+    @property
+    def masks(self) -> Optional[MaskSet]:
+        return self._masks
+
+
+def magnitude_project_masks(
+    named_arrays: Dict[str, np.ndarray], rate: float
+) -> MaskSet:
+    """One-shot magnitude projection (pattern only, no training)."""
+    masks = MaskSet()
+    for name, array in named_arrays.items():
+        masks[name] = project_unstructured(np.asarray(array), rate)
+    return masks

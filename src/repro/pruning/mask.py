@@ -1,0 +1,177 @@
+"""Pruning masks.
+
+A :class:`PruningMask` is a boolean array with the same shape as the weight
+it governs — True means the weight survives.  Masks compose by logical AND,
+which is how BSP's Step-1 (block-column) and Step-2 (row) masks combine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import SparsityError
+from repro.nn.module import Parameter
+from repro.nn.tensor import Tensor
+
+
+class PruningMask:
+    """Boolean keep-mask over a weight array."""
+
+    def __init__(self, keep: np.ndarray) -> None:
+        keep = np.asarray(keep)
+        if keep.dtype != np.bool_:
+            keep = keep != 0
+        self.keep = keep
+
+    # -- constructors -----------------------------------------------------
+    @classmethod
+    def ones(cls, shape) -> "PruningMask":
+        """An all-keep mask (no pruning)."""
+        return cls(np.ones(shape, dtype=bool))
+
+    @classmethod
+    def from_nonzero(cls, array: np.ndarray) -> "PruningMask":
+        """Keep exactly the nonzero positions of ``array``."""
+        return cls(np.asarray(array) != 0)
+
+    # -- basic properties --------------------------------------------------
+    @property
+    def shape(self):
+        return self.keep.shape
+
+    @property
+    def nnz(self) -> int:
+        """Number of surviving weights."""
+        return int(self.keep.sum())
+
+    @property
+    def size(self) -> int:
+        return self.keep.size
+
+    def density(self) -> float:
+        """Surviving fraction (nnz / size)."""
+        return self.nnz / self.size if self.size else 1.0
+
+    def sparsity(self) -> float:
+        """Pruned fraction (1 - density)."""
+        return 1.0 - self.density()
+
+    def compression_rate(self) -> float:
+        """``size / nnz`` — the paper's 'overall compression rate' unit."""
+        if self.nnz == 0:
+            return float("inf")
+        return self.size / self.nnz
+
+    # -- composition --------------------------------------------------------
+    def __and__(self, other: "PruningMask") -> "PruningMask":
+        if self.shape != other.shape:
+            raise SparsityError(
+                f"cannot combine masks of shapes {self.shape} and {other.shape}"
+            )
+        return PruningMask(self.keep & other.keep)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PruningMask) and np.array_equal(self.keep, other.keep)
+
+    def __hash__(self) -> int:  # masks are mutable arrays; identity hash
+        return id(self)
+
+    # -- application ---------------------------------------------------------
+    def apply_to_array(self, array: np.ndarray) -> np.ndarray:
+        """Return ``array`` with pruned positions zeroed (copy)."""
+        array = np.asarray(array)
+        if array.shape != self.shape:
+            raise SparsityError(
+                f"array shape {array.shape} != mask shape {self.shape}"
+            )
+        return np.where(self.keep, array, 0.0)
+
+    def apply_(self, param: Parameter) -> None:
+        """Zero pruned weights of ``param`` in place."""
+        if param.data.shape != self.shape:
+            raise SparsityError(
+                f"param shape {param.data.shape} != mask shape {self.shape}"
+            )
+        param.data[~self.keep] = 0.0
+
+    def mask_grad_(self, param: Parameter) -> None:
+        """Zero the gradient at pruned positions (keeps them pruned)."""
+        if param.grad is not None:
+            param.grad[~self.keep] = 0.0
+
+    # -- structure queries -----------------------------------------------
+    def kept_rows(self) -> np.ndarray:
+        """Rows with at least one surviving weight (2-D masks only)."""
+        self._require_2d()
+        return np.flatnonzero(self.keep.any(axis=1))
+
+    def kept_cols(self) -> np.ndarray:
+        """Columns with at least one surviving weight (2-D masks only)."""
+        self._require_2d()
+        return np.flatnonzero(self.keep.any(axis=0))
+
+    def _require_2d(self) -> None:
+        if self.keep.ndim != 2:
+            raise SparsityError(f"operation requires a 2-D mask, got {self.shape}")
+
+    def __repr__(self) -> str:
+        return (
+            f"PruningMask(shape={self.shape}, nnz={self.nnz}, "
+            f"compression={self.compression_rate():.1f}x)"
+        )
+
+
+class MaskSet:
+    """Named collection of masks covering a model's prunable parameters."""
+
+    def __init__(self, masks: Optional[Dict[str, PruningMask]] = None) -> None:
+        self.masks: Dict[str, PruningMask] = dict(masks or {})
+
+    def __getitem__(self, name: str) -> PruningMask:
+        return self.masks[name]
+
+    def __setitem__(self, name: str, mask: PruningMask) -> None:
+        self.masks[name] = mask
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.masks
+
+    def __iter__(self):
+        return iter(self.masks.items())
+
+    def __len__(self) -> int:
+        return len(self.masks)
+
+    def combine(self, other: "MaskSet") -> "MaskSet":
+        """AND-combine with another mask set (union of names)."""
+        names = set(self.masks) | set(other.masks)
+        combined: Dict[str, PruningMask] = {}
+        for name in names:
+            if name in self.masks and name in other.masks:
+                combined[name] = self.masks[name] & other.masks[name]
+            else:
+                combined[name] = self.masks.get(name, other.masks.get(name))
+        return MaskSet(combined)
+
+    def apply_to_params(self, named_params: Dict[str, Parameter]) -> None:
+        """Apply every mask to the matching parameter, in place."""
+        for name, mask in self.masks.items():
+            if name in named_params:
+                mask.apply_(named_params[name])
+
+    def total_nnz(self) -> int:
+        """Surviving weights across all masks."""
+        return sum(mask.nnz for mask in self.masks.values())
+
+    def total_size(self) -> int:
+        """Total weights across all masks."""
+        return sum(mask.size for mask in self.masks.values())
+
+    def compression_rate(self) -> float:
+        """Aggregate ``size / nnz`` over every governed parameter."""
+        nnz = self.total_nnz()
+        if nnz == 0:
+            return float("inf")
+        return self.total_size() / nnz

@@ -1,0 +1,72 @@
+"""Per-layer BSP pruning with sensitivity-allocated rates.
+
+Uniform compression treats every weight matrix equally; this driver
+combines :mod:`repro.pruning.sensitivity` with :class:`BSPPruner` so each
+layer is pruned at its own rate while the aggregate hits a global target —
+the natural next step after the paper's uniform sweeps (its auto-tuner
+already tunes block size per model; this tunes *rate* per layer).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import ConfigError
+from repro.nn.module import Parameter
+from repro.pruning.base import PruningMethod
+from repro.pruning.bsp import BSPConfig, BSPPruner
+from repro.pruning.mask import MaskSet
+
+
+class PerLayerBSPPruner(PruningMethod):
+    """Runs one :class:`BSPPruner` per parameter, each with its own config.
+
+    All sub-pruners advance in lockstep through the shared training hooks;
+    the combined mask set unions their masks.  Phase lengths may differ
+    per layer — a layer whose pruner finishes early simply holds its final
+    mask while the others continue.
+    """
+
+    def __init__(
+        self,
+        named_params: Dict[str, Parameter],
+        configs: Dict[str, BSPConfig],
+    ) -> None:
+        super().__init__(named_params)
+        missing = set(named_params) - set(configs)
+        if missing:
+            raise ConfigError(f"configs missing for parameters: {sorted(missing)}")
+        self.pruners: Dict[str, BSPPruner] = {
+            name: BSPPruner({name: param}, configs[name])
+            for name, param in named_params.items()
+        }
+
+    def on_batch_backward(self) -> None:
+        for pruner in self.pruners.values():
+            pruner.on_batch_backward()
+
+    def on_batch_end(self) -> None:
+        for pruner in self.pruners.values():
+            pruner.on_batch_end()
+
+    def on_epoch_end(self) -> None:
+        for pruner in self.pruners.values():
+            pruner.on_epoch_end()
+
+    @property
+    def finished(self) -> bool:
+        return all(pruner.finished for pruner in self.pruners.values())
+
+    @property
+    def masks(self) -> Optional[MaskSet]:
+        combined = MaskSet()
+        for name, pruner in self.pruners.items():
+            layer_masks = pruner.masks
+            if layer_masks is None:
+                return None
+            combined[name] = layer_masks[name]
+        return combined
+
+    def phase_summary(self) -> Dict[str, str]:
+        """Current phase of each layer's pruner (for progress reporting)."""
+        return {name: pruner.phase for name, pruner in self.pruners.items()}

@@ -1,0 +1,125 @@
+"""Projection operators onto sparsity-constraint sets.
+
+These implement the ADMM Z-update (Eq. 4 of the paper): Euclidean
+projection of ``W + U`` onto the constraint set ``S``.  Each function maps a
+weight matrix to the *keep mask* of its projection; the projected matrix is
+then simply ``mask * W`` since all sets here are coordinate subspaces.
+
+Available sets:
+
+* unstructured magnitude (ESE-style non-structured pruning),
+* whole-matrix row pruning / column pruning (filter/channel analogues of
+  Figure 2),
+* block column pruning — BSP Step 1: inside each block of a
+  :class:`~repro.sparse.blocks.BlockGrid`, keep the strongest columns,
+* bank-balanced pruning (the BBS baseline).
+
+All keep counts are computed with ``ceil`` so a requested compression rate
+never over-prunes to zero, and ties are broken deterministically by index.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.pruning.mask import PruningMask
+from repro.sparse.blocks import BlockGrid
+from repro.utils.validation import check_2d
+
+
+def _keep_count(total: int, rate: float) -> int:
+    """How many of ``total`` items survive compression ``rate`` (>= 1)."""
+    if rate < 1.0:
+        raise ConfigError(f"compression rate must be >= 1, got {rate}")
+    return max(1, int(np.ceil(total / rate)))
+
+
+def _top_indices(scores: np.ndarray, keep: int) -> np.ndarray:
+    """Indices of the ``keep`` largest scores; ties resolved by lower index."""
+    if keep >= len(scores):
+        return np.arange(len(scores))
+    # argsort on (-score, index) gives deterministic tie-breaking.
+    order = np.lexsort((np.arange(len(scores)), -scores))
+    return np.sort(order[:keep])
+
+
+def project_unstructured(weight: np.ndarray, rate: float) -> PruningMask:
+    """Keep the ``1/rate`` fraction of weights with largest magnitude."""
+    weight = np.asarray(weight)
+    flat = np.abs(weight).reshape(-1)
+    keep = _keep_count(flat.size, rate)
+    mask = np.zeros(flat.size, dtype=bool)
+    mask[_top_indices(flat, keep)] = True
+    return PruningMask(mask.reshape(weight.shape))
+
+
+def project_rows(weight: np.ndarray, rate: float) -> PruningMask:
+    """Keep the ``1/rate`` fraction of rows with largest L2 norm.
+
+    This is BSP Step 2 ('column-based row pruning' over the whole matrix)
+    and also the classic filter-pruning baseline.
+    """
+    weight = check_2d(weight, "weight")
+    norms = np.linalg.norm(weight, axis=1)
+    keep_rows = _top_indices(norms, _keep_count(weight.shape[0], rate))
+    mask = np.zeros(weight.shape, dtype=bool)
+    mask[keep_rows, :] = True
+    return PruningMask(mask)
+
+
+def project_columns(weight: np.ndarray, rate: float) -> PruningMask:
+    """Keep the ``1/rate`` fraction of whole columns with largest L2 norm
+    (channel-pruning analogue)."""
+    weight = check_2d(weight, "weight")
+    norms = np.linalg.norm(weight, axis=0)
+    keep_cols = _top_indices(norms, _keep_count(weight.shape[1], rate))
+    mask = np.zeros(weight.shape, dtype=bool)
+    mask[:, keep_cols] = True
+    return PruningMask(mask)
+
+
+def project_block_columns(
+    weight: np.ndarray, grid: BlockGrid, rate: float
+) -> PruningMask:
+    """BSP Step 1: within every block region, keep the strongest columns.
+
+    For each of the grid's ``Numr × Numc`` regions, column scores are the
+    L2 norms of the column segments *inside that region*, so different row
+    strips may keep different columns — the finer granularity that lets BSP
+    out-compress whole-matrix structured pruning at equal accuracy.
+    """
+    weight = grid.validate_matrix(check_2d(weight, "weight"))
+    mask = np.zeros(weight.shape, dtype=bool)
+    for region in grid.regions():
+        rs, cs = region.slice()
+        segment = weight[rs, cs]
+        norms = np.linalg.norm(segment, axis=0)
+        keep_local = _top_indices(norms, _keep_count(segment.shape[1], rate))
+        mask[rs, region.col_start + keep_local] = True
+    return PruningMask(mask)
+
+
+def project_bank_balanced(
+    weight: np.ndarray, bank_size: int, rate: float
+) -> PruningMask:
+    """Bank-balanced sparsity (BBS, Cao et al. 2019).
+
+    Each row is split into consecutive banks of ``bank_size`` columns; the
+    same number of largest-magnitude weights is kept in every bank, so all
+    rows (and all banks) carry identical nonzero counts — load balance by
+    construction, at the cost of coarser weight selection than BSP.
+    """
+    weight = check_2d(weight, "weight")
+    rows, cols = weight.shape
+    if bank_size < 1 or bank_size > cols:
+        raise ConfigError(f"bank_size must be in [1, {cols}], got {bank_size}")
+    mask = np.zeros(weight.shape, dtype=bool)
+    for start in range(0, cols, bank_size):
+        stop = min(start + bank_size, cols)
+        bank = np.abs(weight[:, start:stop])
+        keep = _keep_count(stop - start, rate)
+        for r in range(rows):
+            idx = _top_indices(bank[r], keep)
+            mask[r, start + idx] = True
+    return PruningMask(mask)

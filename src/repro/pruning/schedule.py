@@ -1,0 +1,82 @@
+"""Compression-rate schedules for iterative pruning.
+
+Algorithm 1 of the paper prunes *iteratively* but does not specify the
+ramp; this module provides the standard choices so the design space can be
+ablated:
+
+* :class:`GeometricRamp` — equal multiplicative steps (the BSP default:
+  after epoch ``k`` of ``K``, rate = ``target^(k/K)``),
+* :class:`CubicRamp` — the Zhu & Gupta (2018) automated-gradual-pruning
+  schedule on *sparsity* (front-loads pruning while the network is still
+  plastic),
+* :class:`OneShot` — jump straight to the target (the ablation showing why
+  ramping matters).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+class RateSchedule:
+    """Maps (epoch, total_epochs, target_rate) → the rate to prune to."""
+
+    def rate_at(self, epoch: int, total_epochs: int, target: float) -> float:
+        raise NotImplementedError
+
+    def _validate(self, epoch: int, total_epochs: int, target: float) -> float:
+        if target < 1.0:
+            raise ConfigError(f"target rate must be >= 1, got {target}")
+        if total_epochs <= 0:
+            return target
+        return min(1.0, max(0.0, epoch / total_epochs))
+
+
+class GeometricRamp(RateSchedule):
+    """Equal multiplicative steps: ``target ** (epoch/total)``."""
+
+    def rate_at(self, epoch: int, total_epochs: int, target: float) -> float:
+        fraction = self._validate(epoch, total_epochs, target)
+        return float(target**fraction)
+
+
+class CubicRamp(RateSchedule):
+    """Cubic sparsity ramp (AGP): fast early pruning, gentle finish.
+
+    Sparsity follows ``s(t) = s_f (1 - (1-t)^3)``; the rate is derived
+    from the sparsity, so the first epochs remove most of the weights and
+    the final epochs refine.
+    """
+
+    def rate_at(self, epoch: int, total_epochs: int, target: float) -> float:
+        fraction = self._validate(epoch, total_epochs, target)
+        final_sparsity = 1.0 - 1.0 / target
+        sparsity = final_sparsity * (1.0 - (1.0 - fraction) ** 3)
+        if sparsity >= 1.0:
+            return target
+        return float(min(target, 1.0 / (1.0 - sparsity)))
+
+
+class OneShot(RateSchedule):
+    """No ramp: the full target from the first epoch."""
+
+    def rate_at(self, epoch: int, total_epochs: int, target: float) -> float:
+        self._validate(epoch, total_epochs, target)
+        return float(target)
+
+
+_SCHEDULES = {
+    "geometric": GeometricRamp,
+    "cubic": CubicRamp,
+    "oneshot": OneShot,
+}
+
+
+def make_schedule(name: str) -> RateSchedule:
+    """Look up a schedule by name ('geometric', 'cubic', 'oneshot')."""
+    try:
+        return _SCHEDULES[name]()
+    except KeyError:
+        raise ConfigError(
+            f"unknown schedule {name!r}; choose from {sorted(_SCHEDULES)}"
+        ) from None

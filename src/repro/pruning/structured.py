@@ -1,0 +1,109 @@
+"""Whole-matrix structured pruning baselines (Figure 2's schemes).
+
+Row pruning is the GEMM analogue of filter pruning; column pruning of
+channel pruning.  Both are ADMM-trained (same machinery as BSP but with a
+coarse, whole-matrix constraint set), which isolates the benefit of BSP's
+finer block granularity in the Table-I-style comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nn.module import Parameter
+from repro.pruning.admm import ADMMPruner, ADMMTarget
+from repro.pruning.base import PruningMethod
+from repro.pruning.mask import MaskSet
+from repro.pruning.projections import project_columns, project_rows
+
+
+@dataclass
+class StructuredConfig:
+    """Schedule for ADMM whole-row or whole-column pruning."""
+
+    rate: float = 8.0
+    axis: str = "row"  # "row" (filter-like) or "column" (channel-like)
+    rho: float = 1e-2
+    admm_epochs: int = 3
+    retrain_epochs: int = 2
+
+    def __post_init__(self) -> None:
+        if self.axis not in ("row", "column"):
+            raise ConfigError(f"axis must be 'row' or 'column', got {self.axis!r}")
+        if self.rate < 1.0:
+            raise ConfigError(f"rate must be >= 1, got {self.rate}")
+        if self.rho <= 0:
+            raise ConfigError(f"rho must be positive, got {self.rho}")
+
+
+class StructuredPruner(PruningMethod):
+    """ADMM training toward whole-row/column sparsity, then retrain."""
+
+    def __init__(
+        self,
+        named_params: Dict[str, Parameter],
+        config: Optional[StructuredConfig] = None,
+    ) -> None:
+        super().__init__(named_params)
+        self.config = config or StructuredConfig()
+        project = project_rows if self.config.axis == "row" else project_columns
+        rate = self.config.rate
+        self._admm: Optional[ADMMPruner] = ADMMPruner(
+            [
+                ADMMTarget(name, param, lambda w, _p=project, _r=rate: _p(w, _r))
+                for name, param in self.named_params.items()
+            ],
+            rho=self.config.rho,
+        )
+        self._admm_done = 0
+        self._retrain_done = 0
+        self._masks: Optional[MaskSet] = None
+
+    def on_batch_backward(self) -> None:
+        if self._admm is not None:
+            self._admm.add_penalty_gradients()
+        if self._masks is not None:
+            for name, mask in self._masks:
+                mask.mask_grad_(self.named_params[name])
+
+    def on_batch_end(self) -> None:
+        if self._masks is not None:
+            self._masks.apply_to_params(self.named_params)
+
+    def on_epoch_end(self) -> None:
+        if self._admm is not None:
+            self._admm.dual_update()
+            self._admm_done += 1
+            if self._admm_done >= self.config.admm_epochs:
+                self._masks = self._admm.finalize(apply=True)
+                self._admm = None
+        elif self._retrain_done < self.config.retrain_epochs:
+            self._retrain_done += 1
+
+    @property
+    def finished(self) -> bool:
+        return (
+            self._masks is not None
+            and self._retrain_done >= self.config.retrain_epochs
+        )
+
+    @property
+    def masks(self) -> Optional[MaskSet]:
+        return self._masks
+
+
+def structured_project_masks(
+    named_arrays: Dict[str, np.ndarray], rate: float, axis: str = "row"
+) -> MaskSet:
+    """One-shot whole-row/column projection (pattern only)."""
+    if axis not in ("row", "column"):
+        raise ConfigError(f"axis must be 'row' or 'column', got {axis!r}")
+    project = project_rows if axis == "row" else project_columns
+    masks = MaskSet()
+    for name, array in named_arrays.items():
+        masks[name] = project(np.asarray(array), rate)
+    return masks

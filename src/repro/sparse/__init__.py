@@ -1,0 +1,17 @@
+"""Sparse-matrix storage formats: CSR/CSC baselines and the paper's BSPC."""
+
+from repro.sparse.blocks import BlockGrid, BlockRegion, grid_for
+from repro.sparse.bspc import BSPCBlock, BSPCMatrix, BSPCStrip
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.csr import CSRMatrix
+
+__all__ = [
+    "BlockGrid",
+    "BlockRegion",
+    "grid_for",
+    "CSRMatrix",
+    "CSCMatrix",
+    "BSPCMatrix",
+    "BSPCStrip",
+    "BSPCBlock",
+]

@@ -1,0 +1,138 @@
+"""Block partitioning of weight matrices.
+
+BSP (Section IV-A of the paper) divides a weight matrix into ``Numr``
+horizontal row strips, and each strip into ``Numc`` column blocks.  The
+:class:`BlockGrid` here is the single source of truth for that geometry:
+pruning projections, the BSPC storage format, and the compiler's analysis
+all share it, so block boundaries can never disagree between stages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.utils.validation import check_positive_int
+
+
+def _bounds(extent: int, parts: int) -> List[Tuple[int, int]]:
+    """Split ``extent`` into ``parts`` contiguous near-equal ranges."""
+    edges = np.linspace(0, extent, parts + 1).astype(int)
+    return [(int(edges[i]), int(edges[i + 1])) for i in range(parts)]
+
+
+@dataclass(frozen=True)
+class BlockRegion:
+    """One block of the grid: rows ``[row_start, row_stop)`` ×
+    columns ``[col_start, col_stop)``."""
+
+    strip: int
+    block: int
+    row_start: int
+    row_stop: int
+    col_start: int
+    col_stop: int
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.row_stop - self.row_start, self.col_stop - self.col_start)
+
+    def slice(self) -> Tuple[slice, slice]:
+        """Return the ``(row_slice, col_slice)`` indexing this region."""
+        return (slice(self.row_start, self.row_stop), slice(self.col_start, self.col_stop))
+
+
+@dataclass(frozen=True)
+class BlockGrid:
+    """A ``num_row_strips × num_col_blocks`` partition of an ``(rows, cols)``
+    matrix.
+
+    Every strip/block is a contiguous range; extents that do not divide
+    evenly are spread as equally as possible (sizes differ by at most one).
+    """
+
+    rows: int
+    cols: int
+    num_row_strips: int
+    num_col_blocks: int
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.rows, "rows")
+        check_positive_int(self.cols, "cols")
+        check_positive_int(self.num_row_strips, "num_row_strips")
+        check_positive_int(self.num_col_blocks, "num_col_blocks")
+        if self.num_row_strips > self.rows:
+            raise ConfigError(
+                f"num_row_strips ({self.num_row_strips}) exceeds rows ({self.rows})"
+            )
+        if self.num_col_blocks > self.cols:
+            raise ConfigError(
+                f"num_col_blocks ({self.num_col_blocks}) exceeds cols ({self.cols})"
+            )
+
+    # -- geometry -------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.rows, self.cols)
+
+    @property
+    def num_blocks(self) -> int:
+        return self.num_row_strips * self.num_col_blocks
+
+    def row_bounds(self) -> List[Tuple[int, int]]:
+        """Row ranges ``[(start, stop), ...]`` of each strip."""
+        return _bounds(self.rows, self.num_row_strips)
+
+    def col_bounds(self) -> List[Tuple[int, int]]:
+        """Column ranges ``[(start, stop), ...]`` of each block column."""
+        return _bounds(self.cols, self.num_col_blocks)
+
+    def regions(self) -> Iterator[BlockRegion]:
+        """Iterate all block regions in (strip, block) row-major order."""
+        for strip, (r0, r1) in enumerate(self.row_bounds()):
+            for block, (c0, c1) in enumerate(self.col_bounds()):
+                yield BlockRegion(strip, block, r0, r1, c0, c1)
+
+    def region(self, strip: int, block: int) -> BlockRegion:
+        """Return a specific region by strip and block index."""
+        r0, r1 = self.row_bounds()[strip]
+        c0, c1 = self.col_bounds()[block]
+        return BlockRegion(strip, block, r0, r1, c0, c1)
+
+    def strip_of_row(self, row: int) -> int:
+        """Return the strip index containing global row ``row``."""
+        if not 0 <= row < self.rows:
+            raise IndexError(f"row {row} outside [0, {self.rows})")
+        for strip, (r0, r1) in enumerate(self.row_bounds()):
+            if r0 <= row < r1:
+                return strip
+        raise AssertionError("unreachable: bounds cover all rows")
+
+    def block_of_col(self, col: int) -> int:
+        """Return the block-column index containing global column ``col``."""
+        if not 0 <= col < self.cols:
+            raise IndexError(f"col {col} outside [0, {self.cols})")
+        for block, (c0, c1) in enumerate(self.col_bounds()):
+            if c0 <= col < c1:
+                return block
+        raise AssertionError("unreachable: bounds cover all cols")
+
+    def validate_matrix(self, matrix: np.ndarray) -> np.ndarray:
+        """Check that ``matrix`` matches this grid's shape and return it."""
+        matrix = np.asarray(matrix)
+        if matrix.shape != (self.rows, self.cols):
+            raise ConfigError(
+                f"matrix shape {matrix.shape} does not match grid {self.shape}"
+            )
+        return matrix
+
+
+def grid_for(matrix: np.ndarray, num_row_strips: int, num_col_blocks: int) -> BlockGrid:
+    """Build a :class:`BlockGrid` matching ``matrix``'s shape."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2:
+        raise ConfigError(f"expected a 2-D matrix, got shape {matrix.shape}")
+    return BlockGrid(matrix.shape[0], matrix.shape[1], num_row_strips, num_col_blocks)

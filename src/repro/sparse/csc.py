@@ -1,0 +1,100 @@
+"""Compressed Sparse Column storage.
+
+Included because the paper's Section I discusses CSC as the classic format
+for non-structured pruning (Han et al.'s Deep Compression stores CSC); the
+compiler uses it only for storage-size comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import SparsityError
+from repro.utils.validation import check_2d
+
+
+@dataclass
+class CSCMatrix:
+    """CSC representation of a 2-D matrix."""
+
+    shape: Tuple[int, int]
+    values: np.ndarray
+    row_indices: np.ndarray
+    col_ptr: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=np.float64)
+        self.row_indices = np.asarray(self.row_indices, dtype=np.int64)
+        self.col_ptr = np.asarray(self.col_ptr, dtype=np.int64)
+        rows, cols = self.shape
+        if self.col_ptr.shape != (cols + 1,):
+            raise SparsityError(
+                f"col_ptr must have length cols+1={cols + 1}, got {self.col_ptr.shape}"
+            )
+        if self.col_ptr[0] != 0 or self.col_ptr[-1] != len(self.values):
+            raise SparsityError("col_ptr must start at 0 and end at nnz")
+        if np.any(np.diff(self.col_ptr) < 0):
+            raise SparsityError("col_ptr must be non-decreasing")
+        if len(self.row_indices) != len(self.values):
+            raise SparsityError("row_indices and values must have equal length")
+        if self.row_indices.size and (
+            self.row_indices.min() < 0 or self.row_indices.max() >= rows
+        ):
+            raise SparsityError("row_indices out of range")
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "CSCMatrix":
+        """Build from a dense matrix, treating exact zeros as absent."""
+        dense = check_2d(dense, "dense")
+        rows, cols = dense.shape
+        values = []
+        row_indices = []
+        col_ptr = np.zeros(cols + 1, dtype=np.int64)
+        for c in range(cols):
+            nz = np.flatnonzero(dense[:, c])
+            values.append(dense[nz, c])
+            row_indices.append(nz)
+            col_ptr[c + 1] = col_ptr[c] + len(nz)
+        return cls(
+            shape=(rows, cols),
+            values=np.concatenate(values) if values else np.zeros(0),
+            row_indices=np.concatenate(row_indices)
+            if row_indices
+            else np.zeros(0, dtype=np.int64),
+            col_ptr=col_ptr,
+        )
+
+    def to_dense(self) -> np.ndarray:
+        """Expand back to a dense matrix."""
+        rows, cols = self.shape
+        dense = np.zeros((rows, cols))
+        for c in range(cols):
+            start, stop = self.col_ptr[c], self.col_ptr[c + 1]
+            dense[self.row_indices[start:stop], c] = self.values[start:stop]
+        return dense
+
+    @property
+    def nnz(self) -> int:
+        return len(self.values)
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        """Sparse matrix × dense vector (column-major accumulation)."""
+        x = np.asarray(x)
+        if x.shape != (self.shape[1],):
+            raise SparsityError(f"x must be ({self.shape[1]},), got {x.shape}")
+        out = np.zeros(self.shape[0])
+        for c in range(self.shape[1]):
+            start, stop = self.col_ptr[c], self.col_ptr[c + 1]
+            out[self.row_indices[start:stop]] += self.values[start:stop] * x[c]
+        return out
+
+    def nbytes(self, value_bytes: int = 2, index_bytes: int = 2) -> int:
+        """Model the stored size: values + row indices + column pointers."""
+        return (
+            self.nnz * value_bytes
+            + self.nnz * index_bytes
+            + len(self.col_ptr) * 4
+        )

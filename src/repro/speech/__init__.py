@@ -1,0 +1,86 @@
+"""Speech-recognition substrate: synthetic corpus, features, model, PER."""
+
+from repro.speech.augment import (
+    AugmentConfig,
+    add_noise,
+    augment_dataset,
+    spec_mask,
+    spectral_tilt,
+    time_warp,
+)
+from repro.speech.decoder import decode_batch, decode_utterance, greedy_frame_labels
+from repro.speech.features import (
+    FeatureConfig,
+    add_deltas,
+    log_mel_spectrogram,
+    mel_filterbank,
+    mfcc,
+)
+from repro.speech.metrics import (
+    collapse_frames,
+    frame_accuracy,
+    levenshtein,
+    per_from_frames,
+    phone_error_rate,
+)
+from repro.speech.model import AcousticModelConfig, GRUAcousticModel
+from repro.speech.phones import (
+    ALL_LABELS,
+    FOLDED_PHONES,
+    NUM_CLASSES,
+    SILENCE,
+    SILENCE_ID,
+    id_to_phone,
+    phone_to_id,
+)
+from repro.speech.synth import (
+    SynthConfig,
+    make_corpus,
+    make_dataset,
+    phone_prototypes,
+    synth_utterance,
+    synth_waveform,
+    waveform_example,
+)
+from repro.speech.trainer import EvalResult, Trainer, TrainerConfig
+
+__all__ = [
+    "SynthConfig",
+    "make_dataset",
+    "make_corpus",
+    "phone_prototypes",
+    "synth_utterance",
+    "synth_waveform",
+    "waveform_example",
+    "FeatureConfig",
+    "log_mel_spectrogram",
+    "mfcc",
+    "mel_filterbank",
+    "add_deltas",
+    "AcousticModelConfig",
+    "GRUAcousticModel",
+    "Trainer",
+    "TrainerConfig",
+    "EvalResult",
+    "decode_utterance",
+    "decode_batch",
+    "greedy_frame_labels",
+    "levenshtein",
+    "phone_error_rate",
+    "collapse_frames",
+    "frame_accuracy",
+    "per_from_frames",
+    "NUM_CLASSES",
+    "SILENCE",
+    "SILENCE_ID",
+    "ALL_LABELS",
+    "FOLDED_PHONES",
+    "id_to_phone",
+    "phone_to_id",
+    "AugmentConfig",
+    "augment_dataset",
+    "add_noise",
+    "spectral_tilt",
+    "time_warp",
+    "spec_mask",
+]

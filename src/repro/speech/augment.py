@@ -1,0 +1,128 @@
+"""Feature-space data augmentation for the synthetic corpus.
+
+Robust training helpers in the style ASR recipes use: additive noise,
+spectral tilt (channel simulation), time warping (frame repeat/drop), and
+SpecAugment-style time/frequency masking.  All operate on
+:class:`~repro.nn.data.SequenceExample` feature matrices and are seeded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nn.data import Dataset, SequenceExample
+from repro.utils.rng import RngLike, new_rng, spawn_rngs
+
+
+def add_noise(
+    example: SequenceExample, level: float, rng: RngLike = None
+) -> SequenceExample:
+    """Add white Gaussian noise of standard deviation ``level``."""
+    if level < 0:
+        raise ConfigError(f"level must be >= 0, got {level}")
+    rng = new_rng(rng)
+    noisy = example.features + level * rng.standard_normal(example.features.shape)
+    return SequenceExample(features=noisy, labels=example.labels.copy())
+
+
+def spectral_tilt(
+    example: SequenceExample, strength: float, rng: RngLike = None
+) -> SequenceExample:
+    """Apply a random linear spectral tilt (simulates channel response)."""
+    if strength < 0:
+        raise ConfigError(f"strength must be >= 0, got {strength}")
+    rng = new_rng(rng)
+    dims = example.features.shape[1]
+    slope = rng.normal(0, strength)
+    tilt = slope * (np.arange(dims) - dims / 2) / dims
+    return SequenceExample(
+        features=example.features + tilt[None, :], labels=example.labels.copy()
+    )
+
+
+def time_warp(
+    example: SequenceExample, max_stretch: float = 0.2, rng: RngLike = None
+) -> SequenceExample:
+    """Randomly repeat or drop frames, changing speaking rate ±``max_stretch``.
+
+    Labels are warped with their frames, so alignment is preserved.
+    """
+    if not 0.0 <= max_stretch < 1.0:
+        raise ConfigError(f"max_stretch must be in [0, 1), got {max_stretch}")
+    rng = new_rng(rng)
+    factor = 1.0 + rng.uniform(-max_stretch, max_stretch)
+    length = len(example)
+    new_length = max(2, int(round(length * factor)))
+    positions = np.clip(
+        np.round(np.linspace(0, length - 1, new_length)).astype(int), 0, length - 1
+    )
+    return SequenceExample(
+        features=example.features[positions], labels=example.labels[positions]
+    )
+
+
+def spec_mask(
+    example: SequenceExample,
+    max_time_frames: int = 4,
+    max_freq_bins: int = 6,
+    fill_value: float = 0.0,
+    rng: RngLike = None,
+) -> SequenceExample:
+    """SpecAugment-style masking: one time block and one frequency block."""
+    if max_time_frames < 0 or max_freq_bins < 0:
+        raise ConfigError("mask sizes must be >= 0")
+    rng = new_rng(rng)
+    features = example.features.copy()
+    frames, bins = features.shape
+    if max_time_frames > 0 and frames > 1:
+        width = int(rng.integers(1, min(max_time_frames, frames) + 1))
+        start = int(rng.integers(0, frames - width + 1))
+        features[start : start + width, :] = fill_value
+    if max_freq_bins > 0 and bins > 1:
+        width = int(rng.integers(1, min(max_freq_bins, bins) + 1))
+        start = int(rng.integers(0, bins - width + 1))
+        features[:, start : start + width] = fill_value
+    return SequenceExample(features=features, labels=example.labels.copy())
+
+
+@dataclass(frozen=True)
+class AugmentConfig:
+    """Which augmentations to apply when expanding a dataset."""
+
+    noise_level: float = 0.1
+    tilt_strength: float = 0.15
+    max_stretch: float = 0.15
+    use_spec_mask: bool = True
+
+
+def augment_dataset(
+    dataset: Dataset,
+    copies: int = 1,
+    config: AugmentConfig = AugmentConfig(),
+    rng: RngLike = 0,
+) -> Dataset:
+    """Return the dataset plus ``copies`` independently augmented copies.
+
+    Each augmented example passes through noise → tilt → time-warp
+    (→ spec-mask), each with its own derived RNG stream.
+    """
+    if copies < 0:
+        raise ConfigError(f"copies must be >= 0, got {copies}")
+    examples: List[SequenceExample] = list(dataset.examples)
+    streams = spawn_rngs(rng, copies * len(dataset))
+    index = 0
+    for _ in range(copies):
+        for example in dataset.examples:
+            stream = streams[index]
+            index += 1
+            out = add_noise(example, config.noise_level, stream)
+            out = spectral_tilt(out, config.tilt_strength, stream)
+            out = time_warp(out, config.max_stretch, stream)
+            if config.use_spec_mask:
+                out = spec_mask(out, rng=stream)
+            examples.append(out)
+    return Dataset(examples)

@@ -1,0 +1,74 @@
+"""Decoding: frame posteriors → phone sequences.
+
+The default decoder is greedy framewise argmax followed by run-collapsing
+and silence removal — adequate for a framewise-trained acoustic model.  A
+``min_duration`` smoothing option suppresses one-frame blips, emulating
+the duration constraint a full HMM/WFST decoder enforces.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.speech.metrics import collapse_frames
+from repro.speech.phones import SILENCE_ID
+
+
+def greedy_frame_labels(logits: np.ndarray) -> np.ndarray:
+    """Per-frame argmax labels from ``(T, C)`` logits."""
+    logits = np.asarray(logits)
+    if logits.ndim != 2:
+        raise ShapeError(f"logits must be (T, C), got {logits.shape}")
+    return logits.argmax(axis=1)
+
+
+def smooth_labels(labels: np.ndarray, min_duration: int = 1) -> np.ndarray:
+    """Replace runs shorter than ``min_duration`` with the preceding label.
+
+    A lightweight duration model: one- or two-frame spurious segments are
+    usually classifier noise, not real phones.
+    """
+    labels = np.asarray(labels, dtype=np.int64).copy()
+    if min_duration <= 1 or len(labels) == 0:
+        return labels
+    start = 0
+    previous_label = None
+    runs = []
+    for t in range(1, len(labels) + 1):
+        if t == len(labels) or labels[t] != labels[start]:
+            runs.append((start, t))
+            start = t
+    for index, (run_start, run_stop) in enumerate(runs):
+        if run_stop - run_start < min_duration and index > 0:
+            labels[run_start:run_stop] = labels[runs[index - 1][1] - 1]
+    return labels
+
+
+def decode_utterance(
+    logits: np.ndarray, min_duration: int = 1, drop: int = SILENCE_ID
+) -> List[int]:
+    """Logits ``(T, C)`` → collapsed phone sequence."""
+    frames = greedy_frame_labels(logits)
+    frames = smooth_labels(frames, min_duration)
+    return collapse_frames(frames, drop=drop)
+
+
+def decode_batch(
+    logits: np.ndarray, lengths: np.ndarray, min_duration: int = 1
+) -> List[List[int]]:
+    """Decode a padded time-major batch ``(T, B, C)`` with true ``lengths``."""
+    logits = np.asarray(logits)
+    if logits.ndim != 3:
+        raise ShapeError(f"batch logits must be (T, B, C), got {logits.shape}")
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if lengths.shape != (logits.shape[1],):
+        raise ShapeError(
+            f"lengths must be ({logits.shape[1]},), got {lengths.shape}"
+        )
+    sequences = []
+    for b, length in enumerate(lengths):
+        sequences.append(decode_utterance(logits[:length, b], min_duration))
+    return sequences

@@ -1,0 +1,139 @@
+"""Acoustic front-end: framing, mel filterbank, MFCC.
+
+The paper's pipeline (PyTorch-Kaldi) consumes standard frame-level acoustic
+features.  This module implements the classic chain — pre-emphasis, Hamming
+windowing, magnitude FFT, triangular mel filterbank, log compression,
+optional DCT to MFCC — so the synthetic corpus can be rendered to waveforms
+and featurized exactly like real speech would be.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+def hz_to_mel(hz) -> np.ndarray:
+    """Hertz → mel (O'Shaughnessy formula)."""
+    return 2595.0 * np.log10(1.0 + np.asarray(hz, dtype=np.float64) / 700.0)
+
+
+def mel_to_hz(mel) -> np.ndarray:
+    """Mel → hertz (inverse of :func:`hz_to_mel`)."""
+    return 700.0 * (10.0 ** (np.asarray(mel, dtype=np.float64) / 2595.0) - 1.0)
+
+
+def mel_filterbank(
+    num_filters: int, fft_size: int, sample_rate: int, fmin: float = 0.0, fmax: float = None
+) -> np.ndarray:
+    """Triangular mel filterbank matrix of shape ``(num_filters, fft_size//2+1)``."""
+    if num_filters < 1:
+        raise ConfigError(f"num_filters must be >= 1, got {num_filters}")
+    fmax = fmax if fmax is not None else sample_rate / 2.0
+    if not 0 <= fmin < fmax <= sample_rate / 2.0:
+        raise ConfigError(f"need 0 <= fmin < fmax <= nyquist, got {fmin}, {fmax}")
+    mel_points = np.linspace(hz_to_mel(fmin), hz_to_mel(fmax), num_filters + 2)
+    hz_points = mel_to_hz(mel_points)
+    bins = np.floor((fft_size + 1) * hz_points / sample_rate).astype(int)
+    bank = np.zeros((num_filters, fft_size // 2 + 1))
+    for m in range(1, num_filters + 1):
+        left, center, right = bins[m - 1], bins[m], bins[m + 1]
+        center = max(center, left + 1)
+        right = max(right, center + 1)
+        for k in range(left, center):
+            bank[m - 1, k] = (k - left) / (center - left)
+        for k in range(center, min(right, bank.shape[1])):
+            bank[m - 1, k] = (right - k) / (right - center)
+    return bank
+
+
+def frame_signal(
+    signal: np.ndarray, frame_length: int, hop_length: int
+) -> np.ndarray:
+    """Slice a 1-D signal into overlapping frames ``(num_frames, frame_length)``.
+
+    The tail is zero-padded so every sample is covered.
+    """
+    signal = np.asarray(signal, dtype=np.float64)
+    if signal.ndim != 1:
+        raise ConfigError(f"signal must be 1-D, got shape {signal.shape}")
+    if frame_length < 1 or hop_length < 1:
+        raise ConfigError("frame_length and hop_length must be >= 1")
+    if len(signal) == 0:
+        return np.zeros((0, frame_length))
+    num_frames = max(1, 1 + int(np.ceil((len(signal) - frame_length) / hop_length)))
+    padded = np.zeros((num_frames - 1) * hop_length + frame_length)
+    padded[: len(signal)] = signal
+    frames = np.stack(
+        [padded[i * hop_length : i * hop_length + frame_length] for i in range(num_frames)]
+    )
+    return frames
+
+
+def dct_matrix(num_coefficients: int, num_inputs: int) -> np.ndarray:
+    """Type-II DCT basis (orthonormal), shape ``(num_coefficients, num_inputs)``."""
+    n = np.arange(num_inputs)
+    k = np.arange(num_coefficients)[:, None]
+    basis = np.cos(np.pi * k * (2 * n + 1) / (2 * num_inputs))
+    basis *= np.sqrt(2.0 / num_inputs)
+    basis[0] /= np.sqrt(2.0)
+    return basis
+
+
+@dataclass(frozen=True)
+class FeatureConfig:
+    """Front-end settings (defaults match common 16 kHz ASR recipes)."""
+
+    sample_rate: int = 16000
+    frame_length: int = 400  # 25 ms
+    hop_length: int = 160  # 10 ms
+    fft_size: int = 512
+    num_mels: int = 40
+    num_mfcc: int = 13
+    preemphasis: float = 0.97
+    log_floor: float = 1e-10
+
+    def __post_init__(self) -> None:
+        if self.fft_size < self.frame_length:
+            raise ConfigError(
+                f"fft_size ({self.fft_size}) must be >= frame_length "
+                f"({self.frame_length})"
+            )
+
+
+def log_mel_spectrogram(signal: np.ndarray, config: FeatureConfig = FeatureConfig()) -> np.ndarray:
+    """Waveform → log-mel features of shape ``(num_frames, num_mels)``."""
+    signal = np.asarray(signal, dtype=np.float64)
+    if signal.size:
+        emphasized = np.append(signal[0], signal[1:] - config.preemphasis * signal[:-1])
+    else:
+        emphasized = signal
+    frames = frame_signal(emphasized, config.frame_length, config.hop_length)
+    window = np.hamming(config.frame_length)
+    spectrum = np.abs(np.fft.rfft(frames * window, n=config.fft_size)) ** 2
+    bank = mel_filterbank(config.num_mels, config.fft_size, config.sample_rate)
+    mel_energy = spectrum @ bank.T
+    return np.log(np.maximum(mel_energy, config.log_floor))
+
+
+def mfcc(signal: np.ndarray, config: FeatureConfig = FeatureConfig()) -> np.ndarray:
+    """Waveform → MFCC features of shape ``(num_frames, num_mfcc)``."""
+    log_mels = log_mel_spectrogram(signal, config)
+    basis = dct_matrix(config.num_mfcc, config.num_mels)
+    return log_mels @ basis.T
+
+
+def add_deltas(features: np.ndarray) -> np.ndarray:
+    """Append first-order deltas (simple ±1-frame differences), doubling dims."""
+    features = np.asarray(features)
+    if features.ndim != 2:
+        raise ConfigError(f"features must be (T, D), got {features.shape}")
+    if len(features) < 2:
+        deltas = np.zeros_like(features)
+    else:
+        padded = np.vstack([features[:1], features, features[-1:]])
+        deltas = (padded[2:] - padded[:-2]) / 2.0
+    return np.hstack([features, deltas])

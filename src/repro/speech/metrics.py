@@ -1,0 +1,103 @@
+"""Phone error rate (PER) and the edit distance underlying it.
+
+PER is the Levenshtein distance between the reference and hypothesis phone
+sequences (after collapsing frame labels to segment sequences and removing
+silence) divided by the reference length — the scoring convention of every
+system in the paper's Table I.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.speech.phones import SILENCE_ID
+
+
+def levenshtein(reference: Sequence, hypothesis: Sequence) -> int:
+    """Edit distance (substitution/insertion/deletion, all cost 1)."""
+    ref = list(reference)
+    hyp = list(hypothesis)
+    if not ref:
+        return len(hyp)
+    if not hyp:
+        return len(ref)
+    previous = np.arange(len(hyp) + 1)
+    for i, r in enumerate(ref, start=1):
+        current = np.empty(len(hyp) + 1, dtype=np.int64)
+        current[0] = i
+        for j, h in enumerate(hyp, start=1):
+            cost = 0 if r == h else 1
+            current[j] = min(
+                previous[j] + 1,  # deletion
+                current[j - 1] + 1,  # insertion
+                previous[j - 1] + cost,  # substitution / match
+            )
+        previous = current
+    return int(previous[-1])
+
+
+def collapse_frames(frame_labels: Sequence[int], drop: int = SILENCE_ID) -> List[int]:
+    """Frame labels → segment sequence: merge runs, drop ``drop`` symbols.
+
+    ``[sil, aa, aa, aa, sil, t, t] → [aa, t]``
+    """
+    collapsed: List[int] = []
+    previous = None
+    for label in frame_labels:
+        label = int(label)
+        if label != previous:
+            if label != drop:
+                collapsed.append(label)
+            previous = label
+    return collapsed
+
+
+def phone_error_rate(
+    references: Sequence[Sequence[int]], hypotheses: Sequence[Sequence[int]]
+) -> float:
+    """Corpus-level PER over already-collapsed phone sequences.
+
+    Total edit distance divided by total reference length, as a percentage.
+    """
+    if len(references) != len(hypotheses):
+        raise ValueError(
+            f"got {len(references)} references but {len(hypotheses)} hypotheses"
+        )
+    total_distance = 0
+    total_length = 0
+    for ref, hyp in zip(references, hypotheses):
+        total_distance += levenshtein(ref, hyp)
+        total_length += len(ref)
+    if total_length == 0:
+        return 0.0
+    return 100.0 * total_distance / total_length
+
+
+def frame_accuracy(
+    labels: np.ndarray, predictions: np.ndarray, mask: np.ndarray
+) -> float:
+    """Fraction of unpadded frames classified correctly."""
+    labels = np.asarray(labels)
+    predictions = np.asarray(predictions)
+    mask = np.asarray(mask, dtype=bool)
+    if labels.shape != predictions.shape or labels.shape != mask.shape:
+        raise ValueError(
+            f"shape mismatch: labels {labels.shape}, predictions "
+            f"{predictions.shape}, mask {mask.shape}"
+        )
+    total = mask.sum()
+    if total == 0:
+        return 0.0
+    return float(((labels == predictions) & mask).sum() / total)
+
+
+def per_from_frames(
+    frame_references: Sequence[Sequence[int]],
+    frame_hypotheses: Sequence[Sequence[int]],
+) -> Tuple[float, List[List[int]], List[List[int]]]:
+    """PER from per-frame label sequences; returns (per, refs, hyps)."""
+    refs = [collapse_frames(r) for r in frame_references]
+    hyps = [collapse_frames(h) for h in frame_hypotheses]
+    return phone_error_rate(refs, hyps), refs, hyps

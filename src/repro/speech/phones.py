@@ -1,0 +1,45 @@
+"""A TIMIT-like phone inventory.
+
+TIMIT is annotated with 61 phones that are conventionally folded to 39 for
+scoring (Lee & Hon, 1989); PER is computed on the folded set.  The real
+corpus is LDC-licensed and unavailable offline, so the synthetic corpus in
+:mod:`repro.speech.synth` uses this 39-phone folded inventory directly,
+plus a silence symbol that scoring ignores.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+#: Folded 39-phone inventory used for scoring TIMIT phone recognition.
+FOLDED_PHONES: List[str] = [
+    "iy", "ih", "eh", "ae", "ah", "uw", "uh", "aa", "ey", "ay",
+    "oy", "aw", "ow", "er", "l", "r", "w", "y", "m", "n",
+    "ng", "v", "f", "dh", "th", "z", "s", "zh", "jh", "ch",
+    "b", "p", "d", "t", "g", "k", "hh", "dx", "q",
+]
+
+#: Silence / non-speech symbol; present in frame labels, ignored by PER.
+SILENCE = "sil"
+
+#: Full label set: silence is index 0, phones follow in inventory order.
+ALL_LABELS: List[str] = [SILENCE] + FOLDED_PHONES
+
+#: Number of output classes of the acoustic model.
+NUM_CLASSES: int = len(ALL_LABELS)
+
+#: Index of the silence label.
+SILENCE_ID: int = 0
+
+#: Name → class index.
+PHONE_TO_ID: Dict[str, int] = {name: i for i, name in enumerate(ALL_LABELS)}
+
+
+def id_to_phone(index: int) -> str:
+    """Class index → phone name."""
+    return ALL_LABELS[index]
+
+
+def phone_to_id(name: str) -> int:
+    """Phone name → class index (raises ``KeyError`` for unknown names)."""
+    return PHONE_TO_ID[name]

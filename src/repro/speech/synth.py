@@ -1,0 +1,244 @@
+"""Synthetic TIMIT-like phone recognition corpus.
+
+The real TIMIT corpus is LDC-licensed and unavailable offline, so the
+experiments run on a controllable synthetic substitute that preserves the
+*task structure* PER-vs-compression experiments depend on (see DESIGN.md):
+
+* every phone has a fixed spectral prototype (a smooth random envelope
+  over the mel bands, plus formant-like peaks) shared by all utterances,
+* an utterance is a random phone sequence; each phone holds for a sampled
+  duration, with short linear cross-fades at boundaries (coarticulation),
+* speaker variability (per-utterance spectral tilt and gain) and additive
+  observation noise control task difficulty through ``noise_level`` —
+  harder tasks degrade faster under pruning, like real acoustic models,
+* frame labels mark the dominant phone of each frame, with silence padding
+  at the edges, matching TIMIT's time-aligned annotation.
+
+Two rendering paths are provided: ``features`` (direct mel-domain frames —
+fast, the default for training sweeps) and ``waveform`` (sum-of-formant
+sinusoids at 16 kHz to exercise the full :mod:`repro.speech.features`
+front-end, used by the waveform example).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nn.data import Dataset, SequenceExample
+from repro.speech.features import FeatureConfig, log_mel_spectrogram
+from repro.speech.phones import NUM_CLASSES, SILENCE_ID
+from repro.utils.rng import RngLike, new_rng, spawn_rngs
+
+
+@dataclass(frozen=True)
+class SynthConfig:
+    """Corpus-generation settings."""
+
+    num_mels: int = 40
+    min_phones: int = 4
+    max_phones: int = 12
+    min_duration: int = 3  # frames a phone holds
+    max_duration: int = 8
+    silence_frames: int = 2  # leading/trailing silence
+    noise_level: float = 0.35  # observation-noise std (task difficulty)
+    speaker_tilt: float = 0.25  # per-utterance spectral tilt std
+    coarticulation: int = 1  # boundary cross-fade frames (each side)
+    prototype_seed: int = 7321  # fixed so train/test share acoustics
+
+    def __post_init__(self) -> None:
+        if self.num_mels < 4:
+            raise ConfigError(f"num_mels must be >= 4, got {self.num_mels}")
+        if not 1 <= self.min_phones <= self.max_phones:
+            raise ConfigError("need 1 <= min_phones <= max_phones")
+        if not 1 <= self.min_duration <= self.max_duration:
+            raise ConfigError("need 1 <= min_duration <= max_duration")
+        if self.noise_level < 0 or self.speaker_tilt < 0:
+            raise ConfigError("noise_level and speaker_tilt must be >= 0")
+        if self.silence_frames < 0 or self.coarticulation < 0:
+            raise ConfigError("silence_frames and coarticulation must be >= 0")
+
+
+def phone_prototypes(config: SynthConfig = SynthConfig()) -> np.ndarray:
+    """Deterministic ``(NUM_CLASSES, num_mels)`` spectral prototypes.
+
+    Each phone gets a smooth random envelope plus 2-3 formant-like peaks at
+    phone-specific mel positions; silence is a low-energy flat spectrum.
+    The prototype RNG is seeded by ``prototype_seed`` only, so every
+    dataset drawn from the same config shares identical acoustics.
+    """
+    rng = new_rng(config.prototype_seed)
+    mels = np.arange(config.num_mels)
+    prototypes = np.zeros((NUM_CLASSES, config.num_mels))
+    for phone in range(NUM_CLASSES):
+        if phone == SILENCE_ID:
+            prototypes[phone] = -2.0 + 0.05 * rng.standard_normal(config.num_mels)
+            continue
+        # Smooth envelope: a few low-frequency cosine components.
+        envelope = np.zeros(config.num_mels)
+        for harmonic in range(1, 4):
+            envelope += rng.normal(0, 1.0 / harmonic) * np.cos(
+                np.pi * harmonic * mels / config.num_mels + rng.uniform(0, np.pi)
+            )
+        # Formant peaks: gaussian bumps at phone-specific positions.
+        num_formants = int(rng.integers(2, 4))
+        for _ in range(num_formants):
+            center = rng.uniform(0, config.num_mels)
+            width = rng.uniform(1.5, 4.0)
+            height = rng.uniform(1.0, 2.5)
+            envelope += height * np.exp(-0.5 * ((mels - center) / width) ** 2)
+        prototypes[phone] = envelope
+    return prototypes
+
+
+def synth_utterance(
+    config: SynthConfig, prototypes: np.ndarray, rng: np.random.Generator
+) -> SequenceExample:
+    """Draw one utterance: features ``(T, num_mels)`` + frame labels ``(T,)``."""
+    num_phones = int(rng.integers(config.min_phones, config.max_phones + 1))
+    phones = rng.integers(1, NUM_CLASSES, size=num_phones)  # exclude silence
+    durations = rng.integers(
+        config.min_duration, config.max_duration + 1, size=num_phones
+    )
+
+    labels: List[int] = [SILENCE_ID] * config.silence_frames
+    for phone, duration in zip(phones, durations):
+        labels.extend([int(phone)] * int(duration))
+    labels.extend([SILENCE_ID] * config.silence_frames)
+    labels_arr = np.asarray(labels, dtype=np.int64)
+    num_frames = len(labels_arr)
+
+    clean = prototypes[labels_arr].copy()
+    # Coarticulation: cross-fade frames adjacent to segment boundaries.
+    if config.coarticulation > 0:
+        boundaries = np.flatnonzero(labels_arr[1:] != labels_arr[:-1]) + 1
+        for boundary in boundaries:
+            for offset in range(config.coarticulation):
+                weight = 0.5 * (1.0 - offset / config.coarticulation) * 0.8
+                left = boundary - 1 - offset
+                right = boundary + offset
+                if left >= 0 and right < num_frames:
+                    blend = (1 - weight) * prototypes[labels_arr[left]] + (
+                        weight * prototypes[labels_arr[right]]
+                    )
+                    clean[left] = blend
+    # Speaker variability: spectral tilt + gain.
+    mels = np.arange(config.num_mels)
+    tilt = rng.normal(0, config.speaker_tilt) * (
+        (mels - config.num_mels / 2) / config.num_mels
+    )
+    gain = rng.normal(0, config.speaker_tilt)
+    features = clean + tilt[None, :] + gain
+    # AR(1) observation noise: temporally correlated like real channels.
+    noise = np.zeros_like(features)
+    if config.noise_level > 0:
+        innovation = rng.standard_normal(features.shape)
+        noise[0] = innovation[0]
+        for t in range(1, num_frames):
+            noise[t] = 0.5 * noise[t - 1] + innovation[t]
+        noise *= config.noise_level
+    return SequenceExample(features=features + noise, labels=labels_arr)
+
+
+def make_dataset(
+    num_utterances: int,
+    config: SynthConfig = SynthConfig(),
+    seed: RngLike = 0,
+) -> Dataset:
+    """Generate a corpus of ``num_utterances`` independent utterances."""
+    if num_utterances < 1:
+        raise ConfigError(f"num_utterances must be >= 1, got {num_utterances}")
+    prototypes = phone_prototypes(config)
+    rngs = spawn_rngs(seed, num_utterances)
+    return Dataset([synth_utterance(config, prototypes, r) for r in rngs])
+
+
+def make_corpus(
+    num_train: int,
+    num_test: int,
+    config: SynthConfig = SynthConfig(),
+    seed: RngLike = 0,
+) -> Tuple[Dataset, Dataset]:
+    """Generate disjoint train and test sets sharing the same acoustics."""
+    train_rng, test_rng = spawn_rngs(seed, 2)
+    return (
+        make_dataset(num_train, config, train_rng),
+        make_dataset(num_test, config, test_rng),
+    )
+
+
+# ----------------------------------------------------------------------
+# Waveform rendering path (exercises the full feature front-end)
+# ----------------------------------------------------------------------
+
+def phone_formants(
+    config: SynthConfig = SynthConfig(), sample_rate: int = 16000
+) -> np.ndarray:
+    """Deterministic ``(NUM_CLASSES, 3)`` formant frequencies in Hz."""
+    rng = new_rng(config.prototype_seed + 1)
+    formants = np.zeros((NUM_CLASSES, 3))
+    for phone in range(NUM_CLASSES):
+        f1 = rng.uniform(250, 900)
+        f2 = rng.uniform(900, 2500)
+        f3 = rng.uniform(2500, min(4000, sample_rate / 2 * 0.9))
+        formants[phone] = (f1, f2, f3)
+    formants[SILENCE_ID] = 0.0
+    return formants
+
+
+def synth_waveform(
+    labels: np.ndarray,
+    config: SynthConfig = SynthConfig(),
+    feature_config: FeatureConfig = FeatureConfig(),
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Render frame labels to a crude formant-synthesis waveform.
+
+    Each frame contributes ``hop_length`` samples: a sum of three sinusoids
+    at the frame phone's formant frequencies plus a little noise; silence
+    frames are near-silent.  Crude, but spectrally distinct per phone, so
+    the full front-end (:func:`log_mel_spectrogram`) recovers separable
+    features from it.
+    """
+    rng = new_rng(rng)
+    labels = np.asarray(labels, dtype=np.int64)
+    formants = phone_formants(config, feature_config.sample_rate)
+    hop = feature_config.hop_length
+    samples = np.zeros(len(labels) * hop)
+    time_index = np.arange(hop)
+    for frame, phone in enumerate(labels):
+        start = frame * hop
+        t = (start + time_index) / feature_config.sample_rate
+        if phone == SILENCE_ID:
+            chunk = 0.001 * rng.standard_normal(hop)
+        else:
+            chunk = np.zeros(hop)
+            for k, freq in enumerate(formants[phone]):
+                chunk += (0.5 / (k + 1)) * np.sin(2 * np.pi * freq * t)
+            chunk += 0.01 * rng.standard_normal(hop)
+        samples[start : start + hop] = chunk
+    return samples
+
+
+def waveform_example(
+    config: SynthConfig = SynthConfig(),
+    feature_config: FeatureConfig = FeatureConfig(),
+    seed: RngLike = 0,
+) -> Tuple[np.ndarray, SequenceExample]:
+    """One utterance rendered via waveform + front-end features.
+
+    Returns ``(waveform, example)`` where the example's features come from
+    :func:`log_mel_spectrogram` (truncated/padded to the label length).
+    """
+    rng = new_rng(seed)
+    prototypes = phone_prototypes(config)
+    base = synth_utterance(config, prototypes, rng)
+    waveform = synth_waveform(base.labels, config, feature_config, rng)
+    feats = log_mel_spectrogram(waveform, feature_config)
+    frames = min(len(feats), len(base.labels))
+    return waveform, SequenceExample(
+        features=feats[:frames], labels=base.labels[:frames]
+    )

@@ -1,0 +1,181 @@
+"""Training and evaluation of the GRU acoustic model, with pruning hooks.
+
+:class:`Trainer` owns the optimization loop and speaks the
+:class:`~repro.pruning.base.PruningMethod` protocol, so dense training,
+BSP (ADMM), and every baseline run through the same code path — mirroring
+how the paper trains all Table I entries "using the same TIMIT dataset".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nn import functional as F
+from repro.nn.data import Batch, DataLoader, Dataset
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor
+from repro.pruning.base import PruningMethod
+from repro.speech.decoder import decode_batch
+from repro.speech.metrics import collapse_frames, frame_accuracy, phone_error_rate
+from repro.speech.model import GRUAcousticModel
+from repro.utils.rng import RngLike, derive_seed, new_rng
+
+
+@dataclass(frozen=True)
+class TrainerConfig:
+    """Optimization settings."""
+
+    learning_rate: float = 3e-3
+    batch_size: int = 8
+    grad_clip: float = 5.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.learning_rate <= 0:
+            raise ConfigError(f"learning_rate must be positive, got {self.learning_rate}")
+        if self.batch_size < 1:
+            raise ConfigError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.grad_clip <= 0:
+            raise ConfigError(f"grad_clip must be positive, got {self.grad_clip}")
+
+
+@dataclass
+class EvalResult:
+    """Evaluation outcome on a dataset."""
+
+    per: float  # phone error rate, percent
+    frame_accuracy: float  # fraction of frames classified correctly
+    num_utterances: int
+
+
+@dataclass
+class TrainLog:
+    """Per-epoch training trace."""
+
+    losses: List[float] = field(default_factory=list)
+
+    def append(self, loss: float) -> None:
+        self.losses.append(loss)
+
+    @property
+    def final_loss(self) -> Optional[float]:
+        return self.losses[-1] if self.losses else None
+
+
+class Trainer:
+    """Adam training loop for :class:`GRUAcousticModel` with pruning hooks."""
+
+    def __init__(
+        self,
+        model: GRUAcousticModel,
+        train_set: Dataset,
+        test_set: Dataset,
+        config: TrainerConfig = TrainerConfig(),
+    ) -> None:
+        self.model = model
+        self.train_set = train_set
+        self.test_set = test_set
+        self.config = config
+        self.optimizer = Adam(model.parameters(), lr=config.learning_rate)
+        self.log = TrainLog()
+        self._epoch = 0
+
+    # -- single steps ---------------------------------------------------------
+    def _batch_loss(self, batch: Batch) -> Tensor:
+        logits = self.model(Tensor(batch.features))
+        t, b, c = logits.shape
+        return F.cross_entropy(
+            logits.reshape(t * b, c),
+            batch.labels.reshape(-1),
+            weight_mask=batch.mask.reshape(-1),
+        )
+
+    def _clip_gradients(self) -> None:
+        limit = self.config.grad_clip
+        total = 0.0
+        params = list(self.model.parameters())
+        for param in params:
+            if param.grad is not None:
+                total += float(np.sum(param.grad**2))
+        norm = np.sqrt(total)
+        if norm > limit:
+            scale = limit / norm
+            for param in params:
+                if param.grad is not None:
+                    param.grad *= scale
+
+    def train_epoch(self, method: Optional[PruningMethod] = None) -> float:
+        """One pass over the training set; returns the mean batch loss."""
+        self.model.train()
+        loader = DataLoader(
+            self.train_set,
+            batch_size=self.config.batch_size,
+            shuffle=True,
+            rng=new_rng(derive_seed(self.config.seed, self._epoch)),
+        )
+        losses = []
+        for batch in loader:
+            self.optimizer.zero_grad()
+            loss = self._batch_loss(batch)
+            loss.backward()
+            if method is not None:
+                method.on_batch_backward()
+            self._clip_gradients()
+            self.optimizer.step()
+            if method is not None:
+                method.on_batch_end()
+            losses.append(float(loss.data))
+        if method is not None:
+            method.on_epoch_end()
+        self._epoch += 1
+        mean_loss = float(np.mean(losses)) if losses else 0.0
+        self.log.append(mean_loss)
+        return mean_loss
+
+    # -- drivers --------------------------------------------------------------
+    def train_dense(self, epochs: int) -> float:
+        """Ordinary dense training for ``epochs``; returns final mean loss."""
+        loss = 0.0
+        for _ in range(epochs):
+            loss = self.train_epoch()
+        return loss
+
+    def run_pruning(self, method: PruningMethod, max_epochs: int = 100) -> int:
+        """Train until ``method.finished`` (or ``max_epochs``); returns epochs."""
+        epochs = 0
+        while not method.finished and epochs < max_epochs:
+            self.train_epoch(method)
+            epochs += 1
+        return epochs
+
+    # -- evaluation -------------------------------------------------------
+    def evaluate(
+        self, dataset: Optional[Dataset] = None, min_duration: int = 2
+    ) -> EvalResult:
+        """PER and frame accuracy on ``dataset`` (default: the test set)."""
+        dataset = dataset if dataset is not None else self.test_set
+        self.model.eval()
+        loader = DataLoader(
+            dataset, batch_size=self.config.batch_size, shuffle=False
+        )
+        references: List[List[int]] = []
+        hypotheses: List[List[int]] = []
+        correct_frames = 0.0
+        total_frames = 0
+        for batch in loader:
+            logits = self.model(Tensor(batch.features)).data
+            hypotheses.extend(decode_batch(logits, batch.lengths, min_duration))
+            predictions = logits.argmax(axis=2)
+            correct_frames += frame_accuracy(
+                batch.labels, predictions, batch.mask
+            ) * batch.num_frames()
+            total_frames += batch.num_frames()
+            for b, length in enumerate(batch.lengths):
+                references.append(collapse_frames(batch.labels[:length, b]))
+        per = phone_error_rate(references, hypotheses)
+        acc = correct_frames / total_frames if total_frames else 0.0
+        return EvalResult(per=per, frame_accuracy=acc, num_utterances=len(dataset))

@@ -1,0 +1,18 @@
+"""Shared utilities: seeded RNG handling, validation, small helpers."""
+
+from repro.utils.rng import new_rng, spawn_rngs
+from repro.utils.validation import (
+    check_2d,
+    check_positive_int,
+    check_probability,
+    check_same_shape,
+)
+
+__all__ = [
+    "new_rng",
+    "spawn_rngs",
+    "check_2d",
+    "check_positive_int",
+    "check_probability",
+    "check_same_shape",
+]

@@ -1,0 +1,47 @@
+"""Seeded random-number-generator helpers.
+
+Every stochastic component in the library accepts either an integer seed or a
+:class:`numpy.random.Generator`.  These helpers normalize that convention so
+experiments are reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+def new_rng(seed: RngLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``seed`` may be an ``int`` (deterministic), an existing generator
+    (returned unchanged), or ``None`` (OS entropy).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: RngLike, count: int) -> List[np.random.Generator]:
+    """Derive ``count`` independent child generators from ``seed``.
+
+    Uses :class:`numpy.random.SeedSequence` spawning so the children are
+    statistically independent and stable across runs for a fixed seed.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    if isinstance(seed, np.random.Generator):
+        seq = seed.bit_generator.seed_seq  # type: ignore[attr-defined]
+    else:
+        seq = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in seq.spawn(count)]
+
+
+def derive_seed(seed: Optional[int], *salts: int) -> int:
+    """Deterministically mix ``salts`` into ``seed`` to get a new seed."""
+    base = 0 if seed is None else int(seed)
+    mixed = np.random.SeedSequence([base, *[int(s) for s in salts]])
+    return int(mixed.generate_state(1, dtype=np.uint64)[0] % (2**63))

@@ -1,0 +1,40 @@
+"""Lightweight argument validation helpers used across the library."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+def check_2d(array: np.ndarray, name: str = "array") -> np.ndarray:
+    """Raise :class:`ShapeError` unless ``array`` is a 2-D ndarray."""
+    arr = np.asarray(array)
+    if arr.ndim != 2:
+        raise ShapeError(f"{name} must be 2-D, got shape {arr.shape}")
+    return arr
+
+
+def check_same_shape(a: np.ndarray, b: np.ndarray, what: str = "arrays") -> None:
+    """Raise :class:`ShapeError` unless ``a`` and ``b`` have equal shapes."""
+    if np.shape(a) != np.shape(b):
+        raise ShapeError(
+            f"{what} must have the same shape, got {np.shape(a)} vs {np.shape(b)}"
+        )
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Raise ``ValueError`` unless ``value`` is a positive integer."""
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise ValueError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return int(value)
+
+
+def check_probability(value: float, name: str) -> float:
+    """Raise ``ValueError`` unless ``0 <= value <= 1``."""
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return value

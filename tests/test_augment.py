@@ -1,0 +1,158 @@
+"""Tests for feature-space augmentation (repro.speech.augment)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.nn.data import Dataset, SequenceExample
+from repro.speech.augment import (
+    AugmentConfig,
+    add_noise,
+    augment_dataset,
+    spec_mask,
+    spectral_tilt,
+    time_warp,
+)
+
+
+@pytest.fixture
+def example(rng):
+    return SequenceExample(
+        features=rng.standard_normal((12, 8)),
+        labels=rng.integers(0, 5, 12),
+    )
+
+
+class TestAddNoise:
+    def test_labels_unchanged(self, example):
+        out = add_noise(example, 0.5, rng=0)
+        np.testing.assert_array_equal(out.labels, example.labels)
+
+    def test_zero_level_identity(self, example):
+        out = add_noise(example, 0.0, rng=0)
+        np.testing.assert_array_equal(out.features, example.features)
+
+    def test_original_not_mutated(self, example):
+        before = example.features.copy()
+        add_noise(example, 1.0, rng=0)
+        np.testing.assert_array_equal(example.features, before)
+
+    def test_rejects_negative(self, example):
+        with pytest.raises(ConfigError):
+            add_noise(example, -0.1)
+
+    def test_deterministic(self, example):
+        a = add_noise(example, 0.5, rng=3)
+        b = add_noise(example, 0.5, rng=3)
+        np.testing.assert_array_equal(a.features, b.features)
+
+
+class TestSpectralTilt:
+    def test_tilt_is_rank_one_in_frequency(self, example):
+        out = spectral_tilt(example, 0.5, rng=0)
+        delta = out.features - example.features
+        # Same offset per frame.
+        np.testing.assert_allclose(delta, np.broadcast_to(delta[0], delta.shape))
+
+    def test_zero_strength_identity(self, example):
+        out = spectral_tilt(example, 0.0, rng=0)
+        np.testing.assert_array_equal(out.features, example.features)
+
+    def test_rejects_negative(self, example):
+        with pytest.raises(ConfigError):
+            spectral_tilt(example, -1.0)
+
+
+class TestTimeWarp:
+    def test_length_within_stretch(self, example):
+        out = time_warp(example, max_stretch=0.25, rng=0)
+        assert abs(len(out) - 12) <= 12 * 0.25 + 1
+
+    def test_labels_warped_with_features(self, example):
+        out = time_warp(example, max_stretch=0.3, rng=1)
+        assert out.features.shape[0] == out.labels.shape[0]
+        # Every output frame is a copy of some input frame with its label.
+        for t in range(len(out)):
+            matches = np.where(
+                (example.features == out.features[t]).all(axis=1)
+            )[0]
+            assert len(matches) >= 1
+            assert example.labels[matches[0]] == out.labels[t]
+
+    def test_zero_stretch_identity(self, example):
+        out = time_warp(example, max_stretch=0.0, rng=0)
+        np.testing.assert_array_equal(out.features, example.features)
+
+    def test_rejects_bad_stretch(self, example):
+        with pytest.raises(ConfigError):
+            time_warp(example, max_stretch=1.0)
+
+
+class TestSpecMask:
+    def test_masks_applied(self, example):
+        out = spec_mask(example, max_time_frames=3, max_freq_bins=3,
+                        fill_value=0.0, rng=0)
+        assert (out.features == 0.0).any()
+
+    def test_labels_unchanged(self, example):
+        out = spec_mask(example, rng=0)
+        np.testing.assert_array_equal(out.labels, example.labels)
+
+    def test_zero_sizes_identity(self, example):
+        out = spec_mask(example, max_time_frames=0, max_freq_bins=0, rng=0)
+        np.testing.assert_array_equal(out.features, example.features)
+
+    def test_rejects_negative_sizes(self, example):
+        with pytest.raises(ConfigError):
+            spec_mask(example, max_time_frames=-1)
+
+
+class TestAugmentDataset:
+    def make_dataset(self, rng, n=4):
+        return Dataset(
+            [
+                SequenceExample(
+                    features=rng.standard_normal((10, 6)),
+                    labels=rng.integers(0, 4, 10),
+                )
+                for _ in range(n)
+            ]
+        )
+
+    def test_size_grows(self, rng):
+        dataset = self.make_dataset(rng)
+        out = augment_dataset(dataset, copies=2, rng=0)
+        assert len(out) == 12
+
+    def test_originals_preserved_first(self, rng):
+        dataset = self.make_dataset(rng)
+        out = augment_dataset(dataset, copies=1, rng=0)
+        for i in range(4):
+            np.testing.assert_array_equal(
+                out[i].features, dataset[i].features
+            )
+
+    def test_copies_zero(self, rng):
+        dataset = self.make_dataset(rng)
+        out = augment_dataset(dataset, copies=0, rng=0)
+        assert len(out) == 4
+
+    def test_deterministic(self, rng):
+        dataset = self.make_dataset(rng)
+        a = augment_dataset(dataset, copies=1, rng=5)
+        b = augment_dataset(dataset, copies=1, rng=5)
+        np.testing.assert_array_equal(a[5].features, b[5].features)
+
+    def test_rejects_negative_copies(self, rng):
+        with pytest.raises(ConfigError):
+            augment_dataset(self.make_dataset(rng), copies=-1)
+
+    def test_config_disable_spec_mask(self, rng):
+        dataset = self.make_dataset(rng)
+        out = augment_dataset(
+            dataset, copies=1,
+            config=AugmentConfig(noise_level=0.0, tilt_strength=0.0,
+                                 max_stretch=0.0, use_spec_mask=False),
+            rng=0,
+        )
+        np.testing.assert_array_equal(out[4].features, dataset[0].features)

@@ -1,0 +1,165 @@
+"""Tests for compile pipeline + auto-tuner (repro.compiler.pipeline/autotune)."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.autotune import (
+    TuningCandidate,
+    default_tile_space,
+    find_best_block_size,
+    tune_execution_config,
+)
+from repro.compiler.codegen import CompileOptions
+from repro.compiler.ir import TileConfig
+from repro.compiler.pipeline import CompiledModel, compile_model, compile_weights
+from repro.errors import CompilationError
+from repro.hw.profiles import ADRENO_640, KRYO_485
+from repro.pruning.bsp import BSPConfig, bsp_project_masks
+
+
+def pruned_weights(rng, compression=8.0):
+    weights = {
+        "a": rng.standard_normal((24, 32)),
+        "b": rng.standard_normal((24, 24)),
+    }
+    if compression <= 1.0:
+        return weights
+    masks = bsp_project_masks(
+        weights,
+        BSPConfig(col_rate=compression / 2, row_rate=2.0, num_row_strips=4,
+                  num_col_blocks=4),
+    )
+    return {n: masks[n].apply_to_array(w) for n, w in weights.items()}
+
+
+class TestCompileWeights:
+    def test_plan_has_one_layer_per_matrix(self, rng):
+        plan = compile_weights(pruned_weights(rng), timesteps=10)
+        assert [l.name for l in plan.layers] == ["a", "b"]
+        assert plan.timesteps == 10
+
+    def test_rejects_empty(self):
+        with pytest.raises(CompilationError):
+            compile_weights({})
+
+    def test_compiled_model_properties(self, rng):
+        compiled = compile_model(pruned_weights(rng), timesteps=10)
+        assert isinstance(compiled, CompiledModel)
+        assert compiled.compression_rate > 1.0
+        assert compiled.gop_per_frame == compiled.plan.gop_per_inference
+
+    def test_simulate_and_energy(self, rng):
+        compiled = compile_model(pruned_weights(rng), timesteps=10)
+        sim = compiled.simulate(ADRENO_640)
+        report = compiled.energy(ADRENO_640)
+        assert report.latency_us == pytest.approx(sim.latency_us)
+        assert report.normalized_efficiency > 0
+
+    def test_dense_compression_is_one(self, rng):
+        compiled = compile_model(pruned_weights(rng, compression=1.0), timesteps=10)
+        assert compiled.compression_rate == pytest.approx(1.0)
+
+    def test_ablation_passes_affect_latency(self, rng):
+        """Disabling reorder + load elimination must not make the model
+        faster — the ablation direction of the paper's Section IV-B."""
+        weights = pruned_weights(rng, compression=16.0)
+        full = compile_model(weights, CompileOptions(), timesteps=10)
+        stripped = compile_model(
+            weights,
+            CompileOptions(enable_reorder=False, enable_load_elimination=False),
+            timesteps=10,
+        )
+        assert (
+            full.simulate(KRYO_485).latency_us
+            <= stripped.simulate(KRYO_485).latency_us + 1e-9
+        )
+
+
+class TestTileSpace:
+    def test_default_space_nonempty(self):
+        space = default_tile_space()
+        assert len(space) >= 6
+        assert all(isinstance(t, TileConfig) for t in space)
+
+    def test_max_rows_respected(self):
+        space = default_tile_space(max_rows_per_thread=4)
+        assert max(t.rows_per_thread for t in space) == 4
+
+
+class TestTuneExecutionConfig:
+    def test_best_is_minimum_of_trace(self, rng):
+        result = tune_execution_config(pruned_weights(rng), ADRENO_640)
+        assert result.best.latency_us == min(c.latency_us for c in result.trace)
+        assert result.num_evaluated == len(default_tile_space())
+
+    def test_explicit_space(self, rng):
+        space = [TileConfig(rows_per_thread=1), TileConfig(rows_per_thread=8)]
+        result = tune_execution_config(
+            pruned_weights(rng), ADRENO_640, tile_space=space
+        )
+        assert result.num_evaluated == 2
+        assert result.best.tile in space
+
+    def test_empty_space_rejected(self, rng):
+        with pytest.raises(CompilationError):
+            tune_execution_config(pruned_weights(rng), ADRENO_640, tile_space=[])
+
+    def test_candidate_score(self):
+        cand = TuningCandidate(
+            tile=TileConfig(), num_row_strips=4, num_col_blocks=4,
+            latency_us=100.0, accuracy_proxy=0.9,
+        )
+        assert cand.score() == 100.0
+        assert cand.score(accuracy_weight=10.0) == pytest.approx(91.0)
+
+
+class TestBlockSizeSearch:
+    def test_returns_feasible_grid(self, rng):
+        weights = {
+            "a": rng.standard_normal((16, 16)),
+            "b": rng.standard_normal((16, 16)),
+        }
+        result = find_best_block_size(
+            weights, ADRENO_640, col_rate=4.0, row_rate=2.0,
+            strip_choices=(2, 4), block_choices=(2, 4),
+        )
+        assert result.best.num_row_strips in (2, 4)
+        assert result.best.num_col_blocks in (2, 4)
+        assert result.num_evaluated == 4
+
+    def test_accuracy_proxy_in_unit_interval(self, rng):
+        weights = {"a": rng.standard_normal((16, 16))}
+        result = find_best_block_size(
+            weights, ADRENO_640, col_rate=4.0, row_rate=1.0,
+            strip_choices=(2,), block_choices=(2, 4),
+        )
+        for cand in result.trace:
+            assert 0.0 <= cand.accuracy_proxy <= 1.0
+
+    def test_infeasible_grids_skipped(self, rng):
+        weights = {"a": rng.standard_normal((4, 4))}
+        result = find_best_block_size(
+            weights, ADRENO_640, col_rate=2.0, row_rate=1.0,
+            strip_choices=(2, 64), block_choices=(2, 64),
+        )
+        assert result.num_evaluated == 1  # only (2, 2) feasible
+
+    def test_all_infeasible_rejected(self, rng):
+        weights = {"a": rng.standard_normal((4, 4))}
+        with pytest.raises(CompilationError):
+            find_best_block_size(
+                weights, ADRENO_640, col_rate=2.0, row_rate=1.0,
+                strip_choices=(64,), block_choices=(64,),
+            )
+
+    def test_accuracy_weight_changes_choice_possible(self, rng):
+        # With a huge accuracy weight, the best grid is the one with the
+        # highest retained-energy proxy.
+        weights = {"a": rng.standard_normal((32, 32))}
+        result = find_best_block_size(
+            weights, ADRENO_640, col_rate=8.0, row_rate=1.0,
+            strip_choices=(1, 8), block_choices=(1, 8),
+            accuracy_weight=1e9,
+        )
+        best_proxy = max(c.accuracy_proxy for c in result.trace)
+        assert result.best.accuracy_proxy == pytest.approx(best_proxy)

@@ -1,0 +1,245 @@
+"""Tests for the baseline compression methods (magnitude, BBS, structured,
+block-circulant) and the shared PruningMethod protocol."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.nn.module import Parameter
+from repro.pruning.bank_balanced import BBSConfig, BBSPruner, bbs_project_masks
+from repro.pruning.base import DenseBaseline, PruningMethod
+from repro.pruning.block_circulant import (
+    BlockCirculantCompressor,
+    BlockCirculantConfig,
+    circulant_compression_rate,
+    project_block_circulant,
+)
+from repro.pruning.magnitude import (
+    MagnitudeConfig,
+    MagnitudePruner,
+    magnitude_project_masks,
+)
+from repro.pruning.structured import (
+    StructuredConfig,
+    StructuredPruner,
+    structured_project_masks,
+)
+
+
+def params_for(rng, shapes=((8, 12), (8, 8))):
+    return {
+        f"w{i}": Parameter(rng.standard_normal(shape))
+        for i, shape in enumerate(shapes)
+    }
+
+
+def run_epochs(pruner, params, rng, max_epochs=20):
+    epochs = 0
+    while not pruner.finished and epochs < max_epochs:
+        for _ in range(2):
+            for p in params.values():
+                p.grad = 0.01 * rng.standard_normal(p.data.shape)
+            pruner.on_batch_backward()
+            for p in params.values():
+                p.data -= 0.01 * p.grad
+            pruner.on_batch_end()
+        pruner.on_epoch_end()
+        epochs += 1
+    return epochs
+
+
+class TestProtocol:
+    def test_base_hooks_are_noops(self, rng):
+        method = PruningMethod(params_for(rng))
+        method.on_batch_backward()
+        method.on_batch_end()
+        method.on_epoch_end()
+        assert method.finished
+        assert method.masks is None
+        assert method.compression_rate() == 1.0
+
+    def test_rejects_empty_params(self):
+        with pytest.raises(ValueError):
+            PruningMethod({})
+
+    def test_dense_baseline_all_ones(self, rng):
+        method = DenseBaseline(params_for(rng))
+        assert method.masks.compression_rate() == 1.0
+
+
+class TestMagnitude:
+    def test_schedule_ramps_geometrically(self):
+        config = MagnitudeConfig(rate=8.0, num_stages=3)
+        assert config.stage_rate(1) == pytest.approx(2.0)
+        assert config.stage_rate(2) == pytest.approx(4.0)
+        assert config.stage_rate(3) == pytest.approx(8.0)
+        assert config.stage_rate(5) == pytest.approx(8.0)  # clamped
+
+    def test_reaches_target_rate(self, rng):
+        params = params_for(rng)
+        pruner = MagnitudePruner(params, MagnitudeConfig(rate=4.0, num_stages=2,
+                                                         retrain_epochs=1))
+        run_epochs(pruner, params, rng)
+        assert pruner.finished
+        assert pruner.masks.compression_rate() == pytest.approx(4.0, rel=0.1)
+
+    def test_weights_zeroed_by_masks(self, rng):
+        params = params_for(rng)
+        pruner = MagnitudePruner(params, MagnitudeConfig(rate=4.0, num_stages=2,
+                                                         retrain_epochs=0))
+        run_epochs(pruner, params, rng)
+        for name, p in params.items():
+            assert np.all(p.data[~pruner.masks[name].keep] == 0.0)
+
+    def test_one_shot_projection(self, rng):
+        masks = magnitude_project_masks(
+            {"w": rng.standard_normal((8, 8))}, rate=4.0
+        )
+        assert masks["w"].nnz == 16
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigError):
+            MagnitudeConfig(rate=0.5)
+        with pytest.raises(ConfigError):
+            MagnitudeConfig(num_stages=0)
+
+
+class TestBBS:
+    def test_reaches_target(self, rng):
+        params = params_for(rng)
+        pruner = BBSPruner(params, BBSConfig(rate=4.0, bank_size=4, num_stages=2,
+                                             retrain_epochs=1))
+        run_epochs(pruner, params, rng)
+        assert pruner.finished
+        assert pruner.masks.compression_rate() == pytest.approx(4.0, rel=0.1)
+
+    def test_rows_balanced(self, rng):
+        params = params_for(rng, shapes=((8, 16),))
+        pruner = BBSPruner(params, BBSConfig(rate=4.0, bank_size=4, num_stages=1,
+                                             retrain_epochs=0))
+        run_epochs(pruner, params, rng)
+        counts = pruner.masks["w0"].keep.sum(axis=1)
+        assert len(set(counts.tolist())) == 1
+
+    def test_bank_clamped_to_width(self, rng):
+        params = params_for(rng, shapes=((4, 6),))
+        pruner = BBSPruner(params, BBSConfig(rate=2.0, bank_size=32, num_stages=1,
+                                             retrain_epochs=0))
+        run_epochs(pruner, params, rng)
+        assert pruner.masks is not None
+
+    def test_one_shot_projection(self, rng):
+        masks = bbs_project_masks({"w": rng.standard_normal((4, 8))}, 2.0, 4)
+        assert masks["w"].compression_rate() == pytest.approx(2.0)
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigError):
+            BBSConfig(bank_size=0)
+
+
+class TestStructured:
+    def test_row_pruning_removes_whole_rows(self, rng):
+        params = params_for(rng, shapes=((8, 8),))
+        pruner = StructuredPruner(
+            params, StructuredConfig(rate=2.0, axis="row", admm_epochs=2,
+                                     retrain_epochs=1)
+        )
+        run_epochs(pruner, params, rng)
+        keep = pruner.masks["w0"].keep
+        row_alive = keep.any(axis=1)
+        assert row_alive.sum() == 4
+        assert np.all(keep[row_alive])
+
+    def test_column_pruning_removes_whole_columns(self, rng):
+        params = params_for(rng, shapes=((8, 8),))
+        pruner = StructuredPruner(
+            params, StructuredConfig(rate=4.0, axis="column", admm_epochs=2,
+                                     retrain_epochs=0)
+        )
+        run_epochs(pruner, params, rng)
+        keep = pruner.masks["w0"].keep
+        col_alive = keep.any(axis=0)
+        assert col_alive.sum() == 2
+        assert np.all(keep[:, col_alive])
+
+    def test_one_shot_projection(self, rng):
+        masks = structured_project_masks(
+            {"w": rng.standard_normal((8, 8))}, 2.0, axis="row"
+        )
+        assert masks["w"].keep.any(axis=1).sum() == 4
+
+    def test_rejects_bad_axis(self):
+        with pytest.raises(ConfigError):
+            StructuredConfig(axis="diagonal")
+        with pytest.raises(ConfigError):
+            structured_project_masks({"w": np.ones((2, 2))}, 2.0, axis="bad")
+
+
+class TestBlockCirculant:
+    def test_projection_produces_circulant_blocks(self, rng):
+        w = rng.standard_normal((8, 8))
+        out = project_block_circulant(w, 4)
+        block = out[:4, :4]
+        for i in range(4):
+            for j in range(4):
+                assert block[i, j] == pytest.approx(block[(i + 1) % 4, (j + 1) % 4])
+
+    def test_projection_idempotent(self, rng):
+        w = rng.standard_normal((8, 8))
+        once = project_block_circulant(w, 4)
+        np.testing.assert_allclose(project_block_circulant(once, 4), once)
+
+    def test_projection_preserves_diagonal_means(self, rng):
+        w = rng.standard_normal((4, 4))
+        out = project_block_circulant(w, 4)
+        diag0 = [w[i, i] for i in range(4)]
+        assert out[0, 0] == pytest.approx(np.mean(diag0))
+
+    def test_edge_blocks_untouched(self, rng):
+        w = rng.standard_normal((6, 6))
+        out = project_block_circulant(w, 4)
+        np.testing.assert_array_equal(out[4:, :], w[4:, :])
+        np.testing.assert_array_equal(out[:4, 4:], w[:4, 4:])
+
+    def test_block_size_one_is_identity(self, rng):
+        w = rng.standard_normal((4, 4))
+        np.testing.assert_array_equal(project_block_circulant(w, 1), w)
+
+    def test_compression_rate_exact_division(self):
+        assert circulant_compression_rate((8, 8), 4) == pytest.approx(4.0)
+        assert circulant_compression_rate((16, 16), 8) == pytest.approx(8.0)
+
+    def test_compression_rate_with_edges(self):
+        rate = circulant_compression_rate((10, 10), 4)
+        assert 1.0 < rate < 4.0  # edge blocks stay dense
+
+    def test_compressor_keeps_weights_circulant(self, rng):
+        params = params_for(rng, shapes=((8, 8),))
+        compressor = BlockCirculantCompressor(
+            params, BlockCirculantConfig(block_size=4, train_epochs=2)
+        )
+        run_epochs(compressor, params, rng)
+        w = params["w0"].data
+        np.testing.assert_allclose(project_block_circulant(w, 4), w, atol=1e-12)
+
+    def test_compressor_compression_rate(self, rng):
+        params = params_for(rng, shapes=((8, 8),))
+        compressor = BlockCirculantCompressor(
+            params, BlockCirculantConfig(block_size=4, train_epochs=0)
+        )
+        assert compressor.compression_rate() == pytest.approx(4.0)
+
+    def test_masks_are_all_ones(self, rng):
+        params = params_for(rng, shapes=((8, 8),))
+        compressor = BlockCirculantCompressor(
+            params, BlockCirculantConfig(block_size=4, train_epochs=0)
+        )
+        assert compressor.masks["w0"].nnz == 64
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigError):
+            BlockCirculantConfig(block_size=0)
+        with pytest.raises(ConfigError):
+            project_block_circulant(np.ones((4, 4)), 0)
+        with pytest.raises(ConfigError):
+            project_block_circulant(np.ones(4), 2)

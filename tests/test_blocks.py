@@ -1,0 +1,117 @@
+"""Tests for block partitioning (repro.sparse.blocks)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.sparse.blocks import BlockGrid, grid_for
+
+
+class TestBlockGrid:
+    def test_even_split_bounds(self):
+        grid = BlockGrid(8, 12, 4, 3)
+        assert grid.row_bounds() == [(0, 2), (2, 4), (4, 6), (6, 8)]
+        assert grid.col_bounds() == [(0, 4), (4, 8), (8, 12)]
+
+    def test_uneven_split_sizes_differ_by_at_most_one(self):
+        grid = BlockGrid(10, 7, 3, 3)
+        row_sizes = [stop - start for start, stop in grid.row_bounds()]
+        col_sizes = [stop - start for start, stop in grid.col_bounds()]
+        assert max(row_sizes) - min(row_sizes) <= 1
+        assert max(col_sizes) - min(col_sizes) <= 1
+
+    def test_num_blocks(self):
+        assert BlockGrid(8, 8, 2, 4).num_blocks == 8
+
+    def test_regions_cover_matrix_exactly(self):
+        grid = BlockGrid(7, 9, 3, 4)
+        coverage = np.zeros((7, 9), dtype=int)
+        for region in grid.regions():
+            rs, cs = region.slice()
+            coverage[rs, cs] += 1
+        np.testing.assert_array_equal(coverage, np.ones((7, 9), dtype=int))
+
+    def test_region_lookup(self):
+        grid = BlockGrid(8, 8, 2, 2)
+        region = grid.region(1, 0)
+        assert region.row_start == 4 and region.col_start == 0
+        assert region.shape == (4, 4)
+
+    def test_strip_of_row(self):
+        grid = BlockGrid(8, 8, 4, 2)
+        assert grid.strip_of_row(0) == 0
+        assert grid.strip_of_row(7) == 3
+        assert grid.strip_of_row(3) == 1
+
+    def test_block_of_col(self):
+        grid = BlockGrid(8, 9, 2, 3)
+        assert grid.block_of_col(0) == 0
+        assert grid.block_of_col(8) == 2
+
+    def test_strip_of_row_out_of_range(self):
+        with pytest.raises(IndexError):
+            BlockGrid(8, 8, 2, 2).strip_of_row(8)
+
+    def test_block_of_col_out_of_range(self):
+        with pytest.raises(IndexError):
+            BlockGrid(8, 8, 2, 2).block_of_col(-1)
+
+    def test_too_many_strips_rejected(self):
+        with pytest.raises(ConfigError):
+            BlockGrid(4, 8, 5, 2)
+
+    def test_too_many_blocks_rejected(self):
+        with pytest.raises(ConfigError):
+            BlockGrid(8, 4, 2, 5)
+
+    def test_zero_dims_rejected(self):
+        with pytest.raises(ValueError):
+            BlockGrid(0, 4, 1, 1)
+
+    def test_validate_matrix(self):
+        grid = BlockGrid(4, 6, 2, 2)
+        grid.validate_matrix(np.zeros((4, 6)))
+        with pytest.raises(ConfigError):
+            grid.validate_matrix(np.zeros((4, 5)))
+
+    def test_grid_for(self):
+        grid = grid_for(np.zeros((6, 8)), 2, 4)
+        assert grid.shape == (6, 8)
+
+    def test_grid_for_rejects_1d(self):
+        with pytest.raises(ConfigError):
+            grid_for(np.zeros(5), 1, 1)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    rows=st.integers(1, 40),
+    cols=st.integers(1, 40),
+    data=st.data(),
+)
+def test_property_regions_partition_matrix(rows, cols, data):
+    """Every grid's regions tile the matrix with no gaps or overlaps."""
+    strips = data.draw(st.integers(1, rows))
+    blocks = data.draw(st.integers(1, cols))
+    grid = BlockGrid(rows, cols, strips, blocks)
+    coverage = np.zeros((rows, cols), dtype=int)
+    for region in grid.regions():
+        rs, cs = region.slice()
+        coverage[rs, cs] += 1
+    assert np.all(coverage == 1)
+
+
+@settings(max_examples=50, deadline=None)
+@given(rows=st.integers(1, 30), strips=st.integers(1, 30))
+def test_property_strip_lookup_consistent(rows, strips):
+    """strip_of_row agrees with row_bounds for every row."""
+    if strips > rows:
+        strips = rows
+    grid = BlockGrid(rows, 4, strips, 1)
+    bounds = grid.row_bounds()
+    for row in range(rows):
+        strip = grid.strip_of_row(row)
+        start, stop = bounds[strip]
+        assert start <= row < stop

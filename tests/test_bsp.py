@@ -1,0 +1,247 @@
+"""Tests for BSP (repro.pruning.bsp) — the paper's Algorithm 1."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.nn.module import Parameter
+from repro.pruning.bsp import BSPConfig, BSPPruner, bsp_project_masks
+from repro.sparse.blocks import grid_for
+
+
+def params_for(rng, shapes=((12, 16), (12, 12))):
+    return {
+        f"w{i}": Parameter(rng.standard_normal(shape))
+        for i, shape in enumerate(shapes)
+    }
+
+
+class TestBSPConfig:
+    def test_nominal_compression(self):
+        assert BSPConfig(col_rate=16, row_rate=2).nominal_compression == 32
+
+    def test_rejects_sub_one_rates(self):
+        with pytest.raises(ConfigError):
+            BSPConfig(col_rate=0.5)
+        with pytest.raises(ConfigError):
+            BSPConfig(row_rate=0.0)
+
+    def test_rejects_bad_rho(self):
+        with pytest.raises(ConfigError):
+            BSPConfig(rho=-1.0)
+
+    def test_rejects_zero_strips(self):
+        with pytest.raises(ConfigError):
+            BSPConfig(num_row_strips=0)
+
+
+class TestProjectMasks:
+    def test_structure_block_columns_and_rows(self, rng):
+        w = rng.standard_normal((16, 16))
+        config = BSPConfig(
+            col_rate=4, row_rate=2, num_row_strips=4, num_col_blocks=4
+        )
+        mask = bsp_project_masks({"w": w}, config)["w"]
+        grid = grid_for(w, 4, 4)
+        kept_rows = mask.keep.any(axis=1)
+        # Row structure: exactly ceil(16/2)=8 surviving rows.
+        assert kept_rows.sum() == 8
+        # Block-column structure: within each block, surviving rows share
+        # the same kept-column set.
+        for region in grid.regions():
+            rs, cs = region.slice()
+            block = mask.keep[rs, cs]
+            alive = block.any(axis=1)
+            if alive.sum() > 1:
+                rows = block[alive]
+                assert np.all(rows == rows[0])
+
+    def test_compression_approximates_nominal(self, rng):
+        w = rng.standard_normal((64, 64))
+        config = BSPConfig(col_rate=8, row_rate=2, num_row_strips=4, num_col_blocks=4)
+        mask = bsp_project_masks({"w": w}, config)["w"]
+        assert mask.compression_rate() == pytest.approx(16.0, rel=0.3)
+
+    def test_rate_one_keeps_all(self, rng):
+        w = rng.standard_normal((8, 8))
+        mask = bsp_project_masks(
+            {"w": w}, BSPConfig(col_rate=1, row_rate=1, num_row_strips=2, num_col_blocks=2)
+        )["w"]
+        assert mask.nnz == 64
+
+    def test_multiple_matrices(self, rng):
+        masks = bsp_project_masks(
+            {"a": rng.standard_normal((8, 8)), "b": rng.standard_normal((12, 8))},
+            BSPConfig(col_rate=4, row_rate=1, num_row_strips=2, num_col_blocks=2),
+        )
+        assert len(masks) == 2
+
+    def test_deterministic(self, rng):
+        w = rng.standard_normal((8, 8))
+        config = BSPConfig(col_rate=4, row_rate=2, num_row_strips=2, num_col_blocks=2)
+        a = bsp_project_masks({"w": w.copy()}, config)["w"]
+        b = bsp_project_masks({"w": w.copy()}, config)["w"]
+        np.testing.assert_array_equal(a.keep, b.keep)
+
+
+class FakeEpoch:
+    """Drives pruner hooks as a training epoch would, with tiny updates."""
+
+    def __init__(self, params, rng, batches=3):
+        self.params = params
+        self.rng = rng
+        self.batches = batches
+
+    def run(self, pruner):
+        for _ in range(self.batches):
+            for param in self.params.values():
+                param.grad = 0.01 * self.rng.standard_normal(param.data.shape)
+            pruner.on_batch_backward()
+            for param in self.params.values():
+                param.data -= 0.01 * param.grad
+            pruner.on_batch_end()
+        pruner.on_epoch_end()
+
+
+class TestPhaseMachine:
+    def config(self, **kw):
+        defaults = dict(
+            col_rate=4,
+            row_rate=2,
+            num_row_strips=2,
+            num_col_blocks=2,
+            step1_admm_epochs=2,
+            step1_retrain_epochs=1,
+            step2_admm_epochs=2,
+            step2_retrain_epochs=1,
+        )
+        defaults.update(kw)
+        return BSPConfig(**defaults)
+
+    def test_initial_phase(self, rng):
+        pruner = BSPPruner(params_for(rng), self.config())
+        assert pruner.phase == "step1_admm"
+        assert not pruner.finished
+
+    def test_full_phase_sequence(self, rng):
+        params = params_for(rng)
+        pruner = BSPPruner(params, self.config())
+        epoch = FakeEpoch(params, rng)
+        phases = [pruner.phase]
+        for _ in range(6):
+            epoch.run(pruner)
+            phases.append(pruner.phase)
+        assert phases == [
+            "step1_admm",
+            "step1_admm",
+            "step1_retrain",
+            "step2_admm",
+            "step2_admm",
+            "step2_retrain",
+            "done",
+        ]
+        assert pruner.finished
+
+    def test_zero_epoch_phases_skip(self, rng):
+        params = params_for(rng)
+        pruner = BSPPruner(
+            params,
+            self.config(
+                step1_admm_epochs=1,
+                step1_retrain_epochs=0,
+                step2_admm_epochs=0,
+                step2_retrain_epochs=0,
+            ),
+        )
+        FakeEpoch(params, rng).run(pruner)
+        assert pruner.finished
+
+    def test_masks_none_before_step1_done(self, rng):
+        pruner = BSPPruner(params_for(rng), self.config())
+        assert pruner.masks is None
+
+    def test_masks_after_step1(self, rng):
+        params = params_for(rng)
+        pruner = BSPPruner(params, self.config(step1_admm_epochs=1))
+        FakeEpoch(params, rng).run(pruner)
+        assert pruner.phase == "step1_retrain"
+        assert pruner.masks is not None
+
+    def test_final_masks_enforced_on_weights(self, rng):
+        params = params_for(rng)
+        pruner = BSPPruner(params, self.config())
+        epoch = FakeEpoch(params, rng)
+        while not pruner.finished:
+            epoch.run(pruner)
+        for name, param in params.items():
+            mask = pruner.masks[name]
+            assert np.all(param.data[~mask.keep] == 0.0)
+
+    def test_ramp_rate_monotone_nondecreasing(self, rng):
+        params = params_for(rng)
+        pruner = BSPPruner(params, self.config(step1_admm_epochs=4))
+        epoch = FakeEpoch(params, rng)
+        rates = [pruner._ramp_rate]
+        for _ in range(3):
+            epoch.run(pruner)
+            rates.append(pruner._ramp_rate)
+        assert all(b >= a for a, b in zip(rates, rates[1:]))
+        assert rates[-1] == pytest.approx(4.0)
+
+    def test_final_compression_combines_steps(self, rng):
+        params = params_for(rng, shapes=((16, 16),))
+        pruner = BSPPruner(params, self.config())
+        epoch = FakeEpoch(params, rng)
+        while not pruner.finished:
+            epoch.run(pruner)
+        # col 4 x row 2 = ~8x
+        assert pruner.masks.compression_rate() == pytest.approx(8.0, rel=0.35)
+
+    def test_training_after_done_keeps_masks(self, rng):
+        params = params_for(rng)
+        pruner = BSPPruner(params, self.config())
+        epoch = FakeEpoch(params, rng)
+        while not pruner.finished:
+            epoch.run(pruner)
+        masks = pruner.masks
+        epoch.run(pruner)  # extra epoch after done
+        for name, param in params.items():
+            assert np.all(param.data[~masks[name].keep] == 0.0)
+
+    def test_primal_residual_zero_outside_admm(self, rng):
+        params = params_for(rng)
+        pruner = BSPPruner(params, self.config(step1_admm_epochs=1))
+        FakeEpoch(params, rng).run(pruner)  # now in step1_retrain
+        assert pruner.primal_residual() == 0.0
+
+    def test_step2_respects_step1_structure(self, rng):
+        params = params_for(rng, shapes=((16, 16),))
+        pruner = BSPPruner(params, self.config())
+        epoch = FakeEpoch(params, rng)
+        while not pruner.finished:
+            epoch.run(pruner)
+        combined = pruner.masks["w0"]
+        step1 = pruner.step1_masks["w0"]
+        # Combined mask can only remove weights relative to step 1.
+        assert np.all(~combined.keep | step1.keep)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    col_rate=st.floats(1.0, 8.0),
+    row_rate=st.floats(1.0, 4.0),
+    seed=st.integers(0, 100),
+)
+def test_property_bsp_masks_row_counts(col_rate, row_rate, seed):
+    """Step 2 always keeps exactly ceil(rows/row_rate) rows."""
+    rng = np.random.default_rng(seed)
+    w = rng.standard_normal((12, 12))
+    mask = bsp_project_masks(
+        {"w": w},
+        BSPConfig(col_rate=col_rate, row_rate=row_rate, num_row_strips=3,
+                  num_col_blocks=3),
+    )["w"]
+    expected_rows = int(np.ceil(12 / row_rate))
+    assert mask.keep.any(axis=1).sum() == min(12, expected_rows)

@@ -1,0 +1,153 @@
+"""Tests for the E-RNN baseline and the roofline report."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.codegen import CompileOptions
+from repro.compiler.pipeline import compile_weights
+from repro.errors import ConfigError
+from repro.hw.profiles import ADRENO_640, KRYO_485
+from repro.hw.roofline import render_roofline, roofline
+from repro.nn.module import Parameter
+from repro.pruning.block_circulant import project_block_circulant
+from repro.pruning.ernn import ERNNCompressor, ERNNConfig
+
+
+def drive(pruner, params, rng, epochs, batches=3, lr=0.01):
+    for _ in range(epochs):
+        for _ in range(batches):
+            for p in params.values():
+                p.grad = 0.01 * rng.standard_normal(p.data.shape)
+            pruner.on_batch_backward()
+            for p in params.values():
+                p.data -= lr * p.grad
+            pruner.on_batch_end()
+        pruner.on_epoch_end()
+
+
+class TestERNN:
+    def make_params(self, rng):
+        return {"w": Parameter(rng.standard_normal((16, 16)))}
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            ERNNConfig(block_size=0)
+        with pytest.raises(ConfigError):
+            ERNNConfig(rho=0.0)
+        with pytest.raises(ConfigError):
+            ERNNConfig(admm_epochs=-1)
+
+    def test_phase_progression(self, rng):
+        params = self.make_params(rng)
+        pruner = ERNNCompressor(params, ERNNConfig(block_size=4, admm_epochs=2,
+                                                   retrain_epochs=1))
+        assert not pruner.finished
+        drive(pruner, params, rng, 2)
+        assert pruner._hardened
+        assert not pruner.finished
+        drive(pruner, params, rng, 1)
+        assert pruner.finished
+
+    def test_hardened_weights_exactly_circulant(self, rng):
+        params = self.make_params(rng)
+        pruner = ERNNCompressor(params, ERNNConfig(block_size=4, admm_epochs=1,
+                                                   retrain_epochs=1))
+        drive(pruner, params, rng, 2)
+        w = params["w"].data
+        np.testing.assert_allclose(project_block_circulant(w, 4), w, atol=1e-12)
+        assert pruner.primal_residual() == pytest.approx(0.0, abs=1e-10)
+
+    def test_admm_reduces_residual(self, rng):
+        """On a pure quadratic pull toward a fixed target, the convex-set
+        ADMM drives the weights toward circulant structure."""
+        params = self.make_params(rng)
+        target = rng.standard_normal((16, 16))
+        pruner = ERNNCompressor(params, ERNNConfig(block_size=4, rho=0.5,
+                                                   admm_epochs=100,
+                                                   retrain_epochs=0))
+        initial = pruner.primal_residual()
+        for _ in range(60):
+            for _ in range(3):
+                params["w"].grad = 0.2 * (params["w"].data - target)
+                pruner.on_batch_backward()
+                params["w"].data -= 0.05 * params["w"].grad
+                pruner.on_batch_end()
+            pruner.on_epoch_end()
+        assert pruner.primal_residual() < 0.5 * initial
+
+    def test_compression_rate(self, rng):
+        params = self.make_params(rng)
+        pruner = ERNNCompressor(params, ERNNConfig(block_size=4))
+        assert pruner.compression_rate() == pytest.approx(4.0)
+
+    def test_masks_all_ones(self, rng):
+        params = self.make_params(rng)
+        pruner = ERNNCompressor(params, ERNNConfig(block_size=4))
+        assert pruner.masks["w"].nnz == 256
+
+    def test_penalty_added_to_grads(self, rng):
+        params = self.make_params(rng)
+        pruner = ERNNCompressor(params, ERNNConfig(block_size=4, rho=1.0))
+        params["w"].grad = None
+        pruner.on_batch_backward()
+        expected = params["w"].data - pruner._z["w"]
+        np.testing.assert_allclose(params["w"].grad, expected)
+
+
+class TestRoofline:
+    def plans(self, rng):
+        dense = {"w": rng.standard_normal((1024, 1024))}
+        tiny = {"w": np.zeros((1024, 1024))}
+        tiny["w"][0, 0] = 1.0
+        return (
+            compile_weights(dense, CompileOptions(), timesteps=30),
+            compile_weights(tiny, CompileOptions(), timesteps=30),
+        )
+
+    def test_dense_is_compute_or_memory_bound(self, rng):
+        dense_plan, _ = self.plans(rng)
+        report = roofline(dense_plan, ADRENO_640)
+        assert report.dominant_bound() in ("compute", "memory")
+
+    def test_extreme_compression_is_overhead_bound(self, rng):
+        _, tiny_plan = self.plans(rng)
+        report = roofline(tiny_plan, ADRENO_640)
+        assert report.dominant_bound() == "overhead"
+
+    def test_layer_fields_consistent(self, rng):
+        dense_plan, _ = self.plans(rng)
+        report = roofline(dense_plan, KRYO_485)
+        layer = report.layers[0]
+        assert layer.busy_us == pytest.approx(
+            max(layer.compute_us, layer.memory_us) + layer.overhead_us
+        )
+        assert layer.arithmetic_intensity > 0
+
+    def test_counts_sum_to_layers(self, rng):
+        dense_plan, _ = self.plans(rng)
+        report = roofline(dense_plan, ADRENO_640)
+        assert sum(report.counts().values()) == len(report.layers)
+
+    def test_render(self, rng):
+        dense_plan, _ = self.plans(rng)
+        text = render_roofline(roofline(dense_plan, ADRENO_640))
+        assert "dominant bound" in text
+        assert "flop/B" in text
+
+    def test_intensity_falls_with_sparsity(self, rng):
+        """Sparser layers do less work per byte of (index-laden) traffic —
+        the memory-bound drift the paper describes."""
+        from repro.pruning.bsp import BSPConfig, bsp_project_masks
+
+        w = rng.standard_normal((1024, 1024))
+        masks = bsp_project_masks(
+            {"w": w},
+            BSPConfig(col_rate=16, row_rate=4, num_row_strips=8, num_col_blocks=8),
+        )
+        dense_plan = compile_weights({"w": w}, CompileOptions(), timesteps=30)
+        sparse_plan = compile_weights(
+            {"w": masks["w"].apply_to_array(w)}, CompileOptions(), timesteps=30
+        )
+        dense_ai = roofline(dense_plan, ADRENO_640).layers[0].arithmetic_intensity
+        sparse_ai = roofline(sparse_plan, ADRENO_640).layers[0].arithmetic_intensity
+        assert sparse_ai < dense_ai

@@ -1,0 +1,143 @@
+"""Tests for the acoustic front-end (repro.speech.features)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.speech.features import (
+    FeatureConfig,
+    add_deltas,
+    dct_matrix,
+    frame_signal,
+    hz_to_mel,
+    log_mel_spectrogram,
+    mel_filterbank,
+    mel_to_hz,
+    mfcc,
+)
+
+
+class TestMelScale:
+    def test_round_trip(self):
+        hz = np.array([100.0, 1000.0, 4000.0])
+        np.testing.assert_allclose(mel_to_hz(hz_to_mel(hz)), hz, rtol=1e-10)
+
+    def test_monotone(self):
+        mels = hz_to_mel(np.linspace(0, 8000, 100))
+        assert np.all(np.diff(mels) > 0)
+
+    def test_zero_maps_to_zero(self):
+        assert hz_to_mel(0.0) == 0.0
+
+
+class TestFilterbank:
+    def test_shape(self):
+        bank = mel_filterbank(40, 512, 16000)
+        assert bank.shape == (40, 257)
+
+    def test_nonnegative(self):
+        bank = mel_filterbank(40, 512, 16000)
+        assert np.all(bank >= 0)
+
+    def test_every_filter_nonempty(self):
+        bank = mel_filterbank(40, 512, 16000)
+        assert np.all(bank.sum(axis=1) > 0)
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ConfigError):
+            mel_filterbank(10, 512, 16000, fmin=9000.0)
+
+    def test_rejects_zero_filters(self):
+        with pytest.raises(ConfigError):
+            mel_filterbank(0, 512, 16000)
+
+
+class TestFraming:
+    def test_frame_count(self):
+        frames = frame_signal(np.zeros(1000), frame_length=400, hop_length=160)
+        assert frames.shape == (1 + int(np.ceil((1000 - 400) / 160)), 400)
+
+    def test_short_signal_single_frame(self):
+        frames = frame_signal(np.ones(100), 400, 160)
+        assert frames.shape == (1, 400)
+        assert frames[0, :100].sum() == 100
+        assert frames[0, 100:].sum() == 0  # zero padded
+
+    def test_hop_offsets(self):
+        signal = np.arange(1000.0)
+        frames = frame_signal(signal, 400, 160)
+        np.testing.assert_array_equal(frames[1, :10], signal[160:170])
+
+    def test_empty_signal(self):
+        assert frame_signal(np.zeros(0), 400, 160).shape == (0, 400)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ConfigError):
+            frame_signal(np.zeros((10, 2)), 4, 2)
+
+    def test_rejects_bad_lengths(self):
+        with pytest.raises(ConfigError):
+            frame_signal(np.zeros(10), 0, 2)
+
+
+class TestDCT:
+    def test_orthonormal_rows(self):
+        basis = dct_matrix(13, 40)
+        np.testing.assert_allclose(basis @ basis.T, np.eye(13), atol=1e-12)
+
+    def test_shape(self):
+        assert dct_matrix(13, 40).shape == (13, 40)
+
+    def test_first_row_constant(self):
+        basis = dct_matrix(3, 8)
+        assert np.allclose(basis[0], basis[0, 0])
+
+
+class TestFeatureExtraction:
+    def make_tone(self, freq=440.0, seconds=0.3, rate=16000):
+        t = np.arange(int(seconds * rate)) / rate
+        return np.sin(2 * np.pi * freq * t)
+
+    def test_log_mel_shape(self):
+        config = FeatureConfig()
+        feats = log_mel_spectrogram(self.make_tone(), config)
+        assert feats.shape[1] == config.num_mels
+        assert feats.shape[0] > 0
+
+    def test_tone_peaks_at_expected_mel(self):
+        config = FeatureConfig()
+        low = log_mel_spectrogram(self.make_tone(300.0), config).mean(axis=0)
+        high = log_mel_spectrogram(self.make_tone(3000.0), config).mean(axis=0)
+        assert low.argmax() < high.argmax()
+
+    def test_mfcc_shape(self):
+        config = FeatureConfig()
+        feats = mfcc(self.make_tone(), config)
+        assert feats.shape[1] == config.num_mfcc
+
+    def test_finite_on_silence(self):
+        feats = log_mel_spectrogram(np.zeros(4000), FeatureConfig())
+        assert np.all(np.isfinite(feats))
+
+    def test_config_rejects_small_fft(self):
+        with pytest.raises(ConfigError):
+            FeatureConfig(fft_size=256, frame_length=400)
+
+    def test_add_deltas_doubles_dims(self, rng):
+        feats = rng.standard_normal((10, 13))
+        out = add_deltas(feats)
+        assert out.shape == (10, 26)
+        np.testing.assert_array_equal(out[:, :13], feats)
+
+    def test_add_deltas_values(self):
+        feats = np.arange(5.0)[:, None]
+        out = add_deltas(feats)
+        np.testing.assert_allclose(out[1:-1, 1], 1.0)  # constant slope
+
+    def test_add_deltas_single_frame(self):
+        out = add_deltas(np.ones((1, 3)))
+        np.testing.assert_array_equal(out[:, 3:], np.zeros((1, 3)))
+
+    def test_add_deltas_rejects_1d(self):
+        with pytest.raises(ConfigError):
+            add_deltas(np.zeros(5))

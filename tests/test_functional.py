@@ -1,0 +1,135 @@
+"""Tests for repro.nn.functional."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+from tests.conftest import check_gradient
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        out = F.softmax(Tensor(rng.standard_normal((5, 7)))).data
+        np.testing.assert_allclose(out.sum(axis=1), np.ones(5))
+
+    def test_stable_for_large_logits(self):
+        out = F.softmax(Tensor([[1000.0, 1000.0]])).data
+        np.testing.assert_allclose(out, [[0.5, 0.5]])
+
+    def test_log_softmax_matches_log_of_softmax(self, rng):
+        x = Tensor(rng.standard_normal((4, 6)))
+        np.testing.assert_allclose(
+            F.log_softmax(x).data, np.log(F.softmax(x).data), atol=1e-12
+        )
+
+    def test_softmax_grad(self, rng):
+        w = np.arange(12.0).reshape(3, 4)
+        check_gradient(
+            lambda t: (F.softmax(t) * w).sum(), rng.standard_normal((3, 4))
+        )
+
+    def test_log_softmax_grad(self, rng):
+        w = rng.standard_normal((3, 4))
+        check_gradient(
+            lambda t: (F.log_softmax(t) * w).sum(), rng.standard_normal((3, 4))
+        )
+
+    def test_softmax_axis0(self, rng):
+        out = F.softmax(Tensor(rng.standard_normal((5, 7))), axis=0).data
+        np.testing.assert_allclose(out.sum(axis=0), np.ones(7))
+
+
+class TestCrossEntropy:
+    def test_matches_manual_computation(self, rng):
+        logits = rng.standard_normal((6, 4))
+        targets = rng.integers(0, 4, 6)
+        loss = F.cross_entropy(Tensor(logits), targets)
+        expected = -np.mean(
+            np.log(
+                np.exp(logits)[np.arange(6), targets] / np.exp(logits).sum(axis=1)
+            )
+        )
+        np.testing.assert_allclose(float(loss.data), expected, atol=1e-10)
+
+    def test_gradient(self, rng):
+        targets = rng.integers(0, 4, 5)
+        check_gradient(
+            lambda t: F.cross_entropy(t, targets), rng.standard_normal((5, 4))
+        )
+
+    def test_gradient_with_mask(self, rng):
+        targets = rng.integers(0, 4, 5)
+        mask = np.array([1.0, 0.0, 1.0, 1.0, 0.0])
+        check_gradient(
+            lambda t: F.cross_entropy(t, targets, weight_mask=mask),
+            rng.standard_normal((5, 4)),
+        )
+
+    def test_masked_frames_do_not_contribute(self, rng):
+        logits = rng.standard_normal((4, 3))
+        targets = np.array([0, 1, 2, 0])
+        mask = np.array([1.0, 1.0, 0.0, 0.0])
+        masked = F.cross_entropy(Tensor(logits), targets, weight_mask=mask)
+        only_first_two = F.cross_entropy(Tensor(logits[:2]), targets[:2])
+        np.testing.assert_allclose(float(masked.data), float(only_first_two.data))
+
+    def test_stable_for_extreme_logits(self):
+        logits = np.array([[1000.0, -1000.0]])
+        loss = F.cross_entropy(Tensor(logits), np.array([0]))
+        assert np.isfinite(loss.data)
+        np.testing.assert_allclose(float(loss.data), 0.0, atol=1e-9)
+
+    def test_rejects_bad_logit_shape(self):
+        with pytest.raises(ShapeError):
+            F.cross_entropy(Tensor(np.zeros((2, 3, 4))), np.zeros(2, dtype=int))
+
+    def test_rejects_mismatched_targets(self):
+        with pytest.raises(ShapeError):
+            F.cross_entropy(Tensor(np.zeros((3, 4))), np.zeros(2, dtype=int))
+
+    def test_rejects_out_of_range_targets(self):
+        with pytest.raises(ValueError):
+            F.cross_entropy(Tensor(np.zeros((2, 3))), np.array([0, 3]))
+
+    def test_rejects_bad_mask_shape(self):
+        with pytest.raises(ShapeError):
+            F.cross_entropy(
+                Tensor(np.zeros((3, 4))), np.zeros(3, dtype=int), weight_mask=np.ones(2)
+            )
+
+    def test_uniform_logits_loss_is_log_c(self):
+        loss = F.cross_entropy(Tensor(np.zeros((5, 8))), np.zeros(5, dtype=int))
+        np.testing.assert_allclose(float(loss.data), np.log(8.0))
+
+
+class TestMSE:
+    def test_value(self, rng):
+        pred = rng.standard_normal((3, 4))
+        target = rng.standard_normal((3, 4))
+        loss = F.mse_loss(Tensor(pred), target)
+        np.testing.assert_allclose(float(loss.data), np.mean((pred - target) ** 2))
+
+    def test_gradient(self, rng):
+        target = rng.standard_normal((3, 4))
+        check_gradient(lambda t: F.mse_loss(t, target), rng.standard_normal((3, 4)))
+
+    def test_zero_at_target(self, rng):
+        target = rng.standard_normal((3,))
+        assert float(F.mse_loss(Tensor(target.copy()), target).data) == 0.0
+
+
+class TestElementwiseWrappers:
+    def test_sigmoid_wrapper(self, rng):
+        x = rng.standard_normal(5)
+        np.testing.assert_allclose(
+            F.sigmoid(Tensor(x)).data, 1 / (1 + np.exp(-x))
+        )
+
+    def test_tanh_wrapper(self, rng):
+        x = rng.standard_normal(5)
+        np.testing.assert_allclose(F.tanh(Tensor(x)).data, np.tanh(x))
+
+    def test_relu_wrapper(self):
+        np.testing.assert_allclose(F.relu(Tensor([-1.0, 2.0])).data, [0.0, 2.0])

@@ -1,0 +1,235 @@
+"""Tests for the hardware simulator (repro.hw)."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.codegen import CompileOptions, lower_matrix
+from repro.compiler.ir import KernelPlan, TileConfig
+from repro.compiler.pipeline import compile_weights
+from repro.errors import ConfigError, SimulationError
+from repro.hw.device import DeviceSpec, ReferenceAccelerator
+from repro.hw.energy import energy_report
+from repro.hw.executor import simulate, simulate_layer, thread_balance
+from repro.hw.memory import layer_traffic, total_bytes
+from repro.hw.profiles import ADRENO_640, ESE_FPGA, KRYO_485
+from repro.pruning.bsp import BSPConfig, bsp_project_masks
+from repro.pruning.projections import project_unstructured
+
+
+def make_weights(rng, compression=None, shape=(48, 64)):
+    w = rng.standard_normal(shape)
+    if compression is None:
+        return {"w": w}
+    col = min(compression, 8.0)
+    row = compression / col
+    masks = bsp_project_masks(
+        {"w": w},
+        BSPConfig(col_rate=col, row_rate=row, num_row_strips=4, num_col_blocks=4),
+    )
+    return {"w": masks["w"].apply_to_array(w)}
+
+
+class TestDeviceSpec:
+    def test_rejects_zero_threads(self):
+        with pytest.raises(ConfigError):
+            DeviceSpec("x", 0, 1.0, 1.0, 0.0, 1.0)
+
+    def test_rejects_zero_throughput(self):
+        with pytest.raises(ConfigError):
+            DeviceSpec("x", 1, 0.0, 1.0, 0.0, 1.0)
+
+    def test_parallel_efficiency_monotone(self):
+        device = ADRENO_640
+        effs = [device.parallel_efficiency(r) for r in (8, 64, 512, 4096)]
+        assert all(b > a for a, b in zip(effs, effs[1:]))
+        assert all(0 < e <= 1 for e in effs)
+
+    def test_reference_frames_per_joule(self):
+        ref = ReferenceAccelerator("r", latency_us_per_frame=100.0, power_watts=10.0)
+        assert ref.frames_per_joule() == pytest.approx(1000.0)
+
+    def test_ese_reference_values(self):
+        assert ESE_FPGA.latency_us_per_frame == 82.7
+        assert ESE_FPGA.power_watts == 41.0
+
+
+class TestThreadBalance:
+    def test_dense_layer_balanced(self, rng):
+        plan = lower_matrix("l", rng.standard_normal((64, 64)))
+        assert thread_balance(plan, 8) == pytest.approx(1.0, abs=0.05)
+
+    def test_balance_in_unit_interval(self, rng):
+        for compression in (None, 4, 16):
+            weights = make_weights(rng, compression)
+            plan = lower_matrix("l", weights["w"])
+            balance = thread_balance(plan, 8)
+            assert 0.0 < balance <= 1.0
+
+    def test_reorder_no_worse_than_identity(self, rng):
+        w = make_weights(rng, 16)["w"]
+        with_reorder = lower_matrix("l", w, CompileOptions(enable_reorder=True))
+        without = lower_matrix("l", w, CompileOptions(enable_reorder=False))
+        assert thread_balance(with_reorder, 8) >= thread_balance(without, 8) - 1e-9
+
+    def test_unstructured_imbalance_detected(self, rng):
+        # A pathological pattern: a few very heavy rows among empty ones.
+        w = np.zeros((32, 64))
+        w[:3, :] = rng.standard_normal((3, 64))
+        w[3:, 0] = rng.standard_normal(29)
+        plan = lower_matrix("l", w, CompileOptions(enable_reorder=False))
+        assert thread_balance(plan, 16) < 0.7
+
+    def test_empty_groups_balance_one(self, rng):
+        plan = lower_matrix("l", np.zeros((8, 8)), CompileOptions())
+        assert thread_balance(plan, 4) == 1.0
+
+
+class TestSimulate:
+    def test_latency_positive_and_finite(self, rng):
+        plan = compile_weights(make_weights(rng), timesteps=10)
+        result = simulate(plan, ADRENO_640)
+        assert np.isfinite(result.latency_us)
+        assert result.latency_us > 0
+
+    def test_latency_sums_layers(self, rng):
+        plan = compile_weights(make_weights(rng), timesteps=10)
+        result = simulate(plan, ADRENO_640)
+        assert result.latency_us == pytest.approx(
+            sum(t.busy_us for t in result.layers)
+        )
+
+    def test_pruning_reduces_latency(self, rng):
+        dense = compile_weights(make_weights(rng), timesteps=10)
+        pruned = compile_weights(make_weights(rng, 16), timesteps=10)
+        assert (
+            simulate(pruned, ADRENO_640).latency_us
+            < simulate(dense, ADRENO_640).latency_us
+        )
+
+    def test_gops_definition(self, rng):
+        plan = compile_weights(make_weights(rng), timesteps=10)
+        result = simulate(plan, ADRENO_640)
+        assert result.gops == pytest.approx(
+            plan.flops_per_inference / result.latency_us / 1e3
+        )
+
+    def test_more_timesteps_cost_more(self, rng):
+        weights = make_weights(rng)
+        short = simulate(compile_weights(weights, timesteps=5), ADRENO_640)
+        long = simulate(compile_weights(weights, timesteps=50), ADRENO_640)
+        assert long.latency_us > short.latency_us
+
+    def test_rejects_zero_timesteps(self, rng):
+        plan = lower_matrix("l", make_weights(rng)["w"])
+        with pytest.raises(SimulationError):
+            simulate_layer(plan, ADRENO_640, 0)
+
+    def test_gpu_faster_than_cpu_for_large_dense_kernels(self, rng):
+        # Needs a kernel large enough to fill the GPU; tiny matrices are
+        # legitimately faster on the CPU in this model (and in reality).
+        weights = {"w": rng.standard_normal((1024, 1024))}
+        gpu_plan = compile_weights(
+            weights, CompileOptions(tile=TileConfig(use_fp16=True)), timesteps=10
+        )
+        cpu_plan = compile_weights(
+            weights, CompileOptions(tile=TileConfig(use_fp16=False)), timesteps=10
+        )
+        assert (
+            simulate(gpu_plan, ADRENO_640).latency_us
+            < simulate(cpu_plan, KRYO_485).latency_us
+        )
+
+    def test_overhead_floor_at_extreme_compression(self, rng):
+        """At very high compression, latency approaches the launch-overhead
+        floor — the plateau the paper observes in Figure 4."""
+        w = np.zeros((64, 64))
+        w[0, 0] = 1.0  # one weight left
+        plan = compile_weights({"w": w}, timesteps=30)
+        result = simulate(plan, ADRENO_640)
+        floor = ADRENO_640.kernel_overhead_us * 30
+        assert floor <= result.latency_us < 1.5 * floor
+
+
+class TestMemoryModel:
+    def test_traffic_components(self, rng):
+        layer = lower_matrix("l", make_weights(rng, 8)["w"])
+        traffic = layer_traffic(layer, timesteps=10)
+        assert traffic.weight_bytes == layer.weight_bytes
+        assert traffic.activation_bytes == layer.unique_cols * 2 * 10
+        assert traffic.output_bytes == layer.kept_rows * 2 * 10
+        assert traffic.total_bytes == (
+            traffic.weight_bytes
+            + traffic.metadata_bytes
+            + traffic.activation_bytes
+            + traffic.output_bytes
+        )
+
+    def test_total_bytes_sums_layers(self, rng):
+        plan = compile_weights(
+            {"a": make_weights(rng)["w"], "b": make_weights(rng, 4)["w"]},
+            timesteps=10,
+        )
+        assert total_bytes(plan) == sum(
+            layer_traffic(layer, 10).total_bytes for layer in plan.layers
+        )
+
+    def test_pruning_reduces_traffic(self, rng):
+        dense = compile_weights(make_weights(rng), timesteps=10)
+        pruned = compile_weights(make_weights(rng, 16), timesteps=10)
+        assert total_bytes(pruned) < total_bytes(dense)
+
+
+class TestEnergy:
+    def test_energy_is_power_times_time(self, rng):
+        plan = compile_weights(make_weights(rng), timesteps=10)
+        result = simulate(plan, ADRENO_640)
+        report = energy_report(result, ADRENO_640)
+        assert report.energy_uj == pytest.approx(
+            ADRENO_640.power_watts * result.latency_us
+        )
+
+    def test_normalization_against_ese(self, rng):
+        plan = compile_weights(make_weights(rng), timesteps=10)
+        result = simulate(plan, ADRENO_640)
+        report = energy_report(result, ADRENO_640)
+        ese_fpj = 1e6 / (41.0 * 82.7)
+        assert report.normalized_efficiency == pytest.approx(
+            report.frames_per_joule / ese_fpj
+        )
+
+    def test_faster_means_more_efficient(self, rng):
+        dense = compile_weights(make_weights(rng), timesteps=10)
+        pruned = compile_weights(make_weights(rng, 16), timesteps=10)
+        dense_eff = energy_report(simulate(dense, ADRENO_640), ADRENO_640)
+        pruned_eff = energy_report(simulate(pruned, ADRENO_640), ADRENO_640)
+        assert pruned_eff.normalized_efficiency > dense_eff.normalized_efficiency
+
+
+class TestCalibration:
+    """The headline calibration contract: dense paper-scale GRU matches
+    Table II row 1 within 5%."""
+
+    def paper_scale_plan(self, rng, fp16):
+        h, d = 1024, 240
+        weights = {
+            "g0.ih": rng.standard_normal((3 * h, d)),
+            "g0.hh": rng.standard_normal((3 * h, h)),
+            "g1.ih": rng.standard_normal((3 * h, h)),
+            "g1.hh": rng.standard_normal((3 * h, h)),
+        }
+        return compile_weights(
+            weights, CompileOptions(tile=TileConfig(use_fp16=fp16)), timesteps=30
+        )
+
+    def test_dense_gpu_latency_matches_paper(self, rng):
+        result = simulate(self.paper_scale_plan(rng, fp16=True), ADRENO_640)
+        assert result.latency_us == pytest.approx(3590.0, rel=0.05)
+
+    def test_dense_cpu_latency_matches_paper(self, rng):
+        result = simulate(self.paper_scale_plan(rng, fp16=False), KRYO_485)
+        assert result.latency_us == pytest.approx(7130.0, rel=0.05)
+
+    def test_dense_gpu_efficiency_near_ese(self, rng):
+        result = simulate(self.paper_scale_plan(rng, fp16=True), ADRENO_640)
+        report = energy_report(result, ADRENO_640)
+        assert report.normalized_efficiency == pytest.approx(0.88, rel=0.1)

@@ -1,0 +1,166 @@
+"""End-to-end integration tests: train → prune → compile → simulate.
+
+These exercise the full RTMobile pipeline on laptop-scale models and check
+the cross-module invariants the paper's claims rest on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler.codegen import CompileOptions
+from repro.compiler.ir import TileConfig
+from repro.compiler.pipeline import compile_model
+from repro.hw.profiles import ADRENO_640, KRYO_485
+from repro.pruning.bsp import BSPConfig, BSPPruner, bsp_project_masks
+from repro.pruning.magnitude import magnitude_project_masks
+from repro.sparse.blocks import grid_for
+from repro.sparse.bspc import BSPCMatrix
+from repro.speech.model import AcousticModelConfig, GRUAcousticModel
+from repro.speech.synth import SynthConfig, make_corpus
+from repro.speech.trainer import Trainer, TrainerConfig
+
+
+@pytest.fixture(scope="module")
+def trained_pruned():
+    """Train once, BSP-prune once; shared across this module's tests."""
+    train, test = make_corpus(
+        16, 6, SynthConfig(noise_level=0.4, min_phones=3, max_phones=6), seed=0
+    )
+    model = GRUAcousticModel(AcousticModelConfig(hidden_size=32), rng=0)
+    trainer = Trainer(
+        model, train, test, TrainerConfig(batch_size=4, seed=0, learning_rate=5e-3)
+    )
+    trainer.train_dense(3)
+    dense_per = trainer.evaluate().per
+    pruner = BSPPruner(
+        model.prunable_parameters(),
+        BSPConfig(
+            col_rate=4, row_rate=2, num_row_strips=2, num_col_blocks=2,
+            step1_admm_epochs=2, step1_retrain_epochs=1,
+            step2_admm_epochs=2, step2_retrain_epochs=1,
+        ),
+    )
+    trainer.run_pruning(pruner)
+    return model, trainer, pruner, dense_per
+
+
+class TestEndToEnd:
+    def test_pruner_finished(self, trained_pruned):
+        _, _, pruner, _ = trained_pruned
+        assert pruner.finished
+
+    def test_compression_achieved(self, trained_pruned):
+        _, _, pruner, _ = trained_pruned
+        assert pruner.masks.compression_rate() > 4.0
+
+    def test_pruned_model_still_functions(self, trained_pruned):
+        _, trainer, _, dense_per = trained_pruned
+        pruned_per = trainer.evaluate().per
+        # At this modest rate the pruned model stays in the same accuracy
+        # regime as the dense one (the paper's central accuracy claim).
+        assert pruned_per <= dense_per + 25.0
+
+    def test_compiled_latency_beats_dense(self, trained_pruned):
+        model, _, _, _ = trained_pruned
+        pruned_weights = model.prunable_weights()
+        compiled = compile_model(pruned_weights, timesteps=10)
+        dense_weights = {
+            name: np.random.default_rng(0).standard_normal(w.shape)
+            for name, w in pruned_weights.items()
+        }
+        dense = compile_model(dense_weights, timesteps=10)
+        for device in (ADRENO_640, KRYO_485):
+            assert (
+                compiled.simulate(device).latency_us
+                < dense.simulate(device).latency_us
+            )
+
+    def test_bspc_execution_matches_model_weights(self, trained_pruned):
+        """The compiled storage format computes exactly what the pruned
+        model computes: BSPC spmv == dense masked matvec per matrix."""
+        model, _, _, _ = trained_pruned
+        rng = np.random.default_rng(1)
+        for name, weight in model.prunable_weights().items():
+            grid = grid_for(weight, 2, 2)
+            bspc = BSPCMatrix.from_dense(weight, grid)
+            x = rng.standard_normal(weight.shape[1])
+            np.testing.assert_allclose(bspc.spmv(x), weight @ x, atol=1e-10)
+
+    def test_plan_compression_matches_mask_compression(self, trained_pruned):
+        model, _, pruner, _ = trained_pruned
+        compiled = compile_model(model.prunable_weights(), timesteps=10)
+        assert compiled.compression_rate == pytest.approx(
+            pruner.masks.compression_rate(), rel=0.01
+        )
+
+
+class TestStructuredVsUnstructuredLatency:
+    """The paper's systems claim: at matched compression, BSP patterns run
+    faster than unstructured (ESE-style) patterns through the compiler."""
+
+    def test_bsp_compiles_faster_than_unstructured(self, rng):
+        h = 256
+        weights = {
+            "hh0": rng.standard_normal((3 * h, h)),
+            "hh1": rng.standard_normal((3 * h, h)),
+        }
+        rate = 16.0
+        bsp = bsp_project_masks(
+            weights,
+            BSPConfig(col_rate=8, row_rate=2, num_row_strips=4, num_col_blocks=4),
+        )
+        mag = magnitude_project_masks(weights, rate)
+        bsp_w = {n: bsp[n].apply_to_array(w) for n, w in weights.items()}
+        mag_w = {n: mag[n].apply_to_array(w) for n, w in weights.items()}
+        bsp_model = compile_model(bsp_w, CompileOptions(format_name="bspc"),
+                                  timesteps=10)
+        mag_model = compile_model(mag_w, CompileOptions(format_name="csr"),
+                                  timesteps=10)
+        for device in (ADRENO_640, KRYO_485):
+            assert (
+                bsp_model.simulate(device).latency_us
+                < mag_model.simulate(device).latency_us
+            )
+
+    def test_bspc_stores_less_than_csr_at_same_rate(self, rng):
+        h = 96
+        weights = {"hh": rng.standard_normal((3 * h, h))}
+        bsp = bsp_project_masks(
+            weights,
+            BSPConfig(col_rate=8, row_rate=2, num_row_strips=4, num_col_blocks=4),
+        )
+        pruned = bsp["hh"].apply_to_array(weights["hh"])
+        bspc_plan = compile_model({"hh": pruned},
+                                  CompileOptions(format_name="bspc")).plan
+        csr_plan = compile_model({"hh": pruned},
+                                 CompileOptions(format_name="csr")).plan
+        assert bspc_plan.weight_bytes < csr_plan.weight_bytes
+
+
+class TestReproducibility:
+    def test_full_pipeline_bit_deterministic(self):
+        def run():
+            train, test = make_corpus(
+                6, 3, SynthConfig(noise_level=0.4, min_phones=3, max_phones=4),
+                seed=11,
+            )
+            model = GRUAcousticModel(AcousticModelConfig(hidden_size=16), rng=11)
+            trainer = Trainer(model, train, test,
+                              TrainerConfig(batch_size=4, seed=11))
+            trainer.train_dense(2)
+            masks = bsp_project_masks(
+                model.prunable_weights(),
+                BSPConfig(col_rate=4, row_rate=1, num_row_strips=2,
+                          num_col_blocks=2),
+            )
+            pruned = {
+                n: masks[n].apply_to_array(w)
+                for n, w in model.prunable_weights().items()
+            }
+            compiled = compile_model(pruned, timesteps=10)
+            return (
+                trainer.evaluate().per,
+                compiled.simulate(ADRENO_640).latency_us,
+            )
+
+        assert run() == run()

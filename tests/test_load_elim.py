@@ -1,0 +1,90 @@
+"""Tests for redundant-load elimination (repro.compiler.load_elim)."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.ir import TileConfig
+from repro.compiler.load_elim import elimination_ratio, naive_loads, tiled_loads
+from repro.compiler.reorder import identity_groups, reorder_rows
+from repro.pruning.bsp import BSPConfig, bsp_project_masks
+from repro.pruning.projections import project_unstructured
+from repro.sparse.blocks import grid_for
+
+
+def bsp_mask(rng, shape=(32, 32), col_rate=4.0):
+    w = rng.standard_normal(shape)
+    masks = bsp_project_masks(
+        {"w": w},
+        BSPConfig(col_rate=col_rate, row_rate=1.0, num_row_strips=4,
+                  num_col_blocks=4),
+    )
+    return masks["w"].keep, grid_for(w, 4, 4)
+
+
+class TestNaiveLoads:
+    def test_counts_nonzeros(self, rng):
+        mask, _ = bsp_mask(rng)
+        assert naive_loads(mask) == mask.sum()
+
+    def test_zero_mask(self):
+        assert naive_loads(np.zeros((4, 4), dtype=bool)) == 0
+
+
+class TestTiledLoads:
+    def test_never_exceeds_naive(self, rng):
+        mask, grid = bsp_mask(rng)
+        _, groups = reorder_rows(mask, grid)
+        tile = TileConfig(rows_per_thread=4)
+        assert tiled_loads(mask, groups, tile) <= naive_loads(mask)
+
+    def test_bsp_pattern_shares_loads_across_tile(self, rng):
+        """Rows of one strip share kept columns, so a 4-row tile loads
+        each column once instead of 4 times: ~4x elimination."""
+        mask, grid = bsp_mask(rng)
+        _, groups = reorder_rows(mask, grid)
+        tile = TileConfig(rows_per_thread=4)
+        ratio = elimination_ratio(mask, groups, tile)
+        assert ratio > 0.6  # most loads eliminated
+
+    def test_tile_of_one_eliminates_nothing(self, rng):
+        mask, grid = bsp_mask(rng)
+        _, groups = reorder_rows(mask, grid)
+        tile = TileConfig(rows_per_thread=1)
+        assert tiled_loads(mask, groups, tile) == naive_loads(mask)
+
+    def test_larger_tiles_never_increase_loads(self, rng):
+        mask, grid = bsp_mask(rng)
+        _, groups = reorder_rows(mask, grid)
+        loads = [
+            tiled_loads(mask, groups, TileConfig(rows_per_thread=r))
+            for r in (1, 2, 4, 8)
+        ]
+        assert all(b <= a for a, b in zip(loads, loads[1:]))
+
+    def test_unstructured_pattern_benefits_less(self, rng):
+        """The paper's claim: load elimination is enabled *by* block
+        pruning; random patterns share few columns between rows."""
+        shape = (32, 32)
+        w = rng.standard_normal(shape)
+        bsp_keep, grid = bsp_mask(rng, shape, col_rate=4.0)
+        unstructured = project_unstructured(w, rate=4.0).keep
+        tile = TileConfig(rows_per_thread=4)
+        _, bsp_groups = reorder_rows(bsp_keep, grid)
+        _, un_groups = reorder_rows(unstructured, grid)
+        bsp_ratio = elimination_ratio(bsp_keep, bsp_groups, tile)
+        un_ratio = elimination_ratio(unstructured, un_groups, tile)
+        assert bsp_ratio > un_ratio
+
+    def test_reorder_improves_or_preserves_elimination(self, rng):
+        mask, grid = bsp_mask(rng)
+        tile = TileConfig(rows_per_thread=4)
+        _, reordered = reorder_rows(mask, grid)
+        _, unordered = identity_groups(mask)
+        assert tiled_loads(mask, reordered, tile) <= tiled_loads(
+            mask, unordered, tile
+        )
+
+    def test_zero_mask_ratio(self):
+        mask = np.zeros((4, 4), dtype=bool)
+        _, groups = identity_groups(mask)
+        assert elimination_ratio(mask, groups, TileConfig()) == 0.0

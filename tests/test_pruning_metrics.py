@@ -1,0 +1,70 @@
+"""Tests for compression accounting (repro.pruning.metrics)."""
+
+import numpy as np
+import pytest
+
+from repro.pruning.mask import MaskSet, PruningMask
+from repro.pruning.metrics import (
+    FRAMES_PER_INFERENCE,
+    gop_per_frame,
+    report_from_arrays,
+    report_from_masks,
+)
+
+
+class TestReports:
+    def make_masks(self):
+        keep_a = np.zeros((4, 8), dtype=bool)
+        keep_a[:2, :4] = True  # 8 of 32
+        keep_b = np.ones((4, 4), dtype=bool)  # dense
+        return MaskSet({"a": PruningMask(keep_a), "b": PruningMask(keep_b)})
+
+    def test_report_from_masks_totals(self):
+        report = report_from_masks(self.make_masks())
+        assert report.total_params == 48
+        assert report.kept_params == 24
+        assert report.overall_rate == pytest.approx(2.0)
+
+    def test_per_matrix_fields(self):
+        report = report_from_masks(self.make_masks())
+        by_name = {m.name: m for m in report.matrices}
+        assert by_name["a"].kept_rows == 2
+        assert by_name["a"].kept_cols == 4
+        assert by_name["a"].compression_rate == pytest.approx(4.0)
+        assert by_name["b"].density == 1.0
+
+    def test_kept_params_millions(self):
+        report = report_from_masks(self.make_masks())
+        assert report.kept_params_millions() == pytest.approx(24 / 1e6)
+
+    def test_report_from_arrays(self, rng):
+        w = rng.standard_normal((4, 4))
+        w[2:, :] = 0.0
+        report = report_from_arrays({"w": w})
+        assert report.kept_params == 8
+        assert report.matrices[0].kept_rows == 2
+        assert report.matrices[0].kept_cols == 4
+
+    def test_report_from_arrays_1d(self):
+        report = report_from_arrays({"b": np.array([1.0, 0.0, 2.0])})
+        assert report.kept_params == 2
+        assert report.matrices[0].kept_rows == 0  # not defined for 1-D
+
+    def test_empty_matrix_infinite_rate(self):
+        report = report_from_arrays({"w": np.zeros((2, 2))})
+        assert report.overall_rate == float("inf")
+
+
+class TestGOP:
+    def test_paper_dense_convention(self):
+        # 9.6M weights at the paper's convention ≈ 0.58 GOP/frame.
+        assert gop_per_frame(9_600_000) == pytest.approx(0.576, abs=0.01)
+
+    def test_scales_linearly_with_nnz(self):
+        assert gop_per_frame(2_000_000) == pytest.approx(2 * gop_per_frame(1_000_000))
+
+    def test_custom_context(self):
+        assert gop_per_frame(1000, frames_per_inference=1) == pytest.approx(2e-6)
+
+    def test_default_context_constant(self):
+        assert FRAMES_PER_INFERENCE == 30

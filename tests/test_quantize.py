@@ -1,0 +1,121 @@
+"""Tests for post-training quantization (repro.nn.quantize)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.nn.quantize import (
+    dequantize_int8,
+    int8_round_trip,
+    quantization_error,
+    quantize_fp16,
+    quantize_int8,
+    quantize_model,
+)
+from repro.speech.model import AcousticModelConfig, GRUAcousticModel
+
+
+class TestFp16:
+    def test_representable_values_unchanged(self):
+        values = np.array([0.0, 1.0, -2.5, 0.5, 1024.0])
+        np.testing.assert_array_equal(quantize_fp16(values), values)
+
+    def test_rounding_small_values(self):
+        # 1 + 2^-12 is not representable in fp16 (10 mantissa bits).
+        value = np.array([1.0 + 2.0**-12])
+        assert quantize_fp16(value)[0] != value[0]
+
+    def test_saturation_not_inf(self):
+        out = quantize_fp16(np.array([1e6, -1e6]))
+        assert np.all(np.isfinite(out))
+        np.testing.assert_array_equal(np.abs(out), [65504.0, 65504.0])
+
+    def test_zeros_stay_zero(self):
+        np.testing.assert_array_equal(quantize_fp16(np.zeros(4)), np.zeros(4))
+
+    def test_relative_error_small(self, rng):
+        w = rng.standard_normal((64, 64))
+        err = np.abs(quantize_fp16(w) - w) / np.maximum(np.abs(w), 1e-12)
+        assert err.max() < 1e-3  # fp16 has ~3 decimal digits
+
+
+class TestInt8:
+    def test_codes_in_range(self, rng):
+        codes, _ = quantize_int8(rng.standard_normal((16, 16)) * 5)
+        assert codes.dtype == np.int8
+        assert codes.min() >= -127
+        assert codes.max() <= 127
+
+    def test_peak_maps_to_127(self, rng):
+        w = rng.standard_normal((8, 8))
+        codes, scale = quantize_int8(w)
+        peak_idx = np.unravel_index(np.argmax(np.abs(w)), w.shape)
+        assert abs(int(codes[peak_idx])) == 127
+        assert scale == pytest.approx(np.abs(w).max() / 127.0)
+
+    def test_round_trip_error_bounded(self, rng):
+        w = rng.standard_normal((32, 32))
+        reconstructed = int8_round_trip(w)
+        assert np.abs(w - reconstructed).max() <= np.abs(w).max() / 127.0 * 0.5 + 1e-12
+
+    def test_zero_matrix(self):
+        codes, scale = quantize_int8(np.zeros((4, 4)))
+        assert np.all(codes == 0)
+        np.testing.assert_array_equal(dequantize_int8(codes, scale), np.zeros((4, 4)))
+
+    def test_dequantize_rejects_bad_scale(self):
+        with pytest.raises(ConfigError):
+            dequantize_int8(np.zeros(4, dtype=np.int8), 0.0)
+
+    def test_pruned_zeros_stay_zero(self, rng):
+        w = rng.standard_normal((8, 8))
+        w[::2] = 0.0
+        reconstructed = int8_round_trip(w)
+        assert np.all(reconstructed[::2] == 0.0)
+
+
+class TestErrorMetric:
+    def test_int8_worse_than_fp16(self, rng):
+        w = rng.standard_normal((64, 64))
+        assert quantization_error(w, "int8") > quantization_error(w, "fp16")
+
+    def test_unknown_scheme_rejected(self, rng):
+        with pytest.raises(ConfigError):
+            quantization_error(rng.standard_normal(4), "int4")
+
+
+class TestQuantizeModel:
+    def test_in_place_and_errors_reported(self):
+        model = GRUAcousticModel(AcousticModelConfig(hidden_size=16), rng=0)
+        before = {n: p.data.copy() for n, p in model.named_parameters()}
+        errors = quantize_model(model, "int8")
+        assert set(errors) == set(before)
+        changed = any(
+            not np.array_equal(before[n], p.data)
+            for n, p in model.named_parameters()
+        )
+        assert changed
+        assert all(e >= 0 for e in errors.values())
+
+    def test_fp16_preserves_function_closely(self, rng):
+        from repro.nn.tensor import Tensor
+
+        model = GRUAcousticModel(AcousticModelConfig(hidden_size=16), rng=0)
+        x = rng.standard_normal((5, 2, 40))
+        dense_out = model(Tensor(x)).data.copy()
+        quantize_model(model, "fp16")
+        quant_out = model(Tensor(x)).data
+        np.testing.assert_allclose(quant_out, dense_out, atol=1e-2)
+
+    def test_sparsity_survives(self):
+        model = GRUAcousticModel(AcousticModelConfig(hidden_size=16), rng=0)
+        params = model.prunable_parameters()
+        name, param = next(iter(params.items()))
+        param.data[0, :] = 0.0
+        quantize_model(model, "int8")
+        assert np.all(param.data[0, :] == 0.0)
+
+    def test_unknown_scheme_rejected(self):
+        model = GRUAcousticModel(AcousticModelConfig(hidden_size=16), rng=0)
+        with pytest.raises(ConfigError):
+            quantize_model(model, "fp8")

@@ -1,0 +1,150 @@
+"""Tests for the matrix-reorder pass (repro.compiler.reorder)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.reorder import identity_groups, reorder_rows, row_signature
+from repro.pruning.bsp import BSPConfig, bsp_project_masks
+from repro.sparse.blocks import BlockGrid, grid_for
+
+
+def bsp_mask(rng, shape=(16, 16), col_rate=4.0, row_rate=2.0, strips=4, blocks=4):
+    w = rng.standard_normal(shape)
+    masks = bsp_project_masks(
+        {"w": w},
+        BSPConfig(col_rate=col_rate, row_rate=row_rate, num_row_strips=strips,
+                  num_col_blocks=blocks),
+    )
+    return masks["w"].keep, grid_for(w, strips, blocks)
+
+
+class TestRowSignature:
+    def test_signature_lists_touched_blocks(self):
+        grid = BlockGrid(1, 8, 1, 4)
+        row = np.array([1, 0, 0, 0, 0, 0, 1, 0], dtype=bool)
+        assert row_signature(row, grid) == (0, 3)
+
+    def test_empty_row_signature(self):
+        grid = BlockGrid(1, 8, 1, 4)
+        assert row_signature(np.zeros(8, dtype=bool), grid) == ()
+
+
+class TestReorderRows:
+    def test_permutation_is_valid(self, rng):
+        mask, grid = bsp_mask(rng)
+        permutation, _ = reorder_rows(mask, grid)
+        assert sorted(permutation.tolist()) == list(range(16))
+
+    def test_groups_cover_alive_rows_exactly(self, rng):
+        mask, grid = bsp_mask(rng)
+        _, groups = reorder_rows(mask, grid)
+        alive = set(np.flatnonzero(mask.any(axis=1)).tolist())
+        grouped = [int(r) for g in groups for r in g.rows]
+        assert sorted(grouped) == sorted(alive)
+        assert len(grouped) == len(set(grouped))
+
+    def test_dead_rows_at_permutation_tail(self, rng):
+        mask, grid = bsp_mask(rng, row_rate=2.0)
+        permutation, groups = reorder_rows(mask, grid)
+        num_alive = sum(g.num_rows for g in groups)
+        tail = permutation[num_alive:]
+        assert np.all(~mask[tail].any(axis=1))
+
+    def test_rows_in_group_share_signature(self, rng):
+        mask, grid = bsp_mask(rng)
+        _, groups = reorder_rows(mask, grid)
+        for group in groups:
+            signatures = {row_signature(mask[r], grid) for r in group.rows}
+            assert len(signatures) == 1
+            assert signatures.pop() == group.pattern_key
+
+    def test_nnz_per_row_correct(self, rng):
+        mask, grid = bsp_mask(rng)
+        _, groups = reorder_rows(mask, grid)
+        for group in groups:
+            np.testing.assert_array_equal(
+                group.nnz_per_row, mask[group.rows].sum(axis=1)
+            )
+
+    def test_unique_cols_correct(self, rng):
+        mask, grid = bsp_mask(rng)
+        _, groups = reorder_rows(mask, grid)
+        for group in groups:
+            assert group.unique_cols == int(np.any(mask[group.rows], axis=0).sum())
+
+    def test_groups_sorted_by_work(self, rng):
+        mask, grid = bsp_mask(rng)
+        _, groups = reorder_rows(mask, grid)
+        works = [g.total_nnz for g in groups]
+        assert works == sorted(works, reverse=True)
+
+    def test_semantics_preserved_under_permutation(self, rng):
+        """Executing rows in permuted order then unpermuting outputs equals
+        the original product — the pass's correctness contract."""
+        w = rng.standard_normal((16, 16))
+        masks = bsp_project_masks(
+            {"w": w}, BSPConfig(col_rate=4, row_rate=2, num_row_strips=4,
+                                num_col_blocks=4)
+        )
+        pruned = masks["w"].apply_to_array(w)
+        grid = grid_for(w, 4, 4)
+        permutation, _ = reorder_rows(pruned != 0, grid)
+        x = rng.standard_normal(16)
+        reordered_out = pruned[permutation] @ x
+        restored = np.empty_like(reordered_out)
+        restored[np.argsort(np.argsort(permutation))] = 0  # placate linters
+        inverse = np.argsort(permutation)
+        np.testing.assert_allclose(reordered_out[inverse], pruned @ x)
+
+    def test_dense_mask_single_group(self, rng):
+        mask = np.ones((8, 8), dtype=bool)
+        grid = BlockGrid(8, 8, 2, 2)
+        _, groups = reorder_rows(mask, grid)
+        assert len(groups) == 1
+        assert groups[0].num_rows == 8
+
+    def test_all_zero_mask(self):
+        grid = BlockGrid(4, 4, 2, 2)
+        permutation, groups = reorder_rows(np.zeros((4, 4), dtype=bool), grid)
+        assert groups == []
+        assert sorted(permutation.tolist()) == [0, 1, 2, 3]
+
+
+class TestIdentityGroups:
+    def test_single_group_original_order(self, rng):
+        mask, _ = bsp_mask(rng, row_rate=1.0)
+        permutation, groups = identity_groups(mask)
+        assert len(groups) == 1
+        np.testing.assert_array_equal(groups[0].rows, np.arange(16))
+
+    def test_dead_rows_excluded_from_group(self, rng):
+        mask, _ = bsp_mask(rng, row_rate=2.0)
+        _, groups = identity_groups(mask)
+        alive = np.flatnonzero(mask.any(axis=1))
+        np.testing.assert_array_equal(groups[0].rows, alive)
+
+    def test_all_zero(self):
+        permutation, groups = identity_groups(np.zeros((4, 4), dtype=bool))
+        assert groups == []
+        assert len(permutation) == 4
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    rows=st.integers(2, 20),
+    cols=st.integers(2, 20),
+    density=st.floats(0.0, 1.0),
+    seed=st.integers(0, 10_000),
+)
+def test_property_reorder_permutation_always_valid(rows, cols, density, seed):
+    """Any mask yields a complete permutation and disjoint groups."""
+    rng = np.random.default_rng(seed)
+    mask = rng.random((rows, cols)) < density
+    grid = BlockGrid(rows, cols, min(2, rows), min(2, cols))
+    permutation, groups = reorder_rows(mask, grid)
+    assert sorted(permutation.tolist()) == list(range(rows))
+    grouped = [int(r) for g in groups for r in g.rows]
+    assert len(grouped) == len(set(grouped))
+    assert sorted(grouped) == sorted(np.flatnonzero(mask.any(axis=1)).tolist())

@@ -1,0 +1,119 @@
+"""Tests for pruning-rate schedules (repro.pruning.schedule)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.pruning.bsp import BSPConfig, BSPPruner
+from repro.pruning.schedule import (
+    CubicRamp,
+    GeometricRamp,
+    OneShot,
+    make_schedule,
+)
+
+
+class TestGeometric:
+    def test_endpoints(self):
+        ramp = GeometricRamp()
+        assert ramp.rate_at(0, 4, 16.0) == pytest.approx(1.0)
+        assert ramp.rate_at(4, 4, 16.0) == pytest.approx(16.0)
+
+    def test_equal_multiplicative_steps(self):
+        ramp = GeometricRamp()
+        rates = [ramp.rate_at(k, 4, 16.0) for k in range(5)]
+        ratios = [b / a for a, b in zip(rates, rates[1:])]
+        assert all(r == pytest.approx(2.0) for r in ratios)
+
+    def test_clamps_past_total(self):
+        assert GeometricRamp().rate_at(10, 4, 16.0) == pytest.approx(16.0)
+
+
+class TestCubic:
+    def test_endpoints(self):
+        ramp = CubicRamp()
+        assert ramp.rate_at(0, 4, 16.0) == pytest.approx(1.0)
+        assert ramp.rate_at(4, 4, 16.0) == pytest.approx(16.0)
+
+    def test_front_loads_pruning(self):
+        # At the halfway point, cubic has removed more than geometric.
+        halfway_cubic = CubicRamp().rate_at(2, 4, 16.0)
+        halfway_geometric = GeometricRamp().rate_at(2, 4, 16.0)
+        assert halfway_cubic > halfway_geometric
+
+    def test_never_exceeds_target(self):
+        ramp = CubicRamp()
+        for k in range(10):
+            assert ramp.rate_at(k, 4, 16.0) <= 16.0 + 1e-9
+
+
+class TestOneShot:
+    def test_immediate(self):
+        assert OneShot().rate_at(0, 4, 16.0) == 16.0
+        assert OneShot().rate_at(1, 4, 16.0) == 16.0
+
+
+class TestFactory:
+    def test_lookup(self):
+        assert isinstance(make_schedule("geometric"), GeometricRamp)
+        assert isinstance(make_schedule("cubic"), CubicRamp)
+        assert isinstance(make_schedule("oneshot"), OneShot)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigError):
+            make_schedule("linear")
+
+    def test_bad_target_rejected(self):
+        with pytest.raises(ConfigError):
+            GeometricRamp().rate_at(1, 4, 0.5)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    name=st.sampled_from(["geometric", "cubic"]),
+    total=st.integers(1, 10),
+    target=st.floats(1.0, 64.0),
+)
+def test_property_ramps_monotone_and_bounded(name, total, target):
+    """Every ramp is non-decreasing, starts at 1, ends at the target."""
+    ramp = make_schedule(name)
+    rates = [ramp.rate_at(k, total, target) for k in range(total + 1)]
+    assert rates[0] == pytest.approx(1.0)
+    assert rates[-1] == pytest.approx(target)
+    assert all(b >= a - 1e-9 for a, b in zip(rates, rates[1:]))
+    assert all(1.0 - 1e-9 <= r <= target + 1e-9 for r in rates)
+
+
+class TestBSPIntegration:
+    def test_bsp_accepts_ramp_choice(self, rng):
+        from repro.nn.module import Parameter
+
+        params = {"w": Parameter(rng.standard_normal((8, 8)))}
+        for ramp in ("geometric", "cubic", "oneshot"):
+            pruner = BSPPruner(
+                params,
+                BSPConfig(col_rate=4, row_rate=1, num_row_strips=2,
+                          num_col_blocks=2, ramp=ramp,
+                          step1_admm_epochs=2, step1_retrain_epochs=0,
+                          step2_admm_epochs=0, step2_retrain_epochs=0),
+            )
+            assert pruner._ramp_rate >= 1.0
+
+    def test_bsp_rejects_unknown_ramp(self):
+        with pytest.raises(ConfigError):
+            BSPConfig(ramp="sigmoid")
+
+    def test_oneshot_ramp_starts_at_target(self, rng):
+        from repro.nn.module import Parameter
+
+        params = {"w": Parameter(rng.standard_normal((8, 8)))}
+        pruner = BSPPruner(
+            params,
+            BSPConfig(col_rate=4, row_rate=1, num_row_strips=2,
+                      num_col_blocks=2, ramp="oneshot",
+                      step1_admm_epochs=3, step1_retrain_epochs=0,
+                      step2_admm_epochs=0, step2_retrain_epochs=0),
+        )
+        assert pruner._ramp_rate == pytest.approx(4.0)

@@ -1,0 +1,148 @@
+"""Tests for per-layer sensitivity analysis (repro.pruning.sensitivity)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.nn.module import Parameter
+from repro.pruning.bsp import BSPConfig
+from repro.pruning.sensitivity import (
+    allocate_rates,
+    probe_sensitivity,
+    sensitivity_configs,
+)
+
+
+def quadratic_loss_fn(params, anchors):
+    """Loss = sum ||W_i - anchor_i||^2 — reflects in-place edits."""
+
+    def loss():
+        return float(
+            sum(np.sum((p.data - a) ** 2) for p, a in zip(params.values(), anchors))
+        )
+
+    return loss
+
+
+@pytest.fixture
+def setup(rng):
+    params = {
+        "sensitive": Parameter(rng.standard_normal((8, 8)) * 3.0),
+        "robust": Parameter(rng.standard_normal((8, 8)) * 0.01),
+    }
+    anchors = [params["sensitive"].data.copy(), params["robust"].data.copy()]
+    return params, quadratic_loss_fn(params, anchors)
+
+
+class TestProbe:
+    def test_weights_restored_exactly(self, setup):
+        params, loss_fn = setup
+        before = {n: p.data.copy() for n, p in params.items()}
+        probe_sensitivity(params, loss_fn, rates=(2.0, 4.0),
+                          num_row_strips=2, num_col_blocks=2)
+        for name, param in params.items():
+            np.testing.assert_array_equal(param.data, before[name])
+
+    def test_baseline_is_unpruned_loss(self, setup):
+        params, loss_fn = setup
+        report = probe_sensitivity(params, loss_fn, rates=(2.0,),
+                                   num_row_strips=2, num_col_blocks=2)
+        assert report.baseline_loss == pytest.approx(loss_fn())
+
+    def test_large_weights_more_sensitive(self, setup):
+        params, loss_fn = setup
+        report = probe_sensitivity(params, loss_fn, rates=(2.0, 4.0),
+                                   num_row_strips=2, num_col_blocks=2)
+        by_name = {l.name: l for l in report.layers}
+        assert (
+            by_name["sensitive"].mean_degradation
+            > by_name["robust"].mean_degradation
+        )
+
+    def test_ranking_most_sensitive_first(self, setup):
+        params, loss_fn = setup
+        report = probe_sensitivity(params, loss_fn, rates=(4.0,),
+                                   num_row_strips=2, num_col_blocks=2)
+        assert report.ranking()[0] == "sensitive"
+
+    def test_higher_rate_hurts_more(self, setup):
+        params, loss_fn = setup
+        report = probe_sensitivity(params, loss_fn, rates=(2.0, 8.0),
+                                   num_row_strips=2, num_col_blocks=2)
+        layer = [l for l in report.layers if l.name == "sensitive"][0]
+        assert layer.losses[1] >= layer.losses[0]
+
+    def test_degradation_at_lookup(self, setup):
+        params, loss_fn = setup
+        report = probe_sensitivity(params, loss_fn, rates=(2.0, 8.0),
+                                   num_row_strips=2, num_col_blocks=2)
+        layer = report.layers[0]
+        assert layer.degradation_at(7.9) == layer.losses[1] - layer.baseline_loss
+
+    def test_rejects_empty_params(self):
+        with pytest.raises(ConfigError):
+            probe_sensitivity({}, lambda: 0.0)
+
+    def test_rejects_bad_rates(self, setup):
+        params, loss_fn = setup
+        with pytest.raises(ConfigError):
+            probe_sensitivity(params, loss_fn, rates=(0.5,))
+        with pytest.raises(ConfigError):
+            probe_sensitivity(params, loss_fn, rates=())
+
+
+class TestAllocation:
+    def test_budget_met(self, setup):
+        params, loss_fn = setup
+        report = probe_sensitivity(params, loss_fn, rates=(2.0, 4.0),
+                                   num_row_strips=2, num_col_blocks=2)
+        sizes = {n: p.size for n, p in params.items()}
+        rates = allocate_rates(report, sizes, target_rate=4.0)
+        kept = sum(sizes[n] / rates[n] for n in sizes)
+        assert kept == pytest.approx(sum(sizes.values()) / 4.0, rel=0.25)
+
+    def test_sensitive_layer_gets_lower_rate(self, setup):
+        params, loss_fn = setup
+        report = probe_sensitivity(params, loss_fn, rates=(2.0, 4.0),
+                                   num_row_strips=2, num_col_blocks=2)
+        sizes = {n: p.size for n, p in params.items()}
+        rates = allocate_rates(report, sizes, target_rate=4.0)
+        assert rates["sensitive"] < rates["robust"]
+
+    def test_clamping(self, setup):
+        params, loss_fn = setup
+        report = probe_sensitivity(params, loss_fn, rates=(2.0,),
+                                   num_row_strips=2, num_col_blocks=2)
+        sizes = {n: p.size for n, p in params.items()}
+        rates = allocate_rates(report, sizes, target_rate=60.0, max_rate=8.0)
+        assert all(r <= 8.0 for r in rates.values())
+
+    def test_rejects_bad_target(self, setup):
+        params, loss_fn = setup
+        report = probe_sensitivity(params, loss_fn, rates=(2.0,),
+                                   num_row_strips=2, num_col_blocks=2)
+        with pytest.raises(ConfigError):
+            allocate_rates(report, {n: p.size for n, p in params.items()}, 0.5)
+
+    def test_rejects_missing_sizes(self, setup):
+        params, loss_fn = setup
+        report = probe_sensitivity(params, loss_fn, rates=(2.0,),
+                                   num_row_strips=2, num_col_blocks=2)
+        with pytest.raises(ConfigError):
+            allocate_rates(report, {}, 4.0)
+
+
+class TestConfigs:
+    def test_configs_from_rates(self):
+        configs = sensitivity_configs({"a": 4.0, "b": 8.0})
+        assert configs["a"].col_rate == 4.0
+        assert configs["b"].col_rate == 8.0
+        assert configs["a"].row_rate == 1.0
+
+    def test_base_settings_propagated(self):
+        base = BSPConfig(num_row_strips=2, num_col_blocks=2, rho=0.5,
+                         ramp="cubic")
+        configs = sensitivity_configs({"a": 4.0}, base)
+        assert configs["a"].rho == 0.5
+        assert configs["a"].ramp == "cubic"
+        assert configs["a"].num_row_strips == 2

@@ -1,0 +1,67 @@
+"""Tests for checkpointing (repro.nn.serialization)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.serialization import load_checkpoint, save_checkpoint
+from repro.pruning.bsp import BSPConfig, bsp_project_masks
+from repro.speech.model import AcousticModelConfig, GRUAcousticModel
+
+
+@pytest.fixture
+def model():
+    return GRUAcousticModel(AcousticModelConfig(hidden_size=16), rng=0)
+
+
+class TestRoundTrip:
+    def test_parameters_survive(self, model, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, model)
+        other = GRUAcousticModel(AcousticModelConfig(hidden_size=16), rng=99)
+        load_checkpoint(path, other)
+        for (_, a), (_, b) in zip(model.named_parameters(), other.named_parameters()):
+            np.testing.assert_array_equal(a.data, b.data)
+
+    def test_masks_survive_and_reapply(self, model, tmp_path):
+        masks = bsp_project_masks(
+            model.prunable_weights(),
+            BSPConfig(col_rate=4, row_rate=1, num_row_strips=2, num_col_blocks=2),
+        )
+        masks.apply_to_params(model.prunable_parameters())
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, model, masks=masks)
+        other = GRUAcousticModel(AcousticModelConfig(hidden_size=16), rng=99)
+        _, loaded_masks, _ = load_checkpoint(path, other)
+        assert len(loaded_masks) == len(masks)
+        for name, mask in masks:
+            np.testing.assert_array_equal(loaded_masks[name].keep, mask.keep)
+            param = dict(other.named_parameters())[name]
+            assert np.all(param.data[~mask.keep] == 0.0)
+
+    def test_metadata_round_trip(self, model, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        meta = {"seed": 0, "per": 5.31, "note": "dense baseline"}
+        save_checkpoint(path, model, metadata=meta)
+        _, _, loaded = load_checkpoint(path)
+        assert loaded == meta
+
+    def test_state_without_model(self, model, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, model)
+        state, masks, metadata = load_checkpoint(path)
+        assert set(state) == set(model.state_dict())
+        assert len(masks) == 0
+        assert metadata == {}
+
+    def test_empty_metadata_default(self, model, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, model)
+        _, _, metadata = load_checkpoint(path)
+        assert metadata == {}
+
+    def test_shape_mismatch_on_load_rejected(self, model, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, model)
+        wrong = GRUAcousticModel(AcousticModelConfig(hidden_size=24), rng=0)
+        with pytest.raises(ValueError):
+            load_checkpoint(path, wrong)

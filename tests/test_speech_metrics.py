@@ -1,0 +1,194 @@
+"""Tests for PER / edit distance / decoding (repro.speech.metrics, decoder)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.speech.decoder import (
+    decode_batch,
+    decode_utterance,
+    greedy_frame_labels,
+    smooth_labels,
+)
+from repro.speech.metrics import (
+    collapse_frames,
+    frame_accuracy,
+    levenshtein,
+    per_from_frames,
+    phone_error_rate,
+)
+from repro.speech.phones import SILENCE_ID
+
+
+class TestLevenshtein:
+    def test_identity_zero(self):
+        assert levenshtein([1, 2, 3], [1, 2, 3]) == 0
+
+    def test_empty_cases(self):
+        assert levenshtein([], [1, 2]) == 2
+        assert levenshtein([1, 2], []) == 2
+        assert levenshtein([], []) == 0
+
+    def test_substitution(self):
+        assert levenshtein([1, 2, 3], [1, 9, 3]) == 1
+
+    def test_insertion(self):
+        assert levenshtein([1, 3], [1, 2, 3]) == 1
+
+    def test_deletion(self):
+        assert levenshtein([1, 2, 3], [1, 3]) == 1
+
+    def test_classic_example(self):
+        assert levenshtein("kitten", "sitting") == 3
+
+    def test_completely_different(self):
+        assert levenshtein([1, 2], [3, 4]) == 2
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    a=st.lists(st.integers(0, 5), max_size=10),
+    b=st.lists(st.integers(0, 5), max_size=10),
+)
+def test_property_levenshtein_symmetry(a, b):
+    assert levenshtein(a, b) == levenshtein(b, a)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    a=st.lists(st.integers(0, 5), max_size=8),
+    b=st.lists(st.integers(0, 5), max_size=8),
+)
+def test_property_levenshtein_bounds(a, b):
+    d = levenshtein(a, b)
+    assert abs(len(a) - len(b)) <= d <= max(len(a), len(b))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    a=st.lists(st.integers(0, 3), max_size=6),
+    b=st.lists(st.integers(0, 3), max_size=6),
+    c=st.lists(st.integers(0, 3), max_size=6),
+)
+def test_property_levenshtein_triangle(a, b, c):
+    assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+
+class TestCollapse:
+    def test_merges_runs(self):
+        assert collapse_frames([1, 1, 2, 2, 2, 3]) == [1, 2, 3]
+
+    def test_drops_silence(self):
+        assert collapse_frames([0, 0, 1, 1, 0, 2, 0]) == [1, 2]
+
+    def test_repeated_phone_after_silence_counts_twice(self):
+        assert collapse_frames([1, 1, 0, 1, 1]) == [1, 1]
+
+    def test_empty(self):
+        assert collapse_frames([]) == []
+
+    def test_all_silence(self):
+        assert collapse_frames([0, 0, 0]) == []
+
+    def test_custom_drop_symbol(self):
+        assert collapse_frames([1, 2, 2, 1], drop=1) == [2]
+
+
+class TestPER:
+    def test_perfect_match_zero(self):
+        assert phone_error_rate([[1, 2, 3]], [[1, 2, 3]]) == 0.0
+
+    def test_percentage_scale(self):
+        assert phone_error_rate([[1, 2, 3, 4]], [[1, 2, 3, 9]]) == pytest.approx(25.0)
+
+    def test_corpus_level_pooling(self):
+        # 1 error over 4 reference phones total = 25%.
+        per = phone_error_rate([[1, 2], [3, 4]], [[1, 2], [3, 9]])
+        assert per == pytest.approx(25.0)
+
+    def test_empty_reference(self):
+        assert phone_error_rate([[]], [[]]) == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            phone_error_rate([[1]], [[1], [2]])
+
+    def test_per_can_exceed_100(self):
+        assert phone_error_rate([[1]], [[2, 3, 4]]) == pytest.approx(300.0)
+
+    def test_per_from_frames(self):
+        per, refs, hyps = per_from_frames([[0, 1, 1, 0]], [[0, 1, 1, 0]])
+        assert per == 0.0
+        assert refs == [[1]]
+
+
+class TestFrameAccuracy:
+    def test_all_correct(self):
+        labels = np.array([[1, 2]])
+        assert frame_accuracy(labels, labels, np.ones((1, 2))) == 1.0
+
+    def test_mask_excludes_padding(self):
+        labels = np.array([[1, 2, 3]])
+        preds = np.array([[1, 2, 9]])  # error only in masked frame
+        mask = np.array([[1, 1, 0]])
+        assert frame_accuracy(labels, preds, mask) == 1.0
+
+    def test_empty_mask(self):
+        assert frame_accuracy(np.array([[1]]), np.array([[1]]), np.array([[0]])) == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            frame_accuracy(np.zeros((2, 2)), np.zeros((2, 3)), np.zeros((2, 2)))
+
+
+class TestDecoder:
+    def test_greedy_argmax(self):
+        logits = np.array([[0.1, 0.9], [0.8, 0.2]])
+        np.testing.assert_array_equal(greedy_frame_labels(logits), [1, 0])
+
+    def test_greedy_rejects_1d(self):
+        with pytest.raises(ShapeError):
+            greedy_frame_labels(np.zeros(4))
+
+    def test_smooth_removes_blips(self):
+        labels = np.array([1, 1, 1, 2, 1, 1])
+        np.testing.assert_array_equal(
+            smooth_labels(labels, min_duration=2), [1, 1, 1, 1, 1, 1]
+        )
+
+    def test_smooth_keeps_long_runs(self):
+        labels = np.array([1, 1, 2, 2, 3, 3])
+        np.testing.assert_array_equal(smooth_labels(labels, 2), labels)
+
+    def test_smooth_min_duration_one_is_identity(self):
+        labels = np.array([1, 2, 3])
+        np.testing.assert_array_equal(smooth_labels(labels, 1), labels)
+
+    def test_smooth_leading_blip_kept(self):
+        # The first run has no predecessor, so it stays.
+        labels = np.array([2, 1, 1, 1])
+        np.testing.assert_array_equal(smooth_labels(labels, 2), [2, 1, 1, 1])
+
+    def test_decode_utterance(self):
+        c = 4
+        logits = np.zeros((6, c))
+        for t, phone in enumerate([0, 1, 1, 2, 2, 0]):
+            logits[t, phone] = 5.0
+        assert decode_utterance(logits) == [1, 2]
+
+    def test_decode_batch_uses_lengths(self):
+        logits = np.zeros((5, 2, 3))
+        logits[:, 0, 1] = 5.0  # utterance 0: all phone 1
+        logits[:, 1, 2] = 5.0  # utterance 1: all phone 2
+        out = decode_batch(logits, np.array([5, 2]))
+        assert out == [[1], [2]]
+
+    def test_decode_batch_rejects_bad_lengths(self):
+        with pytest.raises(ShapeError):
+            decode_batch(np.zeros((5, 2, 3)), np.array([5]))
+
+    def test_decode_batch_rejects_2d(self):
+        with pytest.raises(ShapeError):
+            decode_batch(np.zeros((5, 3)), np.array([5]))

@@ -1,0 +1,189 @@
+"""Tests for the synthetic corpus generator (repro.speech.synth)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.speech.phones import NUM_CLASSES, SILENCE_ID
+from repro.speech.synth import (
+    SynthConfig,
+    make_corpus,
+    make_dataset,
+    phone_formants,
+    phone_prototypes,
+    synth_utterance,
+    synth_waveform,
+    waveform_example,
+)
+from repro.utils.rng import new_rng
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        SynthConfig()
+
+    def test_rejects_bad_phone_range(self):
+        with pytest.raises(ConfigError):
+            SynthConfig(min_phones=5, max_phones=3)
+
+    def test_rejects_bad_durations(self):
+        with pytest.raises(ConfigError):
+            SynthConfig(min_duration=0)
+
+    def test_rejects_negative_noise(self):
+        with pytest.raises(ConfigError):
+            SynthConfig(noise_level=-1.0)
+
+    def test_rejects_tiny_num_mels(self):
+        with pytest.raises(ConfigError):
+            SynthConfig(num_mels=2)
+
+
+class TestPrototypes:
+    def test_shape(self):
+        assert phone_prototypes(SynthConfig()).shape == (NUM_CLASSES, 40)
+
+    def test_deterministic_for_fixed_seed(self):
+        a = phone_prototypes(SynthConfig())
+        b = phone_prototypes(SynthConfig())
+        np.testing.assert_array_equal(a, b)
+
+    def test_seed_changes_prototypes(self):
+        a = phone_prototypes(SynthConfig())
+        b = phone_prototypes(SynthConfig(prototype_seed=999))
+        assert not np.allclose(a, b)
+
+    def test_silence_low_energy(self):
+        protos = phone_prototypes(SynthConfig())
+        assert protos[SILENCE_ID].mean() < protos[1:].mean()
+
+    def test_phones_distinct(self):
+        protos = phone_prototypes(SynthConfig())
+        # No two phones share a prototype.
+        for i in range(1, 5):
+            for j in range(i + 1, 6):
+                assert not np.allclose(protos[i], protos[j])
+
+
+class TestUtterance:
+    def make(self, seed=0, **kw):
+        config = SynthConfig(**kw)
+        return synth_utterance(config, phone_prototypes(config), new_rng(seed))
+
+    def test_shapes_consistent(self):
+        ex = self.make()
+        assert ex.features.shape == (len(ex.labels), 40)
+
+    def test_labels_in_range(self):
+        ex = self.make()
+        assert ex.labels.min() >= 0
+        assert ex.labels.max() < NUM_CLASSES
+
+    def test_silence_padding(self):
+        ex = self.make(silence_frames=3)
+        assert np.all(ex.labels[:3] == SILENCE_ID)
+        assert np.all(ex.labels[-3:] == SILENCE_ID)
+
+    def test_no_silence_inside_speech(self):
+        ex = self.make(silence_frames=2)
+        inner = ex.labels[2:-2]
+        assert np.all(inner != SILENCE_ID)
+
+    def test_duration_bounds_respected(self):
+        ex = self.make(min_duration=3, max_duration=5, silence_frames=0,
+                       coarticulation=0)
+        runs = []
+        start = 0
+        for t in range(1, len(ex.labels) + 1):
+            if t == len(ex.labels) or ex.labels[t] != ex.labels[start]:
+                runs.append(t - start)
+                start = t
+        # Adjacent equal phones can merge runs, so only the lower bound is
+        # guaranteed per run.
+        assert min(runs) >= 3
+
+    def test_zero_noise_matches_prototypes_without_speaker_variation(self):
+        config = SynthConfig(noise_level=0.0, speaker_tilt=0.0, coarticulation=0)
+        protos = phone_prototypes(config)
+        ex = synth_utterance(config, protos, new_rng(0))
+        np.testing.assert_allclose(ex.features, protos[ex.labels], atol=1e-12)
+
+    def test_noise_level_scales_deviation(self):
+        quiet = SynthConfig(noise_level=0.1, speaker_tilt=0.0, coarticulation=0)
+        loud = SynthConfig(noise_level=1.0, speaker_tilt=0.0, coarticulation=0)
+        protos = phone_prototypes(quiet)
+        dev_q = np.abs(
+            synth_utterance(quiet, protos, new_rng(1)).features
+            - protos[synth_utterance(quiet, protos, new_rng(1)).labels]
+        ).mean()
+        dev_l = np.abs(
+            synth_utterance(loud, protos, new_rng(1)).features
+            - protos[synth_utterance(loud, protos, new_rng(1)).labels]
+        ).mean()
+        assert dev_l > dev_q
+
+    def test_deterministic_given_rng(self):
+        config = SynthConfig()
+        protos = phone_prototypes(config)
+        a = synth_utterance(config, protos, new_rng(7))
+        b = synth_utterance(config, protos, new_rng(7))
+        np.testing.assert_array_equal(a.features, b.features)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+
+class TestDatasets:
+    def test_make_dataset_size(self):
+        assert len(make_dataset(5, seed=0)) == 5
+
+    def test_make_dataset_deterministic(self):
+        a = make_dataset(3, seed=1)
+        b = make_dataset(3, seed=1)
+        for x, y in zip(a.examples, b.examples):
+            np.testing.assert_array_equal(x.features, y.features)
+
+    def test_make_dataset_utterances_differ(self):
+        data = make_dataset(2, seed=0)
+        assert len(data[0]) != len(data[1]) or not np.allclose(
+            data[0].features[:3], data[1].features[:3]
+        )
+
+    def test_make_corpus_disjoint_seeds(self):
+        train, test = make_corpus(3, 2, seed=0)
+        assert len(train) == 3
+        assert len(test) == 2
+        # Different RNG streams: first utterances differ.
+        assert len(train[0]) != len(test[0]) or not np.allclose(
+            train[0].features[:2], test[0].features[:2]
+        )
+
+    def test_rejects_zero_utterances(self):
+        with pytest.raises(ConfigError):
+            make_dataset(0)
+
+
+class TestWaveformPath:
+    def test_formants_shape_and_silence(self):
+        formants = phone_formants()
+        assert formants.shape == (NUM_CLASSES, 3)
+        assert np.all(formants[SILENCE_ID] == 0.0)
+        assert np.all(formants[1:, 0] > 0)
+
+    def test_waveform_length(self):
+        from repro.speech.features import FeatureConfig
+
+        labels = np.array([0, 1, 1, 2, 0])
+        wave = synth_waveform(labels, rng=0)
+        assert len(wave) == len(labels) * FeatureConfig().hop_length
+
+    def test_silence_frames_quiet(self):
+        labels = np.array([0, 1, 0])
+        wave = synth_waveform(labels, rng=0)
+        hop = 160
+        silence_rms = np.sqrt(np.mean(wave[:hop] ** 2))
+        speech_rms = np.sqrt(np.mean(wave[hop : 2 * hop] ** 2))
+        assert speech_rms > 10 * silence_rms
+
+    def test_waveform_example_consistent(self):
+        wave, example = waveform_example(seed=0)
+        assert example.features.shape[0] == len(example.labels)
+        assert len(wave) >= len(example.labels) * 160

@@ -1,0 +1,320 @@
+"""Tests for the autograd engine (repro.nn.tensor)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GradientError, ShapeError
+from repro.nn.tensor import Tensor, as_tensor, concatenate, ones, stack, zeros
+from tests.conftest import check_gradient
+
+
+class TestBasics:
+    def test_construction_from_list(self):
+        t = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert t.shape == (2, 2)
+        assert t.dtype == np.float64
+
+    def test_requires_grad_default_false(self):
+        assert not Tensor([1.0]).requires_grad
+
+    def test_item_scalar(self):
+        assert Tensor(3.5).item() == 3.5
+
+    def test_item_rejects_nonscalar(self):
+        with pytest.raises(ShapeError):
+            Tensor([1.0, 2.0]).item()
+
+    def test_detach_cuts_tape(self):
+        t = Tensor([1.0], requires_grad=True)
+        d = (t * 2.0).detach()
+        assert not d.requires_grad
+
+    def test_numpy_returns_underlying(self):
+        t = Tensor([1.0, 2.0])
+        assert t.numpy() is t.data
+
+    def test_len_and_size(self):
+        t = Tensor(np.zeros((3, 4)))
+        assert len(t) == 3
+        assert t.size == 12
+
+    def test_repr_mentions_shape(self):
+        assert "shape=(2,)" in repr(Tensor([1.0, 2.0]))
+
+    def test_as_tensor_identity(self):
+        t = Tensor([1.0])
+        assert as_tensor(t) is t
+
+    def test_zeros_and_ones(self):
+        assert np.all(zeros((2, 3)).data == 0.0)
+        assert np.all(ones((2, 3)).data == 1.0)
+
+
+class TestBackwardMechanics:
+    def test_backward_requires_grad(self):
+        with pytest.raises(GradientError):
+            Tensor([1.0]).backward()
+
+    def test_backward_nonscalar_needs_seed(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        out = t * 2.0
+        with pytest.raises(GradientError):
+            out.backward()
+
+    def test_backward_with_explicit_seed(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        (t * 3.0).backward(np.array([1.0, 1.0]))
+        np.testing.assert_allclose(t.grad, [3.0, 3.0])
+
+    def test_seed_shape_checked(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        out = t * 1.0
+        with pytest.raises(ShapeError):
+            out.backward(np.array([1.0]))
+
+    def test_grad_accumulates_across_backward_calls(self):
+        t = Tensor([2.0], requires_grad=True)
+        (t * 3.0).sum().backward()
+        (t * 3.0).sum().backward()
+        np.testing.assert_allclose(t.grad, [6.0])
+
+    def test_zero_grad(self):
+        t = Tensor([2.0], requires_grad=True)
+        (t * 3.0).sum().backward()
+        t.zero_grad()
+        assert t.grad is None
+
+    def test_reused_node_accumulates(self):
+        t = Tensor([3.0], requires_grad=True)
+        y = t * t  # t used twice
+        y.sum().backward()
+        np.testing.assert_allclose(t.grad, [6.0])
+
+    def test_diamond_graph(self):
+        # z = (t*2) + (t*3): gradient 5.
+        t = Tensor([1.0], requires_grad=True)
+        z = t * 2.0 + t * 3.0
+        z.sum().backward()
+        np.testing.assert_allclose(t.grad, [5.0])
+
+    def test_deep_chain_no_recursion_error(self):
+        t = Tensor([1.0], requires_grad=True)
+        out = t
+        for _ in range(2000):
+            out = out + 0.001
+        out.sum().backward()
+        np.testing.assert_allclose(t.grad, [1.0])
+
+
+class TestArithmeticGradients:
+    def test_add(self, rng):
+        check_gradient(lambda t: (t + 2.0).sum(), rng.standard_normal((3, 4)))
+
+    def test_sub(self, rng):
+        check_gradient(lambda t: (t - 1.5).sum(), rng.standard_normal((3, 4)))
+
+    def test_rsub(self, rng):
+        check_gradient(lambda t: (1.5 - t).sum(), rng.standard_normal((3,)))
+
+    def test_mul(self, rng):
+        check_gradient(lambda t: (t * t).sum(), rng.standard_normal((3, 4)))
+
+    def test_div(self, rng):
+        a = rng.standard_normal((3, 4)) + 5.0
+        check_gradient(lambda t: (1.0 / t).sum(), a)
+
+    def test_neg(self, rng):
+        check_gradient(lambda t: (-t).sum(), rng.standard_normal((4,)))
+
+    def test_pow(self, rng):
+        a = np.abs(rng.standard_normal((3,))) + 0.5
+        check_gradient(lambda t: (t**3.0).sum(), a)
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([1.0]) ** Tensor([2.0])
+
+    def test_broadcast_add_row(self, rng):
+        row = rng.standard_normal((1, 4))
+        other = Tensor(rng.standard_normal((3, 4)))
+        check_gradient(lambda t: (t + other).sum(), row)
+
+    def test_broadcast_mul_scalar_tensor(self, rng):
+        s = rng.standard_normal((1,))
+        other = Tensor(rng.standard_normal((3, 4)))
+        check_gradient(lambda t: (t * other).sum(), s)
+
+    def test_broadcast_vector_to_matrix(self, rng):
+        v = rng.standard_normal((4,))
+        other = Tensor(rng.standard_normal((3, 4)))
+        check_gradient(lambda t: (other * t).sum(), v)
+
+
+class TestMatmulGradients:
+    def test_matmul_2d_2d(self, rng):
+        b = Tensor(rng.standard_normal((4, 5)))
+        check_gradient(lambda t: (t @ b).sum(), rng.standard_normal((3, 4)))
+
+    def test_matmul_grad_wrt_rhs(self, rng):
+        a = Tensor(rng.standard_normal((3, 4)))
+        check_gradient(lambda t: (a @ t).sum(), rng.standard_normal((4, 5)))
+
+    def test_matmul_1d_1d(self, rng):
+        b = Tensor(rng.standard_normal(4))
+        check_gradient(lambda t: (t @ b).sum(), rng.standard_normal(4))
+
+    def test_matmul_1d_2d(self, rng):
+        b = Tensor(rng.standard_normal((4, 3)))
+        check_gradient(lambda t: (t @ b).sum(), rng.standard_normal(4))
+
+    def test_matmul_2d_1d(self, rng):
+        b = Tensor(rng.standard_normal(4))
+        check_gradient(lambda t: (t @ b).sum(), rng.standard_normal((3, 4)))
+
+    def test_matmul_rejects_3d(self, rng):
+        a = Tensor(rng.standard_normal((2, 3, 4)))
+        with pytest.raises(ShapeError):
+            a @ Tensor(rng.standard_normal((4, 2)))
+
+    def test_matmul_value(self, rng):
+        a = rng.standard_normal((3, 4))
+        b = rng.standard_normal((4, 5))
+        np.testing.assert_allclose((Tensor(a) @ Tensor(b)).data, a @ b)
+
+
+class TestReductions:
+    def test_sum_all(self, rng):
+        check_gradient(lambda t: t.sum(), rng.standard_normal((3, 4)))
+
+    def test_sum_axis0(self, rng):
+        check_gradient(lambda t: t.sum(axis=0).sum(), rng.standard_normal((3, 4)))
+
+    def test_sum_axis_keepdims(self, rng):
+        check_gradient(
+            lambda t: t.sum(axis=1, keepdims=True).sum(), rng.standard_normal((3, 4))
+        )
+
+    def test_sum_negative_axis(self, rng):
+        check_gradient(lambda t: t.sum(axis=-1).sum(), rng.standard_normal((3, 4)))
+
+    def test_mean_all(self, rng):
+        check_gradient(lambda t: t.mean(), rng.standard_normal((3, 4)))
+
+    def test_mean_axis(self, rng):
+        check_gradient(lambda t: t.mean(axis=0).sum(), rng.standard_normal((3, 4)))
+
+    def test_max_all(self, rng):
+        a = rng.standard_normal((3, 4))
+        check_gradient(lambda t: t.max(), a)
+
+    def test_max_axis_value(self, rng):
+        a = rng.standard_normal((3, 4))
+        np.testing.assert_allclose(Tensor(a).max(axis=1).data, a.max(axis=1))
+
+    def test_mean_value(self, rng):
+        a = rng.standard_normal((3, 4))
+        np.testing.assert_allclose(Tensor(a).mean().data, a.mean())
+
+
+class TestNonlinearities:
+    def test_sigmoid_grad(self, rng):
+        check_gradient(lambda t: t.sigmoid().sum(), rng.standard_normal((3, 4)))
+
+    def test_tanh_grad(self, rng):
+        check_gradient(lambda t: t.tanh().sum(), rng.standard_normal((3, 4)))
+
+    def test_relu_grad(self, rng):
+        a = rng.standard_normal((3, 4)) + 0.2  # keep away from the kink
+        a[np.abs(a) < 1e-3] = 0.5
+        check_gradient(lambda t: t.relu().sum(), a)
+
+    def test_exp_grad(self, rng):
+        check_gradient(lambda t: t.exp().sum(), rng.standard_normal((3,)))
+
+    def test_log_grad(self, rng):
+        a = np.abs(rng.standard_normal((3,))) + 1.0
+        check_gradient(lambda t: t.log().sum(), a)
+
+    def test_sigmoid_range(self, rng):
+        out = Tensor(rng.standard_normal(100) * 10).sigmoid().data
+        assert np.all(out > 0) and np.all(out < 1)
+
+    def test_relu_value(self):
+        np.testing.assert_allclose(
+            Tensor([-1.0, 0.0, 2.0]).relu().data, [0.0, 0.0, 2.0]
+        )
+
+
+class TestShapeOps:
+    def test_reshape_grad(self, rng):
+        check_gradient(
+            lambda t: (t.reshape(12) * np.arange(12.0)).sum(),
+            rng.standard_normal((3, 4)),
+        )
+
+    def test_reshape_tuple_arg(self, rng):
+        t = Tensor(rng.standard_normal((3, 4)))
+        assert t.reshape((4, 3)).shape == (4, 3)
+
+    def test_transpose_grad(self, rng):
+        w = Tensor(rng.standard_normal((3, 4)))
+        check_gradient(lambda t: (t.T * w).sum(), rng.standard_normal((4, 3)))
+
+    def test_transpose_axes(self, rng):
+        a = rng.standard_normal((2, 3, 4))
+        out = Tensor(a).transpose(2, 0, 1)
+        assert out.shape == (4, 2, 3)
+
+    def test_transpose_axes_grad(self, rng):
+        w = np.arange(24.0).reshape(4, 2, 3)
+        check_gradient(
+            lambda t: (t.transpose(2, 0, 1) * w).sum(), rng.standard_normal((2, 3, 4))
+        )
+
+    def test_getitem_row_grad(self, rng):
+        check_gradient(lambda t: t[1].sum(), rng.standard_normal((3, 4)))
+
+    def test_getitem_slice_grad(self, rng):
+        check_gradient(lambda t: t[:, 1:3].sum(), rng.standard_normal((3, 4)))
+
+    def test_getitem_value(self, rng):
+        a = rng.standard_normal((3, 4))
+        np.testing.assert_allclose(Tensor(a)[2].data, a[2])
+
+    def test_concatenate_grad(self, rng):
+        a = rng.standard_normal((2, 3))
+        b = Tensor(rng.standard_normal((4, 3)))
+        check_gradient(lambda t: (concatenate([t, b], axis=0) ** 2.0).sum(), a)
+
+    def test_concatenate_axis1(self, rng):
+        a = Tensor(rng.standard_normal((2, 3)))
+        b = Tensor(rng.standard_normal((2, 5)))
+        assert concatenate([a, b], axis=1).shape == (2, 8)
+
+    def test_concatenate_empty_rejected(self):
+        with pytest.raises(ValueError):
+            concatenate([])
+
+    def test_stack_grad(self, rng):
+        a = rng.standard_normal((3,))
+        b = Tensor(rng.standard_normal((3,)))
+        check_gradient(lambda t: (stack([t, b], axis=0) ** 2.0).sum(), a)
+
+    def test_stack_shape(self, rng):
+        parts = [Tensor(rng.standard_normal((2, 3))) for _ in range(4)]
+        assert stack(parts, axis=0).shape == (4, 2, 3)
+        assert stack(parts, axis=1).shape == (2, 4, 3)
+
+    def test_stack_empty_rejected(self):
+        with pytest.raises(ValueError):
+            stack([])
+
+
+class TestComparisons:
+    def test_gt_returns_array(self):
+        out = Tensor([1.0, 3.0]) > 2.0
+        assert isinstance(out, np.ndarray)
+        np.testing.assert_array_equal(out, [False, True])
+
+    def test_lt(self):
+        np.testing.assert_array_equal(Tensor([1.0, 3.0]) < 2.0, [True, False])

@@ -1,0 +1,109 @@
+"""Tests for repro.utils (rng, validation) and repro.nn.init."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn import init
+from repro.utils.rng import derive_seed, new_rng, spawn_rngs
+from repro.utils.validation import (
+    check_2d,
+    check_positive_int,
+    check_probability,
+    check_same_shape,
+)
+
+
+class TestRng:
+    def test_new_rng_deterministic(self):
+        assert new_rng(3).random() == new_rng(3).random()
+
+    def test_new_rng_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert new_rng(gen) is gen
+
+    def test_spawn_independent_children(self):
+        a, b = spawn_rngs(0, 2)
+        assert a.random() != b.random()
+
+    def test_spawn_stable_across_calls(self):
+        a1, _ = spawn_rngs(5, 2)
+        a2, _ = spawn_rngs(5, 2)
+        assert a1.random() == a2.random()
+
+    def test_spawn_count_zero(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_derive_seed_deterministic(self):
+        assert derive_seed(1, 2, 3) == derive_seed(1, 2, 3)
+
+    def test_derive_seed_salt_sensitive(self):
+        assert derive_seed(1, 2) != derive_seed(1, 3)
+
+    def test_derive_seed_none_base(self):
+        assert derive_seed(None, 1) == derive_seed(None, 1)
+
+
+class TestValidation:
+    def test_check_2d_passes(self):
+        out = check_2d(np.zeros((2, 3)))
+        assert out.shape == (2, 3)
+
+    def test_check_2d_rejects_1d(self):
+        with pytest.raises(ShapeError):
+            check_2d(np.zeros(3))
+
+    def test_check_same_shape(self):
+        check_same_shape(np.zeros((2, 3)), np.zeros((2, 3)))
+        with pytest.raises(ShapeError):
+            check_same_shape(np.zeros((2, 3)), np.zeros((3, 2)))
+
+    def test_check_positive_int(self):
+        assert check_positive_int(3, "x") == 3
+        with pytest.raises(ValueError):
+            check_positive_int(0, "x")
+        with pytest.raises(ValueError):
+            check_positive_int(2.5, "x")
+        with pytest.raises(ValueError):
+            check_positive_int(True, "x")
+
+    def test_check_probability(self):
+        assert check_probability(0.5, "p") == 0.5
+        with pytest.raises(ValueError):
+            check_probability(1.5, "p")
+
+
+class TestInit:
+    def test_xavier_bounds(self):
+        w = init.xavier_uniform((50, 100), rng=0)
+        limit = np.sqrt(6.0 / 150)
+        assert np.all(np.abs(w) <= limit)
+        assert w.shape == (50, 100)
+
+    def test_orthogonal_rows_orthonormal(self):
+        w = init.orthogonal((10, 20), rng=0)
+        np.testing.assert_allclose(w @ w.T, np.eye(10), atol=1e-10)
+
+    def test_orthogonal_tall_columns_orthonormal(self):
+        w = init.orthogonal((20, 10), rng=0)
+        np.testing.assert_allclose(w.T @ w, np.eye(10), atol=1e-10)
+
+    def test_orthogonal_gain(self):
+        w = init.orthogonal((8, 8), rng=0, gain=2.0)
+        np.testing.assert_allclose(w @ w.T, 4 * np.eye(8), atol=1e-9)
+
+    def test_zeros(self):
+        assert np.all(init.zeros((3, 4)) == 0.0)
+
+    def test_normal_std(self):
+        w = init.normal((2000,), std=0.5, rng=0)
+        assert abs(w.std() - 0.5) < 0.05
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(
+            init.xavier_uniform((4, 4), rng=1), init.xavier_uniform((4, 4), rng=1)
+        )
