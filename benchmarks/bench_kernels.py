@@ -8,6 +8,7 @@ substrate are visible.
 import numpy as np
 import pytest
 
+from repro import kernels
 from repro.compiler.codegen import CompileOptions, lower_matrix
 from repro.pruning.bsp import BSPConfig, bsp_project_masks
 from repro.pruning.projections import project_block_columns, project_unstructured
@@ -15,6 +16,8 @@ from repro.sparse.blocks import grid_for
 from repro.sparse.bspc import BSPCMatrix
 from repro.sparse.csr import CSRMatrix
 from repro.utils.rng import new_rng
+
+BACKENDS = ["reference", "numpy"]
 
 
 @pytest.fixture(scope="module")
@@ -39,12 +42,50 @@ def test_bench_csr_encode(benchmark, pruned_1k):
     assert csr.nnz == np.count_nonzero(pruned_1k)
 
 
-def test_bench_bspc_spmv(benchmark, pruned_1k):
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_bench_bspc_spmv(benchmark, pruned_1k, backend):
     grid = grid_for(pruned_1k, 8, 8)
     bspc = BSPCMatrix.from_dense(pruned_1k, grid)
     x = new_rng(1).standard_normal(1024)
-    out = benchmark(bspc.spmv, x)
+    bspc.spmv(x)  # build + cache the plan outside the timed region
+    out = benchmark(bspc.spmv, x, backend=backend)
     np.testing.assert_allclose(out, pruned_1k @ x)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_bench_bspc_spmm(benchmark, pruned_1k, backend):
+    grid = grid_for(pruned_1k, 8, 8)
+    bspc = BSPCMatrix.from_dense(pruned_1k, grid)
+    x = new_rng(1).standard_normal((1024, 16))
+    bspc.spmm(x)
+    out = benchmark(bspc.spmm, x, backend=backend)
+    np.testing.assert_allclose(out, pruned_1k @ x)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_bench_csr_spmv(benchmark, pruned_1k, backend):
+    csr = CSRMatrix.from_dense(pruned_1k)
+    x = new_rng(1).standard_normal(1024)
+    csr.spmv(x)
+    out = benchmark(csr.spmv, x, backend=backend)
+    np.testing.assert_allclose(out, pruned_1k @ x)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_bench_gru_sequence_kernel(benchmark, backend):
+    """One fused GRU layer, T=100 B=16 H=1024 (paper-scale width)."""
+    rng = new_rng(0)
+    seq_len, batch, hidden, input_dim = 100, 16, 1024, 40
+    x = rng.standard_normal((seq_len, batch, input_dim))
+    w_ih = rng.standard_normal((3 * hidden, input_dim))
+    w_hh = rng.standard_normal((3 * hidden, hidden)) * 0.05
+    b_ih = rng.standard_normal(3 * hidden)
+    b_hh = rng.standard_normal(3 * hidden)
+    h0 = np.zeros((batch, hidden))
+    out, _ = benchmark(
+        kernels.gru_sequence, x, w_ih, w_hh, b_ih, b_hh, h0, backend=backend
+    )
+    assert out.shape == (seq_len, batch, hidden)
 
 
 def test_bench_block_projection(benchmark):

@@ -1,0 +1,183 @@
+"""Kernel benchmark driver: times every backend and writes BENCH_kernels.json.
+
+Runs the same hot-path cases as ``bench_kernels.py`` with a plain
+``time.perf_counter`` harness (no pytest dependency) and writes a
+machine-readable record so future PRs have a perf trajectory to regress
+against::
+
+    PYTHONPATH=src python benchmarks/run_bench.py [--out BENCH_kernels.json]
+    PYTHONPATH=src python benchmarks/run_bench.py --repeats 50
+
+Each row records ``op``, ``size``, ``backend``, ``median_s``, and
+``speedup_vs_baseline``, where the baseline backend is the seed
+implementation of that op: the ``reference`` Python loops for sparse ops,
+and the autograd-tape ``GRU.forward``/``LSTM.forward`` (``tensor_tape``
+rows) for the sequence kernels.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Callable, Dict, List
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro import kernels  # noqa: E402
+from repro.nn.rnn import GRU, LSTM  # noqa: E402
+from repro.nn.tensor import Tensor  # noqa: E402
+from repro.pruning.bsp import BSPConfig, bsp_project_masks  # noqa: E402
+from repro.sparse.blocks import grid_for  # noqa: E402
+from repro.sparse.bspc import BSPCMatrix  # noqa: E402
+from repro.sparse.csr import CSRMatrix  # noqa: E402
+from repro.utils.rng import new_rng  # noqa: E402
+
+SPARSE_BACKENDS = ["reference", "numpy"]
+
+
+def median_seconds(fn: Callable[[], object], repeats: int) -> float:
+    fn()  # warm up (also builds/caches any execution plan)
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return float(np.median(samples))
+
+
+def pruned_matrix(size: int = 1024, strips: int = 8, blocks: int = 8) -> np.ndarray:
+    rng = new_rng(0)
+    weight = rng.standard_normal((size, size))
+    masks = bsp_project_masks(
+        {"w": weight},
+        BSPConfig(col_rate=8, row_rate=2, num_row_strips=strips, num_col_blocks=blocks),
+    )
+    return masks["w"].apply_to_array(weight)
+
+
+def bench_sparse(repeats: int) -> List[Dict]:
+    size, strips, blocks = 1024, 8, 8
+    pruned = pruned_matrix(size, strips, blocks)
+    grid = grid_for(pruned, strips, blocks)
+    bspc = BSPCMatrix.from_dense(pruned, grid)
+    csr = CSRMatrix.from_dense(pruned)
+    x = new_rng(1).standard_normal(size)
+    batch = new_rng(2).standard_normal((size, 16))
+
+    cases = [
+        ("bspc_spmv", f"{size}x{size} grid={strips}x{blocks}",
+         lambda b: (lambda: bspc.spmv(x, backend=b))),
+        ("bspc_spmm", f"{size}x{size}x16 grid={strips}x{blocks}",
+         lambda b: (lambda: bspc.spmm(batch, backend=b))),
+        ("csr_spmv", f"{size}x{size}",
+         lambda b: (lambda: csr.spmv(x, backend=b))),
+        ("csr_spmm", f"{size}x{size}x16",
+         lambda b: (lambda: csr.spmm(batch, backend=b))),
+    ]
+    rows = []
+    for op, label, make in cases:
+        medians = {b: median_seconds(make(b), repeats) for b in SPARSE_BACKENDS}
+        baseline = medians["reference"]
+        for backend in SPARSE_BACKENDS:
+            rows.append({
+                "op": op,
+                "size": label,
+                "backend": backend,
+                "median_s": medians[backend],
+                "speedup_vs_baseline": baseline / medians[backend],
+                "baseline": "reference",
+            })
+    return rows
+
+
+def bench_recurrent(repeats: int) -> List[Dict]:
+    rows = []
+    configs = [
+        ("gru_sequence", GRU, (100, 16, 64)),
+        ("gru_sequence", GRU, (100, 16, 256)),
+        ("lstm_sequence", LSTM, (100, 16, 64)),
+    ]
+    input_dim, num_layers = 40, 2
+    for op, module_cls, (seq_len, batch, hidden) in configs:
+        rng = new_rng(0)
+        model = module_cls(input_dim, hidden, num_layers=num_layers, rng=0)
+        x = Tensor(rng.standard_normal((seq_len, batch, input_dim)))
+        label = f"T={seq_len} B={batch} H={hidden} L={num_layers}"
+
+        model.train()
+        medians = {"tensor_tape": median_seconds(lambda: model(x), repeats)}
+        model.eval()
+        for backend in SPARSE_BACKENDS:
+            def run(b=backend):
+                with kernels.use_backend(b):
+                    return model(x)
+
+            medians[backend] = median_seconds(run, repeats)
+        baseline = medians["tensor_tape"]
+        for backend, median in medians.items():
+            rows.append({
+                "op": op,
+                "size": label,
+                "backend": backend,
+                "median_s": median,
+                "speedup_vs_baseline": baseline / median,
+                "baseline": "tensor_tape",
+            })
+    return rows
+
+
+def render(rows: List[Dict]) -> str:
+    lines = [
+        f"{'op':<14} {'size':<28} {'backend':<12} {'median':>10} {'speedup':>8}",
+        "-" * 76,
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['op']:<14} {row['size']:<28} {row['backend']:<12} "
+            f"{row['median_s'] * 1e3:>8.3f}ms {row['speedup_vs_baseline']:>7.1f}x"
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", type=Path, default=REPO_ROOT / "BENCH_kernels.json",
+        help="output JSON path (default: repo-root BENCH_kernels.json)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=30,
+        help="timed repetitions per case (median is reported)",
+    )
+    args = parser.parse_args(argv)
+
+    rows = bench_sparse(args.repeats) + bench_recurrent(max(3, args.repeats // 3))
+    print(render(rows))
+
+    payload = {
+        "meta": {
+            "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            "numpy": np.__version__,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "repeats": args.repeats,
+            "default_backend": kernels.get_default_backend(),
+        },
+        "results": rows,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

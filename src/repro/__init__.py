@@ -6,6 +6,8 @@ Layered public API:
 * :mod:`repro.nn` — numpy autograd + GRU training substrate,
 * :mod:`repro.pruning` — BSP (ADMM block pruning) and every baseline,
 * :mod:`repro.sparse` — CSR/CSC/BSPC storage formats,
+* :mod:`repro.kernels` — vectorized execution backends behind a pluggable
+  registry (the compute seam for sparse ops and fused RNN sequences),
 * :mod:`repro.compiler` — reorder / load-elimination / BSPC lowering /
   auto-tuning,
 * :mod:`repro.hw` — calibrated Adreno 640 / Kryo 485 simulator + energy,
@@ -32,7 +34,7 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from repro import compiler, eval, hw, nn, pruning, sparse, speech, utils
+from repro import compiler, eval, hw, kernels, nn, pruning, sparse, speech, utils
 from repro.errors import (
     CompilationError,
     ConfigError,
@@ -50,6 +52,7 @@ __all__ = [
     "pruning",
     "compiler",
     "hw",
+    "kernels",
     "speech",
     "eval",
     "utils",

@@ -34,3 +34,7 @@ class CompilationError(ReproError, RuntimeError):
 
 class SimulationError(ReproError, RuntimeError):
     """The hardware simulator was asked to execute an invalid plan."""
+
+
+class KernelError(ReproError, RuntimeError):
+    """A kernel op/backend lookup failed or a kernel was misused."""

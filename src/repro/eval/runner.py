@@ -20,6 +20,7 @@ import time
 from pathlib import Path
 from typing import List, Optional
 
+from repro import kernels
 from repro.eval.export import to_csv, to_json
 from repro.eval.figure4 import figure4_from_table2, render_figure4
 from repro.eval.table1 import Table1Config, render_table1, run_table1
@@ -78,11 +79,29 @@ def _run_all(args) -> None:
     print(f"\nall artifacts in {out}/ ({time.time() - start:.0f}s)")
 
 
+def _add_kernel_backend_arg(parser: argparse.ArgumentParser, top_level: bool) -> None:
+    """Register --kernel-backend on a parser.
+
+    The flag lives on the top-level parser *and* every subparser so both
+    argument orders work.  The subparser copies default to SUPPRESS so an
+    absent post-subcommand flag does not clobber a pre-subcommand value
+    in the shared namespace.
+    """
+    parser.add_argument(
+        "--kernel-backend",
+        choices=kernels.registry.backends(),
+        default=None if top_level else argparse.SUPPRESS,
+        help="execution backend for all kernel dispatches "
+        f"(default: {kernels.get_default_backend()})",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the RTMobile paper's tables and figures.",
     )
+    _add_kernel_backend_arg(parser, top_level=True)
     sub = parser.add_subparsers(dest="command", required=True)
 
     p1 = sub.add_parser("table1", help="compression vs. PER (trains models)")
@@ -103,11 +122,15 @@ def build_parser() -> argparse.ArgumentParser:
     pa.add_argument("--out", type=Path, default=Path("results"))
     pa.add_argument("--fast", action="store_true")
     pa.set_defaults(func=_run_all)
+    for sub_parser in (p1, p2, p4, pa):
+        _add_kernel_backend_arg(sub_parser, top_level=False)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.kernel_backend:
+        kernels.set_default_backend(args.kernel_backend)
     args.func(args)
     return 0
 

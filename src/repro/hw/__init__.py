@@ -4,6 +4,7 @@ from repro.hw.device import DeviceSpec, ReferenceAccelerator
 from repro.hw.energy import EnergyReport, energy_report
 from repro.hw.executor import (
     LayerTiming,
+    NumericExecutor,
     SimulationResult,
     simulate,
     simulate_layer,
@@ -22,6 +23,7 @@ __all__ = [
     "simulate",
     "simulate_layer",
     "thread_balance",
+    "NumericExecutor",
     "SimulationResult",
     "LayerTiming",
     "LayerTraffic",

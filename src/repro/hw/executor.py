@@ -25,7 +25,7 @@ The returned :class:`SimulationResult` carries the Table II quantities.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
@@ -33,6 +33,9 @@ from repro.compiler.ir import KernelPlan, LayerPlan
 from repro.errors import SimulationError
 from repro.hw.device import DeviceSpec
 from repro.hw.memory import layer_traffic
+from repro.sparse.blocks import grid_for
+from repro.sparse.bspc import BSPCMatrix
+from repro.sparse.csr import CSRMatrix
 
 
 @dataclass(frozen=True)
@@ -131,6 +134,66 @@ def simulate_layer(layer: LayerPlan, device: DeviceSpec, timesteps: int) -> Laye
         balance=balance,
         parallel_efficiency=efficiency,
     )
+
+
+class NumericExecutor:
+    """Plan-then-execute on the host: real numerics for a compiled model.
+
+    The analytic :func:`simulate` path answers "how fast would the mobile
+    kernels be"; this executor answers "what do they compute".  Each pruned
+    weight matrix is encoded *once* into its storage format (BSPC for
+    block-structured weights, CSR when requested, dense otherwise) and every
+    :meth:`matvec`/:meth:`matmat` afterwards dispatches through the
+    :mod:`repro.kernels` registry — the same seam the sparse formats,
+    RNN layers, and benchmarks use.
+    """
+
+    def __init__(
+        self,
+        weights: Dict[str, np.ndarray],
+        format_name: str = "bspc",
+        num_row_strips: int = 4,
+        num_col_blocks: int = 8,
+        backend: Optional[str] = None,
+    ) -> None:
+        if format_name not in ("bspc", "csr", "dense"):
+            raise SimulationError(f"unknown format {format_name!r}")
+        self.backend = backend
+        self._matrices: Dict[str, Union[np.ndarray, CSRMatrix, BSPCMatrix]] = {}
+        for name, weight in weights.items():
+            weight = np.asarray(weight, dtype=np.float64)
+            if format_name == "dense" or np.count_nonzero(weight) == weight.size:
+                self._matrices[name] = weight
+            elif format_name == "csr":
+                self._matrices[name] = CSRMatrix.from_dense(weight)
+            else:
+                grid = grid_for(weight, num_row_strips, num_col_blocks)
+                self._matrices[name] = BSPCMatrix.from_dense(weight, grid)
+
+    @property
+    def layer_names(self) -> List[str]:
+        return list(self._matrices)
+
+    def _layer(self, name: str):
+        if name not in self._matrices:
+            raise SimulationError(
+                f"unknown layer {name!r}; have {self.layer_names}"
+            )
+        return self._matrices[name]
+
+    def matvec(self, name: str, x: np.ndarray) -> np.ndarray:
+        """Layer ``name`` × vector through the kernel registry."""
+        matrix = self._layer(name)
+        if isinstance(matrix, np.ndarray):
+            return matrix @ np.asarray(x)
+        return matrix.spmv(np.asarray(x), backend=self.backend)
+
+    def matmat(self, name: str, x: np.ndarray) -> np.ndarray:
+        """Layer ``name`` × dense matrix (batched inputs as columns)."""
+        matrix = self._layer(name)
+        if isinstance(matrix, np.ndarray):
+            return matrix @ np.asarray(x)
+        return matrix.spmm(np.asarray(x), backend=self.backend)
 
 
 def simulate(plan: KernelPlan, device: DeviceSpec) -> SimulationResult:

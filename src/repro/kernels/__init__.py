@@ -1,0 +1,99 @@
+"""Vectorized execution backend with a pluggable kernel registry.
+
+Hot numerical paths of the library dispatch through this package:
+
+* :func:`spmv` / :func:`spmm` — sparse matrix × vector/matrix for any
+  matrix exposing a ``kernel_prefix`` (``CSRMatrix``, ``BSPCMatrix``),
+* :func:`gru_sequence` / :func:`lstm_sequence` — fused full-sequence
+  recurrent layers used by ``GRU.forward``/``LSTM.forward`` in eval mode.
+
+Backend selection::
+
+    from repro import kernels
+
+    kernels.set_default_backend("reference")     # global
+    with kernels.use_backend("reference"): ...   # lexical
+    kernels.spmv(matrix, x, backend="numpy")     # per call
+
+See ``docs/kernels.md`` for the plan/registry design and how to add a
+backend.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import KernelError
+from repro.kernels import numpy_backend, reference  # noqa: F401  (register backends)
+from repro.kernels.plans import BSPCPlan, CSRPlan, bspc_plan, csr_plan
+from repro.kernels.registry import (
+    KernelRegistry,
+    get_default_backend,
+    registry,
+    set_default_backend,
+    use_backend,
+)
+
+__all__ = [
+    "KernelRegistry",
+    "registry",
+    "set_default_backend",
+    "get_default_backend",
+    "use_backend",
+    "CSRPlan",
+    "BSPCPlan",
+    "csr_plan",
+    "bspc_plan",
+    "spmv",
+    "spmm",
+    "gru_sequence",
+    "lstm_sequence",
+]
+
+
+def _matrix_op(matrix, op: str) -> str:
+    prefix = getattr(matrix, "kernel_prefix", None)
+    if prefix is None:
+        raise KernelError(
+            f"{type(matrix).__name__} does not declare a kernel_prefix; "
+            "cannot dispatch sparse kernels for it"
+        )
+    return f"{prefix}_{op}"
+
+
+def spmv(matrix, x: np.ndarray, backend: Optional[str] = None) -> np.ndarray:
+    """Sparse matrix × dense vector through the registry."""
+    return registry.get(_matrix_op(matrix, "spmv"), backend)(matrix, x)
+
+
+def spmm(matrix, x: np.ndarray, backend: Optional[str] = None) -> np.ndarray:
+    """Sparse matrix × dense matrix through the registry."""
+    return registry.get(_matrix_op(matrix, "spmm"), backend)(matrix, x)
+
+
+def gru_sequence(
+    x: np.ndarray,
+    w_ih: np.ndarray,
+    w_hh: np.ndarray,
+    b_ih: np.ndarray,
+    b_hh: np.ndarray,
+    h0: np.ndarray,
+    backend: Optional[str] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One GRU layer over a ``(T, B, D)`` sequence → ``(outputs, h_T)``."""
+    return registry.get("gru_sequence", backend)(x, w_ih, w_hh, b_ih, b_hh, h0)
+
+
+def lstm_sequence(
+    x: np.ndarray,
+    w_ih: np.ndarray,
+    w_hh: np.ndarray,
+    bias: np.ndarray,
+    h0: np.ndarray,
+    c0: np.ndarray,
+    backend: Optional[str] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One LSTM layer over a ``(T, B, D)`` sequence → ``(outputs, h_T, c_T)``."""
+    return registry.get("lstm_sequence", backend)(x, w_ih, w_hh, bias, h0, c0)

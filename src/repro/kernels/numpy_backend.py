@@ -1,0 +1,171 @@
+"""Numpy backend: vectorized plan-then-execute kernels (the default).
+
+Sparse ops run on the execution plans of :mod:`repro.kernels.plans` —
+all per-block/per-row Python iteration happens once at plan-build time,
+after which ``spmv``/``spmm`` are a gather, one batched GEMM (BSPC) or a
+``reduceat`` (CSR), and a scatter.  The recurrent kernels hoist the
+input-side projection out of the time loop and run the recurrence on raw
+ndarrays with a preallocated output buffer.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.kernels.plans import bspc_plan, csr_plan
+from repro.kernels.registry import registry
+
+
+def _sigmoid(v: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-v))
+
+
+# ---------------------------------------------------------------------------
+# CSR
+# ---------------------------------------------------------------------------
+@registry.register("csr_spmv", "numpy")
+def csr_spmv(matrix, x: np.ndarray) -> np.ndarray:
+    """Row-segment sums via ``np.add.reduceat`` over ``row_ptr``."""
+    plan = csr_plan(matrix)
+    out = np.zeros(matrix.shape[0])
+    if plan.nonempty_rows.size:
+        products = matrix.values * x[matrix.col_indices]
+        out[plan.nonempty_rows] = np.add.reduceat(products, plan.segment_starts)
+    return out
+
+
+@registry.register("csr_spmm", "numpy")
+def csr_spmm(matrix, x: np.ndarray) -> np.ndarray:
+    """Batched :func:`csr_spmv`, one input column at a time.
+
+    A 1-D ``reduceat`` per column beats a single 2-D ``reduceat`` over the
+    ``(nnz, batch)`` product block by ~5x: multi-axis reduceat falls off
+    numpy's fast path, while the per-column segment sums stay contiguous.
+    """
+    plan = csr_plan(matrix)
+    out = np.zeros((matrix.shape[0], x.shape[1]))
+    if plan.nonempty_rows.size:
+        for j in range(x.shape[1]):
+            products = matrix.values * x[:, j][matrix.col_indices]
+            out[plan.nonempty_rows, j] = np.add.reduceat(
+                products, plan.segment_starts
+            )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# BSPC
+# ---------------------------------------------------------------------------
+@registry.register("bspc_spmv", "numpy")
+def bspc_spmv(matrix, x: np.ndarray) -> np.ndarray:
+    """Gather → one batched panel GEMM → scatter (plus a dropped sink row)."""
+    plan = bspc_plan(matrix)
+    rows = plan.shape[0]
+    out = np.zeros(rows + 1)
+    if plan.panels.size:
+        gathered = x[plan.gather_cols]
+        if plan.pad_cols is not None:
+            gathered[plan.pad_cols] = 0.0  # keep non-finite x[0] out of pads
+        partial = np.matmul(plan.panels, gathered[:, :, None])[:, :, 0]
+        if plan.scatter_unique:
+            out[plan.flat_rows] += partial.reshape(-1)
+        else:
+            np.add.at(out, plan.flat_rows, partial.reshape(-1))
+    return out[:rows]
+
+
+@registry.register("bspc_spmm", "numpy")
+def bspc_spmm(matrix, x: np.ndarray) -> np.ndarray:
+    """Batched :func:`bspc_spmv` over the columns of ``x``."""
+    plan = bspc_plan(matrix)
+    rows = plan.shape[0]
+    batch = x.shape[1]
+    out = np.zeros((rows + 1, batch))
+    if plan.panels.size:
+        gathered = x[plan.gather_cols]
+        if plan.pad_cols is not None:
+            gathered[plan.pad_cols] = 0.0  # keep non-finite x[0] out of pads
+        partial = np.matmul(plan.panels, gathered)
+        if plan.scatter_unique:
+            out[plan.flat_rows] += partial.reshape(-1, batch)
+        else:
+            np.add.at(out, plan.flat_rows, partial.reshape(-1, batch))
+    return out[:rows]
+
+
+# ---------------------------------------------------------------------------
+# Recurrent sequence kernels
+# ---------------------------------------------------------------------------
+@registry.register("gru_sequence", "numpy")
+def gru_sequence(
+    x: np.ndarray,
+    w_ih: np.ndarray,
+    w_hh: np.ndarray,
+    b_ih: np.ndarray,
+    b_hh: np.ndarray,
+    h0: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Fused GRU layer: the whole sequence's input projection is one
+    ``(T·B, D) @ (D, 3H)`` GEMM; the time loop carries only the recurrence
+    and writes each step into a preallocated output buffer.
+
+    Both constant biases of the update/reset gates are folded into the
+    hoisted projection (``z``/``r`` see ``gx + gh + b_ih + b_hh`` either
+    way), and the two gates share one sigmoid over the ``2H`` block — the
+    per-step cost at small ``H`` is dominated by numpy call overhead, so
+    fewer, wider ops matter more than saved FLOPs."""
+    seq_len, batch, _ = x.shape
+    hidden = h0.shape[1]
+    gates_x = (x.reshape(seq_len * batch, -1) @ w_ih.T + b_ih).reshape(
+        seq_len, batch, 3 * hidden
+    )
+    gates_x[:, :, : 2 * hidden] += b_hh[: 2 * hidden]
+    gx_zr = gates_x[:, :, : 2 * hidden]
+    gx_h = gates_x[:, :, 2 * hidden :]
+    b_hh_h = b_hh[2 * hidden :]
+    w_hh_t = np.ascontiguousarray(w_hh.T)
+    out = np.empty((seq_len, batch, hidden))
+    h = h0
+    for t in range(seq_len):
+        gh = h @ w_hh_t
+        zr = _sigmoid(gx_zr[t] + gh[:, : 2 * hidden])
+        z = zr[:, :hidden]
+        r = zr[:, hidden:]
+        h_tilde = np.tanh(gx_h[t] + r * (gh[:, 2 * hidden :] + b_hh_h))
+        h = (1.0 - z) * h + z * h_tilde
+        out[t] = h
+    return out, h
+
+
+@registry.register("lstm_sequence", "numpy")
+def lstm_sequence(
+    x: np.ndarray,
+    w_ih: np.ndarray,
+    w_hh: np.ndarray,
+    bias: np.ndarray,
+    h0: np.ndarray,
+    c0: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Fused LSTM layer: input projection + bias hoisted out of the loop."""
+    seq_len, batch, _ = x.shape
+    hidden = h0.shape[1]
+    gates_x = (x.reshape(seq_len * batch, -1) @ w_ih.T + bias).reshape(
+        seq_len, batch, 4 * hidden
+    )
+    w_hh_t = np.ascontiguousarray(w_hh.T)
+    out = np.empty((seq_len, batch, hidden))
+    h, c = h0, c0
+    for t in range(seq_len):
+        gates = gates_x[t] + h @ w_hh_t
+        # input/forget gates are adjacent in the layout: one shared sigmoid.
+        input_forget = _sigmoid(gates[:, : 2 * hidden])
+        i = input_forget[:, :hidden]
+        f = input_forget[:, hidden:]
+        g = np.tanh(gates[:, 2 * hidden : 3 * hidden])
+        o = _sigmoid(gates[:, 3 * hidden :])
+        c = f * c + i * g
+        h = o * np.tanh(c)
+        out[t] = h
+    return out, h, c

@@ -1,0 +1,141 @@
+"""Reference backend: the original straight-line Python-loop kernels.
+
+These are the seed implementations of the library, moved verbatim behind
+the registry.  They iterate row-by-row (CSR) or strip-by-strip/block-by-
+block (BSPC) and re-project the RNN input at every timestep — slow, but
+each line maps directly onto the math, which is why the equivalence suite
+(``tests/test_kernels_equivalence.py``) treats them as ground truth for
+every faster backend.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.kernels.registry import registry
+
+
+def _sigmoid(v: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-v))
+
+
+# ---------------------------------------------------------------------------
+# CSR
+# ---------------------------------------------------------------------------
+@registry.register("csr_spmv", "reference")
+def csr_spmv(matrix, x: np.ndarray) -> np.ndarray:
+    """Sparse matrix × dense vector, one dot product per row."""
+    out = np.zeros(matrix.shape[0])
+    for r in range(matrix.shape[0]):
+        start, stop = matrix.row_ptr[r], matrix.row_ptr[r + 1]
+        out[r] = matrix.values[start:stop] @ x[matrix.col_indices[start:stop]]
+    return out
+
+
+@registry.register("csr_spmm", "reference")
+def csr_spmm(matrix, x: np.ndarray) -> np.ndarray:
+    """Sparse matrix × dense matrix, one row at a time."""
+    out = np.zeros((matrix.shape[0], x.shape[1]))
+    for r in range(matrix.shape[0]):
+        start, stop = matrix.row_ptr[r], matrix.row_ptr[r + 1]
+        out[r] = matrix.values[start:stop] @ x[matrix.col_indices[start:stop], :]
+    return out
+
+
+# ---------------------------------------------------------------------------
+# BSPC
+# ---------------------------------------------------------------------------
+@registry.register("bspc_spmv", "reference")
+def bspc_spmv(matrix, x: np.ndarray) -> np.ndarray:
+    """Gather → dense panel multiply → scatter, per strip and block."""
+    out = np.zeros(matrix.grid.rows)
+    for strip in matrix.strips:
+        if not strip.kept_rows.size:
+            continue
+        acc = np.zeros(len(strip.kept_rows))
+        for block in strip.blocks:
+            if block.kept_cols.size:
+                acc += block.panel @ x[block.kept_cols]
+        out[strip.kept_rows] += acc
+    return out
+
+
+@registry.register("bspc_spmm", "reference")
+def bspc_spmm(matrix, x: np.ndarray) -> np.ndarray:
+    """Batched variant of :func:`bspc_spmv`; columns of ``x`` are
+    independent input vectors."""
+    out = np.zeros((matrix.grid.rows, x.shape[1]))
+    for strip in matrix.strips:
+        if not strip.kept_rows.size:
+            continue
+        acc = np.zeros((len(strip.kept_rows), x.shape[1]))
+        for block in strip.blocks:
+            if block.kept_cols.size:
+                acc += block.panel @ x[block.kept_cols, :]
+        out[strip.kept_rows] += acc
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Recurrent sequence kernels
+# ---------------------------------------------------------------------------
+@registry.register("gru_sequence", "reference")
+def gru_sequence(
+    x: np.ndarray,
+    w_ih: np.ndarray,
+    w_hh: np.ndarray,
+    b_ih: np.ndarray,
+    b_hh: np.ndarray,
+    h0: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One GRU layer over a ``(T, B, D)`` sequence, timestep by timestep.
+
+    Exactly the per-step math of ``GRUCell.forward`` (Cho et al. 2014),
+    including re-projecting the input at every step.  Returns the
+    ``(T, B, H)`` hidden sequence and the final ``(B, H)`` state.
+    """
+    seq_len = x.shape[0]
+    hidden = h0.shape[1]
+    h = h0
+    outputs = []
+    for t in range(seq_len):
+        gx = x[t] @ w_ih.T + b_ih
+        gh = h @ w_hh.T + b_hh
+        z = _sigmoid(gx[:, :hidden] + gh[:, :hidden])
+        r = _sigmoid(gx[:, hidden : 2 * hidden] + gh[:, hidden : 2 * hidden])
+        h_tilde = np.tanh(gx[:, 2 * hidden :] + r * gh[:, 2 * hidden :])
+        h = (1.0 - z) * h + z * h_tilde
+        outputs.append(h)
+    return np.stack(outputs, axis=0), h
+
+
+@registry.register("lstm_sequence", "reference")
+def lstm_sequence(
+    x: np.ndarray,
+    w_ih: np.ndarray,
+    w_hh: np.ndarray,
+    bias: np.ndarray,
+    h0: np.ndarray,
+    c0: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One LSTM layer over a ``(T, B, D)`` sequence, timestep by timestep.
+
+    Gate order ``[input, forget, cell, output]`` as in ``LSTMCell``.
+    Returns the hidden sequence and the final ``(h, c)`` state.
+    """
+    seq_len = x.shape[0]
+    hidden = h0.shape[1]
+    h, c = h0, c0
+    outputs = []
+    for t in range(seq_len):
+        gates = x[t] @ w_ih.T + h @ w_hh.T + bias
+        i = _sigmoid(gates[:, :hidden])
+        f = _sigmoid(gates[:, hidden : 2 * hidden])
+        g = np.tanh(gates[:, 2 * hidden : 3 * hidden])
+        o = _sigmoid(gates[:, 3 * hidden :])
+        c = f * c + i * g
+        h = o * np.tanh(c)
+        outputs.append(h)
+    return np.stack(outputs, axis=0), h, c

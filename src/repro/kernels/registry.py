@@ -1,0 +1,125 @@
+"""Pluggable kernel registry: op name × backend name → implementation.
+
+The registry is the single dispatch seam between *what* the library wants
+to compute (``spmv``, ``spmm``, ``gru_sequence``, …) and *how* it is
+computed.  Two backends ship today:
+
+* ``"reference"`` — the original straight-line Python loops.  Slow, but
+  obviously correct; the equivalence suite treats them as ground truth.
+* ``"numpy"`` — vectorized plan-then-execute implementations (the
+  default).
+
+Future backends (multiprocessing, numba, quantized int8, …) register the
+same op names and become selectable globally (:func:`set_default_backend`),
+lexically (:func:`use_backend`), or per call (the ``backend=`` argument
+accepted by every dispatching entry point in :mod:`repro.kernels`).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional
+
+from repro.errors import KernelError
+
+
+class KernelRegistry:
+    """Maps ``(op, backend)`` pairs to callables."""
+
+    def __init__(self, default_backend: str = "numpy") -> None:
+        self._impls: Dict[str, Dict[str, Callable]] = {}
+        self._default = default_backend
+
+    # -- registration -----------------------------------------------------
+    def register(
+        self, op: str, backend: str, fn: Optional[Callable] = None, override: bool = False
+    ) -> Callable:
+        """Register ``fn`` as the ``backend`` implementation of ``op``.
+
+        Usable directly or as a decorator::
+
+            @registry.register("spmv", "numpy")
+            def spmv(matrix, x): ...
+        """
+
+        def _register(implementation: Callable) -> Callable:
+            table = self._impls.setdefault(op, {})
+            if backend in table and not override:
+                raise KernelError(
+                    f"kernel {op!r} already has a {backend!r} backend; "
+                    "pass override=True to replace it"
+                )
+            table[backend] = implementation
+            return implementation
+
+        return _register(fn) if fn is not None else _register
+
+    # -- lookup -----------------------------------------------------------
+    def get(self, op: str, backend: Optional[str] = None) -> Callable:
+        """Resolve ``op`` for ``backend`` (default: the global backend)."""
+        backend = backend or self._default
+        table = self._impls.get(op)
+        if table is None:
+            raise KernelError(f"unknown kernel op {op!r}; known: {self.ops()}")
+        fn = table.get(backend)
+        if fn is None:
+            raise KernelError(
+                f"kernel {op!r} has no {backend!r} backend; "
+                f"available: {sorted(table)}"
+            )
+        return fn
+
+    def ops(self) -> List[str]:
+        """Sorted names of all registered ops."""
+        return sorted(self._impls)
+
+    def backends(self, op: Optional[str] = None) -> List[str]:
+        """Backends available for ``op`` (or across all ops)."""
+        if op is not None:
+            if op not in self._impls:
+                raise KernelError(f"unknown kernel op {op!r}; known: {self.ops()}")
+            return sorted(self._impls[op])
+        names = {b for table in self._impls.values() for b in table}
+        return sorted(names)
+
+    # -- backend selection ------------------------------------------------
+    @property
+    def default_backend(self) -> str:
+        return self._default
+
+    def set_default_backend(self, backend: str) -> None:
+        """Make ``backend`` the global default for all dispatches."""
+        if backend not in self.backends():
+            raise KernelError(
+                f"unknown backend {backend!r}; available: {self.backends()}"
+            )
+        self._default = backend
+
+    @contextmanager
+    def use_backend(self, backend: str) -> Iterator[None]:
+        """Temporarily switch the default backend (context manager)."""
+        previous = self._default
+        self.set_default_backend(backend)
+        try:
+            yield
+        finally:
+            self._default = previous
+
+
+#: The process-wide registry every ``repro.kernels`` entry point consults.
+registry = KernelRegistry()
+
+
+def set_default_backend(backend: str) -> None:
+    """Select the process-wide default backend (module-level convenience)."""
+    registry.set_default_backend(backend)
+
+
+def get_default_backend() -> str:
+    """Name of the current process-wide default backend."""
+    return registry.default_backend
+
+
+def use_backend(backend: str):
+    """Context manager temporarily switching the default backend."""
+    return registry.use_backend(backend)

@@ -29,6 +29,17 @@ from repro.nn.tensor import Tensor, stack
 from repro.utils.rng import RngLike, new_rng, spawn_rngs
 
 
+def _use_fused_kernels(module: Module, *tensors: Tensor) -> bool:
+    """True when a sequence forward may take the fused no-grad fast path.
+
+    In eval mode no gradient tape is needed, so the whole sequence runs
+    through :mod:`repro.kernels` on raw ndarrays.  Training mode — or any
+    input that itself requires grad — keeps the per-timestep Tensor path
+    so autograd still sees every op.
+    """
+    return not module.training and not any(t.requires_grad for t in tensors)
+
+
 class GRUCell(Module):
     """Single gated-recurrent-unit cell (one timestep)."""
 
@@ -144,9 +155,18 @@ class GRU(Module):
     def forward(
         self, x: Tensor, h0: Optional[List[Tensor]] = None
     ) -> Tuple[Tensor, List[Tensor]]:
-        """Run the full sequence; returns ``(outputs, final_hiddens)``."""
+        """Run the full sequence; returns ``(outputs, final_hiddens)``.
+
+        In eval mode (and with no grad-requiring inputs) each layer runs as
+        one fused :func:`repro.kernels.gru_sequence` call; training mode
+        unrolls the cells so gradients flow through every timestep.
+        """
         if x.ndim != 3:
             raise ShapeError(f"GRU expects (T, B, D) input, got {x.shape}")
+        if x.shape[-1] != self.input_size:
+            raise ShapeError(
+                f"GRU expected input size {self.input_size}, got {x.shape}"
+            )
         seq_len, batch, _ = x.shape
         hiddens = (
             [cell.init_hidden(batch) for cell in self.cells] if h0 is None else list(h0)
@@ -155,6 +175,22 @@ class GRU(Module):
             raise ShapeError(
                 f"h0 must have {self.num_layers} layer states, got {len(hiddens)}"
             )
+        if _use_fused_kernels(self, x, *hiddens):
+            from repro import kernels
+
+            layer_input = x.data
+            finals: List[Tensor] = []
+            for cell, h_init in zip(self.cells, hiddens):
+                layer_input, h_final = kernels.gru_sequence(
+                    layer_input,
+                    cell.weight_ih.data,
+                    cell.weight_hh.data,
+                    cell.bias_ih.data,
+                    cell.bias_hh.data,
+                    h_init.data,
+                )
+                finals.append(Tensor(h_final))
+            return Tensor(layer_input), finals
         outputs: List[Tensor] = []
         for t in range(seq_len):
             layer_input = x[t]
@@ -192,10 +228,33 @@ class LSTM(Module):
         return [getattr(self, f"cell{i}") for i in range(self.num_layers)]
 
     def forward(self, x: Tensor) -> Tensor:
-        """Run the full sequence; returns last-layer hidden states (T, B, H)."""
+        """Run the full sequence; returns last-layer hidden states (T, B, H).
+
+        Eval mode runs each layer as one fused
+        :func:`repro.kernels.lstm_sequence` call (no gradient tape).
+        """
         if x.ndim != 3:
             raise ShapeError(f"LSTM expects (T, B, D) input, got {x.shape}")
+        if x.shape[-1] != self.input_size:
+            raise ShapeError(
+                f"LSTM expected input size {self.input_size}, got {x.shape}"
+            )
         seq_len, batch, _ = x.shape
+        if _use_fused_kernels(self, x):
+            from repro import kernels
+
+            layer_input = x.data
+            zeros = np.zeros((batch, self.hidden_size))
+            for cell in self.cells:
+                layer_input, _, _ = kernels.lstm_sequence(
+                    layer_input,
+                    cell.weight_ih.data,
+                    cell.weight_hh.data,
+                    cell.bias.data,
+                    zeros,
+                    zeros,
+                )
+            return Tensor(layer_input)
         states = [cell.init_hidden(batch) for cell in self.cells]
         outputs: List[Tensor] = []
         for t in range(seq_len):

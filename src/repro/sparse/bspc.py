@@ -23,6 +23,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.errors import SparsityError
+from repro.kernels.plans import PlanCacheMixin
 from repro.sparse.blocks import BlockGrid
 from repro.utils.validation import check_2d
 
@@ -58,16 +59,23 @@ class BSPCStrip:
 
 
 @dataclass
-class BSPCMatrix:
+class BSPCMatrix(PlanCacheMixin):
     """A matrix stored in the BSPC format.
 
     Build with :meth:`from_dense`; the constructor validates structural
-    consistency (panel shapes vs. kept rows/cols).
+    consistency (panel shapes vs. kept rows/cols).  Compute dispatches
+    through :mod:`repro.kernels`; reassigning a structural field drops
+    the cached execution plan (see :class:`PlanCacheMixin`).
     """
 
     grid: BlockGrid
     strips: List[BSPCStrip]
     row_permutation: Optional[np.ndarray] = None
+
+    #: Registry op prefix used by :func:`repro.kernels.spmv`/``spmm``.
+    kernel_prefix = "bspc"
+
+    _STRUCTURAL_FIELDS = frozenset({"grid", "strips", "row_permutation"})
 
     def __post_init__(self) -> None:
         if len(self.strips) != self.grid.num_row_strips:
@@ -88,7 +96,16 @@ class BSPCMatrix:
                     )
         if self.row_permutation is not None:
             perm = np.asarray(self.row_permutation, dtype=np.int64)
-            if sorted(perm.tolist()) != list(range(self.grid.rows)):
+            # O(n) permutation check: right length, in range, no repeats.
+            if (
+                perm.shape != (self.grid.rows,)
+                or perm.size
+                and (
+                    perm.min() < 0
+                    or perm.max() >= self.grid.rows
+                    or np.bincount(perm, minlength=self.grid.rows).max() > 1
+                )
+            ):
                 raise SparsityError("row_permutation must be a permutation of rows")
             self.row_permutation = perm
 
@@ -166,26 +183,36 @@ class BSPCMatrix:
         return np.unique(np.concatenate(parts)) if parts else np.zeros(0, dtype=np.int64)
 
     # -- compute ---------------------------------------------------------
-    def spmv(self, x: np.ndarray) -> np.ndarray:
+    def spmv(self, x: np.ndarray, backend: Optional[str] = None) -> np.ndarray:
         """Matrix × vector using only the stored panels.
 
         This is the computation pattern the mobile kernels execute: gather
         the input elements a block needs, multiply the dense panel,
-        scatter-accumulate into surviving output rows.
+        scatter-accumulate into surviving output rows.  Dispatches through
+        :mod:`repro.kernels`; the default backend packs all panels into one
+        batched GEMM at plan-build time.
         """
+        from repro import kernels
+
         x = np.asarray(x)
         if x.shape != (self.grid.cols,):
             raise SparsityError(f"x must be ({self.grid.cols},), got {x.shape}")
-        out = np.zeros(self.grid.rows)
-        for strip in self.strips:
-            if not strip.kept_rows.size:
-                continue
-            acc = np.zeros(len(strip.kept_rows))
-            for block in strip.blocks:
-                if block.kept_cols.size:
-                    acc += block.panel @ x[block.kept_cols]
-            out[strip.kept_rows] += acc
-        return out
+        return kernels.spmv(self, x, backend=backend)
+
+    def spmm(self, x: np.ndarray, backend: Optional[str] = None) -> np.ndarray:
+        """Matrix × dense matrix; columns of ``x`` are independent inputs.
+
+        The batched counterpart of :meth:`spmv` (one gather + batched panel
+        GEMM for the whole batch), which is what batched inference uses.
+        """
+        from repro import kernels
+
+        x = check_2d(x, "x")
+        if x.shape[0] != self.grid.cols:
+            raise SparsityError(
+                f"inner dimensions disagree: {self.grid.shape} @ {x.shape}"
+            )
+        return kernels.spmm(self, x, backend=backend)
 
     # -- storage model ----------------------------------------------------
     def nbytes(self, value_bytes: int = 2, index_bytes: int = 2) -> int:

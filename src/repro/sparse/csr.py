@@ -10,22 +10,34 @@ the overhead Section III-A criticizes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.errors import SparsityError
+from repro.kernels.plans import PlanCacheMixin
 from repro.utils.validation import check_2d
 
 
 @dataclass
-class CSRMatrix:
-    """CSR representation of a 2-D matrix."""
+class CSRMatrix(PlanCacheMixin):
+    """CSR representation of a 2-D matrix.
+
+    Compute (``spmv``/``spmm``) dispatches through :mod:`repro.kernels`;
+    the vectorized default backend caches an execution plan on the
+    instance.  Reassigning a storage field drops the cached plan; after
+    mutating a stored array *in place*, call :meth:`invalidate_plan`.
+    """
 
     shape: Tuple[int, int]
     values: np.ndarray
     col_indices: np.ndarray
     row_ptr: np.ndarray
+
+    #: Registry op prefix used by :func:`repro.kernels.spmv`/``spmm``.
+    kernel_prefix = "csr"
+
+    _STRUCTURAL_FIELDS = frozenset({"shape", "values", "col_indices", "row_ptr"})
 
     def __post_init__(self) -> None:
         self.values = np.asarray(self.values, dtype=np.float64)
@@ -50,21 +62,21 @@ class CSRMatrix:
     # -- construction -----------------------------------------------------
     @classmethod
     def from_dense(cls, dense: np.ndarray) -> "CSRMatrix":
-        """Build from a dense matrix, treating exact zeros as absent."""
+        """Build from a dense matrix, treating exact zeros as absent.
+
+        ``np.nonzero`` scans row-major, so values/column indices come out
+        already grouped by row with columns sorted; the row pointer is a
+        cumulative sum of per-row counts.
+        """
         dense = check_2d(dense, "dense")
         rows, cols = dense.shape
-        values = []
-        col_indices = []
+        row_idx, col_idx = np.nonzero(dense)
         row_ptr = np.zeros(rows + 1, dtype=np.int64)
-        for r in range(rows):
-            nz = np.flatnonzero(dense[r])
-            values.append(dense[r, nz])
-            col_indices.append(nz)
-            row_ptr[r + 1] = row_ptr[r] + len(nz)
+        np.cumsum(np.bincount(row_idx, minlength=rows), out=row_ptr[1:])
         return cls(
             shape=(rows, cols),
-            values=np.concatenate(values) if values else np.zeros(0),
-            col_indices=np.concatenate(col_indices) if col_indices else np.zeros(0, dtype=np.int64),
+            values=dense[row_idx, col_idx],
+            col_indices=col_idx.astype(np.int64),
             row_ptr=row_ptr,
         )
 
@@ -73,9 +85,8 @@ class CSRMatrix:
         """Expand back to a dense matrix."""
         rows, cols = self.shape
         dense = np.zeros((rows, cols))
-        for r in range(rows):
-            start, stop = self.row_ptr[r], self.row_ptr[r + 1]
-            dense[r, self.col_indices[start:stop]] = self.values[start:stop]
+        row_idx = np.repeat(np.arange(rows), np.diff(self.row_ptr))
+        dense[row_idx, self.col_indices] = self.values
         return dense
 
     # -- queries -----------------------------------------------------------
@@ -93,29 +104,25 @@ class CSRMatrix:
         return self.nnz / float(rows * cols)
 
     # -- compute ---------------------------------------------------------
-    def spmv(self, x: np.ndarray) -> np.ndarray:
-        """Sparse matrix × dense vector."""
+    def spmv(self, x: np.ndarray, backend: Optional[str] = None) -> np.ndarray:
+        """Sparse matrix × dense vector (dispatched through the registry)."""
+        from repro import kernels
+
         x = np.asarray(x)
         if x.shape != (self.shape[1],):
             raise SparsityError(f"x must be ({self.shape[1]},), got {x.shape}")
-        out = np.zeros(self.shape[0])
-        for r in range(self.shape[0]):
-            start, stop = self.row_ptr[r], self.row_ptr[r + 1]
-            out[r] = self.values[start:stop] @ x[self.col_indices[start:stop]]
-        return out
+        return kernels.spmv(self, x, backend=backend)
 
-    def spmm(self, x: np.ndarray) -> np.ndarray:
+    def spmm(self, x: np.ndarray, backend: Optional[str] = None) -> np.ndarray:
         """Sparse matrix × dense matrix (columns are independent vectors)."""
+        from repro import kernels
+
         x = check_2d(x, "x")
         if x.shape[0] != self.shape[1]:
             raise SparsityError(
                 f"inner dimensions disagree: {self.shape} @ {x.shape}"
             )
-        out = np.zeros((self.shape[0], x.shape[1]))
-        for r in range(self.shape[0]):
-            start, stop = self.row_ptr[r], self.row_ptr[r + 1]
-            out[r] = self.values[start:stop] @ x[self.col_indices[start:stop], :]
-        return out
+        return kernels.spmm(self, x, backend=backend)
 
     # -- storage model ----------------------------------------------------
     def nbytes(self, value_bytes: int = 2, index_bytes: int = 2) -> int:

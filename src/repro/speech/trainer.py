@@ -156,8 +156,14 @@ class Trainer:
     def evaluate(
         self, dataset: Optional[Dataset] = None, min_duration: int = 2
     ) -> EvalResult:
-        """PER and frame accuracy on ``dataset`` (default: the test set)."""
+        """PER and frame accuracy on ``dataset`` (default: the test set).
+
+        Runs the model in eval mode, so the recurrent layers take the
+        fused no-grad fast path through :mod:`repro.kernels`; the previous
+        train/eval mode is restored afterwards.
+        """
         dataset = dataset if dataset is not None else self.test_set
+        was_training = self.model.training
         self.model.eval()
         loader = DataLoader(
             dataset, batch_size=self.config.batch_size, shuffle=False
@@ -166,16 +172,20 @@ class Trainer:
         hypotheses: List[List[int]] = []
         correct_frames = 0.0
         total_frames = 0
-        for batch in loader:
-            logits = self.model(Tensor(batch.features)).data
-            hypotheses.extend(decode_batch(logits, batch.lengths, min_duration))
-            predictions = logits.argmax(axis=2)
-            correct_frames += frame_accuracy(
-                batch.labels, predictions, batch.mask
-            ) * batch.num_frames()
-            total_frames += batch.num_frames()
-            for b, length in enumerate(batch.lengths):
-                references.append(collapse_frames(batch.labels[:length, b]))
+        try:
+            for batch in loader:
+                logits = self.model(Tensor(batch.features)).data
+                hypotheses.extend(decode_batch(logits, batch.lengths, min_duration))
+                predictions = logits.argmax(axis=2)
+                correct_frames += frame_accuracy(
+                    batch.labels, predictions, batch.mask
+                ) * batch.num_frames()
+                total_frames += batch.num_frames()
+                for b, length in enumerate(batch.lengths):
+                    references.append(collapse_frames(batch.labels[:length, b]))
+        finally:
+            if was_training:
+                self.model.train()
         per = phone_error_rate(references, hypotheses)
         acc = correct_frames / total_frames if total_frames else 0.0
         return EvalResult(per=per, frame_accuracy=acc, num_utterances=len(dataset))
