@@ -1,18 +1,24 @@
-"""Kernel benchmark driver: times every backend and writes BENCH_kernels.json.
+"""Benchmark driver: records BENCH_kernels.json and BENCH_engine.json.
 
-Runs the same hot-path cases as ``bench_kernels.py`` with a plain
-``time.perf_counter`` harness (no pytest dependency) and writes a
-machine-readable record so future PRs have a perf trajectory to regress
-against::
+Runs the hot-path kernel cases plus the engine suite (compiled batched
+forward vs per-utterance eager, int8 vs float sparse ops) with a plain
+``time.perf_counter`` harness and writes machine-readable records so
+future PRs have a perf trajectory to regress against::
 
-    PYTHONPATH=src python benchmarks/run_bench.py [--out BENCH_kernels.json]
+    PYTHONPATH=src python benchmarks/run_bench.py
     PYTHONPATH=src python benchmarks/run_bench.py --repeats 50
+    PYTHONPATH=src python benchmarks/run_bench.py --check BENCH_kernels.json BENCH_engine.json
 
 Each row records ``op``, ``size``, ``backend``, ``median_s``, and
 ``speedup_vs_baseline``, where the baseline backend is the seed
 implementation of that op: the ``reference`` Python loops for sparse ops,
-and the autograd-tape ``GRU.forward``/``LSTM.forward`` (``tensor_tape``
-rows) for the sequence kernels.
+the autograd-tape ``GRU.forward``/``LSTM.forward`` (``tensor_tape``
+rows) for the sequence kernels, the per-utterance eager path for the
+engine forward, and the float numpy backend for the int8 ops.
+
+``--check`` is the CI regression gate: it re-runs the suites and exits
+nonzero if any recorded row got more than ``--threshold`` (default 1.5x)
+slower than its baseline file, without rewriting the records.
 """
 
 from __future__ import annotations
@@ -32,13 +38,14 @@ if str(REPO_ROOT / "src") not in sys.path:
 
 import numpy as np  # noqa: E402
 
-from repro import kernels  # noqa: E402
+from repro import engine, kernels  # noqa: E402
 from repro.nn.rnn import GRU, LSTM  # noqa: E402
 from repro.nn.tensor import Tensor  # noqa: E402
 from repro.pruning.bsp import BSPConfig, bsp_project_masks  # noqa: E402
 from repro.sparse.blocks import grid_for  # noqa: E402
 from repro.sparse.bspc import BSPCMatrix  # noqa: E402
 from repro.sparse.csr import CSRMatrix  # noqa: E402
+from repro.speech.model import AcousticModelConfig, GRUAcousticModel  # noqa: E402
 from repro.utils.rng import new_rng  # noqa: E402
 
 SPARSE_BACKENDS = ["reference", "numpy"]
@@ -135,47 +142,202 @@ def bench_recurrent(repeats: int) -> List[Dict]:
     return rows
 
 
+def random_sparse_csr(size: int, density: float, seed: int = 0) -> CSRMatrix:
+    """Build a random-sparsity CSR matrix directly (no dense intermediate),
+    so server-scale cases don't materialize a multi-GB dense array."""
+    rng = new_rng(seed)
+    row_nnz = rng.binomial(size, density, size=size)
+    row_ptr = np.zeros(size + 1, dtype=np.int64)
+    np.cumsum(row_nnz, out=row_ptr[1:])
+    cols = np.concatenate(
+        [np.sort(rng.choice(size, k, replace=False)) for k in row_nnz]
+    ).astype(np.int64)
+    return CSRMatrix(
+        shape=(size, size),
+        values=rng.standard_normal(int(row_ptr[-1])),
+        col_indices=cols,
+        row_ptr=row_ptr,
+    )
+
+
+def bench_int8(repeats: int) -> List[Dict]:
+    """Int8 kernels vs the float numpy backend at 90% sparsity.
+
+    The acceptance-tracked case is the 8192x8192 spmv: at that size the
+    float64 path's working set (~54 MB values + gathers) is firmly out of
+    cache while the int8 path moves 1/8th-1/4th the bytes — which is the
+    regime the quantized backend exists for.
+    """
+    rows = []
+    for size in (1024, 8192):
+        csr = random_sparse_csr(size, density=0.1, seed=0)
+        x = new_rng(1).standard_normal(size)
+        label = f"{size}x{size} d=0.10"
+        medians = {
+            "numpy_float64": median_seconds(lambda: csr.spmv(x), repeats),
+            "numpy_int8": median_seconds(
+                lambda: kernels.spmv_int8(csr, x), repeats
+            ),
+        }
+        baseline = medians["numpy_float64"]
+        for backend, median in medians.items():
+            rows.append({
+                "op": "csr_spmv_int8",
+                "size": label,
+                "backend": backend,
+                "median_s": median,
+                "speedup_vs_baseline": baseline / median,
+                "baseline": "numpy_float64",
+            })
+    return rows
+
+
+def bench_engine_forward(repeats: int) -> List[Dict]:
+    """Compiled batched engine vs the per-utterance eval-mode Module path."""
+    seq_len, batch, input_dim = 100, 16, 40
+    model = GRUAcousticModel(
+        AcousticModelConfig(input_dim=input_dim, hidden_size=64, num_layers=2),
+        rng=0,
+    ).eval()
+    rng = new_rng(3)
+    utterances = [rng.standard_normal((seq_len, input_dim)) for _ in range(batch)]
+    batched = np.stack(utterances, axis=1)
+    label = f"T={seq_len} B={batch} H=64 L=2"
+
+    def eager():
+        return [model(Tensor(u[:, None, :])) for u in utterances]
+
+    medians = {"eager_per_utterance": median_seconds(eager, repeats)}
+    plans = {
+        "engine_packed": engine.compile_model(model),
+        "engine_fp16": engine.compile_model(model, scheme="fp16"),
+        "engine_int8": engine.compile_model(model, scheme="int8"),
+    }
+    for name, plan in plans.items():
+        medians[name] = median_seconds(lambda p=plan: p.forward_batch(batched), repeats)
+    baseline = medians["eager_per_utterance"]
+    return [
+        {
+            "op": "model_forward",
+            "size": label,
+            "backend": backend,
+            "median_s": median,
+            "speedup_vs_baseline": baseline / median,
+            "baseline": "eager_per_utterance",
+        }
+        for backend, median in medians.items()
+    ]
+
+
+def bench_engine(repeats: int) -> List[Dict]:
+    """The BENCH_engine.json suite: batched forward + int8 kernels."""
+    return bench_engine_forward(max(3, repeats // 3)) + bench_int8(repeats)
+
+
+def rows_by_key(rows: List[Dict]) -> Dict:
+    return {(r["op"], r["size"], r["backend"]): r for r in rows}
+
+
+def check_against(baselines: List[Dict], current: List[Dict], threshold: float) -> List[str]:
+    """Regression report: rows slower than ``threshold`` x their record."""
+    current_by_key = rows_by_key(current)
+    problems = []
+    for key, recorded in rows_by_key(baselines).items():
+        row = current_by_key.get(key)
+        if row is None:
+            problems.append(f"missing bench row {key} (recorded but not re-run)")
+            continue
+        ratio = row["median_s"] / recorded["median_s"]
+        if ratio > threshold:
+            problems.append(
+                f"{key[0]} [{key[1]}] {key[2]}: {row['median_s'] * 1e3:.3f}ms "
+                f"vs recorded {recorded['median_s'] * 1e3:.3f}ms "
+                f"({ratio:.2f}x > {threshold}x)"
+            )
+    return problems
+
+
 def render(rows: List[Dict]) -> str:
     lines = [
-        f"{'op':<14} {'size':<28} {'backend':<12} {'median':>10} {'speedup':>8}",
-        "-" * 76,
+        f"{'op':<14} {'size':<28} {'backend':<20} {'median':>10} {'speedup':>8}",
+        "-" * 84,
     ]
     for row in rows:
         lines.append(
-            f"{row['op']:<14} {row['size']:<28} {row['backend']:<12} "
+            f"{row['op']:<14} {row['size']:<28} {row['backend']:<20} "
             f"{row['median_s'] * 1e3:>8.3f}ms {row['speedup_vs_baseline']:>7.1f}x"
         )
     return "\n".join(lines)
+
+
+def _meta(repeats: int) -> Dict:
+    return {
+        "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "numpy": np.__version__,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "repeats": repeats,
+        # full-model/sequence rows are slower and sampled fewer times
+        "forward_repeats": max(3, repeats // 3),
+        "default_backend": kernels.get_default_backend(),
+    }
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--out", type=Path, default=REPO_ROOT / "BENCH_kernels.json",
-        help="output JSON path (default: repo-root BENCH_kernels.json)",
+        help="kernel-suite output JSON (default: repo-root BENCH_kernels.json)",
+    )
+    parser.add_argument(
+        "--engine-out", type=Path, default=REPO_ROOT / "BENCH_engine.json",
+        help="engine-suite output JSON (default: repo-root BENCH_engine.json)",
     )
     parser.add_argument(
         "--repeats", type=int, default=30,
         help="timed repetitions per case (median is reported)",
     )
+    parser.add_argument(
+        "--check", type=Path, nargs="+", metavar="BASELINE",
+        help="regression gate: re-run the suites and fail if any row in "
+        "the given recorded JSON file(s) got slower than --threshold x; "
+        "records are not rewritten",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=1.5,
+        help="slowdown ratio that fails --check (default 1.5)",
+    )
     args = parser.parse_args(argv)
 
-    rows = bench_sparse(args.repeats) + bench_recurrent(max(3, args.repeats // 3))
-    print(render(rows))
+    kernel_rows = bench_sparse(args.repeats) + bench_recurrent(
+        max(3, args.repeats // 3)
+    )
+    engine_rows = bench_engine(args.repeats)
+    print(render(kernel_rows + engine_rows))
 
-    payload = {
-        "meta": {
-            "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
-            "numpy": np.__version__,
-            "python": platform.python_version(),
-            "machine": platform.machine(),
-            "repeats": args.repeats,
-            "default_backend": kernels.get_default_backend(),
-        },
-        "results": rows,
-    }
-    args.out.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"\nwrote {args.out}")
+    if args.check:
+        current = kernel_rows + engine_rows
+        problems: List[str] = []
+        for baseline_path in args.check:
+            recorded = json.loads(baseline_path.read_text())["results"]
+            problems += check_against(recorded, current, args.threshold)
+        if problems:
+            print(f"\nREGRESSIONS vs recorded baselines (> {args.threshold}x):")
+            for problem in problems:
+                print(f"  {problem}")
+            return 1
+        print(f"\ncheck ok: no tracked op slower than {args.threshold}x its record")
+        return 0
+
+    args.out.write_text(
+        json.dumps({"meta": _meta(args.repeats), "results": kernel_rows}, indent=2)
+        + "\n"
+    )
+    args.engine_out.write_text(
+        json.dumps({"meta": _meta(args.repeats), "results": engine_rows}, indent=2)
+        + "\n"
+    )
+    print(f"\nwrote {args.out} and {args.engine_out}")
     return 0
 
 

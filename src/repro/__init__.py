@@ -10,6 +10,8 @@ Layered public API:
   registry (the compute seam for sparse ops and fused RNN sequences),
 * :mod:`repro.compiler` — reorder / load-elimination / BSPC lowering /
   auto-tuning,
+* :mod:`repro.engine` — compiled model plans (packed, optionally
+  quantized weights) + length-bucketed micro-batched serving,
 * :mod:`repro.hw` — calibrated Adreno 640 / Kryo 485 simulator + energy,
 * :mod:`repro.speech` — synthetic TIMIT-like corpus, GRU acoustic model,
   PER evaluation,
@@ -34,7 +36,7 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from repro import compiler, eval, hw, kernels, nn, pruning, sparse, speech, utils
+from repro import compiler, engine, eval, hw, kernels, nn, pruning, sparse, speech, utils
 from repro.errors import (
     CompilationError,
     ConfigError,
@@ -51,6 +53,7 @@ __all__ = [
     "sparse",
     "pruning",
     "compiler",
+    "engine",
     "hw",
     "kernels",
     "speech",

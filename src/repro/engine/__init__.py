@@ -1,0 +1,48 @@
+"""Compiled model plans and batched streaming inference.
+
+The run-time counterpart of :mod:`repro.compiler`'s cost-model pipeline:
+:func:`compile_model` walks a trained module tree once and freezes it
+into a :class:`ModelPlan` (packed — optionally sparse and/or quantized —
+weights plus preallocated work buffers), and :mod:`repro.engine.serving`
+drives padded micro-batches from an utterance stream through that plan.
+
+Quickstart::
+
+    from repro import engine
+
+    plan = engine.compile_model(model, scheme="int8")
+    logits = plan.forward_batch(features, lengths)      # (T, B, C)
+    hyps, stats = engine.serve_stream(plan, utterance_features)
+
+See ``docs/engine.md`` for the design.
+"""
+
+from repro.engine.plan import (
+    EngineConfig,
+    GRULayerPlan,
+    LSTMLayerPlan,
+    ModelPlan,
+    OutputPlan,
+    compile_model,
+    compile_rnn,
+)
+from repro.engine.serving import (
+    MicroBatcher,
+    ServingConfig,
+    ServingStats,
+    serve_stream,
+)
+
+__all__ = [
+    "EngineConfig",
+    "ModelPlan",
+    "GRULayerPlan",
+    "LSTMLayerPlan",
+    "OutputPlan",
+    "compile_model",
+    "compile_rnn",
+    "MicroBatcher",
+    "ServingConfig",
+    "ServingStats",
+    "serve_stream",
+]

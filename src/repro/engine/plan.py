@@ -1,0 +1,644 @@
+"""Compile a trained model into a packed execution plan.
+
+The paper's thesis is that RNN inference gets fast when all indexing,
+layout, and format decisions move to compile time.  :func:`compile_model`
+applies that to this library's own execution: it walks the module tree
+**once** and freezes everything the forward pass needs into flat arrays —
+gate matrices pre-transposed, biases pre-folded the way the fused kernels
+fold them, sparse weights pre-packed into :class:`~repro.sparse.csr.CSRMatrix`
+/ :class:`~repro.sparse.bspc.BSPCMatrix` objects with their kernel plans
+built eagerly, and (optionally) weights quantized to fp16 storage or int8
+codes.  The resulting :class:`ModelPlan` runs whole padded batches on raw
+ndarrays: no ``Tensor`` tape, no per-layer ``Module`` dispatch, work
+buffers reused across calls.
+
+Numerics by scheme:
+
+* ``scheme=None`` (packing only) — float64 throughout, and **bit-exact**
+  with the eval-mode ``model.forward`` fused-kernel path: the plan
+  replays the same numpy ops in the same order.
+* ``scheme="fp16"`` — weights and biases are rounded through IEEE half
+  precision and stored as float16 arrays; compute runs in float32 (half
+  the memory traffic of the float64 path, and what "16-bit storage,
+  wider accumulate" mobile kernels do).
+* ``scheme="int8"`` — input-side projections run through the registry's
+  ``linear_int8`` / ``*_spmm_int8`` kernels (integer accumulation, one
+  dequant); the small per-timestep recurrent GEMMs use dequantized int8
+  weights in float64, where an integer pipeline cannot pay for its
+  per-step quantization overhead.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro import kernels
+from repro.errors import ConfigError, ShapeError
+from repro.kernels._math import sigmoid as _sigmoid
+from repro.kernels.quantized import int8_bspc_plan, int8_codes, int8_csr_plan
+from repro.nn.quantize import quantize_fp16
+from repro.nn.rnn import GRU, LSTM
+from repro.sparse.blocks import grid_for
+from repro.sparse.bspc import BSPCMatrix
+from repro.sparse.csr import CSRMatrix
+
+SCHEMES = (None, "fp16", "int8")
+SPARSE_FORMATS = (None, "auto", "csr", "bspc")
+
+
+def _fp16_pack(weight: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """fp16 storage array + contiguous float32 transpose for compute."""
+    storage = np.clip(weight, -65504.0, 65504.0).astype(np.float16)
+    return storage, np.ascontiguousarray(storage.astype(np.float32).T)
+
+
+def _int8_pack(weight: np.ndarray) -> Tuple[np.ndarray, float, np.ndarray]:
+    """int8 codes + scale + the pre-cast float32 copy ``linear_int8`` wants."""
+    codes, scale = int8_codes(weight)
+    return codes, scale, codes.astype(np.float32)
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Compile-time knobs for :func:`compile_model`.
+
+    ``sparse_format`` selects how input-side weight matrices are packed:
+    ``None`` keeps every weight dense (required for the bit-exact
+    packing-only guarantee), ``"csr"``/``"bspc"`` force a format, and
+    ``"auto"`` packs any matrix whose density is at or below
+    ``sparsity_threshold`` — as BSPC when the panels stay mostly full
+    (``fill >= 0.5``, i.e. the pattern is BSP-shaped), as CSR otherwise.
+    """
+
+    sparse_format: Optional[str] = None
+    sparsity_threshold: float = 0.5
+    num_row_strips: int = 8
+    num_col_blocks: int = 8
+
+    def __post_init__(self) -> None:
+        if self.sparse_format not in SPARSE_FORMATS:
+            raise ConfigError(
+                f"sparse_format must be one of {SPARSE_FORMATS}, "
+                f"got {self.sparse_format!r}"
+            )
+        if not 0.0 < self.sparsity_threshold <= 1.0:
+            raise ConfigError(
+                f"sparsity_threshold must be in (0, 1], got {self.sparsity_threshold}"
+            )
+        if self.num_row_strips < 1 or self.num_col_blocks < 1:
+            raise ConfigError("num_row_strips and num_col_blocks must be >= 1")
+
+
+class _Workspace:
+    """Grow-only scratch buffers, keyed by name and dtype.
+
+    ``take`` hands out a reshaped view of a flat buffer that is enlarged
+    only when a bigger batch arrives — repeated ``forward_batch`` calls
+    at steady shapes allocate nothing.
+    """
+
+    def __init__(self) -> None:
+        self._buffers: Dict[Tuple[str, np.dtype], np.ndarray] = {}
+
+    def take(self, key: str, shape: Tuple[int, ...], dtype=np.float64) -> np.ndarray:
+        size = int(math.prod(shape))
+        dtype = np.dtype(dtype)
+        buffer = self._buffers.get((key, dtype))
+        if buffer is None or buffer.size < size:
+            buffer = np.empty(max(size, 1), dtype=dtype)
+            self._buffers[(key, dtype)] = buffer
+        return buffer[:size].reshape(shape)
+
+
+# ---------------------------------------------------------------------------
+# Weight packings
+# ---------------------------------------------------------------------------
+class _DenseWeight:
+    """A weight kept dense; the scheme decides storage and compute dtype."""
+
+    def __init__(self, weight: np.ndarray, scheme: Optional[str]) -> None:
+        self.scheme = scheme
+        self.shape = weight.shape
+        if scheme is None:
+            # Kept exactly as the module stores it; projections use the
+            # same ``x @ weight.T`` expression as the fused kernels, so
+            # packing-only plans are bit-exact with the eager path.
+            self.weight = weight.copy()
+        elif scheme == "fp16":
+            self.storage, self.weight_t = _fp16_pack(weight)
+        else:  # int8
+            self.codes, self.scale, self.codes_f = _int8_pack(weight)
+
+    def project(self, x2d: np.ndarray, ws: _Workspace, key: str) -> np.ndarray:
+        """``x2d (N, K) → (N, M)`` in the scheme's compute dtype."""
+        if self.scheme is None:
+            out = ws.take(key, (x2d.shape[0], self.shape[0]))
+            return np.matmul(x2d, self.weight.T, out=out)
+        if self.scheme == "fp16":
+            out = ws.take(key, (x2d.shape[0], self.shape[0]), np.float32)
+            return np.matmul(x2d, self.weight_t, out=out)
+        return kernels.linear_int8(self.codes_f, self.scale, x2d)
+
+    def nbytes(self) -> int:
+        count = int(np.prod(self.shape))
+        return count * {None: 8, "fp16": 2, "int8": 1}[self.scheme]
+
+
+class _SparseWeight:
+    """A weight packed as CSR/BSPC with its kernel plans built eagerly."""
+
+    def __init__(
+        self,
+        weight: np.ndarray,
+        fmt: str,
+        scheme: Optional[str],
+        config: EngineConfig,
+        prebuilt: Optional[BSPCMatrix] = None,
+    ) -> None:
+        self.scheme = scheme
+        self.shape = weight.shape
+        if scheme == "fp16":
+            # fp16 sparse: values rounded through half precision, float
+            # sparse kernels do the compute (they are float64-only).
+            weight = quantize_fp16(weight)
+            prebuilt = None  # built from unrounded values; cannot reuse
+        if fmt == "bspc":
+            self.matrix = (
+                prebuilt
+                if prebuilt is not None
+                else BSPCMatrix.from_dense(weight, _engine_grid(weight, config))
+            )
+            plan_builder = int8_bspc_plan if scheme == "int8" else kernels.bspc_plan
+        else:
+            self.matrix = CSRMatrix.from_dense(weight)
+            plan_builder = int8_csr_plan if scheme == "int8" else kernels.csr_plan
+        plan_builder(self.matrix)  # build the cached execution plan now
+
+    def project(self, x2d: np.ndarray, ws: _Workspace, key: str) -> np.ndarray:
+        xt = np.ascontiguousarray(x2d.T)
+        if self.scheme == "int8":
+            out = kernels.spmm_int8(self.matrix, xt).T
+        else:
+            out = kernels.spmm(self.matrix, xt).T
+        if self.scheme == "fp16":
+            return out.astype(np.float32)
+        return out
+
+    def nbytes(self) -> int:
+        value_bytes = {None: 8, "fp16": 2, "int8": 1}[self.scheme]
+        return self.matrix.nbytes(value_bytes=value_bytes, index_bytes=4)
+
+
+def _engine_grid(weight: np.ndarray, config: EngineConfig):
+    """The BSPC grid for ``weight``, clamped so small matrices stay legal."""
+    return grid_for(
+        weight,
+        min(config.num_row_strips, weight.shape[0]),
+        min(config.num_col_blocks, weight.shape[1]),
+    )
+
+
+def _choose_format(
+    weight: np.ndarray, config: EngineConfig
+) -> Tuple[Optional[str], Optional[BSPCMatrix]]:
+    """Resolve the packing format for one weight matrix.
+
+    Returns ``(format, prebuilt)`` where ``format`` is ``None`` (keep
+    dense), ``"csr"``, or ``"bspc"``; when the ``"auto"`` probe already
+    built the winning BSPC matrix it is returned so the caller does not
+    pack twice.
+    """
+    fmt = config.sparse_format
+    if fmt is None:
+        return None, None
+    if fmt == "auto":
+        density = np.count_nonzero(weight) / weight.size if weight.size else 1.0
+        if density > config.sparsity_threshold:
+            return None, None
+        bspc = BSPCMatrix.from_dense(weight, _engine_grid(weight, config))
+        if bspc.fill() >= 0.5:
+            return "bspc", bspc
+        return "csr", None
+    return fmt, None
+
+
+def _pack_weight(weight, scheme, config: EngineConfig):
+    """Choose dense vs sparse packing for one input-side weight matrix."""
+    fmt, prebuilt = _choose_format(weight, config)
+    if fmt is None:
+        return _DenseWeight(weight, scheme)
+    return _SparseWeight(weight, fmt, scheme, config, prebuilt=prebuilt)
+
+
+def _round_bias(bias: np.ndarray, scheme: Optional[str], dtype) -> np.ndarray:
+    """Biases follow the scheme's value grid (matching ``quantize_model``)."""
+    if scheme == "fp16":
+        return quantize_fp16(bias).astype(dtype)
+    if scheme == "int8":
+        codes, scale = int8_codes(bias)
+        return (codes.astype(np.float64) * scale).astype(dtype)
+    return bias.copy()
+
+
+# ---------------------------------------------------------------------------
+# Layer plans
+# ---------------------------------------------------------------------------
+class GRULayerPlan:
+    """One GRU layer frozen for batched inference.
+
+    ``forward`` replays the numpy ``gru_sequence`` kernel's math; for the
+    packing-only scheme it is op-for-op identical (bit-exact), with the
+    recurrent ``w_hh.T`` contiguation hoisted from per-call to compile
+    time.
+    """
+
+    def __init__(
+        self,
+        weight_ih: np.ndarray,
+        weight_hh: np.ndarray,
+        bias_ih: np.ndarray,
+        bias_hh: np.ndarray,
+        scheme: Optional[str],
+        config: EngineConfig,
+    ) -> None:
+        self.scheme = scheme
+        self.hidden_size = weight_hh.shape[1]
+        self.input_size = weight_ih.shape[1]
+        self.dtype = np.float32 if scheme == "fp16" else np.float64
+        self.input_proj = _pack_weight(weight_ih, scheme, config)
+        self.recurrent = _pack_recurrent(weight_hh, scheme, config)
+        h = self.hidden_size
+        if scheme is None:
+            self.bias_ih = bias_ih.copy()
+            self.bias_hh_zr = bias_hh[: 2 * h].copy()
+            self.bias_hh_h = bias_hh[2 * h :].copy()
+        else:
+            # Folded once at compile time; the kernel folds per call.
+            folded = _round_bias(bias_ih, scheme, np.float64)
+            rounded_hh = _round_bias(bias_hh, scheme, np.float64)
+            folded[: 2 * h] += rounded_hh[: 2 * h]
+            self.bias_folded = folded.astype(self.dtype)
+            self.bias_hh_h = rounded_hh[2 * h :].astype(self.dtype)
+
+    def forward(
+        self, x: np.ndarray, ws: _Workspace, index: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        seq_len, batch, _ = x.shape
+        h = self.hidden_size
+        flat = x.reshape(seq_len * batch, self.input_size)
+        gates_x = self.input_proj.project(flat, ws, f"gx{index}")
+        if self.scheme is None:
+            gates_x = gates_x + self.bias_ih
+        else:
+            gates_x = gates_x + self.bias_folded
+        gates_x = gates_x.reshape(seq_len, batch, 3 * h)
+        if self.scheme is None:
+            gates_x[:, :, : 2 * h] += self.bias_hh_zr
+        gx_zr = gates_x[:, :, : 2 * h]
+        gx_h = gates_x[:, :, 2 * h :]
+        out = ws.take(f"out{index}", (seq_len, batch, h), self.dtype)
+        state = np.zeros((batch, h), dtype=self.dtype)
+        gh_key = f"gh{index}"
+        for t in range(seq_len):
+            gh = self.recurrent.step(state, ws, gh_key)
+            zr = _sigmoid(gx_zr[t] + gh[:, : 2 * h])
+            z = zr[:, :h]
+            r = zr[:, h:]
+            h_tilde = np.tanh(gx_h[t] + r * (gh[:, 2 * h :] + self.bias_hh_h))
+            state = (1.0 - z) * state + z * h_tilde
+            out[t] = state
+        return out, state
+
+    def nbytes(self) -> int:
+        bias_bytes = 2 * 3 * self.hidden_size * (2 if self.scheme else 8)
+        return self.input_proj.nbytes() + self.recurrent.nbytes() + bias_bytes
+
+
+class LSTMLayerPlan:
+    """One LSTM layer frozen for batched inference (gate order i,f,g,o)."""
+
+    def __init__(
+        self,
+        weight_ih: np.ndarray,
+        weight_hh: np.ndarray,
+        bias: np.ndarray,
+        scheme: Optional[str],
+        config: EngineConfig,
+    ) -> None:
+        self.scheme = scheme
+        self.hidden_size = weight_hh.shape[1]
+        self.input_size = weight_ih.shape[1]
+        self.dtype = np.float32 if scheme == "fp16" else np.float64
+        self.input_proj = _pack_weight(weight_ih, scheme, config)
+        self.recurrent = _pack_recurrent(weight_hh, scheme, config)
+        self.bias = (
+            bias.copy()
+            if scheme is None
+            else _round_bias(bias, scheme, self.dtype)
+        )
+
+    def forward(
+        self, x: np.ndarray, ws: _Workspace, index: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        seq_len, batch, _ = x.shape
+        h = self.hidden_size
+        flat = x.reshape(seq_len * batch, self.input_size)
+        gates_x = self.input_proj.project(flat, ws, f"gx{index}")
+        gates_x = (gates_x + self.bias).reshape(seq_len, batch, 4 * h)
+        out = ws.take(f"out{index}", (seq_len, batch, h), self.dtype)
+        state = np.zeros((batch, h), dtype=self.dtype)
+        cell = np.zeros((batch, h), dtype=self.dtype)
+        gh_key = f"gh{index}"
+        for t in range(seq_len):
+            gates = gates_x[t] + self.recurrent.step(state, ws, gh_key)
+            input_forget = _sigmoid(gates[:, : 2 * h])
+            i = input_forget[:, :h]
+            f = input_forget[:, h:]
+            g = np.tanh(gates[:, 2 * h : 3 * h])
+            o = _sigmoid(gates[:, 3 * h :])
+            cell = f * cell + i * g
+            state = o * np.tanh(cell)
+            out[t] = state
+        return out, state
+
+    def nbytes(self) -> int:
+        bias_bytes = 4 * self.hidden_size * (2 if self.scheme else 8)
+        return self.input_proj.nbytes() + self.recurrent.nbytes() + bias_bytes
+
+
+class _DenseRecurrent:
+    """Recurrent weight as a pre-transposed contiguous matrix.
+
+    For ``scheme=None`` this is exactly the ``np.ascontiguousarray(w_hh.T)``
+    the fused kernel builds per call, hoisted to compile time (bit-exact).
+    Int8 recurrent weights are dequantized once — the per-step ``(B, H)``
+    GEMMs are too small for integer pipelines to beat float BLAS.
+    """
+
+    def __init__(self, weight_hh: np.ndarray, scheme: Optional[str]) -> None:
+        self.scheme = scheme
+        self.shape = weight_hh.shape
+        if scheme is None:
+            self.weight_t = np.ascontiguousarray(weight_hh.T)
+        elif scheme == "fp16":
+            self.storage, self.weight_t = _fp16_pack(weight_hh)
+        else:
+            self.codes, self.scale = int8_codes(weight_hh)
+            self.weight_t = np.ascontiguousarray(
+                (self.codes.astype(np.float64) * self.scale).T
+            )
+
+    def step(self, state: np.ndarray, ws: _Workspace, key: str) -> np.ndarray:
+        out = ws.take(key, (state.shape[0], self.shape[0]), state.dtype)
+        return np.matmul(state, self.weight_t, out=out)
+
+    def nbytes(self) -> int:
+        count = int(np.prod(self.shape))
+        return count * {None: 8, "fp16": 2, "int8": 1}[self.scheme]
+
+
+class _SparseRecurrent:
+    """Recurrent weight packed sparse; each step is one spmm call."""
+
+    def __init__(self, packed: _SparseWeight) -> None:
+        self.packed = packed
+
+    def step(self, state: np.ndarray, ws: _Workspace, key: str) -> np.ndarray:
+        return self.packed.project(
+            state.astype(np.float64, copy=False), ws, key
+        ).astype(state.dtype, copy=False)
+
+    def nbytes(self) -> int:
+        return self.packed.nbytes()
+
+
+def _pack_recurrent(weight_hh, scheme, config: EngineConfig):
+    fmt, prebuilt = _choose_format(weight_hh, config)
+    if fmt is None:
+        return _DenseRecurrent(weight_hh, scheme)
+    return _SparseRecurrent(
+        _SparseWeight(weight_hh, fmt, scheme, config, prebuilt=prebuilt)
+    )
+
+
+class OutputPlan:
+    """The final linear projection over phone classes."""
+
+    def __init__(
+        self, weight: np.ndarray, bias: Optional[np.ndarray], scheme: Optional[str]
+    ) -> None:
+        self.scheme = scheme
+        self.num_classes = weight.shape[0]
+        if scheme is None:
+            self.weight = weight.copy()
+        elif scheme == "fp16":
+            self.storage, self.weight_t = _fp16_pack(weight)
+        else:
+            self.codes, self.scale, self.codes_f = _int8_pack(weight)
+        dtype = np.float32 if scheme == "fp16" else np.float64
+        self.bias = None if bias is None else _round_bias(bias, scheme, dtype)
+
+    def project(self, hidden: np.ndarray) -> np.ndarray:
+        """Hidden states ``(T, B, H)`` → logits ``(T, B, C)`` (fresh array)."""
+        seq_len, batch, h = hidden.shape
+        flat = hidden.reshape(seq_len * batch, h)
+        if self.scheme is None:
+            logits = flat @ self.weight.T
+        elif self.scheme == "fp16":
+            logits = flat @ self.weight_t
+        else:
+            logits = kernels.linear_int8(
+                self.codes_f, self.scale, flat.astype(np.float64, copy=False)
+            )
+        if self.bias is not None:
+            logits = logits + self.bias
+        return logits.reshape(seq_len, batch, self.num_classes)
+
+    def nbytes(self) -> int:
+        value_bytes = {None: 8, "fp16": 2, "int8": 1}[self.scheme]
+        weight_count = self.num_classes * (
+            self.weight.shape[1] if self.scheme is None
+            else (self.storage.shape[1] if self.scheme == "fp16" else self.codes.shape[1])
+        )
+        bias_bytes = 0 if self.bias is None else self.num_classes * (
+            2 if self.scheme else 8
+        )
+        return weight_count * value_bytes + bias_bytes
+
+
+# ---------------------------------------------------------------------------
+# The compiled model
+# ---------------------------------------------------------------------------
+class ModelPlan:
+    """A model compiled to flat arrays; run with :meth:`forward_batch`.
+
+    Internal work buffers are reused across calls, so a plan is cheap to
+    invoke repeatedly at steady batch shapes; the returned logits are
+    always freshly allocated.  Plans snapshot the weights at compile
+    time — recompile after further training or pruning.
+    """
+
+    def __init__(
+        self,
+        layers: List,
+        output: Optional[OutputPlan],
+        scheme: Optional[str],
+        cell_type: str,
+        config: EngineConfig,
+    ) -> None:
+        self.layers = layers
+        self.output = output
+        self.scheme = scheme
+        self.cell_type = cell_type
+        self.config = config
+        self.input_dim = layers[0].input_size
+        self.hidden_size = layers[0].hidden_size
+        self._workspace = _Workspace()
+
+    def forward_batch(
+        self, features: np.ndarray, lengths: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Padded features ``(T, B, D)`` → logits ``(T, B, C)``.
+
+        ``lengths`` is validated when given but the full padded batch is
+        always computed — callers slice per-utterance frames out (the
+        serving layer and :func:`repro.speech.decoder.decode_batch` do).
+        """
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 3:
+            raise ShapeError(
+                f"forward_batch expects (T, B, D) features, got {features.shape}"
+            )
+        if features.shape[-1] != self.input_dim:
+            raise ShapeError(
+                f"plan compiled for input dim {self.input_dim}, "
+                f"got {features.shape}"
+            )
+        if lengths is not None:
+            lengths = np.asarray(lengths, dtype=np.int64)
+            if lengths.shape != (features.shape[1],):
+                raise ShapeError(
+                    f"lengths must be ({features.shape[1]},), got {lengths.shape}"
+                )
+            if lengths.size and (
+                lengths.min() < 0 or lengths.max() > features.shape[0]
+            ):
+                raise ShapeError("lengths must lie in [0, T]")
+        x = features
+        if self.scheme == "fp16":
+            x = x.astype(np.float32)
+        for index, layer in enumerate(self.layers):
+            x, _ = layer.forward(x, self._workspace, index)
+        if self.output is not None:
+            x = self.output.project(x)
+        if x.dtype != np.float64:
+            x = x.astype(np.float64)
+        elif self.output is None:
+            x = x.copy()  # never hand out an internal work buffer
+        return x
+
+    def forward_utterance(self, features: np.ndarray) -> np.ndarray:
+        """Single utterance ``(T, D)`` → logits ``(T, C)``."""
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2:
+            raise ShapeError(
+                f"forward_utterance expects (T, D) features, got {features.shape}"
+            )
+        return self.forward_batch(features[:, None, :])[:, 0]
+
+    def nbytes(self) -> int:
+        """Modelled storage footprint of the packed weights."""
+        total = sum(layer.nbytes() for layer in self.layers)
+        if self.output is not None:
+            total += self.output.nbytes()
+        return total
+
+
+def _validate_scheme(scheme: Optional[str]) -> None:
+    if scheme not in SCHEMES:
+        raise ConfigError(f"scheme must be one of {SCHEMES}, got {scheme!r}")
+
+
+def compile_model(
+    model,
+    scheme: Optional[str] = None,
+    config: EngineConfig = EngineConfig(),
+) -> ModelPlan:
+    """Compile a :class:`~repro.speech.model.GRUAcousticModel` (or a bare
+    ``GRU``/``LSTM`` stack) into a :class:`ModelPlan`.
+
+    The module tree is walked exactly once; the plan holds copies of the
+    weights, so later training does not silently change compiled results.
+    """
+    _validate_scheme(scheme)
+    rnn = model if isinstance(model, (GRU, LSTM)) else getattr(model, "gru", None)
+    if not isinstance(rnn, (GRU, LSTM)):
+        raise ConfigError(
+            f"cannot compile {type(model).__name__}: expected a "
+            "GRUAcousticModel or a GRU/LSTM module"
+        )
+    layers: List = []
+    for cell in rnn.cells:
+        if isinstance(rnn, GRU):
+            layers.append(
+                GRULayerPlan(
+                    cell.weight_ih.data,
+                    cell.weight_hh.data,
+                    cell.bias_ih.data,
+                    cell.bias_hh.data,
+                    scheme,
+                    config,
+                )
+            )
+        else:
+            layers.append(
+                LSTMLayerPlan(
+                    cell.weight_ih.data,
+                    cell.weight_hh.data,
+                    cell.bias.data,
+                    scheme,
+                    config,
+                )
+            )
+    output = None
+    linear = getattr(model, "output", None)
+    if linear is not None:
+        bias = None if linear.bias is None else linear.bias.data
+        output = OutputPlan(linear.weight.data, bias, scheme)
+    cell_type = "gru" if isinstance(rnn, GRU) else "lstm"
+    return ModelPlan(layers, output, scheme, cell_type, config)
+
+
+def compile_rnn(
+    weights: Dict[str, np.ndarray],
+    scheme: Optional[str] = None,
+    config: EngineConfig = EngineConfig(),
+) -> ModelPlan:
+    """Compile a bare GRU weight dict (``gru.cell{i}.weight_ih/_hh`` keys,
+    the :meth:`~repro.speech.model.GRUAcousticModel.prunable_weights` /
+    Table II sweep naming) into an RNN-only plan with zero biases.
+
+    Used by the ``--engine`` latency paths, which care about the
+    recurrent compute of a sparsity pattern, not trained biases or the
+    output projection.
+    """
+    _validate_scheme(scheme)
+    num_layers = 0
+    while f"gru.cell{num_layers}.weight_ih" in weights:
+        num_layers += 1
+    if num_layers == 0:
+        raise ConfigError(
+            "weights must contain 'gru.cell0.weight_ih'; "
+            f"got keys {sorted(weights)}"
+        )
+    layers: List = []
+    for layer in range(num_layers):
+        w_ih = np.asarray(weights[f"gru.cell{layer}.weight_ih"], dtype=np.float64)
+        w_hh = np.asarray(weights[f"gru.cell{layer}.weight_hh"], dtype=np.float64)
+        zeros = np.zeros(w_ih.shape[0])
+        layers.append(GRULayerPlan(w_ih, w_hh, zeros, zeros.copy(), scheme, config))
+    return ModelPlan(layers, None, scheme, "gru", config)

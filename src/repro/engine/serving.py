@@ -1,0 +1,169 @@
+"""Length-bucketed dynamic micro-batching over an utterance stream.
+
+Serving speech means many short, ragged utterances arriving one by one;
+running each alone wastes the batched throughput a compiled
+:class:`~repro.engine.plan.ModelPlan` offers, while batching arbitrary
+lengths together wastes compute on padding.  The :class:`MicroBatcher`
+splits the difference: utterances are grouped into *length buckets*
+(``bucket_width`` frames wide), each bucket fills up to
+``max_batch_size`` entries, and a full bucket is assembled into one
+padded time-major ``(T, B, D)`` batch, run through the plan, and decoded
+with :func:`repro.speech.decoder.decode_batch` in a single shot.
+``flush`` drains the partially filled buckets at end of stream.
+
+:class:`ServingStats` records what the bucketing actually bought:
+batches issued, mean batch size, and the padding overhead (padded frames
+computed beyond the real ones — the quantity bucketing minimizes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError, ShapeError
+from repro.engine.plan import ModelPlan
+from repro.speech.decoder import decode_batch
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Micro-batching knobs.
+
+    ``bucket_width`` trades padding for batching opportunity: utterances
+    whose lengths fall in the same ``bucket_width``-frame band share a
+    batch, so the worst-case padding per utterance is one band minus one
+    frame.  ``min_duration`` is forwarded to the decoder's duration
+    smoothing.
+    """
+
+    max_batch_size: int = 16
+    bucket_width: int = 25
+    min_duration: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ConfigError(
+                f"max_batch_size must be >= 1, got {self.max_batch_size}"
+            )
+        if self.bucket_width < 1:
+            raise ConfigError(f"bucket_width must be >= 1, got {self.bucket_width}")
+        if self.min_duration < 1:
+            raise ConfigError(f"min_duration must be >= 1, got {self.min_duration}")
+
+
+@dataclass
+class ServingStats:
+    """What the batcher did: batch counts and padding economics."""
+
+    utterances: int = 0
+    batches: int = 0
+    batched_utterances: int = 0
+    real_frames: int = 0
+    batch_frames: int = 0  # frames computed, including padding
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.batched_utterances / self.batches if self.batches else 0.0
+
+    @property
+    def padding_overhead(self) -> float:
+        """Fraction of computed frames that were padding."""
+        if self.batch_frames == 0:
+            return 0.0
+        return (self.batch_frames - self.real_frames) / self.batch_frames
+
+
+class MicroBatcher:
+    """Assembles padded batches from submitted utterances by length bucket.
+
+    Usage::
+
+        batcher = MicroBatcher(plan)
+        ids = [batcher.submit(features) for features in stream]
+        batcher.flush()
+        hypotheses = [batcher.result(i) for i in ids]
+
+    ``submit`` runs a bucket as soon as it is full, so memory stays
+    bounded by ``max_batch_size`` utterances per bucket; results arrive
+    out of submission order and are retrieved by the id ``submit``
+    returned.  Empty utterances decode to an empty phone sequence
+    without touching the model.
+    """
+
+    def __init__(self, plan: ModelPlan, config: ServingConfig = ServingConfig()) -> None:
+        self.plan = plan
+        self.config = config
+        self.stats = ServingStats()
+        self._pending: Dict[int, List[Tuple[int, np.ndarray]]] = {}
+        self._results: Dict[int, List[int]] = {}
+        self._next_id = 0
+
+    def submit(self, features: np.ndarray) -> int:
+        """Queue one utterance ``(T, D)``; returns its result id."""
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2 or features.shape[1] != self.plan.input_dim:
+            raise ShapeError(
+                f"expected (T, {self.plan.input_dim}) features, "
+                f"got {features.shape}"
+            )
+        uid = self._next_id
+        self._next_id += 1
+        self.stats.utterances += 1
+        if len(features) == 0:
+            self._results[uid] = []
+            return uid
+        bucket = (len(features) - 1) // self.config.bucket_width
+        queue = self._pending.setdefault(bucket, [])
+        queue.append((uid, features))
+        if len(queue) >= self.config.max_batch_size:
+            self._run_bucket(bucket)
+        return uid
+
+    def flush(self) -> None:
+        """Run every partially filled bucket (end of stream)."""
+        for bucket in sorted(self._pending):
+            self._run_bucket(bucket)
+
+    def result(self, uid: int) -> List[int]:
+        """Take the decoded phone sequence for ``uid``.
+
+        Raises ``KeyError`` until the utterance's bucket has run — and
+        again on a second call: results are handed out exactly once so a
+        long-running stream does not accumulate every past hypothesis.
+        """
+        return self._results.pop(uid)
+
+    def pending(self) -> int:
+        """Number of submitted utterances not yet run."""
+        return sum(len(queue) for queue in self._pending.values())
+
+    def _run_bucket(self, bucket: int) -> None:
+        entries = self._pending.pop(bucket)
+        lengths = np.array([len(features) for _, features in entries], dtype=np.int64)
+        t_max = int(lengths.max())
+        batch = np.zeros((t_max, len(entries), self.plan.input_dim))
+        for b, (_, features) in enumerate(entries):
+            batch[: len(features), b, :] = features
+        logits = self.plan.forward_batch(batch, lengths)
+        hypotheses = decode_batch(logits, lengths, self.config.min_duration)
+        for (uid, _), hypothesis in zip(entries, hypotheses):
+            self._results[uid] = hypothesis
+        self.stats.batches += 1
+        self.stats.batched_utterances += len(entries)
+        self.stats.real_frames += int(lengths.sum())
+        self.stats.batch_frames += t_max * len(entries)
+
+
+def serve_stream(
+    plan: ModelPlan,
+    utterances: Iterable[np.ndarray],
+    config: ServingConfig = ServingConfig(),
+) -> Tuple[List[List[int]], ServingStats]:
+    """Decode a whole utterance stream; results in submission order."""
+    batcher = MicroBatcher(plan, config)
+    ids = [batcher.submit(utterance) for utterance in utterances]
+    batcher.flush()
+    return [batcher.result(uid) for uid in ids], batcher.stats

@@ -46,6 +46,7 @@ def result_rows(result: AnyResult) -> List[Dict[str, Any]]:
                 "cpu_time_us": e.cpu_time_us,
                 "cpu_gops": e.cpu_gops,
                 "cpu_efficiency": e.cpu_efficiency,
+                "engine_us": e.engine_us,
             }
             for e in result.entries
         ]
@@ -56,6 +57,7 @@ def result_rows(result: AnyResult) -> List[Dict[str, Any]]:
                 "measured_rate": p.measured_rate,
                 "gpu_speedup": p.gpu_speedup,
                 "cpu_speedup": p.cpu_speedup,
+                "engine_speedup": p.engine_speedup,
             }
             for p in result.points
         ]

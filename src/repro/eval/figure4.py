@@ -9,7 +9,7 @@ derived from the Table II sweep.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
 
 from repro.eval.paper_data import figure4_paper_speedups
 from repro.eval.report import fmt, format_table
@@ -18,12 +18,18 @@ from repro.eval.table2 import Table2Config, Table2Result, run_table2
 
 @dataclass
 class Figure4Point:
-    """One point of the speedup curves."""
+    """One point of the speedup curves.
+
+    ``engine_speedup`` is the *measured host* speedup of the compiled
+    engine plan over its dense baseline, present when the underlying
+    Table II sweep ran with ``engine=True``.
+    """
 
     label_rate: float
     measured_rate: float
     gpu_speedup: float
     cpu_speedup: float
+    engine_speedup: Optional[float] = None
 
 
 @dataclass
@@ -56,42 +62,57 @@ def figure4_from_table2(result: Table2Result) -> Figure4Result:
     dense = result.dense
     figure = Figure4Result()
     for entry in result.entries:
+        engine_speedup = (
+            dense.engine_us / entry.engine_us
+            if dense.engine_us and entry.engine_us
+            else None
+        )
         figure.points.append(
             Figure4Point(
                 label_rate=entry.label_rate,
                 measured_rate=entry.measured_rate,
                 gpu_speedup=dense.gpu_time_us / entry.gpu_time_us,
                 cpu_speedup=dense.cpu_time_us / entry.cpu_time_us,
+                engine_speedup=engine_speedup,
             )
         )
     return figure
 
 
-def run_figure4(config: Table2Config = Table2Config()) -> Figure4Result:
-    """Run the sweep and derive the speedup curves."""
-    return figure4_from_table2(run_table2(config))
+def run_figure4(
+    config: Table2Config = Table2Config(), engine: bool = False
+) -> Figure4Result:
+    """Run the sweep and derive the speedup curves (``engine=True`` adds
+    the measured host-engine curve)."""
+    return figure4_from_table2(run_table2(config, engine=engine))
 
 
 def render_figure4(figure: Figure4Result) -> str:
     """Render measured vs. paper speedups, plus an ASCII curve."""
     paper = {rate: (g, c) for rate, g, c in figure4_paper_speedups()}
+    with_engine = any(p.engine_speedup is not None for p in figure.points)
     rows = []
     max_speedup = max(p.gpu_speedup for p in figure.points) or 1.0
     for point in figure.points:
         paper_gpu, paper_cpu = paper.get(point.label_rate, (None, None))
         bar = "#" * max(1, int(round(30 * point.gpu_speedup / max_speedup)))
-        rows.append(
-            [
-                fmt(point.label_rate, 0) + "x",
-                fmt(point.gpu_speedup, 1),
-                fmt(paper_gpu, 1),
-                fmt(point.cpu_speedup, 1),
-                fmt(paper_cpu, 1),
-                bar,
-            ]
-        )
+        row = [
+            fmt(point.label_rate, 0) + "x",
+            fmt(point.gpu_speedup, 1),
+            fmt(paper_gpu, 1),
+            fmt(point.cpu_speedup, 1),
+            fmt(paper_cpu, 1),
+        ]
+        if with_engine:
+            row.append(fmt(point.engine_speedup, 1))
+        row.append(bar)
+        rows.append(row)
+    headers = ["rate", "GPU speedup", "paper", "CPU speedup", "paper"]
+    if with_engine:
+        headers.append("host speedup")
+    headers.append("GPU curve")
     return format_table(
-        ["rate", "GPU speedup", "paper", "CPU speedup", "paper", "GPU curve"],
+        headers,
         rows,
         title="Figure 4 reproduction: speedup vs. compression rate",
     )

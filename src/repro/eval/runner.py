@@ -4,8 +4,9 @@ Regenerates the paper's tables/figures from the shell and archives the
 results::
 
     python -m repro table1 --fast --json out/table1.json
-    python -m repro table2 --csv out/table2.csv
+    python -m repro table2 --csv out/table2.csv --engine
     python -m repro figure4
+    python -m repro serve-bench --utterances 64
     python -m repro all --out results/
 
 Each subcommand prints the rendered measured-vs-paper table and optionally
@@ -15,6 +16,7 @@ writes JSON/CSV via :mod:`repro.eval.export`.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
@@ -51,15 +53,44 @@ def _run_table1(args) -> None:
 
 
 def _run_table2(args) -> None:
-    result = run_table2(Table2Config())
+    result = run_table2(Table2Config(), engine=args.engine)
     print(render_table2(result))
     _export(result, args)
 
 
 def _run_figure4(args) -> None:
-    figure = figure4_from_table2(run_table2(Table2Config()))
+    figure = figure4_from_table2(run_table2(Table2Config(), engine=args.engine))
     print(render_figure4(figure))
     _export(figure, args)
+
+
+def _run_serve_bench(args) -> None:
+    from repro.eval.serve_bench import (
+        ServeBenchConfig,
+        render_serve_bench,
+        run_serve_bench,
+    )
+
+    schemes = (
+        (None, "fp16", "int8")
+        if args.scheme == "all"
+        else (None if args.scheme == "none" else args.scheme,)
+    )
+    config = ServeBenchConfig(
+        num_utterances=args.utterances,
+        hidden_size=args.hidden_size,
+        max_batch_size=args.max_batch,
+        bucket_width=args.bucket_width,
+        repeats=args.repeats,
+        seed=args.seed,
+        schemes=schemes,
+    )
+    result = run_serve_bench(config)
+    print(render_serve_bench(result))
+    if args.json:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json.dumps(result.to_rows(), indent=2))
+        print(f"wrote {args.json}")
 
 
 def _run_all(args) -> None:
@@ -111,18 +142,38 @@ def build_parser() -> argparse.ArgumentParser:
     p1.set_defaults(func=_run_table1)
 
     p2 = sub.add_parser("table2", help="mobile latency / GOP/s / energy")
+    p2.add_argument("--engine", action="store_true",
+                    help="also compile each point through repro.engine and "
+                    "measure host latency")
     _add_output_args(p2)
     p2.set_defaults(func=_run_table2)
 
     p4 = sub.add_parser("figure4", help="speedup vs. compression curves")
+    p4.add_argument("--engine", action="store_true",
+                    help="add the measured host-engine speedup curve")
     _add_output_args(p4)
     p4.set_defaults(func=_run_figure4)
+
+    ps = sub.add_parser(
+        "serve-bench",
+        help="eager per-utterance vs compiled batched engine serving",
+    )
+    ps.add_argument("--utterances", type=int, default=64)
+    ps.add_argument("--hidden-size", type=int, default=64)
+    ps.add_argument("--max-batch", type=int, default=16)
+    ps.add_argument("--bucket-width", type=int, default=25)
+    ps.add_argument("--repeats", type=int, default=3)
+    ps.add_argument("--seed", type=int, default=0)
+    ps.add_argument("--scheme", choices=["all", "none", "fp16", "int8"],
+                    default="all", help="engine quantization scheme(s) to run")
+    ps.add_argument("--json", type=Path, help="write rows as JSON")
+    ps.set_defaults(func=_run_serve_bench)
 
     pa = sub.add_parser("all", help="everything, archived to a directory")
     pa.add_argument("--out", type=Path, default=Path("results"))
     pa.add_argument("--fast", action="store_true")
     pa.set_defaults(func=_run_all)
-    for sub_parser in (p1, p2, p4, pa):
+    for sub_parser in (p1, p2, p4, ps, pa):
         _add_kernel_backend_arg(sub_parser, top_level=False)
     return parser
 

@@ -1,0 +1,193 @@
+"""Serving benchmark: eager per-utterance decoding vs the compiled engine.
+
+Measures what the engine subsystem buys end to end on the synthetic
+corpus: the baseline decodes each utterance alone through the eval-mode
+``Module`` tree (the strongest pre-engine path — fused kernels, batch 1),
+and the engine rows run the same stream through a compiled
+:class:`~repro.engine.plan.ModelPlan` behind the length-bucketed
+micro-batcher, one row per quantization scheme.  Besides wall clock the
+rows record decode agreement with the eager path (1.0 for the
+packing-only plan — bit-exact logits decode identically), the packed
+weight footprint, and the batcher's padding overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.engine import ServingConfig, compile_model, serve_stream
+from repro.errors import ConfigError
+from repro.eval.report import fmt, format_table
+from repro.nn.tensor import Tensor
+from repro.speech.decoder import decode_utterance
+from repro.speech.model import AcousticModelConfig, GRUAcousticModel
+from repro.speech.synth import SynthConfig, make_dataset
+from repro.utils.timing import timed_median
+
+
+@dataclass(frozen=True)
+class ServeBenchConfig:
+    """Workload and measurement settings (defaults: laptop-scale GRU)."""
+
+    num_utterances: int = 64
+    hidden_size: int = 64
+    num_layers: int = 2
+    max_batch_size: int = 16
+    bucket_width: int = 25
+    min_duration: int = 2
+    repeats: int = 3
+    seed: int = 0
+    schemes: Sequence[Optional[str]] = (None, "fp16", "int8")
+
+    def __post_init__(self) -> None:
+        if self.num_utterances < 1:
+            raise ConfigError(
+                f"num_utterances must be >= 1, got {self.num_utterances}"
+            )
+        if self.repeats < 1:
+            raise ConfigError(f"repeats must be >= 1, got {self.repeats}")
+
+
+@dataclass
+class ServeBenchRow:
+    """One measured serving path."""
+
+    path: str
+    wall_s: float
+    utterances_per_s: float
+    speedup: float  # vs the eager per-utterance baseline
+    decode_match: float  # fraction of utterances decoding identically to eager
+    weight_bytes: Optional[int] = None
+    mean_batch_size: Optional[float] = None
+    padding_overhead: Optional[float] = None
+
+
+@dataclass
+class ServeBenchResult:
+    """All measured rows plus the workload description."""
+
+    rows: List[ServeBenchRow]
+    num_utterances: int
+    total_frames: int
+
+    def to_rows(self) -> List[Dict[str, Any]]:
+        """Plain dict rows for JSON archival."""
+        return [
+            {
+                "path": row.path,
+                "wall_s": row.wall_s,
+                "utterances_per_s": row.utterances_per_s,
+                "speedup": row.speedup,
+                "decode_match": row.decode_match,
+                "weight_bytes": row.weight_bytes,
+                "mean_batch_size": row.mean_batch_size,
+                "padding_overhead": row.padding_overhead,
+            }
+            for row in self.rows
+        ]
+
+
+def run_serve_bench(config: ServeBenchConfig = ServeBenchConfig()) -> ServeBenchResult:
+    """Measure every serving path on one synthetic utterance stream."""
+    dataset = make_dataset(config.num_utterances, SynthConfig(), seed=config.seed)
+    features = [example.features for example in dataset.examples]
+    model = GRUAcousticModel(
+        AcousticModelConfig(
+            hidden_size=config.hidden_size, num_layers=config.num_layers
+        ),
+        rng=config.seed,
+    ).eval()
+
+    def eager_pass() -> List[List[int]]:
+        return [
+            decode_utterance(
+                model(Tensor(utterance[:, None, :])).data[:, 0],
+                config.min_duration,
+            )
+            for utterance in features
+        ]
+
+    eager_time, eager_hyps = timed_median(eager_pass, config.repeats)
+    eager_bytes = sum(p.data.nbytes for p in model.parameters())
+    rows = [
+        ServeBenchRow(
+            path="eager per-utterance",
+            wall_s=eager_time,
+            utterances_per_s=config.num_utterances / eager_time,
+            speedup=1.0,
+            decode_match=1.0,
+            weight_bytes=eager_bytes,
+        )
+    ]
+    serving = ServingConfig(
+        max_batch_size=config.max_batch_size,
+        bucket_width=config.bucket_width,
+        min_duration=config.min_duration,
+    )
+    for scheme in config.schemes:
+        plan = compile_model(model, scheme=scheme)
+        run = lambda: serve_stream(plan, features, serving)  # noqa: E731
+        wall, (hypotheses, stats) = timed_median(run, config.repeats)
+        match = float(
+            np.mean([hyp == ref for hyp, ref in zip(hypotheses, eager_hyps)])
+        )
+        rows.append(
+            ServeBenchRow(
+                path=f"engine[{scheme or 'packed'}]",
+                wall_s=wall,
+                utterances_per_s=config.num_utterances / wall,
+                speedup=eager_time / wall,
+                decode_match=match,
+                weight_bytes=plan.nbytes(),
+                mean_batch_size=stats.mean_batch_size,
+                padding_overhead=stats.padding_overhead,
+            )
+        )
+    return ServeBenchResult(
+        rows=rows,
+        num_utterances=config.num_utterances,
+        total_frames=sum(len(utterance) for utterance in features),
+    )
+
+
+def render_serve_bench(result: ServeBenchResult) -> str:
+    """Render the measured serving paths as a table."""
+    rows = []
+    for row in result.rows:
+        rows.append(
+            [
+                row.path,
+                fmt(row.wall_s * 1e3, 1),
+                fmt(row.utterances_per_s, 1),
+                fmt(row.speedup, 2) + "x",
+                fmt(100.0 * row.decode_match, 1) + "%",
+                fmt(None if row.weight_bytes is None else row.weight_bytes / 1024, 1),
+                fmt(row.mean_batch_size, 1),
+                fmt(
+                    None
+                    if row.padding_overhead is None
+                    else 100.0 * row.padding_overhead,
+                    1,
+                ),
+            ]
+        )
+    return format_table(
+        [
+            "path",
+            "wall ms",
+            "utt/s",
+            "speedup",
+            "decode match",
+            "weights KiB",
+            "mean batch",
+            "padding %",
+        ],
+        rows,
+        title=(
+            f"Serving benchmark: {result.num_utterances} utterances, "
+            f"{result.total_frames} frames"
+        ),
+    )

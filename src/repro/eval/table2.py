@@ -15,7 +15,7 @@ training would produce (see ``bsp_project_masks``).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -29,6 +29,7 @@ from repro.hw.profiles import ADRENO_640, KRYO_485
 from repro.pruning.bsp import BSPConfig, bsp_project_masks
 from repro.pruning.metrics import FRAMES_PER_INFERENCE
 from repro.utils.rng import new_rng
+from repro.utils.timing import timed_median
 
 
 @dataclass(frozen=True)
@@ -51,7 +52,12 @@ class Table2Config:
 
 @dataclass
 class Table2Entry:
-    """One measured row (mirrors :class:`~repro.eval.paper_data.Table2Row`)."""
+    """One measured row (mirrors :class:`~repro.eval.paper_data.Table2Row`).
+
+    ``engine_us`` is the optional *measured host* latency of the point —
+    the pruned weights compiled through :func:`repro.engine.compile_rnn`
+    and actually executed — alongside the simulated mobile numbers.
+    """
 
     label_rate: float
     measured_rate: float
@@ -62,6 +68,7 @@ class Table2Entry:
     cpu_time_us: float
     cpu_gops: float
     cpu_efficiency: float
+    engine_us: Optional[float] = None
 
 
 @dataclass
@@ -87,6 +94,55 @@ def paper_scale_weights(config: Table2Config = Table2Config()) -> Dict[str, np.n
     return weights
 
 
+def prune_sweep_point(
+    weights: Dict[str, np.ndarray],
+    col_rate: float,
+    row_rate: float,
+    config: Table2Config,
+) -> Dict[str, np.ndarray]:
+    """BSP-project the weights for one compression configuration."""
+    if col_rate <= 1.0 and row_rate <= 1.0:
+        return weights
+    masks = bsp_project_masks(
+        weights,
+        BSPConfig(
+            col_rate=col_rate,
+            row_rate=row_rate,
+            num_row_strips=config.num_row_strips,
+            num_col_blocks=config.num_col_blocks,
+        ),
+    )
+    return {
+        name: masks[name].apply_to_array(array) for name, array in weights.items()
+    }
+
+
+def measure_engine_latency(
+    pruned: Dict[str, np.ndarray], config: Table2Config, repeats: int = 3
+) -> float:
+    """Host wall-clock (µs) of one ``timesteps``-frame inference over the
+    pruned weights, compiled through :func:`repro.engine.compile_rnn`.
+
+    Sparse points pack as BSPC/CSR (``sparse_format="auto"``), so the
+    measurement reflects how much of the simulated speedup the compiled
+    plan realizes on the host CPU.
+    """
+    from repro.engine import EngineConfig, compile_rnn
+
+    plan = compile_rnn(
+        pruned,
+        config=EngineConfig(
+            sparse_format="auto",
+            num_row_strips=config.num_row_strips,
+            num_col_blocks=config.num_col_blocks,
+        ),
+    )
+    rng = new_rng(config.seed + 1)
+    features = rng.standard_normal((config.timesteps, 1, config.input_dim))
+    median_s, _ = timed_median(lambda: plan.forward_batch(features), repeats)
+    return median_s * 1e6
+
+
 def sweep_point(
     weights: Dict[str, np.ndarray],
     col_rate: float,
@@ -94,28 +150,16 @@ def sweep_point(
     config: Table2Config,
     gpu: DeviceSpec = ADRENO_640,
     cpu: DeviceSpec = KRYO_485,
+    pruned: Optional[Dict[str, np.ndarray]] = None,
 ) -> Tuple[float, float, float, float, float, float, float, float]:
     """Project, compile, and simulate one compression configuration.
 
     Returns ``(measured_rate, gop, gpu_us, gpu_gops, gpu_eff, cpu_us,
-    cpu_gops, cpu_eff)``.
+    cpu_gops, cpu_eff)``.  Pass ``pruned`` to reuse an already projected
+    weight dict (:func:`prune_sweep_point`).
     """
-    if col_rate <= 1.0 and row_rate <= 1.0:
-        pruned = weights
-    else:
-        masks = bsp_project_masks(
-            weights,
-            BSPConfig(
-                col_rate=col_rate,
-                row_rate=row_rate,
-                num_row_strips=config.num_row_strips,
-                num_col_blocks=config.num_col_blocks,
-            ),
-        )
-        pruned = {
-            name: masks[name].apply_to_array(array)
-            for name, array in weights.items()
-        }
+    if pruned is None:
+        pruned = prune_sweep_point(weights, col_rate, row_rate, config)
     base = dict(
         enable_reorder=True,
         enable_load_elimination=True,
@@ -148,11 +192,16 @@ def sweep_point(
     )
 
 
-def run_table2(config: Table2Config = Table2Config()) -> Table2Result:
-    """Execute the full Table II sweep."""
+def run_table2(config: Table2Config = Table2Config(), engine: bool = False) -> Table2Result:
+    """Execute the full Table II sweep.
+
+    With ``engine=True`` each point is additionally compiled through the
+    numeric engine and timed on the host (``engine_us`` on every entry).
+    """
     weights = paper_scale_weights(config)
     result = Table2Result()
     for col_rate, row_rate, label in config.sweep:
+        pruned = prune_sweep_point(weights, col_rate, row_rate, config)
         (
             measured,
             gop,
@@ -162,7 +211,7 @@ def run_table2(config: Table2Config = Table2Config()) -> Table2Result:
             cpu_us,
             cpu_gops,
             cpu_eff,
-        ) = sweep_point(weights, col_rate, row_rate, config)
+        ) = sweep_point(weights, col_rate, row_rate, config, pruned=pruned)
         result.entries.append(
             Table2Entry(
                 label_rate=label,
@@ -174,6 +223,7 @@ def run_table2(config: Table2Config = Table2Config()) -> Table2Result:
                 cpu_time_us=cpu_us,
                 cpu_gops=cpu_gops,
                 cpu_efficiency=cpu_eff,
+                engine_us=measure_engine_latency(pruned, config) if engine else None,
             )
         )
     return result
@@ -188,7 +238,14 @@ def paper_row_for(label_rate: float) -> Table2Row:
 
 
 def render_table2(result: Table2Result) -> str:
-    """Render measured vs. paper values side by side."""
+    """Render measured vs. paper values side by side.
+
+    When the sweep ran with ``engine=True``, two extra columns report the
+    measured host latency of the compiled plan and its speedup over the
+    dense host baseline.
+    """
+    with_engine = any(entry.engine_us is not None for entry in result.entries)
+    dense_engine = result.dense.engine_us if with_engine else None
     rows = []
     for entry in result.entries:
         try:
@@ -197,35 +254,45 @@ def render_table2(result: Table2Result) -> str:
             paper_eff = paper.gpu_efficiency
         except KeyError:
             paper_gpu = paper_cpu = paper_eff = None
-        rows.append(
-            [
-                fmt(entry.label_rate, 0) + "x",
-                fmt(entry.measured_rate, 1) + "x",
-                fmt(entry.gop, 4),
-                fmt(entry.gpu_time_us, 1),
-                fmt(paper_gpu, 1),
-                fmt(entry.gpu_gops, 1),
-                fmt(entry.gpu_efficiency, 2),
-                fmt(paper_eff, 2),
-                fmt(entry.cpu_time_us, 1),
-                fmt(paper_cpu, 1),
-                fmt(entry.cpu_efficiency, 2),
-            ]
-        )
+        row = [
+            fmt(entry.label_rate, 0) + "x",
+            fmt(entry.measured_rate, 1) + "x",
+            fmt(entry.gop, 4),
+            fmt(entry.gpu_time_us, 1),
+            fmt(paper_gpu, 1),
+            fmt(entry.gpu_gops, 1),
+            fmt(entry.gpu_efficiency, 2),
+            fmt(paper_eff, 2),
+            fmt(entry.cpu_time_us, 1),
+            fmt(paper_cpu, 1),
+            fmt(entry.cpu_efficiency, 2),
+        ]
+        if with_engine:
+            speedup = (
+                dense_engine / entry.engine_us
+                if dense_engine and entry.engine_us
+                else None
+            )
+            row.append(fmt(entry.engine_us, 0))
+            row.append(fmt(speedup, 1) + ("x" if speedup is not None else ""))
+        rows.append(row)
+    headers = [
+        "rate",
+        "measured",
+        "GOP",
+        "GPU us",
+        "paper",
+        "GPU GOP/s",
+        "GPU eff",
+        "paper",
+        "CPU us",
+        "paper",
+        "CPU eff",
+    ]
+    if with_engine:
+        headers += ["host us", "host spdup"]
     return format_table(
-        [
-            "rate",
-            "measured",
-            "GOP",
-            "GPU us",
-            "paper",
-            "GPU GOP/s",
-            "GPU eff",
-            "paper",
-            "CPU us",
-            "paper",
-            "CPU eff",
-        ],
+        headers,
         rows,
         title="Table II reproduction: mobile latency / throughput / energy",
     )

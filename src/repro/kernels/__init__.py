@@ -26,8 +26,15 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.errors import KernelError
-from repro.kernels import numpy_backend, reference  # noqa: F401  (register backends)
+from repro.kernels import numpy_backend, quantized, reference  # noqa: F401  (register backends)
 from repro.kernels.plans import BSPCPlan, CSRPlan, bspc_plan, csr_plan
+from repro.kernels.quantized import (
+    Int8BSPCPlan,
+    Int8CSRPlan,
+    int8_bspc_plan,
+    int8_codes,
+    int8_csr_plan,
+)
 from repro.kernels.registry import (
     KernelRegistry,
     get_default_backend,
@@ -46,8 +53,16 @@ __all__ = [
     "BSPCPlan",
     "csr_plan",
     "bspc_plan",
+    "Int8CSRPlan",
+    "Int8BSPCPlan",
+    "int8_csr_plan",
+    "int8_bspc_plan",
+    "int8_codes",
     "spmv",
     "spmm",
+    "spmv_int8",
+    "spmm_int8",
+    "linear_int8",
     "gru_sequence",
     "lstm_sequence",
 ]
@@ -71,6 +86,26 @@ def spmv(matrix, x: np.ndarray, backend: Optional[str] = None) -> np.ndarray:
 def spmm(matrix, x: np.ndarray, backend: Optional[str] = None) -> np.ndarray:
     """Sparse matrix × dense matrix through the registry."""
     return registry.get(_matrix_op(matrix, "spmm"), backend)(matrix, x)
+
+
+def spmv_int8(matrix, x: np.ndarray, backend: Optional[str] = None) -> np.ndarray:
+    """Int8 sparse matrix × dense vector (weights and activations
+    quantized, integer accumulation, one dequant at the end)."""
+    return registry.get(_matrix_op(matrix, "spmv_int8"), backend)(matrix, x)
+
+
+def spmm_int8(matrix, x: np.ndarray, backend: Optional[str] = None) -> np.ndarray:
+    """Int8 sparse matrix × dense matrix through the registry."""
+    return registry.get(_matrix_op(matrix, "spmm_int8"), backend)(matrix, x)
+
+
+def linear_int8(
+    codes: np.ndarray, scale: float, x: np.ndarray, backend: Optional[str] = None
+) -> np.ndarray:
+    """Dense int8 projection ``x @ codes.T`` with integer accumulation —
+    the op the compiled engine uses for quantized sequence input
+    projections."""
+    return registry.get("linear_int8", backend)(codes, scale, x)
 
 
 def gru_sequence(

@@ -1,0 +1,15 @@
+"""Tiny numeric helpers shared by the kernel backends and the engine.
+
+One definition keeps numerically sensitive primitives identical across
+every execution path — the packed engine's bit-exactness contract with
+the fused kernels depends on them computing gate values the same way.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def sigmoid(v: np.ndarray) -> np.ndarray:
+    """Logistic function, the gate nonlinearity of every RNN kernel."""
+    return 1.0 / (1.0 + np.exp(-v))

@@ -14,12 +14,9 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.kernels._math import sigmoid as _sigmoid
 from repro.kernels.plans import bspc_plan, csr_plan
 from repro.kernels.registry import registry
-
-
-def _sigmoid(v: np.ndarray) -> np.ndarray:
-    return 1.0 / (1.0 + np.exp(-v))
 
 
 # ---------------------------------------------------------------------------

@@ -17,31 +17,35 @@ doing so.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
 PLAN_ATTR = "_kernel_plan"
+INT8_PLAN_ATTR = "_int8_kernel_plan"
+_PLAN_ATTRS = (PLAN_ATTR, INT8_PLAN_ATTR)
 
 
 class PlanCacheMixin:
     """Plan caching for matrix classes: subclasses set ``_STRUCTURAL_FIELDS``.
 
-    Reassigning any structural field drops the cached plan; in-place
-    mutation of a stored array is invisible — call :meth:`invalidate_plan`
-    afterwards.
+    Reassigning any structural field drops the cached plans (float and
+    int8); in-place mutation of a stored array is invisible — call
+    :meth:`invalidate_plan` afterwards.
     """
 
     _STRUCTURAL_FIELDS: frozenset = frozenset()
 
     def __setattr__(self, name: str, value) -> None:
         if name in self._STRUCTURAL_FIELDS:
-            self.__dict__.pop(PLAN_ATTR, None)
+            for attr in _PLAN_ATTRS:
+                self.__dict__.pop(attr, None)
         super().__setattr__(name, value)
 
     def invalidate_plan(self) -> None:
-        """Drop the cached execution plan (call after in-place mutation)."""
-        self.__dict__.pop(PLAN_ATTR, None)
+        """Drop the cached execution plans (call after in-place mutation)."""
+        for attr in _PLAN_ATTRS:
+            self.__dict__.pop(attr, None)
 
 
 # ---------------------------------------------------------------------------

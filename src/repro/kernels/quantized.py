@@ -1,0 +1,356 @@
+"""Int8 kernels: quantized operands, integer accumulation, one dequant.
+
+The paper's deployment story is that compressed weights are cheap to
+*move*; this module makes them cheap to *compute with* as well.  Weights
+are stored as symmetric int8 codes plus one per-tensor scale, activations
+are quantized once per call, and every kernel accumulates products in
+integer arithmetic — dequantizing exactly once, at the very end.  That
+turns the float64 gather/multiply/reduce pipelines of the numpy backend
+into 1-byte gathers and 4-byte accumulations, so int8 is measurably
+faster than float on the memory-bound sparse ops, not just smaller.
+
+Accumulation is exact: the ``reduceat`` paths use int32 (a row of 1024
+products of magnitude ``127 * 127`` stays far below ``2**31``), and the
+GEMM paths run float32 BLAS over integer-valued operands, which is
+lossless while partial sums stay below ``2**24`` — guaranteed by chunking
+the inner dimension at :data:`F32_EXACT_INNER`.  The ``reference``
+implementations accumulate in int64 and must agree *exactly* with the
+``numpy`` ones (see ``tests/test_kernels_equivalence.py``).
+
+Like the float plans, int8 plans are cached on the matrix object (under
+``matrix._int8_kernel_plan``) and dropped by the same invalidation rules
+(:class:`~repro.kernels.plans.PlanCacheMixin`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.kernels.plans import BSPCPlan, INT8_PLAN_ATTR, bspc_plan, csr_plan
+from repro.kernels.registry import registry
+
+#: Largest inner dimension for which int8 products accumulate exactly in a
+#: single float32 GEMM (``127 * 127 * k < 2**24``); wider reductions are
+#: chunked and the partial sums combined in float64 (exact below ``2**53``).
+F32_EXACT_INNER = 1024
+
+
+def int8_codes(array: np.ndarray) -> Tuple[np.ndarray, float]:
+    """Symmetric per-tensor int8 quantization.
+
+    Returns ``(codes, scale)`` with ``codes`` in ``[-127, 127]`` (int8;
+    -128 unused for symmetry) and ``value ≈ codes * scale``.  This is the
+    single quantization primitive of the library —
+    :func:`repro.nn.quantize.quantize_int8` delegates here, so weights
+    quantized for simulation and weights packed for the int8 kernels
+    always share the same codes.
+    """
+    array = np.asarray(array, dtype=np.float64)
+    peak = float(np.max(np.abs(array))) if array.size else 0.0
+    if peak == 0.0:
+        return np.zeros(array.shape, dtype=np.int8), 1.0
+    scale = peak / 127.0
+    codes = np.clip(np.round(array / scale), -127, 127).astype(np.int8)
+    return codes, scale
+
+
+# ---------------------------------------------------------------------------
+# Int8 plans (cached alongside the float plans)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Int8CSRPlan:
+    """CSR values as int8 codes plus the float plan's segment layout.
+
+    ``gather_scratch``/``product_scratch`` are preallocated per-nnz work
+    buffers the numpy kernel reuses across calls (their *contents* are
+    scratch; the plan itself stays immutable).  Products are exact in
+    int16 (``127 * 127 < 2**15``) and row sums accumulate in int32.
+    """
+
+    shape: Tuple[int, int]
+    codes: np.ndarray  # (nnz,) int8
+    scale: float
+    nonempty_rows: np.ndarray
+    segment_starts: np.ndarray
+    gather_scratch: np.ndarray  # (nnz,) int8
+    product_scratch: np.ndarray  # (nnz,) int16
+
+
+@dataclass(frozen=True)
+class Int8BSPCPlan:
+    """BSPC panels as int8 codes plus a GEMM-ready float copy.
+
+    ``codes_f`` holds the same integer values in the float dtype the
+    batched GEMM runs in: float32 when a strip's inner extent fits
+    :data:`F32_EXACT_INNER` (the common case), float64 otherwise — either
+    way the accumulation is exact integer arithmetic.
+    """
+
+    base: BSPCPlan
+    codes: np.ndarray  # (strips, max_rows, max_cols) int8, zero padded
+    codes_f: np.ndarray  # same values, float32/float64 for the GEMM
+    scale: float
+
+
+def build_int8_csr_plan(matrix) -> Int8CSRPlan:
+    """Quantize a :class:`CSRMatrix`'s values onto its cached float plan."""
+    base = csr_plan(matrix)
+    codes, scale = int8_codes(matrix.values)
+    return Int8CSRPlan(
+        shape=base.shape,
+        codes=codes,
+        scale=scale,
+        nonempty_rows=base.nonempty_rows,
+        segment_starts=base.segment_starts,
+        gather_scratch=np.empty(codes.shape, dtype=np.int8),
+        product_scratch=np.empty(codes.shape, dtype=np.int16),
+    )
+
+
+def build_int8_bspc_plan(matrix) -> Int8BSPCPlan:
+    """Quantize a :class:`BSPCMatrix`'s packed panels (padding stays 0)."""
+    base = bspc_plan(matrix)
+    codes, scale = int8_codes(base.panels)
+    gemm_dtype = (
+        np.float32 if base.panels.shape[-1] <= F32_EXACT_INNER else np.float64
+    )
+    return Int8BSPCPlan(
+        base=base, codes=codes, codes_f=codes.astype(gemm_dtype), scale=scale
+    )
+
+
+def int8_csr_plan(matrix) -> Int8CSRPlan:
+    """Cached :class:`Int8CSRPlan` for ``matrix`` (built on first use)."""
+    plan = getattr(matrix, INT8_PLAN_ATTR, None)
+    if plan is None:
+        plan = build_int8_csr_plan(matrix)
+        setattr(matrix, INT8_PLAN_ATTR, plan)
+    return plan
+
+
+def int8_bspc_plan(matrix) -> Int8BSPCPlan:
+    """Cached :class:`Int8BSPCPlan` for ``matrix`` (built on first use)."""
+    plan = getattr(matrix, INT8_PLAN_ATTR, None)
+    if plan is None:
+        plan = build_int8_bspc_plan(matrix)
+        setattr(matrix, INT8_PLAN_ATTR, plan)
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# CSR — numpy backend
+# ---------------------------------------------------------------------------
+@registry.register("csr_spmv_int8", "numpy")
+def csr_spmv_int8(matrix, x: np.ndarray) -> np.ndarray:
+    """Int8 row-segment sums: 1-byte gather, int16 products, int32 sums.
+
+    Every array the hot loop touches is 1-8x smaller than the float64
+    path's, which is where the speedup comes from — the gather reads a
+    1-byte table, the product vector is int16 into a reused scratch
+    buffer, and ``reduceat`` accumulates in int32.  One dequant at the
+    end maps the exact integer result back to float.
+    """
+    plan = int8_csr_plan(matrix)
+    out = np.zeros(matrix.shape[0])
+    if plan.nonempty_rows.size:
+        xq, xs = int8_codes(x)
+        np.take(xq, matrix.col_indices, out=plan.gather_scratch)
+        np.multiply(
+            plan.codes, plan.gather_scratch,
+            out=plan.product_scratch, dtype=np.int16,
+        )
+        out[plan.nonempty_rows] = np.add.reduceat(
+            plan.product_scratch, plan.segment_starts, dtype=np.int32
+        )
+        out *= plan.scale * xs
+    return out
+
+
+@registry.register("csr_spmm_int8", "numpy")
+def csr_spmm_int8(matrix, x: np.ndarray) -> np.ndarray:
+    """Batched :func:`csr_spmv_int8`: the input matrix is quantized once,
+    then each column runs the 1-D int16/int32 reduceat fast path."""
+    plan = int8_csr_plan(matrix)
+    out = np.zeros((matrix.shape[0], x.shape[1]))
+    if plan.nonempty_rows.size:
+        xq, xs = int8_codes(x)
+        for j in range(x.shape[1]):
+            np.take(xq[:, j], matrix.col_indices, out=plan.gather_scratch)
+            np.multiply(
+                plan.codes, plan.gather_scratch,
+                out=plan.product_scratch, dtype=np.int16,
+            )
+            out[plan.nonempty_rows, j] = np.add.reduceat(
+                plan.product_scratch, plan.segment_starts, dtype=np.int32
+            )
+        out *= plan.scale * xs
+    return out
+
+
+# ---------------------------------------------------------------------------
+# BSPC — numpy backend
+# ---------------------------------------------------------------------------
+@registry.register("bspc_spmv_int8", "numpy")
+def bspc_spmv_int8(matrix, x: np.ndarray) -> np.ndarray:
+    """Int8 gather → exact-integer batched GEMM → scatter → one dequant.
+
+    Padded panel entries quantize to code 0, so the padding gather of
+    ``x[0]`` contributes nothing — no masking needed (and integer codes
+    cannot be non-finite).
+    """
+    plan = int8_bspc_plan(matrix)
+    base = plan.base
+    rows = base.shape[0]
+    out = np.zeros(rows + 1)
+    if base.panels.size:
+        xq, xs = int8_codes(x)
+        gathered = xq[base.gather_cols].astype(plan.codes_f.dtype)
+        partial = np.matmul(plan.codes_f, gathered[:, :, None])[:, :, 0]
+        if base.scatter_unique:
+            out[base.flat_rows] += partial.reshape(-1)
+        else:
+            np.add.at(out, base.flat_rows, partial.reshape(-1))
+        out *= plan.scale * xs
+    return out[:rows]
+
+
+@registry.register("bspc_spmm_int8", "numpy")
+def bspc_spmm_int8(matrix, x: np.ndarray) -> np.ndarray:
+    """Batched :func:`bspc_spmv_int8` over the columns of ``x``."""
+    plan = int8_bspc_plan(matrix)
+    base = plan.base
+    rows = base.shape[0]
+    batch = x.shape[1]
+    out = np.zeros((rows + 1, batch))
+    if base.panels.size:
+        xq, xs = int8_codes(x)
+        gathered = xq[base.gather_cols].astype(plan.codes_f.dtype)
+        partial = np.matmul(plan.codes_f, gathered)
+        if base.scatter_unique:
+            out[base.flat_rows] += partial.reshape(-1, batch)
+        else:
+            np.add.at(out, base.flat_rows, partial.reshape(-1, batch))
+        out *= plan.scale * xs
+    return out[:rows]
+
+
+# ---------------------------------------------------------------------------
+# Dense input projection — numpy backend
+# ---------------------------------------------------------------------------
+@registry.register("linear_int8", "numpy")
+def linear_int8(codes: np.ndarray, scale: float, x: np.ndarray) -> np.ndarray:
+    """Dense ``x @ codes.T * scales`` with integer accumulation.
+
+    ``x`` is ``(N, K)`` float, ``codes`` the ``(M, K)`` int8 weight codes
+    — or a float32 copy holding the same integer values (compiled plans
+    pre-cast once so repeated calls skip the conversion).  Activations
+    are quantized per call; the GEMM runs in float32 (exact for inner
+    chunks of :data:`F32_EXACT_INNER`, partial sums combined in float64)
+    and the single dequant maps the integer result back to float.
+    """
+    codes = np.asarray(codes)
+    weights = codes if codes.dtype == np.float32 else codes.astype(np.float32)
+    xq, xs = int8_codes(x)
+    xqf = xq.astype(np.float32)
+    k = weights.shape[1]
+    if k <= F32_EXACT_INNER:
+        acc = (xqf @ weights.T).astype(np.float64)
+    else:
+        acc = np.zeros((xqf.shape[0], weights.shape[0]))
+        for start in range(0, k, F32_EXACT_INNER):
+            chunk = slice(start, start + F32_EXACT_INNER)
+            acc += xqf[:, chunk] @ weights[:, chunk].T
+    return acc * (scale * xs)
+
+
+# ---------------------------------------------------------------------------
+# Reference backend — plan-free int64 accumulation, exact ground truth
+# ---------------------------------------------------------------------------
+@registry.register("csr_spmv_int8", "reference")
+def csr_spmv_int8_ref(matrix, x: np.ndarray) -> np.ndarray:
+    """Row-by-row int64 dot products over freshly quantized operands."""
+    codes, scale = int8_codes(matrix.values)
+    xq, xs = int8_codes(x)
+    acc = np.zeros(matrix.shape[0], dtype=np.int64)
+    for r in range(matrix.shape[0]):
+        start, stop = matrix.row_ptr[r], matrix.row_ptr[r + 1]
+        acc[r] = codes[start:stop].astype(np.int64) @ xq[
+            matrix.col_indices[start:stop]
+        ].astype(np.int64)
+    return acc.astype(np.float64) * (scale * xs)
+
+
+@registry.register("csr_spmm_int8", "reference")
+def csr_spmm_int8_ref(matrix, x: np.ndarray) -> np.ndarray:
+    """Row-by-row int64 accumulation, one output row at a time."""
+    codes, scale = int8_codes(matrix.values)
+    xq, xs = int8_codes(x)
+    acc = np.zeros((matrix.shape[0], x.shape[1]), dtype=np.int64)
+    for r in range(matrix.shape[0]):
+        start, stop = matrix.row_ptr[r], matrix.row_ptr[r + 1]
+        acc[r] = codes[start:stop].astype(np.int64) @ xq[
+            matrix.col_indices[start:stop], :
+        ].astype(np.int64)
+    return acc.astype(np.float64) * (scale * xs)
+
+
+def _bspc_panel_scale(matrix) -> float:
+    """The per-tensor scale over all stored panel values (0-padding free)."""
+    peak = 0.0
+    for strip in matrix.strips:
+        for block in strip.blocks:
+            if block.panel.size:
+                peak = max(peak, float(np.max(np.abs(block.panel))))
+    return peak / 127.0 if peak else 1.0
+
+
+@registry.register("bspc_spmv_int8", "reference")
+def bspc_spmv_int8_ref(matrix, x: np.ndarray) -> np.ndarray:
+    """Strip/block loops with int64 accumulation and a single dequant."""
+    scale = _bspc_panel_scale(matrix)
+    xq, xs = int8_codes(x)
+    acc = np.zeros(matrix.grid.rows, dtype=np.int64)
+    for strip in matrix.strips:
+        if not strip.kept_rows.size:
+            continue
+        strip_acc = np.zeros(len(strip.kept_rows), dtype=np.int64)
+        for block in strip.blocks:
+            if block.kept_cols.size:
+                codes = np.clip(np.round(block.panel / scale), -127, 127)
+                strip_acc += codes.astype(np.int64) @ xq[block.kept_cols].astype(
+                    np.int64
+                )
+        acc[strip.kept_rows] += strip_acc
+    return acc.astype(np.float64) * (scale * xs)
+
+
+@registry.register("bspc_spmm_int8", "reference")
+def bspc_spmm_int8_ref(matrix, x: np.ndarray) -> np.ndarray:
+    """Batched variant of :func:`bspc_spmv_int8_ref`."""
+    scale = _bspc_panel_scale(matrix)
+    xq, xs = int8_codes(x)
+    acc = np.zeros((matrix.grid.rows, x.shape[1]), dtype=np.int64)
+    for strip in matrix.strips:
+        if not strip.kept_rows.size:
+            continue
+        strip_acc = np.zeros((len(strip.kept_rows), x.shape[1]), dtype=np.int64)
+        for block in strip.blocks:
+            if block.kept_cols.size:
+                codes = np.clip(np.round(block.panel / scale), -127, 127)
+                strip_acc += codes.astype(np.int64) @ xq[
+                    block.kept_cols, :
+                ].astype(np.int64)
+        acc[strip.kept_rows] += strip_acc
+    return acc.astype(np.float64) * (scale * xs)
+
+
+@registry.register("linear_int8", "reference")
+def linear_int8_ref(codes: np.ndarray, scale: float, x: np.ndarray) -> np.ndarray:
+    """One int64 matmul over the full codes — slow, exact ground truth."""
+    codes64 = np.asarray(codes).astype(np.int64)
+    xq, xs = int8_codes(x)
+    acc = xq.astype(np.int64) @ codes64.T
+    return acc.astype(np.float64) * (scale * xs)

@@ -14,11 +14,8 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.kernels._math import sigmoid as _sigmoid
 from repro.kernels.registry import registry
-
-
-def _sigmoid(v: np.ndarray) -> np.ndarray:
-    return 1.0 / (1.0 + np.exp(-v))
 
 
 # ---------------------------------------------------------------------------

@@ -19,6 +19,7 @@ from typing import Dict, Tuple
 import numpy as np
 
 from repro.errors import ConfigError
+from repro.kernels.quantized import int8_codes
 from repro.nn.module import Module
 
 
@@ -37,15 +38,11 @@ def quantize_int8(array: np.ndarray) -> Tuple[np.ndarray, float]:
     """Symmetric per-tensor int8 quantization.
 
     Returns ``(codes, scale)`` with ``codes`` in ``[-127, 127]`` (int8;
-    -128 unused for symmetry) and ``value ≈ codes * scale``.
+    -128 unused for symmetry) and ``value ≈ codes * scale``.  Delegates
+    to :func:`repro.kernels.quantized.int8_codes` — the same codes the
+    int8 execution kernels pack, so simulation and deployment agree.
     """
-    array = np.asarray(array, dtype=np.float64)
-    peak = float(np.max(np.abs(array))) if array.size else 0.0
-    if peak == 0.0:
-        return np.zeros(array.shape, dtype=np.int8), 1.0
-    scale = peak / 127.0
-    codes = np.clip(np.round(array / scale), -127, 127).astype(np.int8)
-    return codes, scale
+    return int8_codes(array)
 
 
 def dequantize_int8(codes: np.ndarray, scale: float) -> np.ndarray:
@@ -61,18 +58,28 @@ def int8_round_trip(array: np.ndarray) -> np.ndarray:
     return dequantize_int8(codes, scale)
 
 
-def quantization_error(array: np.ndarray, scheme: str = "fp16") -> float:
-    """RMS quantization error of ``array`` under the given scheme."""
-    array = np.asarray(array, dtype=np.float64)
-    if scheme == "fp16":
-        reconstructed = quantize_fp16(array)
-    elif scheme == "int8":
-        reconstructed = int8_round_trip(array)
-    else:
+#: scheme name → round-trip reconstruction (int8 routes through
+#: :func:`int8_round_trip`); the single source of truth for what each
+#: scheme does to weight values.
+_SCHEMES = {"fp16": quantize_fp16, "int8": int8_round_trip}
+
+
+def _reconstruct(array: np.ndarray, scheme: str) -> np.ndarray:
+    if scheme not in _SCHEMES:
         raise ConfigError(f"scheme must be 'fp16' or 'int8', got {scheme!r}")
+    return _SCHEMES[scheme](np.asarray(array, dtype=np.float64))
+
+
+def _rms_error(array: np.ndarray, reconstructed: np.ndarray) -> float:
     if array.size == 0:
         return 0.0
     return float(np.sqrt(np.mean((array - reconstructed) ** 2)))
+
+
+def quantization_error(array: np.ndarray, scheme: str = "fp16") -> float:
+    """RMS quantization error of ``array`` under the given scheme."""
+    array = np.asarray(array, dtype=np.float64)
+    return _rms_error(array, _reconstruct(array, scheme))
 
 
 def quantize_model(model: Module, scheme: str = "fp16") -> Dict[str, float]:
@@ -80,18 +87,15 @@ def quantize_model(model: Module, scheme: str = "fp16") -> Dict[str, float]:
 
     Pruned (exactly-zero) weights stay exactly zero under both schemes, so
     sparsity patterns survive quantization.  Returns per-parameter RMS
-    quantization error for reporting.
+    quantization error (the same figure :func:`quantization_error`
+    reports) — each parameter is reconstructed once and that array both
+    yields the error and replaces the values.
     """
-    if scheme not in ("fp16", "int8"):
+    if scheme not in _SCHEMES:
         raise ConfigError(f"scheme must be 'fp16' or 'int8', got {scheme!r}")
     errors: Dict[str, float] = {}
     for name, param in model.named_parameters():
-        original = param.data.copy()
-        if scheme == "fp16":
-            param.data[...] = quantize_fp16(param.data)
-        else:
-            param.data[...] = int8_round_trip(param.data)
-        errors[name] = float(
-            np.sqrt(np.mean((original - param.data) ** 2))
-        ) if original.size else 0.0
+        reconstructed = _reconstruct(param.data, scheme)
+        errors[name] = _rms_error(param.data, reconstructed)
+        param.data[...] = reconstructed
     return errors

@@ -30,21 +30,25 @@ def smooth_labels(labels: np.ndarray, min_duration: int = 1) -> np.ndarray:
 
     A lightweight duration model: one- or two-frame spurious segments are
     usually classifier noise, not real phones.
+
+    Fully vectorized: run boundaries come from ``np.diff``, and the
+    cascade (a short run inherits from its — possibly itself smoothed —
+    predecessor) collapses to "every run takes the label of the nearest
+    surviving run at or before it", a ``np.maximum.accumulate`` over the
+    surviving-run indices.
     """
-    labels = np.asarray(labels, dtype=np.int64).copy()
+    labels = np.asarray(labels, dtype=np.int64)
     if min_duration <= 1 or len(labels) == 0:
-        return labels
-    start = 0
-    previous_label = None
-    runs = []
-    for t in range(1, len(labels) + 1):
-        if t == len(labels) or labels[t] != labels[start]:
-            runs.append((start, t))
-            start = t
-    for index, (run_start, run_stop) in enumerate(runs):
-        if run_stop - run_start < min_duration and index > 0:
-            labels[run_start:run_stop] = labels[runs[index - 1][1] - 1]
-    return labels
+        return labels.copy()
+    boundaries = np.flatnonzero(np.diff(labels)) + 1
+    starts = np.concatenate(([0], boundaries))
+    stops = np.concatenate((boundaries, [len(labels)]))
+    survives = (stops - starts) >= min_duration
+    survives[0] = True  # the first run has no predecessor to inherit from
+    source = np.maximum.accumulate(
+        np.where(survives, np.arange(len(starts)), -1)
+    )
+    return np.repeat(labels[starts[source]], stops - starts)
 
 
 def decode_utterance(

@@ -10,8 +10,10 @@ and featurized exactly like real speech would be.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
 from repro.errors import ConfigError
 
@@ -26,28 +28,59 @@ def mel_to_hz(mel) -> np.ndarray:
     return 700.0 * (10.0 ** (np.asarray(mel, dtype=np.float64) / 2595.0) - 1.0)
 
 
-def mel_filterbank(
-    num_filters: int, fft_size: int, sample_rate: int, fmin: float = 0.0, fmax: float = None
+@lru_cache(maxsize=32)
+def _cached_filterbank(
+    num_filters: int, fft_size: int, sample_rate: int, fmin: float, fmax: float
 ) -> np.ndarray:
-    """Triangular mel filterbank matrix of shape ``(num_filters, fft_size//2+1)``."""
+    """Build (and memoize) one filterbank; the returned array is read-only.
+
+    Construction is fully vectorized: the per-filter rising/falling ramps
+    of the original nested loops become two broadcast expressions over a
+    ``(num_filters, num_bins)`` grid, masked to each filter's support —
+    the same integer-ratio values, computed without Python-level loops.
+    """
     if num_filters < 1:
         raise ConfigError(f"num_filters must be >= 1, got {num_filters}")
-    fmax = fmax if fmax is not None else sample_rate / 2.0
     if not 0 <= fmin < fmax <= sample_rate / 2.0:
         raise ConfigError(f"need 0 <= fmin < fmax <= nyquist, got {fmin}, {fmax}")
     mel_points = np.linspace(hz_to_mel(fmin), hz_to_mel(fmax), num_filters + 2)
     hz_points = mel_to_hz(mel_points)
     bins = np.floor((fft_size + 1) * hz_points / sample_rate).astype(int)
-    bank = np.zeros((num_filters, fft_size // 2 + 1))
-    for m in range(1, num_filters + 1):
-        left, center, right = bins[m - 1], bins[m], bins[m + 1]
-        center = max(center, left + 1)
-        right = max(right, center + 1)
-        for k in range(left, center):
-            bank[m - 1, k] = (k - left) / (center - left)
-        for k in range(center, min(right, bank.shape[1])):
-            bank[m - 1, k] = (right - k) / (right - center)
+    left = bins[:-2, None]
+    center = np.maximum(bins[1:-1], bins[:-2] + 1)[:, None]
+    right = np.maximum(bins[2:, None], center + 1)
+    k = np.arange(fft_size // 2 + 1)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        rising = (k - left) / (center - left)
+        falling = (right - k) / (right - center)
+    bank = np.where(
+        (k >= left) & (k < center),
+        rising,
+        np.where((k >= center) & (k < right), falling, 0.0),
+    )
+    bank.flags.writeable = False
     return bank
+
+
+def mel_filterbank(
+    num_filters: int, fft_size: int, sample_rate: int, fmin: float = 0.0, fmax: float = None
+) -> np.ndarray:
+    """Triangular mel filterbank matrix of shape ``(num_filters, fft_size//2+1)``.
+
+    Banks are cached per parameter set; callers get a fresh writable copy.
+    """
+    fmax = float(fmax) if fmax is not None else sample_rate / 2.0
+    return _cached_filterbank(
+        num_filters, fft_size, sample_rate, float(fmin), fmax
+    ).copy()
+
+
+@lru_cache(maxsize=8)
+def _cached_window(frame_length: int) -> np.ndarray:
+    """Memoized Hamming window (read-only)."""
+    window = np.hamming(frame_length)
+    window.flags.writeable = False
+    return window
 
 
 def frame_signal(
@@ -55,7 +88,9 @@ def frame_signal(
 ) -> np.ndarray:
     """Slice a 1-D signal into overlapping frames ``(num_frames, frame_length)``.
 
-    The tail is zero-padded so every sample is covered.
+    The tail is zero-padded so every sample is covered.  Frames are a
+    strided (read-only) view into one padded copy of the signal — no
+    per-frame slicing or stacking.
     """
     signal = np.asarray(signal, dtype=np.float64)
     if signal.ndim != 1:
@@ -67,10 +102,7 @@ def frame_signal(
     num_frames = max(1, 1 + int(np.ceil((len(signal) - frame_length) / hop_length)))
     padded = np.zeros((num_frames - 1) * hop_length + frame_length)
     padded[: len(signal)] = signal
-    frames = np.stack(
-        [padded[i * hop_length : i * hop_length + frame_length] for i in range(num_frames)]
-    )
-    return frames
+    return sliding_window_view(padded, frame_length)[::hop_length]
 
 
 def dct_matrix(num_coefficients: int, num_inputs: int) -> np.ndarray:
@@ -112,9 +144,12 @@ def log_mel_spectrogram(signal: np.ndarray, config: FeatureConfig = FeatureConfi
     else:
         emphasized = signal
     frames = frame_signal(emphasized, config.frame_length, config.hop_length)
-    window = np.hamming(config.frame_length)
+    window = _cached_window(config.frame_length)
     spectrum = np.abs(np.fft.rfft(frames * window, n=config.fft_size)) ** 2
-    bank = mel_filterbank(config.num_mels, config.fft_size, config.sample_rate)
+    bank = _cached_filterbank(
+        config.num_mels, config.fft_size, config.sample_rate,
+        0.0, config.sample_rate / 2.0,
+    )
     mel_energy = spectrum @ bank.T
     return np.log(np.maximum(mel_energy, config.log_floor))
 

@@ -1,0 +1,23 @@
+"""Shared wall-clock measurement helper for benchmarks and harnesses."""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Tuple
+
+import numpy as np
+
+
+def timed_median(fn: Callable[[], Any], repeats: int) -> Tuple[float, Any]:
+    """Median wall seconds of ``fn`` over ``repeats`` runs, plus its result.
+
+    One untimed warm-up call runs first so lazily built state (kernel
+    plans, grown work buffers, caches) does not pollute the samples.
+    """
+    result = fn()
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        samples.append(time.perf_counter() - start)
+    return float(np.median(samples)), result

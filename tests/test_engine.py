@@ -1,0 +1,331 @@
+"""Tests for the compiled execution engine (repro.engine).
+
+Covers the three contracts the subsystem makes:
+
+* packing-only plans are **bit-exact** with the eval-mode Module path
+  (and therefore decode to identical phone sequences),
+* quantized plans track the simulated-quantization eager path within
+  scheme-appropriate tolerance (including PER on a trained model),
+* the serving micro-batcher handles ragged streams — empty, length-1,
+  and mixed-length utterances — and reproduces per-utterance decoding.
+"""
+
+import numpy as np
+import pytest
+
+from repro import engine
+from repro.errors import ConfigError, ShapeError
+from repro.nn.quantize import quantize_model
+from repro.nn.tensor import Tensor
+from repro.pruning.bsp import BSPConfig, bsp_project_masks
+from repro.speech.decoder import decode_utterance
+from repro.speech.model import AcousticModelConfig, GRUAcousticModel
+from repro.speech.synth import make_corpus
+from repro.speech.trainer import Trainer, TrainerConfig
+from repro.utils.rng import new_rng
+
+
+def laptop_model(cell_type="gru", seed=0, hidden=24):
+    config = AcousticModelConfig(
+        input_dim=8, hidden_size=hidden, num_layers=2, cell_type=cell_type
+    )
+    return GRUAcousticModel(config, rng=seed).eval()
+
+
+def prune_model(model, col_rate=4, row_rate=2, strips=4, blocks=4):
+    masks = bsp_project_masks(
+        model.prunable_weights(),
+        BSPConfig(
+            col_rate=col_rate,
+            row_rate=row_rate,
+            num_row_strips=strips,
+            num_col_blocks=blocks,
+        ),
+    )
+    for name, param in model.prunable_parameters().items():
+        param.data[...] = masks[name].apply_to_array(param.data)
+    return model
+
+
+class TestPackingOnlyEquivalence:
+    def test_gru_bit_exact(self, rng):
+        model = laptop_model()
+        x = rng.standard_normal((13, 3, 8))
+        plan = engine.compile_model(model)
+        np.testing.assert_array_equal(
+            plan.forward_batch(x), model(Tensor(x)).data
+        )
+
+    def test_lstm_bit_exact(self, rng):
+        model = laptop_model(cell_type="lstm", seed=3)
+        x = rng.standard_normal((9, 2, 8))
+        plan = engine.compile_model(model)
+        np.testing.assert_array_equal(
+            plan.forward_batch(x), model(Tensor(x)).data
+        )
+
+    def test_repeated_and_shrinking_batches_reuse_buffers(self, rng):
+        # Growing then shrinking batch shapes must not leak stale values
+        # from the reused workspace buffers.
+        model = laptop_model()
+        plan = engine.compile_model(model)
+        for shape in [(20, 4, 8), (5, 2, 8), (20, 4, 8), (1, 1, 8)]:
+            x = rng.standard_normal(shape)
+            np.testing.assert_array_equal(
+                plan.forward_batch(x), model(Tensor(x)).data
+            )
+
+    def test_forward_utterance_matches_batch(self, rng):
+        model = laptop_model()
+        plan = engine.compile_model(model)
+        utterance = rng.standard_normal((11, 8))
+        np.testing.assert_array_equal(
+            plan.forward_utterance(utterance),
+            plan.forward_batch(utterance[:, None, :])[:, 0],
+        )
+
+    def test_decodes_identical_on_synthetic_corpus(self):
+        train, test = make_corpus(6, 4, seed=5)
+        model = GRUAcousticModel(rng=1).eval()
+        plan = engine.compile_model(model)
+        for example in test.examples:
+            eager_logits = model(Tensor(example.features[:, None, :])).data[:, 0]
+            assert decode_utterance(
+                plan.forward_utterance(example.features), min_duration=2
+            ) == decode_utterance(eager_logits, min_duration=2)
+
+    def test_plan_snapshots_weights(self, rng):
+        model = laptop_model()
+        x = rng.standard_normal((4, 2, 8))
+        plan = engine.compile_model(model)
+        before = plan.forward_batch(x)
+        for param in model.parameters():
+            param.data[...] += 1.0
+        np.testing.assert_array_equal(plan.forward_batch(x), before)
+
+    def test_zero_length_batch(self):
+        plan = engine.compile_model(laptop_model())
+        logits = plan.forward_batch(np.zeros((0, 2, 8)))
+        assert logits.shape[0] == 0 and logits.shape[1] == 2
+
+
+class TestSparsePacking:
+    @pytest.mark.parametrize("fmt", ["auto", "csr", "bspc"])
+    def test_pruned_model_matches_dense_plan(self, fmt, rng):
+        model = prune_model(laptop_model())
+        x = rng.standard_normal((10, 3, 8))
+        eager = model(Tensor(x)).data
+        plan = engine.compile_model(
+            model,
+            config=engine.EngineConfig(
+                sparse_format=fmt, num_row_strips=4, num_col_blocks=4
+            ),
+        )
+        np.testing.assert_allclose(plan.forward_batch(x), eager, atol=1e-10)
+
+    def test_compile_rnn_from_weight_dict(self, rng):
+        model = prune_model(laptop_model())
+        weights = {
+            name: param.data.copy()
+            for name, param in model.named_parameters()
+            if name.startswith("gru.") and param.data.ndim == 2
+        }
+        plan = engine.compile_rnn(
+            weights,
+            config=engine.EngineConfig(sparse_format="auto", num_row_strips=4,
+                                       num_col_blocks=4),
+        )
+        x = rng.standard_normal((6, 2, 8))
+        hidden = plan.forward_batch(x)
+        assert hidden.shape == (6, 2, model.config.hidden_size)
+        # Biases are zero in compile_rnn, so compare against a stripped model.
+        for name, param in model.named_parameters():
+            if param.data.ndim == 1:
+                param.data[...] = 0.0
+        expected, _ = model.gru(Tensor(x))
+        np.testing.assert_allclose(hidden, expected.data, atol=1e-10)
+
+    def test_compile_rnn_rejects_bad_keys(self):
+        with pytest.raises(ConfigError):
+            engine.compile_rnn({"nope": np.zeros((4, 4))})
+
+
+class TestQuantizedPlans:
+    def test_fp16_close_to_simulated_eager(self, rng):
+        model = laptop_model()
+        x = rng.standard_normal((12, 3, 8))
+        plan = engine.compile_model(model, scheme="fp16")
+        simulated = laptop_model()
+        quantize_model(simulated, "fp16")
+        expected = simulated(Tensor(x)).data
+        # Engine computes in float32 over the same fp16-rounded weights.
+        np.testing.assert_allclose(plan.forward_batch(x), expected, atol=1e-3)
+
+    def test_int8_close_to_simulated_eager(self, rng):
+        model = laptop_model()
+        x = rng.standard_normal((12, 3, 8))
+        plan = engine.compile_model(model, scheme="int8")
+        simulated = laptop_model()
+        quantize_model(simulated, "int8")
+        expected = simulated(Tensor(x)).data
+        # Activation quantization adds error beyond the weight round-trip.
+        scale = np.abs(expected).max()
+        assert np.abs(plan.forward_batch(x) - expected).max() < 0.1 * scale
+
+    def test_quantized_smaller_than_packed(self):
+        model = laptop_model()
+        packed = engine.compile_model(model).nbytes()
+        fp16 = engine.compile_model(model, scheme="fp16").nbytes()
+        int8 = engine.compile_model(model, scheme="int8").nbytes()
+        assert int8 < fp16 < packed
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ConfigError):
+            engine.compile_model(laptop_model(), scheme="int4")
+
+    def test_quantized_per_matches_simulated_within_tolerance(self):
+        # The acceptance-criterion check: a trained model's PER under the
+        # engine's real quantized execution stays close to the PER of the
+        # simulated (round-tripped weights, float math) eager path.
+        train, test = make_corpus(10, 6, seed=2)
+        model = GRUAcousticModel(rng=0)
+        trainer = Trainer(model, train, test, TrainerConfig(batch_size=4, seed=0))
+        trainer.train_dense(3)
+        model.eval()
+        for scheme in ("fp16", "int8"):
+            simulated = GRUAcousticModel(rng=0)
+            simulated.load_state_dict(model.state_dict())
+            quantize_model(simulated, scheme)
+            simulated.eval()
+            plan = engine.compile_model(model, scheme=scheme)
+            refs, sim_hyps, eng_hyps = [], [], []
+            from repro.speech.metrics import collapse_frames, phone_error_rate
+
+            for example in test.examples:
+                refs.append(collapse_frames(example.labels))
+                logits = simulated(Tensor(example.features[:, None, :])).data[:, 0]
+                sim_hyps.append(decode_utterance(logits, min_duration=2))
+                eng_hyps.append(
+                    decode_utterance(
+                        plan.forward_utterance(example.features), min_duration=2
+                    )
+                )
+            sim_per = phone_error_rate(refs, sim_hyps)
+            eng_per = phone_error_rate(refs, eng_hyps)
+            assert abs(eng_per - sim_per) <= 5.0, (scheme, sim_per, eng_per)
+
+
+class TestForwardValidation:
+    def test_rejects_wrong_rank(self):
+        plan = engine.compile_model(laptop_model())
+        with pytest.raises(ShapeError):
+            plan.forward_batch(np.zeros((4, 8)))
+
+    def test_rejects_wrong_input_dim(self):
+        plan = engine.compile_model(laptop_model())
+        with pytest.raises(ShapeError):
+            plan.forward_batch(np.zeros((4, 2, 9)))
+
+    def test_rejects_bad_lengths(self):
+        plan = engine.compile_model(laptop_model())
+        x = np.zeros((4, 2, 8))
+        with pytest.raises(ShapeError):
+            plan.forward_batch(x, lengths=np.array([1, 2, 3]))
+        with pytest.raises(ShapeError):
+            plan.forward_batch(x, lengths=np.array([5, 1]))
+
+
+class TestServing:
+    def make_plan(self):
+        return engine.compile_model(laptop_model())
+
+    def eager_decode(self, plan, utterance):
+        if len(utterance) == 0:
+            return []
+        return decode_utterance(plan.forward_utterance(utterance))
+
+    def test_ragged_stream_matches_per_utterance(self, rng):
+        plan = self.make_plan()
+        lengths = [0, 1, 1, 7, 30, 30, 30, 2, 55, 0, 16]
+        utterances = [rng.standard_normal((t, 8)) for t in lengths]
+        hypotheses, stats = engine.serve_stream(plan, utterances)
+        assert hypotheses == [self.eager_decode(plan, u) for u in utterances]
+        assert stats.utterances == len(lengths)
+        assert stats.batched_utterances == sum(1 for t in lengths if t > 0)
+        assert stats.real_frames == sum(lengths)
+        assert stats.batch_frames >= stats.real_frames
+
+    def test_empty_utterance_decodes_empty_without_model(self):
+        plan = self.make_plan()
+        hypotheses, stats = engine.serve_stream(plan, [np.zeros((0, 8))])
+        assert hypotheses == [[]]
+        assert stats.batches == 0
+
+    def test_full_bucket_runs_eagerly(self, rng):
+        plan = self.make_plan()
+        config = engine.ServingConfig(max_batch_size=3, bucket_width=10)
+        batcher = engine.MicroBatcher(plan, config)
+        ids = [batcher.submit(rng.standard_normal((8, 8))) for _ in range(3)]
+        assert batcher.pending() == 0  # flushed the moment it filled
+        assert all(isinstance(batcher.result(uid), list) for uid in ids)
+        straggler = rng.standard_normal((9, 8))
+        extra = batcher.submit(straggler)
+        assert batcher.pending() == 1
+        with pytest.raises(KeyError):
+            batcher.result(extra)
+        batcher.flush()
+        assert batcher.result(extra) == self.eager_decode(plan, straggler)
+
+    def test_bucketing_separates_lengths(self, rng):
+        plan = self.make_plan()
+        config = engine.ServingConfig(max_batch_size=8, bucket_width=10)
+        batcher = engine.MicroBatcher(plan, config)
+        batcher.submit(rng.standard_normal((5, 8)))
+        batcher.submit(rng.standard_normal((25, 8)))
+        assert len(batcher._pending) == 2
+        batcher.flush()
+        assert batcher.stats.batches == 2
+
+    def test_rejects_wrong_feature_dim(self):
+        batcher = engine.MicroBatcher(self.make_plan())
+        with pytest.raises(ShapeError):
+            batcher.submit(np.zeros((4, 9)))
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            engine.ServingConfig(max_batch_size=0)
+        with pytest.raises(ConfigError):
+            engine.ServingConfig(bucket_width=0)
+
+    def test_stats_padding_overhead(self, rng):
+        plan = self.make_plan()
+        config = engine.ServingConfig(max_batch_size=2, bucket_width=100)
+        _, stats = engine.serve_stream(
+            plan, [rng.standard_normal((10, 8)), rng.standard_normal((20, 8))], config
+        )
+        assert stats.batches == 1
+        assert stats.batch_frames == 40 and stats.real_frames == 30
+        assert stats.padding_overhead == pytest.approx(0.25)
+        assert stats.mean_batch_size == 2.0
+
+
+class TestServeBenchHarness:
+    def test_runs_and_packing_row_matches_eager(self):
+        from repro.eval.serve_bench import (
+            ServeBenchConfig,
+            render_serve_bench,
+            run_serve_bench,
+        )
+
+        result = run_serve_bench(
+            ServeBenchConfig(
+                num_utterances=6, hidden_size=16, repeats=1, schemes=(None,)
+            )
+        )
+        assert len(result.rows) == 2
+        packed = result.rows[1]
+        assert packed.decode_match == 1.0
+        assert packed.weight_bytes is not None
+        rendered = render_serve_bench(result)
+        assert "eager per-utterance" in rendered and "engine[packed]" in rendered
+        assert len(result.to_rows()) == 2

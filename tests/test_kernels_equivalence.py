@@ -249,6 +249,105 @@ class TestModuleFastPath:
         assert x.grad is not None  # fell back to the differentiable path
 
 
+class TestInt8Kernels:
+    """The int8 numpy kernels must agree *exactly* with the int64-
+    accumulating reference implementations (same codes, same integer
+    sums, same single dequant), and closely with the float result."""
+
+    def test_csr_spmv_int8_exact_vs_reference(self, cases):
+        rng = new_rng(21)
+        for name, w, _ in cases:
+            csr = CSRMatrix.from_dense(w)
+            x = rng.standard_normal(w.shape[1])
+            expected = kernels.spmv_int8(csr, x, backend="reference")
+            np.testing.assert_array_equal(
+                kernels.spmv_int8(csr, x, backend="numpy"), expected, err_msg=name
+            )
+
+    def test_csr_spmm_int8_exact_vs_reference(self, cases):
+        rng = new_rng(22)
+        for name, w, _ in cases:
+            csr = CSRMatrix.from_dense(w)
+            for batch in (1, 4):
+                x = rng.standard_normal((w.shape[1], batch))
+                expected = kernels.spmm_int8(csr, x, backend="reference")
+                np.testing.assert_array_equal(
+                    kernels.spmm_int8(csr, x, backend="numpy"), expected,
+                    err_msg=name,
+                )
+
+    def test_bspc_spmv_int8_exact_vs_reference(self, cases):
+        rng = new_rng(23)
+        for name, w, grid in cases:
+            bspc = BSPCMatrix.from_dense(w, grid)
+            x = rng.standard_normal(w.shape[1])
+            expected = kernels.spmv_int8(bspc, x, backend="reference")
+            np.testing.assert_array_equal(
+                kernels.spmv_int8(bspc, x, backend="numpy"), expected, err_msg=name
+            )
+
+    def test_bspc_spmm_int8_exact_vs_reference(self, cases):
+        rng = new_rng(24)
+        for name, w, grid in cases:
+            bspc = BSPCMatrix.from_dense(w, grid)
+            x = rng.standard_normal((w.shape[1], 3))
+            expected = kernels.spmm_int8(bspc, x, backend="reference")
+            np.testing.assert_array_equal(
+                kernels.spmm_int8(bspc, x, backend="numpy"), expected, err_msg=name
+            )
+
+    def test_linear_int8_exact_vs_reference(self, rng):
+        for m, k in [(5, 7), (3, 1), (8, 3000)]:  # 3000 forces chunking
+            codes, scale = kernels.int8_codes(rng.standard_normal((m, k)) * 2)
+            x = rng.standard_normal((4, k))
+            expected = kernels.linear_int8(codes, scale, x, backend="reference")
+            np.testing.assert_array_equal(
+                kernels.linear_int8(codes, scale, x, backend="numpy"), expected
+            )
+            # pre-cast float32 codes (what compiled plans pass) agree too
+            np.testing.assert_array_equal(
+                kernels.linear_int8(codes.astype(np.float32), scale, x), expected
+            )
+
+    def test_int8_close_to_float(self, cases):
+        # The whole point: quantized results track the float ones.
+        rng = new_rng(25)
+        for name, w, _ in cases:
+            csr = CSRMatrix.from_dense(w)
+            x = rng.standard_normal(w.shape[1])
+            expected = w @ x
+            got = kernels.spmv_int8(csr, x)
+            scale = np.abs(expected).max() or 1.0
+            assert np.abs(got - expected).max() <= 0.05 * scale + 1e-12, name
+
+    def test_int8_codes_round_trip(self, rng):
+        w = rng.standard_normal((6, 5))
+        codes, scale = kernels.int8_codes(w)
+        assert codes.dtype == np.int8
+        assert np.abs(codes).max() <= 127
+        np.testing.assert_allclose(codes * scale, w, atol=scale / 2 + 1e-12)
+
+    def test_int8_codes_zero_matrix(self):
+        codes, scale = kernels.int8_codes(np.zeros((3, 3)))
+        assert scale == 1.0 and not codes.any()
+
+    def test_int8_plan_cached_and_invalidated(self, rng):
+        w, _ = bsp_pruned(rng)
+        csr = CSRMatrix.from_dense(w)
+        x = rng.standard_normal(w.shape[1])
+        kernels.spmv_int8(csr, x)
+        plan = csr._int8_kernel_plan
+        kernels.spmv_int8(csr, x)
+        assert csr._int8_kernel_plan is plan
+        csr.values = csr.values * 2.0  # structural reassignment drops both
+        assert not hasattr(csr, "_int8_kernel_plan")
+        assert not hasattr(csr, "_kernel_plan")
+        csr.invalidate_plan()  # idempotent, also clears after in-place edits
+        np.testing.assert_array_equal(
+            kernels.spmv_int8(csr, x), kernels.spmv_int8(csr, x, backend="reference")
+        )
+
+
 class TestPlanCaching:
     def test_plan_cached_and_reused(self, rng):
         w, grid = bsp_pruned(rng)
