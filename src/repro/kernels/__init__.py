@@ -65,6 +65,8 @@ __all__ = [
     "linear_int8",
     "gru_sequence",
     "lstm_sequence",
+    "gru_sequence_grad",
+    "lstm_sequence_grad",
 ]
 
 
@@ -132,3 +134,40 @@ def lstm_sequence(
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """One LSTM layer over a ``(T, B, D)`` sequence → ``(outputs, h_T, c_T)``."""
     return registry.get("lstm_sequence", backend)(x, w_ih, w_hh, bias, h0, c0)
+
+
+def gru_sequence_grad(
+    x: np.ndarray,
+    w_ih: np.ndarray,
+    w_hh: np.ndarray,
+    b_ih: np.ndarray,
+    b_hh: np.ndarray,
+    h0: np.ndarray,
+    backend: Optional[str] = None,
+):
+    """Trainable GRU layer: full-sequence forward plus a BPTT closure.
+
+    Returns ``(outputs, h_T, backward)`` where
+    ``backward(grad_out, grad_h_T=None)`` yields
+    ``(dx, dw_ih, dw_hh, db_ih, db_hh, dh0)``.  The ``reference`` backend
+    runs the autograd tape (ground truth); ``numpy`` is the fused
+    stash-and-batch BPTT used by ``GRU.forward`` in training mode.
+    """
+    return registry.get("gru_sequence_grad", backend)(x, w_ih, w_hh, b_ih, b_hh, h0)
+
+
+def lstm_sequence_grad(
+    x: np.ndarray,
+    w_ih: np.ndarray,
+    w_hh: np.ndarray,
+    bias: np.ndarray,
+    h0: np.ndarray,
+    c0: np.ndarray,
+    backend: Optional[str] = None,
+):
+    """Trainable LSTM layer: full-sequence forward plus a BPTT closure.
+
+    Returns ``(outputs, h_T, c_T, backward)`` where ``backward(grad_out)``
+    yields ``(dx, dw_ih, dw_hh, dbias, dh0, dc0)``.
+    """
+    return registry.get("lstm_sequence_grad", backend)(x, w_ih, w_hh, bias, h0, c0)

@@ -13,3 +13,17 @@ import numpy as np
 def sigmoid(v: np.ndarray) -> np.ndarray:
     """Logistic function, the gate nonlinearity of every RNN kernel."""
     return 1.0 / (1.0 + np.exp(-v))
+
+
+def sigmoid_(v: np.ndarray) -> np.ndarray:
+    """In-place :func:`sigmoid` on ``v`` (same op sequence, no temporaries).
+
+    The training kernels' per-timestep loops call this on preallocated
+    stash slices; it produces bit-identical values to :func:`sigmoid`
+    (negate, exp, add 1, reciprocal — reciprocal is the same IEEE divide).
+    """
+    np.negative(v, out=v)
+    np.exp(v, out=v)
+    v += 1.0
+    np.reciprocal(v, out=v)
+    return v

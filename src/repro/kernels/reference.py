@@ -108,6 +108,105 @@ def gru_sequence(
     return np.stack(outputs, axis=0), h
 
 
+@registry.register("gru_sequence_grad", "reference")
+def gru_sequence_grad(
+    x: np.ndarray,
+    w_ih: np.ndarray,
+    w_hh: np.ndarray,
+    b_ih: np.ndarray,
+    b_hh: np.ndarray,
+    h0: np.ndarray,
+):
+    """Trainable GRU layer backed by the autograd tape (ground truth).
+
+    Runs the exact per-timestep ``GRUCell`` math through
+    :class:`repro.nn.tensor.Tensor`, so the returned backward closure is the
+    tape's own BPTT.  Returns ``(outputs, h_T, backward)`` where
+    ``backward(grad_out, grad_h_T=None)`` yields
+    ``(dx, dw_ih, dw_hh, db_ih, db_hh, dh0)``.
+    """
+    from repro.nn.tensor import Tensor, stack
+
+    hidden = h0.shape[1]
+    xt = Tensor(np.asarray(x, dtype=np.float64), requires_grad=True)
+    wih = Tensor(np.asarray(w_ih, dtype=np.float64), requires_grad=True)
+    whh = Tensor(np.asarray(w_hh, dtype=np.float64), requires_grad=True)
+    bih = Tensor(np.asarray(b_ih, dtype=np.float64), requires_grad=True)
+    bhh = Tensor(np.asarray(b_hh, dtype=np.float64), requires_grad=True)
+    h0t = Tensor(np.asarray(h0, dtype=np.float64), requires_grad=True)
+    h = h0t
+    outputs = []
+    for t in range(x.shape[0]):
+        gx = xt[t].matmul(wih.T) + bih
+        gh = h.matmul(whh.T) + bhh
+        z = (gx[:, :hidden] + gh[:, :hidden]).sigmoid()
+        r = (gx[:, hidden : 2 * hidden] + gh[:, hidden : 2 * hidden]).sigmoid()
+        h_tilde = (gx[:, 2 * hidden :] + r * gh[:, 2 * hidden :]).tanh()
+        h = (1.0 - z) * h + z * h_tilde
+        outputs.append(h)
+    out = stack(outputs, axis=0)
+    leaves = (xt, wih, whh, bih, bhh, h0t)
+
+    def backward(grad_out: np.ndarray, grad_h_T=None, need_dx: bool = True):
+        seed = np.array(grad_out, dtype=np.float64, copy=True)
+        if grad_h_T is not None:
+            seed[-1] += grad_h_T
+        out.backward(seed)
+        return tuple(
+            leaf.grad if leaf.grad is not None else np.zeros_like(leaf.data)
+            for leaf in leaves
+        )
+
+    return out.data, out.data[-1], backward
+
+
+@registry.register("lstm_sequence_grad", "reference")
+def lstm_sequence_grad(
+    x: np.ndarray,
+    w_ih: np.ndarray,
+    w_hh: np.ndarray,
+    bias: np.ndarray,
+    h0: np.ndarray,
+    c0: np.ndarray,
+):
+    """Trainable LSTM layer backed by the autograd tape (ground truth).
+
+    Returns ``(outputs, h_T, c_T, backward)`` where
+    ``backward(grad_out)`` yields ``(dx, dw_ih, dw_hh, dbias, dh0, dc0)``.
+    """
+    from repro.nn.tensor import Tensor, stack
+
+    hidden = h0.shape[1]
+    xt = Tensor(np.asarray(x, dtype=np.float64), requires_grad=True)
+    wih = Tensor(np.asarray(w_ih, dtype=np.float64), requires_grad=True)
+    whh = Tensor(np.asarray(w_hh, dtype=np.float64), requires_grad=True)
+    bt = Tensor(np.asarray(bias, dtype=np.float64), requires_grad=True)
+    h0t = Tensor(np.asarray(h0, dtype=np.float64), requires_grad=True)
+    c0t = Tensor(np.asarray(c0, dtype=np.float64), requires_grad=True)
+    h, c = h0t, c0t
+    outputs = []
+    for t in range(x.shape[0]):
+        gates = xt[t].matmul(wih.T) + h.matmul(whh.T) + bt
+        i = gates[:, :hidden].sigmoid()
+        f = gates[:, hidden : 2 * hidden].sigmoid()
+        g = gates[:, 2 * hidden : 3 * hidden].tanh()
+        o = gates[:, 3 * hidden :].sigmoid()
+        c = f * c + i * g
+        h = o * c.tanh()
+        outputs.append(h)
+    out = stack(outputs, axis=0)
+    leaves = (xt, wih, whh, bt, h0t, c0t)
+
+    def backward(grad_out: np.ndarray, need_dx: bool = True):
+        out.backward(np.asarray(grad_out, dtype=np.float64))
+        return tuple(
+            leaf.grad if leaf.grad is not None else np.zeros_like(leaf.data)
+            for leaf in leaves
+        )
+
+    return out.data, out.data[-1], c.data, backward
+
+
 @registry.register("lstm_sequence", "reference")
 def lstm_sequence(
     x: np.ndarray,

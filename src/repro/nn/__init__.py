@@ -6,6 +6,7 @@ so an equivalent (much smaller) framework is provided here.
 """
 
 from repro.nn import functional, init
+from repro.nn.fused import fused_gru_layer, fused_lstm_layer
 from repro.nn.data import Batch, DataLoader, Dataset, SequenceExample, collate, train_test_split
 from repro.nn.linear import Linear
 from repro.nn.quantize import (
@@ -40,6 +41,8 @@ __all__ = [
     "Adam",
     "Optimizer",
     "functional",
+    "fused_gru_layer",
+    "fused_lstm_layer",
     "init",
     "Dataset",
     "DataLoader",

@@ -79,28 +79,39 @@ def cross_entropy(
         raise ValueError("targets contain class indices outside [0, C)")
 
     if weight_mask is None:
-        weights = np.ones(n)
+        weights = None
+        denom = max(float(n), 1.0)
     else:
         weights = np.asarray(weight_mask, dtype=np.float64)
         if weights.shape != (n,):
             raise ShapeError(f"weight_mask must be ({n},), got {weights.shape}")
-    denom = max(weights.sum(), 1.0)
+        denom = max(weights.sum(), 1.0)
 
+    # One exp over the logits, shared between the loss and the backward's
+    # softmax: the (N, C) exponentials are kept and normalized in place
+    # instead of exponentiating the full log-prob matrix a second time.
     z = logits.data
+    row = np.arange(n)
     zmax = z.max(axis=1, keepdims=True)
     shifted = z - zmax
-    logsumexp = np.log(np.exp(shifted).sum(axis=1, keepdims=True)) + zmax
-    log_probs = z - logsumexp
-    picked = log_probs[np.arange(n), targets]
-    loss_value = -(picked * weights).sum() / denom
+    exp_shifted = np.exp(shifted)
+    sumexp = exp_shifted.sum(axis=1)
+    picked = shifted[row, targets] - np.log(sumexp)
+    if weights is None:
+        loss_value = -picked.sum() / denom
+    else:
+        loss_value = -(picked * weights).sum() / denom
 
     def backward(grad: np.ndarray) -> None:
         if not logits.requires_grad:
             return
-        probs = np.exp(log_probs)
-        probs[np.arange(n), targets] -= 1.0
-        probs *= (weights / denom)[:, None]
-        logits._accumulate(float(grad) * probs)
+        probs = exp_shifted / sumexp[:, None]
+        probs[row, targets] -= 1.0
+        if weights is None:
+            probs *= float(grad) / denom
+        else:
+            probs *= (float(grad) / denom) * weights[:, None]
+        logits._accumulate(probs)
 
     return logits._make_child(np.asarray(loss_value), (logits,), backward)
 

@@ -68,8 +68,27 @@ class SGD(Optimizer):
             param.data -= self.lr * grad
 
 
+class _AdamSlot:
+    """Per-parameter Adam state: moments, step count, one scratch buffer."""
+
+    __slots__ = ("m", "v", "scratch", "t")
+
+    def __init__(self, shape_like: np.ndarray) -> None:
+        self.m = np.zeros_like(shape_like)
+        self.v = np.zeros_like(shape_like)
+        self.scratch = np.empty_like(shape_like)
+        self.t = 0
+
+
 class Adam(Optimizer):
-    """Adam optimizer (Kingma & Ba, 2015) with bias correction."""
+    """Adam optimizer (Kingma & Ba, 2015) with bias correction.
+
+    The moment updates are fused: each parameter keeps preallocated
+    ``m``/``v``/scratch buffers and every update runs as in-place numpy
+    ufunc calls, so a step allocates nothing and makes one pass over each
+    array per moment — the per-parameter Python work is a handful of
+    attribute loads instead of dict lookups and fresh temporaries.
+    """
 
     def __init__(
         self,
@@ -89,9 +108,7 @@ class Adam(Optimizer):
         self.beta1, self.beta2 = beta1, beta2
         self.eps = eps
         self.weight_decay = weight_decay
-        self._m: Dict[int, np.ndarray] = {}
-        self._v: Dict[int, np.ndarray] = {}
-        self._steps: Dict[int, int] = {}
+        self._slots: Dict[int, _AdamSlot] = {}
 
     def step(self) -> None:
         """Apply one Adam update using the gradients currently stored.
@@ -100,21 +117,31 @@ class Adam(Optimizer):
         parameter that receives its first gradient late still takes a
         properly bias-corrected first step.
         """
+        beta1, beta2 = self.beta1, self.beta2
         for param in self.params:
-            if param.grad is None:
-                continue
             grad = param.grad
+            if grad is None:
+                continue
             if self.weight_decay:
                 grad = grad + self.weight_decay * param.data
-            key = id(param)
-            t = self._steps.get(key, 0) + 1
-            self._steps[key] = t
-            m = self._m.get(key, np.zeros_like(param.data))
-            v = self._v.get(key, np.zeros_like(param.data))
-            m = self.beta1 * m + (1.0 - self.beta1) * grad
-            v = self.beta2 * v + (1.0 - self.beta2) * grad * grad
-            self._m[key] = m
-            self._v[key] = v
-            m_hat = m / (1.0 - self.beta1**t)
-            v_hat = v / (1.0 - self.beta2**t)
-            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            slot = self._slots.get(id(param))
+            if slot is None:
+                slot = self._slots[id(param)] = _AdamSlot(param.data)
+            slot.t += 1
+            m, v, scratch = slot.m, slot.v, slot.scratch
+            # m = beta1*m + (1-beta1)*grad, in place.
+            m *= beta1
+            np.multiply(grad, 1.0 - beta1, out=scratch)
+            m += scratch
+            # v = beta2*v + (1-beta2)*grad^2, in place.
+            v *= beta2
+            np.multiply(grad, grad, out=scratch)
+            scratch *= 1.0 - beta2
+            v += scratch
+            # param -= lr * (m / (1-beta1^t)) / (sqrt(v / (1-beta2^t)) + eps)
+            np.divide(v, 1.0 - beta2**slot.t, out=scratch)
+            np.sqrt(scratch, out=scratch)
+            scratch += self.eps
+            np.divide(m, scratch, out=scratch)
+            scratch *= self.lr / (1.0 - beta1**slot.t)
+            param.data -= scratch

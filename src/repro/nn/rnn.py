@@ -34,10 +34,24 @@ def _use_fused_kernels(module: Module, *tensors: Tensor) -> bool:
 
     In eval mode no gradient tape is needed, so the whole sequence runs
     through :mod:`repro.kernels` on raw ndarrays.  Training mode — or any
-    input that itself requires grad — keeps the per-timestep Tensor path
-    so autograd still sees every op.
+    input that itself requires grad — keeps a gradient-recording path:
+    the fused BPTT node on vectorized backends, the per-timestep Tensor
+    tape on the reference backend.
     """
     return not module.training and not any(t.requires_grad for t in tensors)
+
+
+def _use_fused_grad() -> bool:
+    """True when a grad-recording forward should use the fused BPTT node.
+
+    The per-timestep tape is retained as ground truth under the
+    ``reference`` kernel backend; every other backend routes each layer
+    through one ``gru_sequence_grad``/``lstm_sequence_grad`` kernel call
+    recorded as a single autograd node (see :mod:`repro.nn.fused`).
+    """
+    from repro import kernels
+
+    return kernels.get_default_backend() != "reference"
 
 
 class GRUCell(Module):
@@ -158,8 +172,11 @@ class GRU(Module):
         """Run the full sequence; returns ``(outputs, final_hiddens)``.
 
         In eval mode (and with no grad-requiring inputs) each layer runs as
-        one fused :func:`repro.kernels.gru_sequence` call; training mode
-        unrolls the cells so gradients flow through every timestep.
+        one fused :func:`repro.kernels.gru_sequence` call.  Training mode
+        records gradients: on vectorized backends each layer is a single
+        fused-BPTT autograd node (:func:`repro.nn.fused.fused_gru_layer`);
+        under the ``reference`` backend the cells unroll per timestep so
+        the tape sees every op.
         """
         if x.ndim != 3:
             raise ShapeError(f"GRU expects (T, B, D) input, got {x.shape}")
@@ -191,6 +208,22 @@ class GRU(Module):
                 )
                 finals.append(Tensor(h_final))
             return Tensor(layer_input), finals
+        if _use_fused_grad():
+            from repro.nn.fused import fused_gru_layer
+
+            layer_out = x
+            fused_finals: List[Tensor] = []
+            for cell, h_init in zip(self.cells, hiddens):
+                layer_out = fused_gru_layer(
+                    layer_out,
+                    cell.weight_ih,
+                    cell.weight_hh,
+                    cell.bias_ih,
+                    cell.bias_hh,
+                    h_init,
+                )
+                fused_finals.append(layer_out[seq_len - 1])
+            return layer_out, fused_finals
         outputs: List[Tensor] = []
         for t in range(seq_len):
             layer_input = x[t]
@@ -231,7 +264,10 @@ class LSTM(Module):
         """Run the full sequence; returns last-layer hidden states (T, B, H).
 
         Eval mode runs each layer as one fused
-        :func:`repro.kernels.lstm_sequence` call (no gradient tape).
+        :func:`repro.kernels.lstm_sequence` call (no gradient tape);
+        training mode on vectorized backends records one fused-BPTT node
+        per layer, falling back to the per-timestep tape under the
+        ``reference`` backend.
         """
         if x.ndim != 3:
             raise ShapeError(f"LSTM expects (T, B, D) input, got {x.shape}")
@@ -255,6 +291,16 @@ class LSTM(Module):
                     zeros,
                 )
             return Tensor(layer_input)
+        if _use_fused_grad():
+            from repro.nn.fused import fused_lstm_layer
+
+            layer_out = x
+            for cell in self.cells:
+                h0, c0 = cell.init_hidden(batch)
+                layer_out = fused_lstm_layer(
+                    layer_out, cell.weight_ih, cell.weight_hh, cell.bias, h0, c0
+                )
+            return layer_out
         states = [cell.init_hidden(batch) for cell in self.cells]
         outputs: List[Tensor] = []
         for t in range(seq_len):

@@ -88,20 +88,23 @@ class ADMMPruner:
         """
         for target in self.targets:
             var = self.variables[target.name]
-            penalty = self.rho * (target.param.data - var.z + var.u)
+            # One temporary, filled in place: rho * (W - Z + U).
+            penalty = np.subtract(target.param.data, var.z)
+            penalty += var.u
+            penalty *= self.rho
             if target.param.grad is None:
                 target.param.grad = penalty
             else:
-                target.param.grad = target.param.grad + penalty
+                target.param.grad += penalty
 
     def penalty_value(self) -> float:
         """Current value of ``sum_i rho/2 ||W_i - Z_i + U_i||^2`` (Eq. 2)."""
         total = 0.0
         for target in self.targets:
             var = self.variables[target.name]
-            total += 0.5 * self.rho * float(
-                np.sum((target.param.data - var.z + var.u) ** 2)
-            )
+            residual = np.subtract(target.param.data, var.z)
+            residual += var.u
+            total += 0.5 * self.rho * float(np.vdot(residual, residual))
         return total
 
     # -- Z / U updates -----------------------------------------------------
@@ -112,7 +115,8 @@ class ADMMPruner:
             w_plus_u = target.param.data + var.u
             mask = target.projection(w_plus_u)
             var.z = mask.apply_to_array(w_plus_u)
-            var.u = var.u + target.param.data - var.z
+            var.u += target.param.data
+            var.u -= var.z
 
     # -- convergence diagnostics ------------------------------------------
     def primal_residual(self) -> float:
@@ -120,7 +124,8 @@ class ADMMPruner:
         total = 0.0
         for target in self.targets:
             var = self.variables[target.name]
-            total += float(np.sum((target.param.data - var.z) ** 2))
+            diff = np.subtract(target.param.data, var.z)
+            total += float(np.vdot(diff, diff))
         return float(np.sqrt(total))
 
     # -- termination ----------------------------------------------------------

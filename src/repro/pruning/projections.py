@@ -44,6 +44,27 @@ def _top_indices(scores: np.ndarray, keep: int) -> np.ndarray:
     return np.sort(order[:keep])
 
 
+def _top_mask_rows(scores: np.ndarray, keep: int) -> np.ndarray:
+    """Per-row boolean mask keeping the ``keep`` largest of each row.
+
+    Vectorized equivalent of calling :func:`_top_indices` on every row,
+    with identical tie-breaking: ``np.argpartition`` finds each row's
+    ``keep``-th largest value, every strictly larger entry is kept, and
+    ties *at* that threshold are filled lowest-index-first (a cumulative
+    count over the equal entries) until the row's quota is met.
+    """
+    rows, n = scores.shape
+    if keep >= n:
+        return np.ones((rows, n), dtype=bool)
+    split = np.argpartition(scores, n - keep, axis=1)[:, n - keep]
+    kth = scores[np.arange(rows), split][:, None]
+    greater = scores > kth
+    need_equal = keep - greater.sum(axis=1)
+    equal = scores == kth
+    tie_rank = np.cumsum(equal, axis=1)  # 1-based rank among a row's ties
+    return greater | (equal & (tie_rank <= need_equal[:, None]))
+
+
 def project_unstructured(weight: np.ndarray, rate: float) -> PruningMask:
     """Keep the ``1/rate`` fraction of weights with largest magnitude."""
     weight = np.asarray(weight)
@@ -88,7 +109,39 @@ def project_block_columns(
     L2 norms of the column segments *inside that region*, so different row
     strips may keep different columns — the finer granularity that lets BSP
     out-compress whole-matrix structured pruning at equal accuracy.
+
+    Vectorized: all per-strip column norms come from one
+    ``np.add.reduceat`` over the squared matrix, blocks of equal width
+    share one batched top-k (:func:`_top_mask_rows`), and the per-strip
+    column mask expands to rows with a single ``np.repeat`` — this is the
+    projection the ADMM Z-update runs every retraining epoch.
     """
+    weight = grid.validate_matrix(check_2d(weight, "weight"))
+    rows, cols = weight.shape
+    strips = grid.num_row_strips
+    row_starts = np.array([r0 for r0, _ in grid.row_bounds()], dtype=np.int64)
+    scores = np.sqrt(np.add.reduceat(np.square(weight), row_starts, axis=0))
+    col_mask = np.zeros((strips, cols), dtype=bool)
+    by_width: dict = {}
+    for c0, c1 in grid.col_bounds():
+        by_width.setdefault(c1 - c0, []).append((c0, c1))
+    for width, spans in by_width.items():
+        keep = _keep_count(width, rate)
+        cols_idx = np.concatenate([np.arange(c0, c1) for c0, c1 in spans])
+        banks = scores[:, cols_idx].reshape(strips * len(spans), width)
+        col_mask[:, cols_idx] = _top_mask_rows(banks, keep).reshape(
+            strips, len(spans) * width
+        )
+    strip_sizes = np.diff(np.append(row_starts, rows))
+    return PruningMask(np.repeat(col_mask, strip_sizes, axis=0))
+
+
+def _project_block_columns_loop(
+    weight: np.ndarray, grid: BlockGrid, rate: float
+) -> PruningMask:
+    """Seed per-region loop implementation of
+    :func:`project_block_columns`, retained as ground truth for the
+    equivalence tests and the benchmark baseline."""
     weight = grid.validate_matrix(check_2d(weight, "weight"))
     mask = np.zeros(weight.shape, dtype=bool)
     for region in grid.regions():
@@ -110,6 +163,35 @@ def project_bank_balanced(
     rows (and all banks) carry identical nonzero counts — load balance by
     construction, at the cost of coarser weight selection than BSP.
     """
+    weight = check_2d(weight, "weight")
+    rows, cols = weight.shape
+    if bank_size < 1 or bank_size > cols:
+        raise ConfigError(f"bank_size must be in [1, {cols}], got {bank_size}")
+    scores = np.abs(weight)
+    mask = np.zeros(weight.shape, dtype=bool)
+    # All full banks reshape to one (rows * num_full, bank_size) batch and
+    # share a single top-k pass; a ragged trailing bank (different width,
+    # hence different keep count) gets its own pass.
+    num_full, tail = divmod(cols, bank_size)
+    if num_full:
+        full_cols = num_full * bank_size
+        banks = scores[:, :full_cols].reshape(rows * num_full, bank_size)
+        keep = _keep_count(bank_size, rate)
+        mask[:, :full_cols] = _top_mask_rows(banks, keep).reshape(rows, full_cols)
+    if tail:
+        keep = _keep_count(tail, rate)
+        mask[:, num_full * bank_size :] = _top_mask_rows(
+            scores[:, num_full * bank_size :], keep
+        )
+    return PruningMask(mask)
+
+
+def _project_bank_balanced_loop(
+    weight: np.ndarray, bank_size: int, rate: float
+) -> PruningMask:
+    """Seed per-bank/per-row loop implementation of
+    :func:`project_bank_balanced`, retained as the tie-breaking ground
+    truth for the equivalence tests and the benchmark baseline."""
     weight = check_2d(weight, "weight")
     rows, cols = weight.shape
     if bank_size < 1 or bank_size > cols:

@@ -47,23 +47,22 @@ class CSCMatrix:
 
     @classmethod
     def from_dense(cls, dense: np.ndarray) -> "CSCMatrix":
-        """Build from a dense matrix, treating exact zeros as absent."""
+        """Build from a dense matrix, treating exact zeros as absent.
+
+        ``np.nonzero`` on the transpose scans column-major, so values and
+        row indices come out already grouped by column with rows sorted;
+        the column pointer is a cumulative sum of per-column counts
+        (mirroring the CSR construction).
+        """
         dense = check_2d(dense, "dense")
         rows, cols = dense.shape
-        values = []
-        row_indices = []
+        col_idx, row_idx = np.nonzero(dense.T)
         col_ptr = np.zeros(cols + 1, dtype=np.int64)
-        for c in range(cols):
-            nz = np.flatnonzero(dense[:, c])
-            values.append(dense[nz, c])
-            row_indices.append(nz)
-            col_ptr[c + 1] = col_ptr[c] + len(nz)
+        np.cumsum(np.bincount(col_idx, minlength=cols), out=col_ptr[1:])
         return cls(
             shape=(rows, cols),
-            values=np.concatenate(values) if values else np.zeros(0),
-            row_indices=np.concatenate(row_indices)
-            if row_indices
-            else np.zeros(0, dtype=np.int64),
+            values=dense[row_idx, col_idx],
+            row_indices=row_idx.astype(np.int64),
             col_ptr=col_ptr,
         )
 
@@ -71,9 +70,8 @@ class CSCMatrix:
         """Expand back to a dense matrix."""
         rows, cols = self.shape
         dense = np.zeros((rows, cols))
-        for c in range(cols):
-            start, stop = self.col_ptr[c], self.col_ptr[c + 1]
-            dense[self.row_indices[start:stop], c] = self.values[start:stop]
+        col_idx = np.repeat(np.arange(cols), np.diff(self.col_ptr))
+        dense[self.row_indices, col_idx] = self.values
         return dense
 
     @property
@@ -81,15 +79,18 @@ class CSCMatrix:
         return len(self.values)
 
     def spmv(self, x: np.ndarray) -> np.ndarray:
-        """Sparse matrix × dense vector (column-major accumulation)."""
+        """Sparse matrix × dense vector (column-major accumulation).
+
+        The per-column scatter loop collapses to one ``np.bincount`` over
+        the row indices weighted by ``value * x[column]``.
+        """
         x = np.asarray(x)
         if x.shape != (self.shape[1],):
             raise SparsityError(f"x must be ({self.shape[1]},), got {x.shape}")
-        out = np.zeros(self.shape[0])
-        for c in range(self.shape[1]):
-            start, stop = self.col_ptr[c], self.col_ptr[c + 1]
-            out[self.row_indices[start:stop]] += self.values[start:stop] * x[c]
-        return out
+        col_idx = np.repeat(np.arange(self.shape[1]), np.diff(self.col_ptr))
+        return np.bincount(
+            self.row_indices, weights=self.values * x[col_idx], minlength=self.shape[0]
+        )
 
     def nbytes(self, value_bytes: int = 2, index_bytes: int = 2) -> int:
         """Model the stored size: values + row indices + column pointers."""

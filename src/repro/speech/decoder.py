@@ -72,7 +72,15 @@ def decode_batch(
         raise ShapeError(
             f"lengths must be ({logits.shape[1]},), got {lengths.shape}"
         )
+    # One batched argmax over (T, B, C) replaces a per-utterance
+    # greedy_frame_labels call on a sliced (T, C) copy; the per-utterance
+    # remainder feeds smooth_labels/collapse_frames directly, skipping
+    # decode_utterance's re-validation dispatch.
+    frames_all = logits.argmax(axis=2)
     sequences = []
     for b, length in enumerate(lengths):
-        sequences.append(decode_utterance(logits[:length, b], min_duration))
+        frames = frames_all[:length, b]
+        if min_duration > 1:
+            frames = smooth_labels(frames, min_duration)
+        sequences.append(collapse_frames(frames))
     return sequences

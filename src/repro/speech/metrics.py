@@ -42,16 +42,17 @@ def collapse_frames(frame_labels: Sequence[int], drop: int = SILENCE_ID) -> List
     """Frame labels → segment sequence: merge runs, drop ``drop`` symbols.
 
     ``[sil, aa, aa, aa, sil, t, t] → [aa, t]``
+
+    Vectorized: run starts come from ``np.diff`` (the same run-boundary
+    trick as :func:`repro.speech.decoder.smooth_labels`), then the
+    ``drop`` symbol is filtered from the per-run labels.
     """
-    collapsed: List[int] = []
-    previous = None
-    for label in frame_labels:
-        label = int(label)
-        if label != previous:
-            if label != drop:
-                collapsed.append(label)
-            previous = label
-    return collapsed
+    labels = np.asarray(frame_labels, dtype=np.int64).reshape(-1)
+    if labels.size == 0:
+        return []
+    starts = np.concatenate(([0], np.flatnonzero(np.diff(labels)) + 1))
+    run_labels = labels[starts]
+    return run_labels[run_labels != drop].tolist()
 
 
 def phone_error_rate(

@@ -96,20 +96,26 @@ class Trainer:
 
     def _clip_gradients(self) -> None:
         limit = self.config.grad_clip
-        total = 0.0
-        params = list(self.model.parameters())
-        for param in params:
-            if param.grad is not None:
-                total += float(np.sum(param.grad**2))
-        norm = np.sqrt(total)
+        params = [p for p in self.model.parameters() if p.grad is not None]
+        # vdot flattens and accumulates in one BLAS call per array — no
+        # squared temporary per parameter.
+        norm = np.sqrt(sum(float(np.vdot(p.grad, p.grad)) for p in params))
         if norm > limit:
             scale = limit / norm
             for param in params:
-                if param.grad is not None:
-                    param.grad *= scale
+                param.grad *= scale
 
     def train_epoch(self, method: Optional[PruningMethod] = None) -> float:
-        """One pass over the training set; returns the mean batch loss."""
+        """One pass over the training set; returns the mean batch loss.
+
+        On vectorized kernel backends (the default) every batch runs
+        through the fused training fast path: each recurrent layer is one
+        ``gru_sequence_grad`` forward + single-BPTT-backward kernel call
+        (see ``docs/training.md``), so dense training and every
+        ADMM/prune→retrain phase share the same accelerated loop.  Under
+        ``kernels.use_backend("reference")`` the per-timestep autograd
+        tape is used instead.
+        """
         self.model.train()
         loader = DataLoader(
             self.train_set,
