@@ -1,24 +1,29 @@
-"""Benchmark driver: records BENCH_kernels.json, BENCH_engine.json, and
-BENCH_training.json.
+"""Benchmark driver: records BENCH_kernels.json, BENCH_engine.json,
+BENCH_training.json, and BENCH_serving.json.
 
 Runs the hot-path kernel cases, the engine suite (compiled batched
-forward vs per-utterance eager, int8 vs float sparse ops), and the
-training suite (fused BPTT vs autograd tape: epoch time, BPTT step time,
-ADMM prune→retrain epoch, ADMM projection) with a plain
-``time.perf_counter`` harness and writes machine-readable records so
-future PRs have a perf trajectory to regress against::
+forward vs per-utterance eager, int8 vs float sparse ops), the training
+suite (fused BPTT vs autograd tape: epoch time, BPTT step time, ADMM
+prune→retrain epoch, ADMM projection), and the streaming-serving suite
+(chunked stateful sessions through the deadline-batching scheduler vs
+offline batched serving, plus per-chunk latency percentiles) with a
+plain ``time.perf_counter`` harness and writes machine-readable records
+so future PRs have a perf trajectory to regress against::
 
     PYTHONPATH=src python benchmarks/run_bench.py
     PYTHONPATH=src python benchmarks/run_bench.py --repeats 50
-    PYTHONPATH=src python benchmarks/run_bench.py --check BENCH_kernels.json BENCH_engine.json BENCH_training.json
+    PYTHONPATH=src python benchmarks/run_bench.py --check BENCH_kernels.json BENCH_engine.json BENCH_training.json BENCH_serving.json
 
 Each row records ``op``, ``size``, ``backend``, ``median_s``, and
 ``speedup_vs_baseline``, where the baseline backend is the seed
 implementation of that op: the ``reference`` Python loops for sparse ops,
 the autograd-tape ``GRU.forward``/``LSTM.forward`` (``tensor_tape``
 rows) for the sequence kernels and training cases, the per-utterance
-eager path for the engine forward, and the float numpy backend for the
-int8 ops.
+eager path for the engine forward, the float numpy backend for the int8
+ops, and the offline batched path for the streaming throughput rows.
+The tail-latency rows are each their own baseline: raw milliseconds are
+machine-dependent, so the latency gate is the machine-independent
+p95/p50 *ratio* carried in ``speedup_vs_baseline``, not absolute time.
 
 ``--check`` is the CI regression gate: it re-runs the suites and exits
 nonzero if any recorded row got more than ``--threshold`` (default 1.5x)
@@ -274,6 +279,83 @@ def bench_engine(repeats: int) -> List[Dict]:
     return bench_engine_forward(max(3, repeats // 3)) + bench_int8(repeats)
 
 
+def bench_streaming(repeats: int) -> List[Dict]:
+    """The BENCH_serving.json suite: streamed vs offline serving.
+
+    Eight concurrent sessions feed 25-frame chunks round-robin through a
+    :class:`~repro.engine.streaming.StreamScheduler`; the offline
+    baseline decodes the same utterances whole through ``serve_stream``.
+    Reported: the full-workload wall-clock ratio (what chunk-granular
+    state carry costs or buys) and the per-chunk p50/p95 submit→decode
+    latencies, gated by the machine-independent p95/p50 tail ratio.
+    """
+    from repro.eval.stream_bench import (
+        StreamBenchConfig,
+        _stream_pass,
+        build_stream_workload,
+    )
+
+    config = StreamBenchConfig(repeats=1)
+    plan, features, serving = build_stream_workload(config)
+    total_frames = sum(len(utterance) for utterance in features)
+    size = (
+        f"S={config.num_sessions} chunk={config.chunk_frames} "
+        f"{total_frames}f H={config.hidden_size} L=2"
+    )
+
+    all_stats: List = []
+
+    def offline():
+        return engine.serve_stream(plan, features, serving)
+
+    def streaming():
+        hypotheses, stats = _stream_pass(plan, features, config)
+        all_stats.append(stats)
+        return hypotheses
+
+    medians = interleaved_medians(
+        {"offline_batched": offline, "streaming_chunked": streaming}, repeats
+    )
+    baseline = medians["offline_batched"]
+    rows = [
+        {
+            "op": "stream_decode",
+            "size": size,
+            "backend": backend,
+            "median_s": median,
+            "speedup_vs_baseline": baseline / median,
+            "baseline": "offline_batched",
+            "sessions_per_s": config.num_sessions / median,
+        }
+        for backend, median in medians.items()
+    ]
+    p50 = float(np.median([stats.p50_latency_s for stats in all_stats]))
+    p95 = float(np.median([stats.p95_latency_s for stats in all_stats]))
+    rows += [
+        {
+            "op": "stream_chunk_latency",
+            "size": size,
+            "backend": "p50",
+            "median_s": p50,
+            "speedup_vs_baseline": 1.0,
+            "baseline": "p50",
+        },
+        {
+            # backend == baseline exempts the row from the absolute
+            # median_s criterion (raw tail latency is machine-dependent);
+            # what the gate tracks is speedup_vs_baseline — the
+            # machine-independent p50/p95 tail ratio.
+            "op": "stream_chunk_latency",
+            "size": size,
+            "backend": "p95",
+            "median_s": p95,
+            "speedup_vs_baseline": p50 / p95 if p95 else 1.0,
+            "baseline": "p95",
+        },
+    ]
+    return rows
+
+
 # Training cases run per kernel backend; the tape is the seed baseline.
 TRAIN_BACKENDS = {"tensor_tape": "reference", "fused_numpy": "numpy"}
 
@@ -521,6 +603,11 @@ def main(argv=None) -> int:
         help="training-suite output JSON (default: repo-root BENCH_training.json)",
     )
     parser.add_argument(
+        "--serving-out", type=Path, default=REPO_ROOT / "BENCH_serving.json",
+        help="streaming-serving-suite output JSON "
+        "(default: repo-root BENCH_serving.json)",
+    )
+    parser.add_argument(
         "--repeats", type=int, default=30,
         help="timed repetitions per case (median is reported)",
     )
@@ -541,10 +628,11 @@ def main(argv=None) -> int:
     )
     engine_rows = bench_engine(args.repeats)
     training_rows = bench_training(args.repeats)
-    print(render(kernel_rows + engine_rows + training_rows))
+    serving_rows = bench_streaming(max(3, args.repeats // 3))
+    print(render(kernel_rows + engine_rows + training_rows + serving_rows))
 
     if args.check:
-        current = kernel_rows + engine_rows + training_rows
+        current = kernel_rows + engine_rows + training_rows + serving_rows
         problems: List[str] = []
         for baseline_path in args.check:
             recorded = json.loads(baseline_path.read_text())["results"]
@@ -569,7 +657,14 @@ def main(argv=None) -> int:
         json.dumps({"meta": _meta(args.repeats), "results": training_rows}, indent=2)
         + "\n"
     )
-    print(f"\nwrote {args.out}, {args.engine_out} and {args.training_out}")
+    args.serving_out.write_text(
+        json.dumps({"meta": _meta(args.repeats), "results": serving_rows}, indent=2)
+        + "\n"
+    )
+    print(
+        f"\nwrote {args.out}, {args.engine_out}, {args.training_out} "
+        f"and {args.serving_out}"
+    )
     return 0
 
 

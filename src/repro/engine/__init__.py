@@ -14,7 +14,12 @@ Quickstart::
     logits = plan.forward_batch(features, lengths)      # (T, B, C)
     hyps, stats = engine.serve_stream(plan, utterance_features)
 
-See ``docs/engine.md`` for the design.
+    # online, chunk at a time, state carried between chunks:
+    session = engine.StreamingSession(plan, min_duration=2)
+    phones = [p for chunk in chunks for p in session.feed(chunk)]
+    phones += session.finish()
+
+See ``docs/engine.md`` and ``docs/serving.md`` for the design.
 """
 
 from repro.engine.plan import (
@@ -23,6 +28,7 @@ from repro.engine.plan import (
     LSTMLayerPlan,
     ModelPlan,
     OutputPlan,
+    PlanState,
     compile_model,
     compile_rnn,
 )
@@ -32,10 +38,17 @@ from repro.engine.serving import (
     ServingStats,
     serve_stream,
 )
+from repro.engine.streaming import (
+    StreamConfig,
+    StreamScheduler,
+    StreamStats,
+    StreamingSession,
+)
 
 __all__ = [
     "EngineConfig",
     "ModelPlan",
+    "PlanState",
     "GRULayerPlan",
     "LSTMLayerPlan",
     "OutputPlan",
@@ -45,4 +58,8 @@ __all__ = [
     "ServingConfig",
     "ServingStats",
     "serve_stream",
+    "StreamConfig",
+    "StreamScheduler",
+    "StreamStats",
+    "StreamingSession",
 ]

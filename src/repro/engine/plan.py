@@ -22,10 +22,17 @@ Numerics by scheme:
   the memory traffic of the float64 path, and what "16-bit storage,
   wider accumulate" mobile kernels do).
 * ``scheme="int8"`` — input-side projections run through the registry's
-  ``linear_int8`` / ``*_spmm_int8`` kernels (integer accumulation, one
-  dequant); the small per-timestep recurrent GEMMs use dequantized int8
-  weights in float64, where an integer pipeline cannot pay for its
-  per-step quantization overhead.
+  ``linear_int8_rowwise`` / ``*_spmm_int8`` kernels (integer
+  accumulation, one activation scale *per frame*, one dequant); the
+  small per-timestep recurrent GEMMs use dequantized int8 weights in
+  float64, where an integer pipeline cannot pay for its per-step
+  quantization overhead.  Per-frame activation scales plus order-exact
+  integer accumulation make int8 plans **bitwise chunk-exact**: a frame's
+  logits do not depend on which other frames shared the call.
+
+Streaming: :meth:`ModelPlan.run_chunk` threads explicit hidden (and
+cell) state through the same layer code, so a session can feed a chunk
+at a time — see :mod:`repro.engine.streaming` and ``docs/serving.md``.
 """
 
 from __future__ import annotations
@@ -141,7 +148,7 @@ class _DenseWeight:
         if self.scheme == "fp16":
             out = ws.take(key, (x2d.shape[0], self.shape[0]), np.float32)
             return np.matmul(x2d, self.weight_t, out=out)
-        return kernels.linear_int8(self.codes_f, self.scale, x2d)
+        return kernels.linear_int8_rowwise(self.codes_f, self.scale, x2d)
 
     def nbytes(self) -> int:
         count = int(np.prod(self.shape))
@@ -284,9 +291,16 @@ class GRULayerPlan:
             self.bias_folded = folded.astype(self.dtype)
             self.bias_hh_h = rounded_hh[2 * h :].astype(self.dtype)
 
+    def zero_state(self, batch: int) -> Tuple[np.ndarray, ...]:
+        return (np.zeros((batch, self.hidden_size), dtype=self.dtype),)
+
     def forward(
-        self, x: np.ndarray, ws: _Workspace, index: int
-    ) -> Tuple[np.ndarray, np.ndarray]:
+        self,
+        x: np.ndarray,
+        ws: _Workspace,
+        index: int,
+        state: Optional[Tuple[np.ndarray, ...]] = None,
+    ) -> Tuple[np.ndarray, Tuple[np.ndarray, ...]]:
         seq_len, batch, _ = x.shape
         h = self.hidden_size
         flat = x.reshape(seq_len * batch, self.input_size)
@@ -301,17 +315,19 @@ class GRULayerPlan:
         gx_zr = gates_x[:, :, : 2 * h]
         gx_h = gates_x[:, :, 2 * h :]
         out = ws.take(f"out{index}", (seq_len, batch, h), self.dtype)
-        state = np.zeros((batch, h), dtype=self.dtype)
+        hidden = self.zero_state(batch)[0] if state is None else state[0]
         gh_key = f"gh{index}"
         for t in range(seq_len):
-            gh = self.recurrent.step(state, ws, gh_key)
+            gh = self.recurrent.step(hidden, ws, gh_key)
             zr = _sigmoid(gx_zr[t] + gh[:, : 2 * h])
             z = zr[:, :h]
             r = zr[:, h:]
             h_tilde = np.tanh(gx_h[t] + r * (gh[:, 2 * h :] + self.bias_hh_h))
-            state = (1.0 - z) * state + z * h_tilde
-            out[t] = state
-        return out, state
+            hidden = (1.0 - z) * hidden + z * h_tilde
+            out[t] = hidden
+        if seq_len == 0:
+            hidden = hidden.copy()  # never alias the caller's carry state
+        return out, (hidden,)
 
     def nbytes(self) -> int:
         bias_bytes = 2 * 3 * self.hidden_size * (2 if self.scheme else 8)
@@ -341,29 +357,38 @@ class LSTMLayerPlan:
             else _round_bias(bias, scheme, self.dtype)
         )
 
+    def zero_state(self, batch: int) -> Tuple[np.ndarray, ...]:
+        zeros = np.zeros((batch, self.hidden_size), dtype=self.dtype)
+        return (zeros, zeros.copy())
+
     def forward(
-        self, x: np.ndarray, ws: _Workspace, index: int
-    ) -> Tuple[np.ndarray, np.ndarray]:
+        self,
+        x: np.ndarray,
+        ws: _Workspace,
+        index: int,
+        state: Optional[Tuple[np.ndarray, ...]] = None,
+    ) -> Tuple[np.ndarray, Tuple[np.ndarray, ...]]:
         seq_len, batch, _ = x.shape
         h = self.hidden_size
         flat = x.reshape(seq_len * batch, self.input_size)
         gates_x = self.input_proj.project(flat, ws, f"gx{index}")
         gates_x = (gates_x + self.bias).reshape(seq_len, batch, 4 * h)
         out = ws.take(f"out{index}", (seq_len, batch, h), self.dtype)
-        state = np.zeros((batch, h), dtype=self.dtype)
-        cell = np.zeros((batch, h), dtype=self.dtype)
+        hidden, cell = self.zero_state(batch) if state is None else state
         gh_key = f"gh{index}"
         for t in range(seq_len):
-            gates = gates_x[t] + self.recurrent.step(state, ws, gh_key)
+            gates = gates_x[t] + self.recurrent.step(hidden, ws, gh_key)
             input_forget = _sigmoid(gates[:, : 2 * h])
             i = input_forget[:, :h]
             f = input_forget[:, h:]
             g = np.tanh(gates[:, 2 * h : 3 * h])
             o = _sigmoid(gates[:, 3 * h :])
             cell = f * cell + i * g
-            state = o * np.tanh(cell)
-            out[t] = state
-        return out, state
+            hidden = o * np.tanh(cell)
+            out[t] = hidden
+        if seq_len == 0:
+            hidden, cell = hidden.copy(), cell.copy()
+        return out, (hidden, cell)
 
     def nbytes(self) -> int:
         bias_bytes = 4 * self.hidden_size * (2 if self.scheme else 8)
@@ -451,7 +476,7 @@ class OutputPlan:
         elif self.scheme == "fp16":
             logits = flat @ self.weight_t
         else:
-            logits = kernels.linear_int8(
+            logits = kernels.linear_int8_rowwise(
                 self.codes_f, self.scale, flat.astype(np.float64, copy=False)
             )
         if self.bias is not None:
@@ -468,6 +493,58 @@ class OutputPlan:
             2 if self.scheme else 8
         )
         return weight_count * value_bytes + bias_bytes
+
+
+# ---------------------------------------------------------------------------
+# Carry state for streaming execution
+# ---------------------------------------------------------------------------
+class PlanState:
+    """The recurrent carry of a :class:`ModelPlan` between chunks.
+
+    One tuple of ``(B, H)`` arrays per layer — ``(h,)`` for GRU layers,
+    ``(h, c)`` for LSTM layers.  States are value objects: the plan never
+    mutates a state it was handed, and the state it returns never aliases
+    its internal work buffers, so a state can be held across arbitrary
+    other plan calls.  ``stack``/``split`` convert between per-session
+    states and one batched state — how the stream scheduler fuses
+    concurrent sessions into a single ``run_chunk`` call.
+    """
+
+    def __init__(self, layer_states: List[Tuple[np.ndarray, ...]]) -> None:
+        self.layer_states = layer_states
+
+    @property
+    def batch_size(self) -> int:
+        return int(self.layer_states[0][0].shape[0])
+
+    @staticmethod
+    def stack(states: List["PlanState"]) -> "PlanState":
+        """Concatenate per-session states along the batch axis."""
+        if not states:
+            raise ShapeError("cannot stack an empty list of states")
+        num_layers = len(states[0].layer_states)
+        stacked = []
+        for layer in range(num_layers):
+            parts = [s.layer_states[layer] for s in states]
+            stacked.append(
+                tuple(
+                    np.concatenate([p[i] for p in parts], axis=0)
+                    for i in range(len(parts[0]))
+                )
+            )
+        return PlanState(stacked)
+
+    def split(self) -> List["PlanState"]:
+        """One single-row state per batch entry (copies, no aliasing)."""
+        return [
+            PlanState(
+                [
+                    tuple(component[b : b + 1].copy() for component in layer)
+                    for layer in self.layer_states
+                ]
+            )
+            for b in range(self.batch_size)
+        ]
 
 
 # ---------------------------------------------------------------------------
@@ -528,11 +605,25 @@ class ModelPlan:
                 lengths.min() < 0 or lengths.max() > features.shape[0]
             ):
                 raise ShapeError("lengths must lie in [0, T]")
+        x, _ = self._run_layers(features, None)
+        return self._project_out(x)
+
+    def _run_layers(
+        self,
+        features: np.ndarray,
+        layer_states: Optional[List[Tuple[np.ndarray, ...]]],
+    ) -> Tuple[np.ndarray, List[Tuple[np.ndarray, ...]]]:
         x = features
         if self.scheme == "fp16":
             x = x.astype(np.float32)
+        new_states: List[Tuple[np.ndarray, ...]] = []
         for index, layer in enumerate(self.layers):
-            x, _ = layer.forward(x, self._workspace, index)
+            carry = None if layer_states is None else layer_states[index]
+            x, carry = layer.forward(x, self._workspace, index, carry)
+            new_states.append(carry)
+        return x, new_states
+
+    def _project_out(self, x: np.ndarray) -> np.ndarray:
         if self.output is not None:
             x = self.output.project(x)
         if x.dtype != np.float64:
@@ -540,6 +631,53 @@ class ModelPlan:
         elif self.output is None:
             x = x.copy()  # never hand out an internal work buffer
         return x
+
+    def init_state(self, batch: int) -> PlanState:
+        """The all-zero carry state for ``batch`` concurrent streams."""
+        if batch < 0:
+            raise ShapeError(f"batch must be >= 0, got {batch}")
+        return PlanState([layer.zero_state(batch) for layer in self.layers])
+
+    def run_chunk(
+        self, features: np.ndarray, state: Optional[PlanState] = None
+    ) -> Tuple[np.ndarray, PlanState]:
+        """One streaming chunk: ``(T, B, D)`` + carry → ``(logits, carry')``.
+
+        Feeding an utterance through ``run_chunk`` in *any* chunk split
+        replays the per-timestep recurrence of :meth:`forward_batch`
+        exactly; the only ops whose shape depends on the split are the
+        hoisted input/output projections, whose BLAS reduction order may
+        differ — so float/fp16 logits agree to reduction-order rounding
+        (~1e-12 relative for float64) and int8 logits are **bit-exact**
+        (per-frame activation scales, order-exact integer accumulation).
+        Decoded phone sequences are identical in either case; see
+        ``docs/serving.md``.
+
+        ``state=None`` starts a fresh stream (all-zero state, identical
+        to :meth:`forward_batch` on the same frames).  The returned carry
+        never aliases plan work buffers, and zero-length chunks are legal
+        (logits ``(0, B, C)``, state passed through).
+        """
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 3:
+            raise ShapeError(
+                f"run_chunk expects (T, B, D) features, got {features.shape}"
+            )
+        if features.shape[-1] != self.input_dim:
+            raise ShapeError(
+                f"plan compiled for input dim {self.input_dim}, "
+                f"got {features.shape}"
+            )
+        batch = features.shape[1]
+        if state is None:
+            state = self.init_state(batch)
+        elif state.batch_size != batch:
+            raise ShapeError(
+                f"carry state holds batch {state.batch_size}, "
+                f"chunk has batch {batch}"
+            )
+        x, new_states = self._run_layers(features, state.layer_states)
+        return self._project_out(x), PlanState(new_states)
 
     def forward_utterance(self, features: np.ndarray) -> np.ndarray:
         """Single utterance ``(T, D)`` → logits ``(T, C)``."""

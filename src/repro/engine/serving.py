@@ -89,8 +89,10 @@ class MicroBatcher:
     ``submit`` runs a bucket as soon as it is full, so memory stays
     bounded by ``max_batch_size`` utterances per bucket; results arrive
     out of submission order and are retrieved by the id ``submit``
-    returned.  Empty utterances decode to an empty phone sequence
-    without touching the model.
+    returned.  Malformed utterances — empty (0 frames), wrong rank, or
+    wrong feature dimension — are rejected with :class:`ShapeError` at
+    submit time, before they can poison a whole batch inside
+    ``_run_bucket``.
     """
 
     def __init__(self, plan: ModelPlan, config: ServingConfig = ServingConfig()) -> None:
@@ -102,19 +104,26 @@ class MicroBatcher:
         self._next_id = 0
 
     def submit(self, features: np.ndarray) -> int:
-        """Queue one utterance ``(T, D)``; returns its result id."""
+        """Queue one utterance ``(T, D)``; returns its result id.
+
+        Raises :class:`ShapeError` for 0-frame, wrong-rank, or
+        wrong-feature-dim utterances — validation happens here, at the
+        submission boundary, not later inside the batched run.
+        """
         features = np.asarray(features, dtype=np.float64)
         if features.ndim != 2 or features.shape[1] != self.plan.input_dim:
             raise ShapeError(
                 f"expected (T, {self.plan.input_dim}) features, "
                 f"got {features.shape}"
             )
+        if len(features) == 0:
+            raise ShapeError(
+                "cannot submit an empty (0-frame) utterance; an empty "
+                "hypothesis needs no model — skip the submission instead"
+            )
         uid = self._next_id
         self._next_id += 1
         self.stats.utterances += 1
-        if len(features) == 0:
-            self._results[uid] = []
-            return uid
         bucket = (len(features) - 1) // self.config.bucket_width
         queue = self._pending.setdefault(bucket, [])
         queue.append((uid, features))
@@ -162,7 +171,12 @@ def serve_stream(
     utterances: Iterable[np.ndarray],
     config: ServingConfig = ServingConfig(),
 ) -> Tuple[List[List[int]], ServingStats]:
-    """Decode a whole utterance stream; results in submission order."""
+    """Decode a whole utterance stream; results in submission order.
+
+    Every utterance must be well-formed (``(T, D)`` with ``T >= 1`` and
+    the plan's feature dim) — :meth:`MicroBatcher.submit` raises
+    :class:`ShapeError` otherwise.
+    """
     batcher = MicroBatcher(plan, config)
     ids = [batcher.submit(utterance) for utterance in utterances]
     batcher.flush()

@@ -38,3 +38,7 @@ class SimulationError(ReproError, RuntimeError):
 
 class KernelError(ReproError, RuntimeError):
     """A kernel op/backend lookup failed or a kernel was misused."""
+
+
+class StreamError(ReproError, RuntimeError):
+    """A streaming session/frontend was used after finish or out of order."""

@@ -7,6 +7,7 @@ results::
     python -m repro table2 --csv out/table2.csv --engine
     python -m repro figure4
     python -m repro serve-bench --utterances 64
+    python -m repro stream-bench --sessions 8 --chunk-frames 25
     python -m repro all --out results/
 
 Each subcommand prints the rendered measured-vs-paper table and optionally
@@ -93,6 +94,32 @@ def _run_serve_bench(args) -> None:
         print(f"wrote {args.json}")
 
 
+def _run_stream_bench(args) -> None:
+    from repro.eval.stream_bench import (
+        StreamBenchConfig,
+        render_stream_bench,
+        run_stream_bench,
+    )
+
+    config = StreamBenchConfig(
+        num_sessions=args.sessions,
+        chunk_frames=args.chunk_frames,
+        hidden_size=args.hidden_size,
+        max_batch_size=args.max_batch,
+        max_wait_frames=args.max_wait_frames,
+        min_duration=args.min_duration,
+        repeats=args.repeats,
+        seed=args.seed,
+        scheme=None if args.scheme == "none" else args.scheme,
+    )
+    result = run_stream_bench(config)
+    print(render_stream_bench(result))
+    if args.json:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json.dumps(result.to_rows(), indent=2))
+        print(f"wrote {args.json}")
+
+
 def _run_all(args) -> None:
     out: Path = args.out
     out.mkdir(parents=True, exist_ok=True)
@@ -169,11 +196,32 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--json", type=Path, help="write rows as JSON")
     ps.set_defaults(func=_run_serve_bench)
 
+    pst = sub.add_parser(
+        "stream-bench",
+        help="chunked stateful streaming sessions vs offline batched serving",
+    )
+    pst.add_argument("--sessions", type=int, default=8,
+                     help="concurrent streaming sessions")
+    pst.add_argument("--chunk-frames", type=int, default=25,
+                     help="frames per fed chunk")
+    pst.add_argument("--hidden-size", type=int, default=64)
+    pst.add_argument("--max-batch", type=int, default=8,
+                     help="sessions fused per run_chunk call")
+    pst.add_argument("--max-wait-frames", type=int, default=175,
+                     help="deadline: frames of other traffic a chunk may wait")
+    pst.add_argument("--min-duration", type=int, default=2)
+    pst.add_argument("--repeats", type=int, default=3)
+    pst.add_argument("--seed", type=int, default=0)
+    pst.add_argument("--scheme", choices=["none", "fp16", "int8"],
+                     default="none", help="engine quantization scheme")
+    pst.add_argument("--json", type=Path, help="write rows as JSON")
+    pst.set_defaults(func=_run_stream_bench)
+
     pa = sub.add_parser("all", help="everything, archived to a directory")
     pa.add_argument("--out", type=Path, default=Path("results"))
     pa.add_argument("--fast", action="store_true")
     pa.set_defaults(func=_run_all)
-    for sub_parser in (p1, p2, p4, ps, pa):
+    for sub_parser in (p1, p2, p4, ps, pst, pa):
         _add_kernel_backend_arg(sub_parser, top_level=False)
     return parser
 

@@ -1,0 +1,229 @@
+"""Streaming-serving benchmark: chunked stateful sessions vs offline.
+
+The offline serving path (:func:`repro.engine.serve_stream`) decodes
+complete utterances through length-bucketed micro-batches — maximum
+throughput, but a client hears nothing until its whole utterance has
+been captured *and* decoded.  The streaming path trades some throughput
+for bounded latency: concurrent sessions feed fixed-size chunks into a
+:class:`~repro.engine.streaming.StreamScheduler`, which fuses equal-length
+chunks across sessions under a ``max_wait_frames`` deadline.
+
+This harness runs the same synthetic utterance stream down both paths
+and reports what chunking costs and buys: wall clock and sessions/sec,
+the per-chunk p50/p95 submit→decode latency, the scheduler's mean fused
+batch size, and the fraction of sessions whose streamed hypothesis
+matches the offline decode exactly (the chunk-exactness guarantee says
+all of them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.engine import (
+    ServingConfig,
+    StreamConfig,
+    StreamScheduler,
+    compile_model,
+    serve_stream,
+)
+from repro.errors import ConfigError
+from repro.eval.report import fmt, format_table
+from repro.speech.model import AcousticModelConfig, GRUAcousticModel
+from repro.speech.synth import SynthConfig, make_dataset
+from repro.utils.timing import timed_median
+
+#: Synthetic utterances long enough to span several chunks (the default
+#: SynthConfig's are mostly shorter than one 25-frame chunk).
+STREAM_SYNTH = SynthConfig(min_phones=6, max_phones=18, min_duration=4, max_duration=10)
+
+
+@dataclass(frozen=True)
+class StreamBenchConfig:
+    """Workload and measurement settings (defaults: laptop-scale GRU)."""
+
+    num_sessions: int = 8
+    chunk_frames: int = 25
+    hidden_size: int = 64
+    num_layers: int = 2
+    max_batch_size: int = 8
+    #: Lets a full batch of 8 co-arriving 25-frame chunks accumulate
+    #: (7 × 25 frames of other traffic) before the deadline fires.
+    max_wait_frames: int = 175
+    min_duration: int = 2
+    repeats: int = 3
+    seed: int = 0
+    scheme: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.num_sessions < 1:
+            raise ConfigError(
+                f"num_sessions must be >= 1, got {self.num_sessions}"
+            )
+        if self.chunk_frames < 1:
+            raise ConfigError(f"chunk_frames must be >= 1, got {self.chunk_frames}")
+        if self.repeats < 1:
+            raise ConfigError(f"repeats must be >= 1, got {self.repeats}")
+
+
+@dataclass
+class StreamBenchRow:
+    """One measured serving path."""
+
+    path: str
+    wall_s: float
+    sessions_per_s: float
+    speedup: float  # vs the offline batched baseline (< 1 = chunking cost)
+    decode_match: float  # fraction of sessions matching the offline decode
+    p50_latency_ms: Optional[float] = None
+    p95_latency_ms: Optional[float] = None
+    mean_batch_size: Optional[float] = None
+
+
+@dataclass
+class StreamBenchResult:
+    """All measured rows plus the workload description."""
+
+    rows: List[StreamBenchRow]
+    num_sessions: int
+    total_frames: int
+    total_chunks: int
+
+    def to_rows(self) -> List[Dict[str, Any]]:
+        """Plain dict rows for JSON archival."""
+        return [
+            {
+                "path": row.path,
+                "wall_s": row.wall_s,
+                "sessions_per_s": row.sessions_per_s,
+                "speedup": row.speedup,
+                "decode_match": row.decode_match,
+                "p50_latency_ms": row.p50_latency_ms,
+                "p95_latency_ms": row.p95_latency_ms,
+                "mean_batch_size": row.mean_batch_size,
+            }
+            for row in self.rows
+        ]
+
+
+def build_stream_workload(config: StreamBenchConfig):
+    """The benchmark workload: ``(plan, features, serving_config)``.
+
+    Shared by :func:`run_stream_bench` and the ``benchmarks/run_bench.py``
+    serving suite, so the recorded ``BENCH_serving.json`` rows measure
+    exactly the workload the ``stream-bench`` CLI reports on.
+    """
+    dataset = make_dataset(config.num_sessions, STREAM_SYNTH, seed=config.seed)
+    features = [example.features for example in dataset.examples]
+    model = GRUAcousticModel(
+        AcousticModelConfig(
+            hidden_size=config.hidden_size, num_layers=config.num_layers
+        ),
+        rng=config.seed,
+    ).eval()
+    plan = compile_model(model, scheme=config.scheme)
+    serving = ServingConfig(min_duration=config.min_duration)
+    return plan, features, serving
+
+
+def _stream_pass(plan, features, config: StreamBenchConfig):
+    """One full streamed workload: round-robin chunks, then finish."""
+    scheduler = StreamScheduler(
+        plan,
+        StreamConfig(
+            max_batch_size=config.max_batch_size,
+            max_wait_frames=config.max_wait_frames,
+            min_duration=config.min_duration,
+        ),
+    )
+    sids = [scheduler.open() for _ in features]
+    hypotheses = {sid: [] for sid in sids}
+    longest = max(len(utterance) for utterance in features)
+    for start in range(0, longest, config.chunk_frames):
+        for sid, utterance in zip(sids, features):
+            chunk = utterance[start : start + config.chunk_frames]
+            if len(chunk):
+                scheduler.feed(sid, chunk)
+    for sid in sids:
+        hypotheses[sid].extend(scheduler.finish(sid))
+    return [hypotheses[sid] for sid in sids], scheduler.stats
+
+
+def run_stream_bench(
+    config: StreamBenchConfig = StreamBenchConfig(),
+) -> StreamBenchResult:
+    """Measure offline-batched vs streamed serving on one workload."""
+    plan, features, serving = build_stream_workload(config)
+    offline_time, (offline_hyps, _) = timed_median(
+        lambda: serve_stream(plan, features, serving), config.repeats
+    )
+    rows = [
+        StreamBenchRow(
+            path="offline batched",
+            wall_s=offline_time,
+            sessions_per_s=config.num_sessions / offline_time,
+            speedup=1.0,
+            decode_match=1.0,
+        )
+    ]
+    stream_time, (stream_hyps, stats) = timed_median(
+        lambda: _stream_pass(plan, features, config), config.repeats
+    )
+    match = sum(
+        streamed == offline
+        for streamed, offline in zip(stream_hyps, offline_hyps)
+    ) / len(features)
+    rows.append(
+        StreamBenchRow(
+            path=f"streaming chunk={config.chunk_frames}",
+            wall_s=stream_time,
+            sessions_per_s=config.num_sessions / stream_time,
+            speedup=offline_time / stream_time,
+            decode_match=float(match),
+            p50_latency_ms=stats.p50_latency_s * 1e3,
+            p95_latency_ms=stats.p95_latency_s * 1e3,
+            mean_batch_size=stats.mean_batch_size,
+        )
+    )
+    return StreamBenchResult(
+        rows=rows,
+        num_sessions=config.num_sessions,
+        total_frames=sum(len(utterance) for utterance in features),
+        total_chunks=stats.chunks,
+    )
+
+
+def render_stream_bench(result: StreamBenchResult) -> str:
+    """Render the measured serving paths as a table."""
+    rows = []
+    for row in result.rows:
+        rows.append(
+            [
+                row.path,
+                fmt(row.wall_s * 1e3, 1),
+                fmt(row.sessions_per_s, 1),
+                fmt(row.speedup, 2) + "x",
+                fmt(100.0 * row.decode_match, 1) + "%",
+                fmt(row.p50_latency_ms, 2),
+                fmt(row.p95_latency_ms, 2),
+                fmt(row.mean_batch_size, 1),
+            ]
+        )
+    return format_table(
+        [
+            "path",
+            "wall ms",
+            "sessions/s",
+            "speedup",
+            "decode match",
+            "p50 ms",
+            "p95 ms",
+            "mean batch",
+        ],
+        rows,
+        title=(
+            f"Streaming benchmark: {result.num_sessions} concurrent sessions, "
+            f"{result.total_frames} frames, {result.total_chunks} chunks"
+        ),
+    )

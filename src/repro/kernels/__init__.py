@@ -21,6 +21,7 @@ backend.
 
 from __future__ import annotations
 
+import os
 from typing import Optional, Tuple
 
 import numpy as np
@@ -33,6 +34,7 @@ from repro.kernels.quantized import (
     Int8CSRPlan,
     int8_bspc_plan,
     int8_codes,
+    int8_codes_axis,
     int8_csr_plan,
 )
 from repro.kernels.registry import (
@@ -58,11 +60,13 @@ __all__ = [
     "int8_csr_plan",
     "int8_bspc_plan",
     "int8_codes",
+    "int8_codes_axis",
     "spmv",
     "spmm",
     "spmv_int8",
     "spmm_int8",
     "linear_int8",
+    "linear_int8_rowwise",
     "gru_sequence",
     "lstm_sequence",
     "gru_sequence_grad",
@@ -104,10 +108,20 @@ def spmm_int8(matrix, x: np.ndarray, backend: Optional[str] = None) -> np.ndarra
 def linear_int8(
     codes: np.ndarray, scale: float, x: np.ndarray, backend: Optional[str] = None
 ) -> np.ndarray:
-    """Dense int8 projection ``x @ codes.T`` with integer accumulation —
-    the op the compiled engine uses for quantized sequence input
-    projections."""
+    """Dense int8 projection ``x @ codes.T`` with integer accumulation
+    and one activation scale per call."""
     return registry.get("linear_int8", backend)(codes, scale, x)
+
+
+def linear_int8_rowwise(
+    codes: np.ndarray, scale: float, x: np.ndarray, backend: Optional[str] = None
+) -> np.ndarray:
+    """Dense int8 projection with one activation scale per *row* of ``x``
+    (per frame) — each row's result is independent of the rest of the
+    batch, so compiled int8 plans stay bitwise chunk-exact under
+    streaming execution.  This is the op the engine uses for quantized
+    sequence/output projections."""
+    return registry.get("linear_int8_rowwise", backend)(codes, scale, x)
 
 
 def gru_sequence(
@@ -171,3 +185,13 @@ def lstm_sequence_grad(
     yields ``(dx, dw_ih, dw_hh, dbias, dh0, dc0)``.
     """
     return registry.get("lstm_sequence_grad", backend)(x, w_ih, w_hh, bias, h0, c0)
+
+
+# The REPRO_KERNEL_BACKEND environment variable selects the process-wide
+# default backend at import time — how CI runs the whole test suite under
+# each backend without touching test code.  An unknown name fails fast
+# with the registry's own error.
+_env_backend = os.environ.get("REPRO_KERNEL_BACKEND")
+if _env_backend:
+    set_default_backend(_env_backend)
+del _env_backend

@@ -3,8 +3,12 @@
 The paper's deployment story is that compressed weights are cheap to
 *move*; this module makes them cheap to *compute with* as well.  Weights
 are stored as symmetric int8 codes plus one per-tensor scale, activations
-are quantized once per call, and every kernel accumulates products in
-integer arithmetic — dequantizing exactly once, at the very end.  That
+are quantized on the fly — per call for the ``spmv`` paths, per column /
+per row (one scale per frame) for the batched ``spmm`` /
+``linear_int8_rowwise`` paths, which makes each frame's result
+independent of the rest of the batch (the streaming engine's
+chunk-exactness rests on this) — and every kernel accumulates products
+in integer arithmetic, dequantizing exactly once, at the very end.  That
 turns the float64 gather/multiply/reduce pipelines of the numpy backend
 into 1-byte gathers and 4-byte accumulations, so int8 is measurably
 faster than float on the memory-bound sparse ops, not just smaller.
@@ -36,6 +40,29 @@ from repro.kernels.registry import registry
 #: single float32 GEMM (``127 * 127 * k < 2**24``); wider reductions are
 #: chunked and the partial sums combined in float64 (exact below ``2**53``).
 F32_EXACT_INNER = 1024
+
+
+def int8_codes_axis(array: np.ndarray, axis: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Symmetric int8 quantization with one scale per slice along ``axis``.
+
+    Returns ``(codes, scales)`` where ``scales`` keeps the reduced axis as
+    a broadcastable length-1 dimension and all-zero slices get scale 1.0
+    (their codes are all zero either way).  Because each slice is
+    quantized independently of its neighbours, results are invariant to
+    how the orthogonal dimension is chunked — the property the streaming
+    engine's chunk-exactness guarantee rests on: quantizing activations
+    per *frame* makes the int8 projection of frame ``t`` independent of
+    which other frames share the call.
+    """
+    array = np.asarray(array, dtype=np.float64)
+    if array.size == 0:
+        shape = list(array.shape)
+        shape[axis] = 1
+        return np.zeros(array.shape, dtype=np.int8), np.ones(shape)
+    peak = np.max(np.abs(array), axis=axis, keepdims=True)
+    scales = np.where(peak > 0.0, peak / 127.0, 1.0)
+    codes = np.clip(np.round(array / scales), -127, 127).astype(np.int8)
+    return codes, scales
 
 
 def int8_codes(array: np.ndarray) -> Tuple[np.ndarray, float]:
@@ -171,12 +198,16 @@ def csr_spmv_int8(matrix, x: np.ndarray) -> np.ndarray:
 
 @registry.register("csr_spmm_int8", "numpy")
 def csr_spmm_int8(matrix, x: np.ndarray) -> np.ndarray:
-    """Batched :func:`csr_spmv_int8`: the input matrix is quantized once,
-    then each column runs the 1-D int16/int32 reduceat fast path."""
+    """Batched :func:`csr_spmv_int8` with **per-column** activation scales:
+    each input column is quantized independently (one scale per column),
+    then runs the 1-D int16/int32 reduceat fast path.  Per-column scaling
+    makes every output column independent of which other columns share
+    the call — the chunk-invariance the streaming engine relies on — and
+    is at least as accurate as one scale across the whole batch."""
     plan = int8_csr_plan(matrix)
     out = np.zeros((matrix.shape[0], x.shape[1]))
     if plan.nonempty_rows.size:
-        xq, xs = int8_codes(x)
+        xq, xs = int8_codes_axis(x, axis=0)
         for j in range(x.shape[1]):
             np.take(xq[:, j], matrix.col_indices, out=plan.gather_scratch)
             np.multiply(
@@ -186,7 +217,8 @@ def csr_spmm_int8(matrix, x: np.ndarray) -> np.ndarray:
             out[plan.nonempty_rows, j] = np.add.reduceat(
                 plan.product_scratch, plan.segment_starts, dtype=np.int32
             )
-        out *= plan.scale * xs
+        out *= plan.scale
+        out *= xs
     return out
 
 
@@ -219,21 +251,24 @@ def bspc_spmv_int8(matrix, x: np.ndarray) -> np.ndarray:
 
 @registry.register("bspc_spmm_int8", "numpy")
 def bspc_spmm_int8(matrix, x: np.ndarray) -> np.ndarray:
-    """Batched :func:`bspc_spmv_int8` over the columns of ``x``."""
+    """Batched :func:`bspc_spmv_int8` over the columns of ``x``, with
+    **per-column** activation scales (column results are independent of
+    the rest of the batch; see :func:`csr_spmm_int8`)."""
     plan = int8_bspc_plan(matrix)
     base = plan.base
     rows = base.shape[0]
     batch = x.shape[1]
     out = np.zeros((rows + 1, batch))
     if base.panels.size:
-        xq, xs = int8_codes(x)
+        xq, xs = int8_codes_axis(x, axis=0)
         gathered = xq[base.gather_cols].astype(plan.codes_f.dtype)
         partial = np.matmul(plan.codes_f, gathered)
         if base.scatter_unique:
             out[base.flat_rows] += partial.reshape(-1, batch)
         else:
             np.add.at(out, base.flat_rows, partial.reshape(-1, batch))
-        out *= plan.scale * xs
+        out *= plan.scale
+        out *= xs
     return out[:rows]
 
 
@@ -266,6 +301,44 @@ def linear_int8(codes: np.ndarray, scale: float, x: np.ndarray) -> np.ndarray:
     return acc * (scale * xs)
 
 
+def _int_gemm(xqf: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Exact integer-valued ``xqf @ weights.T`` in float32 BLAS.
+
+    Because every operand is an integer of magnitude ≤ 127 and partial
+    sums stay below 2²⁴ per :data:`F32_EXACT_INNER` chunk, the result is
+    exact integer arithmetic — and therefore independent of BLAS
+    reduction order, tile shape, or how many rows share the call.
+    """
+    k = weights.shape[1]
+    if k <= F32_EXACT_INNER:
+        return (xqf @ weights.T).astype(np.float64)
+    acc = np.zeros((xqf.shape[0], weights.shape[0]))
+    for start in range(0, k, F32_EXACT_INNER):
+        chunk = slice(start, start + F32_EXACT_INNER)
+        acc += xqf[:, chunk] @ weights[:, chunk].T
+    return acc
+
+
+@registry.register("linear_int8_rowwise", "numpy")
+def linear_int8_rowwise(codes: np.ndarray, scale: float, x: np.ndarray) -> np.ndarray:
+    """Dense int8 projection with **per-row** activation scales.
+
+    Same integer pipeline as :func:`linear_int8`, but each row of ``x``
+    (one frame) is quantized with its own scale, so row ``i`` of the
+    result depends only on ``x[i]`` — bit-identical whether the frame is
+    projected alone, inside a chunk, or inside the whole utterance.  This
+    is the op the compiled engine uses for quantized projections, making
+    int8 plans bitwise chunk-exact under streaming execution.
+    """
+    codes = np.asarray(codes)
+    weights = codes if codes.dtype == np.float32 else codes.astype(np.float32)
+    xq, xs = int8_codes_axis(x, axis=1)
+    acc = _int_gemm(xq.astype(np.float32), weights)
+    acc *= scale
+    acc *= xs
+    return acc
+
+
 # ---------------------------------------------------------------------------
 # Reference backend — plan-free int64 accumulation, exact ground truth
 # ---------------------------------------------------------------------------
@@ -285,16 +358,21 @@ def csr_spmv_int8_ref(matrix, x: np.ndarray) -> np.ndarray:
 
 @registry.register("csr_spmm_int8", "reference")
 def csr_spmm_int8_ref(matrix, x: np.ndarray) -> np.ndarray:
-    """Row-by-row int64 accumulation, one output row at a time."""
+    """Row-by-row int64 accumulation with per-column activation scales."""
     codes, scale = int8_codes(matrix.values)
-    xq, xs = int8_codes(x)
+    xq, xs = int8_codes_axis(x, axis=0)
     acc = np.zeros((matrix.shape[0], x.shape[1]), dtype=np.int64)
     for r in range(matrix.shape[0]):
         start, stop = matrix.row_ptr[r], matrix.row_ptr[r + 1]
         acc[r] = codes[start:stop].astype(np.int64) @ xq[
             matrix.col_indices[start:stop], :
         ].astype(np.int64)
-    return acc.astype(np.float64) * (scale * xs)
+    # Same two-step dequant as the numpy backend (float rounding must
+    # agree bit-for-bit between backends).
+    out = acc.astype(np.float64)
+    out *= scale
+    out *= xs
+    return out
 
 
 def _bspc_panel_scale(matrix) -> float:
@@ -329,9 +407,10 @@ def bspc_spmv_int8_ref(matrix, x: np.ndarray) -> np.ndarray:
 
 @registry.register("bspc_spmm_int8", "reference")
 def bspc_spmm_int8_ref(matrix, x: np.ndarray) -> np.ndarray:
-    """Batched variant of :func:`bspc_spmv_int8_ref`."""
+    """Batched variant of :func:`bspc_spmv_int8_ref` with per-column
+    activation scales (matching the numpy backend exactly)."""
     scale = _bspc_panel_scale(matrix)
-    xq, xs = int8_codes(x)
+    xq, xs = int8_codes_axis(x, axis=0)
     acc = np.zeros((matrix.grid.rows, x.shape[1]), dtype=np.int64)
     for strip in matrix.strips:
         if not strip.kept_rows.size:
@@ -344,7 +423,10 @@ def bspc_spmm_int8_ref(matrix, x: np.ndarray) -> np.ndarray:
                     block.kept_cols, :
                 ].astype(np.int64)
         acc[strip.kept_rows] += strip_acc
-    return acc.astype(np.float64) * (scale * xs)
+    out = acc.astype(np.float64)
+    out *= scale
+    out *= xs
+    return out
 
 
 @registry.register("linear_int8", "reference")
@@ -354,3 +436,16 @@ def linear_int8_ref(codes: np.ndarray, scale: float, x: np.ndarray) -> np.ndarra
     xq, xs = int8_codes(x)
     acc = xq.astype(np.int64) @ codes64.T
     return acc.astype(np.float64) * (scale * xs)
+
+
+@registry.register("linear_int8_rowwise", "reference")
+def linear_int8_rowwise_ref(
+    codes: np.ndarray, scale: float, x: np.ndarray
+) -> np.ndarray:
+    """Int64 matmul with per-row activation scales — exact ground truth."""
+    codes64 = np.asarray(codes).astype(np.int64)
+    xq, xs = int8_codes_axis(x, axis=1)
+    acc = (xq.astype(np.int64) @ codes64.T).astype(np.float64)
+    acc *= scale
+    acc *= xs
+    return acc

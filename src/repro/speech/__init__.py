@@ -8,9 +8,15 @@ from repro.speech.augment import (
     spectral_tilt,
     time_warp,
 )
-from repro.speech.decoder import decode_batch, decode_utterance, greedy_frame_labels
+from repro.speech.decoder import (
+    IncrementalDecoder,
+    decode_batch,
+    decode_utterance,
+    greedy_frame_labels,
+)
 from repro.speech.features import (
     FeatureConfig,
+    StreamingFrontend,
     add_deltas,
     log_mel_spectrogram,
     mel_filterbank,
@@ -53,6 +59,7 @@ __all__ = [
     "synth_waveform",
     "waveform_example",
     "FeatureConfig",
+    "StreamingFrontend",
     "log_mel_spectrogram",
     "mfcc",
     "mel_filterbank",
@@ -65,6 +72,7 @@ __all__ = [
     "decode_utterance",
     "decode_batch",
     "greedy_frame_labels",
+    "IncrementalDecoder",
     "levenshtein",
     "phone_error_rate",
     "collapse_frames",

@@ -8,11 +8,11 @@ the duration constraint a full HMM/WFST decoder enforces.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
-from repro.errors import ShapeError
+from repro.errors import ConfigError, ShapeError, StreamError
 from repro.speech.metrics import collapse_frames
 from repro.speech.phones import SILENCE_ID
 
@@ -58,6 +58,102 @@ def decode_utterance(
     frames = greedy_frame_labels(logits)
     frames = smooth_labels(frames, min_duration)
     return collapse_frames(frames, drop=drop)
+
+
+class IncrementalDecoder:
+    """Streaming :func:`decode_utterance`: frame labels in, phones out.
+
+    Feeding the per-frame argmax labels of an utterance through
+    :meth:`push` in arbitrary chunks and closing with :meth:`finish`
+    yields exactly ``collapse_frames(smooth_labels(labels, min_duration))``
+    — the offline decode — while committing each phone as early as its
+    fate is sealed.
+
+    The duration-smoothing of :func:`smooth_labels` decides a run's label
+    by whether the run *survives* (length ≥ ``min_duration``, or it is
+    the very first run); a short run inherits the label of the nearest
+    surviving run before it.  Under streaming, the only undecided piece
+    is the **trailing boundary run**: its length can still grow, so it is
+    held back until it either reaches ``min_duration`` (its label is
+    sealed — committed immediately) or ends (it inherits, which collapses
+    into the previous smoothed run and emits nothing).  Everything before
+    the boundary run is final, so per-phone latency is bounded by
+    ``min_duration - 1`` frames past the run's start.
+    """
+
+    def __init__(self, min_duration: int = 1, drop: int = SILENCE_ID) -> None:
+        if min_duration < 1:
+            raise ConfigError(f"min_duration must be >= 1, got {min_duration}")
+        self.min_duration = min_duration
+        self.drop = drop
+        self._run_label: Optional[int] = None  # trailing (boundary) run
+        self._run_length = 0
+        self._run_committed = False
+        self._first_run = True  # smooth_labels: the first run always survives
+        self._last_surviving: Optional[int] = None
+        self._prev_smoothed: Optional[int] = None  # collapse-stage carry
+        self._finished = False
+
+    @property
+    def pending(self) -> bool:
+        """Whether an undecided boundary run is currently held back."""
+        return self._run_label is not None and not self._run_committed
+
+    def _emit(self, smoothed: int, out: List[int]) -> None:
+        """The collapse stage: merge equal smoothed runs, drop silence."""
+        if smoothed != self._prev_smoothed:
+            if smoothed != self.drop:
+                out.append(smoothed)
+            self._prev_smoothed = smoothed
+
+    def _close_run(self, out: List[int]) -> None:
+        """The boundary run just ended; resolve its smoothed label."""
+        if not self._run_committed:
+            survives = self._first_run or self._run_length >= self.min_duration
+            if survives:
+                self._last_surviving = self._run_label
+                self._emit(self._run_label, out)
+            else:
+                # Inherit the nearest surviving label — which is also the
+                # previous run's smoothed label, so this never emits.
+                self._emit(self._last_surviving, out)
+        self._first_run = False
+
+    def push(self, labels: np.ndarray) -> List[int]:
+        """Feed frame labels; returns the phones committed by this chunk."""
+        if self._finished:
+            raise StreamError("decoder already finished; open a new one")
+        labels = np.asarray(labels, dtype=np.int64)
+        if labels.ndim != 1:
+            raise ShapeError(f"labels must be 1-D, got shape {labels.shape}")
+        out: List[int] = []
+        for label in labels.tolist():
+            if label == self._run_label:
+                self._run_length += 1
+            else:
+                if self._run_label is not None:
+                    self._close_run(out)
+                self._run_label = label
+                self._run_length = 1
+                self._run_committed = False
+            if not self._run_committed and (
+                self._first_run or self._run_length >= self.min_duration
+            ):
+                # Fate sealed: the run survives no matter how it ends.
+                self._last_surviving = self._run_label
+                self._emit(self._run_label, out)
+                self._run_committed = True
+        return out
+
+    def finish(self) -> List[int]:
+        """Close the stream: resolve the boundary run; the decoder closes."""
+        if self._finished:
+            raise StreamError("decoder already finished; open a new one")
+        self._finished = True
+        out: List[int] = []
+        if self._run_label is not None:
+            self._close_run(out)
+        return out
 
 
 def decode_batch(

@@ -11,11 +11,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
+from typing import Optional
 
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, StreamError
 
 
 def hz_to_mel(hz) -> np.ndarray:
@@ -136,6 +137,29 @@ class FeatureConfig:
             )
 
 
+def _frames_to_log_mel(frames: np.ndarray, config: FeatureConfig) -> np.ndarray:
+    """Emphasized frames ``(T, frame_length)`` → log-mel ``(T, num_mels)``.
+
+    The shared per-frame pipeline of the offline and streaming front
+    ends.  Every op here is *row-stable*: windowing and log are
+    elementwise, ``rfft`` transforms each row independently, and the mel
+    projection runs through ``np.einsum`` (fixed per-element reduction
+    order) rather than BLAS — whose reduction order varies with the
+    number of rows — so a frame's features are bit-identical whether it
+    is featurized alone, inside a chunk, or inside the whole utterance.
+    That is what lets :class:`StreamingFrontend` be bit-exact with
+    :func:`log_mel_spectrogram`.
+    """
+    window = _cached_window(config.frame_length)
+    spectrum = np.abs(np.fft.rfft(frames * window, n=config.fft_size)) ** 2
+    bank = _cached_filterbank(
+        config.num_mels, config.fft_size, config.sample_rate,
+        0.0, config.sample_rate / 2.0,
+    )
+    mel_energy = np.einsum("tf,mf->tm", spectrum, bank, optimize=False)
+    return np.log(np.maximum(mel_energy, config.log_floor))
+
+
 def log_mel_spectrogram(signal: np.ndarray, config: FeatureConfig = FeatureConfig()) -> np.ndarray:
     """Waveform → log-mel features of shape ``(num_frames, num_mels)``."""
     signal = np.asarray(signal, dtype=np.float64)
@@ -144,14 +168,7 @@ def log_mel_spectrogram(signal: np.ndarray, config: FeatureConfig = FeatureConfi
     else:
         emphasized = signal
     frames = frame_signal(emphasized, config.frame_length, config.hop_length)
-    window = _cached_window(config.frame_length)
-    spectrum = np.abs(np.fft.rfft(frames * window, n=config.fft_size)) ** 2
-    bank = _cached_filterbank(
-        config.num_mels, config.fft_size, config.sample_rate,
-        0.0, config.sample_rate / 2.0,
-    )
-    mel_energy = spectrum @ bank.T
-    return np.log(np.maximum(mel_energy, config.log_floor))
+    return _frames_to_log_mel(frames, config)
 
 
 def mfcc(signal: np.ndarray, config: FeatureConfig = FeatureConfig()) -> np.ndarray:
@@ -159,6 +176,98 @@ def mfcc(signal: np.ndarray, config: FeatureConfig = FeatureConfig()) -> np.ndar
     log_mels = log_mel_spectrogram(signal, config)
     basis = dct_matrix(config.num_mfcc, config.num_mels)
     return log_mels @ basis.T
+
+
+class StreamingFrontend:
+    """Chunked log-mel featurization, **bit-exact** with the offline path.
+
+    Raw audio arrives in arbitrary-size pieces; :meth:`push` returns the
+    log-mel features of every frame whose samples have fully arrived and
+    :meth:`finish` emits the zero-padded tail frames.  Concatenating all
+    returned arrays equals ``log_mel_spectrogram(whole_signal, config)``
+    bit for bit, for any split of the signal:
+
+    * the pre-emphasis filter carries its one-sample history across
+      pushes (the very first sample passes through unfiltered, exactly
+      as offline);
+    * the overlap tail — the up to ``frame_length - hop_length``
+      emphasized samples shared with future frames — stays buffered until
+      the frames that need it are complete;
+    * ``finish`` pads the remaining buffer with zeros exactly as
+      :func:`frame_signal` pads the full signal (padding happens *after*
+      pre-emphasis offline too, so the values match);
+    * the per-frame pipeline (:func:`_frames_to_log_mel`) is row-stable,
+      so emitting frames in different batches cannot change their bits.
+    """
+
+    def __init__(self, config: FeatureConfig = FeatureConfig()) -> None:
+        self.config = config
+        self._buffer = np.zeros(0)  # emphasized samples not yet fully consumed
+        self._prev_sample: Optional[float] = None  # pre-emphasis carry
+        self._samples = 0  # raw samples received
+        self._frames = 0  # frames emitted so far
+        self._finished = False
+
+    @property
+    def samples_received(self) -> int:
+        return self._samples
+
+    @property
+    def frames_emitted(self) -> int:
+        return self._frames
+
+    def _check_open(self) -> None:
+        if self._finished:
+            raise StreamError("frontend already finished; open a new one")
+
+    def push(self, samples: np.ndarray) -> np.ndarray:
+        """Feed raw samples; returns features ``(k, num_mels)``, k >= 0."""
+        self._check_open()
+        samples = np.asarray(samples, dtype=np.float64)
+        if samples.ndim != 1:
+            raise ConfigError(f"samples must be 1-D, got shape {samples.shape}")
+        if samples.size:
+            emphasized = np.empty_like(samples)
+            first = samples[0] if self._prev_sample is None else (
+                samples[0] - self.config.preemphasis * self._prev_sample
+            )
+            emphasized[0] = first
+            emphasized[1:] = samples[1:] - self.config.preemphasis * samples[:-1]
+            self._prev_sample = float(samples[-1])
+            self._samples += samples.size
+            self._buffer = np.concatenate([self._buffer, emphasized])
+        frame_len, hop = self.config.frame_length, self.config.hop_length
+        ready = (
+            0 if self._samples < frame_len
+            else (self._samples - frame_len) // hop + 1
+        )
+        count = ready - self._frames
+        if count <= 0:
+            return np.zeros((0, self.config.num_mels))
+        frames = sliding_window_view(self._buffer, frame_len)[: count * hop : hop]
+        features = _frames_to_log_mel(frames, self.config)
+        self._frames += count
+        self._buffer = self._buffer[count * hop :].copy()  # release the base
+        return features
+
+    def finish(self) -> np.ndarray:
+        """Emit the zero-padded tail frames; the frontend closes."""
+        self._check_open()
+        self._finished = True
+        frame_len, hop = self.config.frame_length, self.config.hop_length
+        if self._samples == 0:
+            return np.zeros((0, self.config.num_mels))
+        total = max(1, 1 + int(np.ceil((self._samples - frame_len) / hop)))
+        count = total - self._frames
+        if count <= 0:
+            return np.zeros((0, self.config.num_mels))
+        padded = np.zeros((count - 1) * hop + frame_len)
+        padded[: len(self._buffer)] = self._buffer
+        frames = sliding_window_view(padded, frame_len)[::hop][:count]
+        features = _frames_to_log_mel(frames, self.config)
+        self._frames += count
+        self._buffer = np.zeros(0)
+        return features
 
 
 def add_deltas(features: np.ndarray) -> np.ndarray:

@@ -6,14 +6,18 @@ Covers the three contracts the subsystem makes:
   (and therefore decode to identical phone sequences),
 * quantized plans track the simulated-quantization eager path within
   scheme-appropriate tolerance (including PER on a trained model),
-* the serving micro-batcher handles ragged streams — empty, length-1,
-  and mixed-length utterances — and reproduces per-utterance decoding.
+* the serving micro-batcher handles ragged streams — length-1 and
+  mixed-length utterances — reproduces per-utterance decoding, and
+  rejects malformed submissions (0-frame, wrong rank/feature dim) at
+  submit time,
+* stale CSR/BSPC kernel plans are rebuilt, never silently reused, after
+  packed weights are mutated.
 """
 
 import numpy as np
 import pytest
 
-from repro import engine
+from repro import engine, kernels
 from repro.errors import ConfigError, ShapeError
 from repro.nn.quantize import quantize_model
 from repro.nn.tensor import Tensor
@@ -48,21 +52,25 @@ def prune_model(model, col_rate=4, row_rate=2, strips=4, blocks=4):
 
 
 class TestPackingOnlyEquivalence:
+    # The packing-only guarantee is defined against the *fused-kernel*
+    # (numpy backend) eval path — the plan replays exactly those ops —
+    # so the eager side pins that backend: under a reference-backend
+    # test run the eager op order differs at float epsilon.
     def test_gru_bit_exact(self, rng):
         model = laptop_model()
         x = rng.standard_normal((13, 3, 8))
         plan = engine.compile_model(model)
-        np.testing.assert_array_equal(
-            plan.forward_batch(x), model(Tensor(x)).data
-        )
+        with kernels.use_backend("numpy"):
+            expected = model(Tensor(x)).data
+        np.testing.assert_array_equal(plan.forward_batch(x), expected)
 
     def test_lstm_bit_exact(self, rng):
         model = laptop_model(cell_type="lstm", seed=3)
         x = rng.standard_normal((9, 2, 8))
         plan = engine.compile_model(model)
-        np.testing.assert_array_equal(
-            plan.forward_batch(x), model(Tensor(x)).data
-        )
+        with kernels.use_backend("numpy"):
+            expected = model(Tensor(x)).data
+        np.testing.assert_array_equal(plan.forward_batch(x), expected)
 
     def test_repeated_and_shrinking_batches_reuse_buffers(self, rng):
         # Growing then shrinking batch shapes must not leak stale values
@@ -71,9 +79,9 @@ class TestPackingOnlyEquivalence:
         plan = engine.compile_model(model)
         for shape in [(20, 4, 8), (5, 2, 8), (20, 4, 8), (1, 1, 8)]:
             x = rng.standard_normal(shape)
-            np.testing.assert_array_equal(
-                plan.forward_batch(x), model(Tensor(x)).data
-            )
+            with kernels.use_backend("numpy"):
+                expected = model(Tensor(x)).data
+            np.testing.assert_array_equal(plan.forward_batch(x), expected)
 
     def test_forward_utterance_matches_batch(self, rng):
         model = laptop_model()
@@ -148,6 +156,91 @@ class TestSparsePacking:
     def test_compile_rnn_rejects_bad_keys(self):
         with pytest.raises(ConfigError):
             engine.compile_rnn({"nope": np.zeros((4, 4))})
+
+
+class TestPlanCacheInvalidation:
+    """Mutating packed sparse weights after ``compile_model`` must not
+    leave stale CSR/BSPC kernel plans in use: ``invalidate_plan()`` (the
+    documented protocol after in-place writes) and structural-field
+    reassignment (automatic) both force a rebuild, and the rebuilt plan
+    reflects the mutated weights — not the snapshot the stale plan held.
+
+    These tests exercise the *numpy* plan cache specifically (the
+    reference kernels are plan-free and re-read values every call), so
+    the forwards pin that backend.
+    """
+
+    def sparse_plan(self, fmt, scheme=None):
+        config = engine.EngineConfig(
+            sparse_format=fmt, num_row_strips=4, num_col_blocks=4
+        )
+        model = prune_model(laptop_model())
+        return model, engine.compile_model(model, scheme=scheme, config=config), config
+
+    def forward(self, plan, x):
+        with kernels.use_backend("numpy"):
+            return plan.forward_batch(x)
+
+    def recompiled(self, model, scheme, config, x):
+        """Forward through a fresh compile of the (mutated) model."""
+        return self.forward(
+            engine.compile_model(model, scheme=scheme, config=config), x
+        )
+
+    def double_layer0_input_weight(self, model):
+        for name, param in model.named_parameters():
+            if name == "gru.cell0.weight_ih":
+                param.data[...] *= 2.0
+
+    def test_csr_int8_plan_rebuilt_after_inplace_mutation(self, rng):
+        model, plan, config = self.sparse_plan("csr", scheme="int8")
+        x = rng.standard_normal((6, 2, 8))
+        baseline = self.forward(plan, x)
+        matrix = plan.layers[0].input_proj.matrix
+        stale = matrix._int8_kernel_plan  # built eagerly at compile time
+        matrix.values *= 2.0  # in-place mutation: invisible to the cache
+        matrix.invalidate_plan()
+        after = self.forward(plan, x)
+        assert matrix._int8_kernel_plan is not stale  # rebuilt, not reused
+        assert np.abs(after - baseline).max() > 0.0
+        self.double_layer0_input_weight(model)
+        np.testing.assert_allclose(
+            after, self.recompiled(model, "int8", config, x), atol=1e-10
+        )
+
+    def test_bspc_plan_rebuilt_after_inplace_panel_mutation(self, rng):
+        model, plan, config = self.sparse_plan("bspc")
+        x = rng.standard_normal((6, 2, 8))
+        baseline = self.forward(plan, x)
+        matrix = plan.layers[0].input_proj.matrix
+        stale = matrix._kernel_plan
+        for strip in matrix.strips:  # the packed plan copied these panels
+            for block in strip.blocks:
+                block.panel *= 2.0
+        matrix.invalidate_plan()
+        after = self.forward(plan, x)
+        assert matrix._kernel_plan is not stale
+        assert np.abs(after - baseline).max() > 0.0
+        self.double_layer0_input_weight(model)
+        np.testing.assert_allclose(
+            after, self.recompiled(model, None, config, x), atol=1e-10
+        )
+
+    def test_structural_reassignment_invalidates_both_plan_caches(self, rng):
+        model, plan, config = self.sparse_plan("csr", scheme="int8")
+        x = rng.standard_normal((5, 2, 8))
+        self.forward(plan, x)
+        matrix = plan.layers[0].input_proj.matrix
+        assert hasattr(matrix, "_int8_kernel_plan")
+        matrix.values = matrix.values * 2.0  # reassignment → auto-drop
+        assert not hasattr(matrix, "_kernel_plan")
+        assert not hasattr(matrix, "_int8_kernel_plan")
+        self.double_layer0_input_weight(model)
+        np.testing.assert_allclose(
+            self.forward(plan, x),
+            self.recompiled(model, "int8", config, x),
+            atol=1e-10,
+        )
 
 
 class TestQuantizedPlans:
@@ -246,20 +339,36 @@ class TestServing:
 
     def test_ragged_stream_matches_per_utterance(self, rng):
         plan = self.make_plan()
-        lengths = [0, 1, 1, 7, 30, 30, 30, 2, 55, 0, 16]
+        lengths = [1, 1, 7, 30, 30, 30, 2, 55, 16]
         utterances = [rng.standard_normal((t, 8)) for t in lengths]
         hypotheses, stats = engine.serve_stream(plan, utterances)
         assert hypotheses == [self.eager_decode(plan, u) for u in utterances]
         assert stats.utterances == len(lengths)
-        assert stats.batched_utterances == sum(1 for t in lengths if t > 0)
+        assert stats.batched_utterances == len(lengths)
         assert stats.real_frames == sum(lengths)
         assert stats.batch_frames >= stats.real_frames
 
-    def test_empty_utterance_decodes_empty_without_model(self):
-        plan = self.make_plan()
-        hypotheses, stats = engine.serve_stream(plan, [np.zeros((0, 8))])
-        assert hypotheses == [[]]
-        assert stats.batches == 0
+    def test_submit_rejects_empty_utterance_at_submit_time(self):
+        batcher = engine.MicroBatcher(self.make_plan())
+        with pytest.raises(ShapeError):
+            batcher.submit(np.zeros((0, 8)))
+        # Nothing was queued and no id was burned by the rejection.
+        assert batcher.pending() == 0
+        assert batcher.stats.utterances == 0
+
+    def test_submit_rejects_wrong_rank_and_dim_at_submit_time(self, rng):
+        batcher = engine.MicroBatcher(self.make_plan())
+        with pytest.raises(ShapeError):
+            batcher.submit(np.zeros(8))  # rank 1
+        with pytest.raises(ShapeError):
+            batcher.submit(np.zeros((4, 2, 8)))  # rank 3
+        with pytest.raises(ShapeError):
+            batcher.submit(np.zeros((4, 9)))  # wrong feature dim
+        # A bad submission must not poison the batch for good utterances.
+        good = rng.standard_normal((6, 8))
+        uid = batcher.submit(good)
+        batcher.flush()
+        assert batcher.result(uid) == self.eager_decode(batcher.plan, good)
 
     def test_full_bucket_runs_eagerly(self, rng):
         plan = self.make_plan()
@@ -290,6 +399,13 @@ class TestServing:
         batcher = engine.MicroBatcher(self.make_plan())
         with pytest.raises(ShapeError):
             batcher.submit(np.zeros((4, 9)))
+
+    def test_serve_stream_propagates_submit_validation(self, rng):
+        plan = self.make_plan()
+        with pytest.raises(ShapeError):
+            engine.serve_stream(
+                plan, [rng.standard_normal((5, 8)), np.zeros((0, 8))]
+            )
 
     def test_config_validation(self):
         with pytest.raises(ConfigError):

@@ -332,39 +332,44 @@ class TestInt8Kernels:
         assert scale == 1.0 and not codes.any()
 
     def test_int8_plan_cached_and_invalidated(self, rng):
+        # Exercises the numpy plan cache specifically (the reference
+        # kernels are plan-free), so the backend is pinned per call.
         w, _ = bsp_pruned(rng)
         csr = CSRMatrix.from_dense(w)
         x = rng.standard_normal(w.shape[1])
-        kernels.spmv_int8(csr, x)
+        kernels.spmv_int8(csr, x, backend="numpy")
         plan = csr._int8_kernel_plan
-        kernels.spmv_int8(csr, x)
+        kernels.spmv_int8(csr, x, backend="numpy")
         assert csr._int8_kernel_plan is plan
         csr.values = csr.values * 2.0  # structural reassignment drops both
         assert not hasattr(csr, "_int8_kernel_plan")
         assert not hasattr(csr, "_kernel_plan")
         csr.invalidate_plan()  # idempotent, also clears after in-place edits
         np.testing.assert_array_equal(
-            kernels.spmv_int8(csr, x), kernels.spmv_int8(csr, x, backend="reference")
+            kernels.spmv_int8(csr, x, backend="numpy"),
+            kernels.spmv_int8(csr, x, backend="reference"),
         )
 
 
 class TestPlanCaching:
+    # Plan caching belongs to the numpy backend (reference kernels never
+    # build plans), so these pin backend="numpy" on plan-building calls.
     def test_plan_cached_and_reused(self, rng):
         w, grid = bsp_pruned(rng)
         bspc = BSPCMatrix.from_dense(w, grid)
-        bspc.spmv(rng.standard_normal(w.shape[1]))
+        bspc.spmv(rng.standard_normal(w.shape[1]), backend="numpy")
         plan = bspc._kernel_plan
-        bspc.spmv(rng.standard_normal(w.shape[1]))
+        bspc.spmv(rng.standard_normal(w.shape[1]), backend="numpy")
         assert bspc._kernel_plan is plan
 
     def test_field_reassignment_invalidates(self, rng):
         w, grid = bsp_pruned(rng)
         bspc = BSPCMatrix.from_dense(w, grid)
-        bspc.spmv(rng.standard_normal(w.shape[1]))
+        bspc.spmv(rng.standard_normal(w.shape[1]), backend="numpy")
         bspc.strips = bspc.strips
         assert not hasattr(bspc, "_kernel_plan")
         csr = CSRMatrix.from_dense(w)
-        csr.spmv(rng.standard_normal(w.shape[1]))
+        csr.spmv(rng.standard_normal(w.shape[1]), backend="numpy")
         csr.values = csr.values * 2.0
         assert not hasattr(csr, "_kernel_plan")
         np.testing.assert_allclose(
