@@ -12,7 +12,7 @@ import pytest
 
 from repro.compiler.codegen import CompileOptions
 from repro.compiler.ir import TileConfig
-from repro.compiler.pipeline import compile_model
+from repro.compiler.pipeline import compile_for_simulation
 from repro.eval.report import format_table
 from repro.hw.profiles import ADRENO_640, KRYO_485
 from repro.pruning.bank_balanced import bbs_project_masks
@@ -55,12 +55,12 @@ def make_patterns():
 def run_comparison():
     rows = []
     for name, (weights, format_name) in make_patterns().items():
-        gpu_model = compile_model(
+        gpu_model = compile_for_simulation(
             weights, CompileOptions(format_name=format_name,
                                     tile=TileConfig(use_fp16=True),
                                     num_row_strips=8, num_col_blocks=8),
         )
-        cpu_model = compile_model(
+        cpu_model = compile_for_simulation(
             weights, CompileOptions(format_name=format_name,
                                     tile=TileConfig(use_fp16=False),
                                     num_row_strips=8, num_col_blocks=8),

@@ -10,7 +10,7 @@ import pytest
 
 from repro.compiler.codegen import CompileOptions
 from repro.compiler.ir import TileConfig
-from repro.compiler.pipeline import compile_model
+from repro.compiler.pipeline import compile_for_simulation
 from repro.eval.report import format_table
 from repro.hw.profiles import ADRENO_640, KRYO_485
 
@@ -36,13 +36,13 @@ VARIANTS = [
 def simulate_variants(weights):
     rows = []
     for name, options in VARIANTS:
-        compiled = compile_model(
+        compiled = compile_for_simulation(
             weights,
             CompileOptions(tile=TileConfig(use_fp16=True),
                            num_row_strips=8, num_col_blocks=8, **options),
         )
         gpu = compiled.simulate(ADRENO_640).latency_us
-        cpu_compiled = compile_model(
+        cpu_compiled = compile_for_simulation(
             weights,
             CompileOptions(tile=TileConfig(use_fp16=False),
                            num_row_strips=8, num_col_blocks=8, **options),

@@ -1,5 +1,5 @@
 """Benchmark driver: records BENCH_kernels.json, BENCH_engine.json,
-BENCH_training.json, and BENCH_serving.json.
+BENCH_training.json, BENCH_serving.json, and BENCH_autotune.json.
 
 Runs the hot-path kernel cases, the engine suite (compiled batched
 forward vs per-utterance eager, int8 vs float sparse ops), the training
@@ -12,7 +12,7 @@ so future PRs have a perf trajectory to regress against::
 
     PYTHONPATH=src python benchmarks/run_bench.py
     PYTHONPATH=src python benchmarks/run_bench.py --repeats 50
-    PYTHONPATH=src python benchmarks/run_bench.py --check BENCH_kernels.json BENCH_engine.json BENCH_training.json BENCH_serving.json
+    PYTHONPATH=src python benchmarks/run_bench.py --check BENCH_kernels.json BENCH_engine.json BENCH_training.json BENCH_serving.json BENCH_autotune.json
 
 Each row records ``op``, ``size``, ``backend``, ``median_s``, and
 ``speedup_vs_baseline``, where the baseline backend is the seed
@@ -24,6 +24,9 @@ ops, and the offline batched path for the streaming throughput rows.
 The tail-latency rows are each their own baseline: raw milliseconds are
 machine-dependent, so the latency gate is the machine-independent
 p95/p50 *ratio* carried in ``speedup_vs_baseline``, not absolute time.
+The autotune rows come from the measured tuner's own trace: the tuned
+plan can never be slower than the default configuration it searched
+against, so the gate watches the tuned speedup for collapse.
 
 ``--check`` is the CI regression gate: it re-runs the suites and exits
 nonzero if any recorded row got more than ``--threshold`` (default 1.5x)
@@ -356,6 +359,72 @@ def bench_streaming(repeats: int) -> List[Dict]:
     return rows
 
 
+def bench_autotune(repeats: int) -> List[Dict]:
+    """The BENCH_autotune.json suite: measured tune_plan vs the default
+    engine configuration.
+
+    Both rows come from the tuner's own measurements: the
+    ``default_config`` row is the baseline the search anchors on, the
+    ``tuned_plan`` row is the winning candidate.  The default
+    configuration is always in the candidate set, so the tuned speedup
+    is >= 1.0 by construction — that invariant is *enforced here* (a
+    violation means the baseline fell out of the search and the bench
+    fails outright; the recorded speedups sit too close to 1.0 for the
+    ``--check`` ratio criterion to detect it).  Beyond the invariant,
+    the gate's signal for this suite is the absolute ``median_s`` of the
+    tuned row (noise-floored like every other row).
+    """
+    from repro.compiler.autotune import tune_plan
+    from repro.eval.tune import TuneConfig, build_tune_workload
+
+    cases = [
+        ("dense", TuneConfig(hidden_size=64, seq_len=50, batch=8, prune=False)),
+        (
+            "bsp-16x",
+            TuneConfig(
+                hidden_size=192, seq_len=50, batch=8,
+                prune=True, col_rate=8.0, row_rate=2.0,
+            ),
+        ),
+    ]
+    rows = []
+    for label, config in cases:
+        model, sample = build_tune_workload(config)
+        # Per-candidate timing repeats: each forward is milliseconds, so
+        # extra repeats are cheap and keep the winner out of timer noise.
+        result = tune_plan(model, sample, repeats=max(5, repeats // 5))
+        if result.speedup < 1.0:
+            raise RuntimeError(
+                f"tune_plan invariant broken on {label!r}: tuned plan is "
+                f"{1.0 / result.speedup:.2f}x slower than the default "
+                "configuration it was supposed to anchor on"
+            )
+        size = (
+            f"T={config.seq_len} B={config.batch} "
+            f"H={config.hidden_size} L={config.num_layers} {label}"
+        )
+        rows += [
+            {
+                "op": "autotuned_forward",
+                "size": size,
+                "backend": "default_config",
+                "median_s": result.baseline_s,
+                "speedup_vs_baseline": 1.0,
+                "baseline": "default_config",
+            },
+            {
+                "op": "autotuned_forward",
+                "size": size,
+                "backend": "tuned_plan",
+                "median_s": result.best.measured_s,
+                "speedup_vs_baseline": result.speedup,
+                "baseline": "default_config",
+                "formats": result.best.describe_formats(),
+            },
+        ]
+    return rows
+
+
 # Training cases run per kernel backend; the tape is the seed baseline.
 TRAIN_BACKENDS = {"tensor_tape": "reference", "fused_numpy": "numpy"}
 
@@ -608,6 +677,11 @@ def main(argv=None) -> int:
         "(default: repo-root BENCH_serving.json)",
     )
     parser.add_argument(
+        "--autotune-out", type=Path, default=REPO_ROOT / "BENCH_autotune.json",
+        help="measured-autotune-suite output JSON "
+        "(default: repo-root BENCH_autotune.json)",
+    )
+    parser.add_argument(
         "--repeats", type=int, default=30,
         help="timed repetitions per case (median is reported)",
     )
@@ -629,10 +703,16 @@ def main(argv=None) -> int:
     engine_rows = bench_engine(args.repeats)
     training_rows = bench_training(args.repeats)
     serving_rows = bench_streaming(max(3, args.repeats // 3))
-    print(render(kernel_rows + engine_rows + training_rows + serving_rows))
+    autotune_rows = bench_autotune(args.repeats)
+    print(render(
+        kernel_rows + engine_rows + training_rows + serving_rows + autotune_rows
+    ))
 
     if args.check:
-        current = kernel_rows + engine_rows + training_rows + serving_rows
+        current = (
+            kernel_rows + engine_rows + training_rows + serving_rows
+            + autotune_rows
+        )
         problems: List[str] = []
         for baseline_path in args.check:
             recorded = json.loads(baseline_path.read_text())["results"]
@@ -661,9 +741,13 @@ def main(argv=None) -> int:
         json.dumps({"meta": _meta(args.repeats), "results": serving_rows}, indent=2)
         + "\n"
     )
+    args.autotune_out.write_text(
+        json.dumps({"meta": _meta(args.repeats), "results": autotune_rows}, indent=2)
+        + "\n"
+    )
     print(
-        f"\nwrote {args.out}, {args.engine_out}, {args.training_out} "
-        f"and {args.serving_out}"
+        f"\nwrote {args.out}, {args.engine_out}, {args.training_out}, "
+        f"{args.serving_out} and {args.autotune_out}"
     )
     return 0
 

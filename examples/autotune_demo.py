@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Auto-tuner demo: searching execution configs and the BSP block size.
+"""Auto-tuner demo: simulated searches plus measured plan tuning.
 
 Shows the two searches the paper's compiler performs offline
 (Section IV-B, last paragraph):
@@ -7,10 +7,22 @@ Shows the two searches the paper's compiler performs offline
 1. execution configuration — tile rows per thread and unroll factor —
    minimizing simulated latency on the target device,
 2. the BSP block grid (Numr x Numc), trading simulated latency against a
-   retained-weight-energy accuracy proxy at a fixed compression target.
+   retained-weight-energy accuracy proxy at a fixed compression target,
+
+and the framework's measured tier on top:
+
+3. ``tune_plan`` — candidate per-layer engine configurations evaluated
+   by timing the *real* compiled plan on a calibration batch (the
+   simulator pre-filters the per-layer format space), with the winner
+   saved as a compiled artifact that reloads bit-identically.
 
 Run:  python examples/autotune_demo.py
+(set REPRO_EXAMPLES_FAST=1 for the CI smoke scale)
 """
+
+import os
+import tempfile
+from pathlib import Path
 
 import numpy as np
 
@@ -19,8 +31,10 @@ from repro.eval.report import format_table
 from repro.hw import ADRENO_640, KRYO_485
 from repro.utils.rng import new_rng
 
+FAST = bool(os.environ.get("REPRO_EXAMPLES_FAST"))
 
-def make_weights(hidden: int = 256):
+
+def make_weights(hidden: int = 64 if FAST else 256):
     rng = new_rng(0)
     return {
         "gru.cell0.weight_hh": rng.standard_normal((3 * hidden, hidden)),
@@ -73,6 +87,34 @@ def main() -> None:
         "near-identical simulated latency — why the paper tunes block size "
         "per model rather than fixing it."
     )
+
+    print("\n=== 3. measured plan tuning (real engine, calibration batch) ===")
+    from repro import engine
+    from repro.eval.tune import TuneConfig, build_tune_workload, run_tune, render_tune
+
+    config = TuneConfig(
+        hidden_size=32 if FAST else 96,
+        seq_len=25 if FAST else 100,
+        batch=4 if FAST else 16,
+        col_rate=8.0,
+        repeats=2 if FAST else 3,
+    )
+    outcome = run_tune(config)
+    print(render_tune(outcome))
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "tuned.plan.npz"
+        engine.save_plan(path, outcome.result.plan)
+        reloaded = engine.load_plan(path)
+        _, sample = build_tune_workload(config)
+        identical = np.array_equal(
+            outcome.result.plan.forward_batch(sample),
+            reloaded.forward_batch(sample),
+        )
+        print(
+            f"\nartifact round trip ({path.name}): "
+            f"{'bit-identical logits' if identical else 'MISMATCH'}"
+        )
 
 
 if __name__ == "__main__":

@@ -10,12 +10,17 @@ Takes ~5 minutes at the default scale.  Pass ``--fast`` for the
 three-point endpoint sweep (~1 minute).
 
 Run:  python examples/compression_sweep.py [--fast]
+(REPRO_EXAMPLES_FAST=1 forces an even smaller CI smoke scale)
 """
 
 import argparse
+import os
 import time
+from dataclasses import replace
 
 from repro.eval import Table1Config, render_table1, run_table1
+
+FAST_ENV = bool(os.environ.get("REPRO_EXAMPLES_FAST"))
 
 
 def main() -> None:
@@ -26,7 +31,16 @@ def main() -> None:
     )
     args = parser.parse_args()
 
-    config = Table1Config.fast() if args.fast else Table1Config()
+    config = Table1Config.fast() if (args.fast or FAST_ENV) else Table1Config()
+    if FAST_ENV:
+        # CI smoke: two sweep points on a tiny corpus/model — exercises
+        # the public API end to end, not the calibrated accuracy curve.
+        config = replace(
+            config,
+            hidden_size=32, num_train=10, num_test=4,
+            dense_epochs=2, admm_epochs=1, retrain_epochs=1,
+            bsp_sweep=((1.0, 1.0, 1.0), (10.0, 1.0, 10.0)),
+        )
     points = len(config.bsp_sweep) + (4 if config.include_baselines else 0)
     print(f"running {points} sweep points (hidden={config.hidden_size}, "
           f"{config.num_train} train utterances)...")

@@ -10,8 +10,10 @@ at ~245x compression the mobile GPU reaches ESE's FPGA latency with a
 large energy-efficiency advantage.
 
 Run:  python examples/mobile_deployment.py
+(set REPRO_EXAMPLES_FAST=1 for the CI smoke scale)
 """
 
+import os
 import time
 
 from repro.eval import (
@@ -23,10 +25,22 @@ from repro.eval import (
 )
 
 
+FAST = bool(os.environ.get("REPRO_EXAMPLES_FAST"))
+
+
 def main() -> None:
-    print("running the Table II sweep at paper scale (~10M weights)...")
+    if FAST:
+        from repro.eval import Table2Config
+
+        print("running a reduced Table II sweep (CI smoke scale)...")
+        config = Table2Config(
+            hidden_size=128, sweep=tuple(Table2Config().sweep)[:3]
+        )
+    else:
+        config = None
+        print("running the Table II sweep at paper scale (~10M weights)...")
     start = time.time()
-    result = run_table2()
+    result = run_table2() if config is None else run_table2(config)
     print()
     print(render_table2(result))
     print()

@@ -8,9 +8,12 @@ and predicts mobile latency and energy on the calibrated Adreno 640 GPU
 and Kryo 485 CPU profiles.
 
 Run:  python examples/quickstart.py
+(set REPRO_EXAMPLES_FAST=1 for the CI smoke scale)
 """
 
-from repro.compiler import CompileOptions, TileConfig, compile_model
+import os
+
+from repro.compiler import CompileOptions, TileConfig, compile_for_simulation
 from repro.hw import ADRENO_640, KRYO_485
 from repro.pruning import BSPConfig, BSPPruner
 from repro.speech import (
@@ -23,10 +26,14 @@ from repro.speech import (
 )
 
 
+FAST = bool(os.environ.get("REPRO_EXAMPLES_FAST"))
+
+
 def main() -> None:
     # 1. Data: a synthetic TIMIT-like corpus (see DESIGN.md for why).
     train_set, test_set = make_corpus(
-        num_train=48, num_test=16, config=SynthConfig(noise_level=0.55), seed=0
+        num_train=8 if FAST else 48, num_test=4 if FAST else 16,
+        config=SynthConfig(noise_level=0.55), seed=0,
     )
 
     # 2. Dense training.
@@ -36,7 +43,7 @@ def main() -> None:
         TrainerConfig(learning_rate=3e-3, batch_size=4, seed=0),
     )
     print("training dense model...")
-    trainer.train_dense(epochs=8)
+    trainer.train_dense(epochs=1 if FAST else 8)
     dense = trainer.evaluate()
     print(f"  dense PER: {dense.per:.2f}%  frame acc: {dense.frame_accuracy:.2%}")
 
@@ -47,8 +54,10 @@ def main() -> None:
         BSPConfig(
             col_rate=8, row_rate=2,  # ~16x target
             num_row_strips=4, num_col_blocks=4,
-            step1_admm_epochs=4, step1_retrain_epochs=2,
-            step2_admm_epochs=3, step2_retrain_epochs=2,
+            step1_admm_epochs=1 if FAST else 4,
+            step1_retrain_epochs=1 if FAST else 2,
+            step2_admm_epochs=1 if FAST else 3,
+            step2_retrain_epochs=1 if FAST else 2,
         ),
     )
     print("running BSP pruning...")
@@ -60,8 +69,8 @@ def main() -> None:
 
     # 4. Compile and simulate on mobile targets.
     weights = model.prunable_weights()
-    gpu_model = compile_model(weights, CompileOptions(tile=TileConfig(use_fp16=True)))
-    cpu_model = compile_model(weights, CompileOptions(tile=TileConfig(use_fp16=False)))
+    gpu_model = compile_for_simulation(weights, CompileOptions(tile=TileConfig(use_fp16=True)))
+    cpu_model = compile_for_simulation(weights, CompileOptions(tile=TileConfig(use_fp16=False)))
     for compiled, device in ((gpu_model, ADRENO_640), (cpu_model, KRYO_485)):
         sim = compiled.simulate(device)
         energy = compiled.energy(device)

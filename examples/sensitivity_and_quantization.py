@@ -14,7 +14,10 @@ Two extensions the paper's framework naturally supports:
    Table II's 2-byte weight traffic).
 
 Run:  python examples/sensitivity_and_quantization.py
+(set REPRO_EXAMPLES_FAST=1 for the CI smoke scale)
 """
+
+import os
 
 import numpy as np
 
@@ -42,9 +45,17 @@ from repro.speech import (
 )
 
 
+FAST = bool(os.environ.get("REPRO_EXAMPLES_FAST"))
+
+
 def make_trainer(seed=0):
-    train, test = make_corpus(64, 20, SynthConfig(noise_level=0.55), seed=seed)
-    model = GRUAcousticModel(AcousticModelConfig(hidden_size=64), rng=seed)
+    train, test = make_corpus(
+        10 if FAST else 64, 4 if FAST else 20,
+        SynthConfig(noise_level=0.55), seed=seed,
+    )
+    model = GRUAcousticModel(
+        AcousticModelConfig(hidden_size=32 if FAST else 64), rng=seed
+    )
     return model, Trainer(
         model, train, test, TrainerConfig(learning_rate=3e-3, batch_size=4, seed=seed)
     )
@@ -69,7 +80,7 @@ def probe_loss_fn(model, dataset):
 def main() -> None:
     print("=== training the shared dense baseline ===")
     model, trainer = make_trainer()
-    trainer.train_dense(8)
+    trainer.train_dense(2 if FAST else 8)
     dense_state = model.state_dict()
     dense_per = trainer.evaluate().per
     print(f"dense PER: {dense_per:.2f}%")

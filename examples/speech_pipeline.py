@@ -9,7 +9,10 @@ prunes it with BSP, and decodes a held-out utterance, printing the
 recognized phone string against the reference.
 
 Run:  python examples/speech_pipeline.py
+(set REPRO_EXAMPLES_FAST=1 for the CI smoke scale)
 """
+
+import os
 
 import numpy as np
 
@@ -47,10 +50,13 @@ def phone_string(ids) -> str:
     return " ".join(id_to_phone(i) for i in ids)
 
 
+FAST = bool(os.environ.get("REPRO_EXAMPLES_FAST"))
+
+
 def main() -> None:
     print("rendering waveforms and extracting log-mel features...")
-    train_set = build_waveform_corpus(40, seed=1)
-    test_set = build_waveform_corpus(10, seed=2)
+    train_set = build_waveform_corpus(8 if FAST else 40, seed=1)
+    test_set = build_waveform_corpus(3 if FAST else 10, seed=2)
 
     model = GRUAcousticModel(AcousticModelConfig(hidden_size=64), rng=0)
     trainer = Trainer(
@@ -58,7 +64,7 @@ def main() -> None:
         TrainerConfig(learning_rate=3e-3, batch_size=4, seed=0),
     )
     print("training on front-end features...")
-    trainer.train_dense(epochs=10)
+    trainer.train_dense(epochs=2 if FAST else 10)
     dense = trainer.evaluate()
     print(f"  dense PER: {dense.per:.2f}%")
 
@@ -66,7 +72,8 @@ def main() -> None:
     pruner = BSPPruner(
         model.prunable_parameters(),
         BSPConfig(col_rate=8, row_rate=1, num_row_strips=4, num_col_blocks=4,
-                  step1_admm_epochs=4, step1_retrain_epochs=3,
+                  step1_admm_epochs=1 if FAST else 4,
+                  step1_retrain_epochs=1 if FAST else 3,
                   step2_admm_epochs=0, step2_retrain_epochs=0),
     )
     trainer.run_pruning(pruner)

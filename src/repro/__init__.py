@@ -8,10 +8,12 @@ Layered public API:
 * :mod:`repro.sparse` — CSR/CSC/BSPC storage formats,
 * :mod:`repro.kernels` — vectorized execution backends behind a pluggable
   registry (the compute seam for sparse ops and fused RNN sequences),
-* :mod:`repro.compiler` — reorder / load-elimination / BSPC lowering /
-  auto-tuning,
-* :mod:`repro.engine` — compiled model plans (packed, optionally
-  quantized weights) + length-bucketed micro-batched serving,
+* :mod:`repro.compiler` — the unified compiler: one layer-graph IR and
+  pass pipeline (reorder / load elimination / format + kernel selection)
+  with simulated *and* measured auto-tuning,
+* :mod:`repro.engine` — the compiler's executable backend: compiled
+  model plans (packed, optionally quantized weights), length-bucketed
+  micro-batched serving, and save/load of tuned plan artifacts,
 * :mod:`repro.hw` — calibrated Adreno 640 / Kryo 485 simulator + energy,
 * :mod:`repro.speech` — synthetic TIMIT-like corpus, GRU acoustic model,
   PER evaluation,
@@ -21,8 +23,9 @@ Quickstart::
 
     from repro.speech import make_corpus, GRUAcousticModel, Trainer
     from repro.pruning import BSPConfig, BSPPruner
-    from repro.compiler import compile_model
+    from repro.compiler import compile_for_simulation
     from repro.hw import ADRENO_640
+    from repro import engine
 
     train, test = make_corpus(48, 16)
     model = GRUAcousticModel()
@@ -30,8 +33,10 @@ Quickstart::
     trainer.train_dense(10)
     pruner = BSPPruner(model.prunable_parameters(), BSPConfig(10, 1.25))
     trainer.run_pruning(pruner)
-    compiled = compile_model(model.prunable_weights())
-    print(compiled.simulate(ADRENO_640).latency_us)
+    compiled = compile_for_simulation(model.prunable_weights())
+    print(compiled.simulate(ADRENO_640).latency_us)   # analytic mobile cost
+    plan = engine.compile_model(model)                # executable host plan
+    print(plan.forward_batch(test.examples[0].features[:, None, :]).shape)
 """
 
 __version__ = "1.0.0"

@@ -1,15 +1,27 @@
-"""Intermediate representation shared by compiler passes and the simulator.
+"""Intermediate representation shared by compiler passes and both backends.
 
-A compiled RNN inference is a :class:`KernelPlan`: one :class:`LayerPlan`
-per weight matrix (GEMV kernel), each carrying the statistics the mobile
-cost model needs — nonzeros, surviving rows/columns, memory traffic, thread
-row-groups from the reorder pass, and the tuned :class:`TileConfig`.
+Two levels live here:
+
+* The **layer graph** (:class:`LayerGraph` of :class:`GraphNode` /
+  :class:`WeightSlot`) — the single IR every consumer lowers from.  Typed
+  ops: ``linear`` input/output projections, ``gru_cell``/``lstm_cell``
+  recurrent layers, ``recurrent_matvec`` hidden-state matrices, and
+  ``quantize`` boundaries; per-weight attributes carry the sparse format,
+  quantization scheme, tile/grid configuration, and the annotations the
+  pass pipeline (:mod:`repro.compiler.passes`) fills in.  The analytic
+  simulator lowers it to a :class:`KernelPlan`; the execution engine
+  lowers it to a :class:`~repro.engine.plan.ModelPlan`.
+* The **analytic plan** (:class:`KernelPlan`): one :class:`LayerPlan` per
+  weight matrix (GEMV kernel), each carrying the statistics the mobile
+  cost model needs — nonzeros, surviving rows/columns, memory traffic,
+  thread row-groups from the reorder pass, and the tuned
+  :class:`TileConfig`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -159,3 +171,307 @@ class KernelPlan:
     @property
     def weight_bytes(self) -> int:
         return sum(layer.weight_bytes + layer.metadata_bytes for layer in self.layers)
+
+
+# ---------------------------------------------------------------------------
+# The shared layer graph
+# ---------------------------------------------------------------------------
+
+#: Weight-level ops: batched input/output projections and the per-step
+#: hidden-state matrix-vector product inside a recurrent cell.
+OP_LINEAR = "linear"
+OP_RECURRENT_MATVEC = "recurrent_matvec"
+WEIGHT_OPS = (OP_LINEAR, OP_RECURRENT_MATVEC)
+
+#: Node-level ops.  ``linear`` is a bare projection (the analytic
+#: frontend's generic GEMV layer); ``output`` is the phone-class
+#: projection; quantize boundaries are :class:`QuantBoundary` entries.
+NODE_KINDS = ("gru_cell", "lstm_cell", "linear", "output")
+
+GRAPH_FORMATS = ("dense", "csr", "bspc")
+GRAPH_SCHEMES = (None, "fp16", "int8")
+FORMAT_REQUESTS = (None, "auto", "dense", "csr", "bspc")
+
+
+@dataclass(frozen=True)
+class GraphOptions:
+    """Graph-level knobs read by every pass.
+
+    ``sparse_format`` is the *request* the format-selection pass resolves
+    per weight: ``None``/``"dense"`` keep everything dense, ``"csr"`` /
+    ``"bspc"`` force a format, and ``"auto"`` packs any matrix whose
+    density is at or below ``sparsity_threshold`` (as BSPC when the
+    packed panels stay mostly full, CSR otherwise).
+    ``demote_full_density`` is the analytic frontend's convention: a
+    forced sparse format on a fully-dense matrix falls back to dense (the
+    execution engine honours forced formats literally instead).
+    """
+
+    sparse_format: Optional[str] = None
+    sparsity_threshold: float = 0.5
+    num_row_strips: int = 8
+    num_col_blocks: int = 8
+    enable_reorder: bool = True
+    enable_load_elimination: bool = True
+    demote_full_density: bool = False
+    tile: TileConfig = TileConfig()
+
+    def __post_init__(self) -> None:
+        if self.sparse_format not in FORMAT_REQUESTS:
+            raise CompilationError(
+                f"sparse_format must be one of {FORMAT_REQUESTS}, "
+                f"got {self.sparse_format!r}"
+            )
+        if not 0.0 < self.sparsity_threshold <= 1.0:
+            raise CompilationError(
+                f"sparsity_threshold must be in (0, 1], got {self.sparsity_threshold}"
+            )
+        if self.num_row_strips < 1 or self.num_col_blocks < 1:
+            raise CompilationError("num_row_strips and num_col_blocks must be >= 1")
+
+
+@dataclass
+class WeightSlot:
+    """One weight matrix in the layer graph, plus its per-layer attributes.
+
+    ``format`` starts ``None`` (undecided); the format-selection pass
+    fills it, and a tuner or a loaded artifact may *pin* it beforehand —
+    pinned slots pass through the pipeline untouched.  The reorder and
+    load-elimination passes attach the analytic annotations; the kernel
+    selection pass names the registry kernel the op lowers to.
+
+    The slot holds a *reference* to ``array``; frontends that promise
+    snapshot semantics (the execution engine) pass in copies.
+    """
+
+    name: str
+    op: str
+    array: np.ndarray
+    format: Optional[str] = None  # "dense" | "csr" | "bspc" once decided
+    grid: Tuple[int, int] = (8, 8)  # (num_row_strips, num_col_blocks)
+    kernel: Optional[str] = None  # registry op chosen by kernel selection
+    tile: TileConfig = field(default_factory=TileConfig)
+    # Analytic annotations (reorder / load-elimination passes).
+    row_permutation: Optional[np.ndarray] = None
+    groups: List[RowGroup] = field(default_factory=list)
+    reordered: bool = False
+    act_loads_naive: Optional[int] = None
+    act_loads_per_step: Optional[int] = None
+    # Never serialized: an explicit BlockGrid override (analytic frontend)
+    # and the BSPC probe built by the "auto" format decision, kept so the
+    # executable lowering does not pack the winning matrix twice.
+    block_grid: Optional[object] = None
+    prebuilt: Optional[object] = None
+
+    def __post_init__(self) -> None:
+        if self.op not in WEIGHT_OPS:
+            raise CompilationError(f"unknown weight op {self.op!r}")
+        self.array = np.asarray(self.array)
+        if self.array.ndim != 2:
+            raise CompilationError(
+                f"weight slot {self.name!r} needs a 2-D array, "
+                f"got shape {self.array.shape}"
+            )
+        if self.format is not None and self.format not in GRAPH_FORMATS:
+            raise CompilationError(f"unknown format {self.format!r}")
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self.array.shape  # type: ignore[return-value]
+
+    @property
+    def nnz(self) -> int:
+        return int(np.count_nonzero(self.array))
+
+    @property
+    def density(self) -> float:
+        return self.nnz / self.array.size if self.array.size else 1.0
+
+
+@dataclass
+class GraphNode:
+    """One layer of the model: its weight slots plus auxiliary params."""
+
+    name: str
+    kind: str
+    weights: Dict[str, WeightSlot]
+    params: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in NODE_KINDS:
+            raise CompilationError(f"unknown node kind {self.kind!r}")
+        if not self.weights:
+            raise CompilationError(f"node {self.name!r} has no weight slots")
+
+
+@dataclass(frozen=True)
+class QuantBoundary:
+    """A quantize/dequantize boundary the scheme introduces at a slot."""
+
+    slot: str
+    policy: str
+    op: str = "quantize"
+
+
+@dataclass
+class LayerGraph:
+    """The unified layer-graph IR both compiler backends lower from."""
+
+    nodes: List[GraphNode]
+    scheme: Optional[str] = None
+    backend: Optional[str] = None  # kernel-registry backend, None = default
+    cell_type: Optional[str] = None  # "gru" | "lstm" | None (generic)
+    options: GraphOptions = field(default_factory=GraphOptions)
+    boundaries: List[QuantBoundary] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise CompilationError("a LayerGraph needs at least one node")
+        if self.scheme not in GRAPH_SCHEMES:
+            raise CompilationError(
+                f"scheme must be one of {GRAPH_SCHEMES}, got {self.scheme!r}"
+            )
+
+    def slots(self) -> Iterator[Tuple[GraphNode, str, WeightSlot]]:
+        """Iterate ``(node, slot_key, slot)`` in execution order."""
+        for node in self.nodes:
+            for key, slot in node.weights.items():
+                yield node, key, slot
+
+    def slot(self, name: str) -> WeightSlot:
+        """Look a weight slot up by its fully qualified name."""
+        for _, _, slot in self.slots():
+            if slot.name == name:
+                return slot
+        raise CompilationError(f"no weight slot named {name!r}")
+
+    def formats(self) -> Dict[str, Optional[str]]:
+        """Slot name → decided format (``None`` while undecided)."""
+        return {slot.name: slot.format for _, _, slot in self.slots()}
+
+    def undecided(self) -> bool:
+        """True while any slot still awaits format selection."""
+        return any(slot.format is None for _, _, slot in self.slots())
+
+
+# ---------------------------------------------------------------------------
+# Graph serialization (the compiled-artifact payload)
+# ---------------------------------------------------------------------------
+def _tile_to_dict(tile: TileConfig) -> Dict:
+    return {
+        "rows_per_thread": tile.rows_per_thread,
+        "unroll": tile.unroll,
+        "use_fp16": tile.use_fp16,
+    }
+
+
+def _tile_from_dict(data: Dict) -> TileConfig:
+    return TileConfig(
+        rows_per_thread=int(data["rows_per_thread"]),
+        unroll=int(data["unroll"]),
+        use_fp16=bool(data["use_fp16"]),
+    )
+
+
+def graph_to_arrays(graph: LayerGraph) -> Tuple[Dict, Dict[str, np.ndarray]]:
+    """Split a graph into a JSON-able header and a dict of ndarrays.
+
+    Analytic annotations (row groups, load counts) and probe matrices are
+    *not* serialized — they are recomputable and irrelevant to execution;
+    what round-trips exactly is everything the executable lowering reads:
+    weight/param arrays, decided formats, scheme, backend, grids, tiles.
+    """
+    nodes_meta: List[Dict] = []
+    arrays: Dict[str, np.ndarray] = {}
+    for i, node in enumerate(graph.nodes):
+        weights_meta: Dict[str, Dict] = {}
+        for key, slot in node.weights.items():
+            arrays[f"n{i}.w.{key}"] = np.ascontiguousarray(slot.array)
+            weights_meta[key] = {
+                "name": slot.name,
+                "op": slot.op,
+                "format": slot.format,
+                "grid": list(slot.grid),
+                "kernel": slot.kernel,
+                "tile": _tile_to_dict(slot.tile),
+            }
+        for key, param in node.params.items():
+            arrays[f"n{i}.p.{key}"] = np.ascontiguousarray(param)
+        nodes_meta.append(
+            {
+                "name": node.name,
+                "kind": node.kind,
+                "weights": weights_meta,
+                "params": list(node.params),
+            }
+        )
+    meta = {
+        "version": 1,
+        "scheme": graph.scheme,
+        "backend": graph.backend,
+        "cell_type": graph.cell_type,
+        "options": {
+            "sparse_format": graph.options.sparse_format,
+            "sparsity_threshold": graph.options.sparsity_threshold,
+            "num_row_strips": graph.options.num_row_strips,
+            "num_col_blocks": graph.options.num_col_blocks,
+            "enable_reorder": graph.options.enable_reorder,
+            "enable_load_elimination": graph.options.enable_load_elimination,
+            "demote_full_density": graph.options.demote_full_density,
+            "tile": _tile_to_dict(graph.options.tile),
+        },
+        "boundaries": [
+            {"slot": b.slot, "policy": b.policy} for b in graph.boundaries
+        ],
+        "nodes": nodes_meta,
+    }
+    return meta, arrays
+
+
+def graph_from_arrays(meta: Dict, arrays) -> LayerGraph:
+    """Rebuild a :class:`LayerGraph` from :func:`graph_to_arrays` output.
+
+    Formats recorded in ``meta`` come back *pinned*, so re-running the
+    pass pipeline (or lowering directly) reproduces the recorded
+    decisions instead of re-deciding them.
+    """
+    version = meta.get("version")
+    if version != 1:
+        raise CompilationError(f"unsupported layer-graph version {version!r}")
+    nodes: List[GraphNode] = []
+    for i, node_meta in enumerate(meta["nodes"]):
+        weights: Dict[str, WeightSlot] = {}
+        for key, slot_meta in node_meta["weights"].items():
+            weights[key] = WeightSlot(
+                name=slot_meta["name"],
+                op=slot_meta["op"],
+                array=np.asarray(arrays[f"n{i}.w.{key}"]),
+                format=slot_meta["format"],
+                grid=tuple(slot_meta["grid"]),  # type: ignore[arg-type]
+                kernel=slot_meta.get("kernel"),
+                tile=_tile_from_dict(slot_meta["tile"]),
+            )
+        params = {
+            key: np.asarray(arrays[f"n{i}.p.{key}"]) for key in node_meta["params"]
+        }
+        nodes.append(
+            GraphNode(
+                name=node_meta["name"],
+                kind=node_meta["kind"],
+                weights=weights,
+                params=params,
+            )
+        )
+    options_meta = dict(meta["options"])
+    options_meta["tile"] = _tile_from_dict(options_meta["tile"])
+    return LayerGraph(
+        nodes=nodes,
+        scheme=meta["scheme"],
+        backend=meta["backend"],
+        cell_type=meta["cell_type"],
+        options=GraphOptions(**options_meta),
+        boundaries=[
+            QuantBoundary(slot=b["slot"], policy=b["policy"])
+            for b in meta["boundaries"]
+        ],
+    )

@@ -1,0 +1,191 @@
+"""The shared pass pipeline over the layer graph (Figure 3, unified).
+
+Both compiler backends — the analytic mobile cost model
+(:func:`repro.compiler.pipeline.compile_for_simulation`) and the
+execution engine (:func:`repro.engine.compile_model`) — run the same
+four passes over a :class:`~repro.compiler.ir.LayerGraph` before
+lowering it:
+
+1. :func:`reorder_pass` — group rows by nonzero pattern (Section
+   IV-B(a)); annotates the permutation and thread row-groups.
+2. :func:`load_elim_pass` — redundant-load-elimination analysis
+   (Section IV-B(b)); annotates per-step input-load counts.
+3. :func:`select_formats_pass` — resolve each weight's storage format
+   (dense / CSR / BSPC) from the graph's request, and mark the quantize
+   boundaries the scheme introduces.  Slots whose format was *pinned*
+   beforehand (by the measured auto-tuner or a loaded artifact) pass
+   through untouched.
+4. :func:`select_kernels_pass` — name the registry kernel each op lowers
+   to under the decided format and scheme.
+
+``analytic=True`` annotates every slot (the simulator prices dense
+layers too); the default annotates only sparse candidates, so compiling
+a dense model for execution stays cheap.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.compiler.ir import (
+    OP_LINEAR,
+    OP_RECURRENT_MATVEC,
+    GraphOptions,
+    LayerGraph,
+    QuantBoundary,
+    WeightSlot,
+)
+from repro.compiler.load_elim import naive_loads, tiled_loads
+from repro.compiler.reorder import identity_groups, reorder_rows
+from repro.sparse.blocks import BlockGrid, grid_for
+from repro.sparse.bspc import BSPCMatrix
+
+
+def slot_grid(slot: WeightSlot) -> BlockGrid:
+    """The block grid for a slot: its explicit override, or its
+    ``(strips, blocks)`` attribute clamped so small matrices stay legal."""
+    if slot.block_grid is not None:
+        return slot.block_grid  # type: ignore[return-value]
+    rows, cols = slot.shape
+    return grid_for(slot.array, min(slot.grid[0], rows), min(slot.grid[1], cols))
+
+
+def _sparse_candidate(slot: WeightSlot, options: GraphOptions) -> bool:
+    """Whether this slot can end up sparse under the graph's request."""
+    if slot.format in ("csr", "bspc"):
+        return True
+    if slot.format == "dense":
+        return False
+    request = options.sparse_format
+    if request in ("csr", "bspc"):
+        return True
+    if request == "auto":
+        return slot.density <= options.sparsity_threshold
+    return False
+
+
+def reorder_pass(graph: LayerGraph, analytic: bool = False) -> LayerGraph:
+    """Annotate row permutation + pattern groups (matrix reorder)."""
+    for _, _, slot in graph.slots():
+        if not (analytic or _sparse_candidate(slot, graph.options)):
+            continue
+        mask = slot.array != 0.0
+        if graph.options.enable_reorder:
+            permutation, groups = reorder_rows(mask, slot_grid(slot))
+            slot.reordered = True
+        else:
+            permutation, groups = identity_groups(mask)
+            slot.reordered = False
+        slot.row_permutation = permutation
+        slot.groups = groups
+    return graph
+
+
+def load_elim_pass(graph: LayerGraph, analytic: bool = False) -> LayerGraph:
+    """Annotate input loads per step, naive vs. after tile-level reuse."""
+    for _, _, slot in graph.slots():
+        if slot.row_permutation is None:
+            continue  # not annotated by the reorder pass
+        mask = slot.array != 0.0
+        slot.act_loads_naive = naive_loads(mask)
+        if graph.options.enable_load_elimination:
+            slot.act_loads_per_step = tiled_loads(mask, slot.groups, slot.tile)
+        else:
+            slot.act_loads_per_step = slot.act_loads_naive
+    return graph
+
+
+def _decide_format(slot: WeightSlot, options: GraphOptions) -> str:
+    request = options.sparse_format
+    if request in (None, "dense"):
+        return "dense"
+    rows, cols = slot.shape
+    if options.demote_full_density and slot.nnz == rows * cols:
+        return "dense"
+    if request in ("csr", "bspc"):
+        return request
+    # "auto": density gate, then the BSPC fill probe — BSP-shaped
+    # patterns pack as mostly-full panels, irregular ones go CSR.
+    if slot.density > options.sparsity_threshold:
+        return "dense"
+    bspc = BSPCMatrix.from_dense(slot.array, slot_grid(slot))
+    if bspc.fill() >= 0.5:
+        slot.prebuilt = bspc
+        return "bspc"
+    return "csr"
+
+
+def _mark_boundaries(graph: LayerGraph) -> None:
+    boundaries: List[QuantBoundary] = []
+    if graph.scheme == "int8":
+        for _, _, slot in graph.slots():
+            if slot.op == OP_LINEAR:
+                # Activations quantized with one scale per frame, integer
+                # accumulate, one dequant — the chunk-exact int8 contract.
+                boundaries.append(
+                    QuantBoundary(slot=slot.name, policy="int8-activations-per-frame")
+                )
+            elif slot.op == OP_RECURRENT_MATVEC:
+                boundaries.append(
+                    QuantBoundary(slot=slot.name, policy="int8-weights-dequantized")
+                )
+    elif graph.scheme == "fp16":
+        for _, _, slot in graph.slots():
+            boundaries.append(
+                QuantBoundary(slot=slot.name, policy="fp16-round-weights")
+            )
+    graph.boundaries = boundaries
+
+
+def select_formats_pass(graph: LayerGraph, analytic: bool = False) -> LayerGraph:
+    """Resolve undecided slot formats and mark quantize boundaries."""
+    for _, _, slot in graph.slots():
+        if slot.format is None:
+            slot.format = _decide_format(slot, graph.options)
+    _mark_boundaries(graph)
+    return graph
+
+
+def _kernel_for(op: str, fmt: str, scheme) -> str:
+    if fmt in ("csr", "bspc"):
+        return f"{fmt}_spmm_int8" if scheme == "int8" else f"{fmt}_spmm"
+    if scheme == "int8" and op == OP_LINEAR:
+        return "linear_int8_rowwise"
+    # Dense float64/fp16 projections and dense (possibly dequantized
+    # int8) recurrent steps run as plain BLAS matmuls, not registry ops.
+    return "blas_matmul"
+
+
+def select_kernels_pass(graph: LayerGraph, analytic: bool = False) -> LayerGraph:
+    """Name the kernel each weight op lowers to (format + scheme)."""
+    for _, _, slot in graph.slots():
+        slot.kernel = _kernel_for(slot.op, slot.format or "dense", graph.scheme)
+    return graph
+
+
+#: The pipeline, in order.  Reorder and load elimination are analyses
+#: (they annotate), format and kernel selection are decisions.
+PASS_PIPELINE = (
+    reorder_pass,
+    load_elim_pass,
+    select_formats_pass,
+    select_kernels_pass,
+)
+
+
+def run_passes(graph: LayerGraph, analytic: bool = False) -> LayerGraph:
+    """Run the full pass pipeline over ``graph`` in place and return it."""
+    for pass_fn in PASS_PIPELINE:
+        pass_fn(graph, analytic=analytic)
+    return graph
+
+
+__all__ = [
+    "slot_grid",
+    "reorder_pass",
+    "load_elim_pass",
+    "select_formats_pass",
+    "select_kernels_pass",
+    "run_passes",
+    "PASS_PIPELINE",
+]

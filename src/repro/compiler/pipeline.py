@@ -1,24 +1,240 @@
-"""End-to-end compilation: pruned model → :class:`KernelPlan` → simulation.
+"""End-to-end compilation: model → layer graph → passes → lowering.
 
 This is the user-facing entry of the compiler-assisted framework
-(Figure 3): hand it the (pruned) weight matrices of an RNN and a device,
-get latency / GOP/s / energy out.
+(Figure 3).  Every consumer goes through the same route:
+
+* **frontends** build a :class:`~repro.compiler.ir.LayerGraph` — from a
+  trained module tree (:func:`build_layer_graph`), a bare GRU weight
+  dict (:func:`rnn_graph_from_weights`), or named weight matrices
+  (:func:`graph_from_named_weights`, the analytic frontend);
+* the shared **pass pipeline** (:mod:`repro.compiler.passes`) annotates
+  and decides formats/kernels;
+* a **lowering** turns the decided graph into something runnable:
+  :func:`kernel_plan_from_graph` for the analytic mobile simulator
+  (:func:`compile_for_simulation`), or
+  :func:`repro.engine.plan.lower_graph` for the host execution engine.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, Optional
 
 import numpy as np
 
-from repro.compiler.codegen import CompileOptions, lower_matrix
-from repro.compiler.ir import KernelPlan
-from repro.errors import CompilationError
+from repro.compiler.codegen import CompileOptions, layer_plan_from_slot
+from repro.compiler.ir import (
+    OP_LINEAR,
+    OP_RECURRENT_MATVEC,
+    GraphNode,
+    GraphOptions,
+    KernelPlan,
+    LayerGraph,
+    WeightSlot,
+)
+from repro.compiler.passes import run_passes
+from repro.errors import CompilationError, ConfigError
 from repro.hw.device import DeviceSpec
 from repro.hw.energy import EnergyReport, energy_report
 from repro.hw.executor import SimulationResult, simulate
 from repro.pruning.metrics import FRAMES_PER_INFERENCE
+from repro.sparse.blocks import grid_for
+from repro.utils.validation import check_2d
+
+
+# ---------------------------------------------------------------------------
+# Frontends: build the shared layer graph
+# ---------------------------------------------------------------------------
+def graph_from_named_weights(
+    named_weights: Dict[str, np.ndarray],
+    options: Optional[CompileOptions] = None,
+) -> LayerGraph:
+    """The analytic frontend: one generic GEMV node per weight matrix.
+
+    ``named_weights`` maps layer names to 2-D arrays whose zeros encode
+    the pruning pattern (the output of any :mod:`repro.pruning` method
+    applied to a trained model).
+    """
+    if not named_weights:
+        raise CompilationError("graph_from_named_weights() needs at least one matrix")
+    options = options or CompileOptions()
+    nodes = []
+    for name, weight in named_weights.items():
+        weight = check_2d(np.asarray(weight), name)
+        slot = WeightSlot(
+            name=name,
+            op=OP_RECURRENT_MATVEC if "weight_hh" in name else OP_LINEAR,
+            array=weight,
+            grid=(options.num_row_strips, options.num_col_blocks),
+            tile=options.tile,
+            block_grid=grid_for(
+                weight, options.num_row_strips, options.num_col_blocks
+            ),
+        )
+        nodes.append(GraphNode(name=name, kind="linear", weights={"w": slot}))
+    return LayerGraph(nodes=nodes, options=options.graph_options())
+
+
+def _cell_node(
+    index: int,
+    kind: str,
+    weight_ih: np.ndarray,
+    weight_hh: np.ndarray,
+    params: Dict[str, np.ndarray],
+    options: GraphOptions,
+) -> GraphNode:
+    grid = (options.num_row_strips, options.num_col_blocks)
+    name = f"cell{index}"
+    return GraphNode(
+        name=name,
+        kind=kind,
+        weights={
+            "ih": WeightSlot(
+                name=f"{name}.weight_ih",
+                op=OP_LINEAR,
+                array=np.array(weight_ih, dtype=np.float64),
+                grid=grid,
+                tile=options.tile,
+            ),
+            "hh": WeightSlot(
+                name=f"{name}.weight_hh",
+                op=OP_RECURRENT_MATVEC,
+                array=np.array(weight_hh, dtype=np.float64),
+                grid=grid,
+                tile=options.tile,
+            ),
+        },
+        params={k: np.array(v, dtype=np.float64) for k, v in params.items()},
+    )
+
+
+def build_layer_graph(
+    model,
+    scheme: Optional[str] = None,
+    options: Optional[GraphOptions] = None,
+    backend: Optional[str] = None,
+) -> LayerGraph:
+    """The module-tree frontend: walk a
+    :class:`~repro.speech.model.GRUAcousticModel` (or bare ``GRU`` /
+    ``LSTM`` stack) once and snapshot it into a layer graph.
+
+    Every array is copied, so later training or pruning of ``model``
+    cannot silently change what a lowering of this graph computes.
+    """
+    from repro.nn.rnn import GRU, LSTM  # deferred: keep compiler import-light
+
+    options = options or GraphOptions()
+    rnn = model if isinstance(model, (GRU, LSTM)) else getattr(model, "gru", None)
+    if not isinstance(rnn, (GRU, LSTM)):
+        raise ConfigError(
+            f"cannot compile {type(model).__name__}: expected a "
+            "GRUAcousticModel or a GRU/LSTM module"
+        )
+    nodes = []
+    for index, cell in enumerate(rnn.cells):
+        if isinstance(rnn, GRU):
+            nodes.append(
+                _cell_node(
+                    index,
+                    "gru_cell",
+                    cell.weight_ih.data,
+                    cell.weight_hh.data,
+                    {"bias_ih": cell.bias_ih.data, "bias_hh": cell.bias_hh.data},
+                    options,
+                )
+            )
+        else:
+            nodes.append(
+                _cell_node(
+                    index,
+                    "lstm_cell",
+                    cell.weight_ih.data,
+                    cell.weight_hh.data,
+                    {"bias": cell.bias.data},
+                    options,
+                )
+            )
+    linear = getattr(model, "output", None)
+    if linear is not None:
+        params = {} if linear.bias is None else {
+            "bias": np.array(linear.bias.data, dtype=np.float64)
+        }
+        nodes.append(
+            GraphNode(
+                name="output",
+                kind="output",
+                weights={
+                    "w": WeightSlot(
+                        name="output.weight",
+                        op=OP_LINEAR,
+                        array=np.array(linear.weight.data, dtype=np.float64),
+                        # The phone projection is small and stays dense —
+                        # pinned here so format selection never repacks it.
+                        format="dense",
+                        grid=(options.num_row_strips, options.num_col_blocks),
+                        tile=options.tile,
+                    )
+                },
+                params=params,
+            )
+        )
+    return LayerGraph(
+        nodes=nodes,
+        scheme=scheme,
+        backend=backend,
+        cell_type="gru" if isinstance(rnn, GRU) else "lstm",
+        options=options,
+    )
+
+
+def rnn_graph_from_weights(
+    weights: Dict[str, np.ndarray],
+    scheme: Optional[str] = None,
+    options: Optional[GraphOptions] = None,
+    backend: Optional[str] = None,
+) -> LayerGraph:
+    """The weight-dict frontend: ``gru.cell{i}.weight_ih/_hh`` keys (the
+    Table II sweep naming) become GRU cell nodes with zero biases."""
+    options = options or GraphOptions()
+    num_layers = 0
+    while f"gru.cell{num_layers}.weight_ih" in weights:
+        num_layers += 1
+    if num_layers == 0:
+        raise ConfigError(
+            "weights must contain 'gru.cell0.weight_ih'; "
+            f"got keys {sorted(weights)}"
+        )
+    nodes = []
+    for index in range(num_layers):
+        w_ih = np.array(weights[f"gru.cell{index}.weight_ih"], dtype=np.float64)
+        w_hh = np.array(weights[f"gru.cell{index}.weight_hh"], dtype=np.float64)
+        zeros = np.zeros(w_ih.shape[0])
+        nodes.append(
+            _cell_node(
+                index,
+                "gru_cell",
+                w_ih,
+                w_hh,
+                {"bias_ih": zeros, "bias_hh": zeros.copy()},
+                options,
+            )
+        )
+    return LayerGraph(
+        nodes=nodes, scheme=scheme, backend=backend, cell_type="gru",
+        options=options,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Analytic lowering + the simulation-facing API
+# ---------------------------------------------------------------------------
+def kernel_plan_from_graph(
+    graph: LayerGraph, timesteps: int = FRAMES_PER_INFERENCE
+) -> KernelPlan:
+    """Lower a pass-annotated graph to the analytic :class:`KernelPlan`."""
+    layers = [layer_plan_from_slot(slot) for _, _, slot in graph.slots()]
+    return KernelPlan(layers=layers, timesteps=timesteps)
 
 
 def compile_weights(
@@ -26,19 +242,13 @@ def compile_weights(
     options: Optional[CompileOptions] = None,
     timesteps: int = FRAMES_PER_INFERENCE,
 ) -> KernelPlan:
-    """Lower every weight matrix and assemble the full inference plan.
-
-    ``named_weights`` maps layer names to 2-D arrays whose zeros encode the
-    pruning pattern (the output of any :mod:`repro.pruning` method applied
-    to a trained model).
-    """
+    """Lower every weight matrix and assemble the full inference plan."""
     if not named_weights:
         raise CompilationError("compile_weights() needs at least one matrix")
     options = options or CompileOptions()
-    layers = [
-        lower_matrix(name, weight, options) for name, weight in named_weights.items()
-    ]
-    return KernelPlan(layers=layers, timesteps=timesteps)
+    graph = graph_from_named_weights(named_weights, options)
+    run_passes(graph, analytic=True)
+    return kernel_plan_from_graph(graph, timesteps)
 
 
 @dataclass
@@ -65,13 +275,38 @@ class CompiledModel:
         return energy_report(self.simulate(device), device)
 
 
+def compile_for_simulation(
+    named_weights: Dict[str, np.ndarray],
+    options: Optional[CompileOptions] = None,
+    timesteps: int = FRAMES_PER_INFERENCE,
+) -> CompiledModel:
+    """Compile named weight matrices for the analytic mobile simulator.
+
+    This is the cost-model side of the compiler; the executable side is
+    :func:`repro.engine.compile_model`, which lowers the same layer-graph
+    IR to a host :class:`~repro.engine.plan.ModelPlan`.
+    """
+    options = options or CompileOptions()
+    return CompiledModel(
+        plan=compile_weights(named_weights, options, timesteps), options=options
+    )
+
+
 def compile_model(
     named_weights: Dict[str, np.ndarray],
     options: Optional[CompileOptions] = None,
     timesteps: int = FRAMES_PER_INFERENCE,
 ) -> CompiledModel:
-    """Convenience wrapper returning a :class:`CompiledModel`."""
-    options = options or CompileOptions()
-    return CompiledModel(
-        plan=compile_weights(named_weights, options, timesteps), options=options
+    """Deprecated alias for :func:`compile_for_simulation`.
+
+    The name collided with :func:`repro.engine.compile_model` (the
+    executable lowering); the analytic entry point is now unambiguous.
+    """
+    warnings.warn(
+        "repro.compiler.pipeline.compile_model is deprecated; use "
+        "compile_for_simulation (analytic) or repro.engine.compile_model "
+        "(executable)",
+        DeprecationWarning,
+        stacklevel=2,
     )
+    return compile_for_simulation(named_weights, options, timesteps)

@@ -1,10 +1,13 @@
 """Compiled model plans and batched streaming inference.
 
-The run-time counterpart of :mod:`repro.compiler`'s cost-model pipeline:
-:func:`compile_model` walks a trained module tree once and freezes it
-into a :class:`ModelPlan` (packed — optionally sparse and/or quantized —
-weights plus preallocated work buffers), and :mod:`repro.engine.serving`
-drives padded micro-batches from an utterance stream through that plan.
+The executable backend of the unified compiler: :func:`compile_model`
+walks a trained module tree once into the shared layer-graph IR
+(:mod:`repro.compiler.ir`), runs the compiler's pass pipeline, and
+:func:`lower_graph` freezes the decided graph into a :class:`ModelPlan`
+(packed — optionally sparse and/or quantized — weights plus preallocated
+work buffers); :mod:`repro.engine.serving` drives padded micro-batches
+from an utterance stream through that plan.  Tuned plans serialize with
+:func:`save_plan` and reload bit-identically with :func:`load_plan`.
 
 Quickstart::
 
@@ -19,9 +22,15 @@ Quickstart::
     phones = [p for chunk in chunks for p in session.feed(chunk)]
     phones += session.finish()
 
-See ``docs/engine.md`` and ``docs/serving.md`` for the design.
+    # deployment artifact: save → load → bit-identical logits
+    engine.save_plan("model.plan.npz", plan)
+    plan = engine.load_plan("model.plan.npz")
+
+See ``docs/engine.md``, ``docs/serving.md``, and ``docs/compiler.md``
+for the design.
 """
 
+from repro.engine.artifact import load_plan, save_plan
 from repro.engine.plan import (
     EngineConfig,
     GRULayerPlan,
@@ -31,6 +40,7 @@ from repro.engine.plan import (
     PlanState,
     compile_model,
     compile_rnn,
+    lower_graph,
 )
 from repro.engine.serving import (
     MicroBatcher,
@@ -54,6 +64,9 @@ __all__ = [
     "OutputPlan",
     "compile_model",
     "compile_rnn",
+    "lower_graph",
+    "save_plan",
+    "load_plan",
     "MicroBatcher",
     "ServingConfig",
     "ServingStats",

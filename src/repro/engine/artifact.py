@@ -1,0 +1,74 @@
+"""Compiled-plan artifacts: serialize a tuned layer graph, reload, run.
+
+The deployment story of the unified compiler: once a model is compiled
+(and optionally tuned with :func:`repro.compiler.autotune.tune_plan`),
+:func:`save_plan` writes the plan's layer graph — weight/bias arrays in
+full float64 plus every pass decision (per-slot sparse format, scheme,
+kernel backend, grids, tiles) — into a single ``.npz`` file.
+:func:`load_plan` rebuilds the graph with those decisions *pinned* and
+lowers it through the same deterministic
+:func:`~repro.engine.plan.lower_graph`, so the reloaded plan produces
+**bit-identical logits** to the saved one, for every scheme and format,
+including streaming state carry through
+:meth:`~repro.engine.plan.ModelPlan.run_chunk`.
+
+Format: an ``npz`` archive with one ``meta.json`` entry (the graph
+header from :func:`repro.compiler.ir.graph_to_arrays`, UTF-8 JSON) and
+one entry per weight/param array.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.compiler.ir import graph_from_arrays, graph_to_arrays
+from repro.engine.plan import ModelPlan, lower_graph
+from repro.errors import ConfigError
+
+_META_KEY = "meta.json"
+
+
+def save_plan(path: Union[str, Path], plan: ModelPlan) -> Path:
+    """Write ``plan``'s layer graph to ``path`` as a compiled artifact.
+
+    The plan must have been compiled through the unified pipeline (every
+    ``compile_model``/``compile_rnn``/``lower_graph`` plan is); a
+    hand-assembled :class:`ModelPlan` without a graph cannot round-trip.
+    """
+    if plan.graph is None:
+        raise ConfigError(
+            "plan has no layer graph attached; only plans compiled through "
+            "the unified pipeline can be saved"
+        )
+    path = Path(path)
+    meta, arrays = graph_to_arrays(plan.graph)
+    payload = json.dumps(meta).encode("utf-8")
+    arrays[_META_KEY] = np.frombuffer(payload, dtype=np.uint8)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "wb") as handle:
+        np.savez_compressed(handle, **arrays)
+    return path
+
+
+def load_plan(path: Union[str, Path]) -> ModelPlan:
+    """Reload a compiled artifact into a ready-to-run :class:`ModelPlan`.
+
+    The recorded format/scheme/backend decisions are pinned, so no pass
+    re-decides anything: lowering replays the saved compilation exactly
+    and the returned plan's logits are bit-identical to the saved plan's.
+    """
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as data:
+        if _META_KEY not in data:
+            raise ConfigError(f"{path} is not a compiled-plan artifact")
+        meta = json.loads(bytes(data[_META_KEY]).decode("utf-8"))
+        arrays = {key: data[key] for key in data.files if key != _META_KEY}
+    graph = graph_from_arrays(meta, arrays)
+    return lower_graph(graph)
+
+
+__all__ = ["save_plan", "load_plan"]

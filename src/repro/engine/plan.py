@@ -1,16 +1,24 @@
-"""Compile a trained model into a packed execution plan.
+"""Lower the shared layer graph into a packed execution plan.
 
 The paper's thesis is that RNN inference gets fast when all indexing,
 layout, and format decisions move to compile time.  :func:`compile_model`
-applies that to this library's own execution: it walks the module tree
-**once** and freezes everything the forward pass needs into flat arrays —
+applies that to this library's own execution — through the unified
+compiler: the module tree is walked **once** into the shared layer-graph
+IR (:func:`repro.compiler.pipeline.build_layer_graph`), the compiler's
+pass pipeline (:mod:`repro.compiler.passes`) decides every per-layer
+sparse format and kernel, and :func:`lower_graph` executes those
+decisions, freezing everything the forward pass needs into flat arrays —
 gate matrices pre-transposed, biases pre-folded the way the fused kernels
 fold them, sparse weights pre-packed into :class:`~repro.sparse.csr.CSRMatrix`
 / :class:`~repro.sparse.bspc.BSPCMatrix` objects with their kernel plans
 built eagerly, and (optionally) weights quantized to fp16 storage or int8
-codes.  The resulting :class:`ModelPlan` runs whole padded batches on raw
-ndarrays: no ``Tensor`` tape, no per-layer ``Module`` dispatch, work
-buffers reused across calls.
+codes.  No format/scheme decision is made in this module; it executes
+what the graph says.  The resulting :class:`ModelPlan` runs whole padded
+batches on raw ndarrays: no ``Tensor`` tape, no per-layer ``Module``
+dispatch, work buffers reused across calls; its ``graph`` attribute
+retains the lowered IR for artifact serialization
+(:mod:`repro.engine.artifact`) and a tuned ``backend`` pins the kernel
+registry backend its kernels dispatch to.
 
 Numerics by scheme:
 
@@ -38,18 +46,21 @@ at a time — see :mod:`repro.engine.streaming` and ``docs/serving.md``.
 from __future__ import annotations
 
 import math
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro import kernels
+from repro.compiler.ir import GraphNode, GraphOptions, LayerGraph
+from repro.compiler.passes import run_passes, slot_grid
+from repro.compiler.pipeline import build_layer_graph, rnn_graph_from_weights
 from repro.errors import ConfigError, ShapeError
 from repro.kernels._math import sigmoid as _sigmoid
 from repro.kernels.quantized import int8_bspc_plan, int8_codes, int8_csr_plan
 from repro.nn.quantize import quantize_fp16
-from repro.nn.rnn import GRU, LSTM
-from repro.sparse.blocks import grid_for
+from repro.sparse.blocks import BlockGrid
 from repro.sparse.bspc import BSPCMatrix
 from repro.sparse.csr import CSRMatrix
 
@@ -98,6 +109,16 @@ class EngineConfig:
             )
         if self.num_row_strips < 1 or self.num_col_blocks < 1:
             raise ConfigError("num_row_strips and num_col_blocks must be >= 1")
+
+    def graph_options(self) -> GraphOptions:
+        """The equivalent graph-level options for the shared pass
+        pipeline (format decisions live there, not in this module)."""
+        return GraphOptions(
+            sparse_format=self.sparse_format,
+            sparsity_threshold=self.sparsity_threshold,
+            num_row_strips=self.num_row_strips,
+            num_col_blocks=self.num_col_blocks,
+        )
 
 
 class _Workspace:
@@ -163,7 +184,7 @@ class _SparseWeight:
         weight: np.ndarray,
         fmt: str,
         scheme: Optional[str],
-        config: EngineConfig,
+        grid: Optional[BlockGrid] = None,
         prebuilt: Optional[BSPCMatrix] = None,
     ) -> None:
         self.scheme = scheme
@@ -177,7 +198,7 @@ class _SparseWeight:
             self.matrix = (
                 prebuilt
                 if prebuilt is not None
-                else BSPCMatrix.from_dense(weight, _engine_grid(weight, config))
+                else BSPCMatrix.from_dense(weight, grid)
             )
             plan_builder = int8_bspc_plan if scheme == "int8" else kernels.bspc_plan
         else:
@@ -200,45 +221,22 @@ class _SparseWeight:
         return self.matrix.nbytes(value_bytes=value_bytes, index_bytes=4)
 
 
-def _engine_grid(weight: np.ndarray, config: EngineConfig):
-    """The BSPC grid for ``weight``, clamped so small matrices stay legal."""
-    return grid_for(
-        weight,
-        min(config.num_row_strips, weight.shape[0]),
-        min(config.num_col_blocks, weight.shape[1]),
-    )
+def _pack_weight(slot, scheme):
+    """Pack one input-side weight slot as its pass-decided format.
 
-
-def _choose_format(
-    weight: np.ndarray, config: EngineConfig
-) -> Tuple[Optional[str], Optional[BSPCMatrix]]:
-    """Resolve the packing format for one weight matrix.
-
-    Returns ``(format, prebuilt)`` where ``format`` is ``None`` (keep
-    dense), ``"csr"``, or ``"bspc"``; when the ``"auto"`` probe already
-    built the winning BSPC matrix it is returned so the caller does not
-    pack twice.
+    All format *decisions* happen in the compiler's format-selection pass
+    (:func:`repro.compiler.passes.select_formats_pass`); this function
+    only executes them.
     """
-    fmt = config.sparse_format
-    if fmt is None:
-        return None, None
-    if fmt == "auto":
-        density = np.count_nonzero(weight) / weight.size if weight.size else 1.0
-        if density > config.sparsity_threshold:
-            return None, None
-        bspc = BSPCMatrix.from_dense(weight, _engine_grid(weight, config))
-        if bspc.fill() >= 0.5:
-            return "bspc", bspc
-        return "csr", None
-    return fmt, None
-
-
-def _pack_weight(weight, scheme, config: EngineConfig):
-    """Choose dense vs sparse packing for one input-side weight matrix."""
-    fmt, prebuilt = _choose_format(weight, config)
-    if fmt is None:
-        return _DenseWeight(weight, scheme)
-    return _SparseWeight(weight, fmt, scheme, config, prebuilt=prebuilt)
+    if slot.format in (None, "dense"):
+        return _DenseWeight(slot.array, scheme)
+    return _SparseWeight(
+        slot.array,
+        slot.format,
+        scheme,
+        grid=slot_grid(slot),
+        prebuilt=slot.prebuilt,
+    )
 
 
 def _round_bias(bias: np.ndarray, scheme: Optional[str], dtype) -> np.ndarray:
@@ -263,21 +261,16 @@ class GRULayerPlan:
     time.
     """
 
-    def __init__(
-        self,
-        weight_ih: np.ndarray,
-        weight_hh: np.ndarray,
-        bias_ih: np.ndarray,
-        bias_hh: np.ndarray,
-        scheme: Optional[str],
-        config: EngineConfig,
-    ) -> None:
+    def __init__(self, node: GraphNode, scheme: Optional[str]) -> None:
+        ih_slot, hh_slot = node.weights["ih"], node.weights["hh"]
+        bias_ih = node.params["bias_ih"]
+        bias_hh = node.params["bias_hh"]
         self.scheme = scheme
-        self.hidden_size = weight_hh.shape[1]
-        self.input_size = weight_ih.shape[1]
+        self.hidden_size = hh_slot.shape[1]
+        self.input_size = ih_slot.shape[1]
         self.dtype = np.float32 if scheme == "fp16" else np.float64
-        self.input_proj = _pack_weight(weight_ih, scheme, config)
-        self.recurrent = _pack_recurrent(weight_hh, scheme, config)
+        self.input_proj = _pack_weight(ih_slot, scheme)
+        self.recurrent = _pack_recurrent(hh_slot, scheme)
         h = self.hidden_size
         if scheme is None:
             self.bias_ih = bias_ih.copy()
@@ -337,20 +330,15 @@ class GRULayerPlan:
 class LSTMLayerPlan:
     """One LSTM layer frozen for batched inference (gate order i,f,g,o)."""
 
-    def __init__(
-        self,
-        weight_ih: np.ndarray,
-        weight_hh: np.ndarray,
-        bias: np.ndarray,
-        scheme: Optional[str],
-        config: EngineConfig,
-    ) -> None:
+    def __init__(self, node: GraphNode, scheme: Optional[str]) -> None:
+        ih_slot, hh_slot = node.weights["ih"], node.weights["hh"]
+        bias = node.params["bias"]
         self.scheme = scheme
-        self.hidden_size = weight_hh.shape[1]
-        self.input_size = weight_ih.shape[1]
+        self.hidden_size = hh_slot.shape[1]
+        self.input_size = ih_slot.shape[1]
         self.dtype = np.float32 if scheme == "fp16" else np.float64
-        self.input_proj = _pack_weight(weight_ih, scheme, config)
-        self.recurrent = _pack_recurrent(weight_hh, scheme, config)
+        self.input_proj = _pack_weight(ih_slot, scheme)
+        self.recurrent = _pack_recurrent(hh_slot, scheme)
         self.bias = (
             bias.copy()
             if scheme is None
@@ -441,12 +429,18 @@ class _SparseRecurrent:
         return self.packed.nbytes()
 
 
-def _pack_recurrent(weight_hh, scheme, config: EngineConfig):
-    fmt, prebuilt = _choose_format(weight_hh, config)
-    if fmt is None:
-        return _DenseRecurrent(weight_hh, scheme)
+def _pack_recurrent(slot, scheme):
+    """Pack a recurrent weight slot as its pass-decided format."""
+    if slot.format in (None, "dense"):
+        return _DenseRecurrent(slot.array, scheme)
     return _SparseRecurrent(
-        _SparseWeight(weight_hh, fmt, scheme, config, prebuilt=prebuilt)
+        _SparseWeight(
+            slot.array,
+            slot.format,
+            scheme,
+            grid=slot_grid(slot),
+            prebuilt=slot.prebuilt,
+        )
     )
 
 
@@ -566,15 +560,23 @@ class ModelPlan:
         scheme: Optional[str],
         cell_type: str,
         config: EngineConfig,
+        backend: Optional[str] = None,
+        graph: Optional[LayerGraph] = None,
     ) -> None:
         self.layers = layers
         self.output = output
         self.scheme = scheme
         self.cell_type = cell_type
         self.config = config
+        self.backend = backend
+        self.graph = graph
         self.input_dim = layers[0].input_size
         self.hidden_size = layers[0].hidden_size
         self._workspace = _Workspace()
+
+    def _backend_scope(self):
+        """Kernel-registry scope for this plan's tuned backend choice."""
+        return kernels.use_backend(self.backend) if self.backend else nullcontext()
 
     def forward_batch(
         self, features: np.ndarray, lengths: Optional[np.ndarray] = None
@@ -605,8 +607,9 @@ class ModelPlan:
                 lengths.min() < 0 or lengths.max() > features.shape[0]
             ):
                 raise ShapeError("lengths must lie in [0, T]")
-        x, _ = self._run_layers(features, None)
-        return self._project_out(x)
+        with self._backend_scope():
+            x, _ = self._run_layers(features, None)
+            return self._project_out(x)
 
     def _run_layers(
         self,
@@ -676,8 +679,9 @@ class ModelPlan:
                 f"carry state holds batch {state.batch_size}, "
                 f"chunk has batch {batch}"
             )
-        x, new_states = self._run_layers(features, state.layer_states)
-        return self._project_out(x), PlanState(new_states)
+        with self._backend_scope():
+            x, new_states = self._run_layers(features, state.layer_states)
+            return self._project_out(x), PlanState(new_states)
 
     def forward_utterance(self, features: np.ndarray) -> np.ndarray:
         """Single utterance ``(T, D)`` → logits ``(T, C)``."""
@@ -701,6 +705,64 @@ def _validate_scheme(scheme: Optional[str]) -> None:
         raise ConfigError(f"scheme must be one of {SCHEMES}, got {scheme!r}")
 
 
+def _config_from_graph(graph: LayerGraph) -> EngineConfig:
+    options = graph.options
+    fmt = options.sparse_format
+    return EngineConfig(
+        sparse_format=None if fmt == "dense" else fmt,
+        sparsity_threshold=options.sparsity_threshold,
+        num_row_strips=options.num_row_strips,
+        num_col_blocks=options.num_col_blocks,
+    )
+
+
+def lower_graph(
+    graph: LayerGraph, config: Optional[EngineConfig] = None
+) -> ModelPlan:
+    """Lower a layer graph to an executable :class:`ModelPlan`.
+
+    This is the execution engine's backend of the unified compiler: the
+    graph's pass-decided per-slot formats, scheme, and kernel backend are
+    executed verbatim.  Slots whose format is still undecided are sent
+    through the shared pass pipeline first, so a freshly built frontend
+    graph and a tuned/deserialized one lower through the same code.
+
+    Lowering is deterministic: the same graph (same arrays, same
+    annotations) always produces a plan with bit-identical outputs —
+    the property the compiled-artifact round trip relies on.
+    """
+    _validate_scheme(graph.scheme)
+    if graph.undecided():
+        run_passes(graph)
+    layers: List = []
+    output = None
+    for node in graph.nodes:
+        if node.kind == "gru_cell":
+            layers.append(GRULayerPlan(node, graph.scheme))
+        elif node.kind == "lstm_cell":
+            layers.append(LSTMLayerPlan(node, graph.scheme))
+        elif node.kind == "output":
+            output = OutputPlan(
+                node.weights["w"].array, node.params.get("bias"), graph.scheme
+            )
+        else:
+            raise ConfigError(
+                f"cannot lower node kind {node.kind!r} to the engine"
+            )
+    if not layers:
+        raise ConfigError("graph has no recurrent layers to lower")
+    cell_type = graph.cell_type or "gru"
+    return ModelPlan(
+        layers,
+        output,
+        graph.scheme,
+        cell_type,
+        config or _config_from_graph(graph),
+        backend=graph.backend,
+        graph=graph,
+    )
+
+
 def compile_model(
     model,
     scheme: Optional[str] = None,
@@ -709,46 +771,16 @@ def compile_model(
     """Compile a :class:`~repro.speech.model.GRUAcousticModel` (or a bare
     ``GRU``/``LSTM`` stack) into a :class:`ModelPlan`.
 
-    The module tree is walked exactly once; the plan holds copies of the
-    weights, so later training does not silently change compiled results.
+    The module tree is walked exactly once into the shared layer-graph IR
+    (:func:`repro.compiler.pipeline.build_layer_graph`), the compiler's
+    pass pipeline decides every format/kernel, and :func:`lower_graph`
+    executes those decisions.  The graph holds copies of the weights, so
+    later training does not silently change compiled results.
     """
     _validate_scheme(scheme)
-    rnn = model if isinstance(model, (GRU, LSTM)) else getattr(model, "gru", None)
-    if not isinstance(rnn, (GRU, LSTM)):
-        raise ConfigError(
-            f"cannot compile {type(model).__name__}: expected a "
-            "GRUAcousticModel or a GRU/LSTM module"
-        )
-    layers: List = []
-    for cell in rnn.cells:
-        if isinstance(rnn, GRU):
-            layers.append(
-                GRULayerPlan(
-                    cell.weight_ih.data,
-                    cell.weight_hh.data,
-                    cell.bias_ih.data,
-                    cell.bias_hh.data,
-                    scheme,
-                    config,
-                )
-            )
-        else:
-            layers.append(
-                LSTMLayerPlan(
-                    cell.weight_ih.data,
-                    cell.weight_hh.data,
-                    cell.bias.data,
-                    scheme,
-                    config,
-                )
-            )
-    output = None
-    linear = getattr(model, "output", None)
-    if linear is not None:
-        bias = None if linear.bias is None else linear.bias.data
-        output = OutputPlan(linear.weight.data, bias, scheme)
-    cell_type = "gru" if isinstance(rnn, GRU) else "lstm"
-    return ModelPlan(layers, output, scheme, cell_type, config)
+    graph = build_layer_graph(model, scheme=scheme, options=config.graph_options())
+    run_passes(graph)
+    return lower_graph(graph, config)
 
 
 def compile_rnn(
@@ -765,18 +797,8 @@ def compile_rnn(
     output projection.
     """
     _validate_scheme(scheme)
-    num_layers = 0
-    while f"gru.cell{num_layers}.weight_ih" in weights:
-        num_layers += 1
-    if num_layers == 0:
-        raise ConfigError(
-            "weights must contain 'gru.cell0.weight_ih'; "
-            f"got keys {sorted(weights)}"
-        )
-    layers: List = []
-    for layer in range(num_layers):
-        w_ih = np.asarray(weights[f"gru.cell{layer}.weight_ih"], dtype=np.float64)
-        w_hh = np.asarray(weights[f"gru.cell{layer}.weight_hh"], dtype=np.float64)
-        zeros = np.zeros(w_ih.shape[0])
-        layers.append(GRULayerPlan(w_ih, w_hh, zeros, zeros.copy(), scheme, config))
-    return ModelPlan(layers, None, scheme, "gru", config)
+    graph = rnn_graph_from_weights(
+        weights, scheme=scheme, options=config.graph_options()
+    )
+    run_passes(graph)
+    return lower_graph(graph, config)

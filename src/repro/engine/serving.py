@@ -14,6 +14,12 @@ with :func:`repro.speech.decoder.decode_batch` in a single shot.
 :class:`ServingStats` records what the bucketing actually bought:
 batches issued, mean batch size, and the padding overhead (padded frames
 computed beyond the real ones — the quantity bucketing minimizes).
+
+The plan under the batcher can come from anywhere the unified compiler
+produces one: a fresh :func:`~repro.engine.plan.compile_model`, a
+measured-autotuned graph (:func:`repro.compiler.autotune.tune_plan`), or
+a deployment artifact reloaded with :func:`repro.engine.load_plan` —
+serving code never needs to know which (see ``docs/compiler.md``).
 """
 
 from __future__ import annotations

@@ -24,6 +24,12 @@ same compiled :class:`~repro.engine.plan.ModelPlan`:
   wall-clock latency percentiles (p50/p95), and frames of deadline wait,
   alongside the batch-economics counters ``ServingStats`` tracks for the
   offline path.
+
+Plans compiled through the unified pipeline carry their layer graph and
+any tuned kernel-backend choice with them, so a session driven by an
+artifact reloaded via :func:`repro.engine.load_plan` streams chunk-exact
+logits identical to the plan that was saved (``tests/test_artifact.py``
+pins this, including the int8 bitwise guarantee).
 """
 
 from __future__ import annotations

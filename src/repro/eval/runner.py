@@ -120,6 +120,45 @@ def _run_stream_bench(args) -> None:
         print(f"wrote {args.json}")
 
 
+def _run_tune(args) -> None:
+    from repro.eval.tune import TuneConfig, render_tune, run_tune, save_and_verify
+
+    schemes = tuple(
+        None if name in ("none", "") else name
+        for name in args.schemes.split(",")
+    )
+    config = TuneConfig(
+        hidden_size=args.hidden_size,
+        num_layers=args.layers,
+        seq_len=args.frames,
+        batch=args.batch,
+        prune=not args.no_prune,
+        col_rate=args.col_rate,
+        row_rate=args.row_rate,
+        schemes=schemes,
+        backends=(None,) if args.backends is None
+        else tuple(args.backends.split(",")),
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+    outcome = run_tune(config)
+    print(render_tune(outcome))
+    if args.save:
+        args.save.parent.mkdir(parents=True, exist_ok=True)
+        if not save_and_verify(outcome, args.save):
+            raise SystemExit(
+                f"artifact round-trip mismatch for {args.save}"
+            )
+        print(
+            f"saved tuned plan to {args.save} "
+            "(reload verified bit-identical)"
+        )
+    if args.json:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json.dumps(outcome.to_rows(), indent=2))
+        print(f"wrote {args.json}")
+
+
 def _run_all(args) -> None:
     out: Path = args.out
     out.mkdir(parents=True, exist_ok=True)
@@ -217,11 +256,40 @@ def build_parser() -> argparse.ArgumentParser:
     pst.add_argument("--json", type=Path, help="write rows as JSON")
     pst.set_defaults(func=_run_stream_bench)
 
+    pt = sub.add_parser(
+        "tune",
+        help="measured autotune: search engine configs by timing the "
+        "real compiled plan, optionally save the tuned artifact",
+    )
+    pt.add_argument("--hidden-size", type=int, default=64)
+    pt.add_argument("--layers", type=int, default=2)
+    pt.add_argument("--frames", type=int, default=100,
+                    help="calibration-batch sequence length")
+    pt.add_argument("--batch", type=int, default=16,
+                    help="calibration-batch size")
+    pt.add_argument("--no-prune", action="store_true",
+                    help="tune the dense model instead of a BSP-pruned one")
+    pt.add_argument("--col-rate", type=float, default=4.0)
+    pt.add_argument("--row-rate", type=float, default=2.0)
+    pt.add_argument("--schemes", default="none",
+                    help="comma list of quantization schemes to search "
+                    "(none,fp16,int8); schemes change numerics")
+    pt.add_argument("--backends", default=None,
+                    help="comma list of kernel backends to search "
+                    "(default: registry default only)")
+    pt.add_argument("--repeats", type=int, default=3)
+    pt.add_argument("--seed", type=int, default=0)
+    pt.add_argument("--save", type=Path,
+                    help="write the tuned plan artifact (.npz) and verify "
+                    "the reload is bit-identical")
+    pt.add_argument("--json", type=Path, help="write the measured trace")
+    pt.set_defaults(func=_run_tune)
+
     pa = sub.add_parser("all", help="everything, archived to a directory")
     pa.add_argument("--out", type=Path, default=Path("results"))
     pa.add_argument("--fast", action="store_true")
     pa.set_defaults(func=_run_all)
-    for sub_parser in (p1, p2, p4, ps, pst, pa):
+    for sub_parser in (p1, p2, p4, ps, pst, pt, pa):
         _add_kernel_backend_arg(sub_parser, top_level=False)
     return parser
 

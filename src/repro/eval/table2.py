@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.compiler.codegen import CompileOptions
 from repro.compiler.ir import TileConfig
-from repro.compiler.pipeline import compile_model
+from repro.compiler.pipeline import compile_for_simulation
 from repro.eval.paper_data import BSP_SWEEP, TABLE2, Table2Row
 from repro.eval.report import fmt, format_table
 from repro.hw.device import DeviceSpec
@@ -166,12 +166,12 @@ def sweep_point(
         num_row_strips=config.num_row_strips,
         num_col_blocks=config.num_col_blocks,
     )
-    gpu_model = compile_model(
+    gpu_model = compile_for_simulation(
         pruned,
         CompileOptions(tile=TileConfig(use_fp16=True), **base),
         timesteps=config.timesteps,
     )
-    cpu_model = compile_model(
+    cpu_model = compile_for_simulation(
         pruned,
         CompileOptions(tile=TileConfig(use_fp16=False), **base),
         timesteps=config.timesteps,

@@ -170,6 +170,32 @@ class NumericExecutor:
                 grid = grid_for(weight, num_row_strips, num_col_blocks)
                 self._matrices[name] = BSPCMatrix.from_dense(weight, grid)
 
+    @classmethod
+    def from_graph(cls, graph, backend: Optional[str] = None) -> "NumericExecutor":
+        """Build an executor straight from a pass-decided layer graph.
+
+        Each weight slot is encoded in the format the shared pipeline's
+        format-selection pass chose for it (rather than one format for
+        the whole model), so the numeric executor runs exactly the
+        storage mix the cost model priced and the engine executes.
+        """
+        from repro.compiler.passes import run_passes, slot_grid
+
+        if graph.undecided():
+            run_passes(graph)
+        executor = cls({}, backend=backend or graph.backend)
+        for _, _, slot in graph.slots():
+            weight = np.asarray(slot.array, dtype=np.float64)
+            if slot.format == "csr":
+                executor._matrices[slot.name] = CSRMatrix.from_dense(weight)
+            elif slot.format == "bspc":
+                executor._matrices[slot.name] = BSPCMatrix.from_dense(
+                    weight, slot_grid(slot)
+                )
+            else:
+                executor._matrices[slot.name] = weight
+        return executor
+
     @property
     def layer_names(self) -> List[str]:
         return list(self._matrices)

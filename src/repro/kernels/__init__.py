@@ -48,6 +48,7 @@ from repro.kernels.registry import (
 __all__ = [
     "KernelRegistry",
     "registry",
+    "backends",
     "set_default_backend",
     "get_default_backend",
     "use_backend",
@@ -72,6 +73,12 @@ __all__ = [
     "gru_sequence_grad",
     "lstm_sequence_grad",
 ]
+
+
+def backends() -> Tuple[str, ...]:
+    """The registered backend names (what a tuned plan's ``backend``
+    attribute or the CLI ``--kernel-backend`` flag may name)."""
+    return tuple(registry.backends())
 
 
 def _matrix_op(matrix, op: str) -> str:

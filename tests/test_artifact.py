@@ -1,0 +1,153 @@
+"""Compiled-artifact round-trip tests (repro.engine.artifact).
+
+The deployment contract: ``save_plan`` → ``load_plan`` reproduces
+**bit-identical logits** for every scheme × sparse-format combination,
+and the reloaded plan carries streaming state (``run_chunk``) exactly
+like the original — including the int8 bitwise chunk-exactness.
+"""
+
+import numpy as np
+import pytest
+
+from repro import engine
+from repro.errors import ConfigError
+from repro.pruning.bsp import BSPConfig, bsp_project_masks
+from repro.speech.model import AcousticModelConfig, GRUAcousticModel
+
+SCHEMES = (None, "fp16", "int8")
+FORMATS = (None, "csr", "bspc")
+
+
+def laptop_model(cell_type="gru", seed=0):
+    config = AcousticModelConfig(
+        input_dim=8, hidden_size=24, num_layers=2, cell_type=cell_type
+    )
+    return GRUAcousticModel(config, rng=seed).eval()
+
+
+def prune_model(model):
+    masks = bsp_project_masks(
+        model.prunable_weights(),
+        BSPConfig(col_rate=4, row_rate=2, num_row_strips=4, num_col_blocks=4),
+    )
+    for name, param in model.prunable_parameters().items():
+        param.data[...] = masks[name].apply_to_array(param.data)
+    return model
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    @pytest.mark.parametrize("fmt", FORMATS)
+    def test_bit_identical_logits(self, scheme, fmt, tmp_path, rng_factory):
+        # dense (None) stays unpruned; forced formats get a pruned model
+        # so the sparse packings actually hold sparse patterns.
+        model = laptop_model()
+        if fmt is not None:
+            prune_model(model)
+        config = engine.EngineConfig(
+            sparse_format=fmt, num_row_strips=4, num_col_blocks=4
+        )
+        plan = engine.compile_model(model, scheme=scheme, config=config)
+        x = rng_factory(7).standard_normal((13, 3, 8))
+        expected = plan.forward_batch(x)
+
+        path = tmp_path / "plan.npz"
+        engine.save_plan(path, plan)
+        reloaded = engine.load_plan(path)
+        np.testing.assert_array_equal(reloaded.forward_batch(x), expected)
+        # The reloaded plan advertises the same compilation decisions.
+        assert reloaded.scheme == plan.scheme
+        assert reloaded.graph.formats() == plan.graph.formats()
+
+    def test_lstm_round_trip(self, tmp_path, rng):
+        plan = engine.compile_model(laptop_model(cell_type="lstm"))
+        x = rng.standard_normal((9, 2, 8))
+        engine.save_plan(tmp_path / "lstm.npz", plan)
+        reloaded = engine.load_plan(tmp_path / "lstm.npz")
+        np.testing.assert_array_equal(
+            reloaded.forward_batch(x), plan.forward_batch(x)
+        )
+
+    def test_compile_rnn_round_trip(self, tmp_path, rng):
+        model = prune_model(laptop_model())
+        weights = {
+            name: p.data.copy()
+            for name, p in model.named_parameters()
+            if name.startswith("gru.") and p.data.ndim == 2
+        }
+        plan = engine.compile_rnn(
+            weights,
+            config=engine.EngineConfig(sparse_format="auto", num_row_strips=4,
+                                       num_col_blocks=4),
+        )
+        x = rng.standard_normal((6, 2, 8))
+        engine.save_plan(tmp_path / "rnn.npz", plan)
+        np.testing.assert_array_equal(
+            engine.load_plan(tmp_path / "rnn.npz").forward_batch(x),
+            plan.forward_batch(x),
+        )
+
+    def test_tuned_backend_survives(self, tmp_path, rng):
+        from repro.compiler.pipeline import build_layer_graph
+
+        graph = build_layer_graph(laptop_model(), backend="reference")
+        plan = engine.lower_graph(graph)
+        engine.save_plan(tmp_path / "b.npz", plan)
+        reloaded = engine.load_plan(tmp_path / "b.npz")
+        assert reloaded.backend == "reference"
+
+
+class TestStreamingStateCarry:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_run_chunk_carry_matches_original(self, scheme, tmp_path, rng_factory):
+        model = prune_model(laptop_model())
+        config = engine.EngineConfig(
+            sparse_format="auto", num_row_strips=4, num_col_blocks=4
+        )
+        plan = engine.compile_model(model, scheme=scheme, config=config)
+        engine.save_plan(tmp_path / "s.npz", plan)
+        reloaded = engine.load_plan(tmp_path / "s.npz")
+
+        x = rng_factory(11).standard_normal((20, 2, 8))
+        state_a, state_b = None, None
+        for chunk in (x[:7], x[7:8], x[8:]):
+            logits_a, state_a = plan.run_chunk(chunk, state_a)
+            logits_b, state_b = reloaded.run_chunk(chunk, state_b)
+            np.testing.assert_array_equal(logits_b, logits_a)
+        for layer_a, layer_b in zip(state_a.layer_states, state_b.layer_states):
+            for comp_a, comp_b in zip(layer_a, layer_b):
+                np.testing.assert_array_equal(comp_b, comp_a)
+
+    def test_chunked_reload_equals_offline_original(self, tmp_path, rng):
+        # Cross guarantee: reloaded streaming == original offline batch.
+        plan = engine.compile_model(laptop_model(), scheme="int8")
+        engine.save_plan(tmp_path / "c.npz", plan)
+        reloaded = engine.load_plan(tmp_path / "c.npz")
+        x = rng.standard_normal((15, 2, 8))
+        offline = plan.forward_batch(x)
+        state = None
+        chunks = []
+        for start in range(0, 15, 4):
+            logits, state = reloaded.run_chunk(x[start:start + 4], state)
+            chunks.append(logits)
+        np.testing.assert_array_equal(np.concatenate(chunks, axis=0), offline)
+
+
+class TestArtifactValidation:
+    def test_save_requires_graph(self, tmp_path):
+        plan = engine.compile_model(laptop_model())
+        plan.graph = None  # a hand-assembled plan cannot round-trip
+        with pytest.raises(ConfigError):
+            engine.save_plan(tmp_path / "x.npz", plan)
+
+    def test_load_rejects_foreign_npz(self, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez(path, data=np.zeros(3))
+        with pytest.raises(ConfigError):
+            engine.load_plan(path)
+
+    def test_save_creates_parent_dirs(self, tmp_path):
+        plan = engine.compile_model(laptop_model())
+        path = tmp_path / "nested" / "dir" / "plan.npz"
+        engine.save_plan(path, plan)
+        assert path.exists()

@@ -9,7 +9,7 @@ import pytest
 
 from repro.compiler.codegen import CompileOptions
 from repro.compiler.ir import TileConfig
-from repro.compiler.pipeline import compile_model
+from repro.compiler.pipeline import compile_for_simulation
 from repro.hw.profiles import ADRENO_640, KRYO_485
 from repro.pruning.bsp import BSPConfig, BSPPruner, bsp_project_masks
 from repro.pruning.magnitude import magnitude_project_masks
@@ -63,12 +63,12 @@ class TestEndToEnd:
     def test_compiled_latency_beats_dense(self, trained_pruned):
         model, _, _, _ = trained_pruned
         pruned_weights = model.prunable_weights()
-        compiled = compile_model(pruned_weights, timesteps=10)
+        compiled = compile_for_simulation(pruned_weights, timesteps=10)
         dense_weights = {
             name: np.random.default_rng(0).standard_normal(w.shape)
             for name, w in pruned_weights.items()
         }
-        dense = compile_model(dense_weights, timesteps=10)
+        dense = compile_for_simulation(dense_weights, timesteps=10)
         for device in (ADRENO_640, KRYO_485):
             assert (
                 compiled.simulate(device).latency_us
@@ -88,7 +88,7 @@ class TestEndToEnd:
 
     def test_plan_compression_matches_mask_compression(self, trained_pruned):
         model, _, pruner, _ = trained_pruned
-        compiled = compile_model(model.prunable_weights(), timesteps=10)
+        compiled = compile_for_simulation(model.prunable_weights(), timesteps=10)
         assert compiled.compression_rate == pytest.approx(
             pruner.masks.compression_rate(), rel=0.01
         )
@@ -112,9 +112,9 @@ class TestStructuredVsUnstructuredLatency:
         mag = magnitude_project_masks(weights, rate)
         bsp_w = {n: bsp[n].apply_to_array(w) for n, w in weights.items()}
         mag_w = {n: mag[n].apply_to_array(w) for n, w in weights.items()}
-        bsp_model = compile_model(bsp_w, CompileOptions(format_name="bspc"),
+        bsp_model = compile_for_simulation(bsp_w, CompileOptions(format_name="bspc"),
                                   timesteps=10)
-        mag_model = compile_model(mag_w, CompileOptions(format_name="csr"),
+        mag_model = compile_for_simulation(mag_w, CompileOptions(format_name="csr"),
                                   timesteps=10)
         for device in (ADRENO_640, KRYO_485):
             assert (
@@ -130,9 +130,9 @@ class TestStructuredVsUnstructuredLatency:
             BSPConfig(col_rate=8, row_rate=2, num_row_strips=4, num_col_blocks=4),
         )
         pruned = bsp["hh"].apply_to_array(weights["hh"])
-        bspc_plan = compile_model({"hh": pruned},
+        bspc_plan = compile_for_simulation({"hh": pruned},
                                   CompileOptions(format_name="bspc")).plan
-        csr_plan = compile_model({"hh": pruned},
+        csr_plan = compile_for_simulation({"hh": pruned},
                                  CompileOptions(format_name="csr")).plan
         assert bspc_plan.weight_bytes < csr_plan.weight_bytes
 
@@ -157,7 +157,7 @@ class TestReproducibility:
                 n: masks[n].apply_to_array(w)
                 for n, w in model.prunable_weights().items()
             }
-            compiled = compile_model(pruned, timesteps=10)
+            compiled = compile_for_simulation(pruned, timesteps=10)
             return (
                 trainer.evaluate().per,
                 compiled.simulate(ADRENO_640).latency_us,
