@@ -294,6 +294,7 @@ def bench_streaming(repeats: int) -> List[Dict]:
     """
     from repro.eval.stream_bench import (
         StreamBenchConfig,
+        _fabric_pass,
         _stream_pass,
         build_stream_workload,
     )
@@ -356,6 +357,70 @@ def bench_streaming(repeats: int) -> List[Dict]:
             "baseline": "p95",
         },
     ]
+
+    # Multi-worker fabric rows: the same workload served through a
+    # supervised two-worker fabric, plain and with an injected crash.
+    import tempfile
+    from pathlib import Path as _Path
+
+    from repro.engine.artifact import save_plan
+
+    offline_hyps, _ = engine.serve_stream(plan, features, serving)
+    fabric_config = StreamBenchConfig(repeats=1, workers=2)
+    chaos_config = StreamBenchConfig(repeats=1, workers=2, chaos=True)
+    fleet_rollups: List = []
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-fabric-") as tmp:
+        artifact = _Path(tmp) / "model.plan.npz"
+        save_plan(artifact, plan)
+
+        def fabric():
+            hypotheses, _ = _fabric_pass(artifact, features, fabric_config)
+            return hypotheses
+
+        def chaos():
+            hypotheses, fleet = _fabric_pass(artifact, features, chaos_config)
+            fleet_rollups.append((hypotheses, fleet))
+            return hypotheses
+
+        fabric_medians = interleaved_medians(
+            {"fabric_workers2": fabric, "fabric_chaos": chaos}, repeats
+        )
+
+    rows.append(
+        {
+            "op": "stream_decode",
+            "size": size,
+            "backend": "fabric_workers2",
+            "median_s": fabric_medians["fabric_workers2"],
+            "speedup_vs_baseline": baseline / fabric_medians["fabric_workers2"],
+            "baseline": "offline_batched",
+            "sessions_per_s": config.num_sessions
+            / fabric_medians["fabric_workers2"],
+        }
+    )
+    # The recovery row is a correctness gate dressed as a bench row:
+    # speedup_vs_baseline is 1.0 only when every chaos repeat recovered
+    # (restarts observed, all decodes byte-identical to offline), so any
+    # recovery failure collapses the tracked ratio and fails --check.
+    recovered = all(
+        fleet.restarts >= 1 and hypotheses == offline_hyps
+        for hypotheses, fleet in fleet_rollups
+    )
+    rows.append(
+        {
+            "op": "fabric_recovery",
+            "size": size,
+            "backend": "chaos_workers2",
+            "median_s": fabric_medians["fabric_chaos"],
+            "speedup_vs_baseline": 1.0 if recovered else 1e-9,
+            "baseline": "chaos_workers2",
+            "restarts": max(fleet.restarts for _, fleet in fleet_rollups),
+            "sessions_rehomed": max(
+                fleet.sessions_rehomed for _, fleet in fleet_rollups
+            ),
+        }
+    )
     return rows
 
 

@@ -43,13 +43,17 @@ __version__ = "1.0.0"
 
 from repro import compiler, engine, eval, hw, kernels, nn, pruning, sparse, speech, utils
 from repro.errors import (
+    ArtifactError,
     CompilationError,
     ConfigError,
+    FabricError,
     GradientError,
+    OverloadError,
     ReproError,
     ShapeError,
     SimulationError,
     SparsityError,
+    StreamError,
 )
 
 __all__ = [
@@ -71,4 +75,8 @@ __all__ = [
     "SparsityError",
     "CompilationError",
     "SimulationError",
+    "StreamError",
+    "OverloadError",
+    "ArtifactError",
+    "FabricError",
 ]

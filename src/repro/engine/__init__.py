@@ -26,11 +26,25 @@ Quickstart::
     engine.save_plan("model.plan.npz", plan)
     plan = engine.load_plan("model.plan.npz")
 
+    # supervised multi-process serving with crash recovery
+    with engine.ServingFabric("model.plan.npz") as fabric:
+        sid = fabric.open()
+        fabric.feed(sid, chunk)
+        phones = fabric.poll(sid) + fabric.finish(sid)
+
 See ``docs/engine.md``, ``docs/serving.md``, and ``docs/compiler.md``
 for the design.
 """
 
 from repro.engine.artifact import load_plan, save_plan
+from repro.engine.fabric import (
+    FabricConfig,
+    FaultConfig,
+    FleetStats,
+    ServingFabric,
+    SessionJournal,
+    WorkerStats,
+)
 from repro.engine.plan import (
     EngineConfig,
     GRULayerPlan,
@@ -75,4 +89,10 @@ __all__ = [
     "StreamScheduler",
     "StreamStats",
     "StreamingSession",
+    "ServingFabric",
+    "FabricConfig",
+    "FleetStats",
+    "WorkerStats",
+    "FaultConfig",
+    "SessionJournal",
 ]

@@ -12,24 +12,60 @@ lowers it through the same deterministic
 including streaming state carry through
 :meth:`~repro.engine.plan.ModelPlan.run_chunk`.
 
+Crash safety: an always-on recognizer restarts by ``load_plan``-ing the
+artifact a dead worker was serving, so a half-written file must never be
+observable.  :func:`save_plan` therefore writes to a temporary file in
+the destination directory, flushes and ``fsync``\\ s it, and publishes it
+with an atomic ``os.replace`` — a reader sees either the complete old
+artifact or the complete new one, never a torn write.  The header also
+carries a SHA-256 over the graph metadata and every array's bytes;
+:func:`load_plan` recomputes it and raises
+:class:`~repro.errors.ArtifactError` (instead of surfacing a numpy/zip
+traceback) on truncated, corrupted, or foreign files.
+
 Format: an ``npz`` archive with one ``meta.json`` entry (the graph
-header from :func:`repro.compiler.ir.graph_to_arrays`, UTF-8 JSON) and
-one entry per weight/param array.
+header from :func:`repro.compiler.ir.graph_to_arrays` wrapped with the
+checksum, UTF-8 JSON) and one entry per weight/param array.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
+import struct
+import tempfile
+import zipfile
 from pathlib import Path
-from typing import Union
+from typing import Dict, Union
 
 import numpy as np
 
 from repro.compiler.ir import graph_from_arrays, graph_to_arrays
 from repro.engine.plan import ModelPlan, lower_graph
-from repro.errors import ConfigError
+from repro.errors import ArtifactError, ConfigError
 
 _META_KEY = "meta.json"
+_CHECKSUM_KEY = "__checksum__"
+
+
+def _content_checksum(meta: Dict, arrays: Dict[str, np.ndarray]) -> str:
+    """SHA-256 over the graph header and every array's dtype/shape/bytes.
+
+    Keyed on the canonical (sorted-key) JSON form of ``meta`` so the
+    digest is independent of dict ordering, and on each array's dtype
+    and shape as well as its raw bytes so a same-length reinterpretation
+    cannot collide.
+    """
+    digest = hashlib.sha256()
+    digest.update(json.dumps(meta, sort_keys=True).encode("utf-8"))
+    for key in sorted(arrays):
+        array = np.ascontiguousarray(arrays[key])
+        digest.update(key.encode("utf-8"))
+        digest.update(str(array.dtype).encode("utf-8"))
+        digest.update(str(array.shape).encode("utf-8"))
+        digest.update(array.tobytes())
+    return digest.hexdigest()
 
 
 def save_plan(path: Union[str, Path], plan: ModelPlan) -> Path:
@@ -38,6 +74,11 @@ def save_plan(path: Union[str, Path], plan: ModelPlan) -> Path:
     The plan must have been compiled through the unified pipeline (every
     ``compile_model``/``compile_rnn``/``lower_graph`` plan is); a
     hand-assembled :class:`ModelPlan` without a graph cannot round-trip.
+
+    The write is crash-safe: the archive lands in a temp file next to
+    ``path``, is fsync'd, and is published with an atomic
+    ``os.replace`` — a concurrent or post-crash reader never observes a
+    partially written artifact.
     """
     if plan.graph is None:
         raise ConfigError(
@@ -46,11 +87,34 @@ def save_plan(path: Union[str, Path], plan: ModelPlan) -> Path:
         )
     path = Path(path)
     meta, arrays = graph_to_arrays(plan.graph)
-    payload = json.dumps(meta).encode("utf-8")
+    header = {"graph": meta, _CHECKSUM_KEY: _content_checksum(meta, arrays)}
+    payload = json.dumps(header).encode("utf-8")
     arrays[_META_KEY] = np.frombuffer(payload, dtype=np.uint8)
     path.parent.mkdir(parents=True, exist_ok=True)
-    with open(path, "wb") as handle:
-        np.savez_compressed(handle, **arrays)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez_compressed(handle, **arrays)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    try:
+        # Make the rename itself durable where the platform allows it.
+        dir_fd = os.open(path.parent, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+    except OSError:
+        pass
     return path
 
 
@@ -60,14 +124,52 @@ def load_plan(path: Union[str, Path]) -> ModelPlan:
     The recorded format/scheme/backend decisions are pinned, so no pass
     re-decides anything: lowering replays the saved compilation exactly
     and the returned plan's logits are bit-identical to the saved plan's.
+
+    Raises :class:`~repro.errors.ArtifactError` if the file is missing,
+    is not a compiled-plan artifact, is truncated, or fails its content
+    checksum — never a raw numpy/zipfile traceback.
     """
     path = Path(path)
-    with np.load(path, allow_pickle=False) as data:
-        if _META_KEY not in data:
-            raise ConfigError(f"{path} is not a compiled-plan artifact")
-        meta = json.loads(bytes(data[_META_KEY]).decode("utf-8"))
-        arrays = {key: data[key] for key in data.files if key != _META_KEY}
-    graph = graph_from_arrays(meta, arrays)
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            if _META_KEY not in data:
+                raise ArtifactError(f"{path} is not a compiled-plan artifact")
+            header = json.loads(bytes(data[_META_KEY]).decode("utf-8"))
+            arrays = {key: data[key] for key in data.files if key != _META_KEY}
+    except ArtifactError:
+        raise
+    except (
+        OSError,
+        EOFError,
+        ValueError,
+        KeyError,
+        struct.error,
+        zipfile.BadZipFile,
+    ) as exc:
+        raise ArtifactError(
+            f"{path} is not a readable compiled-plan artifact "
+            f"(missing, truncated, or corrupted): {exc}"
+        ) from exc
+    if isinstance(header, dict) and "graph" in header:
+        meta = header["graph"]
+        recorded = header.get(_CHECKSUM_KEY)
+        if recorded is not None:
+            actual = _content_checksum(meta, arrays)
+            if actual != recorded:
+                raise ArtifactError(
+                    f"{path} failed its content checksum "
+                    f"(recorded {recorded[:12]}…, got {actual[:12]}…): "
+                    "the artifact bytes were corrupted after save"
+                )
+    else:
+        # Pre-checksum artifacts stored the bare graph header.
+        meta = header
+    try:
+        graph = graph_from_arrays(meta, arrays)
+    except Exception as exc:
+        raise ArtifactError(
+            f"{path} carries a malformed layer-graph header: {exc}"
+        ) from exc
     return lower_graph(graph)
 
 

@@ -1,0 +1,35 @@
+"""Supervised multi-process serving fabric.
+
+Public surface: :class:`ServingFabric` (the client-facing facade) and
+its config/stat types, plus the building blocks — session journal,
+consistent-hash router, supervisor, worker transport — and the
+deterministic fault-injection layer that the robustness tests and
+``stream-bench --chaos`` drive.
+"""
+
+from repro.engine.fabric.fabric import (
+    FabricConfig,
+    FleetStats,
+    ServingFabric,
+    WorkerStats,
+)
+from repro.engine.fabric.faults import CRASH_EXIT_CODE, FaultConfig, FaultInjector
+from repro.engine.fabric.journal import SessionJournal
+from repro.engine.fabric.router import HashRing
+from repro.engine.fabric.supervisor import Supervisor
+from repro.engine.fabric.worker import WorkerFailure, WorkerHandle
+
+__all__ = [
+    "ServingFabric",
+    "FabricConfig",
+    "FleetStats",
+    "WorkerStats",
+    "FaultConfig",
+    "FaultInjector",
+    "CRASH_EXIT_CODE",
+    "SessionJournal",
+    "HashRing",
+    "Supervisor",
+    "WorkerFailure",
+    "WorkerHandle",
+]

@@ -1,0 +1,582 @@
+"""The serving fabric facade: supervised multi-process streaming.
+
+:class:`ServingFabric` is the client-facing object.  It presents the
+same session API as a single-process
+:class:`~repro.engine.streaming.StreamScheduler` — ``open`` / ``feed`` /
+``poll`` / ``finish`` — but shards sessions across supervised worker
+processes and adds the three production behaviors a single process
+cannot offer:
+
+* **Fault tolerance.**  Every worker failure (crash or stall) is
+  detected at a synchronous touchpoint (RPC timeout, dead process,
+  broken pipe), the worker is restarted with exponential backoff, and
+  its orphaned sessions are *re-homed*: their journaled feature chunks
+  are replayed into the replacement worker.  Chunk-exactness makes the
+  replayed decode byte-identical to an uninterrupted run, so the phones
+  already delivered to a client form an exact prefix of the recovered
+  stream — recovery is invisible apart from latency.
+* **Admission control and backpressure.**  Per-worker in-flight queues
+  are bounded in frames *and* chunks; past the bound the fabric sheds —
+  new sessions at ``open`` and chunks at ``feed`` — with a typed
+  :class:`~repro.errors.OverloadError` instead of queueing.  The frame
+  bound defaults to ``max_wait_frames * max_batch_size``, i.e. a worker
+  is never handed more queued work than its scheduler can retire within
+  the latency deadline, so ``max_wait_frames`` survives saturation.
+* **Fleet observability.**  :meth:`stats` rolls per-worker
+  :class:`~repro.engine.streaming.StreamStats` snapshots into a
+  :class:`FleetStats` with per-worker and aggregate p50/p95 latency,
+  restart/shed/re-home counters.
+
+Supervision is synchronous by design — there is no monitor thread.
+Detection happens on the calls that already talk to a worker, plus the
+explicit :meth:`check` heartbeat sweep a serving loop should call
+periodically.  This keeps every fault-injection scenario deterministic
+and replayable, which is how ``tests/test_fabric.py`` can assert
+byte-identical recovery instead of "it usually works".
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.engine.fabric.faults import FaultConfig
+from repro.engine.fabric.journal import SessionJournal
+from repro.engine.fabric.router import HashRing
+from repro.engine.fabric.supervisor import Supervisor
+from repro.engine.fabric.worker import WorkerFailure
+from repro.engine.streaming import StreamConfig
+from repro.errors import (
+    ConfigError,
+    FabricError,
+    OverloadError,
+    ShapeError,
+    StreamError,
+)
+
+
+@dataclass(frozen=True)
+class FabricConfig:
+    """Fabric-level knobs (the per-worker scheduler keeps its own
+    :class:`~repro.engine.streaming.StreamConfig` under ``stream``).
+
+    ``max_backlog_frames`` bounds each worker's in-flight queue (frames
+    sent but not yet acknowledged); ``None`` derives the deadline-aware
+    default ``stream.max_wait_frames * stream.max_batch_size`` — the
+    most queued work the worker's scheduler can retire within one
+    ``max_wait_frames`` window at full batches.  ``rpc_timeout_s`` and
+    ``heartbeat_timeout_s`` are the stall detectors; restarts back off
+    exponentially from ``backoff_base_s`` up to ``backoff_cap_s`` and a
+    worker is abandoned (sessions permanently re-homed) after
+    ``max_restarts``.
+    """
+
+    num_workers: int = 2
+    stream: StreamConfig = StreamConfig()
+    max_sessions_per_worker: int = 64
+    max_backlog_frames: Optional[int] = None
+    max_pending_chunks: int = 64
+    rpc_timeout_s: float = 10.0
+    heartbeat_timeout_s: float = 5.0
+    max_restarts: int = 3
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 2.0
+    ring_replicas: int = 64
+    start_method: Optional[str] = None
+    faults: Optional[FaultConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise ConfigError(f"num_workers must be >= 1, got {self.num_workers}")
+        if self.max_sessions_per_worker < 1:
+            raise ConfigError("max_sessions_per_worker must be >= 1")
+        if self.max_backlog_frames is not None and self.max_backlog_frames < 1:
+            raise ConfigError("max_backlog_frames must be >= 1 (or None)")
+        if self.max_pending_chunks < 1:
+            raise ConfigError("max_pending_chunks must be >= 1")
+        if self.rpc_timeout_s <= 0 or self.heartbeat_timeout_s <= 0:
+            raise ConfigError("timeouts must be > 0")
+        if self.max_restarts < 0:
+            raise ConfigError(f"max_restarts must be >= 0, got {self.max_restarts}")
+
+    @property
+    def backlog_frames_bound(self) -> int:
+        if self.max_backlog_frames is not None:
+            return self.max_backlog_frames
+        return max(self.stream.max_wait_frames * self.stream.max_batch_size, 1)
+
+
+def _percentile(values: Sequence[float], percentile: float) -> float:
+    if not values:
+        return 0.0
+    return float(np.percentile(np.asarray(values, dtype=np.float64), percentile))
+
+
+@dataclass
+class WorkerStats:
+    """One worker's slice of the fleet rollup."""
+
+    index: int
+    alive: bool
+    incarnation: int
+    restarts: int
+    snapshot: Optional[Dict] = None  # scheduler stats; None if unreachable
+
+    def _latencies(self) -> List[float]:
+        return self.snapshot["latencies_s"] if self.snapshot else []
+
+    @property
+    def p50_latency_s(self) -> float:
+        return _percentile(self._latencies(), 50.0)
+
+    @property
+    def p95_latency_s(self) -> float:
+        return _percentile(self._latencies(), 95.0)
+
+
+@dataclass
+class FleetStats:
+    """Fleet-wide rollup: per-worker rows plus fabric counters."""
+
+    workers: List[WorkerStats] = field(default_factory=list)
+    sessions_opened: int = 0
+    sessions_finished: int = 0
+    sessions_rehomed: int = 0
+    sessions_shed: int = 0
+    chunks_shed: int = 0
+    restarts: int = 0
+    crashes_detected: int = 0
+    stalls_detected: int = 0
+    max_backlog_frames_seen: int = 0
+    backlog_frames_bound: int = 0
+
+    def _all_latencies(self) -> List[float]:
+        merged: List[float] = []
+        for worker in self.workers:
+            merged.extend(worker._latencies())
+        return merged
+
+    @property
+    def p50_latency_s(self) -> float:
+        return _percentile(self._all_latencies(), 50.0)
+
+    @property
+    def p95_latency_s(self) -> float:
+        return _percentile(self._all_latencies(), 95.0)
+
+    @property
+    def chunks(self) -> int:
+        return sum(w.snapshot["chunks"] for w in self.workers if w.snapshot)
+
+    @property
+    def batches(self) -> int:
+        return sum(w.snapshot["batches"] for w in self.workers if w.snapshot)
+
+    @property
+    def mean_batch_size(self) -> float:
+        batched = sum(
+            w.snapshot["batched_chunks"] for w in self.workers if w.snapshot
+        )
+        return batched / self.batches if self.batches else 0.0
+
+
+class _Session:
+    __slots__ = ("worker", "committed", "delivered", "finished")
+
+    def __init__(self, worker: int) -> None:
+        self.worker = worker
+        self.committed: List[int] = []
+        self.delivered = 0
+        self.finished = False
+
+
+class ServingFabric:
+    """Supervised multi-process streaming over one compiled artifact.
+
+    Usage::
+
+        fabric = ServingFabric("model.plan.npz", FabricConfig(num_workers=4))
+        with fabric:
+            sid = fabric.open()
+            fabric.feed(sid, chunk)            # may raise OverloadError
+            phones = fabric.poll(sid)
+            phones += fabric.finish(sid)
+            fleet = fabric.stats()
+
+    Every worker process ``load_plan``\\ s ``artifact_path`` itself — the
+    artifact (crash-safe on disk, checksummed on load) is the unit of
+    deployment, and a restarted worker reloads it bit-identically.
+    """
+
+    def __init__(
+        self,
+        artifact_path: Union[str, Path],
+        config: FabricConfig = FabricConfig(),
+    ) -> None:
+        self.config = config
+        self._artifact_path = str(artifact_path)
+        # Parent-side copy: shape validation + offline comparison hooks.
+        from repro.engine.artifact import load_plan
+
+        self._plan = load_plan(artifact_path)
+        method = config.start_method
+        if method is None:
+            method = (
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else None
+            )
+        ctx = multiprocessing.get_context(method)
+        self._supervisor = Supervisor(
+            ctx,
+            config.num_workers,
+            self._artifact_path,
+            config.stream,
+            config.faults,
+            config.max_restarts,
+            config.backoff_base_s,
+            config.backoff_cap_s,
+        )
+        self._ring = HashRing(range(config.num_workers), config.ring_replicas)
+        self._journal = SessionJournal()
+        self._sessions: Dict[int, _Session] = {}
+        self._next_sid = 0
+        self._closed = False
+        self.sessions_opened = 0
+        self.sessions_finished = 0
+        self.sessions_rehomed = 0
+        self.sessions_shed = 0
+        self.chunks_shed = 0
+        self.max_backlog_frames_seen = 0
+        self._tempdir: Optional[tempfile.TemporaryDirectory] = None
+
+    @classmethod
+    def from_plan(
+        cls, plan, config: FabricConfig = FabricConfig()
+    ) -> "ServingFabric":
+        """Convenience: save ``plan`` to a temp artifact and serve it."""
+        from repro.engine.artifact import save_plan
+
+        tempdir = tempfile.TemporaryDirectory(prefix="repro-fabric-")
+        path = Path(tempdir.name) / "model.plan.npz"
+        save_plan(path, plan)
+        fabric = cls(path, config)
+        fabric._tempdir = tempdir  # keep the artifact alive with the fabric
+        return fabric
+
+    # -- context management -------------------------------------------------
+    def __enter__(self) -> "ServingFabric":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._supervisor.shutdown()
+        if self._tempdir is not None:
+            self._tempdir.cleanup()
+            self._tempdir = None
+
+    # -- session API --------------------------------------------------------
+    def _session(self, sid: int) -> _Session:
+        session = self._sessions.get(sid)
+        if session is None:
+            raise StreamError(f"unknown session id {sid}")
+        if session.finished:
+            raise StreamError(f"session {sid} already finished")
+        return session
+
+    def _handle(self, session: _Session):
+        return self._supervisor.handles[session.worker]
+
+    def _live_sessions_on(self, worker: int) -> int:
+        return sum(
+            1
+            for session in self._sessions.values()
+            if session.worker == worker and not session.finished
+        )
+
+    def open(self) -> int:
+        """Open a new session; returns its fabric-wide id.
+
+        Raises :class:`OverloadError` (the session is *not* created) if
+        the consistent-hash target worker is at session capacity —
+        shed-new-work-first is the degradation contract.
+        """
+        sid = self._next_sid
+        target = self._ring.assign(sid, self._alive_or_raise())
+        if self._live_sessions_on(target) >= self.config.max_sessions_per_worker:
+            self.sessions_shed += 1
+            raise OverloadError(
+                f"worker {target} is at session capacity "
+                f"({self.config.max_sessions_per_worker}); new session shed"
+            )
+        self._next_sid += 1
+        self._journal.open(sid)
+        session = _Session(worker=target)
+        self._sessions[sid] = session
+        self.sessions_opened += 1
+        try:
+            self._handle(session).send(("open", sid))
+        except WorkerFailure as failure:
+            self._recover(failure)  # replay re-opens the empty session
+        return sid
+
+    def feed(self, sid: int, features: np.ndarray, block: bool = False) -> None:
+        """Queue one ``(t, D)`` chunk.
+
+        With ``block=False`` (the default) the call never waits on the
+        worker: past the backlog bound it raises :class:`OverloadError`
+        — and does *not* journal the chunk, so retrying the same chunk
+        later is safe.  With ``block=True`` the call waits (up to
+        ``rpc_timeout_s``) for the worker to drain enough in-flight work
+        to admit the chunk — backpressure instead of shedding, for
+        clients that must not lose audio.
+        """
+        session = self._session(sid)
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2 or features.shape[1] != self._plan.input_dim:
+            raise ShapeError(
+                f"expected (t, {self._plan.input_dim}) features, "
+                f"got {features.shape}"
+            )
+        if len(features) == 0:
+            return
+        deadline = time.monotonic() + self.config.rpc_timeout_s
+        while True:
+            # Health of the current home first: a dead worker re-homes
+            # the session (replaying its journal) before admission.
+            while True:
+                handle = self._handle(session)
+                try:
+                    handle.drain()
+                    handle.check_alive()
+                    break
+                except WorkerFailure as failure:
+                    self._recover(failure)
+            # Admission: bounded per-worker in-flight queue, in frames
+            # and chunks.  An idle worker always accepts one chunk
+            # (progress guarantee); past the bound the chunk is shed —
+            # or, when blocking, waited out.
+            backlog = handle.inflight_frames
+            self.max_backlog_frames_seen = max(
+                self.max_backlog_frames_seen, backlog
+            )
+            if backlog == 0 or (
+                backlog + len(features) <= self.config.backlog_frames_bound
+                and handle.inflight_chunks < self.config.max_pending_chunks
+            ):
+                break
+            if not block or time.monotonic() >= deadline:
+                self.chunks_shed += 1
+                raise OverloadError(
+                    f"worker {session.worker} backlog is {backlog} frames / "
+                    f"{handle.inflight_chunks} chunks (bound "
+                    f"{self.config.backlog_frames_bound} frames, "
+                    f"{self.config.max_pending_chunks} chunks): chunk shed "
+                    "to keep the max_wait_frames="
+                    f"{self.config.stream.max_wait_frames} deadline"
+                )
+            time.sleep(0.001)
+        self._journal.record(sid, features)
+        try:
+            handle.feed(sid, features)
+        except WorkerFailure as failure:
+            # The chunk is journaled, so recovery's replay delivers it.
+            self._recover(failure)
+
+    def poll(self, sid: int) -> List[int]:
+        """Drain the phones committed for ``sid`` since the last poll."""
+        session = self._session(sid)
+        try:
+            phones = self._handle(session).request(
+                "poll", self.config.rpc_timeout_s, sid
+            )
+            session.committed.extend(phones)
+        except WorkerFailure as failure:
+            self._recover(failure)  # replay refreshed session.committed
+        return self._deliver(session)
+
+    def finish(self, sid: int) -> List[int]:
+        """Close ``sid``; returns the phones not yet polled."""
+        session = self._session(sid)
+        # Journal the finish *before* the RPC: if the worker dies inside
+        # it, replay re-finishes and the tail phones are still exact.
+        self._journal.mark_finished(sid)
+        try:
+            phones = self._handle(session).request(
+                "finish", self.config.rpc_timeout_s, sid
+            )
+            session.committed.extend(phones)
+        except WorkerFailure as failure:
+            self._recover(failure)  # replay re-ran the finish
+        session.finished = True
+        self.sessions_finished += 1
+        undelivered = self._deliver(session)
+        self._journal.close(sid)
+        session.committed = []
+        return undelivered
+
+    def _deliver(self, session: _Session) -> List[int]:
+        undelivered = session.committed[session.delivered :]
+        session.delivered = len(session.committed)
+        return undelivered
+
+    # -- supervision --------------------------------------------------------
+    def check(self) -> List[int]:
+        """Heartbeat sweep: ping every worker, recover the unresponsive.
+
+        Returns the indices of workers that failed the sweep (each has
+        been restarted or abandoned, with sessions re-homed).  A serving
+        loop should call this periodically; stalls on idle workers are
+        otherwise only caught at the next RPC.
+        """
+        failed: List[int] = []
+        for index in list(self._supervisor.handles):
+            if index in self._supervisor.dead:
+                continue
+            try:
+                self._supervisor.ping(index, self.config.heartbeat_timeout_s)
+            except WorkerFailure as failure:
+                failed.append(index)
+                self._recover(failure)
+        return failed
+
+    def _alive_or_raise(self) -> List[int]:
+        alive = self._supervisor.alive_indices()
+        if not alive:
+            raise FabricError("no live workers left in the fabric")
+        return alive
+
+    def _recover(self, failure: WorkerFailure) -> None:
+        """Restart/abandon failed workers and replay their sessions.
+
+        Runs as a work queue because a replay can itself hit a second
+        fault (e.g. a repeat-armed crash fault fires again mid-replay):
+        each round restarts-or-abandons one worker, re-homes its
+        sessions, and any worker that fails *during* replay is pushed
+        back onto the queue.  Total rounds are bounded by the fleet's
+        restart budget, with a hard cap as a backstop.
+        """
+        queue: List[WorkerFailure] = [failure]
+        cap = self.config.num_workers * (self.config.max_restarts + 2) + 2
+        rounds = 0
+        while queue:
+            rounds += 1
+            if rounds > cap:
+                raise FabricError(
+                    f"recovery did not converge after {rounds - 1} rounds "
+                    f"(last failure: {queue[-1]})"
+                )
+            current = queue.pop()
+            handle = self._supervisor.handle_failure(current)
+            orphans = [
+                sid
+                for sid, session in sorted(self._sessions.items())
+                if session.worker == current.index and not session.finished
+            ]
+            if handle is None:
+                # Permanently dead: the ring spreads its slice over the
+                # survivors (or FabricError if there are none).
+                if orphans:
+                    alive = self._alive_or_raise()
+                    for sid in orphans:
+                        self._sessions[sid].worker = self._ring.assign(
+                            sid, alive
+                        )
+            failed_now: set = set()
+            for sid in orphans:
+                target = self._sessions[sid].worker
+                if target in failed_now:
+                    continue  # recollected when its failure is processed
+                try:
+                    self._replay(sid)
+                except WorkerFailure as nested:
+                    failed_now.add(nested.index)
+                    if all(f.index != nested.index for f in queue):
+                        queue.append(nested)
+
+    def _replay(self, sid: int) -> None:
+        """Re-home one session: journal replay onto its (new) worker.
+
+        Chunk-exactness + deterministic decode make the replayed stream
+        byte-identical to the uninterrupted one; the phones the fabric
+        had already received must therefore be an exact prefix of the
+        recovered stream — verified here, because a silent divergence
+        would mean the exactness contract broke.
+        """
+        session = self._sessions[sid]
+        handle = self._supervisor.handles[session.worker]
+        handle.check_alive()
+        handle.send(("open", sid))
+        for chunk in self._journal.chunks(sid):
+            handle.feed(sid, chunk)
+        if self._journal.finished(sid):
+            phones = handle.request("finish", self.config.rpc_timeout_s, sid)
+        else:
+            # Barrier: run everything queued, then collect the full
+            # from-scratch commitment stream.
+            handle.request("flush", self.config.rpc_timeout_s)
+            phones = handle.request("poll", self.config.rpc_timeout_s, sid)
+        phones = list(phones)
+        if (
+            len(phones) < len(session.committed)
+            or phones[: len(session.committed)] != session.committed
+        ):
+            raise FabricError(
+                f"replay of session {sid} diverged from its delivered "
+                f"prefix (chunk-exactness violation): had "
+                f"{session.committed}, replay produced {phones}"
+            )
+        session.committed = phones
+        self.sessions_rehomed += 1
+
+    # -- observability ------------------------------------------------------
+    def stats(self) -> FleetStats:
+        """Fleet rollup: per-worker scheduler snapshots + fabric counters.
+
+        Unreachable workers get a ``snapshot=None`` row (and trigger
+        recovery as a side effect, like any other touchpoint).
+        """
+        workers: List[WorkerStats] = []
+        for index, handle in sorted(self._supervisor.handles.items()):
+            row = WorkerStats(
+                index=index,
+                alive=index not in self._supervisor.dead and handle.alive(),
+                incarnation=max(handle.incarnation, 0),
+                restarts=self._supervisor.restarts[index],
+            )
+            if row.alive:
+                try:
+                    row.snapshot = handle.request(
+                        "stats", self.config.rpc_timeout_s
+                    )
+                except WorkerFailure as failure:
+                    row.alive = False
+                    self._recover(failure)
+            workers.append(row)
+        return FleetStats(
+            workers=workers,
+            sessions_opened=self.sessions_opened,
+            sessions_finished=self.sessions_finished,
+            sessions_rehomed=self.sessions_rehomed,
+            sessions_shed=self.sessions_shed,
+            chunks_shed=self.chunks_shed,
+            restarts=sum(self._supervisor.restarts.values()),
+            crashes_detected=self._supervisor.crashes_detected,
+            stalls_detected=self._supervisor.stalls_detected,
+            max_backlog_frames_seen=self.max_backlog_frames_seen,
+            backlog_frames_bound=self.config.backlog_frames_bound,
+        )
+
+
+__all__ = ["ServingFabric", "FabricConfig", "FleetStats", "WorkerStats"]

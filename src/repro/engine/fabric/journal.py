@@ -1,0 +1,89 @@
+"""Per-session chunk journals: the replay log behind crash recovery.
+
+The fabric's recovery guarantee rests on two facts: the streaming
+runtime is *chunk-exact* (any chunk split of an utterance decodes
+byte-identically — PR 4's sweep), and decoding is deterministic.  So if
+the router keeps every feature chunk it ever accepted for a session, a
+crashed worker's sessions can be re-homed by replaying their journals
+into a fresh scheduler: the replayed phone stream is byte-identical to
+the uninterrupted one, and the phones already delivered to the client
+form an exact prefix of it — recovery just skips that prefix.
+
+:class:`SessionJournal` is that log.  It also backs the optional journal
+hook on :class:`~repro.engine.streaming.StreamScheduler` for
+single-process deployments that want the same replayability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import StreamError
+
+
+@dataclass
+class _JournalEntry:
+    chunks: List[np.ndarray] = field(default_factory=list)
+    frames: int = 0
+    finished: bool = False
+
+
+class SessionJournal:
+    """Ordered log of every accepted feature chunk, per session.
+
+    Memory is bounded by the live sessions' fed audio: a journal entry
+    is dropped by :meth:`close` once its session has finished *and* its
+    phones have been delivered — at that point there is nothing left to
+    recover.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, _JournalEntry] = {}
+
+    def _entry(self, sid: int) -> _JournalEntry:
+        entry = self._entries.get(sid)
+        if entry is None:
+            raise StreamError(f"no journal for session id {sid}")
+        return entry
+
+    def open(self, sid: int) -> None:
+        if sid in self._entries:
+            raise StreamError(f"journal for session {sid} already open")
+        self._entries[sid] = _JournalEntry()
+
+    def record(self, sid: int, features: np.ndarray) -> None:
+        """Append an accepted chunk (call only after validation)."""
+        entry = self._entry(sid)
+        if entry.finished:
+            raise StreamError(f"session {sid} already finished")
+        entry.chunks.append(features)
+        entry.frames += len(features)
+
+    def mark_finished(self, sid: int) -> None:
+        self._entry(sid).finished = True
+
+    def chunks(self, sid: int) -> Tuple[np.ndarray, ...]:
+        """The replay log: every chunk accepted for ``sid``, in order."""
+        return tuple(self._entry(sid).chunks)
+
+    def frames(self, sid: int) -> int:
+        return self._entry(sid).frames
+
+    def finished(self, sid: int) -> bool:
+        return self._entry(sid).finished
+
+    def sessions(self) -> List[int]:
+        return list(self._entries)
+
+    def __contains__(self, sid: int) -> bool:
+        return sid in self._entries
+
+    def close(self, sid: int) -> None:
+        """Drop ``sid``'s log (nothing left to recover)."""
+        self._entries.pop(sid, None)
+
+
+__all__ = ["SessionJournal"]

@@ -1,0 +1,69 @@
+"""Consistent-hash session routing.
+
+Sessions pin to workers (recurrent state lives on one worker), so the
+assignment function matters only when the worker set changes: when a
+worker dies permanently, only *its* sessions should move, and they
+should spread across the survivors instead of dogpiling one neighbor.
+That is exactly what a consistent-hash ring with virtual nodes gives:
+
+* each worker owns ``replicas`` points on a 64-bit ring (BLAKE2b of
+  ``"worker:replica"`` — deterministic across processes and runs, unlike
+  Python's seeded ``hash``);
+* a session id hashes to a point and walks clockwise to the first
+  *live* worker;
+* removing a worker only reassigns keys that landed on its points, in
+  ``1/n``-sized slices spread over the other workers.
+
+The ring is static (all workers ever configured); liveness is a filter
+at lookup time, so a worker that comes back after a restart reclaims
+exactly the slice it owned before — re-homed sessions return to their
+original worker, keeping placement stable across a crash/restart cycle.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.errors import ConfigError, FabricError
+
+
+def _point(label: str) -> int:
+    """Deterministic 64-bit ring position for a label."""
+    return int.from_bytes(
+        hashlib.blake2b(label.encode("utf-8"), digest_size=8).digest(), "big"
+    )
+
+
+class HashRing:
+    """Consistent hashing of session ids onto worker indices."""
+
+    def __init__(self, workers: Sequence[int], replicas: int = 64) -> None:
+        if not workers:
+            raise ConfigError("HashRing needs at least one worker")
+        if replicas < 1:
+            raise ConfigError(f"replicas must be >= 1, got {replicas}")
+        points: List[Tuple[int, int]] = []
+        for worker in workers:
+            for replica in range(replicas):
+                points.append((_point(f"{worker}:{replica}"), worker))
+        points.sort()
+        self._hashes = [point for point, _ in points]
+        self._workers = [worker for _, worker in points]
+
+    def assign(self, key: int, alive: Iterable[int]) -> int:
+        """The first live worker clockwise of ``key``'s ring position."""
+        live = set(alive)
+        if not live:
+            raise FabricError("no live workers to assign sessions to")
+        start = bisect.bisect(self._hashes, _point(f"session:{key}"))
+        size = len(self._workers)
+        for step in range(size):
+            worker = self._workers[(start + step) % size]
+            if worker in live:
+                return worker
+        raise FabricError("no live workers to assign sessions to")
+
+
+__all__ = ["HashRing"]

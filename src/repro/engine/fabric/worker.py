@@ -1,0 +1,344 @@
+"""Worker process: one compiled artifact, one local stream scheduler.
+
+Each worker is a separate OS process — the fabric's unit of isolation
+(a crash kills one worker's sessions, not the fleet) and of parallelism
+(each process owns its own GIL).  A worker :func:`~repro.engine.artifact.load_plan`\\ s
+the compiled artifact it is told to serve and drives a local
+:class:`~repro.engine.streaming.StreamScheduler`, so everything the
+single-process runtime guarantees (deadline batching, chunk-exact
+decode) holds *within* a worker unchanged.
+
+Transport is one duplex pipe per worker carrying small picklable
+tuples.  The protocol is deliberately asymmetric:
+
+* ``open``/``feed`` are **fire-and-forget** — the router never blocks on
+  the data path.  Each processed feed is acknowledged with a
+  *cumulative* sequence number (``("ack", seq)``), which is what the
+  router's backpressure accounting drains; cumulative acks mean a
+  dropped ack message is healed by the next one.
+* ``poll``/``finish``/``stats``/``ping`` are **synchronous RPCs** tagged
+  with a request id; the router's timeout on the reply doubles as the
+  stall detector.
+
+The parent-side endpoint is :class:`WorkerHandle`; any transport problem
+(dead process, broken pipe, RPC timeout) surfaces as
+:class:`WorkerFailure` carrying the worker index and a crash-vs-stall
+classification, which the supervisor turns into restart + re-home.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.engine.fabric.faults import FaultConfig, FaultInjector
+from repro.engine.streaming import StreamConfig, StreamScheduler
+from repro.errors import FabricError
+
+
+@dataclass
+class WorkerFailure(Exception):
+    """A worker stopped serving: crashed (process dead) or stalled
+    (alive but unresponsive past the heartbeat timeout)."""
+
+    index: int
+    reason: str  # "crash" | "stall"
+    detail: str = ""
+
+    def __str__(self) -> str:
+        return f"worker {self.index} {self.reason}: {self.detail}"
+
+
+def _stats_snapshot(scheduler: StreamScheduler) -> Dict:
+    """Picklable snapshot of the worker-local scheduler stats."""
+    stats = scheduler.stats
+    return {
+        "sessions_opened": stats.sessions_opened,
+        "sessions_finished": stats.sessions_finished,
+        "chunks": stats.chunks,
+        "batches": stats.batches,
+        "batched_chunks": stats.batched_chunks,
+        "frames": stats.frames,
+        "wait_frames": stats.wait_frames,
+        "latencies_s": list(stats.chunk_latency_s),
+    }
+
+
+def worker_main(
+    conn,
+    artifact_path: str,
+    stream_config: StreamConfig,
+    fault_config: Optional[FaultConfig],
+    worker_index: int,
+) -> None:
+    """Entry point of a worker process: serve until ``close`` or EOF."""
+    # Import here: the child must not pay for (or depend on) anything the
+    # parent happened to have imported beyond the serving stack.
+    from repro.engine.artifact import load_plan
+
+    injector = FaultInjector(fault_config)
+    try:
+        plan = load_plan(artifact_path)
+    except Exception as exc:  # surfaced by the supervisor as a crash
+        try:
+            conn.send(("fatal", f"load_plan({artifact_path!r}) failed: {exc}"))
+        finally:
+            conn.close()
+        return
+    scheduler = StreamScheduler(plan, stream_config)
+    local: Dict[int, int] = {}  # fabric sid -> scheduler-local sid
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        kind = message[0]
+        try:
+            if kind == "open":
+                local[message[1]] = scheduler.open()
+            elif kind == "feed":
+                _, sid, features, seq = message
+                injector.on_chunk()
+                scheduler.feed(local[sid], features)
+                injector.before_send()
+                if not injector.drop_ack():
+                    conn.send(("ack", seq))
+            elif kind == "poll":
+                _, sid, rid = message
+                injector.before_send()
+                conn.send(("phones", rid, scheduler.poll(local[sid])))
+            elif kind == "finish":
+                _, sid, rid = message
+                phones = scheduler.finish(local.pop(sid))
+                injector.before_send()
+                conn.send(("phones", rid, phones))
+            elif kind == "flush":
+                # Replay barrier: run everything queued so a follow-up
+                # poll observes every journaled chunk's commitments.
+                scheduler.flush()
+                conn.send(("pong", message[1]))
+            elif kind == "stats":
+                conn.send(("stats", message[1], _stats_snapshot(scheduler)))
+            elif kind == "ping":
+                conn.send(("pong", message[1]))
+            elif kind == "close":
+                break
+            else:  # unknown message: protocol bug, report and continue
+                conn.send(("error", None, f"unknown message kind {kind!r}"))
+        except (BrokenPipeError, OSError):
+            break
+        except Exception as exc:
+            # One bad request must not kill the other sessions on this
+            # worker: report and keep serving.
+            try:
+                conn.send(("error", None, f"{type(exc).__name__}: {exc}"))
+            except (BrokenPipeError, OSError):
+                break
+    conn.close()
+
+
+class WorkerHandle:
+    """Parent-side endpoint of one worker process (transport only).
+
+    Lifecycle (spawn/restart) belongs to the supervisor; this class owns
+    the pipe, the request-id counter, the backpressure accounting
+    (in-flight chunks/frames between ``feed`` and its cumulative ack),
+    and failure classification.
+    """
+
+    def __init__(self, index: int, ctx) -> None:
+        self.index = index
+        self.incarnation = -1  # bumped to 0 by the first spawn()
+        self._ctx = ctx
+        self.process = None
+        self.conn = None
+        self._next_seq = 0
+        self._next_rid = 0
+        #: feed seq -> frames, not yet acknowledged (insertion-ordered,
+        #: so a cumulative ack drains a prefix).
+        self._pending: Dict[int, int] = {}
+        self._replies: Dict[int, object] = {}
+        self._errors: List[str] = []
+        self._fatal: Optional[str] = None
+
+    # -- lifecycle (driven by the supervisor) -----------------------------
+    def spawn(
+        self,
+        artifact_path: str,
+        stream_config: StreamConfig,
+        fault_config: Optional[FaultConfig],
+    ) -> None:
+        self.incarnation += 1
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        self.process = self._ctx.Process(
+            target=worker_main,
+            args=(
+                child_conn,
+                str(artifact_path),
+                stream_config,
+                fault_config,
+                self.index,
+            ),
+            name=f"repro-fabric-worker-{self.index}",
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+        self.conn = parent_conn
+        self._next_seq = 0
+        self._pending.clear()
+        self._replies.clear()
+        self._errors.clear()
+        self._fatal = None
+
+    def kill(self) -> None:
+        """Hard-stop the process (used on stalls) and drop the pipe."""
+        if self.process is not None and self.process.is_alive():
+            self.process.kill()
+            self.process.join(timeout=5.0)
+        if self.conn is not None:
+            self.conn.close()
+            self.conn = None
+
+    def alive(self) -> bool:
+        return (
+            self.process is not None
+            and self.process.is_alive()
+            and self._fatal is None
+        )
+
+    # -- backpressure accounting ------------------------------------------
+    @property
+    def inflight_chunks(self) -> int:
+        return len(self._pending)
+
+    @property
+    def inflight_frames(self) -> int:
+        return sum(self._pending.values())
+
+    # -- transport ---------------------------------------------------------
+    def _failure(self, reason: str, detail: str) -> WorkerFailure:
+        return WorkerFailure(self.index, reason, detail)
+
+    def _classify_send_error(self, exc: Exception) -> WorkerFailure:
+        return self._failure("crash", f"pipe send failed: {exc}")
+
+    def _dispatch(self, message) -> None:
+        kind = message[0]
+        if kind == "ack":
+            # Cumulative: everything at or below the acked seq is done.
+            seq = message[1]
+            for pending_seq in [s for s in self._pending if s <= seq]:
+                del self._pending[pending_seq]
+        elif kind in ("phones", "stats", "pong"):
+            self._replies[message[1]] = message[2] if len(message) > 2 else True
+        elif kind == "error":
+            self._errors.append(message[2])
+        elif kind == "fatal":
+            self._fatal = message[1]
+
+    def drain(self) -> None:
+        """Consume every message already in the pipe (non-blocking)."""
+        if self.conn is None:
+            return
+        try:
+            while self.conn.poll(0):
+                self._dispatch(self.conn.recv())
+        except (EOFError, OSError):
+            pass  # the liveness check below reports the death
+
+    def check_alive(self) -> None:
+        """Raise :class:`WorkerFailure` if the process is gone."""
+        self.drain()
+        if self._fatal is not None:
+            raise self._failure("crash", self._fatal)
+        if self.process is not None and not self.process.is_alive():
+            raise self._failure(
+                "crash", f"process exited with code {self.process.exitcode}"
+            )
+
+    def send(self, message) -> None:
+        """Fire-and-forget send (``open``/``feed``/``close``)."""
+        self.check_alive()
+        try:
+            self.conn.send(message)
+        except (BrokenPipeError, OSError) as exc:
+            raise self._classify_send_error(exc)
+
+    def feed(self, sid: int, features) -> int:
+        """Send one chunk; returns its seq after recording it in-flight."""
+        seq = self._next_seq
+        self._next_seq += 1
+        self._pending[seq] = len(features)
+        try:
+            self.send(("feed", sid, features, seq))
+        except WorkerFailure:
+            # The chunk never reached the worker; replay will re-send it.
+            del self._pending[seq]
+            raise
+        return seq
+
+    def request(self, kind: str, timeout: float, sid: Optional[int] = None):
+        """Synchronous RPC: ``poll``/``finish``/``stats``/``ping``.
+
+        The reply wait doubles as the heartbeat: no reply within
+        ``timeout`` while the process is alive is classified as a stall.
+        """
+        rid = self._next_rid
+        self._next_rid += 1
+        message = (kind, rid) if sid is None else (kind, sid, rid)
+        self.send(message)
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                self.check_alive()  # prefer the crash classification
+                raise self._failure(
+                    "stall", f"no {kind} reply within {timeout:.2f}s"
+                )
+            try:
+                if self.conn.poll(min(remaining, 0.05)):
+                    self._dispatch(self.conn.recv())
+            except (EOFError, OSError):
+                self.check_alive()
+                raise self._failure("crash", "pipe closed mid-request")
+            if self._errors:
+                # The worker survived but a request raised inside it
+                # (a protocol/validation bug, not a process fault): the
+                # expected reply may never come, so surface it now.
+                errors, self._errors = self._errors, []
+                raise FabricError(
+                    f"worker {self.index} reported: " + "; ".join(errors)
+                )
+            if rid in self._replies:
+                return self._replies.pop(rid)
+            if self.process is not None and not self.process.is_alive():
+                # Drain whatever made it out before the death.
+                self.drain()
+                if rid in self._replies:
+                    return self._replies.pop(rid)
+                raise self._failure(
+                    "crash",
+                    f"process exited with code {self.process.exitcode} "
+                    f"before replying to {kind}",
+                )
+
+    def close(self) -> None:
+        """Graceful shutdown: ask the loop to exit, then join/kill."""
+        if self.conn is not None:
+            try:
+                self.conn.send(("close",))
+            except (BrokenPipeError, OSError):
+                pass
+        if self.process is not None:
+            self.process.join(timeout=2.0)
+            if self.process.is_alive():
+                self.process.kill()
+                self.process.join(timeout=5.0)
+        if self.conn is not None:
+            self.conn.close()
+            self.conn = None
+
+
+__all__ = ["WorkerHandle", "WorkerFailure", "worker_main"]

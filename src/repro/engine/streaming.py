@@ -257,13 +257,27 @@ class StreamScheduler:
     bitwise-exact for int8 plans; see ``docs/serving.md``).
     """
 
-    def __init__(self, plan: ModelPlan, config: StreamConfig = StreamConfig()) -> None:
+    def __init__(
+        self,
+        plan: ModelPlan,
+        config: StreamConfig = StreamConfig(),
+        journal=None,
+    ) -> None:
         self.plan = plan
         self.config = config
         self.stats = StreamStats()
         self._entries: Dict[int, _Entry] = {}
         self._next_id = 0
         self._clock = 0  # total frames fed, all sessions
+        #: Optional chunk journal (any object with ``open(sid)``,
+        #: ``record(sid, features)``, ``mark_finished(sid)`` — e.g.
+        #: :class:`repro.engine.fabric.SessionJournal`).  Every accepted
+        #: chunk is recorded *after* validation, so replaying a journal
+        #: into a fresh scheduler reproduces the stream exactly (the
+        #: chunk-exactness guarantee makes the replay decode
+        #: byte-identical).  The serving fabric builds crash recovery on
+        #: this hook.
+        self.journal = journal
 
     def open(self) -> int:
         """Open a new session; returns its id."""
@@ -271,12 +285,16 @@ class StreamScheduler:
         self._next_id += 1
         self._entries[sid] = _Entry(self.config.min_duration)
         self.stats.sessions_opened += 1
+        if self.journal is not None:
+            self.journal.open(sid)
         return sid
 
     def _entry(self, sid: int) -> _Entry:
         entry = self._entries.get(sid)
         if entry is None:
-            raise StreamError(f"unknown or finished session id {sid}")
+            if 0 <= sid < self._next_id:
+                raise StreamError(f"session {sid} already finished")
+            raise StreamError(f"unknown session id {sid}")
         return entry
 
     def feed(self, sid: int, features: np.ndarray) -> None:
@@ -290,6 +308,8 @@ class StreamScheduler:
             )
         if len(features) == 0:
             return
+        if self.journal is not None:
+            self.journal.record(sid, features)
         # The clock stamp excludes the chunk's own frames, so the
         # deadline measures frames of *other* traffic arriving while the
         # chunk waits.
@@ -326,6 +346,8 @@ class StreamScheduler:
         entry.committed.extend(entry.decoder.finish())
         del self._entries[sid]
         self.stats.sessions_finished += 1
+        if self.journal is not None:
+            self.journal.mark_finished(sid)
         return entry.committed
 
     # -- batching core ----------------------------------------------------

@@ -42,3 +42,21 @@ class KernelError(ReproError, RuntimeError):
 
 class StreamError(ReproError, RuntimeError):
     """A streaming session/frontend was used after finish or out of order."""
+
+
+class OverloadError(StreamError):
+    """Admission control shed the request: the serving fabric is saturated.
+
+    Raised instead of queueing when accepting the session/chunk would
+    push a worker past its bounded queue and break the
+    ``max_wait_frames`` latency contract.  The request was *not*
+    accepted; the caller may retry after draining.
+    """
+
+
+class ArtifactError(ReproError, RuntimeError):
+    """A compiled-plan artifact is unreadable, truncated, or corrupted."""
+
+
+class FabricError(ReproError, RuntimeError):
+    """The multi-process serving fabric lost a worker it could not recover."""

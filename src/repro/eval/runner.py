@@ -111,6 +111,8 @@ def _run_stream_bench(args) -> None:
         repeats=args.repeats,
         seed=args.seed,
         scheme=None if args.scheme == "none" else args.scheme,
+        workers=args.workers,
+        chaos=args.chaos,
     )
     result = run_stream_bench(config)
     print(render_stream_bench(result))
@@ -118,6 +120,25 @@ def _run_stream_bench(args) -> None:
         args.json.parent.mkdir(parents=True, exist_ok=True)
         args.json.write_text(json.dumps(result.to_rows(), indent=2))
         print(f"wrote {args.json}")
+    if args.expect_recovery:
+        fabric_rows = [row for row in result.rows if row.path.startswith("fabric")]
+        if not fabric_rows:
+            raise SystemExit("--expect-recovery needs --workers >= 1")
+        row = fabric_rows[-1]
+        if row.decode_match < 1.0:
+            raise SystemExit(
+                f"fabric decode match {row.decode_match:.2%} < 100% — "
+                "recovery was not byte-exact"
+            )
+        if not row.restarts:
+            raise SystemExit(
+                "no worker restarts observed — the chaos fault did not "
+                "exercise recovery"
+            )
+        print(
+            f"recovery OK: {row.restarts} restart(s), "
+            f"{row.sessions_rehomed} session(s) re-homed, decode match 100%"
+        )
 
 
 def _run_tune(args) -> None:
@@ -253,6 +274,16 @@ def build_parser() -> argparse.ArgumentParser:
     pst.add_argument("--seed", type=int, default=0)
     pst.add_argument("--scheme", choices=["none", "fp16", "int8"],
                      default="none", help="engine quantization scheme")
+    pst.add_argument("--workers", type=int, default=0,
+                     help="also serve through a multi-process fabric with "
+                     "this many supervised workers (0 = skip)")
+    pst.add_argument("--chaos", action="store_true",
+                     help="arm a deterministic crash fault on worker 0 so "
+                     "the fabric pass exercises restart + journal replay")
+    pst.add_argument("--expect-recovery", action="store_true",
+                     help="exit nonzero unless the fabric row recovered "
+                     "(restarts >= 1) with decode match 100%% — the CI "
+                     "chaos gate")
     pst.add_argument("--json", type=Path, help="write rows as JSON")
     pst.set_defaults(func=_run_stream_bench)
 

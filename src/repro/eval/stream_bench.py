@@ -14,6 +14,13 @@ the per-chunk p50/p95 submit→decode latency, the scheduler's mean fused
 batch size, and the fraction of sessions whose streamed hypothesis
 matches the offline decode exactly (the chunk-exactness guarantee says
 all of them).
+
+With ``workers >= 1`` the harness adds a third path: the same stream
+served through a multi-process :class:`~repro.engine.fabric.ServingFabric`
+(each worker loads the compiled artifact and runs its own scheduler).
+``chaos=True`` arms a deterministic crash fault on worker 0 mid-run, so
+the fabric row measures serving *through* a kill + restart + journal
+replay — and its ``decode_match`` asserts recovery was byte-exact.
 """
 
 from __future__ import annotations
@@ -55,6 +62,12 @@ class StreamBenchConfig:
     repeats: int = 3
     seed: int = 0
     scheme: Optional[str] = None
+    #: 0 disables the multi-process fabric pass; >= 1 adds a fabric row
+    #: served by that many supervised worker processes.
+    workers: int = 0
+    #: Arm a deterministic crash fault on worker 0 mid-run, so the
+    #: fabric row measures recovery (restart + journal replay) too.
+    chaos: bool = False
 
     def __post_init__(self) -> None:
         if self.num_sessions < 1:
@@ -65,6 +78,10 @@ class StreamBenchConfig:
             raise ConfigError(f"chunk_frames must be >= 1, got {self.chunk_frames}")
         if self.repeats < 1:
             raise ConfigError(f"repeats must be >= 1, got {self.repeats}")
+        if self.workers < 0:
+            raise ConfigError(f"workers must be >= 0, got {self.workers}")
+        if self.chaos and self.workers < 1:
+            raise ConfigError("chaos requires workers >= 1")
 
 
 @dataclass
@@ -79,6 +96,10 @@ class StreamBenchRow:
     p50_latency_ms: Optional[float] = None
     p95_latency_ms: Optional[float] = None
     mean_batch_size: Optional[float] = None
+    # Fabric rows only: fleet supervision counters for the pass.
+    restarts: Optional[int] = None
+    sessions_rehomed: Optional[int] = None
+    chunks_shed: Optional[int] = None
 
 
 @dataclass
@@ -102,6 +123,9 @@ class StreamBenchResult:
                 "p50_latency_ms": row.p50_latency_ms,
                 "p95_latency_ms": row.p95_latency_ms,
                 "mean_batch_size": row.mean_batch_size,
+                "restarts": row.restarts,
+                "sessions_rehomed": row.sessions_rehomed,
+                "chunks_shed": row.chunks_shed,
             }
             for row in self.rows
         ]
@@ -150,6 +174,41 @@ def _stream_pass(plan, features, config: StreamBenchConfig):
     return [hypotheses[sid] for sid in sids], scheduler.stats
 
 
+def _fabric_pass(artifact_path, features, config: StreamBenchConfig):
+    """One full workload through the multi-process serving fabric."""
+    from repro.engine.fabric import FabricConfig, FaultConfig, ServingFabric
+
+    faults = None
+    if config.chaos:
+        # Deterministic kill of worker 0 mid-stream; recovery replays
+        # its journaled sessions on the restarted worker.
+        faults = FaultConfig(crash_after_chunks=3, target_worker=0)
+    fabric_config = FabricConfig(
+        num_workers=config.workers,
+        stream=StreamConfig(
+            max_batch_size=config.max_batch_size,
+            max_wait_frames=config.max_wait_frames,
+            min_duration=config.min_duration,
+        ),
+        backoff_base_s=0.01,
+        rpc_timeout_s=60.0,
+        faults=faults,
+    )
+    with ServingFabric(artifact_path, fabric_config) as fabric:
+        sids = [fabric.open() for _ in features]
+        hypotheses = {sid: [] for sid in sids}
+        longest = max(len(utterance) for utterance in features)
+        for start in range(0, longest, config.chunk_frames):
+            for sid, utterance in zip(sids, features):
+                chunk = utterance[start : start + config.chunk_frames]
+                if len(chunk):
+                    fabric.feed(sid, chunk, block=True)
+        for sid in sids:
+            hypotheses[sid].extend(fabric.finish(sid))
+        fleet = fabric.stats()
+    return [hypotheses[sid] for sid in sids], fleet
+
+
 def run_stream_bench(
     config: StreamBenchConfig = StreamBenchConfig(),
 ) -> StreamBenchResult:
@@ -186,6 +245,41 @@ def run_stream_bench(
             mean_batch_size=stats.mean_batch_size,
         )
     )
+    if config.workers >= 1:
+        import tempfile
+        from pathlib import Path
+
+        from repro.engine.artifact import save_plan
+
+        with tempfile.TemporaryDirectory(prefix="repro-stream-bench-") as tmp:
+            artifact = Path(tmp) / "model.plan.npz"
+            save_plan(artifact, plan)
+            fabric_time, (fabric_hyps, fleet) = timed_median(
+                lambda: _fabric_pass(artifact, features, config),
+                config.repeats,
+            )
+        fabric_match = sum(
+            fabric == offline
+            for fabric, offline in zip(fabric_hyps, offline_hyps)
+        ) / len(features)
+        label = f"fabric workers={config.workers}"
+        if config.chaos:
+            label += " +chaos"
+        rows.append(
+            StreamBenchRow(
+                path=label,
+                wall_s=fabric_time,
+                sessions_per_s=config.num_sessions / fabric_time,
+                speedup=offline_time / fabric_time,
+                decode_match=float(fabric_match),
+                p50_latency_ms=fleet.p50_latency_s * 1e3,
+                p95_latency_ms=fleet.p95_latency_s * 1e3,
+                mean_batch_size=fleet.mean_batch_size,
+                restarts=fleet.restarts,
+                sessions_rehomed=fleet.sessions_rehomed,
+                chunks_shed=fleet.chunks_shed,
+            )
+        )
     return StreamBenchResult(
         rows=rows,
         num_sessions=config.num_sessions,
@@ -208,6 +302,8 @@ def render_stream_bench(result: StreamBenchResult) -> str:
                 fmt(row.p50_latency_ms, 2),
                 fmt(row.p95_latency_ms, 2),
                 fmt(row.mean_batch_size, 1),
+                fmt(row.restarts, 0),
+                fmt(row.sessions_rehomed, 0),
             ]
         )
     return format_table(
@@ -220,6 +316,8 @@ def render_stream_bench(result: StreamBenchResult) -> str:
             "p50 ms",
             "p95 ms",
             "mean batch",
+            "restarts",
+            "rehomed",
         ],
         rows,
         title=(

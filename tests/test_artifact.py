@@ -10,7 +10,7 @@ import numpy as np
 import pytest
 
 from repro import engine
-from repro.errors import ConfigError
+from repro.errors import ArtifactError, ConfigError
 from repro.pruning.bsp import BSPConfig, bsp_project_masks
 from repro.speech.model import AcousticModelConfig, GRUAcousticModel
 
@@ -143,7 +143,7 @@ class TestArtifactValidation:
     def test_load_rejects_foreign_npz(self, tmp_path):
         path = tmp_path / "foreign.npz"
         np.savez(path, data=np.zeros(3))
-        with pytest.raises(ConfigError):
+        with pytest.raises(ArtifactError):
             engine.load_plan(path)
 
     def test_save_creates_parent_dirs(self, tmp_path):
@@ -151,3 +151,69 @@ class TestArtifactValidation:
         path = tmp_path / "nested" / "dir" / "plan.npz"
         engine.save_plan(path, plan)
         assert path.exists()
+
+
+class TestCrashSafety:
+    """The artifact contract of the serving fabric: a reader sees either
+    a complete artifact or a clear :class:`ArtifactError` — never a
+    numpy/zipfile traceback, never a torn write."""
+
+    def test_missing_file_raises_artifact_error(self, tmp_path):
+        with pytest.raises(ArtifactError, match="missing, truncated"):
+            engine.load_plan(tmp_path / "nope.npz")
+
+    def test_truncated_artifact_raises_artifact_error(self, tmp_path):
+        path = tmp_path / "plan.npz"
+        engine.save_plan(path, engine.compile_model(laptop_model()))
+        whole = path.read_bytes()
+        # Every truncation point must fail *cleanly*, not with a numpy
+        # internal error: sweep a few cut points including mid-header.
+        for keep in (0, 1, 10, len(whole) // 3, len(whole) - 7):
+            path.write_bytes(whole[:keep])
+            with pytest.raises(ArtifactError):
+                engine.load_plan(path)
+
+    def test_corrupted_bytes_fail_checksum(self, tmp_path):
+        path = tmp_path / "plan.npz"
+        engine.save_plan(path, engine.compile_model(laptop_model()))
+        blob = bytearray(path.read_bytes())
+        # npz members are stored deflated, so a flipped byte usually
+        # breaks the zip CRC first; both detection paths must surface as
+        # ArtifactError.  Flip a byte in the middle of the archive.
+        blob[len(blob) // 2] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(ArtifactError):
+            engine.load_plan(path)
+
+    def test_checksum_catches_array_swap(self, tmp_path):
+        # Rewrite one weight array through the zip layer (valid zip,
+        # valid npz, wrong bytes): only the content checksum can catch
+        # this class of corruption.
+        path = tmp_path / "plan.npz"
+        engine.save_plan(path, engine.compile_model(laptop_model()))
+        with np.load(path) as data:
+            arrays = {key: data[key] for key in data.files}
+        victim = next(
+            key
+            for key in arrays
+            if key != "meta.json" and arrays[key].dtype == np.float64
+            and arrays[key].size
+        )
+        arrays[victim] = arrays[victim] + 1.0
+        with open(path, "wb") as handle:
+            np.savez_compressed(handle, **arrays)
+        with pytest.raises(ArtifactError, match="checksum"):
+            engine.load_plan(path)
+
+    def test_atomic_save_replaces_existing(self, tmp_path):
+        path = tmp_path / "plan.npz"
+        plan_a = engine.compile_model(laptop_model(seed=0))
+        plan_b = engine.compile_model(laptop_model(seed=1))
+        engine.save_plan(path, plan_a)
+        engine.save_plan(path, plan_b)  # atomic os.replace over the old
+        x = np.zeros((3, 1, 8))
+        np.testing.assert_array_equal(
+            engine.load_plan(path).forward_batch(x), plan_b.forward_batch(x)
+        )
+        # No temp files left behind by either save.
+        assert [p.name for p in tmp_path.iterdir()] == ["plan.npz"]

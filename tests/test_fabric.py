@@ -1,0 +1,510 @@
+"""Serving-fabric robustness tests (repro.engine.fabric).
+
+The contract under test: a supervised multi-process fabric where a
+killed or stalled worker's sessions are re-homed by journal replay and
+finish **byte-identical** to a single-process run (chunk-exactness makes
+replay exact), overload sheds with a typed ``OverloadError`` while
+admitted sessions keep decoding exactly, and every fault is injected
+deterministically so each scenario replays identically.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    FabricConfig,
+    FaultConfig,
+    ServingFabric,
+    SessionJournal,
+    StreamConfig,
+    compile_model,
+)
+from repro.engine.fabric import HashRing, WorkerFailure
+from repro.errors import (
+    ConfigError,
+    FabricError,
+    OverloadError,
+    ShapeError,
+    StreamError,
+)
+from repro.speech.decoder import decode_utterance
+from repro.speech.model import AcousticModelConfig, GRUAcousticModel
+
+SCHEMES = (None, "fp16", "int8")
+
+STREAM = StreamConfig(max_batch_size=4, max_wait_frames=8, min_duration=2)
+
+
+def small_plan(scheme=None, seed=0):
+    config = AcousticModelConfig(
+        input_dim=8, hidden_size=16, num_layers=2, cell_type="gru"
+    )
+    model = GRUAcousticModel(config, rng=seed).eval()
+    return compile_model(model, scheme=scheme)
+
+
+def make_utterances(num, base_frames=46, rng_seed=1):
+    rng = np.random.default_rng(rng_seed)
+    return [rng.standard_normal((base_frames + 7 * i, 8)) for i in range(num)]
+
+
+def fabric_config(**overrides):
+    defaults = dict(
+        num_workers=2,
+        stream=STREAM,
+        backoff_base_s=0.0,  # tests assert the schedule, not wall time
+        rpc_timeout_s=20.0,
+        heartbeat_timeout_s=20.0,
+    )
+    defaults.update(overrides)
+    return FabricConfig(**defaults)
+
+
+def offline_phones(plan, utterances):
+    return [
+        decode_utterance(
+            plan.forward_utterance(u), min_duration=STREAM.min_duration
+        )
+        for u in utterances
+    ]
+
+
+def stream_all(fabric, utterances, chunk=13):
+    """Feed every utterance through the fabric; returns phones per sid."""
+    sids = [fabric.open() for _ in utterances]
+    outs = {sid: [] for sid in sids}
+    for utterance, sid in zip(utterances, sids):
+        for start in range(0, len(utterance), chunk):
+            fabric.feed(sid, utterance[start : start + chunk], block=True)
+        outs[sid].extend(fabric.poll(sid))
+    for sid in sids:
+        outs[sid].extend(fabric.finish(sid))
+    return [outs[sid] for sid in sids]
+
+
+def open_on_worker(fabric, worker, limit=64):
+    """Open sessions until one lands on ``worker`` (consistent hashing
+    makes the search deterministic and short)."""
+    for _ in range(limit):
+        sid = fabric.open()
+        if fabric._sessions[sid].worker == worker:
+            return sid
+    raise AssertionError(f"no session routed to worker {worker} in {limit} tries")
+
+
+class TestFabricBasics:
+    def test_no_fault_decode_matches_single_process(self):
+        plan = small_plan()
+        utterances = make_utterances(4)
+        with ServingFabric.from_plan(plan, fabric_config()) as fabric:
+            streamed = stream_all(fabric, utterances)
+            fleet = fabric.stats()
+        assert streamed == offline_phones(plan, utterances)
+        assert fleet.restarts == 0
+        assert fleet.sessions_finished == 4
+        assert fleet.chunks > 0
+
+    def test_sessions_spread_across_workers(self):
+        plan = small_plan()
+        with ServingFabric.from_plan(
+            plan, fabric_config(num_workers=2)
+        ) as fabric:
+            sids = [fabric.open() for _ in range(16)]
+            homes = {fabric._sessions[sid].worker for sid in sids}
+            for sid in sids:
+                fabric.finish(sid)
+        assert homes == {0, 1}
+
+    def test_unknown_and_finished_sids_are_typed(self):
+        plan = small_plan()
+        with ServingFabric.from_plan(plan, fabric_config()) as fabric:
+            with pytest.raises(StreamError, match="unknown session id 9"):
+                fabric.poll(9)
+            sid = fabric.open()
+            fabric.finish(sid)
+            with pytest.raises(
+                StreamError, match=f"session {sid} already finished"
+            ):
+                fabric.feed(sid, np.zeros((4, 8)))
+
+    def test_feed_validates_feature_shape(self):
+        plan = small_plan()
+        with ServingFabric.from_plan(plan, fabric_config()) as fabric:
+            sid = fabric.open()
+            with pytest.raises(ShapeError, match="features"):
+                fabric.feed(sid, np.zeros((4, 5)))
+            fabric.finish(sid)
+
+    def test_empty_chunk_is_a_noop(self):
+        plan = small_plan()
+        with ServingFabric.from_plan(plan, fabric_config()) as fabric:
+            sid = fabric.open()
+            fabric.feed(sid, np.zeros((0, 8)))
+            assert fabric.finish(sid) == []
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError, match="num_workers"):
+            FabricConfig(num_workers=0)
+        with pytest.raises(ConfigError, match="max_restarts"):
+            FabricConfig(max_restarts=-1)
+        with pytest.raises(ConfigError, match="timeouts"):
+            FabricConfig(rpc_timeout_s=0)
+
+    def test_default_backlog_bound_is_deadline_aware(self):
+        config = fabric_config()
+        assert config.backlog_frames_bound == (
+            STREAM.max_wait_frames * STREAM.max_batch_size
+        )
+        explicit = fabric_config(max_backlog_frames=7)
+        assert explicit.backlog_frames_bound == 7
+
+
+class TestCrashRecovery:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    @pytest.mark.parametrize("crash_after", [1, 5])
+    def test_killed_worker_sessions_rehome_byte_identical(
+        self, scheme, crash_after
+    ):
+        """The headline guarantee: kill a worker mid-stream at a seeded
+        point; its re-homed sessions finish byte-identical to a
+        single-process run, for every quantization scheme."""
+        plan = small_plan(scheme=scheme)
+        utterances = make_utterances(4)
+        config = fabric_config(
+            faults=FaultConfig(crash_after_chunks=crash_after, target_worker=0)
+        )
+        with ServingFabric.from_plan(plan, config) as fabric:
+            streamed = stream_all(fabric, utterances)
+            fleet = fabric.stats()
+        assert streamed == offline_phones(plan, utterances)
+        assert fleet.crashes_detected >= 1
+        assert fleet.restarts >= 1
+        assert fleet.sessions_rehomed >= 1
+
+    def test_crash_surfacing_in_finish_is_replayed(self):
+        """A worker that dies after its last chunk still yields the
+        exact tail: finish is journaled before its RPC, so recovery
+        re-runs the finish on the replacement worker."""
+        plan = small_plan()
+        utterance = make_utterances(1, base_frames=30)[0]
+        config = fabric_config(
+            faults=FaultConfig(crash_after_chunks=2, target_worker=0)
+        )
+        with ServingFabric.from_plan(plan, config) as fabric:
+            sid = open_on_worker(fabric, 0)
+            for start in range(0, 30, 10):  # 3 chunks; dies on the 3rd
+                fabric.feed(sid, utterance[start : start + 10])
+            phones = fabric.finish(sid)
+            fleet = fabric.stats()
+        assert phones == offline_phones(plan, [utterance])[0]
+        assert fleet.crashes_detected >= 1
+        assert fleet.sessions_rehomed >= 1
+
+    def test_recovery_is_deterministic(self):
+        """Same seed, same fault plan → identical fleet counters and
+        identical phones across two independent runs."""
+        plan = small_plan()
+        utterances = make_utterances(3)
+        config = fabric_config(
+            faults=FaultConfig(crash_after_chunks=2, target_worker=0)
+        )
+
+        def run():
+            with ServingFabric.from_plan(plan, config) as fabric:
+                streamed = stream_all(fabric, utterances)
+                fleet = fabric.stats()
+            return streamed, (
+                fleet.crashes_detected,
+                fleet.restarts,
+                fleet.sessions_rehomed,
+            )
+
+        first, second = run(), run()
+        assert first == second
+
+    def test_repeat_crash_exhausts_budget_and_rehomes_permanently(self):
+        """A crash-looping worker burns its restart budget, is marked
+        permanently dead, and the ring re-homes its slice onto the
+        survivor — which still finishes everything byte-identically."""
+        plan = small_plan()
+        utterances = make_utterances(4)
+        config = fabric_config(
+            max_restarts=2,
+            faults=FaultConfig(
+                crash_after_chunks=1, target_worker=0, repeat=True
+            ),
+        )
+        with ServingFabric.from_plan(plan, config) as fabric:
+            streamed = stream_all(fabric, utterances)
+            fleet = fabric.stats()
+            dead_rows = [w for w in fleet.workers if not w.alive]
+            homes = {
+                session.worker for session in fabric._sessions.values()
+            }
+        assert streamed == offline_phones(plan, utterances)
+        assert len(dead_rows) == 1 and dead_rows[0].index == 0
+        assert dead_rows[0].restarts == 2
+        assert homes == {1}
+
+    def test_backoff_schedule_is_exponential_and_capped(self):
+        plan = small_plan()
+        utterances = make_utterances(2)
+        config = fabric_config(
+            max_restarts=3,
+            backoff_base_s=0.01,
+            backoff_cap_s=0.02,
+            faults=FaultConfig(
+                crash_after_chunks=1, target_worker=0, repeat=True
+            ),
+        )
+        with ServingFabric.from_plan(plan, config) as fabric:
+            sid = open_on_worker(fabric, 0)
+            utterance = make_utterances(1, base_frames=30)[0]
+            for start in range(0, 30, 10):
+                fabric.feed(sid, utterance[start : start + 10], block=True)
+            fabric.finish(sid)
+            history = list(fabric._supervisor.backoff_history)
+        # base * 2**(n-1), capped: 0.01, 0.02, 0.02 (cap)
+        assert history[:3] == [0.01, 0.02, 0.02]
+
+    def test_all_workers_dead_raises_fabric_error(self):
+        plan = small_plan()
+        config = fabric_config(
+            num_workers=1,
+            max_restarts=1,
+            faults=FaultConfig(
+                crash_after_chunks=1, target_worker=0, repeat=True
+            ),
+        )
+        utterance = make_utterances(1)[0]
+        with ServingFabric.from_plan(plan, config) as fabric:
+            sid = fabric.open()
+            with pytest.raises(FabricError, match="no live workers"):
+                for start in range(0, len(utterance), 7):
+                    fabric.feed(sid, utterance[start : start + 7], block=True)
+                fabric.finish(sid)
+
+
+class TestStallDetection:
+    def test_stalled_worker_is_killed_and_sessions_rehome(self):
+        """A worker that hangs (alive but unresponsive) trips the RPC
+        timeout, is classified as a stall, killed, restarted — and its
+        sessions still finish byte-identically via replay."""
+        plan = small_plan()
+        utterance = make_utterances(1, base_frames=32)[0]
+        config = fabric_config(
+            rpc_timeout_s=0.75,
+            faults=FaultConfig(
+                stall_after_chunks=1, stall_seconds=60.0, target_worker=0
+            ),
+        )
+        with ServingFabric.from_plan(plan, config) as fabric:
+            sid = open_on_worker(fabric, 0)
+            fabric.feed(sid, utterance[:16])
+            fabric.feed(sid, utterance[16:])  # worker hangs on this one
+            phones = fabric.poll(sid)  # trips the stall detector
+            phones += fabric.finish(sid)
+            fleet = fabric.stats()
+        assert phones == offline_phones(plan, [utterance])[0]
+        assert fleet.stalls_detected >= 1
+        assert fleet.restarts >= 1
+        assert fleet.sessions_rehomed >= 1
+
+    def test_check_sweep_catches_stall_on_idle_worker(self):
+        """The heartbeat sweep finds a stalled worker without any
+        session traffic touching it."""
+        plan = small_plan()
+        config = fabric_config(
+            heartbeat_timeout_s=0.75,
+            faults=FaultConfig(
+                stall_after_chunks=0, stall_seconds=60.0, target_worker=0
+            ),
+        )
+        with ServingFabric.from_plan(plan, config) as fabric:
+            sid = open_on_worker(fabric, 0)
+            fabric.feed(sid, np.zeros((4, 8)))  # arms the stall
+            failed = fabric.check()
+            fleet = fabric.stats()
+        assert failed == [0]
+        assert fleet.stalls_detected == 1
+        assert fleet.restarts == 1
+
+
+class TestOverload:
+    def test_saturated_worker_sheds_chunks_with_typed_error(self):
+        """Acks never drain (drop_ack_rate=1), so in-flight work only
+        grows: the fabric must shed with OverloadError once the
+        deadline-aware frame bound is hit, and the bound must hold."""
+        plan = small_plan()
+        config = fabric_config(
+            faults=FaultConfig(drop_ack_rate=1.0, seed=7, target_worker=0),
+        )
+        utterance = make_utterances(1, base_frames=200)[0]
+        with ServingFabric.from_plan(plan, config) as fabric:
+            sid = open_on_worker(fabric, 0)
+            with pytest.raises(OverloadError, match="backlog"):
+                for start in range(0, len(utterance), 8):
+                    fabric.feed(sid, utterance[start : start + 8])
+            fleet = fabric.stats()
+        assert fleet.chunks_shed >= 1
+        # The admission gate never let the queue exceed its bound.
+        assert fleet.max_backlog_frames_seen <= fleet.backlog_frames_bound
+
+    def test_session_capacity_sheds_new_sessions(self):
+        plan = small_plan()
+        config = fabric_config(num_workers=1, max_sessions_per_worker=3)
+        with ServingFabric.from_plan(plan, config) as fabric:
+            sids = [fabric.open() for _ in range(3)]
+            with pytest.raises(OverloadError, match="session capacity"):
+                fabric.open()
+            fleet = fabric.stats()
+            assert fleet.sessions_shed == 1
+            # Finishing one frees a slot: graceful degradation, not a
+            # latched failure.
+            fabric.finish(sids[0])
+            sids.append(fabric.open())
+            for sid in sids[1:]:
+                fabric.finish(sid)
+
+    def test_survivors_unaffected_by_neighbor_overload(self):
+        """Saturating worker 0 must not degrade worker 1's sessions:
+        they stream to completion and decode byte-identically."""
+        plan = small_plan()
+        config = fabric_config(
+            faults=FaultConfig(drop_ack_rate=1.0, seed=7, target_worker=0),
+        )
+        utterances = make_utterances(6)
+        with ServingFabric.from_plan(plan, config) as fabric:
+            sids = [fabric.open() for _ in utterances]
+            survivors = [
+                (utterance, sid)
+                for utterance, sid in zip(utterances, sids)
+                if fabric._sessions[sid].worker == 1
+            ]
+            assert survivors  # the hash ring spreads 6 sessions
+            outs = {sid: [] for _, sid in survivors}
+            for utterance, sid in survivors:
+                for start in range(0, len(utterance), 13):
+                    fabric.feed(sid, utterance[start : start + 13], block=True)
+                outs[sid].extend(fabric.poll(sid))
+            for _, sid in survivors:
+                outs[sid].extend(fabric.finish(sid))
+            fleet = fabric.stats()
+        expected = offline_phones(plan, [u for u, _ in survivors])
+        assert [outs[sid] for _, sid in survivors] == expected
+        survivor_row = next(w for w in fleet.workers if w.index == 1)
+        assert survivor_row.alive and survivor_row.snapshot is not None
+        assert survivor_row.snapshot["chunks"] > 0
+
+    def test_blocking_feed_waits_out_backpressure(self):
+        """block=True converts shedding into backpressure: a fast
+        producer completes losslessly against a healthy worker."""
+        plan = small_plan()
+        utterances = make_utterances(2, base_frames=120)
+        config = fabric_config(max_backlog_frames=16, max_pending_chunks=2)
+        with ServingFabric.from_plan(plan, config) as fabric:
+            streamed = stream_all(fabric, utterances, chunk=8)
+        assert streamed == offline_phones(plan, utterances)
+
+
+class TestHashRing:
+    def test_assignment_is_deterministic(self):
+        ring = HashRing(range(4))
+        first = [ring.assign(sid, range(4)) for sid in range(64)]
+        second = [HashRing(range(4)).assign(sid, range(4)) for sid in range(64)]
+        assert first == second
+
+    def test_removing_a_worker_only_moves_its_keys(self):
+        ring = HashRing(range(4))
+        alive = [0, 1, 2, 3]
+        before = {sid: ring.assign(sid, alive) for sid in range(256)}
+        after = {sid: ring.assign(sid, [0, 1, 3]) for sid in range(256)}
+        for sid in range(256):
+            if before[sid] != 2:
+                assert after[sid] == before[sid]
+            else:
+                assert after[sid] != 2
+
+    def test_revived_worker_reclaims_its_slice(self):
+        ring = HashRing(range(3))
+        before = {sid: ring.assign(sid, range(3)) for sid in range(128)}
+        ring.assign(0, [0, 2])  # worker 1 "dies"...
+        after = {sid: ring.assign(sid, range(3)) for sid in range(128)}
+        assert after == before  # ...and its return restores the map
+
+    def test_no_live_workers_is_typed(self):
+        ring = HashRing(range(2))
+        with pytest.raises(FabricError, match="no live workers"):
+            ring.assign(0, [])
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            HashRing([])
+        with pytest.raises(ConfigError):
+            HashRing([0], replicas=0)
+
+
+class TestSessionJournal:
+    def test_records_and_replays_in_order(self):
+        journal = SessionJournal()
+        journal.open(3)
+        chunks = [np.full((2, 4), i, dtype=np.float64) for i in range(5)]
+        for chunk in chunks:
+            journal.record(3, chunk)
+        assert journal.frames(3) == 10
+        assert not journal.finished(3)
+        replay = journal.chunks(3)
+        assert len(replay) == 5
+        for logged, original in zip(replay, chunks):
+            np.testing.assert_array_equal(logged, original)
+        journal.mark_finished(3)
+        assert journal.finished(3)
+
+    def test_double_open_and_post_finish_record_are_typed(self):
+        journal = SessionJournal()
+        journal.open(1)
+        with pytest.raises(StreamError, match="already open"):
+            journal.open(1)
+        journal.mark_finished(1)
+        with pytest.raises(StreamError, match="already finished"):
+            journal.record(1, np.zeros((1, 4)))
+
+    def test_unknown_sid_is_typed(self):
+        journal = SessionJournal()
+        with pytest.raises(StreamError, match="no journal for session id 7"):
+            journal.record(7, np.zeros((1, 4)))
+
+    def test_close_frees_the_log(self):
+        journal = SessionJournal()
+        journal.open(0)
+        journal.record(0, np.zeros((3, 4)))
+        assert 0 in journal
+        journal.close(0)
+        assert 0 not in journal
+        journal.close(0)  # idempotent
+
+
+class TestFaultConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            FaultConfig(crash_after_chunks=-1)
+        with pytest.raises(ConfigError):
+            FaultConfig(drop_ack_rate=1.5)
+        with pytest.raises(ConfigError):
+            FaultConfig(stall_seconds=-1.0)
+
+    def test_applies_only_to_first_incarnation_unless_repeat(self):
+        fault = FaultConfig(crash_after_chunks=1, target_worker=2)
+        assert fault.applies_to(2, 0)
+        assert not fault.applies_to(2, 1)
+        assert not fault.applies_to(0, 0)
+        looping = FaultConfig(
+            crash_after_chunks=1, target_worker=2, repeat=True
+        )
+        assert looping.applies_to(2, 5)
+
+
+class TestWorkerFailure:
+    def test_message_carries_index_and_classification(self):
+        failure = WorkerFailure(3, "stall", "no poll reply within 0.50s")
+        assert "worker 3 stall" in str(failure)

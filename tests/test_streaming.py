@@ -436,6 +436,67 @@ class TestStreamScheduler:
         with pytest.raises(StreamError):
             scheduler.poll(sid)
 
+    def test_unknown_sid_message_names_the_sid(self):
+        # Typed error, never a KeyError — and the message must carry the
+        # offending sid so fleet logs are actionable.
+        _, scheduler = self.make()
+        for op in (
+            lambda: scheduler.feed(42, np.zeros((3, 8))),
+            lambda: scheduler.poll(42),
+            lambda: scheduler.finish(42),
+        ):
+            with pytest.raises(StreamError, match="unknown session id 42"):
+                op()
+
+    def test_finished_sid_distinguished_from_unknown(self):
+        _, scheduler = self.make()
+        sid = scheduler.open()
+        scheduler.finish(sid)
+        for op in (
+            lambda: scheduler.feed(sid, np.zeros((3, 8))),
+            lambda: scheduler.poll(sid),
+            lambda: scheduler.finish(sid),
+        ):
+            with pytest.raises(
+                StreamError, match=f"session {sid} already finished"
+            ):
+                op()
+
+    def test_feed_shape_validation_is_typed(self):
+        from repro.errors import ShapeError as SE
+
+        _, scheduler = self.make()
+        sid = scheduler.open()
+        with pytest.raises(SE):
+            scheduler.feed(sid, np.zeros((3, 5)))  # wrong feature dim
+        with pytest.raises(SE):
+            scheduler.feed(sid, np.zeros(3))  # wrong rank
+
+    def test_journal_hook_records_replayable_stream(self, rng):
+        from repro.engine.fabric import SessionJournal
+
+        plan = engine.compile_model(tiny_model())
+        journal = SessionJournal()
+        scheduler = engine.StreamScheduler(
+            plan, engine.StreamConfig(min_duration=2), journal=journal
+        )
+        utterance = rng.standard_normal((30, 8))
+        sid = scheduler.open()
+        for start in range(0, 30, 7):
+            scheduler.feed(sid, utterance[start : start + 7])
+        scheduler.feed(sid, np.zeros((0, 8)))  # rejected chunks never journal
+        phones = scheduler.finish(sid)
+        assert journal.finished(sid)
+        assert journal.frames(sid) == 30
+
+        # Replaying the journal into a *fresh* scheduler reproduces the
+        # stream byte-identically (this is what fabric re-homing does).
+        replayed = engine.StreamScheduler(plan, engine.StreamConfig(min_duration=2))
+        rid = replayed.open()
+        for chunk in journal.chunks(sid):
+            replayed.feed(rid, chunk)
+        assert replayed.finish(rid) == phones
+
     def test_config_validation(self):
         with pytest.raises(ConfigError):
             engine.StreamConfig(max_batch_size=0)
