@@ -32,12 +32,20 @@ Quickstart::
         fabric.feed(sid, chunk)
         phones = fabric.poll(sid) + fabric.finish(sid)
 
-See ``docs/engine.md``, ``docs/serving.md``, and ``docs/compiler.md``
-for the design.
+    # versioned deployments: publish → serve → canary → promote/rollback
+    registry = engine.PlanRegistry("registry/")
+    registry.publish("am", plan)
+    with engine.ServingFabric.from_registry(registry, "am") as fabric:
+        fabric.start_canary("v2", engine.CanaryConfig(fraction=0.25))
+
+See ``docs/engine.md``, ``docs/serving.md``, ``docs/compiler.md``, and
+``docs/registry.md`` for the design.
 """
 
 from repro.engine.artifact import load_plan, save_plan
 from repro.engine.fabric import (
+    CanaryConfig,
+    CanaryReport,
     FabricConfig,
     FaultConfig,
     FleetStats,
@@ -45,6 +53,7 @@ from repro.engine.fabric import (
     SessionJournal,
     WorkerStats,
 )
+from repro.engine.registry import PlanRegistry, RegistryEntry
 from repro.engine.plan import (
     EngineConfig,
     GRULayerPlan,
@@ -81,6 +90,8 @@ __all__ = [
     "lower_graph",
     "save_plan",
     "load_plan",
+    "PlanRegistry",
+    "RegistryEntry",
     "MicroBatcher",
     "ServingConfig",
     "ServingStats",
@@ -93,6 +104,8 @@ __all__ = [
     "FabricConfig",
     "FleetStats",
     "WorkerStats",
+    "CanaryConfig",
+    "CanaryReport",
     "FaultConfig",
     "SessionJournal",
 ]

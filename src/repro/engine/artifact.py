@@ -90,21 +90,31 @@ def save_plan(path: Union[str, Path], plan: ModelPlan) -> Path:
     header = {"graph": meta, _CHECKSUM_KEY: _content_checksum(meta, arrays)}
     payload = json.dumps(header).encode("utf-8")
     arrays[_META_KEY] = np.frombuffer(payload, dtype=np.uint8)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    fd, tmp_name = tempfile.mkstemp(
-        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
-    )
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+        )
+    except OSError as exc:
+        raise ArtifactError(
+            f"cannot write artifact to {path}: target directory is "
+            f"unwritable or not a directory ({exc})"
+        ) from exc
     try:
         with os.fdopen(fd, "wb") as handle:
             np.savez_compressed(handle, **arrays)
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp_name, path)
-    except BaseException:
+    except BaseException as exc:
         try:
             os.unlink(tmp_name)
         except OSError:
             pass
+        if isinstance(exc, OSError):
+            raise ArtifactError(
+                f"cannot write artifact to {path}: {exc}"
+            ) from exc
         raise
     try:
         # Make the rename itself durable where the platform allows it.

@@ -1,12 +1,13 @@
 """Supervised multi-process serving fabric.
 
 Public surface: :class:`ServingFabric` (the client-facing facade) and
-its config/stat types, plus the building blocks — session journal,
-consistent-hash router, supervisor, worker transport — and the
-deterministic fault-injection layer that the robustness tests and
-``stream-bench --chaos`` drive.
+its config/stat types, the canary-rollout types, plus the building
+blocks — session journal, consistent-hash router, supervisor, worker
+transport — and the deterministic fault-injection layer that the
+robustness tests and ``stream-bench --chaos`` drive.
 """
 
+from repro.engine.fabric.canary import CanaryConfig, CanaryReport
 from repro.engine.fabric.fabric import (
     FabricConfig,
     FleetStats,
@@ -24,6 +25,8 @@ __all__ = [
     "FabricConfig",
     "FleetStats",
     "WorkerStats",
+    "CanaryConfig",
+    "CanaryReport",
     "FaultConfig",
     "FaultInjector",
     "CRASH_EXIT_CODE",

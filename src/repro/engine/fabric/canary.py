@@ -1,0 +1,177 @@
+"""Canary rollout: route a fraction of new sessions to a candidate plan.
+
+A deployment should not be a leap of faith.  During a canary started
+with :meth:`ServingFabric.start_canary
+<repro.engine.fabric.fabric.ServingFabric.start_canary>`, the fabric
+
+* routes a configurable fraction of **new** sessions to the candidate
+  version (deterministically — the ``floor((n+1)f) > floor(nf)`` stride
+  admits exactly ``fraction`` of opens with no RNG, so chaos runs
+  replay identically);
+* **shadow-scores** every finished canary session: the session's
+  journaled chunks are re-decoded parent-side under the *incumbent*
+  plan, and the phone streams are compared — decode agreement is the
+  correctness signal, per-version p95 chunk latency (from the workers'
+  per-scheduler stats) the performance signal;
+* **decides automatically**: after ``decide_after`` scored sessions the
+  candidate is promoted (hot-swapped fleet-wide) when agreement and
+  latency pass, or rolled back otherwise.  A divergence that already
+  makes the agreement bar unreachable rolls back immediately — bad
+  numerics should not wait out the full window.  Rolled-back canary
+  sessions drain on the candidate (their decode is still exact *for the
+  candidate*); incumbent sessions are never touched.
+
+The decision lands in a :class:`CanaryReport` (and, when the fabric is
+registry-backed, in the candidate version's registry metadata), so the
+``why is vN serving?`` audit trail survives the process.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CanaryConfig:
+    """Rollout knobs.
+
+    ``fraction`` of new sessions route to the candidate; the decision
+    fires after ``decide_after`` canary sessions have finished and been
+    shadow-scored.  Promotion requires decode agreement >=
+    ``min_agreement`` *and* candidate p95 chunk latency <= incumbent
+    p95 * ``max_p95_ratio`` (the latency gate passes when either side
+    has no samples yet — insufficient data must not block on noise).
+    """
+
+    fraction: float = 0.25
+    decide_after: int = 4
+    min_agreement: float = 1.0
+    max_p95_ratio: float = 3.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.fraction <= 1.0:
+            raise ConfigError(
+                f"fraction must be in (0, 1], got {self.fraction}"
+            )
+        if self.decide_after < 1:
+            raise ConfigError(
+                f"decide_after must be >= 1, got {self.decide_after}"
+            )
+        if not 0.0 <= self.min_agreement <= 1.0:
+            raise ConfigError(
+                f"min_agreement must be in [0, 1], got {self.min_agreement}"
+            )
+        if self.max_p95_ratio <= 0:
+            raise ConfigError(
+                f"max_p95_ratio must be > 0, got {self.max_p95_ratio}"
+            )
+
+
+@dataclass
+class CanaryReport:
+    """What a canary observed and what was decided."""
+
+    candidate: str  # artifact path of the candidate version
+    incumbent: str
+    config: CanaryConfig
+    candidate_version: Optional[str] = None  # registry id when known
+    incumbent_version: Optional[str] = None
+    sessions_routed: int = 0
+    sessions_scored: int = 0
+    sessions_agreed: int = 0
+    candidate_p95_s: float = 0.0
+    incumbent_p95_s: float = 0.0
+    decision: Optional[str] = None  # "promote" | "rollback" | None (open)
+    reason: str = ""
+
+    @property
+    def agreement(self) -> float:
+        """Fraction of scored canary sessions that decoded identically
+        to the incumbent shadow (1.0 while nothing is scored yet)."""
+        if not self.sessions_scored:
+            return 1.0
+        return self.sessions_agreed / self.sessions_scored
+
+    def to_dict(self) -> dict:
+        """JSON-safe form (what lands in registry history / bench rows)."""
+        return {
+            "event": "canary",
+            "decision": self.decision,
+            "reason": self.reason,
+            "candidate": self.candidate,
+            "incumbent": self.incumbent,
+            "candidate_version": self.candidate_version,
+            "incumbent_version": self.incumbent_version,
+            "sessions_routed": self.sessions_routed,
+            "sessions_scored": self.sessions_scored,
+            "sessions_agreed": self.sessions_agreed,
+            "agreement": self.agreement,
+            "candidate_p95_s": self.candidate_p95_s,
+            "incumbent_p95_s": self.incumbent_p95_s,
+        }
+
+
+class CanaryState:
+    """Fabric-internal live canary: routing stride + running score."""
+
+    def __init__(
+        self,
+        candidate_path: str,
+        incumbent_path: str,
+        shadow_plan,
+        config: CanaryConfig,
+        candidate_version: Optional[str] = None,
+        incumbent_version: Optional[str] = None,
+    ) -> None:
+        self.candidate_path = candidate_path
+        self.incumbent_path = incumbent_path
+        #: Parent-side incumbent plan the shadow decode runs on.
+        self.shadow_plan = shadow_plan
+        self.config = config
+        self.report = CanaryReport(
+            candidate=candidate_path,
+            incumbent=incumbent_path,
+            config=config,
+            candidate_version=candidate_version,
+            incumbent_version=incumbent_version,
+        )
+        self._opened = 0
+
+    def route(self) -> bool:
+        """Deterministic stride: does the next admitted session canary?"""
+        n = self._opened
+        self._opened += 1
+        take = math.floor((n + 1) * self.config.fraction) > math.floor(
+            n * self.config.fraction
+        )
+        if take:
+            self.report.sessions_routed += 1
+        return take
+
+    def score(self, agreed: bool) -> None:
+        self.report.sessions_scored += 1
+        if agreed:
+            self.report.sessions_agreed += 1
+
+    def agreement_unreachable(self) -> bool:
+        """Can the agreement bar still be met by the decision window?
+
+        True once the disagreements already seen exceed what
+        ``min_agreement`` permits over ``decide_after`` sessions — the
+        signal for an immediate rollback instead of waiting out the
+        window.
+        """
+        config = self.config
+        disagreed = self.report.sessions_scored - self.report.sessions_agreed
+        allowed = (1.0 - config.min_agreement) * config.decide_after
+        return disagreed > allowed + 1e-12
+
+    def window_full(self) -> bool:
+        return self.report.sessions_scored >= self.config.decide_after
+
+
+__all__ = ["CanaryConfig", "CanaryReport", "CanaryState"]

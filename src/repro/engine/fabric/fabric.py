@@ -38,6 +38,7 @@ byte-identical recovery instead of "it usually works".
 from __future__ import annotations
 
 import multiprocessing
+import re
 import tempfile
 import time
 from dataclasses import dataclass, field
@@ -46,6 +47,7 @@ from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.engine.fabric.canary import CanaryConfig, CanaryReport, CanaryState
 from repro.engine.fabric.faults import FaultConfig
 from repro.engine.fabric.journal import SessionJournal
 from repro.engine.fabric.router import HashRing
@@ -58,7 +60,14 @@ from repro.errors import (
     OverloadError,
     ShapeError,
     StreamError,
+    SwapError,
 )
+from repro.speech.decoder import IncrementalDecoder
+
+#: What counts as a registry version id (vs a filesystem artifact path)
+#: in the version arguments of :meth:`ServingFabric.swap` /
+#: :meth:`ServingFabric.start_canary` on a registry-backed fabric.
+_VERSION_ID = re.compile(r"^(latest|v?[0-9]+)$")
 
 
 @dataclass(frozen=True)
@@ -129,7 +138,9 @@ class WorkerStats:
     snapshot: Optional[Dict] = None  # scheduler stats; None if unreachable
 
     def _latencies(self) -> List[float]:
-        return self.snapshot["latencies_s"] if self.snapshot else []
+        if not self.snapshot:
+            return []
+        return list(self.snapshot.get("latencies_s") or [])
 
     @property
     def p50_latency_s(self) -> float:
@@ -153,6 +164,7 @@ class FleetStats:
     restarts: int = 0
     crashes_detected: int = 0
     stalls_detected: int = 0
+    plan_swaps: int = 0
     max_backlog_frames_seen: int = 0
     backlog_frames_bound: int = 0
 
@@ -172,25 +184,40 @@ class FleetStats:
 
     @property
     def chunks(self) -> int:
-        return sum(w.snapshot["chunks"] for w in self.workers if w.snapshot)
+        return sum(w.snapshot.get("chunks", 0) for w in self.workers if w.snapshot)
 
     @property
     def batches(self) -> int:
-        return sum(w.snapshot["batches"] for w in self.workers if w.snapshot)
+        return sum(w.snapshot.get("batches", 0) for w in self.workers if w.snapshot)
 
     @property
     def mean_batch_size(self) -> float:
         batched = sum(
-            w.snapshot["batched_chunks"] for w in self.workers if w.snapshot
+            w.snapshot.get("batched_chunks", 0)
+            for w in self.workers
+            if w.snapshot
         )
         return batched / self.batches if self.batches else 0.0
 
+    def version_latencies(self, version: str) -> List[float]:
+        """Chunk latencies of the schedulers serving one plan version —
+        what canary shadow-scoring compares p95 on."""
+        merged: List[float] = []
+        for worker in self.workers:
+            if not worker.snapshot:
+                continue
+            for row in worker.snapshot.get("schedulers", ()):
+                if row.get("version") == version:
+                    merged.extend(row.get("latencies_s") or [])
+        return merged
+
 
 class _Session:
-    __slots__ = ("worker", "committed", "delivered", "finished")
+    __slots__ = ("worker", "version", "committed", "delivered", "finished")
 
-    def __init__(self, worker: int) -> None:
+    def __init__(self, worker: int, version: str) -> None:
         self.worker = worker
+        self.version = version  # artifact path the session decodes under
         self.committed: List[int] = []
         self.delivered = 0
         self.finished = False
@@ -253,8 +280,19 @@ class ServingFabric:
         self.sessions_rehomed = 0
         self.sessions_shed = 0
         self.chunks_shed = 0
+        self.plan_swaps = 0
         self.max_backlog_frames_seen = 0
         self._tempdir: Optional[tempfile.TemporaryDirectory] = None
+        #: The serving version: the artifact path new (non-canary)
+        #: sessions open under; updated atomically by :meth:`swap`.
+        self._version = self._artifact_path
+        self._canary: Optional[CanaryState] = None
+        self._canary_report: Optional[CanaryReport] = None
+        # Registry backing (set by from_registry): lets swap/start_canary
+        # take version ids and records deployment decisions back.
+        self._registry = None
+        self._registry_name: Optional[str] = None
+        self._incumbent_id: Optional[str] = None
 
     @classmethod
     def from_plan(
@@ -268,6 +306,30 @@ class ServingFabric:
         save_plan(path, plan)
         fabric = cls(path, config)
         fabric._tempdir = tempdir  # keep the artifact alive with the fabric
+        return fabric
+
+    @classmethod
+    def from_registry(
+        cls,
+        registry,
+        name: str,
+        version: str = "latest",
+        config: FabricConfig = FabricConfig(),
+    ) -> "ServingFabric":
+        """Serve a :class:`~repro.engine.registry.PlanRegistry` version.
+
+        The artifact is integrity-verified before the fleet spawns, and
+        the fabric remembers the registry: :meth:`swap` and
+        :meth:`start_canary` then accept version ids (``"v3"``,
+        ``"latest"``) and record their promote/rollback/swap decisions
+        into the version's registry metadata.
+        """
+        entry = registry.resolve(name, version)
+        registry.verify(entry)
+        fabric = cls(entry.artifact_path, config)
+        fabric._registry = registry
+        fabric._registry_name = name
+        fabric._incumbent_id = entry.version
         return fabric
 
     # -- context management -------------------------------------------------
@@ -321,12 +383,17 @@ class ServingFabric:
                 f"({self.config.max_sessions_per_worker}); new session shed"
             )
         self._next_sid += 1
-        self._journal.open(sid)
-        session = _Session(worker=target)
+        # Canary routing: a deterministic stride of admitted opens goes
+        # to the candidate version; everyone else stays incumbent.
+        version = self._version
+        if self._canary is not None and self._canary.route():
+            version = self._canary.candidate_path
+        self._journal.open(sid, version)
+        session = _Session(worker=target, version=version)
         self._sessions[sid] = session
         self.sessions_opened += 1
         try:
-            self._handle(session).send(("open", sid))
+            self._handle(session).send(("open", sid, version))
         except WorkerFailure as failure:
             self._recover(failure)  # replay re-opens the empty session
         return sid
@@ -422,9 +489,25 @@ class ServingFabric:
         session.finished = True
         self.sessions_finished += 1
         undelivered = self._deliver(session)
+        # Shadow-score a finished canary session (needs the journal, so
+        # before close) — may trigger the promote/rollback decision.
+        if (
+            self._canary is not None
+            and session.version == self._canary.candidate_path
+        ):
+            self._score_canary(sid, session)
         self._journal.close(sid)
         session.committed = []
         return undelivered
+
+    def session_version(self, sid: int) -> str:
+        """The plan version (artifact path) ``sid`` decodes under — the
+        candidate during a canary, else the serving version (updated in
+        place when a hot-swap carries the session across)."""
+        session = self._sessions.get(sid)
+        if session is None:
+            raise StreamError(f"unknown session id {sid}")
+        return session.version
 
     def _deliver(self, session: _Session) -> List[int]:
         undelivered = session.committed[session.delivered :]
@@ -508,26 +591,30 @@ class ServingFabric:
     def _replay(self, sid: int) -> None:
         """Re-home one session: journal replay onto its (new) worker.
 
-        Chunk-exactness + deterministic decode make the replayed stream
-        byte-identical to the uninterrupted one; the phones the fabric
-        had already received must therefore be an exact prefix of the
-        recovered stream — verified here, because a silent divergence
-        would mean the exactness contract broke.
+        The worker's ``rehome`` RPC decodes the journal segment by
+        segment — each run of chunks under the plan version that
+        originally saw it (a session that lived through a hot-swap has a
+        pre-swap and a post-swap segment) — then adopts the
+        reconstructed state into its live scheduler for the session's
+        current version.  Chunk-exactness + deterministic decode make
+        the replayed stream byte-identical to the uninterrupted one; the
+        phones the fabric had already received must therefore be an
+        exact prefix of the recovered stream — verified here, because a
+        silent divergence would mean the exactness contract broke.
         """
         session = self._sessions[sid]
         handle = self._supervisor.handles[session.worker]
         handle.check_alive()
-        handle.send(("open", sid))
-        for chunk in self._journal.chunks(sid):
-            handle.feed(sid, chunk)
-        if self._journal.finished(sid):
-            phones = handle.request("finish", self.config.rpc_timeout_s, sid)
-        else:
-            # Barrier: run everything queued, then collect the full
-            # from-scratch commitment stream.
-            handle.request("flush", self.config.rpc_timeout_s)
-            phones = handle.request("poll", self.config.rpc_timeout_s, sid)
-        phones = list(phones)
+        phones = list(
+            handle.request(
+                "rehome",
+                self.config.rpc_timeout_s,
+                sid,
+                self._journal.segments(sid),
+                self._journal.finished(sid),
+                session.version,
+            )
+        )
         if (
             len(phones) < len(session.committed)
             or phones[: len(session.committed)] != session.committed
@@ -539,6 +626,262 @@ class ServingFabric:
             )
         session.committed = phones
         self.sessions_rehomed += 1
+
+    # -- deployment: hot-swap -----------------------------------------------
+    def _resolve_version(self, version) -> tuple:
+        """``(artifact_path, registry_version_id)`` for a swap/canary
+        target: a registry id on a registry-backed fabric, else a path."""
+        if self._registry is not None and (
+            isinstance(version, int) or _VERSION_ID.match(str(version))
+        ):
+            entry = self._registry.resolve(self._registry_name, version)
+            self._registry.verify(entry)
+            return str(entry.artifact_path), entry.version
+        return str(version), None
+
+    def _record_decision(self, version_id, decision: Dict, status: str) -> None:
+        if self._registry is not None and version_id is not None:
+            self._registry.record_decision(
+                self._registry_name, version_id, decision, status=status
+            )
+
+    def swap(self, version) -> None:
+        """Hot-swap the whole fleet onto a new same-architecture version.
+
+        ``version`` is a registry version id on a registry-backed fabric
+        (``"v3"``, ``"latest"``) or an artifact path otherwise.  Every
+        live session carries its recurrent state across the swap and
+        continues mid-utterance; no in-flight batch mixes plans (each
+        worker flushes before swapping).  Raises
+        :class:`~repro.errors.SwapError` — with the fleet untouched — on
+        an architecture mismatch or while a canary is still undecided.
+        """
+        if self._canary is not None:
+            raise SwapError(
+                "a canary rollout is active; let it decide (or call "
+                "decide_canary(force=True)) before swapping directly"
+            )
+        path, version_id = self._resolve_version(version)
+        self._swap_to(path)
+        self._record_decision(
+            version_id,
+            {"event": "hot_swap", "from": self._incumbent_id},
+            status="serving",
+        )
+        if version_id is not None:
+            self._incumbent_id = version_id
+
+    def _swap_to(self, path: str) -> None:
+        """Propagate a validated swap to every worker and live session."""
+        from repro.engine.artifact import load_plan
+
+        candidate = load_plan(path)
+        if candidate.signature() != self._plan.signature():
+            raise SwapError(
+                "cannot hot-swap the fleet: architecture mismatch "
+                f"(incumbent {self._plan.signature()}, "
+                f"candidate {candidate.signature()})"
+            )
+        # Commit the new version first: restarts during the swap come up
+        # serving it, and new opens route to it.
+        self._supervisor.set_artifact(path)
+        self._plan = candidate
+        self._version = path
+        self.plan_swaps += 1
+        cap = self.config.num_workers * (self.config.max_restarts + 2) + 2
+        rounds = 0
+        while True:
+            # Workers still owing a swap: any with a live pre-swap
+            # session, plus (first round) the whole alive fleet so
+            # session-less workers converge too.
+            stale = {
+                session.worker
+                for session in self._sessions.values()
+                if not session.finished
+                and session.version != path
+                and session.worker not in self._supervisor.dead
+            }
+            if rounds == 0:
+                stale |= set(self._alive_or_raise())
+            elif not stale:
+                break
+            rounds += 1
+            if rounds > cap:
+                raise FabricError(
+                    f"hot-swap did not converge after {rounds - 1} rounds"
+                )
+            for index in sorted(stale):
+                if index in self._supervisor.dead:
+                    continue
+                try:
+                    self._supervisor.handles[index].request(
+                        "swap", self.config.rpc_timeout_s, path
+                    )
+                except WorkerFailure as failure:
+                    # Crash mid-swap: recovery replays this worker's
+                    # sessions (pre-swap segments under the old plan)
+                    # and the next round re-issues the swap.
+                    self._recover(failure)
+                    continue
+                # Barrier + swap acknowledged: everything this worker
+                # serves is now on the new plan — mark the journals so
+                # later replays decode each chunk under the right plan.
+                for sid, session in self._sessions.items():
+                    if (
+                        session.worker == index
+                        and not session.finished
+                        and session.version != path
+                    ):
+                        self._journal.mark_swap(sid, path)
+                        session.version = path
+
+    # -- deployment: canary rollout -----------------------------------------
+    def start_canary(
+        self, version, config: CanaryConfig = CanaryConfig()
+    ) -> CanaryReport:
+        """Start routing a fraction of new sessions to ``version``.
+
+        The candidate must be architecture-compatible (checked now,
+        :class:`~repro.errors.SwapError` otherwise — *numeric* drift is
+        exactly what shadow-scoring is for and does not block the
+        start).  Returns the live :class:`CanaryReport`; the decision
+        fires automatically from :meth:`finish` once enough canary
+        sessions were scored, or immediately on hopeless divergence.
+        """
+        from repro.engine.artifact import load_plan
+
+        if self._canary is not None:
+            raise SwapError("a canary rollout is already active")
+        path, version_id = self._resolve_version(version)
+        candidate = load_plan(path)
+        if candidate.signature() != self._plan.signature():
+            raise SwapError(
+                "cannot canary: architecture mismatch "
+                f"(incumbent {self._plan.signature()}, "
+                f"candidate {candidate.signature()})"
+            )
+        self._canary = CanaryState(
+            candidate_path=path,
+            incumbent_path=self._version,
+            shadow_plan=self._plan,
+            config=config,
+            candidate_version=version_id,
+            incumbent_version=self._incumbent_id,
+        )
+        self._canary_report = self._canary.report
+        return self._canary.report
+
+    def canary_report(self) -> Optional[CanaryReport]:
+        """The live (or last decided) canary report, if any."""
+        return self._canary_report
+
+    def _shadow_decode(self, chunks) -> List[int]:
+        """Decode journaled chunks under the incumbent plan, parent-side
+        — the reference stream canary agreement is scored against."""
+        plan = self._canary.shadow_plan
+        decoder = IncrementalDecoder(self.config.stream.min_duration)
+        state = None
+        phones: List[int] = []
+        for chunk in chunks:
+            logits, state = plan.run_chunk(chunk[:, None, :], state)
+            phones.extend(decoder.push(logits[:, 0, :].argmax(axis=1)))
+        return phones + decoder.finish()
+
+    def _score_canary(self, sid: int, session: _Session) -> None:
+        shadow = self._shadow_decode(self._journal.chunks(sid))
+        self._canary.score(agreed=(shadow == session.committed))
+        if self._canary.window_full() or self._canary.agreement_unreachable():
+            self.decide_canary()
+
+    def decide_canary(self, force: bool = False) -> CanaryReport:
+        """Decide the active canary now (normally called internally).
+
+        ``force=True`` decides on whatever evidence exists — the drain
+        hook for harnesses whose traffic ended before the window filled;
+        with no scored sessions it rolls back (no evidence, no
+        promotion).  Promotion hot-swaps the fleet onto the candidate;
+        rollback stops routing and lets live canary sessions drain on
+        the candidate.  Either way the decision is recorded in the
+        report and, when registry-backed, the candidate's metadata.
+        """
+        canary = self._canary
+        if canary is None:
+            raise SwapError("no canary rollout is active")
+        report = canary.report
+        if (
+            not force
+            and not canary.window_full()
+            and not canary.agreement_unreachable()
+        ):
+            raise SwapError(
+                f"canary window not full ({report.sessions_scored}/"
+                f"{canary.config.decide_after} scored); use force=True"
+            )
+        fleet = self.stats()
+        candidate_lat = fleet.version_latencies(canary.candidate_path)
+        incumbent_lat = fleet.version_latencies(canary.incumbent_path)
+        report.candidate_p95_s = _percentile(candidate_lat, 95.0)
+        report.incumbent_p95_s = _percentile(incumbent_lat, 95.0)
+        agreement_ok = (
+            report.sessions_scored > 0
+            and report.agreement >= canary.config.min_agreement
+        )
+        latency_ok = (
+            not candidate_lat
+            or not incumbent_lat
+            or report.candidate_p95_s
+            <= report.incumbent_p95_s * canary.config.max_p95_ratio
+        )
+        if agreement_ok and latency_ok:
+            report.decision = "promote"
+            report.reason = (
+                f"agreement {report.agreement:.3f} over "
+                f"{report.sessions_scored} sessions, candidate p95 "
+                f"{report.candidate_p95_s * 1e3:.2f}ms vs incumbent "
+                f"{report.incumbent_p95_s * 1e3:.2f}ms"
+            )
+        else:
+            report.decision = "rollback"
+            if not report.sessions_scored:
+                report.reason = "no canary sessions scored"
+            elif not agreement_ok:
+                report.reason = (
+                    f"decode divergence: agreement {report.agreement:.3f} "
+                    f"< {canary.config.min_agreement:.3f} over "
+                    f"{report.sessions_scored} sessions"
+                )
+            else:
+                report.reason = (
+                    f"latency regression: candidate p95 "
+                    f"{report.candidate_p95_s * 1e3:.2f}ms > "
+                    f"{canary.config.max_p95_ratio:.2f}x incumbent "
+                    f"{report.incumbent_p95_s * 1e3:.2f}ms"
+                )
+        # Stop routing before any promote-swap so open() and the swap's
+        # convergence loop see no active canary.
+        self._canary = None
+        self._canary_report = report
+        if report.decision == "promote":
+            self._swap_to(canary.candidate_path)
+            self._record_decision(
+                report.candidate_version, report.to_dict(), status="serving"
+            )
+            if report.candidate_version is not None:
+                if self._incumbent_id is not None:
+                    self._record_decision(
+                        self._incumbent_id,
+                        {
+                            "event": "superseded",
+                            "by": report.candidate_version,
+                        },
+                        status="superseded",
+                    )
+                self._incumbent_id = report.candidate_version
+        else:
+            self._record_decision(
+                report.candidate_version, report.to_dict(), status="rolled_back"
+            )
+        return report
 
     # -- observability ------------------------------------------------------
     def stats(self) -> FleetStats:
@@ -574,9 +917,17 @@ class ServingFabric:
             restarts=sum(self._supervisor.restarts.values()),
             crashes_detected=self._supervisor.crashes_detected,
             stalls_detected=self._supervisor.stalls_detected,
+            plan_swaps=self.plan_swaps,
             max_backlog_frames_seen=self.max_backlog_frames_seen,
             backlog_frames_bound=self.config.backlog_frames_bound,
         )
 
 
-__all__ = ["ServingFabric", "FabricConfig", "FleetStats", "WorkerStats"]
+__all__ = [
+    "ServingFabric",
+    "FabricConfig",
+    "FleetStats",
+    "WorkerStats",
+    "CanaryConfig",
+    "CanaryReport",
+]

@@ -53,6 +53,10 @@ class FaultConfig:
 
     crash_after_chunks: Optional[int] = None
     stall_after_chunks: Optional[int] = None
+    #: Die (``os._exit``) on receiving a hot-swap command, before the
+    #: flush barrier runs — the deployment-time crash: queued chunks and
+    #: live state are lost mid-swap and must recover via journal replay.
+    crash_on_swap: bool = False
     stall_seconds: float = 30.0
     drop_ack_rate: float = 0.0
     delay_response_s: float = 0.0
@@ -112,6 +116,11 @@ class FaultInjector:
         ):
             self._stalled = True
             time.sleep(config.stall_seconds)
+
+    def on_swap(self) -> None:
+        """Called when the worker receives a hot-swap command."""
+        if self._config is not None and self._config.crash_on_swap:
+            os._exit(CRASH_EXIT_CODE)
 
     def before_send(self) -> None:
         """Called before each worker→router send; may delay it."""

@@ -17,7 +17,7 @@ single-process deployments that want the same replayability.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -29,6 +29,11 @@ class _JournalEntry:
     chunks: List[np.ndarray] = field(default_factory=list)
     frames: int = 0
     finished: bool = False
+    #: The plan version (artifact path) the session opened under, and
+    #: the swap markers: ``(chunk_index, new_version)`` — chunks before
+    #: the index were decoded under the previous version.
+    version: Optional[str] = None
+    marks: List[Tuple[int, str]] = field(default_factory=list)
 
 
 class SessionJournal:
@@ -49,10 +54,13 @@ class SessionJournal:
             raise StreamError(f"no journal for session id {sid}")
         return entry
 
-    def open(self, sid: int) -> None:
+    def open(self, sid: int, version: Optional[str] = None) -> None:
+        """Start ``sid``'s log; ``version`` records which plan version
+        (artifact path) the session opened under, so a post-swap replay
+        can decode each chunk under the plan that originally saw it."""
         if sid in self._entries:
             raise StreamError(f"journal for session {sid} already open")
-        self._entries[sid] = _JournalEntry()
+        self._entries[sid] = _JournalEntry(version=version)
 
     def record(self, sid: int, features: np.ndarray) -> None:
         """Append an accepted chunk (call only after validation)."""
@@ -65,9 +73,44 @@ class SessionJournal:
     def mark_finished(self, sid: int) -> None:
         self._entry(sid).finished = True
 
+    def mark_swap(self, sid: int, version: str) -> None:
+        """Record that chunks from here on decode under ``version``.
+
+        Called by the fabric once the session's worker has acknowledged
+        a hot-swap (flush barrier included), i.e. every chunk already
+        journaled was decoded under the previous version.  Consecutive
+        marks with no chunks in between collapse to the latest version.
+        """
+        entry = self._entry(sid)
+        position = len(entry.chunks)
+        if entry.marks and entry.marks[-1][0] == position:
+            entry.marks[-1] = (position, version)
+        elif not entry.marks and position == 0:
+            entry.version = version
+        else:
+            entry.marks.append((position, version))
+
     def chunks(self, sid: int) -> Tuple[np.ndarray, ...]:
         """The replay log: every chunk accepted for ``sid``, in order."""
         return tuple(self._entry(sid).chunks)
+
+    def version(self, sid: int) -> Optional[str]:
+        """The plan version the session is currently decoding under."""
+        entry = self._entry(sid)
+        return entry.marks[-1][1] if entry.marks else entry.version
+
+    def segments(self, sid: int) -> List[Tuple[Optional[str], Tuple[np.ndarray, ...]]]:
+        """The replay log split at swap markers: ``(version, chunks)``
+        runs in order.  Always at least one segment (possibly empty), so
+        a replayer knows the version even for a chunkless session."""
+        entry = self._entry(sid)
+        segments: List[Tuple[Optional[str], Tuple[np.ndarray, ...]]] = []
+        start, version = 0, entry.version
+        for position, new_version in entry.marks:
+            segments.append((version, tuple(entry.chunks[start:position])))
+            start, version = position, new_version
+        segments.append((version, tuple(entry.chunks[start:])))
+        return segments
 
     def frames(self, sid: int) -> int:
         return self._entry(sid).frames

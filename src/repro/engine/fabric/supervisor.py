@@ -65,6 +65,19 @@ class Supervisor:
         for index, handle in self.handles.items():
             handle.spawn(artifact_path, stream_config, self._fault_for(index, 0))
 
+    def set_artifact(self, artifact_path: str) -> None:
+        """Retarget future spawns/restarts at a new artifact version.
+
+        Called at the *start* of a fabric hot-swap: a worker that crashes
+        mid-swap restarts already serving the new version, and its
+        orphaned sessions re-home with per-version journal segments.
+        """
+        self._artifact_path = str(artifact_path)
+
+    @property
+    def artifact_path(self) -> str:
+        return self._artifact_path
+
     def _fault_for(self, index: int, incarnation: int) -> Optional[FaultConfig]:
         if self._faults is not None and self._faults.applies_to(index, incarnation):
             return self._faults

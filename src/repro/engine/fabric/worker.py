@@ -1,12 +1,14 @@
-"""Worker process: one compiled artifact, one local stream scheduler.
+"""Worker process: compiled artifacts behind per-version stream schedulers.
 
 Each worker is a separate OS process — the fabric's unit of isolation
 (a crash kills one worker's sessions, not the fleet) and of parallelism
 (each process owns its own GIL).  A worker :func:`~repro.engine.artifact.load_plan`\\ s
-the compiled artifact it is told to serve and drives a local
-:class:`~repro.engine.streaming.StreamScheduler`, so everything the
-single-process runtime guarantees (deadline batching, chunk-exact
-decode) holds *within* a worker unchanged.
+the compiled artifacts it is told to serve and drives one local
+:class:`~repro.engine.streaming.StreamScheduler` *per live plan
+version* (normally one; two while a canary routes new sessions to a
+candidate version), so everything the single-process runtime guarantees
+(deadline batching, chunk-exact decode) holds *within* a worker
+unchanged — and chunks of different plan versions never share a batch.
 
 Transport is one duplex pipe per worker carrying small picklable
 tuples.  The protocol is deliberately asymmetric:
@@ -16,9 +18,18 @@ tuples.  The protocol is deliberately asymmetric:
   *cumulative* sequence number (``("ack", seq)``), which is what the
   router's backpressure accounting drains; cumulative acks mean a
   dropped ack message is healed by the next one.
-* ``poll``/``finish``/``stats``/``ping`` are **synchronous RPCs** tagged
-  with a request id; the router's timeout on the reply doubles as the
-  stall detector.
+* ``poll``/``finish``/``flush``/``stats``/``ping`` are **synchronous
+  RPCs** tagged with a request id; the router's timeout on the reply
+  doubles as the stall detector.
+* ``swap`` is the hot-swap RPC: flush every scheduler (the barrier — no
+  in-flight batch mixes plans), then
+  :meth:`~repro.engine.streaming.StreamScheduler.swap_plan` each onto
+  the target version, carrying all live sessions' state across.
+* ``rehome`` is the recovery RPC: replay a crashed session's journaled
+  chunks — segment by segment, each under the plan version that
+  originally decoded it — then adopt the reconstructed state into the
+  live scheduler and return the full phone stream for the fabric's
+  delivered-prefix check.
 
 The parent-side endpoint is :class:`WorkerHandle`; any transport problem
 (dead process, broken pipe, RPC timeout) surfaces as
@@ -30,7 +41,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.engine.fabric.faults import FaultConfig, FaultInjector
 from repro.engine.streaming import StreamConfig, StreamScheduler
@@ -50,19 +61,51 @@ class WorkerFailure(Exception):
         return f"worker {self.index} {self.reason}: {self.detail}"
 
 
-def _stats_snapshot(scheduler: StreamScheduler) -> Dict:
-    """Picklable snapshot of the worker-local scheduler stats."""
-    stats = scheduler.stats
-    return {
-        "sessions_opened": stats.sessions_opened,
-        "sessions_finished": stats.sessions_finished,
-        "chunks": stats.chunks,
-        "batches": stats.batches,
-        "batched_chunks": stats.batched_chunks,
-        "frames": stats.frames,
-        "wait_frames": stats.wait_frames,
-        "latencies_s": list(stats.chunk_latency_s),
+def _stats_snapshot(
+    schedulers: List[StreamScheduler], versions: List[str]
+) -> Dict:
+    """Picklable rollup of the worker-local scheduler stats.
+
+    Top-level keys aggregate across the worker's schedulers (the shape
+    single-version deployments always saw); ``schedulers`` breaks the
+    same counters out per plan version — what canary shadow-scoring
+    compares candidate-vs-incumbent latency on.
+    """
+    rows = []
+    for scheduler, version in zip(schedulers, versions):
+        stats = scheduler.stats
+        rows.append(
+            {
+                "version": version,
+                "sessions_opened": stats.sessions_opened,
+                "sessions_finished": stats.sessions_finished,
+                "chunks": stats.chunks,
+                "batches": stats.batches,
+                "batched_chunks": stats.batched_chunks,
+                "frames": stats.frames,
+                "wait_frames": stats.wait_frames,
+                "plan_swaps": stats.plan_swaps,
+                "latencies_s": list(stats.chunk_latency_s),
+            }
+        )
+    merged: Dict = {
+        key: sum(row[key] for row in rows)
+        for key in (
+            "sessions_opened",
+            "sessions_finished",
+            "chunks",
+            "batches",
+            "batched_chunks",
+            "frames",
+            "wait_frames",
+            "plan_swaps",
+        )
     }
+    merged["latencies_s"] = [
+        latency for row in rows for latency in row["latencies_s"]
+    ]
+    merged["schedulers"] = rows
+    return merged
 
 
 def worker_main(
@@ -76,18 +119,40 @@ def worker_main(
     # Import here: the child must not pay for (or depend on) anything the
     # parent happened to have imported beyond the serving stack.
     from repro.engine.artifact import load_plan
+    from repro.speech.decoder import IncrementalDecoder
 
     injector = FaultInjector(fault_config)
+    plans: Dict[str, object] = {}
+
+    def plan_for(path: str):
+        if path not in plans:
+            plans[path] = load_plan(path)
+        return plans[path]
+
+    primary = str(artifact_path)
     try:
-        plan = load_plan(artifact_path)
+        plan_for(primary)
     except Exception as exc:  # surfaced by the supervisor as a crash
         try:
             conn.send(("fatal", f"load_plan({artifact_path!r}) failed: {exc}"))
         finally:
             conn.close()
         return
-    scheduler = StreamScheduler(plan, stream_config)
-    local: Dict[int, int] = {}  # fabric sid -> scheduler-local sid
+    schedulers: List[StreamScheduler] = []
+    versions: List[str] = []
+    open_target: Dict[str, int] = {}  # version -> scheduler for new opens
+    local: Dict[int, Tuple[int, int]] = {}  # fabric sid -> (sched, local sid)
+
+    def scheduler_for(version: str) -> int:
+        index = open_target.get(version)
+        if index is None:
+            schedulers.append(StreamScheduler(plan_for(version), stream_config))
+            versions.append(version)
+            index = len(schedulers) - 1
+            open_target[version] = index
+        return index
+
+    scheduler_for(primary)
     while True:
         try:
             message = conn.recv()
@@ -96,30 +161,87 @@ def worker_main(
         kind = message[0]
         try:
             if kind == "open":
-                local[message[1]] = scheduler.open()
+                version = message[2] if len(message) > 2 else primary
+                index = scheduler_for(version or primary)
+                local[message[1]] = (index, schedulers[index].open())
             elif kind == "feed":
                 _, sid, features, seq = message
                 injector.on_chunk()
-                scheduler.feed(local[sid], features)
+                index, local_sid = local[sid]
+                schedulers[index].feed(local_sid, features)
                 injector.before_send()
                 if not injector.drop_ack():
                     conn.send(("ack", seq))
             elif kind == "poll":
                 _, sid, rid = message
+                index, local_sid = local[sid]
                 injector.before_send()
-                conn.send(("phones", rid, scheduler.poll(local[sid])))
+                conn.send(("phones", rid, schedulers[index].poll(local_sid)))
             elif kind == "finish":
                 _, sid, rid = message
-                phones = scheduler.finish(local.pop(sid))
+                index, local_sid = local.pop(sid)
+                phones = schedulers[index].finish(local_sid)
                 injector.before_send()
                 conn.send(("phones", rid, phones))
             elif kind == "flush":
                 # Replay barrier: run everything queued so a follow-up
                 # poll observes every journaled chunk's commitments.
-                scheduler.flush()
+                for scheduler in schedulers:
+                    scheduler.flush()
                 conn.send(("pong", message[1]))
+            elif kind == "swap":
+                _, to_version, rid = message
+                injector.on_swap()
+                plan = plan_for(to_version)
+                # swap_plan flushes each scheduler first — the barrier
+                # that keeps any in-flight batch on a single plan.
+                for scheduler in schedulers:
+                    scheduler.swap_plan(plan)
+                for index in range(len(versions)):
+                    versions[index] = to_version
+                open_target = {
+                    to_version: open_target.get(
+                        to_version, open_target.get(primary, 0)
+                    )
+                }
+                primary = to_version
+                conn.send(("pong", rid))
+            elif kind == "rehome":
+                _, sid, segments, finished, target, rid = message
+                state = None
+                decoder = IncrementalDecoder(stream_config.min_duration)
+                committed: List[int] = []
+                frames = 0
+                for version, chunks in segments:
+                    plan = plan_for(version or primary)
+                    if state is not None:
+                        state = plan.adapt_state(state)
+                    for chunk in chunks:
+                        # Replayed chunks count as processed chunks for
+                        # fault injection: a repeat-armed crash fault
+                        # fires mid-replay too (the restart-budget path).
+                        injector.on_chunk()
+                        logits, state = plan.run_chunk(chunk[:, None, :], state)
+                        committed.extend(
+                            decoder.push(logits[:, 0, :].argmax(axis=1))
+                        )
+                        frames += len(chunk)
+                if finished:
+                    committed.extend(decoder.finish())
+                else:
+                    index = scheduler_for(target or primary)
+                    local[sid] = (
+                        index,
+                        schedulers[index].adopt(
+                            state, decoder, committed=None, frames=frames
+                        ),
+                    )
+                injector.before_send()
+                conn.send(("phones", rid, committed))
             elif kind == "stats":
-                conn.send(("stats", message[1], _stats_snapshot(scheduler)))
+                conn.send(
+                    ("stats", message[1], _stats_snapshot(schedulers, versions))
+                )
             elif kind == "ping":
                 conn.send(("pong", message[1]))
             elif kind == "close":
@@ -279,16 +401,18 @@ class WorkerHandle:
             raise
         return seq
 
-    def request(self, kind: str, timeout: float, sid: Optional[int] = None):
-        """Synchronous RPC: ``poll``/``finish``/``stats``/``ping``.
+    def request(self, kind: str, timeout: float, *args):
+        """Synchronous RPC: ``poll``/``finish``/``flush``/``stats``/
+        ``ping``/``swap``/``rehome``.  ``args`` are the kind-specific
+        operands (a session id, a swap target version, a replay payload),
+        placed between the kind and the request id.
 
         The reply wait doubles as the heartbeat: no reply within
         ``timeout`` while the process is alive is classified as a stall.
         """
         rid = self._next_rid
         self._next_rid += 1
-        message = (kind, rid) if sid is None else (kind, sid, rid)
-        self.send(message)
+        self.send((kind, *args, rid))
         deadline = time.monotonic() + timeout
         while True:
             remaining = deadline - time.monotonic()

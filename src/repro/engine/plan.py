@@ -641,6 +641,58 @@ class ModelPlan:
             raise ShapeError(f"batch must be >= 0, got {batch}")
         return PlanState([layer.zero_state(batch) for layer in self.layers])
 
+    def signature(self) -> Tuple:
+        """The architecture fingerprint that governs state compatibility.
+
+        Two plans with equal signatures accept each other's
+        :class:`PlanState` (per-layer shapes and component counts match),
+        regardless of scheme, sparse format, or tuned backend — the
+        invariant hot-swap (:meth:`StreamScheduler.swap_plan
+        <repro.engine.streaming.StreamScheduler.swap_plan>`) relies on.
+        """
+        layers = tuple(
+            (layer.input_size, layer.hidden_size, len(layer.zero_state(0)))
+            for layer in self.layers
+        )
+        classes = None if self.output is None else self.output.num_classes
+        return (self.cell_type, layers, classes)
+
+    def adapt_state(self, state: PlanState) -> PlanState:
+        """Re-home a carry state produced by a same-architecture plan.
+
+        Returns a fresh :class:`PlanState` whose components are cast to
+        *this* plan's per-layer compute dtypes (a scheme change moves
+        states between float64 and float32); raises :class:`ShapeError`
+        when the state's layer count, component count, or hidden sizes
+        do not match this plan's architecture.
+        """
+        if len(state.layer_states) != len(self.layers):
+            raise ShapeError(
+                f"state has {len(state.layer_states)} layer states, "
+                f"plan has {len(self.layers)} layers"
+            )
+        adapted: List[Tuple[np.ndarray, ...]] = []
+        for index, (layer, components) in enumerate(
+            zip(self.layers, state.layer_states)
+        ):
+            template = layer.zero_state(0)
+            if len(components) != len(template):
+                raise ShapeError(
+                    f"layer {index} state has {len(components)} components, "
+                    f"expected {len(template)}"
+                )
+            row = []
+            for component, blank in zip(components, template):
+                component = np.asarray(component)
+                if component.ndim != 2 or component.shape[1] != layer.hidden_size:
+                    raise ShapeError(
+                        f"layer {index} state component has shape "
+                        f"{component.shape}, expected (B, {layer.hidden_size})"
+                    )
+                row.append(component.astype(blank.dtype, copy=True))
+            adapted.append(tuple(row))
+        return PlanState(adapted)
+
     def run_chunk(
         self, features: np.ndarray, state: Optional[PlanState] = None
     ) -> Tuple[np.ndarray, PlanState]:

@@ -46,7 +46,7 @@ LATENCY_WINDOW = 16384
 
 import numpy as np
 
-from repro.errors import ConfigError, ShapeError, StreamError
+from repro.errors import ConfigError, ShapeError, StreamError, SwapError
 from repro.engine.plan import ModelPlan, PlanState
 from repro.speech.decoder import IncrementalDecoder
 from repro.speech.features import StreamingFrontend
@@ -92,6 +92,7 @@ class StreamStats:
     batched_chunks: int = 0
     frames: int = 0
     wait_frames: int = 0  # total frames of other traffic chunks waited
+    plan_swaps: int = 0  # hot-swaps carried out by swap_plan()
     #: Sliding window (most recent :data:`LATENCY_WINDOW` chunks) of
     #: wall-clock submit→decode latencies, so a long-lived scheduler's
     #: stats stay bounded.
@@ -288,6 +289,73 @@ class StreamScheduler:
         if self.journal is not None:
             self.journal.open(sid)
         return sid
+
+    def adopt(
+        self,
+        state: Optional[PlanState],
+        decoder: Optional[IncrementalDecoder] = None,
+        committed: Optional[List[int]] = None,
+        frames: int = 0,
+    ) -> int:
+        """Install a mid-stream session that was decoded elsewhere.
+
+        The crash-recovery path: a journal replay reconstructs a
+        session's carry ``state``, incremental ``decoder``, and frame
+        count outside the scheduler, then adopts them here so the
+        session continues live from exactly where the replay left it.
+        The state is adapted to this scheduler's plan (dtype cast for a
+        scheme change; :class:`~repro.errors.ShapeError` on architecture
+        mismatch).  ``committed`` seeds the un-polled phone buffer —
+        re-homing callers that already delivered the replayed phones
+        pass none.  Adopted sessions start a fresh journal entry; the
+        caller owns the history that produced the state.
+        """
+        sid = self._next_id
+        self._next_id += 1
+        entry = _Entry(self.config.min_duration)
+        if decoder is not None:
+            entry.decoder = decoder
+        if state is not None:
+            entry.state = self.plan.adapt_state(state)
+        entry.committed = list(committed) if committed else []
+        entry.frames = frames
+        self._entries[sid] = entry
+        self.stats.sessions_opened += 1
+        if self.journal is not None:
+            self.journal.open(sid)
+        return sid
+
+    def swap_plan(self, plan: ModelPlan) -> ModelPlan:
+        """Hot-swap every live session onto ``plan``; returns the old plan.
+
+        The swap is a barrier: all queued chunks are flushed through the
+        incumbent plan first, so no in-flight batch ever mixes plans.
+        Then every live session's carry state is adapted to the new
+        plan's compute dtypes (:meth:`ModelPlan.adapt_state
+        <repro.engine.plan.ModelPlan.adapt_state>`) — ``PlanState``
+        shapes are stable across same-architecture plans, so sessions
+        continue mid-utterance without dropping a frame.
+
+        Raises :class:`~repro.errors.SwapError` (before flushing or
+        touching any session) when ``plan``'s architecture signature
+        differs from the incumbent's; a rejected swap leaves the
+        scheduler fully intact.
+        """
+        if plan.signature() != self.plan.signature():
+            raise SwapError(
+                "cannot hot-swap: architecture mismatch "
+                f"(incumbent {self.plan.signature()}, "
+                f"candidate {plan.signature()})"
+            )
+        self.flush()
+        old = self.plan
+        if plan is not old:
+            for entry in self._entries.values():
+                if entry.state is not None:
+                    entry.state = plan.adapt_state(entry.state)
+            self.plan = plan
+        self.stats.plan_swaps += 1
+        return old
 
     def _entry(self, sid: int) -> _Entry:
         entry = self._entries.get(sid)

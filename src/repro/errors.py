@@ -54,8 +54,25 @@ class OverloadError(StreamError):
     """
 
 
+class SwapError(StreamError):
+    """A hot-swap was rejected: the candidate plan cannot carry the live
+    sessions' recurrent state.
+
+    Raised *before* any live session is touched — a failed swap leaves
+    the scheduler (or fabric) serving the incumbent plan unchanged.
+    """
+
+
 class ArtifactError(ReproError, RuntimeError):
     """A compiled-plan artifact is unreadable, truncated, or corrupted."""
+
+
+class RegistryError(ArtifactError):
+    """A registry operation failed: unknown name/version, a duplicate
+    publish, a malformed version directory, or a checksum mismatch on
+    load.  Subclasses :class:`ArtifactError` so callers guarding
+    artifact loads catch registry-resolved loads with the same clause.
+    """
 
 
 class FabricError(ReproError, RuntimeError):

@@ -113,6 +113,7 @@ def _run_stream_bench(args) -> None:
         scheme=None if args.scheme == "none" else args.scheme,
         workers=args.workers,
         chaos=args.chaos,
+        canary=args.canary,
     )
     result = run_stream_bench(config)
     print(render_stream_bench(result))
@@ -139,6 +140,33 @@ def _run_stream_bench(args) -> None:
             f"recovery OK: {row.restarts} restart(s), "
             f"{row.sessions_rehomed} session(s) re-homed, decode match 100%"
         )
+        for row in (r for r in result.rows if r.path.startswith("canary")):
+            expected = "rollback" if "divergent" in row.path else "promote"
+            if row.canary_decision != expected:
+                raise SystemExit(
+                    f"{row.path}: decided {row.canary_decision!r}, "
+                    f"expected {expected!r}"
+                )
+            if row.decode_match < 1.0:
+                scope = (
+                    "incumbent sessions"
+                    if expected == "rollback"
+                    else "all sessions"
+                )
+                raise SystemExit(
+                    f"{row.path}: decode match {row.decode_match:.2%} < "
+                    f"100% over {scope} — the rollout corrupted serving"
+                )
+            if args.chaos and not row.restarts:
+                raise SystemExit(
+                    f"{row.path}: no worker restarts observed — the chaos "
+                    "fault did not exercise crash-during-rollout recovery"
+                )
+            print(
+                f"{row.path}: {row.canary_decision} OK "
+                f"(agreement {row.canary_agreement:.2f}, "
+                f"{row.restarts or 0} restart(s), decode match 100%)"
+            )
 
 
 def _run_tune(args) -> None:
@@ -280,10 +308,15 @@ def build_parser() -> argparse.ArgumentParser:
     pst.add_argument("--chaos", action="store_true",
                      help="arm a deterministic crash fault on worker 0 so "
                      "the fabric pass exercises restart + journal replay")
+    pst.add_argument("--canary", action="store_true",
+                     help="add registry-backed canary rollout passes: a "
+                     "divergent candidate must auto-rollback and a clean "
+                     "one must auto-promote (requires --workers >= 1)")
     pst.add_argument("--expect-recovery", action="store_true",
                      help="exit nonzero unless the fabric row recovered "
                      "(restarts >= 1) with decode match 100%% — the CI "
-                     "chaos gate")
+                     "chaos gate; with --canary also asserts the "
+                     "rollback/promote decisions")
     pst.add_argument("--json", type=Path, help="write rows as JSON")
     pst.set_defaults(func=_run_stream_bench)
 

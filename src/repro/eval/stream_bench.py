@@ -21,6 +21,19 @@ served through a multi-process :class:`~repro.engine.fabric.ServingFabric`
 ``chaos=True`` arms a deterministic crash fault on worker 0 mid-run, so
 the fabric row measures serving *through* a kill + restart + journal
 replay — and its ``decode_match`` asserts recovery was byte-exact.
+
+``canary=True`` adds two deployment-correctness rows on top: the
+incumbent and a candidate plan are published into a throwaway
+:class:`~repro.engine.registry.PlanRegistry` and the candidate is
+canaried mid-run.  The *divergent* pass (candidate compiled from
+different weights) must end in an automatic **rollback** with every
+incumbent-routed session still decoding byte-exactly; the *clean* pass
+(candidate recompiled from identical weights) must end in an automatic
+**promote** that hot-swaps every live session mid-utterance with no
+decode change.  Under ``chaos`` the divergent pass crashes a worker
+mid-canary and the clean pass crashes a worker *on receipt of the
+promote swap* — recovery has to replay sessions onto their correct
+pre-/post-swap versions either way.
 """
 
 from __future__ import annotations
@@ -68,6 +81,9 @@ class StreamBenchConfig:
     #: Arm a deterministic crash fault on worker 0 mid-run, so the
     #: fabric row measures recovery (restart + journal replay) too.
     chaos: bool = False
+    #: Add the registry-backed canary rollout passes (divergent →
+    #: rollback, clean → promote); requires ``workers >= 1``.
+    canary: bool = False
 
     def __post_init__(self) -> None:
         if self.num_sessions < 1:
@@ -82,6 +98,8 @@ class StreamBenchConfig:
             raise ConfigError(f"workers must be >= 0, got {self.workers}")
         if self.chaos and self.workers < 1:
             raise ConfigError("chaos requires workers >= 1")
+        if self.canary and self.workers < 1:
+            raise ConfigError("canary requires workers >= 1")
 
 
 @dataclass
@@ -100,6 +118,13 @@ class StreamBenchRow:
     restarts: Optional[int] = None
     sessions_rehomed: Optional[int] = None
     chunks_shed: Optional[int] = None
+    sessions_shed: Optional[int] = None
+    crashes_detected: Optional[int] = None
+    stalls_detected: Optional[int] = None
+    plan_swaps: Optional[int] = None
+    # Canary rows only: the automatic rollout decision for the pass.
+    canary_decision: Optional[str] = None
+    canary_agreement: Optional[float] = None
 
 
 @dataclass
@@ -126,6 +151,12 @@ class StreamBenchResult:
                 "restarts": row.restarts,
                 "sessions_rehomed": row.sessions_rehomed,
                 "chunks_shed": row.chunks_shed,
+                "sessions_shed": row.sessions_shed,
+                "crashes_detected": row.crashes_detected,
+                "stalls_detected": row.stalls_detected,
+                "plan_swaps": row.plan_swaps,
+                "canary_decision": row.canary_decision,
+                "canary_agreement": row.canary_agreement,
             }
             for row in self.rows
         ]
@@ -140,15 +171,22 @@ def build_stream_workload(config: StreamBenchConfig):
     """
     dataset = make_dataset(config.num_sessions, STREAM_SYNTH, seed=config.seed)
     features = [example.features for example in dataset.examples]
+    plan = _build_plan(config, config.seed)
+    serving = ServingConfig(min_duration=config.min_duration)
+    return plan, features, serving
+
+
+def _build_plan(config: StreamBenchConfig, seed: int):
+    """Compile the benchmark model from ``seed`` — the canary passes use
+    ``config.seed`` for a weight-identical candidate and a different seed
+    for a numerically divergent one."""
     model = GRUAcousticModel(
         AcousticModelConfig(
             hidden_size=config.hidden_size, num_layers=config.num_layers
         ),
-        rng=config.seed,
+        rng=seed,
     ).eval()
-    plan = compile_model(model, scheme=config.scheme)
-    serving = ServingConfig(min_duration=config.min_duration)
-    return plan, features, serving
+    return compile_model(model, scheme=config.scheme)
 
 
 def _stream_pass(plan, features, config: StreamBenchConfig):
@@ -207,6 +245,99 @@ def _fabric_pass(artifact_path, features, config: StreamBenchConfig):
             hypotheses[sid].extend(fabric.finish(sid))
         fleet = fabric.stats()
     return [hypotheses[sid] for sid in sids], fleet
+
+
+def _canary_pass(features, config: StreamBenchConfig, divergent: bool):
+    """One registry-backed canary rollout over the benchmark workload.
+
+    Publishes the incumbent as ``v1`` and a candidate as ``v2`` into a
+    throwaway registry, serves ``v1`` through the fabric, canaries
+    ``v2`` at 50% of new sessions, and lets the fabric decide.  Returns
+    ``(hypotheses, incumbent_sids, fleet, report, wall_s)`` — the caller
+    scores ``decode_match`` over incumbent sessions (a rolled-back
+    divergent candidate's sessions legitimately decode differently).
+    """
+    import tempfile
+    import time
+    from pathlib import Path
+
+    from repro.engine.fabric import (
+        CanaryConfig,
+        FabricConfig,
+        FaultConfig,
+        ServingFabric,
+    )
+    from repro.engine.registry import PlanRegistry
+
+    incumbent = _build_plan(config, config.seed)
+    candidate = _build_plan(
+        config, config.seed + 1 if divergent else config.seed
+    )
+    faults = None
+    if config.chaos:
+        # Divergent pass: kill a worker mid-canary (recovery must replay
+        # sessions onto their correct versions).  Clean pass: kill it on
+        # receipt of the promote swap (the deployment-time crash).
+        faults = (
+            FaultConfig(crash_after_chunks=3, target_worker=0)
+            if divergent
+            else FaultConfig(crash_on_swap=True, target_worker=0)
+        )
+    fabric_config = FabricConfig(
+        num_workers=config.workers,
+        stream=StreamConfig(
+            max_batch_size=config.max_batch_size,
+            max_wait_frames=config.max_wait_frames,
+            min_duration=config.min_duration,
+        ),
+        backoff_base_s=0.01,
+        rpc_timeout_s=60.0,
+        faults=faults,
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-canary-bench-") as tmp:
+        registry = PlanRegistry(Path(tmp) / "registry")
+        v1 = registry.publish("stream-bench", incumbent)
+        registry.publish("stream-bench", candidate, parent=v1.version)
+        incumbent_path = str(registry.resolve("stream-bench", "v1").artifact_path)
+        start = time.perf_counter()
+        with ServingFabric.from_registry(
+            registry, "stream-bench", "v1", fabric_config
+        ) as fabric:
+            fabric.start_canary(
+                "v2",
+                CanaryConfig(
+                    fraction=0.5,
+                    decide_after=max(1, config.num_sessions // 4),
+                    # The candidate's first chunk pays a lazy
+                    # artifact-load cold-start which dominates p95 at
+                    # smoke scale; the smoke gates on decode agreement.
+                    max_p95_ratio=50.0,
+                ),
+            )
+            sids = [fabric.open() for _ in features]
+            opened_on = {sid: fabric.session_version(sid) for sid in sids}
+            hypotheses = {sid: [] for sid in sids}
+            longest = max(len(utterance) for utterance in features)
+            for chunk_start in range(0, longest, config.chunk_frames):
+                for sid, utterance in zip(sids, features):
+                    chunk = utterance[
+                        chunk_start : chunk_start + config.chunk_frames
+                    ]
+                    if len(chunk):
+                        fabric.feed(sid, chunk, block=True)
+            for sid in sids:
+                hypotheses[sid].extend(fabric.finish(sid))
+            if fabric.canary_report().decision is None:
+                fabric.decide_canary(force=True)
+            report = fabric.canary_report()
+            fleet = fabric.stats()
+        wall = time.perf_counter() - start
+    incumbent_sids = [
+        index
+        for index, sid in enumerate(sids)
+        if opened_on[sid] == incumbent_path
+    ]
+    return [hypotheses[sid] for sid in sids], incumbent_sids, fleet, report, wall
 
 
 def run_stream_bench(
@@ -278,8 +409,59 @@ def run_stream_bench(
                 restarts=fleet.restarts,
                 sessions_rehomed=fleet.sessions_rehomed,
                 chunks_shed=fleet.chunks_shed,
+                sessions_shed=fleet.sessions_shed,
+                crashes_detected=fleet.crashes_detected,
+                stalls_detected=fleet.stalls_detected,
+                plan_swaps=fleet.plan_swaps,
             )
         )
+    if config.canary:
+        # Correctness-gate rows (single pass each, not timed medians):
+        # the asserted quantity is the automatic decision + exact decode,
+        # not throughput.
+        for divergent in (True, False):
+            hyps, incumbent_sids, fleet, report, wall = _canary_pass(
+                features, config, divergent
+            )
+            if divergent:
+                scored = [
+                    (hyps[index], offline_hyps[index])
+                    for index in incumbent_sids
+                ]
+            else:
+                scored = list(zip(hyps, offline_hyps))
+            match = (
+                sum(h == o for h, o in scored) / len(scored)
+                if scored
+                else 0.0
+            )
+            label = (
+                f"canary {'divergent' if divergent else 'clean'} "
+                f"workers={config.workers}"
+            )
+            if config.chaos:
+                label += " +chaos"
+            rows.append(
+                StreamBenchRow(
+                    path=label,
+                    wall_s=wall,
+                    sessions_per_s=config.num_sessions / wall,
+                    speedup=offline_time / wall,
+                    decode_match=float(match),
+                    p50_latency_ms=fleet.p50_latency_s * 1e3,
+                    p95_latency_ms=fleet.p95_latency_s * 1e3,
+                    mean_batch_size=fleet.mean_batch_size,
+                    restarts=fleet.restarts,
+                    sessions_rehomed=fleet.sessions_rehomed,
+                    chunks_shed=fleet.chunks_shed,
+                    sessions_shed=fleet.sessions_shed,
+                    crashes_detected=fleet.crashes_detected,
+                    stalls_detected=fleet.stalls_detected,
+                    plan_swaps=fleet.plan_swaps,
+                    canary_decision=report.decision,
+                    canary_agreement=report.agreement,
+                )
+            )
     return StreamBenchResult(
         rows=rows,
         num_sessions=config.num_sessions,
@@ -304,6 +486,8 @@ def render_stream_bench(result: StreamBenchResult) -> str:
                 fmt(row.mean_batch_size, 1),
                 fmt(row.restarts, 0),
                 fmt(row.sessions_rehomed, 0),
+                fmt(row.plan_swaps, 0),
+                row.canary_decision or "-",
             ]
         )
     return format_table(
@@ -318,6 +502,8 @@ def render_stream_bench(result: StreamBenchResult) -> str:
             "mean batch",
             "restarts",
             "rehomed",
+            "swaps",
+            "canary",
         ],
         rows,
         title=(

@@ -152,6 +152,18 @@ class TestArtifactValidation:
         engine.save_plan(path, plan)
         assert path.exists()
 
+    def test_unwritable_target_raises_artifact_error(self, tmp_path):
+        # A *file* where the parent directory must go: the OS raises
+        # NotADirectoryError, callers must see a typed ArtifactError.
+        # (chmod-based unwritability is no good here — the suite runs
+        # as root, which ignores permission bits.)
+        blocker = tmp_path / "blocker"
+        blocker.write_text("")
+        plan = engine.compile_model(laptop_model())
+        with pytest.raises(ArtifactError, match="cannot write artifact"):
+            engine.save_plan(blocker / "plan.npz", plan)
+        assert blocker.read_text() == ""  # the blocker was not clobbered
+
 
 class TestCrashSafety:
     """The artifact contract of the serving fabric: a reader sees either

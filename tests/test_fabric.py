@@ -508,3 +508,419 @@ class TestWorkerFailure:
     def test_message_carries_index_and_classification(self):
         failure = WorkerFailure(3, "stall", "no poll reply within 0.50s")
         assert "worker 3 stall" in str(failure)
+
+
+# ---------------------------------------------------------------------------
+# Hot-swap across the fleet
+# ---------------------------------------------------------------------------
+def save_artifact(tmp_path, plan, name):
+    from repro.engine import save_plan
+
+    path = tmp_path / name
+    save_plan(path, plan)
+    return str(path)
+
+
+def segment_decode(segments):
+    """Parent-side reference: decode ``(plan, chunks)`` runs in order,
+    carrying state across plan boundaries — what a session that lived
+    through a hot-swap must have produced."""
+    from repro.speech.decoder import IncrementalDecoder
+
+    state, decoder, phones = None, IncrementalDecoder(STREAM.min_duration), []
+    for plan, chunks in segments:
+        if state is not None:
+            state = plan.adapt_state(state)
+        for chunk in chunks:
+            logits, state = plan.run_chunk(chunk[:, None, :], state)
+            phones.extend(decoder.push(logits[:, 0, :].argmax(axis=1)))
+    return phones + decoder.finish()
+
+
+class TestFleetHotSwap:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_swap_mid_stream_decodes_identically(self, scheme, tmp_path):
+        # Identical weights recompiled into a second artifact: swapping
+        # mid-utterance must be invisible in the decode.
+        plan = small_plan(scheme)
+        candidate = save_artifact(tmp_path, small_plan(scheme), "v2.npz")
+        utterances = make_utterances(4)
+        with ServingFabric.from_plan(plan, fabric_config()) as fabric:
+            sids = [fabric.open() for _ in utterances]
+            outs = {sid: [] for sid in sids}
+            for sid, utterance in zip(sids, utterances):
+                fabric.feed(sid, utterance[:20], block=True)
+            fabric.swap(candidate)
+            for sid in sids:
+                assert fabric.session_version(sid) == candidate
+            for sid, utterance in zip(sids, utterances):
+                fabric.feed(sid, utterance[20:], block=True)
+            for sid in sids:
+                outs[sid].extend(fabric.finish(sid))
+            fleet = fabric.stats()
+        assert [outs[sid] for sid in sids] == offline_phones(plan, utterances)
+        assert fleet.plan_swaps == 1
+        assert fleet.restarts == 0
+
+    def test_architecture_mismatch_rejected_fleet_intact(self, tmp_path):
+        plan = small_plan()
+        wrong_config = AcousticModelConfig(
+            input_dim=8, hidden_size=32, num_layers=2, cell_type="gru"
+        )
+        wrong = compile_model(GRUAcousticModel(wrong_config, rng=0).eval())
+        candidate = save_artifact(tmp_path, wrong, "wrong.npz")
+        utterances = make_utterances(2)
+        with ServingFabric.from_plan(plan, fabric_config()) as fabric:
+            sids = [fabric.open() for _ in utterances]
+            for sid, utterance in zip(sids, utterances):
+                fabric.feed(sid, utterance[:20], block=True)
+            from repro.errors import SwapError
+
+            with pytest.raises(SwapError, match="architecture mismatch"):
+                fabric.swap(candidate)
+            # Nothing moved: sessions finish exactly on the incumbent.
+            for sid, utterance in zip(sids, utterances):
+                fabric.feed(sid, utterance[20:], block=True)
+            outs = [fabric.finish(sid) for sid in sids]
+            assert fabric.stats().plan_swaps == 0
+        assert outs == offline_phones(plan, utterances)
+
+    def test_crash_on_swap_recovers_byte_identical(self, tmp_path):
+        # The deployment-time crash: worker 0 dies on receipt of the
+        # swap command.  Recovery replays its sessions and the swap is
+        # re-issued — the client-visible stream must be unchanged.
+        plan = small_plan()
+        candidate = save_artifact(tmp_path, small_plan(), "v2.npz")
+        utterances = make_utterances(4)
+        config = fabric_config(
+            faults=FaultConfig(crash_on_swap=True, target_worker=0)
+        )
+        with ServingFabric.from_plan(plan, config) as fabric:
+            sids = [fabric.open() for _ in utterances]
+            outs = {sid: [] for sid in sids}
+            for sid, utterance in zip(sids, utterances):
+                fabric.feed(sid, utterance[:20], block=True)
+            fabric.swap(candidate)
+            for sid, utterance in zip(sids, utterances):
+                fabric.feed(sid, utterance[20:], block=True)
+            for sid in sids:
+                outs[sid].extend(fabric.finish(sid))
+            fleet = fabric.stats()
+        assert [outs[sid] for sid in sids] == offline_phones(plan, utterances)
+        assert fleet.plan_swaps == 1
+        assert fleet.crashes_detected >= 1
+        assert fleet.restarts >= 1
+        assert fleet.sessions_rehomed >= 1
+
+    def test_crash_on_swap_divergent_candidate_replays_per_segment(
+        self, tmp_path
+    ):
+        # Divergent candidate weights make per-version replay
+        # observable: chunks fed before the swap must replay under the
+        # old plan, chunks after under the new one — even for sessions
+        # whose worker crashed mid-swap and were reconstructed entirely
+        # from the journal.
+        plan = small_plan()
+        candidate_plan = small_plan(seed=1)
+        candidate = save_artifact(tmp_path, candidate_plan, "v2.npz")
+        utterances = make_utterances(4)
+        config = fabric_config(
+            faults=FaultConfig(crash_on_swap=True, target_worker=0)
+        )
+        chunk = 13
+        with ServingFabric.from_plan(plan, config) as fabric:
+            sids = [fabric.open() for _ in utterances]
+            outs = {sid: [] for sid in sids}
+            pre = {}
+            for sid, utterance in zip(sids, utterances):
+                pre[sid] = [
+                    utterance[start : start + chunk]
+                    for start in range(0, 20, chunk)
+                ]
+                for piece in pre[sid]:
+                    fabric.feed(sid, piece, block=True)
+            fabric.swap(candidate)
+            post = {}
+            for sid, utterance in zip(sids, utterances):
+                post[sid] = [
+                    utterance[start : start + chunk]
+                    for start in range(20, len(utterance), chunk)
+                ]
+                for piece in post[sid]:
+                    fabric.feed(sid, piece, block=True)
+            for sid in sids:
+                outs[sid].extend(fabric.finish(sid))
+            fleet = fabric.stats()
+        expected = [
+            segment_decode([(plan, pre[sid]), (candidate_plan, post[sid])])
+            for sid in sids
+        ]
+        assert [outs[sid] for sid in sids] == expected
+        assert fleet.crashes_detected >= 1
+        assert fleet.plan_swaps == 1
+
+
+# ---------------------------------------------------------------------------
+# Canary rollout + automatic rollback
+# ---------------------------------------------------------------------------
+def make_registry(tmp_path, incumbent, candidate):
+    from repro.engine.registry import PlanRegistry
+
+    registry = PlanRegistry(tmp_path / "registry")
+    registry.publish("am", incumbent)
+    registry.publish("am", candidate, parent="v1")
+    return registry
+
+
+def run_canary_workload(fabric, utterances, chunk=13):
+    """Open/feed/finish every utterance; returns (hyps, opened_version)."""
+    sids = [fabric.open() for _ in utterances]
+    opened = {sid: fabric.session_version(sid) for sid in sids}
+    outs = {sid: [] for sid in sids}
+    for sid, utterance in zip(sids, utterances):
+        for start in range(0, len(utterance), chunk):
+            fabric.feed(sid, utterance[start : start + chunk], block=True)
+    for sid in sids:
+        outs[sid].extend(fabric.finish(sid))
+    return [outs[sid] for sid in sids], [opened[sid] for sid in sids]
+
+
+class TestCanaryRollout:
+    def canary_config(self, **overrides):
+        from repro.engine.fabric import CanaryConfig
+
+        # The candidate's first chunk pays a lazy artifact-load
+        # cold-start; with a handful of samples that dominates p95, so
+        # the latency gate is opened wide — these tests pin decisions
+        # on decode agreement, not timing.
+        defaults = dict(fraction=0.5, decide_after=2, max_p95_ratio=1000.0)
+        defaults.update(overrides)
+        return CanaryConfig(**defaults)
+
+    def test_fraction_routing_is_deterministic(self, tmp_path):
+        incumbent = small_plan()
+        registry = make_registry(tmp_path, incumbent, small_plan())
+        fabric = ServingFabric.from_registry(
+            registry, "am", "v1", fabric_config()
+        )
+        candidate_path = str(registry.resolve("am", "v2").artifact_path)
+        with fabric:
+            fabric.start_canary("v2", self.canary_config(decide_after=64))
+            sids = [fabric.open() for _ in range(8)]
+            routed = [
+                sid
+                for sid in sids
+                if fabric.session_version(sid) == candidate_path
+            ]
+            assert len(routed) == 4  # floor-stride admits exactly 50%
+            assert fabric.canary_report().sessions_routed == 4
+            for sid in sids:
+                fabric.finish(sid)
+
+    def test_divergent_candidate_rolls_back(self, tmp_path):
+        incumbent = small_plan()
+        registry = make_registry(tmp_path, incumbent, small_plan(seed=1))
+        utterances = make_utterances(8)
+        incumbent_path = str(registry.resolve("am", "v1").artifact_path)
+        fabric = ServingFabric.from_registry(
+            registry, "am", "v1", fabric_config()
+        )
+        with fabric:
+            fabric.start_canary("v2", self.canary_config())
+            hyps, opened = run_canary_workload(fabric, utterances)
+            report = fabric.canary_report()
+            fleet = fabric.stats()
+            # New sessions after rollback route to the incumbent again.
+            sid = fabric.open()
+            assert fabric.session_version(sid) == incumbent_path
+            fabric.finish(sid)
+        assert report.decision == "rollback"
+        assert report.agreement < 1.0
+        assert fleet.plan_swaps == 0  # the incumbent was never touched
+        offline = offline_phones(incumbent, utterances)
+        incumbent_results = [
+            (hyp, ref)
+            for hyp, ref, version in zip(hyps, offline, opened)
+            if version == incumbent_path
+        ]
+        assert incumbent_results  # the stride kept incumbent traffic
+        assert all(hyp == ref for hyp, ref in incumbent_results)
+        # The decision is durable in the registry.
+        assert registry.resolve("am", "v2").status == "rolled_back"
+        history = registry.resolve("am", "v2").meta["history"]
+        assert history[-1]["decision"] == "rollback"
+
+    def test_clean_candidate_promotes_and_swaps(self, tmp_path):
+        incumbent = small_plan()
+        registry = make_registry(tmp_path, incumbent, small_plan())
+        utterances = make_utterances(8)
+        candidate_path = str(registry.resolve("am", "v2").artifact_path)
+        fabric = ServingFabric.from_registry(
+            registry, "am", "v1", fabric_config()
+        )
+        with fabric:
+            fabric.start_canary("v2", self.canary_config())
+            hyps, _ = run_canary_workload(fabric, utterances)
+            report = fabric.canary_report()
+            fleet = fabric.stats()
+            sid = fabric.open()  # post-promote traffic serves v2
+            assert fabric.session_version(sid) == candidate_path
+            fabric.finish(sid)
+        assert report.decision == "promote"
+        assert report.agreement == 1.0
+        assert fleet.plan_swaps == 1
+        # Identical weights: every session (canary, carried-across, and
+        # incumbent) decodes exactly.
+        assert hyps == offline_phones(incumbent, utterances)
+        assert registry.resolve("am", "v2").status == "serving"
+        assert registry.resolve("am", "v1").status == "superseded"
+
+    def test_crash_during_canary_recovers_and_rolls_back(self, tmp_path):
+        incumbent = small_plan()
+        registry = make_registry(tmp_path, incumbent, small_plan(seed=1))
+        utterances = make_utterances(6)
+        incumbent_path = str(registry.resolve("am", "v1").artifact_path)
+        fabric = ServingFabric.from_registry(
+            registry,
+            "am",
+            "v1",
+            fabric_config(
+                faults=FaultConfig(crash_after_chunks=3, target_worker=0)
+            ),
+        )
+        with fabric:
+            fabric.start_canary("v2", self.canary_config())
+            hyps, opened = run_canary_workload(fabric, utterances)
+            report = fabric.canary_report()
+            fleet = fabric.stats()
+        assert report.decision == "rollback"
+        assert fleet.crashes_detected >= 1
+        assert fleet.restarts >= 1
+        offline = offline_phones(incumbent, utterances)
+        assert all(
+            hyp == ref
+            for hyp, ref, version in zip(hyps, offline, opened)
+            if version == incumbent_path
+        )
+
+    def test_swap_blocked_while_canary_active(self, tmp_path):
+        from repro.errors import SwapError
+
+        registry = make_registry(tmp_path, small_plan(), small_plan())
+        fabric = ServingFabric.from_registry(
+            registry, "am", "v1", fabric_config()
+        )
+        with fabric:
+            fabric.start_canary("v2", self.canary_config())
+            with pytest.raises(SwapError, match="canary rollout is active"):
+                fabric.swap("v2")
+            with pytest.raises(SwapError, match="already active"):
+                fabric.start_canary("v2", self.canary_config())
+
+    def test_force_decide_without_evidence_rolls_back(self, tmp_path):
+        from repro.errors import SwapError
+
+        registry = make_registry(tmp_path, small_plan(), small_plan())
+        fabric = ServingFabric.from_registry(
+            registry, "am", "v1", fabric_config()
+        )
+        with fabric:
+            fabric.start_canary("v2", self.canary_config())
+            with pytest.raises(SwapError, match="window not full"):
+                fabric.decide_canary()
+            report = fabric.decide_canary(force=True)
+        assert report.decision == "rollback"
+        assert report.reason == "no canary sessions scored"
+
+    def test_canary_arch_mismatch_rejected(self, tmp_path):
+        from repro.errors import SwapError
+
+        wrong_config = AcousticModelConfig(
+            input_dim=8, hidden_size=32, num_layers=2, cell_type="gru"
+        )
+        wrong = compile_model(GRUAcousticModel(wrong_config, rng=0).eval())
+        registry = make_registry(tmp_path, small_plan(), wrong)
+        fabric = ServingFabric.from_registry(
+            registry, "am", "v1", fabric_config()
+        )
+        with fabric:
+            with pytest.raises(SwapError, match="architecture mismatch"):
+                fabric.start_canary("v2", self.canary_config())
+            assert fabric.canary_report() is None
+
+    def test_canary_config_validation(self):
+        from repro.engine.fabric import CanaryConfig
+
+        with pytest.raises(ConfigError):
+            CanaryConfig(fraction=0.0)
+        with pytest.raises(ConfigError):
+            CanaryConfig(fraction=1.5)
+        with pytest.raises(ConfigError):
+            CanaryConfig(decide_after=0)
+        with pytest.raises(ConfigError):
+            CanaryConfig(min_agreement=-0.1)
+        with pytest.raises(ConfigError):
+            CanaryConfig(max_p95_ratio=0.0)
+
+
+# ---------------------------------------------------------------------------
+# FleetStats edge cases (empty fleets must report zeros, not crash)
+# ---------------------------------------------------------------------------
+class TestFleetStatsEdges:
+    def test_empty_fleet_percentiles_and_batches_are_zero(self):
+        from repro.engine.fabric import FleetStats, WorkerStats
+
+        empty = FleetStats()
+        assert empty.p50_latency_s == 0.0
+        assert empty.p95_latency_s == 0.0
+        assert empty.mean_batch_size == 0.0
+        assert empty.chunks == 0
+        assert empty.batches == 0
+        assert empty.version_latencies("anything") == []
+        unreachable = WorkerStats(
+            index=0, alive=False, incarnation=0, restarts=0, snapshot=None
+        )
+        assert unreachable.p50_latency_s == 0.0
+        assert unreachable.p95_latency_s == 0.0
+
+    def test_partial_snapshots_do_not_divide_by_zero(self):
+        from repro.engine.fabric import FleetStats, WorkerStats
+
+        # A snapshot missing counters (an older worker, a torn stats
+        # reply) must degrade to zeros, not KeyError/ZeroDivisionError.
+        fleet = FleetStats(
+            workers=[
+                WorkerStats(
+                    index=0, alive=True, incarnation=0, restarts=0,
+                    snapshot={"latencies_s": []},
+                )
+            ]
+        )
+        assert fleet.mean_batch_size == 0.0
+        assert fleet.p95_latency_s == 0.0
+
+    def test_journal_segments_split_at_swap_marks(self, rng):
+        journal = SessionJournal()
+        journal.open(7, version="v1")
+        a, b, c = (rng.standard_normal((4, 8)) for _ in range(3))
+        journal.record(7, a)
+        journal.mark_swap(7, "v2")
+        journal.record(7, b)
+        journal.record(7, c)
+        segments = journal.segments(7)
+        assert [(v, len(chunks)) for v, chunks in segments] == [
+            ("v1", 1), ("v2", 2),
+        ]
+        assert journal.version(7) == "v2"
+        # A swap before any chunk rewrites the open version instead of
+        # splitting an empty segment.
+        journal.open(8, version="v1")
+        journal.mark_swap(8, "v2")
+        journal.record(8, a)
+        assert journal.segments(8) == [("v2", (a,))]
+        # Consecutive marks with no chunks between collapse.
+        journal.mark_swap(8, "v3")
+        journal.mark_swap(8, "v4")
+        assert [(v, len(chunks)) for v, chunks in journal.segments(8)] == [
+            ("v2", 1), ("v4", 0),
+        ]

@@ -545,3 +545,163 @@ class TestStreamScheduler:
                 scheduler.feed(sid, utterance[start : start + 6])
         got = [scheduler.finish(sid) for sid in sids]
         assert got == solo
+
+
+# ---------------------------------------------------------------------------
+# Hot-swap: carrying live session state across a plan swap
+# ---------------------------------------------------------------------------
+class TestHotSwap:
+    """`StreamScheduler.swap_plan` contract: a same-architecture swap
+    carries every live session's recurrent state across the new plan and
+    — when the candidate has identical weights — decodes byte-identical
+    to never having swapped, for every scheme and cell type.  A
+    mismatched architecture raises a typed
+    :class:`~repro.errors.SwapError` *before* any session is touched."""
+
+    def compile_pair(self, scheme, cell_type, seed=0):
+        """Two independently compiled plans of the same weights."""
+        return (
+            engine.compile_model(tiny_model(cell_type, seed=seed), scheme=scheme),
+            engine.compile_model(tiny_model(cell_type, seed=seed), scheme=scheme),
+        )
+
+    def run_split(self, incumbent, candidate, utterances, swap_at):
+        """Feed ``swap_at`` frames on ``incumbent``, swap to
+        ``candidate`` mid-utterance, feed the rest; return hypotheses."""
+        scheduler = engine.StreamScheduler(
+            incumbent,
+            engine.StreamConfig(max_batch_size=4, max_wait_frames=0, min_duration=2),
+        )
+        sids = [scheduler.open() for _ in utterances]
+        for sid, utterance in zip(sids, utterances):
+            scheduler.feed(sid, utterance[:swap_at])
+        old = scheduler.swap_plan(candidate)
+        assert old is incumbent
+        assert scheduler.plan is candidate
+        for sid, utterance in zip(sids, utterances):
+            scheduler.feed(sid, utterance[swap_at:])
+        return [scheduler.finish(sid) for sid in sids], scheduler
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    @pytest.mark.parametrize("cell_type", ["gru", "lstm"])
+    def test_mid_utterance_swap_decodes_identically(
+        self, scheme, cell_type, rng_factory
+    ):
+        incumbent, candidate = self.compile_pair(scheme, cell_type)
+        rng = rng_factory(99)
+        utterances = [rng.standard_normal((44, 8)) for _ in range(3)]
+        uninterrupted = [
+            decode_utterance(incumbent.forward_utterance(u), min_duration=2)
+            for u in utterances
+        ]
+        swapped, scheduler = self.run_split(
+            incumbent, candidate, utterances, swap_at=20
+        )
+        assert swapped == uninterrupted, (scheme, cell_type)
+        assert scheduler.stats.plan_swaps == 1
+
+    def test_architecture_mismatch_raises_and_preserves_sessions(
+        self, rng_factory
+    ):
+        from repro.errors import SwapError
+
+        incumbent = engine.compile_model(tiny_model())
+        wrong = engine.compile_model(tiny_model(hidden=24))
+        rng = rng_factory(5)
+        utterance = rng.standard_normal((40, 8))
+        scheduler = engine.StreamScheduler(
+            incumbent,
+            engine.StreamConfig(max_batch_size=2, max_wait_frames=0, min_duration=2),
+        )
+        sid = scheduler.open()
+        scheduler.feed(sid, utterance[:20])
+        with pytest.raises(SwapError, match="architecture mismatch"):
+            scheduler.swap_plan(wrong)
+        # The rejected swap touched nothing: the session continues on the
+        # incumbent and still decodes exactly.
+        assert scheduler.plan is incumbent
+        assert scheduler.stats.plan_swaps == 0
+        scheduler.feed(sid, utterance[20:])
+        offline = decode_utterance(
+            incumbent.forward_utterance(utterance), min_duration=2
+        )
+        assert scheduler.finish(sid) == offline
+
+    def test_swap_across_schemes_carries_state(self, rng_factory):
+        # fp16 state (float32) must adapt into a float64-state plan and
+        # keep streaming — numerics legitimately change at the boundary,
+        # but the swap itself must hold the architecture contract.
+        incumbent = engine.compile_model(tiny_model(), scheme="fp16")
+        candidate = engine.compile_model(tiny_model(), scheme=None)
+        rng = rng_factory(11)
+        utterance = rng.standard_normal((40, 8))
+        scheduler = engine.StreamScheduler(
+            incumbent,
+            engine.StreamConfig(max_batch_size=2, max_wait_frames=0, min_duration=2),
+        )
+        sid = scheduler.open()
+        scheduler.feed(sid, utterance[:20])
+        scheduler.swap_plan(candidate)
+        scheduler.feed(sid, utterance[20:])
+        phones = scheduler.finish(sid)
+        assert all(isinstance(p, int) for p in phones)
+        assert scheduler.stats.plan_swaps == 1
+
+    def test_identity_swap_counts_but_changes_nothing(self, rng_factory):
+        plan = engine.compile_model(tiny_model())
+        rng = rng_factory(3)
+        utterance = rng.standard_normal((30, 8))
+        scheduler = engine.StreamScheduler(
+            plan,
+            engine.StreamConfig(max_batch_size=2, max_wait_frames=0, min_duration=2),
+        )
+        sid = scheduler.open()
+        scheduler.feed(sid, utterance[:15])
+        scheduler.swap_plan(plan)  # no-op swap is legal
+        scheduler.feed(sid, utterance[15:])
+        offline = decode_utterance(
+            plan.forward_utterance(utterance), min_duration=2
+        )
+        assert scheduler.finish(sid) == offline
+        assert scheduler.stats.plan_swaps == 1
+
+    def test_adopt_installs_replayed_session(self, rng_factory):
+        # The fabric's re-home path: reconstruct a session externally
+        # (bare run_chunk + IncrementalDecoder), adopt it mid-stream,
+        # and the continuation must decode exactly.
+        plan = engine.compile_model(tiny_model(), scheme="int8")
+        rng = rng_factory(21)
+        utterance = rng.standard_normal((40, 8))
+        state, decoder = None, IncrementalDecoder(min_duration=2)
+        committed = []
+        for start in range(0, 20, 10):
+            logits, state = plan.run_chunk(
+                utterance[start : start + 10][:, None, :], state
+            )
+            committed += decoder.push(logits[:, 0, :].argmax(axis=1))
+        scheduler = engine.StreamScheduler(
+            plan,
+            engine.StreamConfig(max_batch_size=2, max_wait_frames=0, min_duration=2),
+        )
+        # committed=None: the already-delivered prefix is tracked by the
+        # caller (the fabric), not re-queued for delivery.
+        sid = scheduler.adopt(state, decoder, committed=None, frames=20)
+        scheduler.feed(sid, utterance[20:])
+        phones = committed + scheduler.poll(sid) + scheduler.finish(sid)
+        offline = decode_utterance(
+            plan.forward_utterance(utterance), min_duration=2
+        )
+        assert phones == offline
+
+    def test_plan_signature_and_adapt_state(self):
+        from repro.errors import ShapeError
+
+        gru = engine.compile_model(tiny_model("gru"))
+        lstm = engine.compile_model(tiny_model("lstm"))
+        assert gru.signature() != lstm.signature()
+        assert gru.signature() == engine.compile_model(tiny_model("gru")).signature()
+        state = gru.init_state(2)
+        with pytest.raises(ShapeError):
+            lstm.adapt_state(state)  # GRU state lacks the cell component
+        adapted = gru.adapt_state(state)
+        assert len(adapted.layer_states) == len(state.layer_states)
