@@ -626,12 +626,174 @@ def bench_admm_projection(repeats: int) -> List[Dict]:
     ]
 
 
+def bench_distributed_epochs(repeats: int) -> List[Dict]:
+    """Data-parallel epoch throughput: 1 → 2 → 4 gradient workers.
+
+    The single-process fused trainer is the baseline; the ``dp_workers1``
+    row isolates the pure IPC cost of the chunked weight-broadcast /
+    gradient all-reduce protocol, and the 2/4-worker rows show what the
+    fork-based data parallelism buys on top of it at this model scale.
+    """
+    from repro.training import DistConfig, DistributedTrainer
+
+    train_set, test_set = make_corpus(16, 4, TRAIN_SYNTH, seed=0)
+    size = "16 timit-scale utts B=8 H=64 L=2"
+
+    trainers = {"single_process": Trainer(
+        _training_model(), train_set, test_set, TrainerConfig(batch_size=8, seed=0)
+    )}
+    for workers in (1, 2, 4):
+        trainers[f"dp_workers{workers}"] = DistributedTrainer(
+            _training_model(),
+            train_set,
+            test_set,
+            TrainerConfig(batch_size=8, seed=0),
+            DistConfig(num_workers=workers),
+        )
+    try:
+        medians = interleaved_medians(
+            {
+                name: (lambda t=trainer: t.train_epoch())
+                for name, trainer in trainers.items()
+            },
+            repeats,
+        )
+    finally:
+        for trainer in trainers.values():
+            if isinstance(trainer, DistributedTrainer):
+                trainer.close()
+    baseline = medians["single_process"]
+    return [
+        {
+            "op": "dp_train_epoch",
+            "size": size,
+            "backend": name,
+            "median_s": median,
+            "speedup_vs_baseline": baseline / median,
+            "baseline": "single_process",
+        }
+        for name, median in medians.items()
+    ]
+
+
+def bench_sweep_recovery(repeats: int) -> List[Dict]:
+    """Chaos-resume overhead + exactness gate for checkpointed training.
+
+    Runs one BSP prune→retrain cell three ways: uninterrupted, and
+    crashed mid-epoch then resumed from its atomic checkpoint.  Like
+    ``fabric_recovery``, the gate row is a correctness check dressed as
+    a bench row: ``speedup_vs_baseline`` is 1.0 only when the resumed
+    run's final weights and loss curve are bit-identical to the clean
+    run, so any resume drift collapses the tracked ratio and fails
+    ``--check``.  The overhead of crash + reload is the machine-portable
+    ``chaos_overhead`` ratio carried alongside.
+    """
+    import tempfile
+    from pathlib import Path as _Path
+
+    from repro.training import CheckpointConfig, run_checkpointed
+
+    train_set, test_set = make_corpus(8, 2, TRAIN_SYNTH, seed=0)
+    size = "8 timit-scale utts B=4 H=32 L=2 bsp-4x"
+    total_epochs = 4
+
+    class _Boom(Exception):
+        pass
+
+    def make_model():
+        return GRUAcousticModel(
+            AcousticModelConfig(input_dim=40, hidden_size=32, num_layers=2),
+            rng=0,
+        ).train()
+
+    def build():
+        model = make_model()
+        trainer = Trainer(
+            model, train_set, test_set, TrainerConfig(batch_size=4, seed=0)
+        )
+        method = BSPPruner(
+            model.prunable_parameters(),
+            BSPConfig(col_rate=4, row_rate=1.25, step1_admm_epochs=1,
+                      step1_retrain_epochs=1, step2_admm_epochs=1,
+                      step2_retrain_epochs=1),
+        )
+        return model, trainer, method
+
+    exact_flags: List[bool] = []
+
+    def clean():
+        model, trainer, method = build()
+        with tempfile.TemporaryDirectory(prefix="repro-bench-ckpt-") as tmp:
+            run_checkpointed(
+                trainer, method,
+                CheckpointConfig(path=_Path(tmp) / "ckpt.npz"),
+                max_epochs=total_epochs,
+            )
+        return model.state_dict(), list(trainer.log.losses)
+
+    def chaos():
+        model, trainer, method = build()
+        with tempfile.TemporaryDirectory(prefix="repro-bench-ckpt-") as tmp:
+            config = CheckpointConfig(path=_Path(tmp) / "ckpt.npz")
+
+            def crash_at(step):
+                if step == 3:
+                    raise _Boom()
+
+            try:
+                run_checkpointed(trainer, method, config,
+                                 max_epochs=total_epochs, on_step=crash_at)
+            except _Boom:
+                pass
+            # Fresh objects, as a re-spawned cell attempt would build.
+            model, trainer, method = build()
+            run_checkpointed(trainer, method, config, max_epochs=total_epochs)
+        clean_weights, clean_losses = clean_reference
+        exact_flags.append(
+            all(
+                np.array_equal(clean_weights[name], value)
+                for name, value in model.state_dict().items()
+            )
+            and list(trainer.log.losses) == clean_losses
+        )
+        return model.state_dict()
+
+    clean_reference = clean()
+    medians = interleaved_medians({"clean": clean, "chaos_resume": chaos}, repeats)
+    recovered = bool(exact_flags) and all(exact_flags)
+    return [
+        {
+            "op": "sweep_cell_train",
+            "size": size,
+            "backend": "clean",
+            "median_s": medians["clean"],
+            "speedup_vs_baseline": 1.0,
+            "baseline": "clean",
+        },
+        {
+            # Correctness gate: 1.0 only if every chaos repeat resumed
+            # bit-identical; the chaos_overhead key tracks the cost of
+            # crash + checkpoint reload relative to the clean run.
+            "op": "sweep_recovery",
+            "size": size,
+            "backend": "chaos_resume",
+            "median_s": medians["chaos_resume"],
+            "speedup_vs_baseline": 1.0 if recovered else 1e-9,
+            "baseline": "chaos_resume",
+            "chaos_overhead": medians["chaos_resume"] / medians["clean"],
+        },
+    ]
+
+
 def bench_training(repeats: int) -> List[Dict]:
-    """The BENCH_training.json suite: BPTT step, epochs, ADMM projection."""
+    """The BENCH_training.json suite: BPTT step, epochs, ADMM projection,
+    data-parallel scaling, and the chaos-resume exactness gate."""
     return (
         bench_bptt_step(max(3, repeats // 3))
         + bench_train_epochs(max(2, repeats // 6))
         + bench_admm_projection(repeats)
+        + bench_distributed_epochs(max(2, repeats // 6))
+        + bench_sweep_recovery(max(2, repeats // 10))
     )
 
 

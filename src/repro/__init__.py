@@ -17,6 +17,11 @@ Layered public API:
 * :mod:`repro.hw` — calibrated Adreno 640 / Kryo 485 simulator + energy,
 * :mod:`repro.speech` — synthetic TIMIT-like corpus, GRU acoustic model,
   PER evaluation,
+* :mod:`repro.training` — atomic checksummed checkpoints with bit-exact
+  resume and a data-parallel :class:`~repro.training.DistributedTrainer`
+  with fabric-style crash/stall supervision,
+* :mod:`repro.sweep` — fault-tolerant prune→retrain sweeps over the
+  sparsity × scheme × block grid, published into the plan registry,
 * :mod:`repro.eval` — harnesses for Table I, Table II, and Figure 4.
 
 Quickstart::
@@ -41,9 +46,23 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from repro import compiler, engine, eval, hw, kernels, nn, pruning, sparse, speech, utils
+from repro import (
+    compiler,
+    engine,
+    eval,
+    hw,
+    kernels,
+    nn,
+    pruning,
+    sparse,
+    speech,
+    sweep,
+    training,
+    utils,
+)
 from repro.errors import (
     ArtifactError,
+    CheckpointError,
     CompilationError,
     ConfigError,
     FabricError,
@@ -54,6 +73,8 @@ from repro.errors import (
     SimulationError,
     SparsityError,
     StreamError,
+    SweepError,
+    TrainingError,
 )
 
 __all__ = [
@@ -66,6 +87,8 @@ __all__ = [
     "hw",
     "kernels",
     "speech",
+    "training",
+    "sweep",
     "eval",
     "utils",
     "ReproError",
@@ -79,4 +102,7 @@ __all__ = [
     "OverloadError",
     "ArtifactError",
     "FabricError",
+    "TrainingError",
+    "CheckpointError",
+    "SweepError",
 ]

@@ -30,42 +30,25 @@ checksum, UTF-8 JSON) and one entry per weight/param array.
 
 from __future__ import annotations
 
-import hashlib
 import json
-import os
 import struct
-import tempfile
 import zipfile
 from pathlib import Path
-from typing import Dict, Union
+from typing import Union
 
 import numpy as np
 
 from repro.compiler.ir import graph_from_arrays, graph_to_arrays
 from repro.engine.plan import ModelPlan, lower_graph
 from repro.errors import ArtifactError, ConfigError
+from repro.utils.atomic_write import atomic_write, content_checksum
 
 _META_KEY = "meta.json"
 _CHECKSUM_KEY = "__checksum__"
 
-
-def _content_checksum(meta: Dict, arrays: Dict[str, np.ndarray]) -> str:
-    """SHA-256 over the graph header and every array's dtype/shape/bytes.
-
-    Keyed on the canonical (sorted-key) JSON form of ``meta`` so the
-    digest is independent of dict ordering, and on each array's dtype
-    and shape as well as its raw bytes so a same-length reinterpretation
-    cannot collide.
-    """
-    digest = hashlib.sha256()
-    digest.update(json.dumps(meta, sort_keys=True).encode("utf-8"))
-    for key in sorted(arrays):
-        array = np.ascontiguousarray(arrays[key])
-        digest.update(key.encode("utf-8"))
-        digest.update(str(array.dtype).encode("utf-8"))
-        digest.update(str(array.shape).encode("utf-8"))
-        digest.update(array.tobytes())
-    return digest.hexdigest()
+# The checksum primitive is shared with training checkpoints; the old
+# private name stays importable for callers inside the engine.
+_content_checksum = content_checksum
 
 
 def save_plan(path: Union[str, Path], plan: ModelPlan) -> Path:
@@ -92,39 +75,9 @@ def save_plan(path: Union[str, Path], plan: ModelPlan) -> Path:
     arrays[_META_KEY] = np.frombuffer(payload, dtype=np.uint8)
     try:
         path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp_name = tempfile.mkstemp(
-            dir=path.parent, prefix=path.name + ".", suffix=".tmp"
-        )
+        atomic_write(path, lambda handle: np.savez_compressed(handle, **arrays))
     except OSError as exc:
-        raise ArtifactError(
-            f"cannot write artifact to {path}: target directory is "
-            f"unwritable or not a directory ({exc})"
-        ) from exc
-    try:
-        with os.fdopen(fd, "wb") as handle:
-            np.savez_compressed(handle, **arrays)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp_name, path)
-    except BaseException as exc:
-        try:
-            os.unlink(tmp_name)
-        except OSError:
-            pass
-        if isinstance(exc, OSError):
-            raise ArtifactError(
-                f"cannot write artifact to {path}: {exc}"
-            ) from exc
-        raise
-    try:
-        # Make the rename itself durable where the platform allows it.
-        dir_fd = os.open(path.parent, os.O_RDONLY)
-        try:
-            os.fsync(dir_fd)
-        finally:
-            os.close(dir_fd)
-    except OSError:
-        pass
+        raise ArtifactError(f"cannot write artifact to {path}: {exc}") from exc
     return path
 
 

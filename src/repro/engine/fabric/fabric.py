@@ -54,6 +54,7 @@ from repro.engine.fabric.router import HashRing
 from repro.engine.fabric.supervisor import Supervisor
 from repro.engine.fabric.worker import WorkerFailure
 from repro.engine.streaming import StreamConfig
+from repro.utils.stats import percentile
 from repro.errors import (
     ConfigError,
     FabricError,
@@ -121,10 +122,9 @@ class FabricConfig:
         return max(self.stream.max_wait_frames * self.stream.max_batch_size, 1)
 
 
-def _percentile(values: Sequence[float], percentile: float) -> float:
-    if not values:
-        return 0.0
-    return float(np.percentile(np.asarray(values, dtype=np.float64), percentile))
+# One copy of the empty-safe percentile lives in repro.utils.stats; the
+# fleet rollups and the canary report share it.
+_percentile = percentile
 
 
 @dataclass

@@ -50,6 +50,7 @@ from typing import Dict, List, Optional, Union
 from repro.engine.artifact import load_plan, save_plan
 from repro.engine.plan import ModelPlan
 from repro.errors import RegistryError
+from repro.utils.atomic_write import atomic_write_json
 
 ARTIFACT_FILE = "plan.npz"
 METADATA_FILE = "meta.json"
@@ -380,21 +381,7 @@ def _jsonable_signature(plan: ModelPlan) -> List:
 def _write_json(path: Path, payload: Dict) -> None:
     """Durable atomic JSON write (temp file + fsync + ``os.replace``)."""
     try:
-        fd, tmp_name = tempfile.mkstemp(
-            dir=path.parent, prefix=path.name + ".", suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle, indent=2, sort_keys=True)
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        atomic_write_json(path, payload)
     except (OSError, TypeError, ValueError) as exc:
         # TypeError/ValueError: a non-JSON-serializable payload — surface
         # typed like any other failed registry write.

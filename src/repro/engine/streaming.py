@@ -50,6 +50,7 @@ from repro.errors import ConfigError, ShapeError, StreamError, SwapError
 from repro.engine.plan import ModelPlan, PlanState
 from repro.speech.decoder import IncrementalDecoder
 from repro.speech.features import StreamingFrontend
+from repro.utils.stats import percentile as stats_percentile
 
 
 @dataclass(frozen=True)
@@ -106,9 +107,7 @@ class StreamStats:
 
     def latency_percentile(self, percentile: float) -> float:
         """Submit→decode latency percentile over the sliding window."""
-        if not self.chunk_latency_s:
-            return 0.0
-        return float(np.percentile(list(self.chunk_latency_s), percentile))
+        return stats_percentile(list(self.chunk_latency_s), percentile)
 
     @property
     def p50_latency_s(self) -> float:

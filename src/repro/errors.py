@@ -77,3 +77,22 @@ class RegistryError(ArtifactError):
 
 class FabricError(ReproError, RuntimeError):
     """The multi-process serving fabric lost a worker it could not recover."""
+
+
+class TrainingError(ReproError, RuntimeError):
+    """The distributed trainer lost a gradient worker it could not recover
+    (restart budget exhausted, or a worker died outside any recoverable
+    protocol state)."""
+
+
+class CheckpointError(ArtifactError):
+    """A training checkpoint is missing, truncated, corrupted, or does not
+    match the model/optimizer it is being restored into.  Subclasses
+    :class:`ArtifactError` because checkpoints share the artifact
+    discipline (atomic writes, SHA-256 content checksums)."""
+
+
+class SweepError(ReproError, RuntimeError):
+    """A sweep cell failed permanently: its retry budget is exhausted, a
+    straggler timeout fired on the final attempt, or its published result
+    failed validation."""

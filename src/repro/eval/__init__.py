@@ -18,6 +18,7 @@ from repro.eval.paper_data import (
     figure4_paper_speedups,
 )
 from repro.eval.report import fmt, format_table
+from repro.utils.stats import Summary, percentile, summarize
 from repro.eval.table1 import (
     Table1Config,
     Table1Entry,
@@ -64,6 +65,9 @@ __all__ = [
     "render_figure4",
     "format_table",
     "fmt",
+    "Summary",
+    "percentile",
+    "summarize",
     "to_json",
     "to_csv",
     "result_rows",

@@ -8,6 +8,7 @@ results::
     python -m repro figure4
     python -m repro serve-bench --utterances 64
     python -m repro stream-bench --sessions 8 --chunk-frames 25
+    python -m repro sweep --workers 2 --chaos --resume --expect-exact
     python -m repro all --out results/
 
 Each subcommand prints the rendered measured-vs-paper table and optionally
@@ -169,6 +170,70 @@ def _run_stream_bench(args) -> None:
             )
 
 
+def _run_sweep_cmd(args) -> None:
+    import tempfile
+
+    from repro.eval.sweep_bench import (
+        SweepBenchConfig,
+        render_sweep_bench,
+        run_sweep_bench,
+    )
+
+    state_dir = args.state_dir or Path(
+        tempfile.mkdtemp(prefix="repro-sweep-")
+    )
+    config = SweepBenchConfig(
+        state_dir=state_dir,
+        workers=args.workers,
+        chaos=args.chaos,
+        resume=args.resume,
+        seed=args.seed,
+        hidden_size=args.hidden_size,
+        num_train=args.utterances,
+        num_test=max(2, args.utterances // 2),
+        train_workers=args.train_workers,
+        cell_timeout_s=args.cell_timeout,
+    )
+    result = run_sweep_bench(config)
+    print(render_sweep_bench(result))
+    print()
+    print(result.resumed.summary_table())
+    if args.json:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json.dumps(result.to_rows(), indent=2))
+        print(f"wrote {args.json}")
+    if args.expect_exact:
+        incomplete = [
+            c.name
+            for ref, c in zip(result.reference.outcomes, result.comparisons)
+            if not ref.completed
+        ] + [
+            o.cell.name
+            for o in result.resumed.outcomes
+            if not o.completed
+        ]
+        if incomplete:
+            raise SystemExit(
+                f"--expect-exact: cells did not complete: {sorted(set(incomplete))}"
+            )
+        if args.chaos and result.chaos_failures == 0:
+            raise SystemExit(
+                "--expect-exact: no injected crashes observed — the chaos "
+                "fault did not exercise resume"
+            )
+        drifted = [c.name for c in result.comparisons if not c.exact]
+        if drifted:
+            raise SystemExit(
+                f"--expect-exact: chaos-resumed cells drifted from the "
+                f"uninterrupted reference: {drifted}"
+            )
+        print(
+            f"exactness OK: {len(result.comparisons)} cell(s) resumed "
+            f"bit-identical after {result.chaos_failures} injected "
+            "crash(es) (weights, loss curve, PER, probe logits)"
+        )
+
+
 def _run_tune(args) -> None:
     from repro.eval.tune import TuneConfig, render_tune, run_tune, save_and_verify
 
@@ -320,6 +385,38 @@ def build_parser() -> argparse.ArgumentParser:
     pst.add_argument("--json", type=Path, help="write rows as JSON")
     pst.set_defaults(func=_run_stream_bench)
 
+    psw = sub.add_parser(
+        "sweep",
+        help="fault-tolerant prune→retrain sweep over the reduced "
+        "sparsity × scheme grid, with chaos/resume exactness gating",
+    )
+    psw.add_argument("--workers", type=int, default=2,
+                     help="concurrent forked cell processes")
+    psw.add_argument("--train-workers", type=int, default=1,
+                     help="data-parallel gradient workers inside each cell")
+    psw.add_argument("--chaos", action="store_true",
+                     help="crash every cell's first attempt at a seeded "
+                     "mid-training step")
+    psw.add_argument("--resume", action="store_true",
+                     help="with --chaos: leave crashed cells incomplete "
+                     "(zero retries), then resume them from checkpoints "
+                     "in a second pass")
+    psw.add_argument("--expect-exact", action="store_true",
+                     help="exit nonzero unless every chaos-resumed cell "
+                     "matches the uninterrupted reference bit-for-bit "
+                     "(weights SHA-256, loss curve, PER, published-plan "
+                     "probe logits) — the CI gate")
+    psw.add_argument("--utterances", type=int, default=8,
+                     help="synthetic training utterances per cell")
+    psw.add_argument("--hidden-size", type=int, default=16)
+    psw.add_argument("--seed", type=int, default=0)
+    psw.add_argument("--cell-timeout", type=float, default=600.0,
+                     help="straggler kill deadline per cell attempt (s)")
+    psw.add_argument("--state-dir", type=Path,
+                     help="sweep state root (default: fresh temp dir)")
+    psw.add_argument("--json", type=Path, help="write rows as JSON")
+    psw.set_defaults(func=_run_sweep_cmd)
+
     pt = sub.add_parser(
         "tune",
         help="measured autotune: search engine configs by timing the "
@@ -353,7 +450,7 @@ def build_parser() -> argparse.ArgumentParser:
     pa.add_argument("--out", type=Path, default=Path("results"))
     pa.add_argument("--fast", action="store_true")
     pa.set_defaults(func=_run_all)
-    for sub_parser in (p1, p2, p4, ps, pst, pt, pa):
+    for sub_parser in (p1, p2, p4, ps, pst, psw, pt, pa):
         _add_kernel_backend_arg(sub_parser, top_level=False)
     return parser
 

@@ -31,6 +31,32 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    # -- checkpointing -----------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Internal state as named arrays, keyed by parameter *index*.
+
+        Indices refer to positions in ``self.params``, so a checkpoint
+        restores correctly into any optimizer built over the same
+        parameter list in the same order (the usual
+        ``model.parameters()`` traversal) — parameter identity (``id``)
+        is process-local and never serialized.  A stateless optimizer
+        returns ``{}``.
+        """
+        return {}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Restore state produced by :meth:`state_dict`.
+
+        Restored training must continue *bit-identically* to a run that
+        never serialized, so implementations copy buffers verbatim.
+        Raises :class:`ValueError` on unknown keys or shape mismatches.
+        """
+        if state:
+            raise ValueError(
+                f"{type(self).__name__} is stateless but got state keys "
+                f"{sorted(state)}"
+            )
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional classical momentum."""
@@ -66,6 +92,27 @@ class SGD(Optimizer):
                 self._velocity[id(param)] = vel
                 grad = vel
             param.data -= self.lr * grad
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        state: Dict[str, np.ndarray] = {}
+        for index, param in enumerate(self.params):
+            vel = self._velocity.get(id(param))
+            if vel is not None:
+                state[f"{index}.velocity"] = vel.copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        self._velocity = {}
+        for key, value in state.items():
+            index = _slot_index(key, ".velocity", len(self.params), type(self))
+            param = self.params[index]
+            value = np.asarray(value)
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"velocity for param {index} has shape {value.shape}, "
+                    f"param has {param.data.shape}"
+                )
+            self._velocity[id(param)] = value.astype(param.data.dtype).copy()
 
 
 class _AdamSlot:
@@ -145,3 +192,61 @@ class Adam(Optimizer):
             np.divide(m, scratch, out=scratch)
             scratch *= self.lr / (1.0 - beta1**slot.t)
             param.data -= scratch
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        state: Dict[str, np.ndarray] = {}
+        for index, param in enumerate(self.params):
+            slot = self._slots.get(id(param))
+            if slot is None:
+                continue
+            state[f"{index}.m"] = slot.m.copy()
+            state[f"{index}.v"] = slot.v.copy()
+            # 0-d array so the whole state dict serializes uniformly.
+            state[f"{index}.t"] = np.asarray(slot.t, dtype=np.int64)
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        slots: Dict[int, _AdamSlot] = {}
+        by_index: Dict[int, Dict[str, np.ndarray]] = {}
+        for key, value in state.items():
+            for suffix in (".m", ".v", ".t"):
+                if key.endswith(suffix):
+                    index = _slot_index(key, suffix, len(self.params), type(self))
+                    by_index.setdefault(index, {})[suffix[1:]] = np.asarray(value)
+                    break
+            else:
+                raise ValueError(f"unknown Adam state key {key!r}")
+        for index, fields in by_index.items():
+            missing = {"m", "v", "t"} - set(fields)
+            if missing:
+                raise ValueError(
+                    f"Adam state for param {index} is missing {sorted(missing)}"
+                )
+            param = self.params[index]
+            slot = _AdamSlot(param.data)
+            for moment in ("m", "v"):
+                value = fields[moment]
+                if value.shape != param.data.shape:
+                    raise ValueError(
+                        f"Adam {moment} for param {index} has shape "
+                        f"{value.shape}, param has {param.data.shape}"
+                    )
+                getattr(slot, moment)[...] = value
+            slot.t = int(fields["t"])
+            slots[id(param)] = slot
+        self._slots = slots
+
+
+def _slot_index(key: str, suffix: str, num_params: int, owner: type) -> int:
+    """Parse and bound-check the ``<index><suffix>`` key of a state entry."""
+    stem = key[: -len(suffix)]
+    try:
+        index = int(stem)
+    except ValueError:
+        raise ValueError(f"unknown {owner.__name__} state key {key!r}") from None
+    if not 0 <= index < num_params:
+        raise ValueError(
+            f"{owner.__name__} state key {key!r} refers to param {index}, "
+            f"optimizer has {num_params}"
+        )
+    return index

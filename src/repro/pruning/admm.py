@@ -118,6 +118,45 @@ class ADMMPruner:
             var.u += target.param.data
             var.u -= var.z
 
+    # -- checkpointing -----------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Z and scaled-dual U arrays per target, as ``name::z``/``name::u``.
+
+        Together with the (externally checkpointed) weights this is the
+        complete ADMM iteration state: restoring it and continuing
+        training is bit-identical to never having serialized.
+        """
+        state: Dict[str, np.ndarray] = {}
+        for name, var in self.variables.items():
+            state[f"{name}::z"] = var.z.copy()
+            state[f"{name}::u"] = var.u.copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Restore Z/U produced by :meth:`state_dict` (strict: every
+        target must be present, no extras, shapes must match)."""
+        expected = {f"{t.name}::{field}" for t in self.targets for field in ("z", "u")}
+        got = set(state)
+        if got != expected:
+            raise ConfigError(
+                f"ADMM state keys do not match targets "
+                f"(missing {sorted(expected - got)}, "
+                f"unexpected {sorted(got - expected)})"
+            )
+        for target in self.targets:
+            var = self.variables[target.name]
+            for field, current in (("z", var.z), ("u", var.u)):
+                value = np.asarray(state[f"{target.name}::{field}"])
+                if value.shape != target.param.data.shape:
+                    raise ConfigError(
+                        f"ADMM {field} for {target.name!r} has shape "
+                        f"{value.shape}, weight has {target.param.data.shape}"
+                    )
+            self.variables[target.name] = ADMMVariables(
+                z=np.asarray(state[f"{target.name}::z"]).copy(),
+                u=np.asarray(state[f"{target.name}::u"]).copy(),
+            )
+
     # -- convergence diagnostics ------------------------------------------
     def primal_residual(self) -> float:
         """``sqrt(sum_i ||W_i - Z_i||^2)`` — distance to the constraint set."""

@@ -143,37 +143,26 @@ class BSPPruner(PruningMethod):
             "done": 0,
         }[phase]
 
+    def _make_admm(self, phase: str) -> ADMMPruner:
+        projection = (
+            self._step1_projection if phase == "step1_admm" else self._step2_projection
+        )
+        return ADMMPruner(
+            [
+                ADMMTarget(name=name, param=param, projection=projection(name))
+                for name, param in self.named_params.items()
+            ],
+            rho=self.config.rho,
+        )
+
     def _enter_phase(self, phase: str) -> None:
         self.state.phase = phase
         self.state.epoch_in_phase = 0
         self.state.history.append(phase)
         self._ramp_masks = None
-        if phase == "step1_admm":
-            self._ramp_rate = self._ramped_rate("step1_admm")
-            self._admm = ADMMPruner(
-                [
-                    ADMMTarget(
-                        name=name,
-                        param=param,
-                        projection=self._step1_projection(name),
-                    )
-                    for name, param in self.named_params.items()
-                ],
-                rho=self.config.rho,
-            )
-        elif phase == "step2_admm":
-            self._ramp_rate = self._ramped_rate("step2_admm")
-            self._admm = ADMMPruner(
-                [
-                    ADMMTarget(
-                        name=name,
-                        param=param,
-                        projection=self._step2_projection(name),
-                    )
-                    for name, param in self.named_params.items()
-                ],
-                rho=self.config.rho,
-            )
+        if phase in ("step1_admm", "step2_admm"):
+            self._ramp_rate = self._ramped_rate(phase)
+            self._admm = self._make_admm(phase)
         else:
             self._admm = None
         # Zero-epoch phases complete immediately.
@@ -282,6 +271,101 @@ class BSPPruner(PruningMethod):
         if self.state.phase in ("step2_retrain", "done"):
             return self.masks
         return None
+
+    # -- checkpointing -------------------------------------------------------
+    _MASK_LABELS = (("step1", "step1_masks"), ("step2", "step2_masks"), ("ramp", "_ramp_masks"))
+
+    def state_dict(self) -> Dict[str, object]:
+        """Complete phase-machine state: ``{"meta": ..., "arrays": ...}``.
+
+        ``meta`` is JSON-safe (phase, epoch cursor, history, ramp rate);
+        ``arrays`` holds the hardened/ramped keep-masks and the live
+        ADMM Z/U variables.  Together with externally checkpointed
+        weights this restores mid-phase training bit-identically —
+        including the Step-2 projections, whose row scores depend on the
+        restored Step-1 masks.
+        """
+        meta: Dict[str, object] = {
+            "phase": self.state.phase,
+            "epoch_in_phase": int(self.state.epoch_in_phase),
+            "history": list(self.state.history),
+            "ramp_rate": float(self._ramp_rate),
+        }
+        arrays: Dict[str, np.ndarray] = {}
+        for label, attr in self._MASK_LABELS:
+            masks = getattr(self, attr)
+            meta[f"has_{label}"] = masks is not None
+            if masks is not None:
+                for name, mask in masks:
+                    arrays[f"{label}::{name}"] = mask.keep.copy()
+        meta["has_admm"] = self._admm is not None
+        if self._admm is not None:
+            for key, value in self._admm.state_dict().items():
+                arrays[f"admm::{key}"] = value
+        return {"meta": meta, "arrays": arrays}
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore a :meth:`state_dict` snapshot (strict names/shapes)."""
+        meta = dict(state["meta"])
+        arrays = dict(state["arrays"])
+        phase = meta["phase"]
+        if phase not in _PHASES:
+            raise ConfigError(f"unknown BSP phase {phase!r}")
+        in_admm = phase in ("step1_admm", "step2_admm")
+        if bool(meta["has_admm"]) != in_admm:
+            raise ConfigError(
+                f"inconsistent BSP state: phase {phase!r} with "
+                f"has_admm={meta['has_admm']}"
+            )
+        self.state = BSPState(
+            phase=phase,
+            epoch_in_phase=int(meta["epoch_in_phase"]),
+            history=[str(entry) for entry in meta["history"]],
+        )
+        self._ramp_rate = float(meta["ramp_rate"])
+        for label, attr in self._MASK_LABELS:
+            setattr(self, attr, self._read_masks(meta, arrays, label))
+        if in_admm:
+            # step1_masks must be restored first: the Step-2 projection
+            # closure scores rows through them.
+            self._admm = self._make_admm(phase)
+            self._admm.load_state_dict(
+                {
+                    key[len("admm::"):]: value
+                    for key, value in arrays.items()
+                    if key.startswith("admm::")
+                }
+            )
+        else:
+            self._admm = None
+
+    def _read_masks(
+        self, meta: Dict, arrays: Dict[str, np.ndarray], label: str
+    ) -> Optional[MaskSet]:
+        if not meta.get(f"has_{label}"):
+            return None
+        prefix = f"{label}::"
+        found = {
+            key[len(prefix):]: np.asarray(value)
+            for key, value in arrays.items()
+            if key.startswith(prefix)
+        }
+        expected = set(self.named_params)
+        if set(found) != expected:
+            raise ConfigError(
+                f"BSP {label} masks do not match prunable parameters "
+                f"(missing {sorted(expected - set(found))}, "
+                f"unexpected {sorted(set(found) - expected)})"
+            )
+        masks = MaskSet()
+        for name, keep in found.items():
+            if keep.shape != self.named_params[name].data.shape:
+                raise ConfigError(
+                    f"BSP {label} mask for {name!r} has shape {keep.shape}, "
+                    f"weight has {self.named_params[name].data.shape}"
+                )
+            masks[name] = PruningMask(keep)
+        return masks
 
     # -- results -----------------------------------------------------------
     @property

@@ -9,13 +9,13 @@ how the paper trains all Table I entries "using the same TIMIT dataset".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 import numpy as np
 
 from repro.errors import ConfigError
 from repro.nn import functional as F
-from repro.nn.data import Batch, DataLoader, Dataset
+from repro.nn.data import Batch, DataLoader, Dataset, collate
 from repro.nn.optim import Adam
 from repro.nn.tensor import Tensor
 from repro.pruning.base import PruningMethod
@@ -84,6 +84,18 @@ class Trainer:
         self.log = TrainLog()
         self._epoch = 0
 
+    @property
+    def epoch(self) -> int:
+        """Completed-epoch counter; settable so a checkpoint restore can
+        reposition the deterministic per-epoch shuffle."""
+        return self._epoch
+
+    @epoch.setter
+    def epoch(self, value: int) -> None:
+        if value < 0:
+            raise ConfigError(f"epoch must be >= 0, got {value}")
+        self._epoch = int(value)
+
     # -- single steps ---------------------------------------------------------
     def _batch_loss(self, batch: Batch) -> Tensor:
         logits = self.model(Tensor(batch.features))
@@ -105,7 +117,43 @@ class Trainer:
             for param in params:
                 param.grad *= scale
 
-    def train_epoch(self, method: Optional[PruningMethod] = None) -> float:
+    def epoch_order(self) -> np.ndarray:
+        """The example order of the *current* epoch.
+
+        A pure function of ``(config.seed, epoch)`` — the same seeded
+        shuffle :class:`~repro.nn.data.DataLoader` would apply — so any
+        process (a resumed trainer, a distributed gradient worker) can
+        reconstruct exactly which utterances the Nth step of epoch E
+        trains on.
+        """
+        indices = np.arange(len(self.train_set))
+        new_rng(derive_seed(self.config.seed, self._epoch)).shuffle(indices)
+        return indices
+
+    def steps_per_epoch(self) -> int:
+        n = len(self.train_set)
+        return (n + self.config.batch_size - 1) // self.config.batch_size
+
+    def _backward_on_batch(self, indices: np.ndarray) -> float:
+        """Forward/backward one minibatch; leaves gradients on the model.
+
+        The distributed trainer overrides this seam to shard ``indices``
+        across gradient workers; everything around it (pruning hooks,
+        clipping, the optimizer step) stays parent-side and identical.
+        """
+        batch = collate([self.train_set[int(i)] for i in indices])
+        loss = self._batch_loss(batch)
+        loss.backward()
+        return float(loss.data)
+
+    def train_epoch(
+        self,
+        method: Optional[PruningMethod] = None,
+        *,
+        start_step: int = 0,
+        prior_losses: Optional[List[float]] = None,
+        on_step: Optional[Callable[[int, List[float]], None]] = None,
+    ) -> float:
         """One pass over the training set; returns the mean batch loss.
 
         On vectorized kernel backends (the default) every batch runs
@@ -115,26 +163,40 @@ class Trainer:
         ADMM/prune→retrain phase share the same accelerated loop.  Under
         ``kernels.use_backend("reference")`` the per-timestep autograd
         tape is used instead.
+
+        Step-granular resume: ``start_step`` skips that many leading
+        batches (already trained before a checkpoint), ``prior_losses``
+        re-seeds their recorded losses so the epoch mean is unchanged,
+        and ``on_step(completed_steps, losses)`` fires after each
+        optimizer step at a consistent state point — this is where the
+        checkpoint writer hooks in.  Because the batch order is the
+        deterministic :meth:`epoch_order`, a resumed epoch continues
+        bit-identically.
         """
+        if start_step and len(prior_losses or ()) != start_step:
+            raise ConfigError(
+                f"resume at step {start_step} needs exactly that many "
+                f"prior losses, got {len(prior_losses or ())}"
+            )
         self.model.train()
-        loader = DataLoader(
-            self.train_set,
-            batch_size=self.config.batch_size,
-            shuffle=True,
-            rng=new_rng(derive_seed(self.config.seed, self._epoch)),
-        )
-        losses = []
-        for batch in loader:
+        order = self.epoch_order()
+        batch_size = self.config.batch_size
+        losses = list(prior_losses) if prior_losses else []
+        for step, start in enumerate(range(0, len(order), batch_size)):
+            if step < start_step:
+                continue
+            indices = order[start : start + batch_size]
             self.optimizer.zero_grad()
-            loss = self._batch_loss(batch)
-            loss.backward()
+            loss = self._backward_on_batch(indices)
             if method is not None:
                 method.on_batch_backward()
             self._clip_gradients()
             self.optimizer.step()
             if method is not None:
                 method.on_batch_end()
-            losses.append(float(loss.data))
+            losses.append(loss)
+            if on_step is not None:
+                on_step(step + 1, losses)
         if method is not None:
             method.on_epoch_end()
         self._epoch += 1

@@ -1,0 +1,48 @@
+"""Fault-tolerant prune→retrain sweeps over sparsity × scheme × blocks.
+
+The sweep package reproduces the *population* behind the paper's
+Table 1: a grid of BSP prune→retrain cells forked from one dense
+baseline, each trained, evaluated, compiled, and published into a
+:class:`~repro.engine.registry.PlanRegistry` with full lineage.  The
+robustness contract — atomic checksummed checkpoints, seeded chaos,
+retry budgets, straggler timeouts, and **bit-exact** resume — lives in
+:mod:`repro.sweep.orchestrator`; see ``docs/sweep.md``.
+
+Quickstart::
+
+    from repro.sweep import SweepConfig, run_sweep
+
+    result = run_sweep(
+        SweepConfig(
+            state_dir="sweep-state",
+            rates=((2.0, 1.25), (4.0, 1.25)),
+            schemes=(None, "int8"),
+            workers=2,
+        ),
+        chaos=True,   # crash every cell's first attempt, then recover
+    )
+    print(result.summary_table())
+"""
+
+from repro.sweep.cell import load_cell_result, run_cell
+from repro.sweep.grid import SCHEMES, SweepCell, build_grid
+from repro.sweep.orchestrator import (
+    CellOutcome,
+    SweepConfig,
+    SweepResult,
+    chaos_fault_for,
+    run_sweep,
+)
+
+__all__ = [
+    "CellOutcome",
+    "SCHEMES",
+    "SweepCell",
+    "SweepConfig",
+    "SweepResult",
+    "build_grid",
+    "chaos_fault_for",
+    "load_cell_result",
+    "run_cell",
+    "run_sweep",
+]

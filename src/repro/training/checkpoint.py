@@ -1,0 +1,332 @@
+"""Atomic, checksummed training checkpoints with bit-exact resume.
+
+A prune→retrain run is hours of state: model weights, Adam moments, the
+ADMM/BSP phase machine (Z/U variables, hardened masks, ramp cursor),
+the epoch/step cursor, and the loss trace.  A checkpoint captures *all*
+of it, so a trainer killed at any instant — mid-epoch included — resumes
+and finishes with **bit-identical** final weights and loss curve versus
+a run that was never interrupted.
+
+Three properties make that guarantee honest:
+
+* **Atomic + checksummed files.**  Checkpoints are written with the
+  shared fsync+rename discipline (:func:`repro.utils.atomic_write`) and
+  carry a SHA-256 over the header and every array
+  (:func:`~repro.utils.atomic_write.content_checksum`).  A crash during
+  a save leaves the previous checkpoint intact; corruption surfaces as
+  a typed :class:`~repro.errors.CheckpointError`, never a numpy
+  traceback.
+* **Consistent cut points.**  :func:`run_checkpointed` saves from the
+  trainer's ``on_step`` hook, which fires after the optimizer step and
+  the pruning method's ``on_batch_end`` — a state the uninterrupted run
+  also passes through exactly.
+* **Counter-based RNG.**  Every random choice in training derives from
+  ``derive_seed(seed, epoch)`` — the epoch/step cursor *is* the RNG
+  state — so the checkpoint records the cursor (plus the seed) rather
+  than an opaque generator blob, and resume replays the identical
+  shuffle.
+
+Format: one ``.npz`` with a ``meta.json`` entry (JSON header: version,
+cursors, losses, pruning-method metadata, checksum) plus arrays
+prefixed ``model::``, ``optim::``, and ``method::``.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zipfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.errors import CheckpointError, ConfigError
+from repro.pruning.base import PruningMethod
+from repro.speech.trainer import Trainer
+from repro.utils.atomic_write import atomic_write, content_checksum
+
+CHECKPOINT_VERSION = 1
+
+_META_KEY = "meta.json"
+_CHECKSUM_KEY = "__checksum__"
+_MODEL_PREFIX = "model::"
+_OPTIM_PREFIX = "optim::"
+_METHOD_PREFIX = "method::"
+
+
+@dataclass
+class TrainingCheckpoint:
+    """A loaded checkpoint: JSON header plus named arrays."""
+
+    meta: Dict
+    arrays: Dict[str, np.ndarray]
+
+    @property
+    def epoch(self) -> int:
+        return int(self.meta["epoch"])
+
+    @property
+    def step(self) -> int:
+        return int(self.meta["step"])
+
+    @property
+    def epoch_losses(self) -> List[float]:
+        return [float(x) for x in self.meta["epoch_losses"]]
+
+    @property
+    def log_losses(self) -> List[float]:
+        return [float(x) for x in self.meta["log_losses"]]
+
+    def _named(self, prefix: str) -> Dict[str, np.ndarray]:
+        return {
+            key[len(prefix):]: value
+            for key, value in self.arrays.items()
+            if key.startswith(prefix)
+        }
+
+    def model_state(self) -> Dict[str, np.ndarray]:
+        """The checkpointed model weights, name → array (a copy view of
+        the archive; safe to pass to ``Module.load_state_dict``)."""
+        return self._named(_MODEL_PREFIX)
+
+
+def save_training_checkpoint(
+    path: Union[str, Path],
+    trainer: Trainer,
+    method: Optional[PruningMethod] = None,
+    *,
+    step: int = 0,
+    epoch_losses: Optional[List[float]] = None,
+    extra: Optional[Dict] = None,
+) -> Path:
+    """Atomically write the complete training state to ``path``.
+
+    ``step`` is the number of completed optimizer steps inside the
+    *current* (``trainer.epoch``) epoch — ``0`` means an epoch boundary —
+    and ``epoch_losses`` their recorded batch losses.  ``extra`` is an
+    arbitrary JSON-safe dict stored verbatim (sweep cells record their
+    cell spec and attempt count here).
+    """
+    if step < 0:
+        raise ConfigError(f"step must be >= 0, got {step}")
+    epoch_losses = [float(x) for x in (epoch_losses or [])]
+    if step != len(epoch_losses):
+        raise ConfigError(
+            f"step {step} does not match {len(epoch_losses)} epoch losses"
+        )
+    path = Path(path)
+    arrays: Dict[str, np.ndarray] = {}
+    for name, value in trainer.model.state_dict().items():
+        arrays[_MODEL_PREFIX + name] = value
+    for key, value in trainer.optimizer.state_dict().items():
+        arrays[_OPTIM_PREFIX + key] = value
+    method_meta = None
+    if method is not None:
+        if not hasattr(method, "state_dict"):
+            raise ConfigError(
+                f"pruning method {type(method).__name__} has no state_dict(); "
+                "it cannot be checkpointed"
+            )
+        method_state = method.state_dict()
+        method_meta = method_state["meta"]
+        for key, value in method_state["arrays"].items():
+            arrays[_METHOD_PREFIX + key] = value
+    meta = {
+        "version": CHECKPOINT_VERSION,
+        "epoch": int(trainer.epoch),
+        "step": int(step),
+        "epoch_losses": epoch_losses,
+        "log_losses": [float(x) for x in trainer.log.losses],
+        # The counter-based RNG cursor: seed + epoch fully determine the
+        # shuffle, so this *is* the serialized RNG state.
+        "rng": {"seed": int(trainer.config.seed), "epoch": int(trainer.epoch)},
+        "method": method_meta,
+        "method_class": type(method).__name__ if method is not None else None,
+        "extra": dict(extra) if extra else {},
+    }
+    header = {"train": meta, _CHECKSUM_KEY: content_checksum(meta, arrays)}
+    payload = json.dumps(header).encode("utf-8")
+    arrays[_META_KEY] = np.frombuffer(payload, dtype=np.uint8)
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write(path, lambda handle: np.savez_compressed(handle, **arrays))
+    except OSError as exc:
+        raise CheckpointError(f"cannot write checkpoint to {path}: {exc}") from exc
+    return path
+
+
+def load_training_checkpoint(path: Union[str, Path]) -> TrainingCheckpoint:
+    """Read and integrity-check a checkpoint (no state is restored yet).
+
+    Raises :class:`~repro.errors.CheckpointError` if the file is
+    missing, truncated, foreign, or fails its content checksum.
+    """
+    path = Path(path)
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            if _META_KEY not in data:
+                raise CheckpointError(f"{path} is not a training checkpoint")
+            header = json.loads(bytes(data[_META_KEY]).decode("utf-8"))
+            arrays = {key: data[key] for key in data.files if key != _META_KEY}
+    except CheckpointError:
+        raise
+    except (OSError, EOFError, ValueError, KeyError, struct.error, zipfile.BadZipFile) as exc:
+        raise CheckpointError(
+            f"{path} is not a readable training checkpoint "
+            f"(missing, truncated, or corrupted): {exc}"
+        ) from exc
+    if not isinstance(header, dict) or "train" not in header:
+        raise CheckpointError(f"{path} is not a training checkpoint")
+    meta = header["train"]
+    recorded = header.get(_CHECKSUM_KEY)
+    if recorded is None:
+        raise CheckpointError(f"{path} carries no content checksum")
+    actual = content_checksum(meta, arrays)
+    if actual != recorded:
+        raise CheckpointError(
+            f"{path} failed its content checksum "
+            f"(recorded {recorded[:12]}…, got {actual[:12]}…): "
+            "the checkpoint bytes were corrupted after save"
+        )
+    if int(meta.get("version", -1)) != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"{path} has checkpoint version {meta.get('version')!r}, "
+            f"this build reads version {CHECKPOINT_VERSION}"
+        )
+    return TrainingCheckpoint(meta=meta, arrays=arrays)
+
+
+def restore_training_checkpoint(
+    checkpoint: Union[TrainingCheckpoint, str, Path],
+    trainer: Trainer,
+    method: Optional[PruningMethod] = None,
+) -> TrainingCheckpoint:
+    """Restore ``trainer`` (and ``method``) from a checkpoint in place.
+
+    After this call, ``trainer.train_epoch(method,
+    start_step=ckpt.step, prior_losses=ckpt.epoch_losses)`` continues
+    bit-identically to the run that wrote the checkpoint.  Mismatched
+    shapes/names raise :class:`~repro.errors.CheckpointError`.
+    """
+    if not isinstance(checkpoint, TrainingCheckpoint):
+        checkpoint = load_training_checkpoint(checkpoint)
+    saved_class = checkpoint.meta.get("method_class")
+    given_class = type(method).__name__ if method is not None else None
+    if saved_class != given_class:
+        raise CheckpointError(
+            f"checkpoint was saved with pruning method {saved_class!r} "
+            f"but is being restored with {given_class!r}"
+        )
+    try:
+        trainer.model.load_state_dict(checkpoint._named(_MODEL_PREFIX))
+        trainer.optimizer.load_state_dict(checkpoint._named(_OPTIM_PREFIX))
+        if method is not None:
+            method.load_state_dict(
+                {
+                    "meta": checkpoint.meta["method"],
+                    "arrays": checkpoint._named(_METHOD_PREFIX),
+                }
+            )
+    except (KeyError, ValueError, ConfigError) as exc:
+        raise CheckpointError(
+            f"checkpoint does not match the trainer it is being restored "
+            f"into: {exc}"
+        ) from exc
+    trainer.epoch = checkpoint.epoch
+    trainer.log.losses = checkpoint.log_losses
+    return checkpoint
+
+
+@dataclass(frozen=True)
+class CheckpointConfig:
+    """Where and how often :func:`run_checkpointed` saves."""
+
+    path: Path
+    every_steps: int = 1
+
+    def __post_init__(self) -> None:
+        if self.every_steps < 1:
+            raise ConfigError(
+                f"every_steps must be >= 1, got {self.every_steps}"
+            )
+
+
+def run_checkpointed(
+    trainer: Trainer,
+    method: Optional[PruningMethod],
+    checkpoint: CheckpointConfig,
+    *,
+    max_epochs: int,
+    extra: Optional[Dict] = None,
+    on_step: Optional[Callable[[int], None]] = None,
+) -> int:
+    """Drive training to completion with periodic checkpoints and
+    automatic resume; returns the number of epochs run *in this call*.
+
+    If ``checkpoint.path`` exists, training resumes from it (mid-epoch
+    cut points included); otherwise it starts fresh and writes the
+    first checkpoint after ``every_steps`` optimizer steps.  Training
+    runs until ``method.finished`` (or ``trainer.epoch == max_epochs``
+    when ``method`` is ``None``; ``max_epochs`` also bounds pruning
+    runs).  ``on_step(global_step)`` fires after every optimizer step —
+    the sweep harness hangs its seeded
+    :class:`~repro.utils.faults.FaultInjector` here.
+    """
+    path = Path(checkpoint.path)
+    start_step = 0
+    epoch_losses: List[float] = []
+    if path.exists():
+        restored = restore_training_checkpoint(path, trainer, method)
+        start_step = restored.step
+        epoch_losses = restored.epoch_losses
+    epochs_run = 0
+
+    def _finished() -> bool:
+        if method is not None and method.finished:
+            return True
+        return trainer.epoch >= max_epochs
+
+    global_step = [trainer.epoch * trainer.steps_per_epoch() + start_step]
+
+    def _hook(completed_steps: int, losses: List[float]) -> None:
+        global_step[0] += 1
+        if completed_steps % checkpoint.every_steps == 0:
+            save_training_checkpoint(
+                path,
+                trainer,
+                method,
+                step=completed_steps,
+                epoch_losses=losses,
+                extra=extra,
+            )
+        if on_step is not None:
+            on_step(global_step[0])
+
+    while not _finished():
+        trainer.train_epoch(
+            method,
+            start_step=start_step,
+            prior_losses=epoch_losses,
+            on_step=_hook,
+        )
+        start_step = 0
+        epoch_losses = []
+        epochs_run += 1
+        # Epoch-boundary checkpoint: step cursor resets, epoch advances.
+        save_training_checkpoint(
+            path, trainer, method, step=0, epoch_losses=[], extra=extra
+        )
+    return epochs_run
+
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "CheckpointConfig",
+    "TrainingCheckpoint",
+    "load_training_checkpoint",
+    "restore_training_checkpoint",
+    "run_checkpointed",
+    "save_training_checkpoint",
+]

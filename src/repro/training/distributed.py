@@ -1,0 +1,440 @@
+"""Data-parallel fused-BPTT training across supervised worker processes.
+
+:class:`DistributedTrainer` is a drop-in :class:`~repro.speech.trainer.Trainer`
+whose per-batch forward/backward fans out over forked gradient workers:
+
+* The **parent owns all canonical state** — model weights, Adam slots,
+  the ADMM/BSP phase machine, gradient clipping.  Workers are
+  *stateless gradient servers*: each step the parent broadcasts the
+  current flattened weights in bounded chunks over the worker's pipe
+  together with the worker's shard of utterance indices; the worker
+  (which inherited the dataset and model structure at fork) collates
+  its shard, runs the fused-BPTT forward/backward, and streams the
+  flattened gradient back chunk by chunk.
+* **The reduction is exact and deterministic.**  Masked cross-entropy
+  averages over real frames, so the full-batch gradient is
+  ``Σ_w (M_w / M) · g_w`` with ``M_w`` the shard's frame count — the
+  parent applies that scaling and sums the chunks in fixed worker
+  order.  A run is therefore bit-identical run-to-run at a fixed worker
+  count (shard-local padding means results *across* worker counts agree
+  only to float tolerance, which is documented, not hidden).
+* **Supervision mirrors the serving fabric.**  Failures are detected
+  synchronously (RPC deadline as stall detector, dead process / broken
+  pipe as crash detector) and restarts use the fabric's capped
+  exponential backoff and per-worker restart budget.  Because workers
+  are stateless, re-admission at the current step is literal: the
+  replacement worker is simply re-sent the in-flight step request —
+  weights and shard — and the step completes with the other workers'
+  already-received gradients untouched.  Past the budget the trainer
+  raises a typed :class:`~repro.errors.TrainingError`.
+* **Seeded per-worker RNG streams** (``spawn_rngs(seed, W)``) give each
+  worker an independent deterministic stream for worker-local
+  stochastic work (fault-injection jitter today, augmentation hooks
+  tomorrow) without coupling it to the parent's shuffle, which remains
+  the counter-based ``derive_seed(seed, epoch)``.
+
+Fault injection: :class:`~repro.utils.faults.FaultConfig` plugs in
+unchanged — ``crash_after_chunks=k`` kills the targeted gradient worker
+just before its ``k+1``-th *step*, ``stall_after_chunks`` wedges it so
+the RPC deadline must fire.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError, TrainingError
+from repro.nn import functional as F
+from repro.nn.data import Dataset, collate
+from repro.nn.tensor import Tensor
+from repro.speech.model import GRUAcousticModel
+from repro.speech.trainer import Trainer, TrainerConfig
+from repro.utils.faults import FaultConfig, FaultInjector
+from repro.utils.rng import new_rng, spawn_rngs
+
+
+@dataclass(frozen=True)
+class DistConfig:
+    """Settings of the data-parallel gradient fleet."""
+
+    num_workers: int = 2
+    #: Elements per pipe message when broadcasting weights / returning
+    #: gradients — the chunked all-reduce granularity.
+    chunk_elems: int = 1 << 15
+    #: RPC deadline per step per worker; a worker silent past it is
+    #: treated as stalled and restarted.
+    rpc_timeout_s: float = 120.0
+    max_restarts: int = 2
+    backoff_base_s: float = 0.01
+    backoff_cap_s: float = 1.0
+    start_method: Optional[str] = None  # fork where available
+    faults: Optional[FaultConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise ConfigError(f"num_workers must be >= 1, got {self.num_workers}")
+        if self.chunk_elems < 1:
+            raise ConfigError(f"chunk_elems must be >= 1, got {self.chunk_elems}")
+        if self.rpc_timeout_s <= 0:
+            raise ConfigError("rpc_timeout_s must be > 0")
+        if self.max_restarts < 0:
+            raise ConfigError(f"max_restarts must be >= 0, got {self.max_restarts}")
+
+
+@dataclass
+class RestartEvent:
+    """One supervision action, recorded for tests and observability."""
+
+    worker: int
+    reason: str  # "crash" | "stall"
+    step_id: int
+    backoff_s: float
+
+
+def _flatten(arrays: List[np.ndarray]) -> np.ndarray:
+    return np.concatenate([np.ascontiguousarray(a).ravel() for a in arrays])
+
+
+def _chunk_bounds(total: int, chunk_elems: int) -> List[Tuple[int, int]]:
+    return [
+        (start, min(start + chunk_elems, total))
+        for start in range(0, max(total, 1), chunk_elems)
+    ]
+
+
+def _shard_backward(model: GRUAcousticModel, batch) -> float:
+    """Forward/backward the shard batch; gradients land on the model."""
+    logits = model(Tensor(batch.features))
+    t, b, c = logits.shape
+    loss = F.cross_entropy(
+        logits.reshape(t * b, c),
+        batch.labels.reshape(-1),
+        weight_mask=batch.mask.reshape(-1),
+    )
+    loss.backward()
+    return float(loss.data)
+
+
+def _gradient_worker_main(
+    conn,
+    model: GRUAcousticModel,
+    train_set: Dataset,
+    worker_index: int,
+    num_workers: int,
+    incarnation: int,
+    chunk_elems: int,
+    fault_config: Optional[FaultConfig],
+    seed: int,
+) -> None:
+    """Stateless gradient server: recv weights+shard, send gradients."""
+    injector = FaultInjector(fault_config)
+    # Seeded per-worker stream, independent of the parent's shuffle.
+    _worker_rng = spawn_rngs(new_rng(seed), num_workers)[worker_index]
+    model.train()
+    params = list(model.parameters())
+    sizes = [p.data.size for p in params]
+    total = int(sum(sizes))
+    bounds = _chunk_bounds(total, chunk_elems)
+    flat = np.empty(total, dtype=np.float64)
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                return
+            kind = message[0]
+            if kind == "exit":
+                return
+            if kind != "step":
+                continue
+            _, step_id, shard = message
+            for index, (start, stop) in enumerate(bounds):
+                chunk_msg = conn.recv()
+                assert chunk_msg[0] == "wchunk" and chunk_msg[2] == index
+                flat[start:stop] = chunk_msg[3]
+            # The fault fires after the request is fully received: the
+            # in-flight step is lost with the worker, exactly like a
+            # fabric worker dying on a received-but-unprocessed chunk.
+            injector.on_step()
+            offset = 0
+            for param, size in zip(params, sizes):
+                param.data[...] = flat[offset : offset + size].reshape(
+                    param.data.shape
+                )
+                offset += size
+                param.zero_grad()
+            batch = collate([train_set[int(i)] for i in shard])
+            loss = _shard_backward(model, batch)
+            grads = _flatten(
+                [
+                    p.grad if p.grad is not None else np.zeros_like(p.data)
+                    for p in params
+                ]
+            )
+            injector.before_send()
+            for index, (start, stop) in enumerate(bounds):
+                conn.send(("gchunk", step_id, index, grads[start:stop]))
+            conn.send(("done", step_id, loss, int(batch.num_frames())))
+    except (BrokenPipeError, OSError):
+        return
+
+
+class _GradientWorker:
+    """Parent-side handle: one pipe + process per gradient worker."""
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.incarnation = -1
+        self.conn = None
+        self.process = None
+
+    def spawn(self, ctx, model, train_set, config: DistConfig, seed: int) -> None:
+        self.incarnation += 1
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        fault = None
+        if config.faults is not None and config.faults.applies_to(
+            self.index, self.incarnation
+        ):
+            fault = config.faults
+        self.process = ctx.Process(
+            target=_gradient_worker_main,
+            args=(
+                child_conn,
+                model,
+                train_set,
+                self.index,
+                config.num_workers,
+                self.incarnation,
+                config.chunk_elems,
+                fault,
+                seed,
+            ),
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+        self.conn = parent_conn
+
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+    def kill(self) -> None:
+        if self.process is not None and self.process.is_alive():
+            self.process.kill()
+            self.process.join(timeout=5.0)
+        if self.conn is not None:
+            try:
+                self.conn.close()
+            except OSError:
+                pass
+            self.conn = None
+
+    def close(self) -> None:
+        if self.conn is not None:
+            try:
+                self.conn.send(("exit",))
+            except (BrokenPipeError, OSError):
+                pass
+        if self.process is not None:
+            self.process.join(timeout=5.0)
+        self.kill()
+
+
+class DistributedTrainer(Trainer):
+    """Drop-in trainer that shards each batch across gradient workers.
+
+    Everything outside the per-batch gradient computation — pruning
+    hooks, ADMM penalties, clipping, the Adam step, evaluation, the
+    epoch shuffle — runs in the parent through the inherited
+    :class:`Trainer` code path, so checkpoints taken from a distributed
+    run restore into a single-process trainer and vice versa.
+    """
+
+    def __init__(
+        self,
+        model: GRUAcousticModel,
+        train_set: Dataset,
+        test_set: Dataset,
+        config: TrainerConfig = TrainerConfig(),
+        dist: DistConfig = DistConfig(),
+    ) -> None:
+        super().__init__(model, train_set, test_set, config)
+        self.dist = dist
+        method = dist.start_method
+        if method is None:
+            method = (
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else multiprocessing.get_start_method()
+            )
+        self._ctx = multiprocessing.get_context(method)
+        self._params = list(model.parameters())
+        self._sizes = [p.data.size for p in self._params]
+        self._total = int(sum(self._sizes))
+        self._bounds = _chunk_bounds(self._total, dist.chunk_elems)
+        self._step_id = 0
+        self.restarts: Dict[int, int] = {w: 0 for w in range(dist.num_workers)}
+        self.restart_log: List[RestartEvent] = []
+        self.backoff_history: List[float] = []
+        self._workers = [_GradientWorker(w) for w in range(dist.num_workers)]
+        for worker in self._workers:
+            worker.spawn(self._ctx, model, train_set, dist, config.seed)
+
+    # -- supervision -------------------------------------------------------
+    def _backoff_for(self, restart_number: int) -> float:
+        if self.dist.backoff_base_s <= 0:
+            return 0.0
+        return min(
+            self.dist.backoff_base_s * (2.0 ** (restart_number - 1)),
+            self.dist.backoff_cap_s,
+        )
+
+    def _handle_failure(self, worker: _GradientWorker, reason: str) -> None:
+        """Kill + backoff + respawn, or raise past the restart budget."""
+        worker.kill()
+        if self.restarts[worker.index] >= self.dist.max_restarts:
+            raise TrainingError(
+                f"gradient worker {worker.index} exceeded its restart "
+                f"budget ({self.dist.max_restarts}) after a {reason}"
+            )
+        self.restarts[worker.index] += 1
+        backoff = self._backoff_for(self.restarts[worker.index])
+        self.restart_log.append(
+            RestartEvent(
+                worker=worker.index,
+                reason=reason,
+                step_id=self._step_id,
+                backoff_s=backoff,
+            )
+        )
+        self.backoff_history.append(backoff)
+        if backoff > 0:
+            time.sleep(backoff)
+        worker.spawn(self._ctx, self.model, self.train_set, self.dist, self.config.seed)
+
+    # -- the distributed step ---------------------------------------------
+    def _send_step(self, worker: _GradientWorker, shard: np.ndarray, flat: np.ndarray) -> None:
+        worker.conn.send(("step", self._step_id, shard))
+        for index, (start, stop) in enumerate(self._bounds):
+            worker.conn.send(("wchunk", self._step_id, index, flat[start:stop]))
+
+    def _dispatch(self, w: int, shard: np.ndarray, flat: np.ndarray) -> None:
+        """Send the step request, restarting the worker if the send fails
+        (the pipe breaks when the target died before the dispatch)."""
+        while True:
+            try:
+                self._send_step(self._workers[w], shard, flat)
+                return
+            except (BrokenPipeError, OSError):
+                self._handle_failure(self._workers[w], "crash")
+
+    def _collect(
+        self, worker: _GradientWorker, deadline: float
+    ) -> Tuple[np.ndarray, float, int]:
+        """Gather one worker's gradient chunks + loss; classify failures."""
+        grads = np.empty(self._total, dtype=np.float64)
+        received = 0
+        loss = None
+        frames = 0
+        while loss is None:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                reason = "crash" if not worker.alive() else "stall"
+                raise _StepFailure(reason)
+            try:
+                if not worker.conn.poll(min(remaining, 0.05)):
+                    if not worker.alive() and not worker.conn.poll(0):
+                        raise _StepFailure("crash")
+                    continue
+                message = worker.conn.recv()
+            except (EOFError, OSError):
+                raise _StepFailure("crash") from None
+            kind = message[0]
+            if kind == "gchunk":
+                _, step_id, index, chunk = message
+                if step_id != self._step_id:
+                    continue  # stale chunk from a pre-restart attempt
+                start, stop = self._bounds[index]
+                grads[start:stop] = chunk
+                received += 1
+            elif kind == "done":
+                _, step_id, loss_value, frame_count = message
+                if step_id != self._step_id:
+                    continue
+                if received != len(self._bounds):
+                    raise _StepFailure("crash")  # torn gradient stream
+                loss = float(loss_value)
+                frames = int(frame_count)
+        return grads, loss, frames
+
+    def _backward_on_batch(self, indices: np.ndarray) -> float:
+        self._step_id += 1
+        num_workers = self.dist.num_workers
+        shards = [indices[w::num_workers] for w in range(num_workers)]
+        frame_counts = [
+            sum(len(self.train_set[int(i)]) for i in shard) for shard in shards
+        ]
+        total_frames = max(float(sum(frame_counts)), 1.0)
+        flat = _flatten([p.data for p in self._params])
+        active = [w for w in range(num_workers) if len(shards[w])]
+        for w in active:
+            self._dispatch(w, shards[w], flat)
+        results: Dict[int, Tuple[np.ndarray, float, int]] = {}
+        for w in active:
+            deadline = time.monotonic() + self.dist.rpc_timeout_s
+            while w not in results:
+                try:
+                    results[w] = self._collect(self._workers[w], deadline)
+                except _StepFailure as failure:
+                    # Restart and re-admit at the current step: the
+                    # replacement gets the same weights + shard resent.
+                    self._handle_failure(self._workers[w], failure.reason)
+                    self._dispatch(w, shards[w], flat)
+                    deadline = time.monotonic() + self.dist.rpc_timeout_s
+        # Deterministic reduction: fixed worker order, frame-weighted.
+        reduced = np.zeros(self._total, dtype=np.float64)
+        loss = 0.0
+        for w in active:
+            grads, shard_loss, frames = results[w]
+            if frames != frame_counts[w]:
+                raise TrainingError(
+                    f"worker {w} reported {frames} frames for a shard of "
+                    f"{frame_counts[w]}"
+                )
+            scale = frame_counts[w] / total_frames
+            reduced += scale * grads
+            loss += scale * shard_loss
+        offset = 0
+        for param, size in zip(self._params, self._sizes):
+            param.grad = reduced[offset : offset + size].reshape(
+                param.data.shape
+            ).copy()
+            offset += size
+        return loss
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        for worker in self._workers:
+            worker.close()
+
+    def __enter__(self) -> "DistributedTrainer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class _StepFailure(Exception):
+    """Internal: one worker failed during one step (reason crash|stall)."""
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+__all__ = ["DistConfig", "DistributedTrainer", "RestartEvent"]

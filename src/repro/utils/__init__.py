@@ -1,6 +1,15 @@
-"""Shared utilities: seeded RNG handling, validation, small helpers."""
+"""Shared utilities: seeded RNG handling, validation, crash-safe writes,
+deterministic fault injection, descriptive statistics."""
 
+from repro.utils.atomic_write import (
+    atomic_write,
+    atomic_write_json,
+    content_checksum,
+    fsync_dir,
+)
+from repro.utils.faults import CRASH_EXIT_CODE, FaultConfig, FaultInjector
 from repro.utils.rng import new_rng, spawn_rngs
+from repro.utils.stats import Summary, percentile, summarize
 from repro.utils.validation import (
     check_2d,
     check_positive_int,
@@ -15,4 +24,14 @@ __all__ = [
     "check_positive_int",
     "check_probability",
     "check_same_shape",
+    "atomic_write",
+    "atomic_write_json",
+    "content_checksum",
+    "fsync_dir",
+    "FaultConfig",
+    "FaultInjector",
+    "CRASH_EXIT_CODE",
+    "Summary",
+    "percentile",
+    "summarize",
 ]

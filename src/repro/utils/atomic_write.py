@@ -1,0 +1,119 @@
+"""Crash-safe file writes: one copy of the fsync+rename discipline.
+
+Every durable artifact in this codebase — compiled plans
+(:mod:`repro.engine.artifact`), registry metadata
+(:mod:`repro.engine.registry`), training checkpoints
+(:mod:`repro.training.checkpoint`) — must never be observable half
+written: a recovering process reads either the complete previous file or
+the complete new one.  The discipline is always the same four moves:
+
+1. create a temp file *in the destination directory* (same filesystem,
+   so the final rename is atomic),
+2. write the payload, ``flush`` + ``fsync`` the file,
+3. publish with an atomic ``os.replace``,
+4. ``fsync`` the directory so the rename itself survives a power cut
+   (best-effort — not every platform allows opening a directory).
+
+:func:`atomic_write` is that discipline as a function; callers supply
+only the payload-writing callable and their own typed-error wrapping.
+:func:`content_checksum` is the companion integrity primitive: a SHA-256
+over a JSON header plus named arrays, shared by plan artifacts and
+training checkpoints so both formats detect post-save corruption the
+same way.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import IO, Callable, Dict, Union
+
+import numpy as np
+
+__all__ = [
+    "atomic_write",
+    "atomic_write_json",
+    "content_checksum",
+    "fsync_dir",
+]
+
+
+def fsync_dir(path: Union[str, Path]) -> None:
+    """Best-effort fsync of a directory (makes a rename durable)."""
+    try:
+        dir_fd = os.open(path, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+    except OSError:
+        pass
+
+
+def atomic_write(
+    path: Union[str, Path],
+    write: Callable[[IO], None],
+    *,
+    text: bool = False,
+    encoding: str = "utf-8",
+) -> Path:
+    """Write a file crash-safely: temp + fsync + ``os.replace`` + dir fsync.
+
+    ``write`` receives the open temp-file handle and writes the complete
+    payload.  On any failure the temp file is removed and the original
+    exception propagates (``OSError`` included — callers wrap it in their
+    own typed error); ``path`` is never left torn.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        if text:
+            handle = os.fdopen(fd, "w", encoding=encoding)
+        else:
+            handle = os.fdopen(fd, "wb")
+        with handle:
+            write(handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    fsync_dir(path.parent)
+    return path
+
+
+def atomic_write_json(path: Union[str, Path], payload: Dict) -> Path:
+    """Durable atomic JSON write (sorted keys, 2-space indent)."""
+    return atomic_write(
+        path,
+        lambda handle: json.dump(payload, handle, indent=2, sort_keys=True),
+        text=True,
+    )
+
+
+def content_checksum(meta: Dict, arrays: Dict[str, np.ndarray]) -> str:
+    """SHA-256 over a JSON header and every array's dtype/shape/bytes.
+
+    Keyed on the canonical (sorted-key) JSON form of ``meta`` so the
+    digest is independent of dict ordering, and on each array's dtype
+    and shape as well as its raw bytes so a same-length reinterpretation
+    cannot collide.
+    """
+    digest = hashlib.sha256()
+    digest.update(json.dumps(meta, sort_keys=True).encode("utf-8"))
+    for key in sorted(arrays):
+        array = np.ascontiguousarray(arrays[key])
+        digest.update(key.encode("utf-8"))
+        digest.update(str(array.dtype).encode("utf-8"))
+        digest.update(str(array.shape).encode("utf-8"))
+        digest.update(array.tobytes())
+    return digest.hexdigest()

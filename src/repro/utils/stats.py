@@ -1,0 +1,71 @@
+"""Shared descriptive statistics for benchmark harnesses and fleet stats.
+
+The serving fabric, the streaming scheduler, and every ``*_bench``
+harness report the same handful of summaries (p50/p95 latency, means
+over partial windows); each used to carry its own empty-list-guarded
+``np.percentile`` wrapper.  This module is the one copy, with the
+edge-case contract spelled out:
+
+* empty input → ``0.0`` (a fleet that has served nothing has zero
+  latency, not NaN),
+* single element → that element for every percentile,
+* non-finite values are kept (they indicate a real measurement bug and
+  should poison the summary rather than vanish).
+
+Re-exported as :mod:`repro.eval` utilities for harness code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["percentile", "summarize", "Summary"]
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Linear-interpolated percentile; ``0.0`` on an empty sequence."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return float(np.percentile(np.asarray(values, dtype=np.float64), pct))
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-style summary of a sample (possibly empty)."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    min: float
+    max: float
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """Summarize a sample; all-zero summary on empty input."""
+    data = [float(v) for v in values]
+    if not data:
+        return Summary(count=0, mean=0.0, p50=0.0, p95=0.0, min=0.0, max=0.0)
+    array = np.asarray(data, dtype=np.float64)
+    return Summary(
+        count=len(data),
+        mean=float(array.mean()),
+        p50=float(np.percentile(array, 50.0)),
+        p95=float(np.percentile(array, 95.0)),
+        min=float(array.min()),
+        max=float(array.max()),
+    )

@@ -1,0 +1,166 @@
+"""Tests for repro.training.distributed: data-parallel determinism,
+crash/stall supervision with bit-exact recovery, and restart budgets."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, TrainingError
+from repro.speech.model import AcousticModelConfig, GRUAcousticModel
+from repro.speech.synth import SynthConfig, make_corpus
+from repro.speech.trainer import TrainerConfig
+from repro.training import DistConfig, DistributedTrainer
+from repro.utils.faults import FaultConfig
+
+_CORPUS = dict(num_train=6, num_test=2, hidden=12, batch=3, seed=0)
+
+
+def _build(dist: DistConfig) -> DistributedTrainer:
+    train_set, test_set = make_corpus(
+        _CORPUS["num_train"], _CORPUS["num_test"], SynthConfig(),
+        seed=_CORPUS["seed"],
+    )
+    model = GRUAcousticModel(
+        AcousticModelConfig(hidden_size=_CORPUS["hidden"]),
+        rng=_CORPUS["seed"],
+    )
+    return DistributedTrainer(
+        model,
+        train_set,
+        test_set,
+        TrainerConfig(batch_size=_CORPUS["batch"], seed=_CORPUS["seed"]),
+        dist,
+    )
+
+
+def _train_epochs(dist: DistConfig, epochs: int = 2):
+    with _build(dist) as trainer:
+        for _ in range(epochs):
+            trainer.train_epoch()
+        weights = {
+            name: value.copy()
+            for name, value in trainer.model.state_dict().items()
+        }
+        return weights, list(trainer.log.losses), trainer
+
+
+class TestDistConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            DistConfig(num_workers=0)
+        with pytest.raises(ConfigError):
+            DistConfig(rpc_timeout_s=0)
+        with pytest.raises(ConfigError):
+            DistConfig(max_restarts=-1)
+        with pytest.raises(ConfigError):
+            DistConfig(chunk_elems=0)
+
+
+class TestDeterminism:
+    def test_bit_identical_run_to_run(self):
+        first, losses_a, _ = _train_epochs(DistConfig(num_workers=2))
+        second, losses_b, _ = _train_epochs(DistConfig(num_workers=2))
+        assert losses_a == losses_b
+        for name, value in first.items():
+            np.testing.assert_array_equal(value, second[name])
+
+    def test_small_chunks_change_nothing(self):
+        # The chunked all-reduce granularity is a transport detail; the
+        # reduction order (fixed worker order) is what the math pins.
+        coarse, losses_a, _ = _train_epochs(DistConfig(num_workers=2))
+        fine, losses_b, _ = _train_epochs(
+            DistConfig(num_workers=2, chunk_elems=64)
+        )
+        assert losses_a == losses_b
+        for name, value in coarse.items():
+            np.testing.assert_array_equal(value, fine[name])
+
+
+class TestRecovery:
+    def test_crash_recovers_bit_identical(self):
+        clean, clean_losses, _ = _train_epochs(DistConfig(num_workers=2))
+        chaos = DistConfig(
+            num_workers=2,
+            faults=FaultConfig(crash_after_chunks=1, target_worker=1),
+        )
+        weights, losses, trainer = _train_epochs(chaos)
+        assert [e.reason for e in trainer.restart_log] == ["crash"]
+        assert trainer.restart_log[0].worker == 1
+        assert losses == clean_losses
+        for name, value in clean.items():
+            np.testing.assert_array_equal(value, weights[name])
+
+    def test_stall_recovers_bit_identical(self):
+        clean, clean_losses, _ = _train_epochs(DistConfig(num_workers=2))
+        chaos = DistConfig(
+            num_workers=2,
+            rpc_timeout_s=1.0,
+            faults=FaultConfig(
+                stall_after_chunks=1, stall_seconds=30.0, target_worker=0
+            ),
+        )
+        weights, losses, trainer = _train_epochs(chaos)
+        assert [e.reason for e in trainer.restart_log] == ["stall"]
+        assert losses == clean_losses
+        for name, value in clean.items():
+            np.testing.assert_array_equal(value, weights[name])
+
+    def test_restart_budget_exhausted_raises_typed(self):
+        # repeat=True re-arms the crash in every incarnation, so the
+        # worker can never come back and the budget must run out.
+        chaos = DistConfig(
+            num_workers=2,
+            max_restarts=1,
+            faults=FaultConfig(
+                crash_after_chunks=0, target_worker=0, repeat=True
+            ),
+        )
+        with _build(chaos) as trainer:
+            with pytest.raises(TrainingError, match="restart"):
+                trainer.train_epoch()
+
+    def test_backoff_is_capped_exponential(self):
+        chaos = DistConfig(
+            num_workers=2,
+            max_restarts=3,
+            backoff_base_s=0.01,
+            backoff_cap_s=0.02,
+            faults=FaultConfig(
+                crash_after_chunks=0, target_worker=0, repeat=True
+            ),
+        )
+        with _build(chaos) as trainer:
+            with pytest.raises(TrainingError):
+                trainer.train_epoch()
+            assert trainer.backoff_history == [0.01, 0.02, 0.02]
+
+
+class TestLifecycle:
+    def test_close_is_idempotent(self):
+        trainer = _build(DistConfig(num_workers=2))
+        trainer.train_epoch()
+        trainer.close()
+        trainer.close()
+
+    def test_single_worker_matches_single_process(self):
+        from repro.speech.trainer import Trainer
+
+        train_set, test_set = make_corpus(
+            _CORPUS["num_train"], _CORPUS["num_test"], SynthConfig(),
+            seed=_CORPUS["seed"],
+        )
+        model = GRUAcousticModel(
+            AcousticModelConfig(hidden_size=_CORPUS["hidden"]),
+            rng=_CORPUS["seed"],
+        )
+        single = Trainer(
+            model, train_set, test_set,
+            TrainerConfig(batch_size=_CORPUS["batch"], seed=_CORPUS["seed"]),
+        )
+        single.train_epoch()
+
+        weights, losses, _ = _train_epochs(DistConfig(num_workers=1), epochs=1)
+        # One shard means no cross-shard reduction: losses and weights
+        # must be bit-identical to the in-process trainer.
+        assert losses == list(single.log.losses)
+        for name, value in single.model.state_dict().items():
+            np.testing.assert_array_equal(value, weights[name])
