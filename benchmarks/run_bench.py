@@ -426,20 +426,32 @@ def bench_streaming(repeats: int) -> List[Dict]:
 
 def bench_autotune(repeats: int) -> List[Dict]:
     """The BENCH_autotune.json suite: measured tune_plan vs the default
-    engine configuration.
+    engine configuration, plus the simulated-vs-measured tile ranking.
 
-    Both rows come from the tuner's own measurements: the
-    ``default_config`` row is the baseline the search anchors on, the
-    ``tuned_plan`` row is the winning candidate.  The default
-    configuration is always in the candidate set, so the tuned speedup
-    is >= 1.0 by construction — that invariant is *enforced here* (a
-    violation means the baseline fell out of the search and the bench
-    fails outright; the recorded speedups sit too close to 1.0 for the
-    ``--check`` ratio criterion to detect it).  Beyond the invariant,
-    the gate's signal for this suite is the absolute ``median_s`` of the
-    tuned row (noise-floored like every other row).
+    The first rows come from the tuner's own measurements: each
+    ``default_config`` row is the baseline the search anchors on, each
+    ``tuned_plan`` row is the winning candidate of the joint
+    scheme × format × tile search (the mixed case adds the per-slot
+    ``"mixed"`` scheme and BSPC row-block candidates to the space).  The
+    default configuration is always in the candidate set, so the tuned
+    speedup is >= 1.0 by construction — that invariant is *enforced
+    here* (a violation means the baseline fell out of the search and the
+    bench fails outright; the recorded speedups sit too close to 1.0 for
+    the ``--check`` ratio criterion to detect it).
+
+    The ``tile_ranking`` row publishes how well the analytic cost
+    model's tile pick holds up on the host: its tracked ratio is
+    ``sim_pick_efficiency`` (measured-best latency over the measured
+    latency of the simulator's pick, 1.0 = the cost model loses
+    nothing).  The row is its own ``--check`` baseline, so host drift
+    cannot fail it on absolute time — only the efficiency collapsing
+    can.
     """
-    from repro.compiler.autotune import tune_plan
+    from repro.compiler.autotune import (
+        compare_tile_rankings,
+        default_tile_candidates,
+        tune_plan,
+    )
     from repro.eval.tune import TuneConfig, build_tune_workload
 
     cases = [
@@ -451,13 +463,28 @@ def bench_autotune(repeats: int) -> List[Dict]:
                 prune=True, col_rate=8.0, row_rate=2.0,
             ),
         ),
+        (
+            "bsp-16x-mixed",
+            TuneConfig(
+                hidden_size=192, seq_len=50, batch=8,
+                prune=True, col_rate=8.0, row_rate=2.0,
+                schemes=(None, "mixed"), tiles=(4, 8),
+            ),
+        ),
     ]
     rows = []
     for label, config in cases:
         model, sample = build_tune_workload(config)
         # Per-candidate timing repeats: each forward is milliseconds, so
         # extra repeats are cheap and keep the winner out of timer noise.
-        result = tune_plan(model, sample, repeats=max(5, repeats // 5))
+        result = tune_plan(
+            model,
+            sample,
+            schemes=config.schemes,
+            tiles=default_tile_candidates(config.tiles) if config.tiles
+            else None,
+            repeats=max(5, repeats // 5),
+        )
         if result.speedup < 1.0:
             raise RuntimeError(
                 f"tune_plan invariant broken on {label!r}: tuned plan is "
@@ -485,8 +512,30 @@ def bench_autotune(repeats: int) -> List[Dict]:
                 "speedup_vs_baseline": result.speedup,
                 "baseline": "default_config",
                 "formats": result.best.describe_formats(),
+                "scheme": result.best.scheme or "none",
+                "row_block": result.best.row_block,
             },
         ]
+
+    # Simulated-vs-measured tile ranking on the pruned workload: does
+    # following the analytic cost model's row-block pick cost wall clock?
+    model, sample = build_tune_workload(cases[1][1])
+    ranking = compare_tile_rankings(
+        model, sample, row_blocks=(2, 8, 32), repeats=max(5, repeats // 5)
+    )
+    rows.append(
+        {
+            "op": "tile_ranking",
+            "size": f"rb={','.join(str(rb) for rb in ranking.row_blocks)}",
+            "backend": "sim_pick",
+            "median_s": ranking.measured_s[ranking.sim_pick],
+            "speedup_vs_baseline": ranking.sim_pick_efficiency,
+            "baseline": "sim_pick",
+            "sim_pick": ranking.sim_pick,
+            "measured_pick": ranking.measured_pick,
+            "pairwise_agreement": ranking.pairwise_agreement,
+        }
+    )
     return rows
 
 
@@ -801,6 +850,50 @@ def rows_by_key(rows: List[Dict]) -> Dict:
     return {(r["op"], r["size"], r["backend"]): r for r in rows}
 
 
+#: Fields every recorded row must carry for the gate's two criteria.
+REQUIRED_ROW_KEYS = ("op", "size", "backend", "median_s", "speedup_vs_baseline")
+
+
+def load_baseline_rows(path: Path) -> List[Dict]:
+    """Read one recorded BENCH_*.json and validate its shape.
+
+    A baseline that cannot be read is a *configuration* error, not a
+    perf regression — fail with a message that names the file and what
+    is wrong with it instead of a KeyError/JSONDecodeError traceback.
+    """
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise SystemExit(f"cannot read baseline {path}: {exc}")
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"baseline {path} is not valid JSON: {exc}")
+    if not isinstance(payload, dict) or "results" not in payload:
+        raise SystemExit(
+            f"baseline {path} has no 'results' key — expected a file "
+            "recorded by this script ({'meta': ..., 'results': [...]})"
+        )
+    rows = payload["results"]
+    if not isinstance(rows, list):
+        raise SystemExit(
+            f"baseline {path}: 'results' must be a list of rows, "
+            f"got {type(rows).__name__}"
+        )
+    for i, row in enumerate(rows):
+        missing = [
+            key
+            for key in REQUIRED_ROW_KEYS
+            if not isinstance(row, dict) or key not in row
+        ]
+        if missing:
+            raise SystemExit(
+                f"baseline {path}: results[{i}] is missing "
+                f"{', '.join(missing)} — re-record it with this script"
+            )
+    return rows
+
+
 #: Absolute slowdown below which a ratio violation is treated as timer
 #: noise: the fastest tracked rows run in tens of microseconds, where
 #: machine jitter alone exceeds 1.5x.  The floor only suppresses
@@ -941,9 +1034,20 @@ def main(argv=None) -> int:
             + autotune_rows
         )
         problems: List[str] = []
+        recorded_keys: set = set()
         for baseline_path in args.check:
-            recorded = json.loads(baseline_path.read_text())["results"]
+            recorded = load_baseline_rows(baseline_path)
+            recorded_keys |= set(rows_by_key(recorded))
             problems += check_against(recorded, current, args.threshold)
+        # The reverse direction of the missing-row check: a current row
+        # no baseline knows about has no record to gate against — either
+        # it is newly added (re-record the affected BENCH_*.json) or the
+        # wrong baseline files were passed.
+        for key in sorted(set(rows_by_key(current)) - recorded_keys):
+            problems.append(
+                f"current bench row {key} has no recorded baseline "
+                "(newly added? re-record the affected BENCH_*.json)"
+            )
         if problems:
             print(f"\nREGRESSIONS vs recorded baselines (> {args.threshold}x):")
             for problem in problems:

@@ -12,8 +12,11 @@ and a measured tier (:func:`tune_plan`, which times the real engine).
 from repro.compiler.autotune import (
     MeasuredCandidate,
     PlanTuningResult,
+    TileRankingComparison,
     TuningCandidate,
     TuningResult,
+    compare_tile_rankings,
+    default_tile_candidates,
     default_tile_space,
     find_best_block_size,
     tune_execution_config,
@@ -32,6 +35,7 @@ from repro.compiler.ir import (
     WeightSlot,
     graph_from_arrays,
     graph_to_arrays,
+    resolve_slot_scheme,
 )
 from repro.compiler.load_elim import elimination_ratio, naive_loads, tiled_loads
 from repro.compiler.passes import (
@@ -68,6 +72,7 @@ __all__ = [
     "LayerGraph",
     "graph_to_arrays",
     "graph_from_arrays",
+    "resolve_slot_scheme",
     # frontends + lowering
     "CompileOptions",
     "lower_matrix",
@@ -100,8 +105,11 @@ __all__ = [
     "TuningCandidate",
     "TuningResult",
     "tune_plan",
+    "default_tile_candidates",
     "MeasuredCandidate",
     "PlanTuningResult",
+    "compare_tile_rankings",
+    "TileRankingComparison",
     # visualization
     "render_pattern",
     "describe_plan",

@@ -22,6 +22,7 @@ Two tiers:
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
@@ -88,14 +89,10 @@ def tune_execution_config(
         raise CompilationError("tile_space must not be empty")
     trace: List[TuningCandidate] = []
     for tile in tile_space:
-        options = CompileOptions(
-            format_name=base.format_name,
-            enable_reorder=base.enable_reorder,
-            enable_load_elimination=base.enable_load_elimination,
-            num_row_strips=base.num_row_strips,
-            num_col_blocks=base.num_col_blocks,
-            tile=tile,
-        )
+        # replace() keeps every other option — including ones added to
+        # CompileOptions after this tuner was written — instead of
+        # silently dropping whatever a hand-written field list misses.
+        options = dataclasses.replace(base, tile=tile)
         compiled = compile_for_simulation(named_weights, options)
         latency = compiled.simulate(device).latency_us
         trace.append(
@@ -202,6 +199,7 @@ class MeasuredCandidate:
     backend: Optional[str]
     formats: Dict[str, str]  # slot name → decided/pinned format
     measured_s: float
+    row_block: int = 0  # BSPC panel row-blocking (0 = whole strips)
 
     def describe_formats(self) -> str:
         """Compact ``slot=fmt`` summary, dense slots elided."""
@@ -269,12 +267,24 @@ def _probe_node(slot: WeightSlot):
     return GraphNode(name=slot.name, kind="linear", weights={"w": slot})
 
 
+def default_tile_candidates(
+    row_blocks: Sequence[int] = (4, 8, 16),
+) -> List[TileConfig]:
+    """The host tile candidates a joint scheme×format×tile search tries:
+    BSPC panel row-blocking factors (``row_block=0``, whole strips, is
+    always the implicit incumbent)."""
+    return [
+        TileConfig(rows_per_thread=max(1, rb), row_block=rb) for rb in row_blocks
+    ]
+
+
 def tune_plan(
     model,
     sample_batch: np.ndarray,
     schemes: Sequence[Optional[str]] = (None,),
     backends: Sequence[Optional[str]] = (None,),
     formats: Sequence[str] = ("dense", "csr", "bspc"),
+    tiles: Optional[Sequence[TileConfig]] = None,
     config=None,
     device: Optional[DeviceSpec] = None,
     repeats: int = 3,
@@ -283,7 +293,7 @@ def tune_plan(
     """Measured auto-tuning: search per-layer engine configurations by
     timing the real compiled plan on ``sample_batch``.
 
-    The search runs in three stages:
+    The search runs in three stages (plus an optional fourth):
 
     1. **Baseline** — the default-configuration engine
        (``engine.compile_model(model, scheme=schemes[0], config=config)``)
@@ -299,9 +309,16 @@ def tune_plan(
        simulator-best surviving format and is timed; then each slot's
        runner-up formats are tried one at a time, keeping any change that
        measures faster.
+    4. **Tile refinement** (when ``tiles`` is given, e.g.
+       :func:`default_tile_candidates`) — each tile's ``row_block`` is
+       applied to the combo's winning format pins and measured, making
+       the search jointly scheme × format × tile.  Row blocking only
+       changes BSPC panel packing, so combos that won with no BSPC slot
+       skip it.
 
-    ``schemes`` beyond the first change numerics (fp16/int8 round
-    weights and activations); include them only when the deployment
+    ``schemes`` beyond the first change numerics (``"fp16"``/``"int8"``
+    round weights and activations; ``"mixed"`` quantizes the projections
+    and keeps float recurrences); include them only when the deployment
     tolerates quantization — the accuracy contracts are the engine's
     usual per-scheme guarantees.
 
@@ -336,13 +353,15 @@ def tune_plan(
     def measure(plan) -> float:
         return _median_seconds(lambda: plan.forward_batch(sample_batch), repeats)
 
-    def compile_pinned(scheme, backend, pins: Dict[str, str]):
+    def compile_pinned(scheme, backend, pins: Dict[str, str], tile=None):
         graph = build_layer_graph(
             model, scheme=scheme, options=config.graph_options(), backend=backend
         )
         for _, _, slot in graph.slots():
             if slot.format is None and slot.name in pins:
                 slot.format = pins[slot.name]
+            if tile is not None:
+                slot.tile = tile
         run_passes(graph)
         return lower_graph(graph, config), graph
 
@@ -376,9 +395,11 @@ def tune_plan(
     # never measured twice: re-timing an identical plan only resamples
     # noise, and a noisy duplicate of the baseline must not be reported
     # as a tuning "speedup" (the measured dict also seeds the greedy
-    # comparisons for skipped repeats).
-    def config_key(scheme, backend, pins: Dict[str, str]):
-        return (scheme, backend, tuple(sorted(pins.items())))
+    # comparisons for skipped repeats).  Only ``row_block`` of a tile has
+    # a host-side execution effect, so the key normalizes on it.
+    def config_key(scheme, backend, pins: Dict[str, str], tile=None):
+        row_block = tile.row_block if tile is not None else 0
+        return (scheme, backend, tuple(sorted(pins.items())), row_block)
 
     measured: Dict[tuple, float] = {
         config_key(
@@ -388,13 +409,13 @@ def tune_plan(
         ): baseline_s
     }
 
-    def try_candidate(label, scheme, backend, pins):
+    def try_candidate(label, scheme, backend, pins, tile=None):
         """Measure one pinned configuration (or return its known time)."""
         nonlocal best, best_plan, best_graph
-        key = config_key(scheme, backend, pins)
+        key = config_key(scheme, backend, pins, tile)
         if key in measured:
             return measured[key]
-        plan, graph = compile_pinned(scheme, backend, pins)
+        plan, graph = compile_pinned(scheme, backend, pins, tile)
         elapsed = measure(plan)
         measured[key] = elapsed
         candidate = MeasuredCandidate(
@@ -403,6 +424,7 @@ def tune_plan(
             backend=backend,
             formats={n: f or "dense" for n, f in graph.formats().items()},
             measured_s=elapsed,
+            row_block=tile.row_block if tile is not None else 0,
         )
         trace.append(candidate)
         if elapsed < best.measured_s:
@@ -423,6 +445,18 @@ def tune_plan(
                     )
                     if elapsed < incumbent_s:
                         current, incumbent_s = variant, elapsed
+            # Stage 4: tile refinement on this combo's winning pins.
+            if tiles and any(fmt == "bspc" for fmt in current.values()):
+                for tile in tiles:
+                    if not tile.row_block:
+                        continue  # whole strips: the incumbent already
+                    try_candidate(
+                        f"tile-rb{tile.row_block}[{tag}]",
+                        scheme,
+                        backend,
+                        current,
+                        tile,
+                    )
 
     return PlanTuningResult(
         best=best,
@@ -430,4 +464,110 @@ def tune_plan(
         graph=best_graph,
         baseline_s=baseline_s,
         trace=trace,
+    )
+
+
+@dataclass
+class TileRankingComparison:
+    """Simulated vs. measured ranking of the tile (row-blocking) knob.
+
+    The paper's tuner picks tiles from the analytic mobile cost model; the
+    host engine can now *execute* the same knob (BSPC panel row-blocking),
+    so the cost model's ranking can be validated against wall clock.
+
+    ``pairwise_agreement`` is the fraction of candidate pairs the
+    simulator orders the same way the measurement does (1.0 = identical
+    ranking).  ``sim_pick_efficiency`` is the sturdier headline number:
+    measured-best latency over the measured latency of the *simulator's*
+    pick — 1.0 means following the cost model costs nothing on this host,
+    and it degrades smoothly rather than flipping on near-tie noise.
+    """
+
+    row_blocks: Tuple[int, ...]
+    simulated_us: Dict[int, float]  # row_block → simulated latency (µs)
+    measured_s: Dict[int, float]  # row_block → measured latency (s)
+    sim_pick: int
+    measured_pick: int
+    pairwise_agreement: float
+    sim_pick_efficiency: float
+
+
+def compare_tile_rankings(
+    model,
+    sample_batch: np.ndarray,
+    row_blocks: Sequence[int] = (2, 8, 32),
+    config=None,
+    device: Optional[DeviceSpec] = None,
+    repeats: int = 3,
+) -> TileRankingComparison:
+    """Rank the tile knob with the simulator and with the host, and compare.
+
+    Each ``row_blocks`` entry is priced twice: analytically, as
+    ``rows_per_thread`` through :func:`tune_execution_config` on
+    ``device``; and on the host, as BSPC panel ``row_block`` by timing
+    the compiled plan's ``forward_batch`` on ``sample_batch``.  The
+    returned comparison is what the autotune bench publishes as the
+    simulated-vs-measured agreement row.
+    """
+    from repro.engine.plan import EngineConfig, lower_graph
+    from repro.compiler.pipeline import build_layer_graph
+    from repro.hw.profiles import ADRENO_640
+
+    row_blocks = tuple(int(rb) for rb in row_blocks)
+    if len(row_blocks) < 2:
+        raise ConfigError("need at least two row_blocks to rank")
+    if any(rb < 1 for rb in row_blocks):
+        raise ConfigError(f"row_blocks must be >= 1, got {row_blocks}")
+    config = config or EngineConfig(sparse_format="bspc")
+    device = device or ADRENO_640
+    repeats = max(1, repeats)
+    sample_batch = np.asarray(sample_batch, dtype=np.float64)
+    if sample_batch.ndim != 3:
+        raise ConfigError(
+            f"sample_batch must be (T, B, D) features, got {sample_batch.shape}"
+        )
+
+    simulated_us: Dict[int, float] = {}
+    for rb in row_blocks:
+        result = tune_execution_config(
+            model.prunable_weights(),
+            device,
+            tile_space=[TileConfig(rows_per_thread=rb, row_block=rb)],
+        )
+        simulated_us[rb] = result.best.latency_us
+
+    measured_s: Dict[int, float] = {}
+    for rb in row_blocks:
+        graph = build_layer_graph(
+            model, scheme=None, options=config.graph_options()
+        )
+        tile = TileConfig(rows_per_thread=rb, row_block=rb)
+        for _, _, slot in graph.slots():
+            slot.tile = tile
+        run_passes(graph)
+        plan = lower_graph(graph, config)
+        measured_s[rb] = _median_seconds(
+            lambda: plan.forward_batch(sample_batch), repeats
+        )
+
+    sim_pick = min(row_blocks, key=lambda rb: simulated_us[rb])
+    measured_pick = min(row_blocks, key=lambda rb: measured_s[rb])
+    pairs = [
+        (a, b)
+        for i, a in enumerate(row_blocks)
+        for b in row_blocks[i + 1 :]
+    ]
+    concordant = sum(
+        1
+        for a, b in pairs
+        if (simulated_us[a] < simulated_us[b]) == (measured_s[a] < measured_s[b])
+    )
+    return TileRankingComparison(
+        row_blocks=row_blocks,
+        simulated_us=simulated_us,
+        measured_s=measured_s,
+        sim_pick=sim_pick,
+        measured_pick=measured_pick,
+        pairwise_agreement=concordant / len(pairs),
+        sim_pick_efficiency=measured_s[measured_pick] / measured_s[sim_pick],
     )

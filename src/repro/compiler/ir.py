@@ -37,11 +37,18 @@ class TileConfig:
     balance.  ``unroll`` — inner-loop unroll factor (models instruction
     overhead amortization).  ``use_fp16`` — 16-bit values (the paper's GPU
     kernels) halve memory traffic.
+
+    ``row_block`` is the one knob with a *host-side* execution effect: when
+    positive, BSPC packing splits each row strip into sub-panels of at most
+    ``row_block`` rows (:func:`repro.kernels.plans.pack_bspc_plan`), the
+    measured counterpart of the simulator's ``rows_per_thread``.  ``0``
+    keeps whole strips (the default, and the historical behaviour).
     """
 
     rows_per_thread: int = 4
     unroll: int = 4
     use_fp16: bool = True
+    row_block: int = 0
 
     def __post_init__(self) -> None:
         if self.rows_per_thread < 1:
@@ -50,6 +57,8 @@ class TileConfig:
             )
         if self.unroll < 1:
             raise CompilationError(f"unroll must be >= 1, got {self.unroll}")
+        if self.row_block < 0:
+            raise CompilationError(f"row_block must be >= 0, got {self.row_block}")
 
     @property
     def value_bytes(self) -> int:
@@ -189,8 +198,35 @@ WEIGHT_OPS = (OP_LINEAR, OP_RECURRENT_MATVEC)
 NODE_KINDS = ("gru_cell", "lstm_cell", "linear", "output")
 
 GRAPH_FORMATS = ("dense", "csr", "bspc")
-GRAPH_SCHEMES = (None, "fp16", "int8")
+#: Graph-level scheme *requests*.  ``"mixed"`` is the canonical per-layer
+#: mix: int8 input/output projections (``linear`` ops, amortized over the
+#: whole chunk) with full-precision recurrences (``recurrent_matvec``,
+#: where per-step quantization error would compound).
+GRAPH_SCHEMES = (None, "fp16", "int8", "mixed")
+#: Per-slot scheme decisions.  ``None`` means undecided (the pass pipeline
+#: resolves it from the graph scheme); ``"float"`` is an *explicit*
+#: unquantized decision, kept distinct from ``None`` so serialized slots
+#: are unambiguous.
+SLOT_SCHEMES = (None, "float", "fp16", "int8")
 FORMAT_REQUESTS = (None, "auto", "dense", "csr", "bspc")
+
+
+def resolve_slot_scheme(graph_scheme: Optional[str], op: str) -> str:
+    """Map a graph-level scheme request to one slot's decision.
+
+    Uniform schemes broadcast; ``"mixed"`` quantizes the batched
+    projections (``linear``) to int8 and keeps the per-step recurrent
+    matvecs in float.
+    """
+    if graph_scheme is None:
+        return "float"
+    if graph_scheme == "mixed":
+        return "int8" if op == OP_LINEAR else "float"
+    if graph_scheme in ("fp16", "int8"):
+        return graph_scheme
+    raise CompilationError(
+        f"scheme must be one of {GRAPH_SCHEMES}, got {graph_scheme!r}"
+    )
 
 
 @dataclass(frozen=True)
@@ -234,11 +270,14 @@ class GraphOptions:
 class WeightSlot:
     """One weight matrix in the layer graph, plus its per-layer attributes.
 
-    ``format`` starts ``None`` (undecided); the format-selection pass
-    fills it, and a tuner or a loaded artifact may *pin* it beforehand —
-    pinned slots pass through the pipeline untouched.  The reorder and
-    load-elimination passes attach the analytic annotations; the kernel
-    selection pass names the registry kernel the op lowers to.
+    ``format`` and ``scheme`` start ``None`` (undecided); the
+    format-selection pass fills both, and a tuner or a loaded artifact may
+    *pin* either beforehand — pinned slots pass through the pipeline
+    untouched.  ``scheme`` is the per-slot quantization decision (one of
+    :data:`SLOT_SCHEMES`); a ``"mixed"`` graph resolves to int8
+    projections over float recurrences.  The reorder and load-elimination
+    passes attach the analytic annotations; the kernel selection pass
+    names the registry kernel the op lowers to.
 
     The slot holds a *reference* to ``array``; frontends that promise
     snapshot semantics (the execution engine) pass in copies.
@@ -248,6 +287,7 @@ class WeightSlot:
     op: str
     array: np.ndarray
     format: Optional[str] = None  # "dense" | "csr" | "bspc" once decided
+    scheme: Optional[str] = None  # "float" | "fp16" | "int8" once decided
     grid: Tuple[int, int] = (8, 8)  # (num_row_strips, num_col_blocks)
     kernel: Optional[str] = None  # registry op chosen by kernel selection
     tile: TileConfig = field(default_factory=TileConfig)
@@ -274,6 +314,10 @@ class WeightSlot:
             )
         if self.format is not None and self.format not in GRAPH_FORMATS:
             raise CompilationError(f"unknown format {self.format!r}")
+        if self.scheme not in SLOT_SCHEMES:
+            raise CompilationError(
+                f"slot scheme must be one of {SLOT_SCHEMES}, got {self.scheme!r}"
+            )
 
     @property
     def shape(self) -> Tuple[int, int]:
@@ -362,14 +406,17 @@ def _tile_to_dict(tile: TileConfig) -> Dict:
         "rows_per_thread": tile.rows_per_thread,
         "unroll": tile.unroll,
         "use_fp16": tile.use_fp16,
+        "row_block": tile.row_block,
     }
 
 
 def _tile_from_dict(data: Dict) -> TileConfig:
+    # row_block postdates the first artifacts; absent means unblocked.
     return TileConfig(
         rows_per_thread=int(data["rows_per_thread"]),
         unroll=int(data["unroll"]),
         use_fp16=bool(data["use_fp16"]),
+        row_block=int(data.get("row_block", 0)),
     )
 
 
@@ -391,6 +438,7 @@ def graph_to_arrays(graph: LayerGraph) -> Tuple[Dict, Dict[str, np.ndarray]]:
                 "name": slot.name,
                 "op": slot.op,
                 "format": slot.format,
+                "scheme": slot.scheme,
                 "grid": list(slot.grid),
                 "kernel": slot.kernel,
                 "tile": _tile_to_dict(slot.tile),
@@ -447,6 +495,9 @@ def graph_from_arrays(meta: Dict, arrays) -> LayerGraph:
                 op=slot_meta["op"],
                 array=np.asarray(arrays[f"n{i}.w.{key}"]),
                 format=slot_meta["format"],
+                # Older artifacts predate per-slot schemes; ``None`` lets
+                # the lowering fall back to the graph-level scheme.
+                scheme=slot_meta.get("scheme"),
                 grid=tuple(slot_meta["grid"]),  # type: ignore[arg-type]
                 kernel=slot_meta.get("kernel"),
                 tile=_tile_from_dict(slot_meta["tile"]),

@@ -11,12 +11,14 @@ lowering it:
 2. :func:`load_elim_pass` — redundant-load-elimination analysis
    (Section IV-B(b)); annotates per-step input-load counts.
 3. :func:`select_formats_pass` — resolve each weight's storage format
-   (dense / CSR / BSPC) from the graph's request, and mark the quantize
-   boundaries the scheme introduces.  Slots whose format was *pinned*
-   beforehand (by the measured auto-tuner or a loaded artifact) pass
-   through untouched.
+   (dense / CSR / BSPC) *and* its per-slot quantization scheme from the
+   graph's requests, and mark the quantize boundaries those decisions
+   introduce.  Slots whose format or scheme was *pinned* beforehand (by
+   the measured auto-tuner or a loaded artifact) pass through untouched.
+   A ``"mixed"`` graph scheme resolves to int8 projections over float
+   recurrences.
 4. :func:`select_kernels_pass` — name the registry kernel each op lowers
-   to under the decided format and scheme.
+   to under the decided format and the slot's own scheme.
 
 ``analytic=True`` annotates every slot (the simulator prices dense
 layers too); the default annotates only sparse candidates, so compiling
@@ -29,11 +31,11 @@ from typing import List
 
 from repro.compiler.ir import (
     OP_LINEAR,
-    OP_RECURRENT_MATVEC,
     GraphOptions,
     LayerGraph,
     QuantBoundary,
     WeightSlot,
+    resolve_slot_scheme,
 )
 from repro.compiler.load_elim import naive_loads, tiled_loads
 from repro.compiler.reorder import identity_groups, reorder_rows
@@ -117,20 +119,20 @@ def _decide_format(slot: WeightSlot, options: GraphOptions) -> str:
 
 def _mark_boundaries(graph: LayerGraph) -> None:
     boundaries: List[QuantBoundary] = []
-    if graph.scheme == "int8":
-        for _, _, slot in graph.slots():
+    for _, _, slot in graph.slots():
+        scheme = slot.scheme or resolve_slot_scheme(graph.scheme, slot.op)
+        if scheme == "int8":
             if slot.op == OP_LINEAR:
                 # Activations quantized with one scale per frame, integer
                 # accumulate, one dequant — the chunk-exact int8 contract.
                 boundaries.append(
                     QuantBoundary(slot=slot.name, policy="int8-activations-per-frame")
                 )
-            elif slot.op == OP_RECURRENT_MATVEC:
+            else:
                 boundaries.append(
                     QuantBoundary(slot=slot.name, policy="int8-weights-dequantized")
                 )
-    elif graph.scheme == "fp16":
-        for _, _, slot in graph.slots():
+        elif scheme == "fp16":
             boundaries.append(
                 QuantBoundary(slot=slot.name, policy="fp16-round-weights")
             )
@@ -138,10 +140,12 @@ def _mark_boundaries(graph: LayerGraph) -> None:
 
 
 def select_formats_pass(graph: LayerGraph, analytic: bool = False) -> LayerGraph:
-    """Resolve undecided slot formats and mark quantize boundaries."""
+    """Resolve undecided slot formats/schemes and mark quantize boundaries."""
     for _, _, slot in graph.slots():
         if slot.format is None:
             slot.format = _decide_format(slot, graph.options)
+        if slot.scheme is None:
+            slot.scheme = resolve_slot_scheme(graph.scheme, slot.op)
     _mark_boundaries(graph)
     return graph
 
@@ -157,9 +161,10 @@ def _kernel_for(op: str, fmt: str, scheme) -> str:
 
 
 def select_kernels_pass(graph: LayerGraph, analytic: bool = False) -> LayerGraph:
-    """Name the kernel each weight op lowers to (format + scheme)."""
+    """Name the kernel each weight op lowers to (format + slot scheme)."""
     for _, _, slot in graph.slots():
-        slot.kernel = _kernel_for(slot.op, slot.format or "dense", graph.scheme)
+        scheme = slot.scheme or resolve_slot_scheme(graph.scheme, slot.op)
+        slot.kernel = _kernel_for(slot.op, slot.format or "dense", scheme)
     return graph
 
 

@@ -37,6 +37,17 @@ Numerics by scheme:
   quantization overhead.  Per-frame activation scales plus order-exact
   integer accumulation make int8 plans **bitwise chunk-exact**: a frame's
   logits do not depend on which other frames shared the call.
+* ``scheme="mixed"`` — the scheme is decided *per slot* by the pass
+  pipeline: int8 input/output projections (batched, chunk-exact) with
+  full-precision float recurrences (where per-step quantization error
+  would compound).  Every slot executes exactly as it would under its
+  own uniform scheme, so mixed plans inherit the int8 slots' bitwise
+  chunk-exactness while keeping float recurrent dynamics.
+
+Schemes are carried per :class:`~repro.compiler.ir.WeightSlot`; the
+graph-level scheme is only the *request* the pass pipeline resolves, and
+lowering reads the slot decisions (falling back to the graph scheme for
+artifacts that predate per-slot schemes).
 
 Streaming: :meth:`ModelPlan.run_chunk` threads explicit hidden (and
 cell) state through the same layer code, so a session can feed a chunk
@@ -53,7 +64,14 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro import kernels
-from repro.compiler.ir import GraphNode, GraphOptions, LayerGraph
+from repro.compiler.ir import (
+    GraphNode,
+    GraphOptions,
+    LayerGraph,
+    TileConfig,
+    WeightSlot,
+    resolve_slot_scheme,
+)
 from repro.compiler.passes import run_passes, slot_grid
 from repro.compiler.pipeline import build_layer_graph, rnn_graph_from_weights
 from repro.errors import ConfigError, ShapeError
@@ -64,8 +82,19 @@ from repro.sparse.blocks import BlockGrid
 from repro.sparse.bspc import BSPCMatrix
 from repro.sparse.csr import CSRMatrix
 
-SCHEMES = (None, "fp16", "int8")
+SCHEMES = (None, "fp16", "int8", "mixed")
 SPARSE_FORMATS = (None, "auto", "csr", "bspc")
+
+
+def _slot_scheme(slot: WeightSlot, graph_scheme: Optional[str]) -> Optional[str]:
+    """A slot's *compute* scheme: ``None`` (float64), ``"fp16"``, ``"int8"``.
+
+    Reads the pass-decided per-slot scheme; slots from artifacts that
+    predate per-slot schemes carry ``None`` and fall back to the graph
+    scheme (resolved exactly as the pass pipeline would).
+    """
+    resolved = slot.scheme or resolve_slot_scheme(graph_scheme, slot.op)
+    return None if resolved == "float" else resolved
 
 
 def _fp16_pack(weight: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
@@ -186,6 +215,7 @@ class _SparseWeight:
         scheme: Optional[str],
         grid: Optional[BlockGrid] = None,
         prebuilt: Optional[BSPCMatrix] = None,
+        tile: Optional[TileConfig] = None,
     ) -> None:
         self.scheme = scheme
         self.shape = weight.shape
@@ -200,6 +230,10 @@ class _SparseWeight:
                 if prebuilt is not None
                 else BSPCMatrix.from_dense(weight, grid)
             )
+            if tile is not None and tile.row_block:
+                # The tuner's host tile knob: install the row-blocked
+                # float plan first so the int8 plan derives from it.
+                kernels.pack_bspc_plan(self.matrix, tile.row_block)
             plan_builder = int8_bspc_plan if scheme == "int8" else kernels.bspc_plan
         else:
             self.matrix = CSRMatrix.from_dense(weight)
@@ -236,6 +270,7 @@ def _pack_weight(slot, scheme):
         scheme,
         grid=slot_grid(slot),
         prebuilt=slot.prebuilt,
+        tile=slot.tile,
     )
 
 
@@ -266,20 +301,34 @@ class GRULayerPlan:
         bias_ih = node.params["bias_ih"]
         bias_hh = node.params["bias_hh"]
         self.scheme = scheme
+        ih_scheme = _slot_scheme(ih_slot, scheme)
+        hh_scheme = _slot_scheme(hh_slot, scheme)
+        self.slot_schemes = (ih_scheme, hh_scheme)
+        self.slot_config = (
+            (ih_scheme or "float", ih_slot.format or "dense"),
+            (hh_scheme or "float", hh_slot.format or "dense"),
+        )
         self.hidden_size = hh_slot.shape[1]
         self.input_size = ih_slot.shape[1]
-        self.dtype = np.float32 if scheme == "fp16" else np.float64
-        self.input_proj = _pack_weight(ih_slot, scheme)
-        self.recurrent = _pack_recurrent(hh_slot, scheme)
+        self.dtype = (
+            np.float32
+            if ih_scheme == "fp16" and hh_scheme == "fp16"
+            else np.float64
+        )
+        self.input_proj = _pack_weight(ih_slot, ih_scheme)
+        self.recurrent = _pack_recurrent(hh_slot, hh_scheme)
         h = self.hidden_size
-        if scheme is None:
+        self.fold_bias = not (ih_scheme is None and hh_scheme is None)
+        if not self.fold_bias:
             self.bias_ih = bias_ih.copy()
             self.bias_hh_zr = bias_hh[: 2 * h].copy()
             self.bias_hh_h = bias_hh[2 * h :].copy()
         else:
             # Folded once at compile time; the kernel folds per call.
-            folded = _round_bias(bias_ih, scheme, np.float64)
-            rounded_hh = _round_bias(bias_hh, scheme, np.float64)
+            # Each bias follows its own slot's value grid (exact copy for
+            # a float slot in a mixed plan).
+            folded = _round_bias(bias_ih, ih_scheme, np.float64)
+            rounded_hh = _round_bias(bias_hh, hh_scheme, np.float64)
             folded[: 2 * h] += rounded_hh[: 2 * h]
             self.bias_folded = folded.astype(self.dtype)
             self.bias_hh_h = rounded_hh[2 * h :].astype(self.dtype)
@@ -298,12 +347,12 @@ class GRULayerPlan:
         h = self.hidden_size
         flat = x.reshape(seq_len * batch, self.input_size)
         gates_x = self.input_proj.project(flat, ws, f"gx{index}")
-        if self.scheme is None:
+        if not self.fold_bias:
             gates_x = gates_x + self.bias_ih
         else:
             gates_x = gates_x + self.bias_folded
         gates_x = gates_x.reshape(seq_len, batch, 3 * h)
-        if self.scheme is None:
+        if not self.fold_bias:
             gates_x[:, :, : 2 * h] += self.bias_hh_zr
         gx_zr = gates_x[:, :, : 2 * h]
         gx_h = gates_x[:, :, 2 * h :]
@@ -323,7 +372,8 @@ class GRULayerPlan:
         return out, (hidden,)
 
     def nbytes(self) -> int:
-        bias_bytes = 2 * 3 * self.hidden_size * (2 if self.scheme else 8)
+        quantized = any(s is not None for s in self.slot_schemes)
+        bias_bytes = 2 * 3 * self.hidden_size * (2 if quantized else 8)
         return self.input_proj.nbytes() + self.recurrent.nbytes() + bias_bytes
 
 
@@ -334,15 +384,28 @@ class LSTMLayerPlan:
         ih_slot, hh_slot = node.weights["ih"], node.weights["hh"]
         bias = node.params["bias"]
         self.scheme = scheme
+        ih_scheme = _slot_scheme(ih_slot, scheme)
+        hh_scheme = _slot_scheme(hh_slot, scheme)
+        self.slot_schemes = (ih_scheme, hh_scheme)
+        self.slot_config = (
+            (ih_scheme or "float", ih_slot.format or "dense"),
+            (hh_scheme or "float", hh_slot.format or "dense"),
+        )
         self.hidden_size = hh_slot.shape[1]
         self.input_size = ih_slot.shape[1]
-        self.dtype = np.float32 if scheme == "fp16" else np.float64
-        self.input_proj = _pack_weight(ih_slot, scheme)
-        self.recurrent = _pack_recurrent(hh_slot, scheme)
+        self.dtype = (
+            np.float32
+            if ih_scheme == "fp16" and hh_scheme == "fp16"
+            else np.float64
+        )
+        self.input_proj = _pack_weight(ih_slot, ih_scheme)
+        self.recurrent = _pack_recurrent(hh_slot, hh_scheme)
+        # The single LSTM bias adds into the input-side gates; it follows
+        # the ih slot's value grid (exact copy when both slots are float).
         self.bias = (
             bias.copy()
-            if scheme is None
-            else _round_bias(bias, scheme, self.dtype)
+            if ih_scheme is None and hh_scheme is None
+            else _round_bias(bias, ih_scheme, self.dtype)
         )
 
     def zero_state(self, batch: int) -> Tuple[np.ndarray, ...]:
@@ -379,7 +442,8 @@ class LSTMLayerPlan:
         return out, (hidden, cell)
 
     def nbytes(self) -> int:
-        bias_bytes = 4 * self.hidden_size * (2 if self.scheme else 8)
+        quantized = any(s is not None for s in self.slot_schemes)
+        bias_bytes = 4 * self.hidden_size * (2 if quantized else 8)
         return self.input_proj.nbytes() + self.recurrent.nbytes() + bias_bytes
 
 
@@ -440,6 +504,7 @@ def _pack_recurrent(slot, scheme):
             scheme,
             grid=slot_grid(slot),
             prebuilt=slot.prebuilt,
+            tile=slot.tile,
         )
     )
 
@@ -642,19 +707,36 @@ class ModelPlan:
         return PlanState([layer.zero_state(batch) for layer in self.layers])
 
     def signature(self) -> Tuple:
-        """The architecture fingerprint that governs state compatibility.
+        """The compatibility fingerprint that governs hot-swap safety.
 
         Two plans with equal signatures accept each other's
-        :class:`PlanState` (per-layer shapes and component counts match),
-        regardless of scheme, sparse format, or tuned backend — the
-        invariant hot-swap (:meth:`StreamScheduler.swap_plan
-        <repro.engine.streaming.StreamScheduler.swap_plan>`) relies on.
+        :class:`PlanState` *numerically*: per-layer shapes and component
+        counts match, **and** every weight slot was lowered under the
+        same (scheme, format) decision.  With per-layer scheme mixing a
+        shape-only fingerprint is not enough — a mixed-scheme candidate
+        would accept an incumbent's state whose trajectory was produced
+        on a different quantization grid, silently degrading every
+        carried session.  The tuned kernel *backend* is deliberately
+        excluded (backends are bit-compatible by the equivalence suite);
+        the hot-swap paths (:meth:`StreamScheduler.swap_plan
+        <repro.engine.streaming.StreamScheduler.swap_plan>`,
+        ``fabric.swap``/``start_canary``) reject signature mismatches
+        with a typed ``SwapError``.
         """
         layers = tuple(
-            (layer.input_size, layer.hidden_size, len(layer.zero_state(0)))
+            (
+                layer.input_size,
+                layer.hidden_size,
+                len(layer.zero_state(0)),
+                getattr(layer, "slot_config", None),
+            )
             for layer in self.layers
         )
-        classes = None if self.output is None else self.output.num_classes
+        classes = (
+            None
+            if self.output is None
+            else (self.output.num_classes, self.output.scheme or "float")
+        )
         return (self.cell_type, layers, classes)
 
     def adapt_state(self, state: PlanState) -> PlanState:
@@ -794,8 +876,11 @@ def lower_graph(
         elif node.kind == "lstm_cell":
             layers.append(LSTMLayerPlan(node, graph.scheme))
         elif node.kind == "output":
+            out_slot = node.weights["w"]
             output = OutputPlan(
-                node.weights["w"].array, node.params.get("bias"), graph.scheme
+                out_slot.array,
+                node.params.get("bias"),
+                _slot_scheme(out_slot, graph.scheme),
             )
         else:
             raise ConfigError(

@@ -28,7 +28,13 @@ import numpy as np
 
 from repro.errors import KernelError
 from repro.kernels import numpy_backend, quantized, reference  # noqa: F401  (register backends)
-from repro.kernels.plans import BSPCPlan, CSRPlan, bspc_plan, csr_plan
+from repro.kernels.plans import (
+    BSPCPlan,
+    CSRPlan,
+    bspc_plan,
+    csr_plan,
+    pack_bspc_plan,
+)
 from repro.kernels.quantized import (
     Int8BSPCPlan,
     Int8CSRPlan,
@@ -56,6 +62,7 @@ __all__ = [
     "BSPCPlan",
     "csr_plan",
     "bspc_plan",
+    "pack_bspc_plan",
     "Int8CSRPlan",
     "Int8BSPCPlan",
     "int8_csr_plan",

@@ -112,9 +112,8 @@ class BSPCPlan:
         return self.scatter_rows.reshape(-1)
 
 
-def build_bspc_plan(matrix) -> BSPCPlan:
-    """Pack a :class:`BSPCMatrix`'s panels into a :class:`BSPCPlan`."""
-    rows, _ = matrix.grid.shape
+def _collect_strips(matrix) -> list:
+    """Gather ``(kept_rows, cols, panel)`` per surviving strip."""
     packed = []
     for strip in matrix.strips:
         if not strip.kept_rows.size:
@@ -127,11 +126,16 @@ def build_bspc_plan(matrix) -> BSPCPlan:
             [b.panel for b in strip.blocks if b.kept_cols.size], axis=1
         )
         packed.append((strip.kept_rows, cols, panel))
+    return packed
 
+
+def _finalize_bspc_plan(packed: list, shape: Tuple[int, int]) -> BSPCPlan:
+    """Pad packed panels to a common shape and build the plan arrays."""
+    rows = shape[0]
     if not packed:
         empty_i = np.zeros((0, 0), dtype=np.int64)
         return BSPCPlan(
-            shape=matrix.grid.shape,
+            shape=shape,
             panels=np.zeros((0, 0, 0)),
             gather_cols=empty_i,
             pad_cols=None,
@@ -155,13 +159,55 @@ def build_bspc_plan(matrix) -> BSPCPlan:
     real = scatter_rows[scatter_rows < rows]
     unique = bool(real.size == 0 or np.bincount(real, minlength=rows).max() <= 1)
     return BSPCPlan(
-        shape=matrix.grid.shape,
+        shape=shape,
         panels=panels,
         gather_cols=gather_cols,
         pad_cols=pad_cols if pad_cols.any() else None,
         scatter_rows=scatter_rows,
         scatter_unique=unique,
     )
+
+
+def build_bspc_plan(matrix) -> BSPCPlan:
+    """Pack a :class:`BSPCMatrix`'s panels into a :class:`BSPCPlan`."""
+    return _finalize_bspc_plan(_collect_strips(matrix), matrix.grid.shape)
+
+
+def pack_bspc_plan(matrix, rows_per_block: int) -> BSPCPlan:
+    """Pack ``matrix`` with strips split into row-blocked sub-panels.
+
+    The real host knob behind :class:`~repro.compiler.ir.TileConfig`'s
+    ``row_block``: each surviving strip's kept rows are split into
+    sub-panels of at most ``rows_per_block`` rows (each keeping the full
+    strip column set), trading batched-GEMM operand shape against padding
+    waste — the measured counterpart of the simulator's
+    ``rows_per_thread`` tile axis.
+
+    Row splitting never changes *which* columns a row reduces over, so
+    every real output row is the same dot product as in the unblocked
+    plan: bitwise identical for the int8 kernels (integer accumulation
+    over the same operand sequence, and the per-strip scale is a max over
+    the same values plus zero padding), and within reduction-order
+    tolerance for float.
+
+    The plan is installed into the matrix's float-plan cache (dropping
+    any cached int8 plan so it re-derives from the blocked base) and
+    returned.  ``rows_per_block == 0`` restores whole-strip packing.
+    """
+    if rows_per_block < 0:
+        raise ValueError(f"rows_per_block must be >= 0, got {rows_per_block}")
+    packed = _collect_strips(matrix)
+    if rows_per_block:
+        blocked = []
+        for kept, cols, panel in packed:
+            for start in range(0, kept.size, rows_per_block):
+                stop = start + rows_per_block
+                blocked.append((kept[start:stop], cols, panel[start:stop]))
+        packed = blocked
+    plan = _finalize_bspc_plan(packed, matrix.grid.shape)
+    matrix.__dict__.pop(INT8_PLAN_ATTR, None)
+    setattr(matrix, PLAN_ATTR, plan)
+    return plan
 
 
 # ---------------------------------------------------------------------------

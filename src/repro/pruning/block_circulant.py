@@ -59,9 +59,20 @@ def circulant_compression_rate(shape, block_size: int) -> float:
     """Storage compression of block-circulant structure on ``shape``.
 
     Full blocks store ``b`` values instead of ``b²``; partial edge blocks
-    remain dense.
+    are left unconstrained by :func:`project_block_circulant` and are
+    therefore charged at *full* density here — the rate only credits the
+    ``b×`` saving to blocks the projection actually constrains, so it
+    never overstates compression on shapes not divisible by ``b``
+    (``tests/test_block_circulant_accounting.py`` keeps the two in
+    lockstep by counting the projected matrix's degrees of freedom).
     """
-    rows, cols = shape
+    if block_size < 1:
+        raise ConfigError(f"block_size must be >= 1, got {block_size}")
+    if len(shape) != 2:
+        raise ConfigError(f"expected a 2-D shape, got {tuple(shape)}")
+    rows, cols = int(shape[0]), int(shape[1])
+    if rows < 0 or cols < 0:
+        raise ConfigError(f"shape dimensions must be >= 0, got {tuple(shape)}")
     b = block_size
     full_r, full_c = rows // b, cols // b
     stored = full_r * full_c * b  # circulant blocks

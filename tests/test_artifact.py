@@ -14,7 +14,7 @@ from repro.errors import ArtifactError, ConfigError
 from repro.pruning.bsp import BSPConfig, bsp_project_masks
 from repro.speech.model import AcousticModelConfig, GRUAcousticModel
 
-SCHEMES = (None, "fp16", "int8")
+SCHEMES = (None, "fp16", "int8", "mixed")
 FORMATS = (None, "csr", "bspc")
 
 

@@ -1,0 +1,109 @@
+"""Project/rate parity for block-circulant compression on ragged shapes.
+
+``project_block_circulant`` constrains only *full* ``b × b`` blocks; edge
+blocks on shapes not divisible by ``b`` stay unconstrained.  The storage
+accounting in ``circulant_compression_rate`` must charge exactly what the
+projection leaves free: ``b`` values per full block, every edge element
+at full cost.  These tests count the projected matrix's degrees of
+freedom independently and hold the two functions in lockstep, so the
+rate can never overstate compression on non-divisible shapes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.pruning.block_circulant import (
+    circulant_compression_rate,
+    project_block_circulant,
+)
+
+# Divisible, ragged-rows, ragged-cols, ragged-both, block > dim.
+SHAPES = [
+    (8, 8, 4),
+    (10, 10, 4),
+    (10, 6, 4),
+    (6, 10, 4),
+    (10, 10, 3),
+    (7, 5, 4),
+    (3, 3, 4),
+    (12, 10, 5),
+    (1, 1, 1),
+]
+
+
+def stored_values_of_projection(rows, cols, b):
+    """Degrees of freedom of a projected matrix, counted from scratch:
+    each full block is determined by its ``b`` diagonal means, every
+    element outside the full-block region stays independent."""
+    full_r, full_c = rows // b, cols // b
+    full_block_values = full_r * full_c * b
+    edge_values = rows * cols - full_r * full_c * b * b
+    return full_block_values + edge_values
+
+
+class TestProjectRateParity:
+    @pytest.mark.parametrize("rows,cols,b", SHAPES)
+    def test_rate_matches_projection_freedom(self, rows, cols, b):
+        stored = stored_values_of_projection(rows, cols, b)
+        rate = circulant_compression_rate((rows, cols), b)
+        assert rate == pytest.approx((rows * cols) / stored)
+        # Never credits more compression than the full-block count can buy.
+        assert rate <= b
+
+    @pytest.mark.parametrize("rows,cols,b", SHAPES)
+    def test_edges_left_unconstrained(self, rows, cols, b, rng_factory):
+        rng = rng_factory(rows * 100 + cols * 10 + b)
+        weight = rng.standard_normal((rows, cols))
+        projected = project_block_circulant(weight, b)
+        full_r, full_c = rows // b, cols // b
+        # Everything outside the full-block region is untouched...
+        np.testing.assert_array_equal(
+            projected[full_r * b :, :], weight[full_r * b :, :]
+        )
+        np.testing.assert_array_equal(
+            projected[: full_r * b, full_c * b :],
+            weight[: full_r * b, full_c * b :],
+        )
+        # ...and every full block really is circulant (constant diagonals).
+        i_idx, j_idx = np.indices((b, b))
+        diag = (i_idx - j_idx) % b
+        for r0 in range(0, full_r * b, b):
+            for c0 in range(0, full_c * b, b):
+                block = projected[r0 : r0 + b, c0 : c0 + b]
+                for d in range(b):
+                    values = block[diag == d]
+                    np.testing.assert_allclose(values, values[0])
+
+    def test_projection_is_idempotent_on_ragged_shape(self, rng_factory):
+        weight = rng_factory(3).standard_normal((10, 7))
+        once = project_block_circulant(weight, 4)
+        np.testing.assert_allclose(project_block_circulant(once, 4), once)
+
+    def test_divisible_shape_rate_is_block_size(self):
+        assert circulant_compression_rate((16, 16), 4) == pytest.approx(4.0)
+
+    def test_all_edge_shape_rate_is_one(self):
+        # No full block fits: nothing is constrained, nothing is saved.
+        assert circulant_compression_rate((3, 3), 4) == pytest.approx(1.0)
+
+
+class TestRateValidation:
+    def test_zero_block_size_rejected(self):
+        with pytest.raises(ConfigError, match="block_size"):
+            circulant_compression_rate((8, 8), 0)
+
+    def test_negative_block_size_rejected(self):
+        with pytest.raises(ConfigError, match="block_size"):
+            circulant_compression_rate((8, 8), -2)
+
+    def test_non_2d_shape_rejected(self):
+        with pytest.raises(ConfigError, match="2-D"):
+            circulant_compression_rate((8, 8, 8), 4)
+
+    def test_negative_dimension_rejected(self):
+        with pytest.raises(ConfigError, match=">= 0"):
+            circulant_compression_rate((-1, 8), 4)
+
+    def test_empty_shape_is_infinite(self):
+        assert circulant_compression_rate((0, 8), 4) == float("inf")

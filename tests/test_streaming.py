@@ -31,7 +31,7 @@ from repro.speech.model import AcousticModelConfig, GRUAcousticModel
 from repro.speech.phones import SILENCE_ID
 
 BACKENDS = ("reference", "numpy")
-SCHEMES = (None, "fp16", "int8")
+SCHEMES = (None, "fp16", "int8", "mixed")
 CHUNK_SIZES = (1, 7, 25, None)  # None = the whole utterance in one chunk
 
 
@@ -627,12 +627,22 @@ class TestHotSwap:
         )
         assert scheduler.finish(sid) == offline
 
-    def test_swap_across_schemes_carries_state(self, rng_factory):
-        # fp16 state (float32) must adapt into a float64-state plan and
-        # keep streaming — numerics legitimately change at the boundary,
-        # but the swap itself must hold the architecture contract.
-        incumbent = engine.compile_model(tiny_model(), scheme="fp16")
-        candidate = engine.compile_model(tiny_model(), scheme=None)
+    @pytest.mark.parametrize(
+        "incumbent_scheme,candidate_scheme",
+        [("fp16", None), (None, "int8"), ("mixed", None), ("int8", "mixed")],
+    )
+    def test_swap_across_schemes_rejected(
+        self, incumbent_scheme, candidate_scheme, rng_factory
+    ):
+        # Per-slot (scheme, format) is part of the signature: a candidate
+        # on a different quantization grid must NOT inherit live state —
+        # the carried trajectory was produced by different numerics, so
+        # the swap raises a typed SwapError and touches nothing.
+        from repro.errors import SwapError
+
+        incumbent = engine.compile_model(tiny_model(), scheme=incumbent_scheme)
+        candidate = engine.compile_model(tiny_model(), scheme=candidate_scheme)
+        assert incumbent.signature() != candidate.signature()
         rng = rng_factory(11)
         utterance = rng.standard_normal((40, 8))
         scheduler = engine.StreamScheduler(
@@ -641,11 +651,35 @@ class TestHotSwap:
         )
         sid = scheduler.open()
         scheduler.feed(sid, utterance[:20])
-        scheduler.swap_plan(candidate)
+        with pytest.raises(SwapError, match="architecture mismatch"):
+            scheduler.swap_plan(candidate)
+        # The rejected swap left the session on the incumbent, still exact.
+        assert scheduler.plan is incumbent
+        assert scheduler.stats.plan_swaps == 0
         scheduler.feed(sid, utterance[20:])
-        phones = scheduler.finish(sid)
-        assert all(isinstance(p, int) for p in phones)
-        assert scheduler.stats.plan_swaps == 1
+        offline = decode_utterance(
+            incumbent.forward_utterance(utterance), min_duration=2
+        )
+        assert scheduler.finish(sid) == offline
+
+    def test_swap_across_formats_rejected(self, rng_factory):
+        # Same weights, same scheme, different sparse packing: formats
+        # are part of the lowered contract too.
+        from repro.errors import SwapError
+
+        incumbent = engine.compile_model(tiny_model(), scheme=None)
+        candidate = engine.compile_model(
+            tiny_model(),
+            scheme=None,
+            config=engine.EngineConfig(sparse_format="bspc"),
+        )
+        assert incumbent.signature() != candidate.signature()
+        scheduler = engine.StreamScheduler(
+            incumbent,
+            engine.StreamConfig(max_batch_size=2, max_wait_frames=0, min_duration=2),
+        )
+        with pytest.raises(SwapError, match="architecture mismatch"):
+            scheduler.swap_plan(candidate)
 
     def test_identity_swap_counts_but_changes_nothing(self, rng_factory):
         plan = engine.compile_model(tiny_model())
