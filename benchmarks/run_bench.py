@@ -20,7 +20,11 @@ implementation of that op: the ``reference`` Python loops for sparse ops,
 the autograd-tape ``GRU.forward``/``LSTM.forward`` (``tensor_tape``
 rows) for the sequence kernels and training cases, the per-utterance
 eager path for the engine forward, the float numpy backend for the int8
-ops, and the offline batched path for the streaming throughput rows.
+ops (the numpy int8 path for the int8 sparse-vs-compiled rows), and the
+offline batched path for the streaming throughput rows.  On hosts with a
+working C compiler the ``compiled`` backend joins every sparse and int8
+case; the autotune suite additionally records the tile ranking under the
+host-calibrated cost model (``tile_model_calibrated``).
 The tail-latency rows are each their own baseline: raw milliseconds are
 machine-dependent, so the latency gate is the machine-independent
 p95/p50 *ratio* carried in ``speedup_vs_baseline``, not absolute time.
@@ -51,6 +55,7 @@ if str(REPO_ROOT / "src") not in sys.path:
 import numpy as np  # noqa: E402
 
 from repro import engine, kernels  # noqa: E402
+from repro.kernels import compiled as compiled_backend  # noqa: E402
 from repro.nn import functional as F  # noqa: E402
 from repro.nn.rnn import GRU, LSTM  # noqa: E402
 from repro.nn.tensor import Tensor  # noqa: E402
@@ -68,7 +73,18 @@ from repro.speech.synth import SynthConfig, make_corpus  # noqa: E402
 from repro.speech.trainer import Trainer, TrainerConfig  # noqa: E402
 from repro.utils.rng import new_rng  # noqa: E402
 
-SPARSE_BACKENDS = ["reference", "numpy"]
+# The compiled C backend joins every sparse/int8 case when this host has
+# a working compiler; without one the suites simply record the two
+# always-available backends (the registry never lists "compiled" then).
+SPARSE_BACKENDS = ["reference", "numpy"] + (
+    ["compiled"] if compiled_backend.available() else []
+)
+
+#: Int8 sparse cases compare against the numpy int8 path, not reference:
+#: the acceptance-tracked ratio is compiled-vs-numpy on bspc_spmm.
+INT8_SPARSE_BACKENDS = ["numpy"] + (
+    ["compiled"] if compiled_backend.available() else []
+)
 
 
 def median_seconds(fn: Callable[[], object], repeats: int) -> float:
@@ -143,6 +159,33 @@ def bench_sparse(repeats: int) -> List[Dict]:
                 "median_s": medians[backend],
                 "speedup_vs_baseline": baseline / medians[backend],
                 "baseline": "reference",
+            })
+
+    # Int8 sparse cases, compiled vs numpy (reference int8 is orders of
+    # magnitude off and would only stretch the run).  The bspc_spmm row
+    # is the acceptance-tracked one: the fused quantize-into-pack C
+    # kernel against the numpy int8 path at the paper-scale grid.
+    int8_cases = [
+        ("bspc_spmv_int8", f"{size}x{size} grid={strips}x{blocks}",
+         lambda b: (lambda: kernels.spmv_int8(bspc, x, backend=b))),
+        ("bspc_spmm_int8", f"{size}x{size}x16 grid={strips}x{blocks}",
+         lambda b: (lambda: kernels.spmm_int8(bspc, batch, backend=b))),
+        ("csr_spmm_int8", f"{size}x{size}x16",
+         lambda b: (lambda: kernels.spmm_int8(csr, batch, backend=b))),
+    ]
+    for op, label, make in int8_cases:
+        medians = {
+            b: median_seconds(make(b), repeats) for b in INT8_SPARSE_BACKENDS
+        }
+        baseline = medians["numpy"]
+        for backend in INT8_SPARSE_BACKENDS:
+            rows.append({
+                "op": op,
+                "size": label,
+                "backend": backend,
+                "median_s": medians[backend],
+                "speedup_vs_baseline": baseline / medians[backend],
+                "baseline": "numpy",
             })
     return rows
 
@@ -448,6 +491,8 @@ def bench_autotune(repeats: int) -> List[Dict]:
     can.
     """
     from repro.compiler.autotune import (
+        calibrate_cost_model,
+        collect_cost_samples,
         compare_tile_rankings,
         default_tile_candidates,
         tune_plan,
@@ -534,6 +579,39 @@ def bench_autotune(repeats: int) -> List[Dict]:
             "sim_pick": ranking.sim_pick,
             "measured_pick": ranking.measured_pick,
             "pairwise_agreement": ranking.pairwise_agreement,
+        }
+    )
+
+    # The same ranking after host calibration: fit the cost model's
+    # coefficients (including the per-tile dispatch charge) to measured
+    # traces on this machine, then re-rank with the fitted device.  The
+    # tracked ratio is again sim_pick_efficiency — following the
+    # *calibrated* model's pick should cost (near) nothing, which is the
+    # whole point of calibrating.
+    samples = collect_cost_samples(
+        model, sample, row_blocks=(2, 8, 32), repeats=max(5, repeats // 5)
+    )
+    calibration = calibrate_cost_model(samples)
+    calibrated = compare_tile_rankings(
+        model,
+        sample,
+        row_blocks=(2, 8, 32),
+        device=calibration.device,
+        repeats=max(5, repeats // 5),
+    )
+    rows.append(
+        {
+            "op": "tile_model_calibrated",
+            "size": f"rb={','.join(str(rb) for rb in calibrated.row_blocks)}",
+            "backend": "sim_pick_calibrated",
+            "median_s": calibrated.measured_s[calibrated.sim_pick],
+            "speedup_vs_baseline": calibrated.sim_pick_efficiency,
+            "baseline": "sim_pick_calibrated",
+            "sim_pick": calibrated.sim_pick,
+            "measured_pick": calibrated.measured_pick,
+            "pairwise_agreement": calibrated.pairwise_agreement,
+            "fit_error_reduction": calibration.error_reduction,
+            "tile_dispatch_us": calibration.tile_dispatch_us,
         }
     )
     return rows
@@ -974,6 +1052,7 @@ def _meta(repeats: int) -> Dict:
         # full-model/sequence rows are slower and sampled fewer times
         "forward_repeats": max(3, repeats // 3),
         "default_backend": kernels.get_default_backend(),
+        "compiled_backend": compiled_backend.available(),
     }
 
 

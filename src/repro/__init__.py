@@ -64,9 +64,11 @@ from repro.errors import (
     ArtifactError,
     CheckpointError,
     CompilationError,
+    CompileBackendError,
     ConfigError,
     FabricError,
     GradientError,
+    KernelError,
     OverloadError,
     ReproError,
     ShapeError,
@@ -97,6 +99,8 @@ __all__ = [
     "GradientError",
     "SparsityError",
     "CompilationError",
+    "CompileBackendError",
+    "KernelError",
     "SimulationError",
     "StreamError",
     "OverloadError",

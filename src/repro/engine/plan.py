@@ -57,6 +57,7 @@ at a time — see :mod:`repro.engine.streaming` and ``docs/serving.md``.
 from __future__ import annotations
 
 import math
+import warnings
 from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
@@ -640,8 +641,30 @@ class ModelPlan:
         self._workspace = _Workspace()
 
     def _backend_scope(self):
-        """Kernel-registry scope for this plan's tuned backend choice."""
-        return kernels.use_backend(self.backend) if self.backend else nullcontext()
+        """Kernel-registry scope for this plan's tuned backend choice.
+
+        A plan tuned on another host may name a backend this process
+        could not register (an artifact tuned for ``"compiled"`` loaded
+        where no C compiler exists).  Backends are bit-compatible (int8)
+        or tolerance-compatible (float) by the equivalence suite, so
+        that is a performance regression, not a correctness problem:
+        warn once and run on the session default instead of crashing.
+        """
+        if not self.backend:
+            return nullcontext()
+        if self.backend not in kernels.backends():
+            if not getattr(self, "_warned_missing_backend", False):
+                self._warned_missing_backend = True
+                warnings.warn(
+                    f"plan was tuned for kernel backend {self.backend!r}, "
+                    f"which is not available in this process "
+                    f"(have: {', '.join(kernels.backends())}); "
+                    "falling back to the default backend",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+            return nullcontext()
+        return kernels.use_backend(self.backend)
 
     def forward_batch(
         self, features: np.ndarray, lengths: Optional[np.ndarray] = None

@@ -40,6 +40,16 @@ class KernelError(ReproError, RuntimeError):
     """A kernel op/backend lookup failed or a kernel was misused."""
 
 
+class CompileBackendError(KernelError):
+    """The compiled C kernel backend could not be built or loaded.
+
+    Raised (and recorded once) when no C compiler is available, the build
+    fails, or the built library does not pass the load-time sanity probe.
+    The backend is then simply absent from ``kernels.backends()`` and
+    everything keeps running on the numpy backend.
+    """
+
+
 class StreamError(ReproError, RuntimeError):
     """A streaming session/frontend was used after finish or out of order."""
 

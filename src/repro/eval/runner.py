@@ -306,11 +306,15 @@ def _add_kernel_backend_arg(parser: argparse.ArgumentParser, top_level: bool) ->
     absent post-subcommand flag does not clobber a pre-subcommand value
     in the shared namespace.
     """
+    # No argparse choices= here: validation goes through
+    # kernels.resolve_backend so an unknown name raises the same typed
+    # ConfigError (listing what is registered) as REPRO_KERNEL_BACKEND
+    # and tune_plan, instead of argparse's exit-2 with a stale list.
     parser.add_argument(
         "--kernel-backend",
-        choices=kernels.registry.backends(),
         default=None if top_level else argparse.SUPPRESS,
-        help="execution backend for all kernel dispatches "
+        help="execution backend for all kernel dispatches, one of: "
+        f"{', '.join(kernels.registry.backends())} "
         f"(default: {kernels.get_default_backend()})",
     )
 
@@ -472,7 +476,9 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.kernel_backend:
-        kernels.set_default_backend(args.kernel_backend)
+        kernels.set_default_backend(
+            kernels.resolve_backend(args.kernel_backend, "--kernel-backend")
+        )
     args.func(args)
     return 0
 

@@ -26,8 +26,9 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.errors import KernelError
+from repro.errors import ConfigError, KernelError
 from repro.kernels import numpy_backend, quantized, reference  # noqa: F401  (register backends)
+from repro.kernels import compiled  # noqa: F401  (registers conditionally below)
 from repro.kernels.plans import (
     BSPCPlan,
     CSRPlan,
@@ -55,6 +56,8 @@ __all__ = [
     "KernelRegistry",
     "registry",
     "backends",
+    "resolve_backend",
+    "compiled",
     "set_default_backend",
     "get_default_backend",
     "use_backend",
@@ -201,11 +204,35 @@ def lstm_sequence_grad(
     return registry.get("lstm_sequence_grad", backend)(x, w_ih, w_hh, bias, h0, c0)
 
 
+def resolve_backend(name: str, source: str = "backend") -> str:
+    """Validate a user-supplied backend name against the registry.
+
+    Raises a typed :class:`~repro.errors.ConfigError` naming the
+    available backends — the shared validation for
+    ``REPRO_KERNEL_BACKEND``, ``--kernel-backend``, and ``tune_plan``'s
+    backend axis, all of which take free-form strings from outside the
+    library.
+    """
+    if name not in backends():
+        raise ConfigError(
+            f"{source} names unknown kernel backend {name!r}; "
+            f"available: {', '.join(backends())}"
+        )
+    return name
+
+
+# The compiled C backend registers only when a working compiler (and a
+# loadable, probe-passing .so) is actually present; otherwise the typed
+# CompileBackendError is recorded once (kernels.compiled.load_error())
+# and everything stays on the numpy backend.
+compiled.register_compiled_backend()
+
 # The REPRO_KERNEL_BACKEND environment variable selects the process-wide
 # default backend at import time — how CI runs the whole test suite under
 # each backend without touching test code.  An unknown name fails fast
-# with the registry's own error.
+# with a typed ConfigError listing what is registered (on a host without
+# a C compiler, asking for "compiled" lands here too).
 _env_backend = os.environ.get("REPRO_KERNEL_BACKEND")
 if _env_backend:
-    set_default_backend(_env_backend)
+    set_default_backend(resolve_backend(_env_backend, "REPRO_KERNEL_BACKEND"))
 del _env_backend

@@ -1,0 +1,1218 @@
+"""Compiled C backend: generated kernels built with the system compiler.
+
+This is the paper's deployment story applied to the host: the hot loops
+(CSR/BSPC spmv/spmm in float and int8, the dense int8 projections, and
+the fused GRU/LSTM sequence forward) are emitted as specialized C,
+compiled once with ``cc -O3 -march=native -shared -fPIC``, and bound via
+``ctypes`` with zero-copy views of the very same packed plan arrays the
+numpy backend executes (:mod:`repro.kernels.plans` /
+:mod:`repro.kernels.quantized`).  No third-party toolchain is needed —
+just a C compiler — so the backend registers itself only when one is
+actually present.
+
+Build artifacts are cached twice: an in-process handle (one ``CDLL`` per
+process) and an on-disk ``.so`` keyed by a SHA-256 content hash of the C
+source, the compiler, and the flags, so rebuilding only happens when the
+generated code changes.  Environment hooks:
+
+* ``REPRO_CC`` — compiler executable (default: ``cc``, then ``gcc``);
+* ``REPRO_COMPILED_CACHE`` — cache directory for the built ``.so``
+  (default: ``~/.cache/repro/compiled``, falling back to a per-user
+  directory under the system temp dir).
+
+Failure is graceful and typed: any problem (no compiler, a failed build,
+a library that fails the load-time sanity probe) raises
+:class:`~repro.errors.CompileBackendError`, which is recorded once —
+the backend is then absent from ``kernels.backends()`` and every caller
+keeps running on the numpy backend.
+
+Exactness contract (asserted by ``tests/test_kernels_equivalence.py``):
+
+* int8 kernels are **bitwise identical** to the reference/numpy
+  backends.  CSR/linear activations quantize through the *same*
+  :func:`~repro.kernels.quantized.int8_codes` /
+  :func:`~repro.kernels.quantized.int8_codes_axis` helpers; the BSPC
+  kernels quantize in C with an operation-for-operation replica of those
+  helpers (comparison max, one divide, round-half-even ``rint``, clip),
+  so codes and scales match numpy bit for bit for finite activations.
+  Products accumulate exactly — integer arithmetic on the CSR paths,
+  float FMA over integer values bounded the same way the numpy backend
+  bounds its ``codes_f`` GEMM dtype on the BSPC paths — and the final
+  dequant replicates each numpy kernel's float multiply *order*
+  operation for operation (one fused ``scale * xs`` multiply for the
+  per-call-scale ops, two sequential multiplies for the
+  per-column/per-row ops).
+* float kernels match to reduction-order tolerance (blocked C FMA sums
+  vs. numpy's pairwise/BLAS reductions).
+
+The fused BPTT ops (``gru_sequence_grad`` / ``lstm_sequence_grad``)
+stay on the numpy implementations — training wants whole-sequence BLAS
+GEMMs, not scalar loops — but they are registered under ``"compiled"``
+too so the full suite (and any plan pinned to this backend) dispatches
+every op without falling through the registry.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import CompileBackendError
+from repro.kernels import numpy_backend as _np_backend
+from repro.kernels.plans import bspc_plan, csr_plan
+from repro.kernels.quantized import (
+    F32_EXACT_INNER,
+    int8_bspc_plan,
+    int8_codes,
+    int8_codes_axis,
+    int8_csr_plan,
+)
+from repro.kernels.registry import KernelRegistry, registry
+
+#: Name this backend registers under.
+BACKEND = "compiled"
+
+#: Bump to invalidate cached ``.so`` files when the ABI (not just the C
+#: text) changes in a way the source hash cannot see.
+_ABI_VERSION = 1
+
+# ---------------------------------------------------------------------------
+# Generated C source
+# ---------------------------------------------------------------------------
+# Conventions shared by every kernel:
+#   * all sizes/indices are int64 (matching the plans' int64 arrays);
+#   * matrices are C-contiguous row-major, exactly as numpy stores them;
+#   * CSR int8 kernels take pre-quantized activations (the Python wrapper
+#     quantizes with the shared int8_codes helpers so codes and scales
+#     are bitwise identical across backends) and accumulate in exact
+#     integer arithmetic: int32 inner chunks of at most ACC_CHUNK
+#     products (|sum| <= 127*127*8192 < 2^31) flushed into int64;
+#   * BSPC kernels are stamped per accumulator type (see the templates
+#     below) from the same strip-panel structure the numpy backend
+#     executes: pack one strip's gathered activation columns into an
+#     L1-resident 16-lane tile, then run a 4-row register-blocked FMA
+#     microkernel over contiguous memory;
+#   * per-sample results never depend on which other rows/columns share
+#     the call — the property the streaming engine's chunk-exactness
+#     rests on.
+_C_COMMON = r"""
+#include <math.h>
+#include <stdint.h>
+#include <string.h>
+
+#define API __attribute__((visibility("default")))
+#define ACC_CHUNK 8192
+
+typedef int64_t i64;
+typedef int32_t i32;
+typedef int8_t  i8;
+typedef uint8_t u8;
+
+static double sigmoid(double v) { return 1.0 / (1.0 + exp(-v)); }
+
+/* ------------------------------------------------------------------ CSR */
+
+API void repro_csr_spmv(
+    i64 rows, const double *values, const i64 *cols, const i64 *row_ptr,
+    const double *x, double *out)
+{
+    for (i64 r = 0; r < rows; r++) {
+        double acc = 0.0;
+        for (i64 p = row_ptr[r]; p < row_ptr[r + 1]; p++)
+            acc += values[p] * x[cols[p]];
+        out[r] = acc;
+    }
+}
+
+API void repro_csr_spmm(
+    i64 rows, i64 batch, const double *values, const i64 *cols,
+    const i64 *row_ptr, const double *x, double *out)
+{
+    for (i64 r = 0; r < rows; r++) {
+        double *orow = out + r * batch;
+        for (i64 p = row_ptr[r]; p < row_ptr[r + 1]; p++) {
+            const double v = values[p];
+            const double *xr = x + cols[p] * batch;
+            for (i64 j = 0; j < batch; j++)
+                orow[j] += v * xr[j];
+        }
+    }
+}
+
+API void repro_csr_spmv_i8(
+    i64 rows, const i8 *codes, const i64 *cols, const i64 *row_ptr,
+    const i8 *xq, double scale_times_xs, double *out)
+{
+    for (i64 r = 0; r < rows; r++) {
+        i64 acc = 0;
+        i64 p = row_ptr[r];
+        const i64 stop = row_ptr[r + 1];
+        while (p < stop) {
+            i64 chunk = stop - p;
+            if (chunk > ACC_CHUNK) chunk = ACC_CHUNK;
+            i32 acc32 = 0;
+            for (i64 q = 0; q < chunk; q++)
+                acc32 += (i32)codes[p + q] * (i32)xq[cols[p + q]];
+            acc += acc32;
+            p += chunk;
+        }
+        out[r] = (double)acc * scale_times_xs;
+    }
+}
+
+API void repro_csr_spmm_i8(
+    i64 rows, i64 batch, const i8 *codes, const i64 *cols,
+    const i64 *row_ptr, const i8 *xq, const double *xs, double scale,
+    double *out, i64 *acc, i32 *acc32)
+{
+    for (i64 r = 0; r < rows; r++) {
+        memset(acc, 0, (size_t)batch * sizeof(i64));
+        i64 p = row_ptr[r];
+        const i64 stop = row_ptr[r + 1];
+        while (p < stop) {
+            i64 chunk = stop - p;
+            if (chunk > ACC_CHUNK) chunk = ACC_CHUNK;
+            memset(acc32, 0, (size_t)batch * sizeof(i32));
+            for (i64 q = 0; q < chunk; q++) {
+                const i32 c = (i32)codes[p + q];
+                const i8 *xr = xq + cols[p + q] * batch;
+                for (i64 j = 0; j < batch; j++)
+                    acc32[j] += c * (i32)xr[j];
+            }
+            for (i64 j = 0; j < batch; j++)
+                acc[j] += acc32[j];
+            p += chunk;
+        }
+        double *orow = out + r * batch;
+        for (i64 j = 0; j < batch; j++)
+            orow[j] = ((double)acc[j] * scale) * xs[j];
+    }
+}
+
+/* -------------------------------------------- dense int8 projections */
+
+API void repro_linear_i8(
+    i64 n, i64 m, i64 k, const i8 *xq, const i8 *w,
+    double scale_times_xs, double *out)
+{
+    for (i64 i = 0; i < n; i++) {
+        const i8 *xrow = xq + i * k;
+        for (i64 j = 0; j < m; j++) {
+            const i8 *wrow = w + j * k;
+            i64 a = 0;
+            i64 p = 0;
+            while (p < k) {
+                i64 chunk = k - p;
+                if (chunk > ACC_CHUNK) chunk = ACC_CHUNK;
+                i32 a32 = 0;
+                for (i64 q = 0; q < chunk; q++)
+                    a32 += (i32)xrow[p + q] * (i32)wrow[p + q];
+                a += a32;
+                p += chunk;
+            }
+            out[i * m + j] = (double)a * scale_times_xs;
+        }
+    }
+}
+
+API void repro_linear_i8_rowwise(
+    i64 n, i64 m, i64 k, const i8 *xq, const i8 *w, double scale,
+    const double *xs, double *out)
+{
+    for (i64 i = 0; i < n; i++) {
+        const i8 *xrow = xq + i * k;
+        const double si = xs[i];
+        for (i64 j = 0; j < m; j++) {
+            const i8 *wrow = w + j * k;
+            i64 a = 0;
+            i64 p = 0;
+            while (p < k) {
+                i64 chunk = k - p;
+                if (chunk > ACC_CHUNK) chunk = ACC_CHUNK;
+                i32 a32 = 0;
+                for (i64 q = 0; q < chunk; q++)
+                    a32 += (i32)xrow[p + q] * (i32)wrow[p + q];
+                a += a32;
+                p += chunk;
+            }
+            out[i * m + j] = ((double)a * scale) * si;
+        }
+    }
+}
+
+/* ------------------------------------------- fused recurrent forward */
+/* The input-side projection (one whole-sequence GEMM) is hoisted in the
+ * Python wrapper — identically to the numpy backend, so chunk splits
+ * see the same values — and only the sequential recurrence runs here.
+ * Every sample's step is computed independently of the rest of the
+ * batch (fixed reduction order over the hidden dim), which keeps the
+ * streaming scheduler's cross-session batch fusion chunk-exact. */
+
+API void repro_gru_sequence(
+    i64 T, i64 B, i64 H, const double *gates_x, const double *w_hh_t,
+    const double *b_hh_h, double *h, double *out, double *gh)
+{
+    const i64 G = 3 * H;
+    for (i64 t = 0; t < T; t++) {
+        memset(gh, 0, (size_t)(B * G) * sizeof(double));
+        for (i64 b = 0; b < B; b++) {
+            double *ghb = gh + b * G;
+            const double *hb = h + b * H;
+            for (i64 i = 0; i < H; i++) {
+                const double a = hb[i];
+                const double *wr = w_hh_t + i * G;
+                for (i64 g = 0; g < G; g++)
+                    ghb[g] += a * wr[g];
+            }
+        }
+        const double *gx = gates_x + t * B * G;
+        double *ot = out + t * B * H;
+        for (i64 b = 0; b < B; b++) {
+            const double *gxb = gx + b * G;
+            const double *ghb = gh + b * G;
+            double *hb = h + b * H;
+            for (i64 j = 0; j < H; j++) {
+                const double z = sigmoid(gxb[j] + ghb[j]);
+                const double r = sigmoid(gxb[H + j] + ghb[H + j]);
+                const double ht =
+                    tanh(gxb[2 * H + j] + r * (ghb[2 * H + j] + b_hh_h[j]));
+                const double hn = (1.0 - z) * hb[j] + z * ht;
+                hb[j] = hn;
+                ot[b * H + j] = hn;
+            }
+        }
+    }
+}
+
+API void repro_lstm_sequence(
+    i64 T, i64 B, i64 H, const double *gates_x, const double *w_hh_t,
+    double *h, double *c, double *out, double *gh)
+{
+    const i64 G = 4 * H;
+    for (i64 t = 0; t < T; t++) {
+        memset(gh, 0, (size_t)(B * G) * sizeof(double));
+        for (i64 b = 0; b < B; b++) {
+            double *ghb = gh + b * G;
+            const double *hb = h + b * H;
+            for (i64 i = 0; i < H; i++) {
+                const double a = hb[i];
+                const double *wr = w_hh_t + i * G;
+                for (i64 g = 0; g < G; g++)
+                    ghb[g] += a * wr[g];
+            }
+        }
+        const double *gx = gates_x + t * B * G;
+        double *ot = out + t * B * H;
+        for (i64 b = 0; b < B; b++) {
+            const double *gxb = gx + b * G;
+            const double *ghb = gh + b * G;
+            double *hb = h + b * H;
+            double *cb = c + b * H;
+            for (i64 j = 0; j < H; j++) {
+                const double ig = sigmoid(gxb[j] + ghb[j]);
+                const double fg = sigmoid(gxb[H + j] + ghb[H + j]);
+                const double gg = tanh(gxb[2 * H + j] + ghb[2 * H + j]);
+                const double og = sigmoid(gxb[3 * H + j] + ghb[3 * H + j]);
+                const double cn = fg * cb[j] + ig * gg;
+                const double hn = og * tanh(cn);
+                cb[j] = cn;
+                hb[j] = hn;
+                ot[b * H + j] = hn;
+            }
+        }
+    }
+}
+"""
+
+# Per-type BSPC template, stamped once with ($S, $T) = ("f32", "float")
+# and once with ("f64", "double") — mirroring how the numpy backend picks
+# the GEMM dtype for `codes_f` (float32 while a strip's inner extent keeps
+# int8 partial sums below 2^24, float64 beyond).  Because every operand is
+# an integer of magnitude <= 127 and per-lane partials respect the same
+# bound, the float FMA arithmetic below *is* exact integer arithmetic —
+# identical bits to the reference backend's int64 path, regardless of
+# reduction order.
+#
+# Quantization replicates int8_codes / int8_codes_axis operation for
+# operation (comparison max for the peak over the *full* activation
+# matrix, one divide, round-half-even rint, clip to ±127) so codes and
+# scales match numpy bit for bit for the finite activations the engine
+# produces — but it happens *inside* the pack: only the gathered rows
+# are ever quantized, straight into the L1 tile, skipping the
+# intermediate quantized copy of the whole activation matrix.
+#
+# Kernel structure: for each strip, gather-quantize the strip's
+# activation columns into a 16-lane L1-resident tile (zeroing padded
+# columns and unused lanes), then run a 4-row register-blocked FMA
+# microkernel over the contiguous tile; partial sums land in a float
+# accumulator (float32 when the whole-row reduction fits the 2^24
+# integer-exactness bound, float64 otherwise — both produce the same
+# exact integers) with a sink row one past the real output for padded
+# rows, and the final dequant pass replays numpy's multiply order.  The scatter target pointers are
+# deliberately *not* restrict-qualified: several padded panel rows may
+# scatter into the same sink slot.
+_C_BSPC_TEMPLATE = r"""
+/* GNU vector types for the tile microkernel: v16/a16 are the
+ * full-width code and accumulator vectors the FMA loop keeps in
+ * registers; u16/w16 are their element-aligned flavours for memory
+ * access (numpy buffers guarantee only element alignment). */
+typedef $T v16_$S __attribute__((vector_size($W * sizeof($T))));
+typedef $T u16_$S __attribute__((vector_size($W * sizeof($T)),
+                                 aligned(sizeof($T))));
+typedef $A a16_$S __attribute__((vector_size($W * sizeof($A))));
+typedef $A w16_$S __attribute__((vector_size($W * sizeof($A)),
+                                 aligned(sizeof($A))));
+
+/* Fused quantize-and-pack: gather one strip's activation rows (lanes
+ * jb..jb+nb of the (n, ldx) float64 activation matrix) straight into the
+ * contiguous (mc, 16) code tile, quantizing on the fly with the
+ * per-column scales.  Skipping the intermediate quantized copy of the
+ * whole activation matrix is worth ~25% end to end: the gathered rows
+ * are the only ones the GEMM ever reads. */
+static void bspc_packq_$S(
+    i64 mc, i64 nb, i64 ldx, i64 jb, const i64 *gc, const u8 *pc,
+    const double *x, const double *xs, $T *restrict xp)
+{
+    if (!pc && nb == $W) {  /* full-width fast path */
+        const double *sr = xs + jb;
+        double rc[$W];
+        for (int j = 0; j < $W; j++) rc[j] = 1.0 / sr[j];
+        for (i64 k = 0; k < mc; k++) {
+            const double *xr = x + gc[k] * ldx + jb;
+            $T *restrict pr = xp + k * $W;
+            for (int j = 0; j < $W; j++) {
+                /* Correctly rounded x/s via Markstein's reciprocal
+                 * sequence (one mul, two fmas): bitwise-identical to a
+                 * hardware divide away from over/underflow, at several
+                 * times the throughput.  The quantized codes must match
+                 * the numpy path's rint(x / s) bit for bit. */
+                double q0 = xr[j] * rc[j];
+                double e = __builtin_fma(-sr[j], q0, xr[j]);
+                double v = rint(__builtin_fma(e, rc[j], q0));
+                if (v > 127.0) v = 127.0;
+                if (v < -127.0) v = -127.0;
+                pr[j] = ($T)v;
+            }
+        }
+        return;
+    }
+    for (i64 k = 0; k < mc; k++) {
+        $T *restrict pr = xp + k * $W;
+        if (pc && pc[k]) {
+            for (int j = 0; j < $W; j++) pr[j] = 0;
+            continue;
+        }
+        const double *xr = x + gc[k] * ldx + jb;
+        i64 j = 0;
+        for (; j < nb; j++) {
+            double v = rint(xr[j] / xs[jb + j]);
+            if (v > 127.0) v = 127.0;
+            if (v < -127.0) v = -127.0;
+            pr[j] = ($T)v;
+        }
+        for (; j < $W; j++) pr[j] = 0;
+    }
+}
+
+/* Vector variant for spmv: one lane, one shared activation scale. */
+static void bspc_packqv_$S(
+    i64 mc, const i64 *gc, const u8 *pc, const double *x, double xscale,
+    $T *restrict xp)
+{
+    double rc = 1.0 / xscale;  /* Markstein sequence, as in bspc_packq */
+    for (i64 k = 0; k < mc; k++) {
+        if (pc && pc[k]) { xp[k] = 0; continue; }
+        double xv = x[gc[k]];
+        double q0 = xv * rc;
+        double e = __builtin_fma(-xscale, q0, xv);
+        double v = rint(__builtin_fma(e, rc, q0));
+        if (v > 127.0) v = 127.0;
+        if (v < -127.0) v = -127.0;
+        xp[k] = ($T)v;
+    }
+}
+
+/* Pack one strip's gathered activation columns (lanes jb..jb+nb of the
+ * (n, ldx) activation matrix) into the contiguous (mc, 16) tile. */
+static void bspc_pack_$S(
+    i64 mc, i64 nb, i64 ldx, i64 jb, const i64 *gc, const u8 *pc,
+    const $T *xq, $T *restrict xp)
+{
+    if (!pc && nb == $W) {  /* full-width fast path: straight copies */
+        for (i64 k = 0; k < mc; k++) {
+            const $T *xr = xq + gc[k] * ldx + jb;
+            $T *restrict pr = xp + k * $W;
+            for (int j = 0; j < $W; j++)
+                pr[j] = xr[j];
+        }
+        return;
+    }
+    for (i64 k = 0; k < mc; k++) {
+        $T *restrict pr = xp + k * $W;
+        if (pc && pc[k]) {
+            for (int j = 0; j < $W; j++) pr[j] = 0;
+            continue;
+        }
+        const $T *xr = xq + gc[k] * ldx + jb;
+        int j = 0;
+        for (; j < nb; j++) pr[j] = xr[j];
+        for (; j < $W; j++) pr[j] = 0;
+    }
+}
+
+/* Vector variant of the pack for spmv (one lane). */
+static void bspc_packv_$S(
+    i64 mc, const i64 *gc, const u8 *pc, const $T *xq, $T *restrict xp)
+{
+    for (i64 k = 0; k < mc; k++)
+        xp[k] = (pc && pc[k]) ? 0 : xq[gc[k]];
+}
+
+/* 4-row x 16-lane FMA microkernel over one strip's packed tile; the
+ * accumulators live in registers for the whole inner-product loop.
+ *
+ * The accumulators are GNU vector-extension types rather than plain
+ * arrays: letting the auto-vectorizer carve the 16-lane arrays up on
+ * its own leaves >2x on the table here (it splits each accumulator
+ * across half-width registers and schedules the broadcast loads
+ * poorly), while the explicit vector ops pin one full-width register
+ * per row.  `u16` is the element-aligned flavour for loads/stores —
+ * the packed tile and accumulator come from numpy allocations with no
+ * vector-width alignment guarantee.  All int8 stamps stay exact
+ * integer arithmetic (products <= 127^2, sums < 2^24), so the
+ * contracted FMAs are bit-identical to separate multiply/add. */
+static void bspc_tile_$S(
+    i64 mr, i64 mc, i64 nb, i64 lda, i64 jb, const $T *codes,
+    const i64 *srows, const $T *restrict xp, $A *acc)
+{
+    i64 i = 0;
+    for (; i + 3 < mr; i += 4) {
+        const $T *c0 = codes + i * mc;
+        const $T *c1 = c0 + mc;
+        const $T *c2 = c1 + mc;
+        const $T *c3 = c2 + mc;
+        v16_$S a0 = {0}, a1 = {0}, a2 = {0}, a3 = {0};
+        for (i64 k = 0; k < mc; k++) {
+            const v16_$S v = *(const u16_$S *)(xp + k * $W);
+            a0 += c0[k] * v;
+            a1 += c1[k] * v;
+            a2 += c2[k] * v;
+            a3 += c3[k] * v;
+        }
+        $A *r0 = acc + srows[i] * lda + jb;
+        $A *r1 = acc + srows[i + 1] * lda + jb;
+        $A *r2 = acc + srows[i + 2] * lda + jb;
+        $A *r3 = acc + srows[i + 3] * lda + jb;
+        if (nb == $W) {  /* full-width fast path: vector read-modify-write */
+            *(w16_$S *)r0 += __builtin_convertvector(a0, a16_$S);
+            *(w16_$S *)r1 += __builtin_convertvector(a1, a16_$S);
+            *(w16_$S *)r2 += __builtin_convertvector(a2, a16_$S);
+            *(w16_$S *)r3 += __builtin_convertvector(a3, a16_$S);
+        } else {
+            for (i64 j = 0; j < nb; j++) r0[j] += ($A)a0[j];
+            for (i64 j = 0; j < nb; j++) r1[j] += ($A)a1[j];
+            for (i64 j = 0; j < nb; j++) r2[j] += ($A)a2[j];
+            for (i64 j = 0; j < nb; j++) r3[j] += ($A)a3[j];
+        }
+    }
+    for (; i < mr; i++) {
+        const $T *cr = codes + i * mc;
+        v16_$S a = {0};
+        for (i64 k = 0; k < mc; k++)
+            a += cr[k] * *(const u16_$S *)(xp + k * $W);
+        $A *r = acc + srows[i] * lda + jb;
+        if (nb == $W) {
+            *(w16_$S *)r += __builtin_convertvector(a, a16_$S);
+        } else {
+            for (i64 j = 0; j < nb; j++) r[j] += ($A)a[j];
+        }
+    }
+}
+
+/* Per-row dot products over the packed strip vector: eight independent
+ * lanes so the reduction vectorizes without reassociating float math
+ * (per-lane int8 partials stay below 2^24 for the f32 stamp). */
+static void bspc_dotcol_$S(
+    i64 mr, i64 mc, const $T *codes, const i64 *srows,
+    const $T *restrict xp, $A *acc)
+{
+    for (i64 i = 0; i < mr; i++) {
+        const $T *cr = codes + i * mc;
+        $T a[8] = {0};
+        i64 k = 0;
+        for (; k + 8 <= mc; k += 8)
+            for (int j = 0; j < 8; j++)
+                a[j] += cr[k + j] * xp[k + j];
+        for (; k < mc; k++)
+            a[0] += cr[k] * xp[k];
+        double s = 0.0;
+        for (int j = 0; j < 8; j++) s += (double)a[j];
+        acc[srows[i]] += ($A)s;
+    }
+}
+
+API void repro_bspc_spmv_i8_$S(
+    i64 strips, i64 mr, i64 mc, i64 rows, i64 n, const $T *codes,
+    const i64 *gcols, const u8 *padc, const i64 *srows, const double *x,
+    double scale, $T *xp, $A *acc, double *out)
+{
+    /* Whole-vector activation scale: bitwise replica of int8_codes
+     * (comparison max for the peak, one divide). */
+    double peak = 0.0;
+    for (i64 i = 0; i < n; i++) {
+        const double a = fabs(x[i]);
+        peak = peak > a ? peak : a;
+    }
+    const double xscale = peak > 0.0 ? peak / 127.0 : 1.0;
+    memset(acc, 0, (size_t)(rows + 1) * sizeof($A));
+    for (i64 s = 0; s < strips; s++) {
+        bspc_packqv_$S(mc, gcols + s * mc, padc ? padc + s * mc : 0,
+                       x, xscale, xp);
+        bspc_dotcol_$S(mr, mc, codes + s * mr * mc, srows + s * mr, xp, acc);
+    }
+    const double dq = scale * xscale;
+    for (i64 r = 0; r < rows; r++)
+        out[r] = (double)acc[r] * dq;
+}
+
+API void repro_bspc_spmm_i8_$S(
+    i64 strips, i64 mr, i64 mc, i64 rows, i64 n, i64 batch,
+    const $T *codes, const i64 *gcols, const u8 *padc, const i64 *srows,
+    const double *x, double scale, double *xs, $T *xp, $A *acc,
+    double *out)
+{
+    /* Per-column activation scales over the full (n, batch) matrix:
+     * bitwise replica of int8_codes_axis. */
+    for (i64 j = 0; j < batch; j++) xs[j] = 0.0;
+    for (i64 i = 0; i < n; i++) {
+        const double *xr = x + i * batch;
+        for (i64 j = 0; j < batch; j++) {
+            const double a = fabs(xr[j]);
+            xs[j] = xs[j] > a ? xs[j] : a;
+        }
+    }
+    for (i64 j = 0; j < batch; j++)
+        xs[j] = xs[j] > 0.0 ? xs[j] / 127.0 : 1.0;
+    memset(acc, 0, (size_t)((rows + 1) * batch) * sizeof($A));
+    for (i64 jb = 0; jb < batch; jb += $W) {
+        const i64 nb = batch - jb < $W ? batch - jb : $W;
+        for (i64 s = 0; s < strips; s++) {
+            bspc_packq_$S(mc, nb, batch, jb, gcols + s * mc,
+                          padc ? padc + s * mc : 0, x, xs, xp);
+            bspc_tile_$S(mr, mc, nb, batch, jb, codes + s * mr * mc,
+                         srows + s * mr, xp, acc);
+        }
+    }
+    for (i64 r = 0; r < rows; r++) {
+        double *orow = out + r * batch;
+        const $A *arow = acc + r * batch;
+        for (i64 j = 0; j < batch; j++)
+            orow[j] = ((double)arow[j] * scale) * xs[j];
+    }
+}
+"""
+
+# Float BSPC kernels: the f64 pack/tile cores above over the raw panel
+# weights (no quantization, no dequant) — padded columns zero in the pack
+# exactly like the numpy backend zeroes the gathered activations, and the
+# sink row (index `rows`) absorbs padded-row scatter for the caller to
+# drop.  The output buffer doubles as the accumulator.
+_C_BSPC_FLOAT = r"""
+API void repro_bspc_spmv(
+    i64 strips, i64 mr, i64 mc, i64 rows, const double *panels,
+    const i64 *gcols, const u8 *padc, const i64 *srows, const double *x,
+    double *xp, double *out)
+{
+    memset(out, 0, (size_t)(rows + 1) * sizeof(double));
+    for (i64 s = 0; s < strips; s++) {
+        bspc_packv_f64(mc, gcols + s * mc, padc ? padc + s * mc : 0, x, xp);
+        bspc_dotcol_f64(mr, mc, panels + s * mr * mc, srows + s * mr, xp, out);
+    }
+}
+
+API void repro_bspc_spmm(
+    i64 strips, i64 mr, i64 mc, i64 rows, i64 batch, const double *panels,
+    const i64 *gcols, const u8 *padc, const i64 *srows, const double *x,
+    double *xp, double *out)
+{
+    memset(out, 0, (size_t)((rows + 1) * batch) * sizeof(double));
+    for (i64 jb = 0; jb < batch; jb += 16) {
+        const i64 nb = batch - jb < 16 ? batch - jb : 16;
+        for (i64 s = 0; s < strips; s++) {
+            bspc_pack_f64(mc, nb, batch, jb, gcols + s * mc,
+                          padc ? padc + s * mc : 0, x, xp);
+            bspc_tile_f64(mr, mc, nb, batch, jb, panels + s * mr * mc,
+                          srows + s * mr, xp, out);
+        }
+    }
+}
+"""
+
+
+def _stamp(
+    template: str, suffix: str, ctype: str, width: int, acc: str = "double"
+) -> str:
+    return (
+        template.replace("$T", ctype)
+        .replace("$A", acc)
+        .replace("$S", suffix)
+        .replace("$W", str(width))
+    )
+
+
+# Three stamps of the BSPC int8 template, keyed by (code dtype, acc
+# dtype).  The narrow-accumulator f32 stamp halves the accumulator's
+# memset/writeback traffic; it is exact (and therefore bit-identical to
+# the f64-acc stamps) only while the *whole-row* reduction stays under
+# 2^24, which the wrapper checks via strips * mc <= F32_EXACT_INNER.
+# The f32w stamp keeps float codes but a double accumulator for plans
+# whose per-strip extent fits the bound while the row total does not.
+_C_SOURCE = (
+    _C_COMMON
+    + _stamp(_C_BSPC_TEMPLATE, "f32", "float", 16, acc="float")
+    + _stamp(_C_BSPC_TEMPLATE, "f32w", "float", 16, acc="double")
+    + _stamp(_C_BSPC_TEMPLATE, "f64", "double", 16, acc="double")
+    + _C_BSPC_FLOAT
+)
+
+
+# ---------------------------------------------------------------------------
+# Build + cache machinery
+# ---------------------------------------------------------------------------
+_LIB: Optional[ctypes.CDLL] = None
+_LOAD_ERROR: Optional[CompileBackendError] = None
+
+
+def compiler_command() -> str:
+    """The C compiler to use: ``$REPRO_CC``, else ``cc``, else ``gcc``."""
+    explicit = os.environ.get("REPRO_CC")
+    if explicit:
+        return explicit
+    for candidate in ("cc", "gcc"):
+        found = shutil.which(candidate)
+        if found:
+            return found
+    raise CompileBackendError(
+        "no C compiler found (set REPRO_CC, or install cc/gcc); "
+        "the 'compiled' kernel backend is unavailable"
+    )
+
+
+def cache_dir() -> Path:
+    """On-disk ``.so`` cache: ``$REPRO_COMPILED_CACHE`` or a default."""
+    explicit = os.environ.get("REPRO_COMPILED_CACHE")
+    if explicit:
+        return Path(explicit)
+    try:
+        return Path.home() / ".cache" / "repro" / "compiled"
+    except RuntimeError:  # no resolvable home directory
+        return Path(tempfile.gettempdir()) / f"repro-compiled-{os.getuid()}"
+
+
+def _source_key(cc: str, flags: Tuple[str, ...]) -> str:
+    digest = hashlib.sha256()
+    digest.update(f"abi={_ABI_VERSION};cc={cc};flags={' '.join(flags)};".encode())
+    digest.update(_C_SOURCE.encode())
+    return digest.hexdigest()[:16]
+
+
+def _compile(cc: str, src_path: Path, out_path: Path, flags: Tuple[str, ...]) -> None:
+    cmd = [cc, *flags, "-o", str(out_path), str(src_path), "-lm"]
+    try:
+        proc = subprocess.run(
+            cmd, stdout=subprocess.PIPE, stderr=subprocess.PIPE, timeout=120
+        )
+    except (OSError, subprocess.TimeoutExpired) as exc:
+        raise CompileBackendError(
+            f"could not run C compiler {cc!r}: {exc}"
+        ) from exc
+    if proc.returncode != 0:
+        stderr = proc.stderr.decode(errors="replace").strip()
+        raise CompileBackendError(
+            f"C kernel build failed ({cc} exited {proc.returncode}):\n"
+            + stderr[-2000:]
+        )
+
+
+def build_library(
+    cc: Optional[str] = None, cache: Optional[Path] = None
+) -> ctypes.CDLL:
+    """Build (or reuse) the kernel ``.so`` and return the loaded library.
+
+    The output lives in the cache directory under a content-hash name, so
+    an unchanged source + compiler + flags combination never recompiles —
+    across processes as well as within one.  Raises
+    :class:`CompileBackendError` on any failure.
+    """
+    cc = cc or compiler_command()
+    cache = Path(cache) if cache is not None else cache_dir()
+    base_flags = ("-O3", "-shared", "-fPIC", "-fvisibility=hidden")
+    for flags in (("-march=native",) + base_flags, base_flags):
+        key = _source_key(cc, flags)
+        so_path = cache / f"repro_kernels_{key}.so"
+        if so_path.exists():
+            return _load_and_probe(so_path)
+        try:
+            cache.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise CompileBackendError(
+                f"cannot create compiled-kernel cache dir {cache}: {exc}"
+            ) from exc
+        src_path = cache / f"repro_kernels_{key}.c"
+        tmp_so = cache / f".repro_kernels_{key}.{os.getpid()}.so.tmp"
+        try:
+            src_path.write_text(_C_SOURCE)
+            _compile(cc, src_path, tmp_so, flags)
+        except CompileBackendError:
+            tmp_so.unlink(missing_ok=True)
+            if flags != base_flags:
+                continue  # retry without -march=native
+            raise
+        os.replace(tmp_so, so_path)  # atomic under concurrent builders
+        return _load_and_probe(so_path)
+    raise CompileBackendError("C kernel build failed")  # pragma: no cover
+
+
+def _load_and_probe(so_path: Path) -> ctypes.CDLL:
+    try:
+        lib = ctypes.CDLL(str(so_path))
+        _declare(lib)
+    except OSError as exc:
+        raise CompileBackendError(
+            f"could not load compiled kernels from {so_path}: {exc}"
+        ) from exc
+    _sanity_probe(lib)
+    return lib
+
+
+def _declare(lib: ctypes.CDLL) -> None:
+    """Declare restype/argtypes (sizes int64, everything else raw pointers)."""
+    i64 = ctypes.c_longlong
+    ptr = ctypes.c_void_p
+    dbl = ctypes.c_double
+    signatures = {
+        "repro_csr_spmv": (i64, ptr, ptr, ptr, ptr, ptr),
+        "repro_csr_spmm": (i64, i64, ptr, ptr, ptr, ptr, ptr),
+        "repro_csr_spmv_i8": (i64, ptr, ptr, ptr, ptr, dbl, ptr),
+        "repro_csr_spmm_i8": (i64, i64, ptr, ptr, ptr, ptr, ptr, dbl, ptr, ptr, ptr),
+        "repro_bspc_spmv": (
+            i64, i64, i64, i64, ptr, ptr, ptr, ptr, ptr, ptr, ptr,
+        ),
+        "repro_bspc_spmm": (
+            i64, i64, i64, i64, i64, ptr, ptr, ptr, ptr, ptr, ptr, ptr,
+        ),
+        "repro_linear_i8": (i64, i64, i64, ptr, ptr, dbl, ptr),
+        "repro_linear_i8_rowwise": (i64, i64, i64, ptr, ptr, dbl, ptr, ptr),
+        "repro_gru_sequence": (i64, i64, i64, ptr, ptr, ptr, ptr, ptr, ptr),
+        "repro_lstm_sequence": (i64, i64, i64, ptr, ptr, ptr, ptr, ptr, ptr),
+    }
+    for suffix in ("f32", "f32w", "f64"):
+        signatures[f"repro_bspc_spmv_i8_{suffix}"] = (
+            i64, i64, i64, i64, i64, ptr, ptr, ptr, ptr, ptr, dbl,
+            ptr, ptr, ptr,
+        )
+        signatures[f"repro_bspc_spmm_i8_{suffix}"] = (
+            i64, i64, i64, i64, i64, i64, ptr, ptr, ptr, ptr, ptr, dbl,
+            ptr, ptr, ptr, ptr,
+        )
+    try:
+        for name, argtypes in signatures.items():
+            fn = getattr(lib, name)
+            fn.restype = None
+            fn.argtypes = argtypes
+    except AttributeError as exc:
+        raise CompileBackendError(
+            f"compiled kernel library is missing symbol: {exc}"
+        ) from exc
+
+
+def _sanity_probe(lib: ctypes.CDLL) -> None:
+    """One tiny csr_spmv through the library; a stale or miscompiled
+    ``.so`` fails here instead of corrupting results downstream."""
+    values = np.array([2.0, 3.0, 4.0])
+    cols = np.array([0, 2, 1], dtype=np.int64)
+    row_ptr = np.array([0, 2, 3], dtype=np.int64)
+    x = np.array([1.0, 10.0, 100.0])
+    out = np.zeros(2)
+    lib.repro_csr_spmv(
+        2, _p(values), _p(cols), _p(row_ptr), _p(x), _p(out)
+    )
+    if not np.array_equal(out, [302.0, 40.0]):
+        raise CompileBackendError(
+            f"compiled kernel sanity probe produced {out.tolist()}, "
+            "expected [302.0, 40.0]; refusing to register the backend"
+        )
+
+
+def _library() -> ctypes.CDLL:
+    """The per-process library handle; builds on first use, errors once."""
+    global _LIB, _LOAD_ERROR
+    if _LIB is not None:
+        return _LIB
+    if _LOAD_ERROR is not None:
+        raise _LOAD_ERROR
+    try:
+        _LIB = build_library()
+    except CompileBackendError as exc:
+        _LOAD_ERROR = exc
+        raise
+    return _LIB
+
+
+def available() -> bool:
+    """Whether the compiled backend can be (or has been) built and loaded."""
+    try:
+        _library()
+    except CompileBackendError:
+        return False
+    return True
+
+
+def load_error() -> Optional[CompileBackendError]:
+    """The recorded build/load failure, if the backend is unavailable."""
+    return _LOAD_ERROR
+
+
+def _reset_for_tests() -> None:
+    """Forget the cached handle/error so tests can re-probe the build."""
+    global _LIB, _LOAD_ERROR
+    _LIB = None
+    _LOAD_ERROR = None
+
+
+# ---------------------------------------------------------------------------
+# ctypes helpers
+# ---------------------------------------------------------------------------
+def _p(array: np.ndarray) -> int:
+    return array.ctypes.data
+
+
+def _f64(array: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(array, dtype=np.float64)
+
+
+def _i8(array: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(array, dtype=np.int8)
+
+
+#: Reused per-process scratch buffers, grown on demand.  Fresh `np.empty`
+#: calls above numpy's mmap threshold page-fault on every touch, which
+#: costs more than the kernels themselves at bench sizes.  Same
+#: single-thread discipline as the numpy backend's per-plan scratch
+#: arrays (`Int8CSRPlan.gather_scratch` etc.).
+_SCRATCH: dict = {}
+
+
+def _scratch(key: str, size: int, dtype=np.float64) -> np.ndarray:
+    arr = _SCRATCH.get(key)
+    if arr is None or arr.size < size or arr.dtype != dtype:
+        arr = np.empty(size, dtype=dtype)
+        _SCRATCH[key] = arr
+    return arr
+
+
+#: j-block width of the packed activation tile — must match the `$W`
+#: the C templates were stamped with.  16 lanes keeps the 4-row
+#: microkernel's accumulators in registers for both dtypes (gcc fully
+#: unrolls narrower inner loops into scalar code instead of
+#: SLP-vectorizing them).
+_TILE_LANES = {np.dtype(np.float32): 16, np.dtype(np.float64): 16}
+
+
+# ---------------------------------------------------------------------------
+# Kernel wrappers (registered under the "compiled" backend)
+# ---------------------------------------------------------------------------
+def csr_spmv(matrix, x: np.ndarray) -> np.ndarray:
+    out = np.zeros(matrix.shape[0])
+    if matrix.values.size:
+        x = _f64(x)
+        _library().repro_csr_spmv(
+            matrix.shape[0],
+            _p(matrix.values), _p(matrix.col_indices), _p(matrix.row_ptr),
+            _p(x), _p(out),
+        )
+    return out
+
+
+def csr_spmm(matrix, x: np.ndarray) -> np.ndarray:
+    batch = x.shape[1]
+    out = np.zeros((matrix.shape[0], batch))
+    if matrix.values.size and batch:
+        x = _f64(x)
+        _library().repro_csr_spmm(
+            matrix.shape[0], batch,
+            _p(matrix.values), _p(matrix.col_indices), _p(matrix.row_ptr),
+            _p(x), _p(out),
+        )
+    return out
+
+
+def csr_spmv_int8(matrix, x: np.ndarray) -> np.ndarray:
+    plan = int8_csr_plan(matrix)
+    out = np.zeros(matrix.shape[0])
+    if plan.nonempty_rows.size:
+        xq, xs = int8_codes(x)
+        xq = _i8(xq)
+        _library().repro_csr_spmv_i8(
+            matrix.shape[0],
+            _p(plan.codes), _p(matrix.col_indices), _p(matrix.row_ptr),
+            _p(xq), plan.scale * xs, _p(out),
+        )
+    return out
+
+
+def csr_spmm_int8(matrix, x: np.ndarray) -> np.ndarray:
+    plan = int8_csr_plan(matrix)
+    batch = x.shape[1]
+    out = np.zeros((matrix.shape[0], batch))
+    if plan.nonempty_rows.size and batch:
+        xq, xs = int8_codes_axis(x, axis=0)
+        xq = _i8(xq)
+        xs = np.ascontiguousarray(xs.reshape(-1), dtype=np.float64)
+        acc = np.empty(batch, dtype=np.int64)
+        acc32 = np.empty(batch, dtype=np.int32)
+        _library().repro_csr_spmm_i8(
+            matrix.shape[0], batch,
+            _p(plan.codes), _p(matrix.col_indices), _p(matrix.row_ptr),
+            _p(xq), _p(xs), plan.scale, _p(out), _p(acc), _p(acc32),
+        )
+    return out
+
+
+def _pad_ptr(plan) -> Optional[int]:
+    return plan.pad_cols.ctypes.data if plan.pad_cols is not None else None
+
+
+def bspc_spmv(matrix, x: np.ndarray) -> np.ndarray:
+    plan = bspc_plan(matrix)
+    rows = plan.shape[0]
+    out = np.zeros(rows + 1)
+    if plan.panels.size:
+        x = _f64(x)
+        strips, mr, mc = plan.panels.shape
+        xp = _scratch("bspc_xp_f64", mc)
+        _library().repro_bspc_spmv(
+            strips, mr, mc, rows,
+            _p(plan.panels), _p(plan.gather_cols), _pad_ptr(plan),
+            _p(plan.scatter_rows), _p(x), _p(xp), _p(out),
+        )
+    return out[:rows]
+
+
+def bspc_spmm(matrix, x: np.ndarray) -> np.ndarray:
+    plan = bspc_plan(matrix)
+    rows = plan.shape[0]
+    batch = x.shape[1]
+    out = np.zeros((rows + 1, batch))
+    if plan.panels.size and batch:
+        x = _f64(x)
+        strips, mr, mc = plan.panels.shape
+        xp = _scratch("bspc_xp_f64", mc * 16)
+        _library().repro_bspc_spmm(
+            strips, mr, mc, rows, batch,
+            _p(plan.panels), _p(plan.gather_cols), _pad_ptr(plan),
+            _p(plan.scatter_rows), _p(x), _p(xp), _p(out),
+        )
+    return out[:rows]
+
+
+def _int8_bspc_fn(lib, op: str, ft: np.dtype, strips: int, mc: int):
+    """Pick the kernel stamp and accumulator dtype for an int8 BSPC plan.
+
+    The narrow float32 accumulator is exact only while the whole-row
+    reduction (bounded by ``strips * mc`` gathered columns) keeps integer
+    partial sums below 2^24; past that, float codes pair with the wide
+    f64-accumulator ``f32w`` stamp instead.
+    """
+    if ft != np.float32:
+        return getattr(lib, f"repro_bspc_{op}_i8_f64"), np.float64
+    if strips * mc <= F32_EXACT_INNER:
+        return getattr(lib, f"repro_bspc_{op}_i8_f32"), np.float32
+    return getattr(lib, f"repro_bspc_{op}_i8_f32w"), np.float64
+
+
+def bspc_spmv_int8(matrix, x: np.ndarray) -> np.ndarray:
+    plan = int8_bspc_plan(matrix)
+    base = plan.base
+    rows = base.shape[0]
+    if not base.panels.size:
+        return np.zeros(rows)
+    lib = _library()
+    ft = plan.codes_f.dtype
+    x = _f64(x)
+    strips, mr, mc = base.panels.shape
+    fn, at = _int8_bspc_fn(lib, "spmv", ft, strips, mc)
+    xp = _scratch("bspc_xp", mc * _TILE_LANES[ft], ft)
+    acc = _scratch("bspc_acc", rows + 1, at)
+    out = np.empty(rows)  # the dequant pass writes every row
+    fn(
+        strips, mr, mc, rows, x.size,
+        _p(plan.codes_f), _p(base.gather_cols), None,
+        _p(base.scatter_rows), _p(x), plan.scale,
+        _p(xp), _p(acc), _p(out),
+    )
+    return out
+
+
+def bspc_spmm_int8(matrix, x: np.ndarray) -> np.ndarray:
+    plan = int8_bspc_plan(matrix)
+    base = plan.base
+    rows = base.shape[0]
+    batch = x.shape[1]
+    if not base.panels.size or not batch:
+        return np.zeros((rows, batch))
+    lib = _library()
+    ft = plan.codes_f.dtype
+    x = _f64(x)
+    xs = _scratch("bspc_xs", batch)
+    strips, mr, mc = base.panels.shape
+    fn, at = _int8_bspc_fn(lib, "spmm", ft, strips, mc)
+    xp = _scratch("bspc_xp", mc * _TILE_LANES[ft], ft)
+    acc = _scratch("bspc_acc", (rows + 1) * batch, at)
+    out = np.empty((rows, batch))  # the dequant pass writes every element
+    fn(
+        strips, mr, mc, rows, x.shape[0], batch,
+        _p(plan.codes_f), _p(base.gather_cols), None,
+        _p(base.scatter_rows), _p(x), plan.scale, _p(xs),
+        _p(xp), _p(acc), _p(out),
+    )
+    return out
+
+
+def linear_int8(codes: np.ndarray, scale: float, x: np.ndarray) -> np.ndarray:
+    codes = _i8(codes)  # engine plans may hand over the float32 pre-cast copy
+    xq, xs = int8_codes(x)
+    xq = _i8(xq)
+    n, k = xq.shape
+    m = codes.shape[0]
+    out = np.empty((n, m))
+    if n and m:
+        _library().repro_linear_i8(
+            n, m, k, _p(xq), _p(codes), scale * xs, _p(out)
+        )
+    return out
+
+
+def linear_int8_rowwise(
+    codes: np.ndarray, scale: float, x: np.ndarray
+) -> np.ndarray:
+    codes = _i8(codes)
+    xq, xs = int8_codes_axis(x, axis=1)
+    xq = _i8(xq)
+    xs = np.ascontiguousarray(xs.reshape(-1), dtype=np.float64)
+    n, k = xq.shape
+    m = codes.shape[0]
+    out = np.empty((n, m))
+    if n and m:
+        _library().repro_linear_i8_rowwise(
+            n, m, k, _p(xq), _p(codes), scale, _p(xs), _p(out)
+        )
+    return out
+
+
+def gru_sequence(
+    x: np.ndarray,
+    w_ih: np.ndarray,
+    w_hh: np.ndarray,
+    b_ih: np.ndarray,
+    b_hh: np.ndarray,
+    h0: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    x = np.asarray(x, dtype=np.float64)
+    seq_len, batch, _ = x.shape
+    hidden = h0.shape[1]
+    # Hoisted input projection + bias folding: identical numpy expressions
+    # to the numpy backend, so both backends feed the recurrence the same
+    # gate pre-activations bit for bit.
+    gates_x = (x.reshape(seq_len * batch, -1) @ w_ih.T + b_ih).reshape(
+        seq_len, batch, 3 * hidden
+    )
+    gates_x[:, :, : 2 * hidden] += b_hh[: 2 * hidden]
+    gates_x = _f64(gates_x)
+    b_hh_h = _f64(b_hh[2 * hidden :])
+    w_hh_t = _f64(np.asarray(w_hh, dtype=np.float64).T)
+    h = _f64(h0).copy()
+    out = np.empty((seq_len, batch, hidden))
+    if seq_len and batch:
+        gh = np.empty((batch, 3 * hidden))
+        _library().repro_gru_sequence(
+            seq_len, batch, hidden,
+            _p(gates_x), _p(w_hh_t), _p(b_hh_h), _p(h), _p(out), _p(gh),
+        )
+    return out, h
+
+
+def lstm_sequence(
+    x: np.ndarray,
+    w_ih: np.ndarray,
+    w_hh: np.ndarray,
+    bias: np.ndarray,
+    h0: np.ndarray,
+    c0: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    x = np.asarray(x, dtype=np.float64)
+    seq_len, batch, _ = x.shape
+    hidden = h0.shape[1]
+    gates_x = (x.reshape(seq_len * batch, -1) @ w_ih.T + bias).reshape(
+        seq_len, batch, 4 * hidden
+    )
+    gates_x = _f64(gates_x)
+    w_hh_t = _f64(np.asarray(w_hh, dtype=np.float64).T)
+    h = _f64(h0).copy()
+    c = _f64(c0).copy()
+    out = np.empty((seq_len, batch, hidden))
+    if seq_len and batch:
+        gh = np.empty((batch, 4 * hidden))
+        _library().repro_lstm_sequence(
+            seq_len, batch, hidden,
+            _p(gates_x), _p(w_hh_t), _p(h), _p(c), _p(out), _p(gh),
+        )
+    return out, h, c
+
+
+#: op name → compiled implementation.  The BPTT grad ops alias the numpy
+#: implementations (see the module docstring) so every registered op
+#: dispatches under this backend.
+_KERNELS = {
+    "csr_spmv": csr_spmv,
+    "csr_spmm": csr_spmm,
+    "csr_spmv_int8": csr_spmv_int8,
+    "csr_spmm_int8": csr_spmm_int8,
+    "bspc_spmv": bspc_spmv,
+    "bspc_spmm": bspc_spmm,
+    "bspc_spmv_int8": bspc_spmv_int8,
+    "bspc_spmm_int8": bspc_spmm_int8,
+    "linear_int8": linear_int8,
+    "linear_int8_rowwise": linear_int8_rowwise,
+    "gru_sequence": gru_sequence,
+    "lstm_sequence": lstm_sequence,
+    "gru_sequence_grad": _np_backend.gru_sequence_grad,
+    "lstm_sequence_grad": _np_backend.lstm_sequence_grad,
+}
+
+def register_compiled_backend(
+    target: Optional[KernelRegistry] = None,
+) -> bool:
+    """Probe the build and register every op under ``"compiled"``.
+
+    Returns ``True`` when the backend registered, ``False`` (after
+    recording the :class:`CompileBackendError` once — see
+    :func:`load_error`) when no working compiler/library is available.
+    Safe to call repeatedly; re-registration is idempotent.
+    """
+    target = target if target is not None else registry
+    try:
+        _library()
+    except CompileBackendError:
+        return False
+    for op, fn in _KERNELS.items():
+        target.register(op, BACKEND, fn, override=True)
+    return True

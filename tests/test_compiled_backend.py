@@ -1,0 +1,269 @@
+"""The compiled C backend's build/cache machinery and failure modes.
+
+Numerical agreement lives in ``test_kernels_equivalence.py`` (the
+three-backend matrix); this file covers everything around it: content-
+hash caching of the built ``.so``, the typed
+:class:`~repro.errors.CompileBackendError` degradation path when no
+working compiler exists, registry exclusion + numpy fallback, artifacts
+tuned for ``"compiled"`` loading on hosts without it, and the shared
+backend-name validation (``REPRO_KERNEL_BACKEND`` / ``--kernel-backend``
+/ ``tune_plan``).
+"""
+
+import ctypes
+
+import numpy as np
+import pytest
+
+from repro import engine, kernels
+from repro.errors import CompileBackendError, ConfigError
+from repro.kernels import compiled
+from repro.kernels.registry import KernelRegistry
+from repro.speech.model import AcousticModelConfig, GRUAcousticModel
+
+requires_compiler = pytest.mark.skipif(
+    not compiled.available(), reason="no working C compiler on this host"
+)
+
+
+@pytest.fixture
+def fresh_state():
+    """Run a test against pristine module state, then restore the
+    process-wide handle (other tests rely on the registered backend)."""
+    lib, err = compiled._LIB, compiled._LOAD_ERROR
+    compiled._reset_for_tests()
+    try:
+        yield
+    finally:
+        compiled._LIB, compiled._LOAD_ERROR = lib, err
+
+
+def tiny_model():
+    return GRUAcousticModel(
+        AcousticModelConfig(input_dim=8, hidden_size=12, num_layers=1), rng=0
+    ).eval()
+
+
+# ---------------------------------------------------------------------------
+# Build + cache
+# ---------------------------------------------------------------------------
+@requires_compiler
+class TestBuildCache:
+    def test_so_cached_on_disk_and_reused(self, fresh_state, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_COMPILED_CACHE", str(tmp_path))
+        lib = compiled.build_library()
+        assert isinstance(lib, ctypes.CDLL)
+        sos = sorted(tmp_path.glob("repro_kernels_*.so"))
+        assert len(sos) == 1
+        stamp = sos[0].stat().st_mtime_ns
+        compiled.build_library()  # cache hit: same file, no rebuild
+        assert sorted(tmp_path.glob("repro_kernels_*.so")) == sos
+        assert sos[0].stat().st_mtime_ns == stamp
+
+    def test_cache_key_covers_source_and_compiler(self):
+        key = compiled._source_key("cc", ("-O3",))
+        assert key != compiled._source_key("clang", ("-O3",))
+        assert key != compiled._source_key("cc", ("-O2",))
+
+    def test_library_handle_is_process_cached(self, fresh_state):
+        assert compiled._library() is compiled._library()
+
+    def test_corrupt_cached_so_raises_typed_error(self, fresh_state, tmp_path,
+                                                  monkeypatch):
+        # Plant garbage at the exact cache path *before* the first load:
+        # a stale/corrupt cache entry must surface as the typed error,
+        # not a raw OSError (and never silently rebuild over it).
+        monkeypatch.setenv("REPRO_COMPILED_CACHE", str(tmp_path))
+        cc = compiled.compiler_command()
+        flags = ("-march=native", "-O3", "-shared", "-fPIC",
+                 "-fvisibility=hidden")
+        key = compiled._source_key(cc, flags)
+        (tmp_path / f"repro_kernels_{key}.so").write_bytes(b"not an ELF")
+        with pytest.raises(CompileBackendError):
+            compiled._library()
+
+
+# ---------------------------------------------------------------------------
+# Graceful degradation without a compiler
+# ---------------------------------------------------------------------------
+class TestDegradation:
+    def test_broken_cc_records_typed_error_once(self, fresh_state, tmp_path,
+                                                monkeypatch):
+        monkeypatch.setenv("REPRO_CC", str(tmp_path / "no-such-cc"))
+        monkeypatch.setenv("REPRO_COMPILED_CACHE", str(tmp_path / "cache"))
+        assert not compiled.available()
+        err = compiled.load_error()
+        assert isinstance(err, CompileBackendError)
+        with pytest.raises(CompileBackendError):
+            compiled._library()
+        assert compiled.load_error() is err  # recorded once, not re-probed
+
+    def test_failing_cc_surfaces_compiler_output(self, fresh_state, tmp_path,
+                                                 monkeypatch):
+        bad_cc = tmp_path / "bad-cc"
+        bad_cc.write_text("#!/bin/sh\necho 'synthetic failure' >&2\nexit 1\n")
+        bad_cc.chmod(0o755)
+        monkeypatch.setenv("REPRO_CC", str(bad_cc))
+        monkeypatch.setenv("REPRO_COMPILED_CACHE", str(tmp_path / "cache"))
+        with pytest.raises(CompileBackendError, match="synthetic failure"):
+            compiled.build_library()
+
+    def test_backend_absent_from_registry_without_compiler(self, fresh_state,
+                                                           tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CC", str(tmp_path / "no-such-cc"))
+        target = KernelRegistry()
+        target.register("csr_spmv", "numpy", lambda m, x: m @ x)
+        assert compiled.register_compiled_backend(target) is False
+        assert "compiled" not in target.backends()
+        # and the numpy fallback keeps dispatching
+        assert target.get("csr_spmv")(np.eye(2), np.ones(2)) is not None
+
+    def test_registration_succeeds_with_compiler(self, fresh_state):
+        if not compiled.available():
+            pytest.skip("no working C compiler on this host")
+        target = KernelRegistry()
+        assert compiled.register_compiled_backend(target) is True
+        assert "compiled" in target.backends()
+
+    def test_artifact_tuned_for_missing_backend_warns_and_falls_back(
+        self, rng, monkeypatch
+    ):
+        # A plan artifact tuned for "compiled" on another host must load
+        # and run (on the default backend) when the backend is absent
+        # here — with a warning, not a crash.
+        plan = engine.compile_model(tiny_model())
+        plan.backend = "compiled"
+        monkeypatch.setattr(
+            kernels, "backends", lambda: ("numpy", "reference")
+        )
+        features = rng.standard_normal((5, 2, 8))
+        with pytest.warns(RuntimeWarning, match="tuned for kernel backend"):
+            out = plan.forward_batch(features)
+        assert out.shape[0] == 5
+        # warned once, not once per call
+        with kernels.use_backend("numpy"):
+            plan.forward_batch(features)
+
+    def test_plan_with_registered_backend_does_not_warn(self, rng):
+        plan = engine.compile_model(tiny_model())
+        plan.backend = "numpy"
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            plan.forward_batch(rng.standard_normal((3, 1, 8)))
+
+
+# ---------------------------------------------------------------------------
+# Backend-name validation (the shared resolve_backend seam)
+# ---------------------------------------------------------------------------
+class TestBackendValidation:
+    def test_resolve_backend_accepts_registered(self):
+        for name in kernels.backends():
+            assert kernels.resolve_backend(name) == name
+
+    def test_resolve_backend_rejects_unknown_with_listing(self):
+        with pytest.raises(ConfigError, match="numpy"):
+            kernels.resolve_backend("cuda")
+        with pytest.raises(ConfigError, match="REPRO_KERNEL_BACKEND"):
+            kernels.resolve_backend("cuda", "REPRO_KERNEL_BACKEND")
+
+    def test_cli_rejects_unknown_backend(self):
+        from repro.eval.runner import main
+
+        # validation runs before the subcommand, so table1 never starts
+        with pytest.raises(ConfigError, match="--kernel-backend"):
+            main(["--kernel-backend", "cuda", "table1"])
+
+    def test_tune_plan_rejects_unknown_backend(self, rng):
+        from repro.compiler.autotune import tune_plan
+
+        with pytest.raises(ConfigError, match="tune_plan backends"):
+            tune_plan(
+                tiny_model(),
+                rng.standard_normal((4, 2, 8)),
+                backends=(None, "cuda"),
+            )
+
+
+# ---------------------------------------------------------------------------
+# int8 accumulator-stamp dispatch (f32 / f32w / f64)
+# ---------------------------------------------------------------------------
+@requires_compiler
+class TestAccumulatorStamps:
+    """The narrow-f32-accumulator scheme must only engage when the
+    whole-row reduction provably fits the 2^24 integer-exactness bound
+    (``strips * mc <= F32_EXACT_INNER``); past it, float codes must pair
+    with the wide-accumulator ``f32w`` stamp — and stay bitwise equal to
+    the reference backend either way."""
+
+    def test_stamp_selection(self):
+        from repro.kernels.quantized import F32_EXACT_INNER
+
+        lib = compiled._library()
+        fn, acc = compiled._int8_bspc_fn(lib, "spmm", np.dtype(np.float64), 8, 64)
+        assert fn.__name__ == "repro_bspc_spmm_i8_f64" and acc == np.float64
+        fn, acc = compiled._int8_bspc_fn(
+            lib, "spmm", np.dtype(np.float32), 8, F32_EXACT_INNER // 8
+        )
+        assert fn.__name__ == "repro_bspc_spmm_i8_f32" and acc == np.float32
+        fn, acc = compiled._int8_bspc_fn(
+            lib, "spmv", np.dtype(np.float32), 8, F32_EXACT_INNER // 8 + 1
+        )
+        assert fn.__name__ == "repro_bspc_spmv_i8_f32w" and acc == np.float64
+
+    def test_f32w_path_bitwise_vs_reference(self):
+        # A structured 2048^2 BSP-pruned matrix keeps per-strip panels
+        # narrow (float32 codes) while strips * mc = 2048 exceeds the
+        # narrow-accumulator bound, forcing the f32w stamp.
+        from repro.kernels.quantized import F32_EXACT_INNER, int8_bspc_plan
+        from repro.pruning.bsp import BSPConfig, bsp_project_masks
+        from repro.sparse.blocks import grid_for
+        from repro.sparse.bspc import BSPCMatrix
+        from repro.utils.rng import new_rng
+
+        size, strips, blocks = 2048, 8, 8
+        weight = new_rng(0).standard_normal((size, size))
+        masks = bsp_project_masks(
+            {"w": weight},
+            BSPConfig(col_rate=8, row_rate=2, num_row_strips=strips,
+                      num_col_blocks=blocks),
+        )
+        pruned = masks["w"].apply_to_array(weight)
+        m = BSPCMatrix.from_dense(pruned, grid_for(pruned, strips, blocks))
+
+        plan = int8_bspc_plan(m)
+        n_strips, _, mc = plan.base.panels.shape
+        assert plan.codes_f.dtype == np.float32
+        assert n_strips * mc > F32_EXACT_INNER  # really the f32w stamp
+
+        rng = new_rng(3)
+        x = rng.standard_normal(size)
+        expected = kernels.spmv_int8(m, x, backend="reference")
+        np.testing.assert_array_equal(
+            kernels.spmv_int8(m, x, backend="compiled"), expected
+        )
+        for batch in (7, 16):  # partial- and full-lane writeback
+            xb = rng.standard_normal((size, batch))
+            expected = kernels.spmm_int8(m, xb, backend="reference")
+            np.testing.assert_array_equal(
+                kernels.spmm_int8(m, xb, backend="compiled"), expected
+            )
+
+
+# ---------------------------------------------------------------------------
+# tune_plan with the compiled candidate (the ISSUE acceptance invariant)
+# ---------------------------------------------------------------------------
+@requires_compiler
+def test_tune_plan_with_compiled_candidate_keeps_speedup_invariant(rng):
+    from repro.compiler.autotune import tune_plan
+
+    result = tune_plan(
+        tiny_model(),
+        rng.standard_normal((12, 2, 8)),
+        backends=(None, "compiled"),
+        repeats=1,
+    )
+    # the tuned winner can never be slower than the measured baseline
+    assert result.speedup >= 1.0
+    assert any(c.backend == "compiled" for c in result.trace)

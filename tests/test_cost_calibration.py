@@ -1,0 +1,276 @@
+"""Host calibration of the analytic tile/format cost model.
+
+Covers the three pieces ISSUE 10's second prong added: the measured
+trace collector (:func:`collect_cost_samples`), the coefficient fit
+(:func:`calibrate_cost_model`, including the per-tile dispatch term that
+lets the simulator express host behaviour), and the persistence /
+host-device store in :mod:`repro.hw.profiles` that ``tune_plan`` and
+``compare_tile_rankings`` consume by default.
+"""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.compiler.autotune import (
+    CostSample,
+    calibrate_cost_model,
+    collect_cost_samples,
+    compare_tile_rankings,
+)
+from repro.errors import ConfigError
+from repro.hw import profiles
+from repro.hw.device import DeviceSpec
+from repro.hw.profiles import ADRENO_640, KRYO_485
+from repro.speech.model import AcousticModelConfig, GRUAcousticModel
+
+
+@pytest.fixture(autouse=True)
+def isolated_host_store(monkeypatch):
+    """Every test starts with no host calibration and no env override."""
+    monkeypatch.delenv("REPRO_HOST_CALIBRATION", raising=False)
+    profiles.clear_host_device()
+    yield
+    profiles.clear_host_device()
+
+
+def small_model():
+    return GRUAcousticModel(
+        AcousticModelConfig(input_dim=16, hidden_size=64, num_layers=1), rng=0
+    ).eval()
+
+
+def synthetic_samples(sf=40.0, sm=8.0, so=25.0, st=0.3):
+    """Samples whose measurements follow the model exactly at known
+    coefficients — the fit should reproduce their latencies."""
+    rng = np.random.default_rng(7)
+    samples = []
+    for rb, chunks in ((2, 2880.0), (8, 720.0), (32, 180.0), (64, 90.0)):
+        terms = []
+        for _ in range(3):
+            c = float(rng.uniform(5.0, 30.0))
+            m = float(rng.uniform(1.0, 10.0))
+            o = float(rng.uniform(0.2, 1.0))
+            terms.append((c, m, o, chunks / 3.0))
+        sample = CostSample(label=f"rb{rb}", layer_terms=tuple(terms),
+                            measured_us=1.0)
+        measured = sample.predicted_us(sf, sm, so, st)
+        samples.append(dataclasses.replace(sample, measured_us=measured))
+    return samples
+
+
+# ---------------------------------------------------------------------------
+# DeviceSpec: the tile-dispatch term
+# ---------------------------------------------------------------------------
+class TestTileDispatchTerm:
+    def test_mobile_profiles_charge_nothing_per_tile(self):
+        assert ADRENO_640.tile_dispatch_us == 0.0
+        assert KRYO_485.tile_dispatch_us == 0.0
+
+    def test_negative_tile_dispatch_rejected(self):
+        with pytest.raises(ConfigError, match="tile_dispatch_us"):
+            dataclasses.replace(ADRENO_640, tile_dispatch_us=-1.0)
+
+    def test_tile_chunks_counts_row_tiles(self):
+        from repro.compiler.ir import TileConfig
+        from repro.compiler.pipeline import compile_for_simulation
+        from repro.hw.executor import tile_chunks
+
+        weights = {"w": np.random.default_rng(0).standard_normal((64, 64))}
+        from repro.compiler.codegen import CompileOptions
+
+        plans = {}
+        for rb in (2, 8, 32):
+            opts = CompileOptions(tile=TileConfig(rows_per_thread=rb, row_block=rb))
+            plan = compile_for_simulation(weights, opts).plan
+            plans[rb] = sum(tile_chunks(layer) for layer in plan.layers)
+        # finer tiles dispatch proportionally more chunks
+        assert plans[2] == 4 * plans[8] == 16 * plans[32]
+
+    def test_tile_dispatch_charge_shifts_simulated_ranking(self):
+        # A device that pays heavily per tile must prefer coarse tiles in
+        # the analytic ranking — the behaviour host calibration encodes.
+        expensive = dataclasses.replace(ADRENO_640, tile_dispatch_us=1000.0)
+        profiles.set_host_device(expensive)
+        rng = np.random.default_rng(0)
+        comp = compare_tile_rankings(
+            small_model(), rng.standard_normal((4, 2, 16)), repeats=1
+        )
+        assert comp.sim_pick == max(comp.row_blocks)
+
+
+# ---------------------------------------------------------------------------
+# Persistence + host store
+# ---------------------------------------------------------------------------
+class TestHostStore:
+    def test_spec_json_round_trip(self, tmp_path):
+        spec = dataclasses.replace(
+            KRYO_485, name="host", tile_dispatch_us=0.25
+        )
+        path = profiles.save_calibration(spec, tmp_path / "cal.json")
+        assert profiles.load_calibration(path) == spec
+
+    def test_load_rejects_missing_file(self, tmp_path):
+        with pytest.raises(ConfigError, match="not found"):
+            profiles.load_calibration(tmp_path / "nope.json")
+
+    def test_load_rejects_bad_json_and_bad_version(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope")
+        with pytest.raises(ConfigError, match="JSON"):
+            profiles.load_calibration(bad)
+        versioned = tmp_path / "v99.json"
+        versioned.write_text(
+            json.dumps({"version": 99, "device": profiles.spec_to_dict(ADRENO_640)})
+        )
+        with pytest.raises(ConfigError, match="version"):
+            profiles.load_calibration(versioned)
+
+    def test_spec_from_dict_rejects_unknown_and_missing_fields(self):
+        payload = profiles.spec_to_dict(ADRENO_640)
+        payload["warp_size"] = 32
+        with pytest.raises(ConfigError, match="warp_size"):
+            profiles.spec_from_dict(payload)
+        del payload["warp_size"], payload["flops_per_us"]
+        with pytest.raises(ConfigError, match="flops_per_us"):
+            profiles.spec_from_dict(payload)
+
+    def test_set_and_clear_host_device(self):
+        assert profiles.host_device() is None
+        profiles.set_host_device(KRYO_485)
+        assert profiles.host_device() is KRYO_485
+        profiles.set_host_device(None)
+        assert profiles.host_device() is None
+
+    def test_env_calibration_loaded_lazily(self, tmp_path, monkeypatch):
+        spec = dataclasses.replace(ADRENO_640, name="from-env")
+        path = profiles.save_calibration(spec, tmp_path / "cal.json")
+        monkeypatch.setenv("REPRO_HOST_CALIBRATION", str(path))
+        profiles.clear_host_device()  # re-arm the probe
+        assert profiles.host_device() == spec
+        # probed once: changing the env later is not re-read
+        monkeypatch.setenv("REPRO_HOST_CALIBRATION", str(tmp_path / "gone.json"))
+        assert profiles.host_device() == spec
+
+    def test_env_calibration_errors_are_typed_and_name_the_var(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv(
+            "REPRO_HOST_CALIBRATION", str(tmp_path / "missing.json")
+        )
+        profiles.clear_host_device()
+        with pytest.raises(ConfigError, match="REPRO_HOST_CALIBRATION"):
+            profiles.host_device()
+
+
+# ---------------------------------------------------------------------------
+# The fit
+# ---------------------------------------------------------------------------
+class TestCalibrateCostModel:
+    def test_requires_two_samples(self):
+        with pytest.raises(ConfigError, match="at least two"):
+            calibrate_cost_model(synthetic_samples()[:1])
+
+    def test_rejects_non_positive_measurements(self):
+        bad = dataclasses.replace(synthetic_samples()[0], measured_us=0.0)
+        with pytest.raises(ConfigError, match="measured_us"):
+            calibrate_cost_model([bad, synthetic_samples()[1]])
+
+    def test_fit_reproduces_synthetic_ground_truth(self):
+        samples = synthetic_samples()
+        cal = calibrate_cost_model(samples)
+        assert cal.log_rmse_after <= cal.log_rmse_before
+        assert cal.error_reduction > 0.8
+        # the calibrated model predicts every sample within 15%
+        for s in samples:
+            pred = s.predicted_us(
+                cal.scale_compute,
+                cal.scale_memory,
+                cal.scale_overhead,
+                cal.tile_dispatch_us,
+            )
+            assert pred == pytest.approx(s.measured_us, rel=0.15)
+
+    def test_coefficients_fold_into_device_spec(self):
+        cal = calibrate_cost_model(synthetic_samples(), base=KRYO_485)
+        assert cal.device.flops_per_us == pytest.approx(
+            KRYO_485.flops_per_us / cal.scale_compute
+        )
+        assert cal.device.mem_bandwidth_bytes_per_us == pytest.approx(
+            KRYO_485.mem_bandwidth_bytes_per_us / cal.scale_memory
+        )
+        assert cal.device.kernel_overhead_us == pytest.approx(
+            KRYO_485.kernel_overhead_us * cal.scale_overhead
+        )
+        assert cal.device.tile_dispatch_us == cal.tile_dispatch_us
+        # untouched fields carry over
+        assert cal.device.num_threads == KRYO_485.num_threads
+        assert cal.device.power_watts == KRYO_485.power_watts
+        assert "host-calibrated" in cal.device.name
+
+    def test_persist_and_activate(self, tmp_path):
+        path = tmp_path / "host.json"
+        cal = calibrate_cost_model(
+            synthetic_samples(), path=path, activate=True
+        )
+        assert profiles.load_calibration(path) == cal.device
+        assert profiles.host_device() == cal.device
+
+    def test_flat_host_keeps_tile_term_negligible(self):
+        # Measurements with no chunk dependence: the fitted per-tile
+        # charge must stay tiny instead of inventing one.
+        samples = [
+            dataclasses.replace(s, measured_us=500.0 + i)
+            for i, s in enumerate(synthetic_samples())
+        ]
+        cal = calibrate_cost_model(samples)
+        worst_chunks = max(s.tile_chunk_steps for s in samples)
+        assert cal.tile_dispatch_us * worst_chunks < 0.05 * 500.0
+
+
+# ---------------------------------------------------------------------------
+# End-to-end on the real engine
+# ---------------------------------------------------------------------------
+class TestCollectAndCalibrate:
+    def test_collect_validates_inputs(self, rng):
+        with pytest.raises(ConfigError, match="at least two"):
+            collect_cost_samples(
+                small_model(), rng.standard_normal((4, 2, 16)), row_blocks=(8,)
+            )
+        with pytest.raises(ConfigError, match="features"):
+            collect_cost_samples(
+                small_model(), rng.standard_normal((4, 16)), repeats=1
+            )
+
+    def test_collected_samples_shape(self, rng):
+        samples = collect_cost_samples(
+            small_model(),
+            rng.standard_normal((4, 2, 16)),
+            row_blocks=(2, 32),
+            repeats=1,
+        )
+        assert [s.label for s in samples] == ["rb2", "rb32"]
+        for s in samples:
+            assert s.measured_us > 0
+            assert s.simulated_us > 0
+        # finer row blocking issues more tile dispatches
+        assert samples[0].tile_chunk_steps > samples[1].tile_chunk_steps
+
+    def test_calibrated_device_prices_the_host(self, rng):
+        batch = rng.standard_normal((6, 2, 16))
+        samples = collect_cost_samples(small_model(), batch, repeats=2)
+        cal = calibrate_cost_model(samples)
+        assert cal.log_rmse_after <= cal.log_rmse_before
+        # re-simulating the sampled configs with the calibrated device
+        # reproduces each measurement to within the fit's log-RMSE
+        for s in samples:
+            pred = s.predicted_us(
+                cal.scale_compute,
+                cal.scale_memory,
+                cal.scale_overhead,
+                cal.tile_dispatch_us,
+            )
+            ratio = np.log(pred / s.measured_us)
+            assert abs(ratio) <= 3.0 * max(cal.log_rmse_after, 0.05)

@@ -17,7 +17,20 @@ from repro.sparse.bspc import BSPCMatrix
 from repro.sparse.csr import CSRMatrix
 from repro.utils.rng import new_rng
 
+# Everything registered beyond the ground-truth loops: "numpy" always,
+# "compiled" only on hosts where the C toolchain built and probed clean —
+# the whole matrix below widens automatically when it is present.
 FAST_BACKENDS = [b for b in kernels.registry.backends() if b != "reference"]
+
+
+def test_compiled_backend_present_or_skipped():
+    """Surface (as a skip, not silence) hosts where the compiled backend
+    did not build; everywhere else it must be in the tested matrix."""
+    from repro.kernels import compiled
+
+    if not compiled.available():
+        pytest.skip(f"compiled backend unavailable: {compiled.load_error()}")
+    assert "compiled" in FAST_BACKENDS
 
 
 def random_sparse(rng, shape, density):
@@ -249,22 +262,24 @@ class TestModuleFastPath:
         assert x.grad is not None  # fell back to the differentiable path
 
 
+@pytest.mark.parametrize("backend", FAST_BACKENDS)
 class TestInt8Kernels:
-    """The int8 numpy kernels must agree *exactly* with the int64-
-    accumulating reference implementations (same codes, same integer
-    sums, same single dequant), and closely with the float result."""
+    """The int8 numpy and compiled-C kernels must agree *exactly* with
+    the int64-accumulating reference implementations (same codes, same
+    integer sums, same dequant multiply order), and closely with the
+    float result."""
 
-    def test_csr_spmv_int8_exact_vs_reference(self, cases):
+    def test_csr_spmv_int8_exact_vs_reference(self, cases, backend):
         rng = new_rng(21)
         for name, w, _ in cases:
             csr = CSRMatrix.from_dense(w)
             x = rng.standard_normal(w.shape[1])
             expected = kernels.spmv_int8(csr, x, backend="reference")
             np.testing.assert_array_equal(
-                kernels.spmv_int8(csr, x, backend="numpy"), expected, err_msg=name
+                kernels.spmv_int8(csr, x, backend=backend), expected, err_msg=name
             )
 
-    def test_csr_spmm_int8_exact_vs_reference(self, cases):
+    def test_csr_spmm_int8_exact_vs_reference(self, cases, backend):
         rng = new_rng(22)
         for name, w, _ in cases:
             csr = CSRMatrix.from_dense(w)
@@ -272,43 +287,48 @@ class TestInt8Kernels:
                 x = rng.standard_normal((w.shape[1], batch))
                 expected = kernels.spmm_int8(csr, x, backend="reference")
                 np.testing.assert_array_equal(
-                    kernels.spmm_int8(csr, x, backend="numpy"), expected,
+                    kernels.spmm_int8(csr, x, backend=backend), expected,
                     err_msg=name,
                 )
 
-    def test_bspc_spmv_int8_exact_vs_reference(self, cases):
+    def test_bspc_spmv_int8_exact_vs_reference(self, cases, backend):
         rng = new_rng(23)
         for name, w, grid in cases:
             bspc = BSPCMatrix.from_dense(w, grid)
             x = rng.standard_normal(w.shape[1])
             expected = kernels.spmv_int8(bspc, x, backend="reference")
             np.testing.assert_array_equal(
-                kernels.spmv_int8(bspc, x, backend="numpy"), expected, err_msg=name
+                kernels.spmv_int8(bspc, x, backend=backend), expected, err_msg=name
             )
 
-    def test_bspc_spmm_int8_exact_vs_reference(self, cases):
+    def test_bspc_spmm_int8_exact_vs_reference(self, cases, backend):
         rng = new_rng(24)
         for name, w, grid in cases:
             bspc = BSPCMatrix.from_dense(w, grid)
-            x = rng.standard_normal((w.shape[1], 3))
-            expected = kernels.spmm_int8(bspc, x, backend="reference")
-            np.testing.assert_array_equal(
-                kernels.spmm_int8(bspc, x, backend="numpy"), expected, err_msg=name
-            )
+            for batch in (1, 3, 16, 21):  # spans partial / full / multi tile
+                x = rng.standard_normal((w.shape[1], batch))
+                expected = kernels.spmm_int8(bspc, x, backend="reference")
+                np.testing.assert_array_equal(
+                    kernels.spmm_int8(bspc, x, backend=backend), expected,
+                    err_msg=name,
+                )
 
-    def test_linear_int8_exact_vs_reference(self, rng):
+    def test_linear_int8_exact_vs_reference(self, rng, backend):
         for m, k in [(5, 7), (3, 1), (8, 3000)]:  # 3000 forces chunking
             codes, scale = kernels.int8_codes(rng.standard_normal((m, k)) * 2)
             x = rng.standard_normal((4, k))
             expected = kernels.linear_int8(codes, scale, x, backend="reference")
             np.testing.assert_array_equal(
-                kernels.linear_int8(codes, scale, x, backend="numpy"), expected
+                kernels.linear_int8(codes, scale, x, backend=backend), expected
             )
             # pre-cast float32 codes (what compiled plans pass) agree too
             np.testing.assert_array_equal(
-                kernels.linear_int8(codes.astype(np.float32), scale, x), expected
+                kernels.linear_int8(codes.astype(np.float32), scale, x, backend=backend),
+                expected,
             )
 
+
+class TestInt8Helpers:
     def test_int8_close_to_float(self, cases):
         # The whole point: quantized results track the float ones.
         rng = new_rng(25)

@@ -30,7 +30,9 @@ from repro.speech.metrics import collapse_frames
 from repro.speech.model import AcousticModelConfig, GRUAcousticModel
 from repro.speech.phones import SILENCE_ID
 
-BACKENDS = ("reference", "numpy")
+# The chunk-exactness sweep runs under every registered backend —
+# "compiled" joins the matrix automatically on hosts with a C toolchain.
+BACKENDS = tuple(kernels.backends())
 SCHEMES = (None, "fp16", "int8", "mixed")
 CHUNK_SIZES = (1, 7, 25, None)  # None = the whole utterance in one chunk
 
@@ -85,10 +87,14 @@ class TestChunkExactnessSweep:
                             chunked, offline_logits, atol=atol
                         )
 
+    @pytest.mark.parametrize("backend", BACKENDS)
     @pytest.mark.parametrize("fmt", ["csr", "bspc"])
-    def test_int8_sparse_plans_bitwise_chunk_exact(self, fmt, rng_factory):
+    def test_int8_sparse_plans_bitwise_chunk_exact(self, fmt, backend, rng_factory):
         # Per-column activation scales make even the sparse int8 spmm
-        # paths bit-exact under chunking.
+        # paths bit-exact under chunking — and the integer accumulation
+        # is reduction-order-free, so every backend (the compiled C one
+        # included) must reproduce the *reference* offline logits bit for
+        # bit under every chunk split.
         from repro.pruning.bsp import BSPConfig, bsp_project_masks
 
         model = tiny_model(hidden=24)
@@ -107,15 +113,19 @@ class TestChunkExactnessSweep:
         )
         rng = rng_factory(5)
         utterance = rng.standard_normal((41, 8))
-        offline_logits = plan.forward_utterance(utterance)
-        for size in (1, 7, 41):
-            state, pieces = None, []
-            for start in chunk_starts(41, size):
-                logits, state = plan.run_chunk(
-                    utterance[start : start + size][:, None, :], state
+        with kernels.use_backend("reference"):
+            offline_logits = plan.forward_utterance(utterance)
+        with kernels.use_backend(backend):
+            for size in (1, 7, 41):
+                state, pieces = None, []
+                for start in chunk_starts(41, size):
+                    logits, state = plan.run_chunk(
+                        utterance[start : start + size][:, None, :], state
+                    )
+                    pieces.append(logits[:, 0])
+                np.testing.assert_array_equal(
+                    np.concatenate(pieces), offline_logits
                 )
-                pieces.append(logits[:, 0])
-            np.testing.assert_array_equal(np.concatenate(pieces), offline_logits)
 
 
 # ---------------------------------------------------------------------------
